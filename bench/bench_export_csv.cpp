@@ -1,0 +1,21 @@
+//===- bench_export_csv.cpp - Machine-readable dump of all outcomes -----------===//
+//
+// Runs the full suite through both clients and dumps one CSV row per
+// query to stdout, so the evaluation figures can be re-plotted with
+// external tooling. The human-readable tables come from the other bench
+// binaries; this is the raw data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reporting/Csv.h"
+
+#include <iostream>
+
+using namespace optabs;
+
+int main() {
+  reporting::writeCsvHeader(std::cout);
+  for (const auto &Config : synth::paperSuite())
+    reporting::writeCsvRows(std::cout, reporting::runBenchmark(Config));
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- bench_table2_scalability.cpp - Reproduces Table 2 ---------------------===//
+//
+// Table 2 of the paper reports, per benchmark and client, the minimum /
+// maximum / average number of CEGAR iterations separately for proven and
+// impossible queries, plus the per-query running time of the thread-escape
+// analysis (the harder client to scale). Shape expectations from the
+// paper: most queries resolve in under ten iterations on average;
+// impossible queries resolve in very few iterations; the large benchmarks
+// (avrora in particular) need the most iterations for proven type-state
+// queries because their cheapest abstractions are the largest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reporting/Aggregates.h"
+#include "reporting/Harness.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+
+#include <iostream>
+
+using namespace optabs;
+using reporting::ClientResults;
+using tracer::Verdict;
+
+static std::string iterCells(const MinMaxAvg &S) {
+  if (S.empty())
+    return "-/-/-";
+  return TablePrinter::cell((long long)S.min()) + "/" +
+         TablePrinter::cell((long long)S.max()) + "/" +
+         TablePrinter::cell(S.avg(), 1);
+}
+
+static std::string timeCells(const MinMaxAvg &S) {
+  if (S.empty())
+    return "-/-/-";
+  return formatDuration(S.min()) + "/" + formatDuration(S.max()) + "/" +
+         formatDuration(S.avg());
+}
+
+int main() {
+  TablePrinter T;
+  T.setHeader({"benchmark", "ts proven it.", "ts imposs. it.",
+               "esc proven it.", "esc imposs. it.", "esc proven time",
+               "esc imposs. time"});
+  for (const auto &Config : synth::paperSuite()) {
+    reporting::BenchRun Run = reporting::runBenchmark(Config);
+    T.addRow({Config.Name,
+              iterCells(reporting::iterationStats(Run.Ts, Verdict::Proven)),
+              iterCells(
+                  reporting::iterationStats(Run.Ts, Verdict::Impossible)),
+              iterCells(reporting::iterationStats(Run.Esc, Verdict::Proven)),
+              iterCells(
+                  reporting::iterationStats(Run.Esc, Verdict::Impossible)),
+              timeCells(reporting::timeStats(Run.Esc, Verdict::Proven)),
+              timeCells(reporting::timeStats(Run.Esc, Verdict::Impossible))});
+  }
+  T.print(std::cout, "Table 2: scalability (iterations min/max/avg and "
+                     "thread-escape per-query time min/max/avg; k = 5)");
+  return 0;
+}

@@ -1,0 +1,45 @@
+//===- bench_table4_reuse.cpp - Reproduces Table 4 ---------------------------===//
+//
+// Table 4 of the paper reports how often different proven queries share
+// the same cheapest abstraction: the number of groups and the min / max /
+// average group size. Shape expectations: average group sizes around ten
+// or less - cheapest abstractions are mostly query-specific - with a few
+// larger groups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reporting/Aggregates.h"
+#include "reporting/Harness.h"
+#include "support/TablePrinter.h"
+
+#include <iostream>
+
+using namespace optabs;
+
+static void addCells(std::vector<std::string> &Row,
+                     const reporting::ReuseStats &S) {
+  Row.push_back(TablePrinter::cell((long long)S.NumGroups));
+  if (S.GroupSize.empty()) {
+    Row.insert(Row.end(), {"-", "-", "-"});
+    return;
+  }
+  Row.push_back(TablePrinter::cell((long long)S.GroupSize.min()));
+  Row.push_back(TablePrinter::cell((long long)S.GroupSize.max()));
+  Row.push_back(TablePrinter::cell(S.GroupSize.avg(), 1));
+}
+
+int main() {
+  TablePrinter T;
+  T.setHeader({"benchmark", "ts #groups", "min", "max", "avg",
+               "esc #groups", "min", "max", "avg"});
+  for (const auto &Config : synth::paperSuite()) {
+    reporting::BenchRun Run = reporting::runBenchmark(Config);
+    std::vector<std::string> Row{Config.Name};
+    addCells(Row, reporting::reuseStats(Run.Ts));
+    addCells(Row, reporting::reuseStats(Run.Esc));
+    T.addRow(std::move(Row));
+  }
+  T.print(std::cout, "Table 4: cheapest-abstraction reuse across proven "
+                     "queries (k = 5)");
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- datarace_client.cpp - Thread-escape as a datarace front-end ------------===//
+//
+// The paper motivates the thread-escape analysis as a building block for
+// concurrency clients such as static datarace detection (§6): a field
+// access on a thread-local object can never race. This example models a
+// small producer/consumer program in which some buffers stay thread-local
+// while others are published through a shared registry, poses a
+// local(v)? query at every field access, resolves all of them with
+// TRACER, and reports the race-candidate accesses - exactly the workflow
+// a datarace detector would run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "tracer/QueryDriver.h"
+
+#include <iostream>
+
+using namespace optabs;
+using namespace optabs::ir;
+
+// "registry" is the shared global; "worker" publishes its task object into
+// it, while its scratch buffer stays private. The helper routine is called
+// from two contexts, so the analysis must be context-sensitive to prove
+// the scratch accesses safe.
+static const char *Producer = R"(
+  global registry;
+  proc main {
+    call worker;
+    loop { call worker; }
+  }
+  proc worker {
+    scratch = new h_scratch;
+    task = new h_task;
+    check(scratch);        // scratch.data = ... (private: no race)
+    scratch.data = scratch;
+    call fill;
+    registry = task;       // publish: task escapes here
+    check(task);           // task.state = ...  (RACE candidate)
+    task.state = task;
+    shared = registry;
+    check(shared);         // shared.state = ... (RACE candidate)
+    shared.state = shared;
+    scratch = null; task = null; shared = null;
+  }
+  proc fill {
+    check(scratch);        // scratch.data read in the callee: still private
+    tmp = scratch.data;
+    check(task);           // task.state written BEFORE publication: safe
+    task.state = tmp;
+    tmp = null;
+  }
+)";
+
+int main() {
+  Program P;
+  std::string Error;
+  if (!parseProgram(Producer, P, Error)) {
+    std::cerr << "parse error: " << Error << "\n";
+    return 1;
+  }
+  std::cout << "Producer/consumer program:\n";
+  printProgram(std::cout, P);
+
+  escape::EscapeAnalysis A(P);
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A);
+  std::vector<CheckId> Queries;
+  for (uint32_t I = 0; I < P.numChecks(); ++I)
+    Queries.push_back(CheckId(I));
+  auto Outcomes = Driver.run(Queries);
+
+  std::cout << "\nDatarace report (an access can race only if the object "
+               "may be thread-shared):\n";
+  unsigned Safe = 0, Candidates = 0;
+  for (const auto &O : Outcomes) {
+    const CheckSite &Site = P.checkSite(O.Check);
+    std::cout << "  access on '" << P.varName(Site.Var) << "' in "
+              << P.proc(Site.Proc).Name << ": ";
+    switch (O.V) {
+    case tracer::Verdict::Proven:
+      std::cout << "thread-local (no race), proven with "
+                << O.CheapestParam << " in " << O.Iterations
+                << " iteration(s)\n";
+      ++Safe;
+      break;
+    case tracer::Verdict::Impossible:
+      std::cout << "RACE CANDIDATE - unprovable under every abstraction ("
+                << O.Iterations << " iteration(s) to refute)\n";
+      ++Candidates;
+      break;
+    case tracer::Verdict::Unresolved:
+      std::cout << "unresolved within budget - treated as a candidate\n";
+      ++Candidates;
+      break;
+    }
+  }
+  std::cout << "\n" << Safe << " accesses proven race-free, " << Candidates
+            << " remain for the detector to inspect.\n";
+  return 0;
+}

@@ -1,0 +1,541 @@
+//===- Forward.h - Generic parametric forward analysis ---------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic parametric (disjunctive) forward dataflow analysis of §3.2 /
+/// Figure 3, instantiated over a client analysis:
+///
+/// \code
+///   struct Client {
+///     using Param = ...;                 // the abstraction p in P
+///     using State = ...;                 // an element d of the finite D
+///     struct StateHash { size_t operator()(const State&) const; };
+///     // The parameterized transfer function [a]_p : D -> D. Only called
+///     // for client commands (never Invoke).
+///     State transfer(const ir::Command &Cmd, const State &In,
+///                    const Param &P) const;
+///   };
+/// \endcode
+///
+/// The engine computes, on demand from main's body and an initial state,
+/// the least solution of
+///
+///   F_p[a](D)     = { [a]_p(d) | d in D }
+///   F_p[s;s'](D)  = F_p[s'](F_p[s](D))
+///   F_p[s+s'](D)  = F_p[s](D) u F_p[s'](D)
+///   F_p[s*](D)    = leastFix lam D0. D u F_p[s](D0)
+///
+/// extended with procedure summaries for Invoke commands (the RHS-style
+/// tabulation of the paper's implementation: an Invoke is analyzed by
+/// tabulating its callee's body per entry state, with chaotic iteration to
+/// a global fixpoint, so the analysis is fully context-sensitive).
+///
+/// Because the analysis is disjunctive, Lemma 1 applies: every abstract
+/// state reaching a check site is witnessed by a single trace whose
+/// per-command semantics is deterministic. extractTrace() reconstructs such
+/// an abstract counterexample trace for the backward meta-analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_DATAFLOW_FORWARD_H
+#define OPTABS_DATAFLOW_FORWARD_H
+
+#include "dataflow/StateInterner.h"
+#include "ir/Program.h"
+#include "ir/Trace.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace optabs {
+namespace dataflow {
+
+/// A set of interned states, kept sorted and duplicate-free.
+using StateSet = std::vector<StateId>;
+
+/// Statistics of one forward run, reported by the benchmark harnesses.
+struct ForwardStats {
+  size_t NumStates = 0;   ///< distinct abstract states interned
+  size_t NumPairs = 0;    ///< tabulated (statement, entry-state) pairs
+  size_t NumVisits = 0;   ///< visit() evaluations across all rounds
+  size_t NumRounds = 0;   ///< outer chaotic-iteration rounds
+};
+
+template <typename Client> class ForwardAnalysis {
+public:
+  using Param = typename Client::Param;
+  using State = typename Client::State;
+
+  ForwardAnalysis(const ir::Program &P, const Client &C, Param Prm)
+      : P(P), C(C), Prm(std::move(Prm)) {}
+
+  /// Runs the analysis from \p Init to the global least fixpoint.
+  void run(const State &Init) {
+    InitId = Interner.intern(Init);
+    ir::StmtId Root = P.proc(P.main()).Body;
+    do {
+      Changed = false;
+      RoundMark.clear();
+      ++Stats.NumRounds;
+      visit(Root, InitId);
+    } while (Changed);
+  }
+
+  /// All abstract states reaching check site \p Check (i.e. flowing into
+  /// its Check command), across all calling contexts.
+  std::vector<State> statesAtCheck(ir::CheckId Check) const {
+    std::vector<State> Result;
+    auto It = CheckStates.find(Check.index());
+    if (It == CheckStates.end())
+      return Result;
+    for (StateId Id : It->second)
+      Result.push_back(Interner.state(Id));
+    return Result;
+  }
+
+  /// Reconstructs an abstract counterexample trace from program entry to
+  /// check site \p Check along which the analysis computes \p Target at the
+  /// check. Invoke commands are expanded into callee steps; the trace
+  /// contains only client commands. Returns nullopt only if \p Target does
+  /// not actually reach the check (callers pass states from
+  /// statesAtCheck(), so a result is guaranteed).
+  std::optional<ir::Trace> extractTrace(ir::CheckId Check,
+                                        const State &Target) {
+    auto Traces = extractTraces(Check, Target, 1);
+    if (Traces.empty())
+      return std::nullopt;
+    return std::move(Traces.front());
+  }
+
+  /// Extracts up to \p MaxCount *distinct* counterexample traces for the
+  /// same failing state by rotating the exploration order of Choice
+  /// branches. Distinct traces expose independent failure causes, which
+  /// the multi-counterexample mode of the TRACER driver conjoins (§8's
+  /// DAG-counterexample direction).
+  std::vector<ir::Trace> extractTraces(ir::CheckId Check,
+                                       const State &Target,
+                                       size_t MaxCount) {
+    std::vector<ir::Trace> Result;
+    auto It = CheckStates.find(Check.index());
+    if (It == CheckStates.end())
+      return Result;
+    StateId TargetId = Interner.intern(Target);
+    if (!It->second.count(TargetId))
+      return Result;
+    ir::CommandId CheckCmd = P.checkSite(Check).Command;
+    for (unsigned R = 0; R < 2 * MaxCount + 1 && Result.size() < MaxCount;
+         ++R) {
+      Rotation = R;
+      ir::Trace T;
+      PrefixStack.clear();
+      ThroughStack.clear();
+      if (!findPrefix(P.proc(P.main()).Body, InitId, CheckCmd, TargetId, T))
+        break;
+      if (std::find(Result.begin(), Result.end(), T) == Result.end())
+        Result.push_back(std::move(T));
+    }
+    Rotation = 0;
+    return Result;
+  }
+
+  /// Replays \p T from \p Init, returning the state sequence d0..dn with
+  /// d0 = Init and d_{i} the state after command i. Used by the backward
+  /// meta-analysis, which needs F_p[t](d) at every trace point (Figure 7).
+  std::vector<State> replay(const ir::Trace &T, const State &Init) {
+    std::vector<State> States;
+    States.reserve(T.size() + 1);
+    StateId Cur = Interner.intern(Init);
+    States.push_back(Interner.state(Cur));
+    for (ir::CommandId Cmd : T) {
+      Cur = applyCommand(Cmd, Cur);
+      States.push_back(Interner.state(Cur));
+    }
+    return States;
+  }
+
+  const ForwardStats &stats() const {
+    Stats.NumStates = Interner.size();
+    Stats.NumPairs = Values.size();
+    return Stats;
+  }
+
+  const State &state(StateId Id) const { return Interner.state(Id); }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Fixpoint engine
+  //===--------------------------------------------------------------------===
+
+  using Key = uint64_t;
+  static Key makeKey(ir::StmtId S, StateId In) {
+    return (static_cast<uint64_t>(S.index()) << 32) | In;
+  }
+
+  /// Applies the client transfer (or expands summaries for Invoke) for a
+  /// single command on a single state, memoized.
+  StateId applyCommand(ir::CommandId Cmd, StateId In) {
+    const ir::Command &Command = P.command(Cmd);
+    assert(ir::isClientCommand(Command.Kind) &&
+           "Invoke is expanded by the engine, not by transfer functions");
+    Key K = (static_cast<uint64_t>(Cmd.index()) << 32) | In;
+    auto It = TransferMemo.find(K);
+    if (It != TransferMemo.end())
+      return It->second;
+    StateId Out = Interner.intern(C.transfer(Command, Interner.state(In), Prm));
+    TransferMemo.emplace(K, Out);
+    return Out;
+  }
+
+  static void addState(StateSet &Set, StateId Id) {
+    auto It = std::lower_bound(Set.begin(), Set.end(), Id);
+    if (It == Set.end() || *It != Id)
+      Set.insert(It, Id);
+  }
+
+  static bool contains(const StateSet &Set, StateId Id) {
+    return std::binary_search(Set.begin(), Set.end(), Id);
+  }
+
+  /// Evaluates F_p[S]({In}) under the current table, updating the table
+  /// monotonically. Within one outer round each key is evaluated once;
+  /// recursion through Invoke is broken by returning the current value for
+  /// keys already on the evaluation stack, with the outer rounds restoring
+  /// the fixpoint.
+  const StateSet &visit(ir::StmtId S, StateId In) {
+    Key K = makeKey(S, In);
+    auto [ValueIt, Inserted] = Values.try_emplace(K);
+    (void)ValueIt;
+    if (!Inserted && (RoundMark.count(K) || OnStack.count(K)))
+      return Values[K];
+    RoundMark.insert(K);
+    OnStack.insert(K);
+    ++Stats.NumVisits;
+
+    StateSet Fresh = evaluate(S, In);
+
+    OnStack.erase(K);
+    StateSet &Stored = Values[K];
+    for (StateId Id : Fresh) {
+      if (!contains(Stored, Id)) {
+        addState(Stored, Id);
+        Changed = true;
+      }
+    }
+    return Stored;
+  }
+
+  StateSet evaluate(ir::StmtId S, StateId In) {
+    const ir::Stmt &Node = P.stmt(S);
+    switch (Node.Kind) {
+    case ir::StmtKind::Atom: {
+      const ir::Command &Cmd = P.command(Node.Cmd);
+      if (Cmd.Kind == ir::CmdKind::Invoke) {
+        // Tabulate the callee: F_p[invoke q]({In}) = F_p[body(q)]({In}).
+        return visit(P.proc(Cmd.Callee).Body, In);
+      }
+      if (Cmd.Kind == ir::CmdKind::Check)
+        CheckStates[Cmd.Check.index()].insert(In);
+      return {applyCommand(Node.Cmd, In)};
+    }
+    case ir::StmtKind::Seq: {
+      StateSet Cur{In};
+      for (ir::StmtId Child : Node.Children) {
+        StateSet Next;
+        for (StateId Id : Cur)
+          for (StateId Out : visit(Child, Id))
+            addState(Next, Out);
+        Cur = std::move(Next);
+        if (Cur.empty())
+          break;
+      }
+      return Cur;
+    }
+    case ir::StmtKind::Choice: {
+      StateSet Result;
+      for (ir::StmtId Child : Node.Children)
+        for (StateId Out : visit(Child, In))
+          addState(Result, Out);
+      return Result;
+    }
+    case ir::StmtKind::Star: {
+      // leastFix lam D0. {In} u F_p[child](D0), iterated locally; stale
+      // child values within this round are repaired by the outer rounds.
+      StateSet D{In};
+      bool Grew = true;
+      while (Grew) {
+        Grew = false;
+        StateSet Snapshot = D;
+        for (StateId Id : Snapshot) {
+          for (StateId Out : visit(Node.Children[0], Id)) {
+            if (!contains(D, Out)) {
+              addState(D, Out);
+              Grew = true;
+            }
+          }
+        }
+      }
+      return D;
+    }
+    }
+    return {};
+  }
+
+  //===--------------------------------------------------------------------===
+  // Witness (abstract counterexample trace) reconstruction
+  //===--------------------------------------------------------------------===
+
+  /// Final tabulated value for (S, In); empty set when never demanded.
+  const StateSet &finalValue(ir::StmtId S, StateId In) const {
+    static const StateSet Empty;
+    auto It = Values.find(makeKey(S, In));
+    return It == Values.end() ? Empty : It->second;
+  }
+
+  struct TripleHash {
+    size_t operator()(const std::tuple<uint32_t, StateId, StateId> &T) const {
+      auto [A, B, C] = T;
+      uint64_t X = (static_cast<uint64_t>(A) << 32) ^
+                   (static_cast<uint64_t>(B) << 16) ^ C;
+      X *= 0x9e3779b97f4a7c15ULL;
+      return static_cast<size_t>(X ^ (X >> 29));
+    }
+  };
+
+  /// Finds a full trace through S transforming In to Out. Completeness
+  /// relies on minimal derivations never repeating a (S, In, Out) triple on
+  /// one derivation path, so such repetitions are pruned.
+  bool findThrough(ir::StmtId S, StateId In, StateId Out, ir::Trace &T) {
+    std::tuple<uint32_t, StateId, StateId> Trip{S.index(), In, Out};
+    if (ThroughStack.count(Trip))
+      return false;
+    if (!contains(finalValue(S, In), Out))
+      return false;
+    ThroughStack.insert(Trip);
+    bool Found = findThroughImpl(S, In, Out, T);
+    ThroughStack.erase(Trip);
+    return Found;
+  }
+
+  bool findThroughImpl(ir::StmtId S, StateId In, StateId Out, ir::Trace &T) {
+    const ir::Stmt &Node = P.stmt(S);
+    switch (Node.Kind) {
+    case ir::StmtKind::Atom: {
+      const ir::Command &Cmd = P.command(Node.Cmd);
+      if (Cmd.Kind == ir::CmdKind::Invoke)
+        return findThrough(P.proc(Cmd.Callee).Body, In, Out, T);
+      if (applyCommand(Node.Cmd, In) != Out)
+        return false;
+      T.push_back(Node.Cmd);
+      return true;
+    }
+    case ir::StmtKind::Seq:
+      return findThroughSeq(Node.Children, 0, Node.Children.size(), In, Out,
+                            T);
+    case ir::StmtKind::Choice: {
+      size_t N = Node.Children.size();
+      for (size_t J = 0; J < N; ++J) {
+        ir::StmtId Child = Node.Children[(J + Rotation) % N];
+        size_t Mark = T.size();
+        if (findThrough(Child, In, Out, T))
+          return true;
+        T.resize(Mark);
+      }
+      return false;
+    }
+    case ir::StmtKind::Star: {
+      StateSet OnPath{In};
+      return starSearch(Node.Children[0], In, Out, OnPath, T);
+    }
+    }
+    return false;
+  }
+
+  /// DFS over the one-iteration successor relation of a star body: finds a
+  /// simple path of states In = s0 -> s1 -> ... -> Out (each step one full
+  /// body execution) and expands each step with findThrough. A witness over
+  /// a simple state path always exists when Out is star-reachable from In,
+  /// because repeated states can be excised from any witness.
+  bool starSearch(ir::StmtId Body, StateId Cur, StateId Out,
+                  StateSet &OnPath, ir::Trace &T) {
+    if (Cur == Out)
+      return true;
+    for (StateId Succ : finalValue(Body, Cur)) {
+      if (contains(OnPath, Succ))
+        continue;
+      size_t Mark = T.size();
+      if (findThrough(Body, Cur, Succ, T)) {
+        addState(OnPath, Succ);
+        if (starSearch(Body, Succ, Out, OnPath, T))
+          return true;
+        // Keep Succ on the path for this search: a different route through
+        // it cannot reach Out either (reachability is route-independent).
+      }
+      T.resize(Mark);
+    }
+    return false;
+  }
+
+  bool findThroughSeq(const std::vector<ir::StmtId> &Children, size_t Begin,
+                      size_t End, StateId In, StateId Out, ir::Trace &T) {
+    if (Begin == End)
+      return In == Out;
+    // Forward-propagate reachable sets to prune the backward choice.
+    std::vector<StateSet> Reach;
+    Reach.push_back({In});
+    for (size_t I = Begin; I < End; ++I) {
+      StateSet Next;
+      for (StateId Id : Reach.back())
+        for (StateId Succ : finalValue(Children[I], Id))
+          addState(Next, Succ);
+      Reach.push_back(std::move(Next));
+    }
+    if (!contains(Reach.back(), Out))
+      return false;
+    return findThroughSeqRec(Children, Begin, End, Reach, Out, T);
+  }
+
+  /// Recurses on the last child of the (sub-)sequence: chooses an
+  /// intermediate state X before it, solves the shorter prefix first (so
+  /// the trace is emitted left-to-right), then expands the last child.
+  /// Backtracks over candidate X on failure.
+  bool findThroughSeqRec(const std::vector<ir::StmtId> &Children,
+                         size_t Begin, size_t End,
+                         const std::vector<StateSet> &Reach, StateId Out,
+                         ir::Trace &T) {
+    size_t N = End - Begin;
+    if (N == 0)
+      return Out == Reach[0][0];
+    ir::StmtId Last = Children[End - 1];
+    for (StateId X : Reach[N - 1]) {
+      if (!contains(finalValue(Last, X), Out))
+        continue;
+      size_t Mark = T.size();
+      if (findThroughSeqRec(Children, Begin, End - 1, Reach, X, T) &&
+          findThrough(Last, X, Out, T))
+        return true;
+      T.resize(Mark);
+    }
+    return false;
+  }
+
+  /// Finds a trace prefix through S from In that ends exactly at CheckCmd
+  /// with incoming state Target.
+  bool findPrefix(ir::StmtId S, StateId In, ir::CommandId CheckCmd,
+                  StateId Target, ir::Trace &T) {
+    std::tuple<uint32_t, StateId, StateId> Trip{S.index(), In, Target};
+    if (PrefixStack.count(Trip))
+      return false;
+    PrefixStack.insert(Trip);
+    bool Found = findPrefixImpl(S, In, CheckCmd, Target, T);
+    PrefixStack.erase(Trip);
+    return Found;
+  }
+
+  bool findPrefixImpl(ir::StmtId S, StateId In, ir::CommandId CheckCmd,
+                      StateId Target, ir::Trace &T) {
+    const ir::Stmt &Node = P.stmt(S);
+    switch (Node.Kind) {
+    case ir::StmtKind::Atom: {
+      const ir::Command &Cmd = P.command(Node.Cmd);
+      if (Node.Cmd == CheckCmd)
+        return In == Target;
+      if (Cmd.Kind == ir::CmdKind::Invoke)
+        return findPrefix(P.proc(Cmd.Callee).Body, In, CheckCmd, Target, T);
+      return false;
+    }
+    case ir::StmtKind::Seq: {
+      // The check lies inside child I; the trace passes fully through
+      // children [0, I) and then a prefix of child I.
+      std::vector<StateSet> Reach;
+      Reach.push_back({In});
+      for (size_t I = 0; I < Node.Children.size(); ++I) {
+        StateSet Next;
+        for (StateId Id : Reach.back())
+          for (StateId Succ : finalValue(Node.Children[I], Id))
+            addState(Next, Succ);
+        Reach.push_back(std::move(Next));
+      }
+      for (size_t I = 0; I < Node.Children.size(); ++I) {
+        for (StateId X : Reach[I]) {
+          size_t Mark = T.size();
+          if (!findThroughSeq(Node.Children, 0, I, In, X, T))
+            continue;
+          if (findPrefix(Node.Children[I], X, CheckCmd, Target, T))
+            return true;
+          T.resize(Mark);
+        }
+      }
+      return false;
+    }
+    case ir::StmtKind::Choice: {
+      size_t N = Node.Children.size();
+      for (size_t J = 0; J < N; ++J) {
+        ir::StmtId Child = Node.Children[(J + Rotation) % N];
+        size_t Mark = T.size();
+        if (findPrefix(Child, In, CheckCmd, Target, T))
+          return true;
+        T.resize(Mark);
+      }
+      return false;
+    }
+    case ir::StmtKind::Star: {
+      // The check occurs within some iteration: reach X via the star, then
+      // take a prefix of the body from X.
+      StateSet Reachable{In};
+      bool Grew = true;
+      while (Grew) {
+        Grew = false;
+        StateSet Snapshot = Reachable;
+        for (StateId Id : Snapshot)
+          for (StateId Succ : finalValue(Node.Children[0], Id))
+            if (!contains(Reachable, Succ)) {
+              addState(Reachable, Succ);
+              Grew = true;
+            }
+      }
+      for (StateId X : Reachable) {
+        size_t Mark = T.size();
+        StateSet OnPath{In};
+        if (starSearch(Node.Children[0], In, X, OnPath, T) &&
+            findPrefix(Node.Children[0], X, CheckCmd, Target, T))
+          return true;
+        T.resize(Mark);
+      }
+      return false;
+    }
+    }
+    return false;
+  }
+
+  const ir::Program &P;
+  const Client &C;
+  Param Prm;
+
+  StateInterner<State, typename Client::StateHash> Interner;
+  StateId InitId = 0;
+
+  std::unordered_map<Key, StateSet> Values;
+  std::unordered_map<Key, StateId> TransferMemo;
+  std::unordered_set<Key> RoundMark;
+  std::unordered_set<Key> OnStack;
+  std::unordered_map<uint32_t, std::unordered_set<StateId>> CheckStates;
+  bool Changed = false;
+
+  std::unordered_set<std::tuple<uint32_t, StateId, StateId>, TripleHash>
+      PrefixStack, ThroughStack;
+  unsigned Rotation = 0;
+
+  mutable ForwardStats Stats;
+};
+
+} // namespace dataflow
+} // namespace optabs
+
+#endif // OPTABS_DATAFLOW_FORWARD_H

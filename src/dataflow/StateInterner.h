@@ -1,0 +1,57 @@
+//===- StateInterner.h - Hash-consing of abstract states -------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns abstract states to dense 32-bit ids so the disjunctive forward
+/// analysis can represent sets of states as sorted id vectors and compare
+/// states by id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_DATAFLOW_STATEINTERNER_H
+#define OPTABS_DATAFLOW_STATEINTERNER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace optabs {
+namespace dataflow {
+
+/// A dense id for an interned abstract state.
+using StateId = uint32_t;
+
+/// Hash-consing table: State -> StateId and back. States must be
+/// equality-comparable; \p HashT hashes them.
+template <typename State, typename HashT> class StateInterner {
+public:
+  StateId intern(const State &S) {
+    auto [It, Inserted] =
+        Index.emplace(S, static_cast<StateId>(States.size()));
+    if (Inserted)
+      States.push_back(S);
+    return It->second;
+  }
+
+  const State &state(StateId Id) const {
+    assert(Id < States.size());
+    return States[Id];
+  }
+
+  size_t size() const { return States.size(); }
+
+private:
+  std::unordered_map<State, StateId, HashT> Index;
+  std::vector<State> States;
+};
+
+} // namespace dataflow
+} // namespace optabs
+
+#endif // OPTABS_DATAFLOW_STATEINTERNER_H

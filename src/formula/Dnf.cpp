@@ -1,0 +1,176 @@
+//===- Dnf.cpp - Literals, cubes and DNF formulas ---------------------------===//
+
+#include "formula/Dnf.h"
+
+#include <algorithm>
+
+namespace optabs {
+namespace formula {
+
+std::optional<Cube> Cube::make(std::vector<Lit> Lits) {
+  std::sort(Lits.begin(), Lits.end());
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  // Complementary literals of one atom are adjacent after sorting.
+  for (size_t I = 0; I + 1 < Lits.size(); ++I)
+    if (Lits[I].atom() == Lits[I + 1].atom())
+      return std::nullopt;
+  Cube C;
+  C.Lits = std::move(Lits);
+  return C;
+}
+
+std::optional<Cube> Cube::conjoin(const Cube &A, const Cube &B) {
+  std::vector<Lit> Merged;
+  Merged.reserve(A.Lits.size() + B.Lits.size());
+  Merged.insert(Merged.end(), A.Lits.begin(), A.Lits.end());
+  Merged.insert(Merged.end(), B.Lits.begin(), B.Lits.end());
+  return make(std::move(Merged));
+}
+
+bool Cube::implies(const Cube &Other) const {
+  // this => Other iff Other's literals are a subset of ours.
+  return std::includes(Lits.begin(), Lits.end(), Other.Lits.begin(),
+                       Other.Lits.end());
+}
+
+void Dnf::sortBySize() {
+  std::sort(Cubes.begin(), Cubes.end(), [](const Cube &A, const Cube &B) {
+    if (A.size() != B.size())
+      return A.size() < B.size();
+    return A.literals() < B.literals();
+  });
+  Cubes.erase(std::unique(Cubes.begin(), Cubes.end()), Cubes.end());
+}
+
+void Dnf::simplify() {
+  std::vector<Cube> Kept;
+  for (Cube &Candidate : Cubes) {
+    bool Subsumed = false;
+    for (const Cube &Earlier : Kept) {
+      if (Candidate.implies(Earlier)) {
+        Subsumed = true;
+        break;
+      }
+    }
+    if (!Subsumed)
+      Kept.push_back(std::move(Candidate));
+  }
+  Cubes = std::move(Kept);
+}
+
+void Dnf::dropK(unsigned K, const AtomEval &Eval) {
+  assert(K >= 1 && "beam width must be at least 1");
+  if (Cubes.size() <= K)
+    return;
+  std::vector<Cube> Kept(Cubes.begin(), Cubes.begin() + (K - 1));
+  bool HaveSatisfied = false;
+  for (const Cube &C : Kept) {
+    if (C.eval(Eval)) {
+      HaveSatisfied = true;
+      break;
+    }
+  }
+  if (!HaveSatisfied) {
+    // Cubes are sorted by size, so the first satisfied one is the shortest.
+    bool Found = false;
+    for (size_t I = K - 1; I < Cubes.size(); ++I) {
+      if (Cubes[I].eval(Eval)) {
+        Kept.push_back(Cubes[I]);
+        Found = true;
+        break;
+      }
+    }
+    assert(Found && "dropK requires the current (p, d) to satisfy the "
+                    "formula (Theorem 3 progress guarantee)");
+    (void)Found;
+  }
+  Cubes = std::move(Kept);
+}
+
+void Dnf::approx(unsigned K, const AtomEval &Eval) {
+  sortBySize();
+  simplify();
+  if (K > 0 && Cubes.size() > K)
+    dropK(K, Eval);
+}
+
+void Dnf::orWith(const Dnf &Other) {
+  Cubes.insert(Cubes.end(), Other.Cubes.begin(), Other.Cubes.end());
+}
+
+Dnf Dnf::product(const Dnf &A, const Dnf &B, size_t SoftCap,
+                 const AtomEval &Eval) {
+  Dnf Result;
+  for (const Cube &CA : A.Cubes) {
+    for (const Cube &CB : B.Cubes) {
+      if (auto C = Cube::conjoin(CA, CB))
+        Result.Cubes.push_back(std::move(*C));
+    }
+  }
+  if (SoftCap > 0 && Result.Cubes.size() > SoftCap) {
+    // Sound mid-product pruning: keep the cap's worth of shortest cubes,
+    // preferring a satisfied cube when one exists so the progress invariant
+    // can be maintained downstream. Unlike dropK, no satisfied cube need
+    // exist here: the product of a single source cube's substitution may
+    // well be unsatisfied under the current (p, d) even though the overall
+    // formula is satisfied.
+    Result.sortBySize();
+    Result.simplify();
+    if (Result.Cubes.size() > SoftCap) {
+      std::vector<Cube> Kept(Result.Cubes.begin(),
+                             Result.Cubes.begin() + (SoftCap - 1));
+      bool HaveSatisfied = false;
+      for (const Cube &C : Kept) {
+        if (C.eval(Eval)) {
+          HaveSatisfied = true;
+          break;
+        }
+      }
+      size_t Extra = SoftCap - 1;
+      for (size_t I = SoftCap - 1; !HaveSatisfied && I < Result.Cubes.size();
+           ++I) {
+        if (Result.Cubes[I].eval(Eval)) {
+          Extra = I;
+          HaveSatisfied = true;
+        }
+      }
+      Kept.push_back(Result.Cubes[Extra]);
+      Result.Cubes = std::move(Kept);
+    }
+  }
+  return Result;
+}
+
+std::string Dnf::toString(
+    const std::function<std::string(AtomId)> &AtomName) const {
+  if (isFalse())
+    return "false";
+  if (isTrue())
+    return "true";
+  std::string S;
+  for (size_t I = 0; I < Cubes.size(); ++I) {
+    if (I > 0)
+      S += " \\/ ";
+    const Cube &C = Cubes[I];
+    if (C.isTrue()) {
+      S += "true";
+      continue;
+    }
+    if (C.size() > 1 && Cubes.size() > 1)
+      S += "(";
+    for (size_t J = 0; J < C.size(); ++J) {
+      if (J > 0)
+        S += " /\\ ";
+      Lit L = C.literals()[J];
+      if (L.isNeg())
+        S += "!";
+      S += AtomName(L.atom());
+    }
+    if (C.size() > 1 && Cubes.size() > 1)
+      S += ")";
+  }
+  return S;
+}
+
+} // namespace formula
+} // namespace optabs

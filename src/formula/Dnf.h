@@ -1,0 +1,179 @@
+//===- Dnf.h - Literals, cubes and DNF formulas ----------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DNF machinery of §4.1 and Figure 8. Meta-analysis states are boolean
+/// formulas over client-defined primitive atoms; the generic
+/// under-approximation operator keeps them in disjunctive normal form:
+///
+///   toDNF(f)      converts to DNF and sorts disjuncts by size,
+///   simplify(f)   drops disjuncts subsumed by earlier (shorter) ones,
+///   dropk(p,d,f)  keeps the first k-1 disjuncts plus the shortest disjunct
+///                 containing the current (p, d) - a beam search.
+///
+/// Atoms are opaque 32-bit ids whose meaning (the gamma function of the
+/// paper) is supplied by the client analysis through evaluation callbacks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_FORMULA_DNF_H
+#define OPTABS_FORMULA_DNF_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace optabs {
+namespace formula {
+
+/// An opaque primitive-formula identifier. Clients pack their own structure
+/// (e.g. "var x in must-alias set", "p maps h to L") into the 32 bits.
+using AtomId = uint32_t;
+
+/// Evaluates the truth of an atom in a concrete pair (p, d). Used by dropk
+/// and by projection of final formulas onto the parameter component.
+using AtomEval = std::function<bool(AtomId)>;
+
+/// A literal: an atom or its negation.
+class Lit {
+public:
+  Lit() : Bits(UINT32_MAX) {}
+  static Lit pos(AtomId A) { return Lit(A << 1); }
+  static Lit neg(AtomId A) { return Lit((A << 1) | 1); }
+
+  AtomId atom() const { return Bits >> 1; }
+  bool isNeg() const { return Bits & 1; }
+  Lit negate() const { return Lit(Bits ^ 1); }
+
+  bool eval(const AtomEval &Eval) const { return Eval(atom()) != isNeg(); }
+
+  friend bool operator==(Lit A, Lit B) { return A.Bits == B.Bits; }
+  friend bool operator!=(Lit A, Lit B) { return A.Bits != B.Bits; }
+  friend bool operator<(Lit A, Lit B) { return A.Bits < B.Bits; }
+
+  uint32_t raw() const { return Bits; }
+
+private:
+  explicit Lit(uint32_t Bits) : Bits(Bits) {}
+  uint32_t Bits;
+};
+
+/// A conjunction of literals, stored sorted and duplicate-free. The empty
+/// cube is `true`. Contradictory literal sets (a and !a) are rejected at
+/// construction time (make returns nullopt), so every Cube is satisfiable
+/// at the propositional level.
+class Cube {
+public:
+  Cube() = default;
+
+  /// Normalizes \p Lits; returns nullopt if they contain a and !a.
+  static std::optional<Cube> make(std::vector<Lit> Lits);
+
+  /// Conjunction of two cubes; nullopt if contradictory.
+  static std::optional<Cube> conjoin(const Cube &A, const Cube &B);
+
+  size_t size() const { return Lits.size(); }
+  bool isTrue() const { return Lits.empty(); }
+  const std::vector<Lit> &literals() const { return Lits; }
+
+  /// Entailment this => Other: every literal of Other occurs in this.
+  /// (The paper's fast, incomplete syntactic subsumption check.)
+  bool implies(const Cube &Other) const;
+
+  bool eval(const AtomEval &Eval) const {
+    for (Lit L : Lits)
+      if (!L.eval(Eval))
+        return false;
+    return true;
+  }
+
+  friend bool operator==(const Cube &A, const Cube &B) {
+    return A.Lits == B.Lits;
+  }
+
+private:
+  std::vector<Lit> Lits;
+};
+
+/// A disjunction of cubes. No cubes = `false`; a lone empty cube = `true`.
+class Dnf {
+public:
+  Dnf() = default;
+
+  static Dnf constFalse() { return Dnf(); }
+  static Dnf constTrue() {
+    Dnf D;
+    D.Cubes.push_back(Cube());
+    return D;
+  }
+  static Dnf singleLit(Lit L) {
+    Dnf D;
+    D.Cubes.push_back(*Cube::make({L}));
+    return D;
+  }
+  static Dnf fromCubes(std::vector<Cube> Cubes) {
+    Dnf D;
+    D.Cubes = std::move(Cubes);
+    return D;
+  }
+
+  bool isFalse() const { return Cubes.empty(); }
+  bool isTrue() const { return Cubes.size() == 1 && Cubes[0].isTrue(); }
+  size_t size() const { return Cubes.size(); }
+  const std::vector<Cube> &cubes() const { return Cubes; }
+
+  bool eval(const AtomEval &Eval) const {
+    for (const Cube &C : Cubes)
+      if (C.eval(Eval))
+        return true;
+    return false;
+  }
+
+  /// Sorts disjuncts by size (shortest first), ties broken by literal order
+  /// for determinism. This is the ordering assumed by simplify and dropk.
+  void sortBySize();
+
+  /// Figure 8 simplify: removes disjunct i when some earlier disjunct j < i
+  /// implies it. Assumes sortBySize() was applied; keeps the order.
+  void simplify();
+
+  /// Figure 8 dropk: under-approximates to at most K disjuncts, keeping the
+  /// first K-1 plus (if not already kept) the shortest disjunct satisfied
+  /// under \p Eval, which encodes the current pair (p, d). Requires the
+  /// formula to be satisfied under Eval (Theorem 3's progress guarantee);
+  /// asserts otherwise.
+  void dropK(unsigned K, const AtomEval &Eval);
+
+  /// The full approx operator of §4.1: sortBySize + simplify, then dropK
+  /// only when more than K disjuncts remain. K = 0 means "no bound".
+  void approx(unsigned K, const AtomEval &Eval);
+
+  /// Disjunction (concatenates cube lists; call approx/simplify after).
+  void orWith(const Dnf &Other);
+
+  /// Distributes (this AND Other) into DNF. \p SoftCap bounds the number of
+  /// result cubes before pruning: when exceeded, cubes satisfied under
+  /// \p Eval and the shortest remaining cubes are preferred (a sound
+  /// under-approximation in the sense of the approx operator). SoftCap = 0
+  /// means unbounded.
+  static Dnf product(const Dnf &A, const Dnf &B, size_t SoftCap,
+                     const AtomEval &Eval);
+
+  std::string toString(
+      const std::function<std::string(AtomId)> &AtomName) const;
+
+private:
+  std::vector<Cube> Cubes;
+};
+
+} // namespace formula
+} // namespace optabs
+
+#endif // OPTABS_FORMULA_DNF_H

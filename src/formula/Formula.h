@@ -1,0 +1,78 @@
+//===- Formula.h - Boolean formula trees -----------------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable boolean formula trees over primitive atoms (§4.1's domain M).
+/// Client backward transfer functions build the weakest precondition of a
+/// single literal as a Formula; the generic meta-analysis substitutes these
+/// trees into the current DNF and renormalizes. Construction applies
+/// peephole simplifications (constant folding, negation pushing), so trees
+/// stay close to NNF.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_FORMULA_FORMULA_H
+#define OPTABS_FORMULA_FORMULA_H
+
+#include "formula/Dnf.h"
+
+#include <memory>
+#include <vector>
+
+namespace optabs {
+namespace formula {
+
+/// An immutable formula tree node handle. Copying is cheap (shared nodes).
+class Formula {
+public:
+  enum class Kind : uint8_t { True, False, Literal, And, Or };
+
+  /// Constructs `true` (the default).
+  Formula();
+
+  static Formula constant(bool B);
+  static Formula lit(Lit L);
+  static Formula atom(AtomId A) { return lit(Lit::pos(A)); }
+  static Formula negAtom(AtomId A) { return lit(Lit::neg(A)); }
+  static Formula conj(std::vector<Formula> Fs);
+  static Formula disj(std::vector<Formula> Fs);
+  /// Negation; pushed inward eagerly (De Morgan), so no Not nodes exist.
+  static Formula negate(const Formula &F);
+  /// if C then T else E, i.e. (C and T) or (!C and E).
+  static Formula ite(const Formula &C, const Formula &T, const Formula &E);
+
+  Kind kind() const;
+  Lit literal() const;
+  const std::vector<Formula> &children() const;
+
+  bool isTrue() const { return kind() == Kind::True; }
+  bool isFalse() const { return kind() == Kind::False; }
+
+  /// Evaluates under an atom assignment.
+  bool eval(const AtomEval &Eval) const;
+
+  /// Exact conversion to DNF (no pruning). Intended for small formulas such
+  /// as per-literal weakest preconditions; the meta-analysis applies budgets
+  /// at the substitution level instead.
+  Dnf toDnf() const;
+
+  std::string toString(
+      const std::function<std::string(AtomId)> &AtomName) const;
+
+  /// Implementation detail, public only so that file-local helpers in the
+  /// implementation can allocate nodes.
+  struct Node;
+
+private:
+  explicit Formula(std::shared_ptr<const Node> N);
+  std::shared_ptr<const Node> N;
+};
+
+} // namespace formula
+} // namespace optabs
+
+#endif // OPTABS_FORMULA_FORMULA_H

@@ -1,0 +1,187 @@
+//===- Normalize.cpp - Semantic DNF normalization ----------------------------===//
+
+#include "formula/Normalize.h"
+
+#include <algorithm>
+#include <map>
+
+namespace optabs {
+namespace formula {
+
+std::optional<Cube> refineCubeByLocations(const Cube &C,
+                                          const LocationFn &Loc) {
+  // Group the cube's literals by location (identified by the sorted value
+  // list's first atom, which is stable per location).
+  struct Group {
+    LocationInfo Info;
+    std::vector<Lit> Present;
+  };
+  std::map<AtomId, Group> Groups;
+  std::vector<Lit> Independent;
+  for (Lit L : C.literals()) {
+    auto Info = Loc(L.atom());
+    if (!Info) {
+      Independent.push_back(L);
+      continue;
+    }
+    assert(!Info->Values.empty());
+    AtomId Key = *std::min_element(Info->Values.begin(), Info->Values.end());
+    auto &G = Groups[Key];
+    if (G.Present.empty())
+      G.Info = std::move(*Info);
+    G.Present.push_back(L);
+  }
+
+  std::vector<Lit> Result = std::move(Independent);
+  for (auto &[Key, G] : Groups) {
+    (void)Key;
+    std::vector<AtomId> Positive;
+    std::vector<AtomId> Negative;
+    for (Lit L : G.Present)
+      (L.isNeg() ? Negative : Positive).push_back(L.atom());
+
+    std::sort(Positive.begin(), Positive.end());
+    Positive.erase(std::unique(Positive.begin(), Positive.end()),
+                   Positive.end());
+    if (Positive.size() > 1)
+      return std::nullopt; // two distinct values of one location
+    if (Positive.size() == 1) {
+      // Any negative literal of the same location is implied (different
+      // value) or contradictory (same value, impossible here since Cube
+      // construction rejects complementary pairs).
+      Result.push_back(Lit::pos(Positive[0]));
+      continue;
+    }
+    // Negatives only.
+    std::sort(Negative.begin(), Negative.end());
+    Negative.erase(std::unique(Negative.begin(), Negative.end()),
+                   Negative.end());
+    if (G.Info.Exhaustive) {
+      std::vector<AtomId> Remaining;
+      for (AtomId V : G.Info.Values)
+        if (!std::binary_search(Negative.begin(), Negative.end(), V))
+          Remaining.push_back(V);
+      if (Remaining.empty())
+        return std::nullopt; // no value left for this location
+      if (Remaining.size() == 1) {
+        Result.push_back(Lit::pos(Remaining[0]));
+        continue;
+      }
+    }
+    for (AtomId V : Negative)
+      Result.push_back(Lit::neg(V));
+  }
+  return Cube::make(std::move(Result));
+}
+
+namespace {
+
+/// One round of complementary-literal and value-complete merging. Returns
+/// true if anything changed.
+bool mergeRound(std::vector<Cube> &Cubes, const LocationFn &Loc) {
+  // Index cubes by their literal vectors for O(log n) membership tests.
+  auto Find = [&](const std::vector<Lit> &Lits) -> int {
+    for (size_t I = 0; I < Cubes.size(); ++I)
+      if (Cubes[I].literals() == Lits)
+        return static_cast<int>(I);
+    return -1;
+  };
+  auto Without = [](const Cube &C, Lit L) {
+    std::vector<Lit> Lits;
+    for (Lit X : C.literals())
+      if (X != L)
+        Lits.push_back(X);
+    return Lits;
+  };
+  auto WithExtra = [](std::vector<Lit> Base, Lit L) {
+    auto It = std::lower_bound(Base.begin(), Base.end(), L);
+    Base.insert(It, L);
+    return Base;
+  };
+
+  for (size_t I = 0; I < Cubes.size(); ++I) {
+    for (Lit L : Cubes[I].literals()) {
+      std::vector<Lit> Rest = Without(Cubes[I], L);
+
+      // Complementary merge: X u {l} and X u {!l} -> X.
+      int Partner = Find(WithExtra(Rest, L.negate()));
+      if (Partner >= 0 && Partner != static_cast<int>(I)) {
+        Cube Merged = *Cube::make(Rest);
+        size_t A = std::min(I, static_cast<size_t>(Partner));
+        size_t B = std::max(I, static_cast<size_t>(Partner));
+        Cubes.erase(Cubes.begin() + B);
+        Cubes[A] = std::move(Merged);
+        return true;
+      }
+
+      // Value-complete merge: X u {a_i} present for every value of an
+      // exhaustive location -> X.
+      if (L.isNeg())
+        continue;
+      auto Info = Loc(L.atom());
+      if (!Info || !Info->Exhaustive || Info->Values.size() < 2)
+        continue;
+      std::vector<size_t> Members;
+      bool Complete = true;
+      for (AtomId V : Info->Values) {
+        int At = Find(WithExtra(Rest, Lit::pos(V)));
+        if (At < 0) {
+          Complete = false;
+          break;
+        }
+        Members.push_back(static_cast<size_t>(At));
+      }
+      if (!Complete)
+        continue;
+      std::sort(Members.begin(), Members.end());
+      Members.erase(std::unique(Members.begin(), Members.end()),
+                    Members.end());
+      Cube Merged = *Cube::make(Rest);
+      for (size_t J = Members.size(); J-- > 0;)
+        Cubes.erase(Cubes.begin() + Members[J]);
+      Cubes.push_back(std::move(Merged));
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+void semanticNormalize(Dnf &D, const CubeRefiner &Refine,
+                       const LocationFn &Loc) {
+  std::vector<Cube> Cubes;
+  for (const Cube &C : D.cubes()) {
+    if (!Refine) {
+      Cubes.push_back(C);
+      continue;
+    }
+    if (auto R = Refine(C))
+      Cubes.push_back(std::move(*R));
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Subsumption first keeps the candidate set small for merging.
+    Dnf Tmp = Dnf::fromCubes(std::move(Cubes));
+    Tmp.sortBySize();
+    Tmp.simplify();
+    Cubes.assign(Tmp.cubes().begin(), Tmp.cubes().end());
+
+    if (Loc && mergeRound(Cubes, Loc)) {
+      Changed = true;
+      continue;
+    }
+    // Complementary merging alone (no location info).
+    if (!Loc) {
+      LocationFn None = [](AtomId) { return std::nullopt; };
+      if (mergeRound(Cubes, None))
+        Changed = true;
+    }
+  }
+  D = Dnf::fromCubes(std::move(Cubes));
+}
+
+} // namespace formula
+} // namespace optabs

@@ -1,0 +1,77 @@
+//===- Normalize.h - Semantic DNF normalization ----------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic normalization of DNF formulas using client knowledge about the
+/// atoms. The paper's hand-written backward transfer functions (Figures 10
+/// and 11) are compact because they bake in facts like "a variable holds
+/// exactly one of N/L/E"; a mechanical weakest-precondition construction
+/// instead yields propositionally fragmented cubes such as
+///
+///   (v.N /\ u.E) \/ (v.E /\ u.E) \/ (v.L /\ u.E)      ==  u.E
+///
+/// that purely syntactic simplification cannot re-merge. This header
+/// provides the semantic rules that recover the compact forms (§8 of the
+/// paper calls for exactly such a "generic semantics-preserving
+/// simplification process"):
+///
+///  * exclusivity refinement - inside a cube, two distinct positive values
+///    of one location are contradictory; a positive value makes negative
+///    literals of the same location redundant; for exhaustive locations,
+///    negatives covering all but one value are replaced by the remaining
+///    positive;
+///  * complementary merge - cubes X u {l} and X u {!l} merge to X;
+///  * value-complete merge - for an exhaustive location, cubes X u {a_i}
+///    for every value a_i of the location merge to X;
+///  * subsumption, re-run after each merge round.
+///
+/// All rules are semantics-preserving (they neither grow nor shrink the
+/// meaning), so Theorem 3's invariants are unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_FORMULA_NORMALIZE_H
+#define OPTABS_FORMULA_NORMALIZE_H
+
+#include "formula/Dnf.h"
+
+namespace optabs {
+namespace formula {
+
+/// Client-declared semantics of an atom that belongs to a multi-valued
+/// location (e.g. "variable u holds N, L or E" makes u.N/u.L/u.E one
+/// location with three values).
+struct LocationInfo {
+  /// All value atoms of the location, including the queried one.
+  std::vector<AtomId> Values;
+  /// True when exactly one value holds in every state (vs. at most one).
+  bool Exhaustive = true;
+};
+
+/// Returns the location of an atom, or nullopt for independent atoms.
+using LocationFn = std::function<std::optional<LocationInfo>(AtomId)>;
+
+/// Client-specific cube refinement: returns the semantically simplified
+/// cube, or nullopt when the cube is unsatisfiable. Must preserve meaning.
+using CubeRefiner = std::function<std::optional<Cube>(const Cube &)>;
+
+/// Generic exclusivity-based refinement driven by location info alone;
+/// suitable as a client's CubeRefiner when locations fully describe the
+/// atom semantics.
+std::optional<Cube> refineCubeByLocations(const Cube &C,
+                                          const LocationFn &Loc);
+
+/// Applies refinement and the merge rules to a fixpoint. Either argument
+/// may be null (no client knowledge of that kind); the complementary merge
+/// and subsumption always run.
+void semanticNormalize(Dnf &D, const CubeRefiner &Refine,
+                       const LocationFn &Loc);
+
+} // namespace formula
+} // namespace optabs
+
+#endif // OPTABS_FORMULA_NORMALIZE_H

@@ -1,0 +1,70 @@
+//===- Command.h - Atomic commands of the mini-IR --------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic commands of the paper's imperative language (§3.1). The command
+/// set is the union of what the two client analyses consume: the type-state
+/// analysis interprets New/Copy/Null/MethodCall (Fig. 4) and the
+/// thread-escape analysis interprets New/Copy/Null/LoadGlobal/StoreGlobal/
+/// LoadField/StoreField (Fig. 5). Invoke transfers control to a procedure
+/// (handled by the interprocedural engine, not by client transfer
+/// functions), and Check anchors a query at a program point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_IR_COMMAND_H
+#define OPTABS_IR_COMMAND_H
+
+#include "ir/Ids.h"
+
+#include <cstdint>
+
+namespace optabs {
+namespace ir {
+
+enum class CmdKind : uint8_t {
+  Assume,      ///< assume(*): no-op for both clients.
+  New,         ///< Dst = new Alloc
+  Copy,        ///< Dst = Src
+  Null,        ///< Dst = null
+  LoadGlobal,  ///< Dst = Global
+  StoreGlobal, ///< Global = Src
+  LoadField,   ///< Dst = Src.Field
+  StoreField,  ///< Dst.Field = Src
+  MethodCall,  ///< Dst.Method()
+  Invoke,      ///< call Callee()
+  Check,       ///< query anchor; identity transfer for all clients
+};
+
+/// One atomic command. A plain aggregate: which members are meaningful
+/// depends on Kind (see CmdKind). Commands live in the Program's pool and
+/// are referred to by CommandId.
+struct Command {
+  CmdKind Kind = CmdKind::Assume;
+  VarId Dst;       ///< New/Copy/Null/LoadGlobal/LoadField/StoreField(base)/
+                   ///< MethodCall(receiver)/Check(queried variable)
+  VarId Src;       ///< Copy/StoreGlobal/LoadField(base)/StoreField(value)
+  GlobalId Global; ///< LoadGlobal/StoreGlobal
+  FieldId Field;   ///< LoadField/StoreField
+  AllocId Alloc;   ///< New
+  MethodId Method; ///< MethodCall
+  ProcId Callee;   ///< Invoke
+  CheckId Check;   ///< Check
+};
+
+/// Returns true if the command is interpreted by client transfer functions
+/// (i.e. everything except Invoke, which the interprocedural engine expands,
+/// and which therefore never appears in extracted traces).
+inline bool isClientCommand(CmdKind K) { return K != CmdKind::Invoke; }
+
+/// Returns a short mnemonic for diagnostics ("new", "copy", ...).
+const char *cmdKindName(CmdKind K);
+
+} // namespace ir
+} // namespace optabs
+
+#endif // OPTABS_IR_COMMAND_H

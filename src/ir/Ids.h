@@ -1,0 +1,86 @@
+//===- Ids.h - Strongly-typed dense identifiers ----------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer identifiers for the entities of the mini-IR: local
+/// variables, global variables, object fields, allocation sites, type-state
+/// methods, procedures, statements, atomic commands, and check (query)
+/// sites. Each kind gets its own type so they cannot be mixed up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_IR_IDS_H
+#define OPTABS_IR_IDS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace optabs {
+namespace ir {
+
+/// A strongly-typed wrapper around a dense 32-bit index. The default value
+/// is invalid; valid ids are handed out by the Program's interners.
+template <typename Tag> struct Id {
+  uint32_t Value = UINT32_MAX;
+
+  Id() = default;
+  explicit Id(uint32_t V) : Value(V) {}
+
+  bool isValid() const { return Value != UINT32_MAX; }
+  uint32_t index() const { return Value; }
+
+  friend bool operator==(Id A, Id B) { return A.Value == B.Value; }
+  friend bool operator!=(Id A, Id B) { return A.Value != B.Value; }
+  friend bool operator<(Id A, Id B) { return A.Value < B.Value; }
+};
+
+struct VarTag {};
+struct GlobalTag {};
+struct FieldTag {};
+struct AllocTag {};
+struct MethodTag {};
+struct ProcTag {};
+struct StmtTag {};
+struct CommandTag {};
+struct CheckTag {};
+struct SymbolTag {};
+
+/// A local (pointer-typed) variable. Type-state abstractions are subsets of
+/// these.
+using VarId = Id<VarTag>;
+/// A global variable (thread-shared root in the escape analysis).
+using GlobalId = Id<GlobalTag>;
+/// An instance field.
+using FieldId = Id<FieldTag>;
+/// An object allocation site. Thread-escape abstractions map these to L/E.
+using AllocId = Id<AllocTag>;
+/// A type-state method name (e.g. open/close), interpreted by an automaton.
+using MethodId = Id<MethodTag>;
+/// A procedure.
+using ProcId = Id<ProcTag>;
+/// A statement AST node.
+using StmtId = Id<StmtTag>;
+/// An atomic command.
+using CommandId = Id<CommandTag>;
+/// A check (query) site.
+using CheckId = Id<CheckTag>;
+/// A client-interpreted symbol (e.g. the allowed type-state of a check).
+using SymbolId = Id<SymbolTag>;
+
+} // namespace ir
+} // namespace optabs
+
+namespace std {
+template <typename Tag> struct hash<optabs::ir::Id<Tag>> {
+  size_t operator()(optabs::ir::Id<Tag> I) const {
+    return std::hash<uint32_t>()(I.Value);
+  }
+};
+} // namespace std
+
+#endif // OPTABS_IR_IDS_H

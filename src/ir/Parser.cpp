@@ -1,0 +1,387 @@
+//===- Parser.cpp - Textual frontend for the mini-IR -----------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace optabs {
+namespace ir {
+
+namespace {
+
+enum class TokKind : uint8_t {
+  Ident,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Dot,
+  Equals,
+  Star,
+  Eof,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  unsigned Line = 0;
+};
+
+/// A single-pass lexer + recursive-descent parser. Errors are reported by
+/// setting Failed/Error and unwinding through early returns.
+class ParserImpl {
+public:
+  ParserImpl(const std::string &Source, Program &P, std::string &Error)
+      : Source(Source), P(P), Error(Error) {
+    advance();
+  }
+
+  bool run() {
+    while (!Failed && Cur.Kind != TokKind::Eof)
+      parseDecl();
+    if (Failed)
+      return false;
+    // Every referenced procedure must have been defined.
+    for (uint32_t I = 0; I < P.numProcs(); ++I) {
+      if (!P.proc(ProcId(I)).Body.isValid())
+        return fail(0, "procedure '" + P.proc(ProcId(I)).Name +
+                           "' referenced but never defined");
+    }
+    ProcId Main = P.findProc("main");
+    if (!Main.isValid())
+      return fail(0, "program has no 'proc main'");
+    P.setMain(Main);
+    return true;
+  }
+
+private:
+  //===---------------------------- Lexer --------------------------------===
+
+  void advance() {
+    // Skip whitespace and // comments.
+    while (Pos < Source.size()) {
+      char C = Source[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < Source.size() &&
+                 Source[Pos + 1] == '/') {
+        while (Pos < Source.size() && Source[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    Cur.Line = Line;
+    Cur.Text.clear();
+    if (Pos >= Source.size()) {
+      Cur.Kind = TokKind::Eof;
+      return;
+    }
+    char C = Source[Pos];
+    auto Single = [&](TokKind K) {
+      Cur.Kind = K;
+      Cur.Text = C;
+      ++Pos;
+    };
+    switch (C) {
+    case '{':
+      return Single(TokKind::LBrace);
+    case '}':
+      return Single(TokKind::RBrace);
+    case '(':
+      return Single(TokKind::LParen);
+    case ')':
+      return Single(TokKind::RParen);
+    case ';':
+      return Single(TokKind::Semi);
+    case ',':
+      return Single(TokKind::Comma);
+    case '.':
+      return Single(TokKind::Dot);
+    case '=':
+      return Single(TokKind::Equals);
+    case '*':
+      return Single(TokKind::Star);
+    default:
+      break;
+    }
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$') {
+      size_t Start = Pos;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '_' || Source[Pos] == '$'))
+        ++Pos;
+      Cur.Kind = TokKind::Ident;
+      Cur.Text = Source.substr(Start, Pos - Start);
+      return;
+    }
+    Cur.Kind = TokKind::Eof;
+    fail(Line, std::string("unexpected character '") + C + "'");
+  }
+
+  bool fail(unsigned AtLine, const std::string &Msg) {
+    if (!Failed) {
+      Failed = true;
+      Error = "line " + std::to_string(AtLine) + ": " + Msg;
+    }
+    return false;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (Failed)
+      return false;
+    if (Cur.Kind != K)
+      return fail(Cur.Line, std::string("expected ") + What + ", found '" +
+                                (Cur.Kind == TokKind::Eof ? "<eof>"
+                                                          : Cur.Text) +
+                                "'");
+    advance();
+    return true;
+  }
+
+  /// Consumes and returns an identifier token's text.
+  std::string expectIdent(const char *What) {
+    if (Failed)
+      return "";
+    if (Cur.Kind != TokKind::Ident) {
+      fail(Cur.Line, std::string("expected ") + What);
+      return "";
+    }
+    std::string Text = Cur.Text;
+    advance();
+    return Text;
+  }
+
+  bool isIdent(const char *Text) const {
+    return Cur.Kind == TokKind::Ident && Cur.Text == Text;
+  }
+
+  //===---------------------------- Parser -------------------------------===
+
+  void parseDecl() {
+    if (isIdent("global")) {
+      advance();
+      std::string Name = expectIdent("global variable name");
+      if (Failed)
+        return;
+      P.makeGlobal(Name);
+      expect(TokKind::Semi, "';'");
+      return;
+    }
+    if (isIdent("proc")) {
+      advance();
+      std::string Name = expectIdent("procedure name");
+      if (Failed)
+        return;
+      ProcId Proc = P.makeProc(Name);
+      if (P.proc(Proc).Body.isValid()) {
+        fail(Cur.Line, "procedure '" + Name + "' redefined");
+        return;
+      }
+      CurProc = Proc;
+      if (!expect(TokKind::LBrace, "'{'"))
+        return;
+      StmtId Body = parseStmts();
+      if (Failed)
+        return;
+      expect(TokKind::RBrace, "'}'");
+      P.setProcBody(Proc, Body);
+      return;
+    }
+    fail(Cur.Line, "expected 'global' or 'proc' declaration");
+  }
+
+  /// Parses statements up to the next '}' (not consumed) and returns the
+  /// sequence statement.
+  StmtId parseStmts() {
+    std::vector<StmtId> Children;
+    while (!Failed && Cur.Kind != TokKind::RBrace &&
+           Cur.Kind != TokKind::Eof) {
+      StmtId S = parseStmt();
+      if (Failed)
+        break;
+      Children.push_back(S);
+    }
+    return P.stmtSeq(std::move(Children));
+  }
+
+  StmtId parseBlock() {
+    if (!expect(TokKind::LBrace, "'{'"))
+      return StmtId();
+    StmtId S = parseStmts();
+    expect(TokKind::RBrace, "'}'");
+    return S;
+  }
+
+  StmtId parseStmt() {
+    if (isIdent("if")) {
+      advance();
+      StmtId Then = parseBlock();
+      StmtId Else = P.stmtSkip();
+      if (isIdent("else")) {
+        advance();
+        Else = parseBlock();
+      }
+      return P.stmtChoice({Then, Else});
+    }
+    if (isIdent("choice")) {
+      advance();
+      std::vector<StmtId> Branches;
+      Branches.push_back(parseBlock());
+      while (!Failed && isIdent("or")) {
+        advance();
+        Branches.push_back(parseBlock());
+      }
+      return P.stmtChoice(std::move(Branches));
+    }
+    if (isIdent("loop")) {
+      advance();
+      return P.stmtStar(parseBlock());
+    }
+    StmtId S = parseAtom();
+    expect(TokKind::Semi, "';'");
+    return S;
+  }
+
+  /// Interns \p Name as a local variable, rejecting clashes with globals.
+  VarId localVar(const std::string &Name, unsigned AtLine) {
+    if (P.findGlobal(Name).isValid()) {
+      fail(AtLine, "global '" + Name + "' used where a local is required");
+      return VarId();
+    }
+    return P.makeVar(Name);
+  }
+
+  StmtId parseAtom() {
+    unsigned AtLine = Cur.Line;
+    if (isIdent("assume")) {
+      advance();
+      expect(TokKind::LParen, "'('");
+      expect(TokKind::Star, "'*'");
+      expect(TokKind::RParen, "')'");
+      return P.stmtAtom(P.cmdAssume());
+    }
+    if (isIdent("call")) {
+      advance();
+      std::string Callee = expectIdent("procedure name");
+      if (Failed)
+        return StmtId();
+      return P.stmtAtom(P.cmdInvoke(P.makeProc(Callee)));
+    }
+    if (isIdent("check")) {
+      advance();
+      expect(TokKind::LParen, "'('");
+      std::string Var = expectIdent("variable");
+      SymbolId Payload;
+      if (Cur.Kind == TokKind::Comma) {
+        advance();
+        std::string Sym = expectIdent("check payload");
+        if (!Failed)
+          Payload = P.makeSymbol(Sym);
+      }
+      expect(TokKind::RParen, "')'");
+      if (Failed)
+        return StmtId();
+      return P.stmtAtom(P.cmdCheck(localVar(Var, AtLine), Payload, CurProc));
+    }
+
+    // Remaining forms start with an identifier: assignments, field ops,
+    // method calls.
+    std::string First = expectIdent("statement");
+    if (Failed)
+      return StmtId();
+
+    if (Cur.Kind == TokKind::Dot) {
+      advance();
+      std::string Member = expectIdent("field or method name");
+      if (Failed)
+        return StmtId();
+      if (Cur.Kind == TokKind::LParen) {
+        // v.m()
+        advance();
+        expect(TokKind::RParen, "')'");
+        return P.stmtAtom(
+            P.cmdMethodCall(localVar(First, AtLine), P.makeMethod(Member)));
+      }
+      // v.f = w
+      expect(TokKind::Equals, "'='");
+      std::string Rhs = expectIdent("variable");
+      if (Failed)
+        return StmtId();
+      return P.stmtAtom(P.cmdStoreField(localVar(First, AtLine),
+                                        P.makeField(Member),
+                                        localVar(Rhs, AtLine)));
+    }
+
+    if (!expect(TokKind::Equals, "'=' or '.'"))
+      return StmtId();
+
+    // g = v (store to a declared global).
+    GlobalId G = P.findGlobal(First);
+    if (G.isValid()) {
+      std::string Rhs = expectIdent("variable");
+      if (Failed)
+        return StmtId();
+      return P.stmtAtom(P.cmdStoreGlobal(G, localVar(Rhs, AtLine)));
+    }
+
+    VarId Dst = localVar(First, AtLine);
+    if (Failed)
+      return StmtId();
+
+    if (isIdent("new")) {
+      advance();
+      std::string Site = expectIdent("allocation site name");
+      if (Failed)
+        return StmtId();
+      return P.stmtAtom(P.cmdNew(Dst, P.makeAlloc(Site)));
+    }
+    if (isIdent("null")) {
+      advance();
+      return P.stmtAtom(P.cmdNull(Dst));
+    }
+
+    std::string Rhs = expectIdent("right-hand side");
+    if (Failed)
+      return StmtId();
+    if (Cur.Kind == TokKind::Dot) {
+      // v = w.f
+      advance();
+      std::string Field = expectIdent("field name");
+      if (Failed)
+        return StmtId();
+      return P.stmtAtom(
+          P.cmdLoadField(Dst, localVar(Rhs, AtLine), P.makeField(Field)));
+    }
+    // v = g (load of a declared global) or v = w (copy).
+    GlobalId SrcG = P.findGlobal(Rhs);
+    if (SrcG.isValid())
+      return P.stmtAtom(P.cmdLoadGlobal(Dst, SrcG));
+    return P.stmtAtom(P.cmdCopy(Dst, localVar(Rhs, AtLine)));
+  }
+
+  const std::string &Source;
+  Program &P;
+  std::string &Error;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  Token Cur;
+  ProcId CurProc;
+  bool Failed = false;
+};
+
+} // namespace
+
+bool parseProgram(const std::string &Source, Program &P, std::string &Error) {
+  assert(P.numProcs() == 0 && "parse into an empty program");
+  return ParserImpl(Source, P, Error).run();
+}
+
+} // namespace ir
+} // namespace optabs

@@ -1,0 +1,54 @@
+//===- Parser.h - Textual frontend for the mini-IR -------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual form of the mini-IR. The concrete syntax:
+///
+/// \code
+///   global g;                       // globals must be declared up front
+///   proc main {
+///     x = new h1;                   // allocation (site named h1)
+///     y = x;                        // copy
+///     z = null;
+///     if { z = x; } else { }       // nondeterministic branch (choice)
+///     choice { x.open(); } or { }  // n-way choice
+///     loop { y = y.next; }         // iteration (star)
+///     g = x;                        // store to a declared global
+///     x.f = y;  y = x.f;            // field store / load
+///     x.open();                     // type-state method call
+///     call helper;                  // procedure invocation
+///     check(x, closed);             // query anchor (payload optional)
+///     assume(*);
+///   }
+///   proc helper { ... }
+/// \endcode
+///
+/// Comments run from "//" to end of line. The parser distinguishes global
+/// from local variables by the up-front declarations; fields, methods and
+/// allocation sites live in their own namespaces (position disambiguates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_IR_PARSER_H
+#define OPTABS_IR_PARSER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace optabs {
+namespace ir {
+
+/// Parses \p Source into \p P, which must be empty. Returns true on success.
+/// On failure returns false and sets \p Error to a "line N: message" string.
+/// The procedure named "main" (required) becomes the program entry.
+bool parseProgram(const std::string &Source, Program &P, std::string &Error);
+
+} // namespace ir
+} // namespace optabs
+
+#endif // OPTABS_IR_PARSER_H

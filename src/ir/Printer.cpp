@@ -1,0 +1,96 @@
+//===- Printer.cpp - Pretty-printing for the mini-IR ------------------------===//
+
+#include "ir/Printer.h"
+
+namespace optabs {
+namespace ir {
+
+std::string commandToString(const Program &P, CommandId Id) {
+  const Command &C = P.command(Id);
+  switch (C.Kind) {
+  case CmdKind::Assume:
+    return "assume(*)";
+  case CmdKind::New:
+    return P.varName(C.Dst) + " = new " + P.allocName(C.Alloc);
+  case CmdKind::Copy:
+    return P.varName(C.Dst) + " = " + P.varName(C.Src);
+  case CmdKind::Null:
+    return P.varName(C.Dst) + " = null";
+  case CmdKind::LoadGlobal:
+    return P.varName(C.Dst) + " = " + P.globalName(C.Global);
+  case CmdKind::StoreGlobal:
+    return P.globalName(C.Global) + " = " + P.varName(C.Src);
+  case CmdKind::LoadField:
+    return P.varName(C.Dst) + " = " + P.varName(C.Src) + "." +
+           P.fieldName(C.Field);
+  case CmdKind::StoreField:
+    return P.varName(C.Dst) + "." + P.fieldName(C.Field) + " = " +
+           P.varName(C.Src);
+  case CmdKind::MethodCall:
+    return P.varName(C.Dst) + "." + P.methodName(C.Method) + "()";
+  case CmdKind::Invoke:
+    return "call " + P.proc(C.Callee).Name;
+  case CmdKind::Check: {
+    const CheckSite &Site = P.checkSite(C.Check);
+    std::string S = "check(" + P.varName(Site.Var);
+    if (Site.Payload.isValid())
+      S += ", " + P.symbolName(Site.Payload);
+    return S + ")";
+  }
+  }
+  return "?";
+}
+
+void printTrace(std::ostream &OS, const Program &P, const Trace &T,
+                const std::string &Indent) {
+  for (CommandId C : T)
+    OS << Indent << commandToString(P, C) << ";\n";
+}
+
+namespace {
+
+void printStmt(std::ostream &OS, const Program &P, StmtId Id,
+               unsigned Depth) {
+  std::string Pad(Depth * 2, ' ');
+  const Stmt &S = P.stmt(Id);
+  switch (S.Kind) {
+  case StmtKind::Atom:
+    OS << Pad << commandToString(P, S.Cmd) << ";\n";
+    return;
+  case StmtKind::Seq:
+    for (StmtId Child : S.Children)
+      printStmt(OS, P, Child, Depth);
+    return;
+  case StmtKind::Choice:
+    OS << Pad << "choice {\n";
+    for (size_t I = 0; I < S.Children.size(); ++I) {
+      if (I > 0)
+        OS << Pad << "} or {\n";
+      printStmt(OS, P, S.Children[I], Depth + 1);
+    }
+    OS << Pad << "}\n";
+    return;
+  case StmtKind::Star:
+    OS << Pad << "loop {\n";
+    printStmt(OS, P, S.Children[0], Depth + 1);
+    OS << Pad << "}\n";
+    return;
+  }
+}
+
+} // namespace
+
+void printProgram(std::ostream &OS, const Program &P) {
+  for (uint32_t I = 0; I < P.numGlobals(); ++I)
+    OS << "global " << P.globalName(GlobalId(I)) << ";\n";
+  for (uint32_t I = 0; I < P.numProcs(); ++I) {
+    const Procedure &Proc = P.proc(ProcId(I));
+    OS << "proc " << Proc.Name << " {\n";
+    if (Proc.Body.isValid())
+      printStmt(OS, P, Proc.Body, 1);
+    OS << "}\n";
+  }
+}
+
+} // namespace ir
+} // namespace optabs

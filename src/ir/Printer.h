@@ -1,0 +1,40 @@
+//===- Printer.h - Pretty-printing for the mini-IR -------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders programs, single commands, and traces back to the textual
+/// syntax accepted by the parser. Used by diagnostics, the examples, and
+/// the round-trip parser tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_IR_PRINTER_H
+#define OPTABS_IR_PRINTER_H
+
+#include "ir/Program.h"
+#include "ir/Trace.h"
+
+#include <ostream>
+#include <string>
+
+namespace optabs {
+namespace ir {
+
+/// Renders a single atomic command, e.g. "x = new h1" or "y.close()".
+std::string commandToString(const Program &P, CommandId C);
+
+/// Prints \p T one command per line, prefixed by \p Indent.
+void printTrace(std::ostream &OS, const Program &P, const Trace &T,
+                const std::string &Indent = "  ");
+
+/// Prints the whole program in parseable concrete syntax.
+void printProgram(std::ostream &OS, const Program &P);
+
+} // namespace ir
+} // namespace optabs
+
+#endif // OPTABS_IR_PRINTER_H

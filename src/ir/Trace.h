@@ -1,0 +1,32 @@
+//===- Trace.h - Abstract counterexample traces ----------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trace is a finite sequence of atomic commands recording the steps of
+/// one program execution (§3.1). Traces extracted by the forward analysis
+/// are fully interprocedural: Invoke commands are expanded into the
+/// callee's steps, so a trace contains only client-interpreted commands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_IR_TRACE_H
+#define OPTABS_IR_TRACE_H
+
+#include "ir/Ids.h"
+
+#include <vector>
+
+namespace optabs {
+namespace ir {
+
+/// A finite sequence a1 a2 ... an of atomic commands.
+using Trace = std::vector<CommandId>;
+
+} // namespace ir
+} // namespace optabs
+
+#endif // OPTABS_IR_TRACE_H

@@ -1,0 +1,301 @@
+//===- Backward.h - Generic backward meta-analysis -------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backward meta-analysis B[t] of §4 / Figure 7. Given an abstract
+/// counterexample trace t of the forward analysis, the abstraction p used,
+/// the forward states along t, and the failure condition not(q), it
+/// propagates a boolean formula backwards:
+///
+///   B[eps](p, d, f)   = f
+///   B[a](p, d, f)     = approx(p, d, wp_a(f))
+///   B[t;t'](p, d, f)  = B[t](p, d, B[t'](p, F_p[t](d), f))
+///
+/// The result represents a *sufficient condition for failure*: every pair
+/// (p', d') in its meaning fails the query the same way (Theorem 3). The
+/// under-approximation operator approx (Figure 8) keeps formulas in DNF
+/// with at most K disjuncts, always retaining a disjunct containing the
+/// current (p, d) so the current abstraction is guaranteed to be eliminated.
+///
+/// The client supplies the meta-analysis data of §4.1 for a *disjunctive*
+/// meta-analysis:
+///
+/// \code
+///   struct BackwardClient {
+///     using Param = ...;   // same as the forward client's
+///     using State = ...;   // same as the forward client's
+///     // Weakest precondition of a single positive atom across Cmd (the
+///     // [a]^b of Figures 10/11), as a formula over atoms. Must satisfy
+///     // requirement (2): gamma(wp(A)) = {(p,d) | A holds of (p,[a]_p(d))}.
+///     formula::Formula wpAtom(const ir::Command &Cmd,
+///                             formula::AtomId A) const;
+///     // Truth of atom A in a concrete pair (p, d) - the gamma function.
+///     bool evalAtom(formula::AtomId A, const Param &P,
+///                   const State &D) const;
+///     // True if A constrains only the parameter component.
+///     bool isParamAtom(formula::AtomId A) const;
+///     std::string atomName(formula::AtomId A) const;
+///     // Semantic cube simplification hooks (see formula/Normalize.h):
+///     // exploit mutual exclusivity between atoms so formulas stay as
+///     // compact as the paper's hand-written Figures 10/11.
+///     std::optional<formula::Cube> refineCube(const formula::Cube &) const;
+///     std::optional<formula::LocationInfo>
+///     atomLocation(formula::AtomId) const;
+///   };
+/// \endcode
+///
+/// Because forward transfer functions are deterministic, wp distributes
+/// over /\, \/ and negation, so the wp of a whole formula is the
+/// substitution of wpAtom into its literals; this is how the driver lifts
+/// the client's atom-wise transfers to formulas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_META_BACKWARD_H
+#define OPTABS_META_BACKWARD_H
+
+#include "formula/Formula.h"
+#include "formula/Normalize.h"
+#include "ir/Program.h"
+#include "ir/Trace.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace optabs {
+namespace meta {
+
+/// Tuning knobs for the meta-analysis.
+struct BackwardConfig {
+  /// Beam width k of the dropk operator; 0 disables under-approximation
+  /// entirely (the exact mode of Figure 6(a)).
+  unsigned K = 5;
+  /// Cap on intermediate cube counts during per-step substitution. Only a
+  /// scalability guard; 0 disables. Irrelevant when K is small.
+  size_t ProductSoftCap = 4096;
+  /// Wall-clock limit per trace run; 0 disables. Exact mode (K = 0) grows
+  /// formulas exponentially along long traces (the paper reports outright
+  /// timeouts), so harnesses bound it and treat an expired run as a
+  /// timeout: the partial formula constrains an interior trace point, not
+  /// the initial state, and must be discarded.
+  double TimeoutSeconds = 0;
+  /// Hard cap on formula size before a run is declared timed out; guards
+  /// against a single substitution step exhausting memory. 0 disables.
+  size_t HardCubeCap = 50000;
+  /// Above this size, skip the quadratic semantic merging and keep only
+  /// subsumption; above SimplifyCap, skip even that (meaning-preserving
+  /// either way, just less compact).
+  size_t NormalizeCap = 512;
+  size_t SimplifyCap = 8192;
+  /// Skip commands whose weakest precondition is the identity on every
+  /// literal of the current formula (the common case on long traces:
+  /// commands of unrelated program regions cannot affect the query's
+  /// atoms). Purely an optimization; results are unchanged.
+  bool SkipIdentitySteps = true;
+  /// Optional observer called after each backward step with the trace
+  /// index, the command just traversed, and the formula before it (i.e.
+  /// the meta-analysis state at the command's program point). Used by the
+  /// examples to print Figure 1/6-style walkthroughs.
+  std::function<void(size_t, const ir::Command &, const formula::Dnf &)>
+      StepObserver;
+};
+
+/// Statistics of one backward run.
+struct BackwardStats {
+  size_t MaxCubes = 0;    ///< largest formula (in cubes) ever tracked
+  size_t TotalCubes = 0;  ///< sum of per-step cube counts
+  size_t Steps = 0;       ///< trace length processed
+};
+
+template <typename Client> class BackwardMetaAnalysis {
+public:
+  using Param = typename Client::Param;
+  using State = typename Client::State;
+
+  BackwardMetaAnalysis(const ir::Program &P, const Client &C,
+                       BackwardConfig Config = BackwardConfig())
+      : P(P), C(C), Config(Config),
+        Refiner([&C](const formula::Cube &Cube) { return C.refineCube(Cube); }),
+        LocFn([&C](formula::AtomId A) { return C.atomLocation(A); }) {}
+
+  /// Runs B[t](p, d_I, NotQ). \p States must be the forward state sequence
+  /// along \p T starting from d_I (length |T| + 1, as produced by
+  /// ForwardAnalysis::replay), and NotQ must hold of (p, States.back()) -
+  /// i.e. the trace really is a counterexample. The result holds of
+  /// (p, d_I) and is a sufficient condition for failure.
+  /// Returns nullopt when the run exceeded its time or size budget (only
+  /// possible with a nonzero TimeoutSeconds/HardCubeCap); a timed-out
+  /// partial formula is unusable and is not returned.
+  std::optional<formula::Dnf> run(const ir::Trace &T, const Param &Prm,
+                                  const std::vector<State> &States,
+                                  const formula::Dnf &NotQ) {
+    assert(States.size() == T.size() + 1 && "state sequence length mismatch");
+    Stats = BackwardStats();
+    Stats.Steps = T.size();
+    Timer Clock;
+
+    formula::Dnf F = NotQ;
+    assert(F.eval(makeEval(Prm, States.back())) &&
+           "not(q) must hold at the end of a counterexample trace");
+
+    for (size_t I = T.size(); I-- > 0;) {
+      if (Config.TimeoutSeconds > 0 &&
+          Clock.seconds() > Config.TimeoutSeconds)
+        return std::nullopt;
+      const ir::Command &Cmd = P.command(T[I]);
+      formula::AtomEval PreEval = makeEval(Prm, States[I]);
+      if (Config.SkipIdentitySteps && isIdentityStep(T[I], Cmd, F)) {
+        Stats.TotalCubes += F.size();
+        if (Config.StepObserver)
+          Config.StepObserver(I, Cmd, F);
+        continue;
+      }
+      std::optional<formula::Dnf> Wp = wpFormula(T[I], Cmd, F, PreEval);
+      if (!Wp)
+        return std::nullopt; // formula blow-up (exact mode)
+      F = std::move(*Wp);
+      // Semantic simplification recovers the compact forms of the paper's
+      // hand-written transfer functions before the beam search prunes.
+      // Its merging pass is quadratic, so very large (exact-mode) formulas
+      // get progressively lighter treatment.
+      if (F.size() <= Config.NormalizeCap) {
+        formula::semanticNormalize(F, Refiner, LocFn);
+      } else if (F.size() <= Config.SimplifyCap) {
+        F.sortBySize();
+        F.simplify();
+      } else {
+        F.sortBySize(); // subsumption is quadratic; skip when huge
+      }
+      if (Config.K > 0 && F.size() > Config.K) {
+        F.sortBySize();
+        F.dropK(Config.K, PreEval);
+      }
+      assert(F.eval(PreEval) &&
+             "soundness invariant: (p, d) must stay inside the formula");
+      Stats.MaxCubes = std::max(Stats.MaxCubes, F.size());
+      Stats.TotalCubes += F.size();
+      if (Config.StepObserver)
+        Config.StepObserver(I, Cmd, F);
+    }
+    return F;
+  }
+
+  /// Projects a final formula onto the parameter component at the initial
+  /// state: the returned DNF is over parameter atoms only and describes
+  /// exactly the abstractions p' with (p', d_I) in gamma(F) - the set
+  /// Pi of Algorithm 1, line 14. State atoms are evaluated at d_I.
+  formula::Dnf projectToParams(const formula::Dnf &F, const Param &Prm,
+                               const State &InitState) const {
+    formula::Dnf Result;
+    std::vector<formula::Cube> Cubes;
+    for (const formula::Cube &Cube : F.cubes()) {
+      std::vector<formula::Lit> ParamLits;
+      bool Feasible = true;
+      for (formula::Lit L : Cube.literals()) {
+        if (C.isParamAtom(L.atom())) {
+          ParamLits.push_back(L);
+        } else if (!L.eval([&](formula::AtomId A) {
+                     return C.evalAtom(A, Prm, InitState);
+                   })) {
+          Feasible = false;
+          break;
+        }
+      }
+      if (!Feasible)
+        continue;
+      if (auto NewCube = formula::Cube::make(std::move(ParamLits)))
+        Cubes.push_back(std::move(*NewCube));
+    }
+    Result = formula::Dnf::fromCubes(std::move(Cubes));
+    formula::semanticNormalize(Result, Refiner, LocFn);
+    Result.sortBySize();
+    Result.simplify();
+    return Result;
+  }
+
+  const BackwardStats &stats() const { return Stats; }
+
+  std::string formulaToString(const formula::Dnf &F) const {
+    return F.toString([this](formula::AtomId A) { return C.atomName(A); });
+  }
+
+private:
+  formula::AtomEval makeEval(const Param &Prm, const State &D) const {
+    return [this, &Prm, &D](formula::AtomId A) {
+      return C.evalAtom(A, Prm, D);
+    };
+  }
+
+  /// True when the wp of every literal of \p F across \p Cmd is the
+  /// literal itself, i.e. the whole step is the identity.
+  bool isIdentityStep(ir::CommandId CmdId, const ir::Command &Cmd,
+                      const formula::Dnf &F) {
+    for (const formula::Cube &Cube : F.cubes()) {
+      for (formula::Lit L : Cube.literals()) {
+        const formula::Dnf &W = wpLit(CmdId, Cmd, L);
+        if (W.size() != 1 || W.cubes()[0].size() != 1 ||
+            W.cubes()[0].literals()[0] != L)
+          return false;
+      }
+    }
+    return true;
+  }
+
+  /// wp of a whole DNF across one command: substitute the wp of each
+  /// literal and redistribute. Returns nullopt when the result exceeds the
+  /// hard cube cap (only reachable in exact mode, where nothing prunes).
+  std::optional<formula::Dnf> wpFormula(ir::CommandId CmdId,
+                                        const ir::Command &Cmd,
+                                        const formula::Dnf &F,
+                                        const formula::AtomEval &PreEval) {
+    formula::Dnf Result;
+    for (const formula::Cube &Cube : F.cubes()) {
+      formula::Dnf CubeWp = formula::Dnf::constTrue();
+      for (formula::Lit L : Cube.literals()) {
+        CubeWp = formula::Dnf::product(CubeWp, wpLit(CmdId, Cmd, L),
+                                       Config.ProductSoftCap, PreEval);
+        if (Config.HardCubeCap > 0 &&
+            Result.size() + CubeWp.size() > Config.HardCubeCap)
+          return std::nullopt;
+        if (CubeWp.isFalse())
+          break;
+      }
+      Result.orWith(CubeWp);
+    }
+    return Result;
+  }
+
+  /// wp of one literal, memoized per (command, literal). Negative literals
+  /// use wp(!A) = !wp(A), valid because transfers are deterministic.
+  const formula::Dnf &wpLit(ir::CommandId CmdId, const ir::Command &Cmd,
+                            formula::Lit L) {
+    uint64_t Key = (static_cast<uint64_t>(CmdId.index()) << 32) | L.raw();
+    auto It = WpMemo.find(Key);
+    if (It != WpMemo.end())
+      return It->second;
+    formula::Formula Wp = C.wpAtom(Cmd, L.atom());
+    if (L.isNeg())
+      Wp = formula::Formula::negate(Wp);
+    return WpMemo.emplace(Key, Wp.toDnf()).first->second;
+  }
+
+  const ir::Program &P;
+  const Client &C;
+  BackwardConfig Config;
+  formula::CubeRefiner Refiner;
+  formula::LocationFn LocFn;
+  std::unordered_map<uint64_t, formula::Dnf> WpMemo;
+  BackwardStats Stats;
+};
+
+} // namespace meta
+} // namespace optabs
+
+#endif // OPTABS_META_BACKWARD_H

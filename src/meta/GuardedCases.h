@@ -1,0 +1,99 @@
+//===- GuardedCases.h - Synthesized backward transfer functions -*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §8 of the paper: "manually defining the transfer functions of the
+/// meta-analysis can be tedious and error-prone. One plausible solution is
+/// to devise a general recipe for synthesizing these functions
+/// automatically from a given abstract domain and parametric analysis."
+///
+/// This header is that recipe, for the large class of analyses whose
+/// transfer functions are *finite guarded case splits*: each command's
+/// semantics is a list of cases (guard, effect) where
+///
+///   - guards are formulas over the meta-analysis atoms, mutually
+///     exclusive and exhaustive over (p, d) pairs, and
+///   - effects are deterministic state transformers whose per-atom
+///     weakest precondition the client can state locally.
+///
+/// From one such description the framework derives BOTH directions:
+///
+///   forward:   [a]_p(d)   = effect of the unique enabled case, applied
+///   backward:  wp(A)      = \/_case  guard_case  /\  wp_case(A)
+///
+/// which satisfies the framework's requirement (2) *by construction*:
+/// gamma(wp(A)) = {(p,d) | A holds of (p, [a]_p(d))}, because exactly one
+/// guard is true of any (p, d) and each case is deterministic. The
+/// thread-escape client (Figures 5/11) is implemented this way, and the
+/// tests derive a further toy client to show the recipe is generic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_META_GUARDEDCASES_H
+#define OPTABS_META_GUARDEDCASES_H
+
+#include "formula/Formula.h"
+
+#include <cassert>
+#include <vector>
+
+namespace optabs {
+namespace meta {
+
+/// One transfer function as a guarded case split over effects of
+/// client-defined type \p EffectT.
+template <typename EffectT> class GuardedTransfer {
+public:
+  struct Case {
+    formula::Formula Guard;
+    EffectT Effect;
+  };
+
+  GuardedTransfer() = default;
+
+  /// Appends a case. Guards must be pairwise exclusive and jointly
+  /// exhaustive; apply() asserts the latter.
+  GuardedTransfer &addCase(formula::Formula Guard, EffectT Effect) {
+    Cases.push_back({std::move(Guard), std::move(Effect)});
+    return *this;
+  }
+
+  const std::vector<Case> &cases() const { return Cases; }
+
+  /// Forward direction: evaluates guards under \p Eval (truth of atoms in
+  /// the concrete (p, d)) and returns \p Apply of the enabled case's
+  /// effect.
+  template <typename ApplyFn>
+  auto apply(const formula::AtomEval &Eval, ApplyFn Apply) const {
+    for (const Case &C : Cases)
+      if (C.Guard.eval(Eval))
+        return Apply(C.Effect);
+    assert(false && "guarded cases must be exhaustive");
+    return Apply(Cases.front().Effect);
+  }
+
+  /// Backward direction: the synthesized weakest precondition of atom
+  /// \p A. \p WpUnderEffect(Effect, A) states the precondition for A to
+  /// hold after that single effect - the only piece the client writes.
+  template <typename WpFn>
+  formula::Formula wpAtom(formula::AtomId A, WpFn WpUnderEffect) const {
+    std::vector<formula::Formula> Disjuncts;
+    Disjuncts.reserve(Cases.size());
+    for (const Case &C : Cases)
+      Disjuncts.push_back(
+          formula::Formula::conj({C.Guard, WpUnderEffect(C.Effect, A)}));
+    return formula::Formula::disj(std::move(Disjuncts));
+  }
+
+private:
+  std::vector<Case> Cases;
+};
+
+} // namespace meta
+} // namespace optabs
+
+#endif // OPTABS_META_GUARDEDCASES_H

@@ -1,0 +1,116 @@
+//===- PointsTo.cpp - Flow-insensitive may-points-to substrate --------------===//
+
+#include "pointer/PointsTo.h"
+
+#include <deque>
+
+namespace optabs {
+namespace pointer {
+
+using namespace ir;
+
+bool PointsToResult::mayAlias(VarId V, VarId W) const {
+  const BitSet &A = VarPts[V.index()];
+  const BitSet &B = VarPts[W.index()];
+  bool Alias = false;
+  A.forEach([&](size_t H) { Alias |= B.test(H); });
+  return Alias;
+}
+
+namespace {
+
+/// Collects every command reachable from a statement, in syntactic order.
+void collectCommands(const Program &P, StmtId S,
+                     std::vector<CommandId> &Out) {
+  const Stmt &Node = P.stmt(S);
+  if (Node.Kind == StmtKind::Atom) {
+    Out.push_back(Node.Cmd);
+    return;
+  }
+  for (StmtId Child : Node.Children)
+    collectCommands(P, Child, Out);
+}
+
+} // namespace
+
+PointsToResult runPointsTo(const Program &P) {
+  PointsToResult R;
+  R.VarPts.assign(P.numVars(), BitSet(P.numAllocs()));
+  R.GlobalPts.assign(P.numGlobals(), BitSet(P.numAllocs()));
+  R.FieldPts.assign(P.numFields(), BitSet(P.numAllocs()));
+  R.ReachableProcs.assign(P.numProcs(), false);
+
+  // Call-graph reachability from main. Invoke targets are direct, so this
+  // is a plain graph reachability pass.
+  assert(P.main().isValid() && "program has no entry procedure");
+  std::deque<ProcId> Work{P.main()};
+  R.ReachableProcs[P.main().index()] = true;
+  while (!Work.empty()) {
+    ProcId Proc = Work.front();
+    Work.pop_front();
+    std::vector<CommandId> Cmds;
+    if (P.proc(Proc).Body.isValid())
+      collectCommands(P, P.proc(Proc).Body, Cmds);
+    for (CommandId C : Cmds) {
+      R.ReachableCmds.push_back(C);
+      const Command &Cmd = P.command(C);
+      if (Cmd.Kind == CmdKind::Invoke &&
+          !R.ReachableProcs[Cmd.Callee.index()]) {
+        R.ReachableProcs[Cmd.Callee.index()] = true;
+        Work.push_back(Cmd.Callee);
+      }
+    }
+  }
+
+  // Subset-constraint fixpoint over reachable commands. The command set is
+  // small enough that round-robin iteration is simpler and fast enough.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (CommandId C : R.ReachableCmds) {
+      const Command &Cmd = P.command(C);
+      switch (Cmd.Kind) {
+      case CmdKind::New:
+        if (!R.VarPts[Cmd.Dst.index()].test(Cmd.Alloc.index())) {
+          R.VarPts[Cmd.Dst.index()].set(Cmd.Alloc.index());
+          Changed = true;
+        }
+        break;
+      case CmdKind::Copy:
+        Changed |=
+            R.VarPts[Cmd.Dst.index()].unionWith(R.VarPts[Cmd.Src.index()]);
+        break;
+      case CmdKind::LoadGlobal:
+        Changed |= R.VarPts[Cmd.Dst.index()].unionWith(
+            R.GlobalPts[Cmd.Global.index()]);
+        break;
+      case CmdKind::StoreGlobal:
+        Changed |= R.GlobalPts[Cmd.Global.index()].unionWith(
+            R.VarPts[Cmd.Src.index()]);
+        break;
+      case CmdKind::LoadField:
+        // Field-based: v = w.f reads the merged f summary when w may point
+        // anywhere at all.
+        if (R.VarPts[Cmd.Src.index()].any())
+          Changed |= R.VarPts[Cmd.Dst.index()].unionWith(
+              R.FieldPts[Cmd.Field.index()]);
+        break;
+      case CmdKind::StoreField:
+        if (R.VarPts[Cmd.Dst.index()].any())
+          Changed |= R.FieldPts[Cmd.Field.index()].unionWith(
+              R.VarPts[Cmd.Src.index()]);
+        break;
+      case CmdKind::Null:
+      case CmdKind::Assume:
+      case CmdKind::MethodCall:
+      case CmdKind::Invoke:
+      case CmdKind::Check:
+        break;
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace pointer
+} // namespace optabs

@@ -1,0 +1,69 @@
+//===- PointsTo.h - Flow-insensitive may-points-to substrate ---*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 0-CFA-style, flow- and context-insensitive, field-sensitive (on
+/// allocation-site abstractions) may-points-to analysis, plus call-graph
+/// reachability from main. The paper's evaluation (§6) uses exactly such an
+/// analysis as a substrate: the type-state client consults it to decide
+/// whether a call v.m() may affect the tracked object, and queries are only
+/// generated at reachable program points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_POINTER_POINTSTO_H
+#define OPTABS_POINTER_POINTSTO_H
+
+#include "ir/Program.h"
+#include "support/BitSet.h"
+
+#include <vector>
+
+namespace optabs {
+namespace pointer {
+
+/// Results of the may-points-to analysis over a fixed program.
+class PointsToResult {
+public:
+  /// True if \p V may point to an object allocated at \p H.
+  bool mayPoint(ir::VarId V, ir::AllocId H) const {
+    return VarPts[V.index()].test(H.index());
+  }
+
+  /// True if \p V and \p W may point to a common allocation site.
+  bool mayAlias(ir::VarId V, ir::VarId W) const;
+
+  /// The may-points-to set of \p V as a bitset over allocation sites.
+  const BitSet &pointsTo(ir::VarId V) const { return VarPts[V.index()]; }
+
+  /// True if \p P is reachable from main via Invoke edges.
+  bool isReachable(ir::ProcId P) const { return ReachableProcs[P.index()]; }
+
+  /// All commands occurring in reachable procedures, in program order.
+  const std::vector<ir::CommandId> &reachableCommands() const {
+    return ReachableCmds;
+  }
+
+  friend PointsToResult runPointsTo(const ir::Program &P);
+
+private:
+  std::vector<BitSet> VarPts;    ///< per variable
+  std::vector<BitSet> GlobalPts; ///< per global
+  std::vector<BitSet> FieldPts;  ///< per field, merged over base objects
+  std::vector<bool> ReachableProcs;
+  std::vector<ir::CommandId> ReachableCmds;
+};
+
+/// Runs the analysis to fixpoint. Field points-to sets are merged over all
+/// base objects (field-based), which over-approximates the field-sensitive
+/// solution and matches the coarse 0-CFA substrate in the paper's setup.
+PointsToResult runPointsTo(const ir::Program &P);
+
+} // namespace pointer
+} // namespace optabs
+
+#endif // OPTABS_POINTER_POINTSTO_H

@@ -1,0 +1,88 @@
+//===- Aggregates.h - Statistics the paper's tables report -----*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small aggregation helpers mapping per-query outcomes (reporting::
+/// ClientResults) to the statistics of Tables 2-4 and Figures 12/14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_REPORTING_AGGREGATES_H
+#define OPTABS_REPORTING_AGGREGATES_H
+
+#include "reporting/Harness.h"
+#include "support/Stats.h"
+
+#include <map>
+
+namespace optabs {
+namespace reporting {
+
+/// Min/max/avg of CEGAR iterations over queries with verdict \p V
+/// (Table 2's iteration columns).
+inline MinMaxAvg iterationStats(const ClientResults &R, tracer::Verdict V) {
+  MinMaxAvg S;
+  for (const QueryStat &Q : R.Queries)
+    if (Q.V == V)
+      S.add(Q.Iterations);
+  return S;
+}
+
+/// Min/max/avg of per-query resolution time over queries with verdict \p V
+/// (Table 2's running-time columns).
+inline MinMaxAvg timeStats(const ClientResults &R, tracer::Verdict V) {
+  MinMaxAvg S;
+  for (const QueryStat &Q : R.Queries)
+    if (Q.V == V)
+      S.add(Q.Seconds);
+  return S;
+}
+
+/// Min/max/avg of the cheapest-abstraction size over proven queries
+/// (Table 3).
+inline MinMaxAvg cheapestSizeStats(const ClientResults &R) {
+  MinMaxAvg S;
+  for (const QueryStat &Q : R.Queries)
+    if (Q.V == tracer::Verdict::Proven)
+      S.add(Q.Cost);
+  return S;
+}
+
+/// Cheapest-abstraction reuse (Table 4): groups of proven queries sharing
+/// an identical cheapest abstraction.
+struct ReuseStats {
+  unsigned NumGroups = 0;
+  MinMaxAvg GroupSize;
+};
+
+inline ReuseStats reuseStats(const ClientResults &R) {
+  std::map<std::string, unsigned> Groups;
+  for (const QueryStat &Q : R.Queries)
+    if (Q.V == tracer::Verdict::Proven)
+      ++Groups[Q.ParamKey];
+  ReuseStats S;
+  S.NumGroups = static_cast<unsigned>(Groups.size());
+  for (const auto &[Key, Size] : Groups) {
+    (void)Key;
+    S.GroupSize.add(Size);
+  }
+  return S;
+}
+
+/// Histogram of cheapest-abstraction sizes over proven queries (Figure 14).
+inline Histogram cheapestSizeHistogram(const ClientResults &R) {
+  Histogram H;
+  for (const QueryStat &Q : R.Queries)
+    if (Q.V == tracer::Verdict::Proven)
+      H.add(Q.Cost);
+  return H;
+}
+
+} // namespace reporting
+} // namespace optabs
+
+#endif // OPTABS_REPORTING_AGGREGATES_H

@@ -1,0 +1,49 @@
+//===- Csv.cpp - CSV export of experiment results ------------------------------===//
+
+#include "reporting/Csv.h"
+
+namespace optabs {
+namespace reporting {
+
+void writeCsvHeader(std::ostream &OS) {
+  OS << "benchmark,client,query,verdict,iterations,seconds,cheapest_size,"
+        "cheapest_abstraction\n";
+}
+
+namespace {
+
+/// Quotes a field for CSV (the abstraction strings contain commas).
+std::string quote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  return Out + "\"";
+}
+
+void writeClient(std::ostream &OS, const std::string &Bench,
+                 const char *Client, const ClientResults &R) {
+  for (size_t I = 0; I < R.Queries.size(); ++I) {
+    const QueryStat &Q = R.Queries[I];
+    OS << Bench << ',' << Client << ',' << I << ','
+       << tracer::verdictName(Q.V) << ',' << Q.Iterations << ','
+       << Q.Seconds << ',';
+    if (Q.V == tracer::Verdict::Proven)
+      OS << Q.Cost << ',' << quote(Q.ParamKey);
+    else
+      OS << ',';
+    OS << '\n';
+  }
+}
+
+} // namespace
+
+void writeCsvRows(std::ostream &OS, const BenchRun &Run) {
+  writeClient(OS, Run.Config.Name, "typestate", Run.Ts);
+  writeClient(OS, Run.Config.Name, "thread-escape", Run.Esc);
+}
+
+} // namespace reporting
+} // namespace optabs

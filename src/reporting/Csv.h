@@ -1,0 +1,35 @@
+//===- Csv.h - CSV export of experiment results ----------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable export of per-query outcomes, for plotting the
+/// evaluation figures outside this repository.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_REPORTING_CSV_H
+#define OPTABS_REPORTING_CSV_H
+
+#include "reporting/Harness.h"
+
+#include <ostream>
+
+namespace optabs {
+namespace reporting {
+
+/// Writes the CSV header row for per-query outcomes.
+void writeCsvHeader(std::ostream &OS);
+
+/// Writes one row per query of \p Run (both clients), tagged with the
+/// benchmark name and client. Fields: benchmark, client, query index,
+/// verdict, iterations, seconds, cheapest |p|, cheapest abstraction.
+void writeCsvRows(std::ostream &OS, const BenchRun &Run);
+
+} // namespace reporting
+} // namespace optabs
+
+#endif // OPTABS_REPORTING_CSV_H

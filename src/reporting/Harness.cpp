@@ -1,0 +1,99 @@
+//===- Harness.cpp - Experiment harness shared by the benches -----------------===//
+
+#include "reporting/Harness.h"
+
+#include "escape/Escape.h"
+#include "pointer/PointsTo.h"
+#include "support/Timer.h"
+#include "typestate/Typestate.h"
+
+#include <map>
+
+namespace optabs {
+namespace reporting {
+
+using namespace ir;
+
+namespace {
+
+QueryStat statOf(const tracer::QueryOutcome &O) {
+  QueryStat S;
+  S.V = O.V;
+  S.Iterations = O.Iterations;
+  S.Seconds = O.Seconds;
+  S.Cost = O.CheapestCost;
+  S.ParamKey = O.CheapestParam;
+  return S;
+}
+
+void runEscape(const synth::Benchmark &B, const HarnessOptions &Options,
+               ClientResults &Out) {
+  Timer Total;
+  escape::EscapeAnalysis A(B.P);
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(B.P, A,
+                                                     Options.Tracer);
+  for (const tracer::QueryOutcome &O : Driver.run(B.EscChecks))
+    Out.Queries.push_back(statOf(O));
+  Out.ForwardRuns += Driver.stats().ForwardRuns;
+  Out.BackwardRuns += Driver.stats().BackwardRuns;
+  Out.TotalSeconds = Total.seconds();
+}
+
+void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
+                  ClientResults &Out) {
+  Timer Total;
+  pointer::PointsToResult Pt = pointer::runPointsTo(B.P);
+  typestate::TypestateSpec Spec = typestate::TypestateSpec::stress();
+
+  // A TRACER query is a (check, site) pair for every application site the
+  // receiver may point to (§6). Queries of one site share an analysis
+  // instance and a driver run.
+  std::map<uint32_t, std::vector<CheckId>> BySite;
+  for (CheckId Check : B.TsChecks) {
+    VarId V = B.P.checkSite(Check).Var;
+    Pt.pointsTo(V).forEach(
+        [&](size_t H) { BySite[static_cast<uint32_t>(H)].push_back(Check); });
+  }
+
+  double Budget = Options.Tracer.TimeBudgetSeconds;
+  for (auto &[SiteIdx, Checks] : BySite) {
+    typestate::TypestateAnalysis A(B.P, Spec, AllocId(SiteIdx), Pt);
+    tracer::TracerOptions PerSite = Options.Tracer;
+    PerSite.TimeBudgetSeconds = std::max(0.0, Budget - Total.seconds());
+    tracer::QueryDriver<typestate::TypestateAnalysis> Driver(B.P, A,
+                                                             PerSite);
+    for (const tracer::QueryOutcome &O : Driver.run(Checks))
+      Out.Queries.push_back(statOf(O));
+    Out.ForwardRuns += Driver.stats().ForwardRuns;
+    Out.BackwardRuns += Driver.stats().BackwardRuns;
+  }
+  Out.TotalSeconds = Total.seconds();
+}
+
+} // namespace
+
+BenchRun runBenchmark(const synth::BenchConfig &Config,
+                      const HarnessOptions &Options) {
+  synth::Benchmark B = synth::generate(Config);
+  BenchRun Run;
+  Run.Config = Config;
+  Run.Procs = B.P.numProcs();
+  Run.Commands = B.P.numCommands();
+  Run.Vars = B.P.numVars();
+  Run.Sites = B.P.numAllocs();
+  Run.Fields = B.P.numFields();
+  Run.EscQueries = static_cast<uint32_t>(B.EscChecks.size());
+
+  if (Options.RunEscape)
+    runEscape(B, Options, Run.Esc);
+  if (Options.RunTypestate) {
+    runTypestate(B, Options, Run.Ts);
+    Run.TsQueries = static_cast<uint32_t>(Run.Ts.Queries.size());
+  } else {
+    Run.TsQueries = static_cast<uint32_t>(B.TsChecks.size());
+  }
+  return Run;
+}
+
+} // namespace reporting
+} // namespace optabs

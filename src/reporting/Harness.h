@@ -1,0 +1,96 @@
+//===- Harness.h - Experiment harness shared by the benches ----*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a synthetic benchmark through both client analyses the way §6 runs
+/// the Java benchmarks through Chord:
+///
+///  * thread-escape: one TRACER driver over all field-access queries;
+///  * type-state (stress property): queries are (check, site) pairs for
+///    every may-pointed application site of every call-site check; one
+///    TypestateAnalysis instance per tracked site, queries of one site
+///    resolved together.
+///
+/// The per-query outcomes feed every table and figure of the evaluation;
+/// the bench binaries only format them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_REPORTING_HARNESS_H
+#define OPTABS_REPORTING_HARNESS_H
+
+#include "synth/Generator.h"
+#include "tracer/QueryDriver.h"
+
+#include <string>
+#include <vector>
+
+namespace optabs {
+namespace reporting {
+
+/// Outcome of one query, client-agnostic.
+struct QueryStat {
+  tracer::Verdict V = tracer::Verdict::Unresolved;
+  unsigned Iterations = 0;
+  double Seconds = 0;
+  uint32_t Cost = 0;          ///< |p| of the cheapest abstraction (proven)
+  std::string ParamKey;       ///< canonical cheapest abstraction (proven)
+};
+
+/// All outcomes of one client on one benchmark.
+struct ClientResults {
+  std::vector<QueryStat> Queries;
+  double TotalSeconds = 0;
+  unsigned ForwardRuns = 0;
+  unsigned BackwardRuns = 0;
+
+  unsigned count(tracer::Verdict V) const {
+    unsigned N = 0;
+    for (const QueryStat &Q : Queries)
+      N += Q.V == V;
+    return N;
+  }
+};
+
+/// One benchmark run end to end.
+struct BenchRun {
+  synth::BenchConfig Config;
+  // Table 1 statistics.
+  uint32_t Procs = 0;
+  uint32_t Commands = 0;
+  uint32_t Vars = 0;   ///< log2 |P| for type-state
+  uint32_t Sites = 0;  ///< log2 |P| for thread-escape
+  uint32_t Fields = 0;
+  uint32_t TsQueries = 0;
+  uint32_t EscQueries = 0;
+
+  ClientResults Ts, Esc;
+};
+
+/// Knobs for a harness run.
+struct HarnessOptions {
+  tracer::TracerOptions Tracer;
+  bool RunTypestate = true;
+  bool RunEscape = true;
+
+  HarnessOptions() {
+    // The operating point of §6: k = 5, bounded per-query iterations
+    // (standing in for the paper's 1000-minute timeout at laptop scale).
+    Tracer.K = 5;
+    Tracer.MaxItersPerQuery = 32;
+    Tracer.TimeBudgetSeconds = 180;
+  }
+};
+
+/// Generates and runs one benchmark.
+BenchRun runBenchmark(const synth::BenchConfig &Config,
+                      const HarnessOptions &Options = HarnessOptions());
+
+} // namespace reporting
+} // namespace optabs
+
+#endif // OPTABS_REPORTING_HARNESS_H

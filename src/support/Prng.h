@@ -1,0 +1,76 @@
+//===- Prng.h - Deterministic pseudo-random number generation --*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by the synthetic
+/// benchmark generator and the property-based tests. We deliberately avoid
+/// <random> engines so that generated benchmarks are bit-identical across
+/// standard library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SUPPORT_PRNG_H
+#define OPTABS_SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace optabs {
+
+/// SplitMix64 generator. Deterministic for a given seed on every platform.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    // Rejection-free multiply-shift; bias is negligible for Bound << 2^64
+    // and, more importantly, deterministic.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && Num <= Den && "malformed probability");
+    return nextBelow(Den) < Num;
+  }
+
+  /// Returns a double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Derives an independent child generator; used to give each benchmark
+  /// component its own stream so edits to one component do not perturb
+  /// others.
+  Prng split() { return Prng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace optabs
+
+#endif // OPTABS_SUPPORT_PRNG_H

@@ -1,0 +1,68 @@
+//===- Stats.h - Min/max/avg accumulators and histograms -------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics accumulators used by the benchmark harnesses. The
+/// paper's Tables 2-4 all report (min, max, avg) triples; Figure 14 reports
+/// a size histogram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SUPPORT_STATS_H
+#define OPTABS_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace optabs {
+
+/// Accumulates a stream of samples and reports min/max/avg.
+class MinMaxAvg {
+public:
+  void add(double Sample) {
+    Min = Count == 0 ? Sample : std::min(Min, Sample);
+    Max = Count == 0 ? Sample : std::max(Max, Sample);
+    Sum += Sample;
+    ++Count;
+  }
+
+  bool empty() const { return Count == 0; }
+  uint64_t count() const { return Count; }
+  double min() const { return Count ? Min : 0; }
+  double max() const { return Count ? Max : 0; }
+  double avg() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+
+private:
+  double Min = 0;
+  double Max = 0;
+  double Sum = 0;
+  uint64_t Count = 0;
+};
+
+/// Integer-bucket histogram (Figure 14 style).
+class Histogram {
+public:
+  void add(int64_t Bucket) { ++Buckets[Bucket]; }
+
+  const std::map<int64_t, uint64_t> &buckets() const { return Buckets; }
+
+  uint64_t total() const {
+    uint64_t N = 0;
+    for (const auto &[Bucket, Cnt] : Buckets)
+      N += Cnt;
+    return N;
+  }
+
+private:
+  std::map<int64_t, uint64_t> Buckets;
+};
+
+} // namespace optabs
+
+#endif // OPTABS_SUPPORT_STATS_H

@@ -1,0 +1,94 @@
+//===- TablePrinter.cpp - Paper-shaped text tables -------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace optabs {
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::addRule() { RulesBeforeRow.push_back(Rows.size()); }
+
+std::string TablePrinter::cell(long long V) { return std::to_string(V); }
+
+std::string TablePrinter::cell(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+std::string TablePrinter::percent(double Fraction, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Fraction * 100.0);
+  return Buf;
+}
+
+void TablePrinter::print(std::ostream &OS, const std::string &Title) const {
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Measure = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+
+  auto PrintRule = [&] { OS << std::string(Total, '-') << '\n'; };
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < NumCols; ++I) {
+      const std::string &Cell = I < Row.size() ? Row[I] : std::string();
+      OS << Cell << std::string(Widths[I] - Cell.size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+
+  if (!Title.empty())
+    OS << Title << '\n';
+  if (!Header.empty()) {
+    PrintRow(Header);
+    PrintRule();
+  }
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    if (std::count(RulesBeforeRow.begin(), RulesBeforeRow.end(), I))
+      PrintRule();
+    PrintRow(Rows[I]);
+  }
+}
+
+void printBarChart(std::ostream &OS, const std::string &Title,
+                   const std::vector<std::pair<std::string, double>> &Entries,
+                   unsigned Width) {
+  if (!Title.empty())
+    OS << Title << '\n';
+  double Max = 0;
+  size_t LabelWidth = 0;
+  for (const auto &[Label, Value] : Entries) {
+    Max = std::max(Max, Value);
+    LabelWidth = std::max(LabelWidth, Label.size());
+  }
+  for (const auto &[Label, Value] : Entries) {
+    unsigned Bar =
+        Max > 0 ? static_cast<unsigned>(std::lround(Value / Max * Width)) : 0;
+    OS << Label << std::string(LabelWidth - Label.size() + 2, ' ')
+       << std::string(Bar, '#') << ' ' << TablePrinter::cell(Value, 2) << '\n';
+  }
+}
+
+} // namespace optabs

@@ -1,0 +1,58 @@
+//===- TablePrinter.h - Paper-shaped text tables ---------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-width table renderer used by the benchmark harnesses to
+/// print rows shaped like the paper's Tables 1-4 and Figures 12-14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SUPPORT_TABLEPRINTER_H
+#define OPTABS_SUPPORT_TABLEPRINTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace optabs {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+public:
+  /// Sets the header row. Column count is inferred from it.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows extend the column count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void addRule();
+
+  /// Renders the table to \p OS. \p Title, when nonempty, is printed first.
+  void print(std::ostream &OS, const std::string &Title = "") const;
+
+  /// Convenience cell formatters.
+  static std::string cell(long long V);
+  static std::string cell(double V, int Precision = 1);
+  static std::string percent(double Fraction, int Precision = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<size_t> RulesBeforeRow;
+};
+
+/// Renders a labelled horizontal-bar histogram (used for Figures 13/14).
+/// Each entry is (label, value); bars are scaled to \p Width characters.
+void printBarChart(std::ostream &OS, const std::string &Title,
+                   const std::vector<std::pair<std::string, double>> &Entries,
+                   unsigned Width = 50);
+
+} // namespace optabs
+
+#endif // OPTABS_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,24 @@
+//===- Timer.cpp - Wall-clock timing helpers ------------------------------===//
+
+#include "support/Timer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace optabs {
+
+std::string formatDuration(double Seconds) {
+  char Buf[32];
+  if (Seconds < 0.9995) {
+    std::snprintf(Buf, sizeof(Buf), "%.0fms", Seconds * 1e3);
+  } else if (Seconds < 120) {
+    std::snprintf(Buf, sizeof(Buf), "%.0fs", Seconds);
+  } else if (Seconds < 7200) {
+    std::snprintf(Buf, sizeof(Buf), "%.0fm", Seconds / 60);
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "%.1fh", Seconds / 3600);
+  }
+  return Buf;
+}
+
+} // namespace optabs

@@ -1,0 +1,46 @@
+//===- Timer.h - Wall-clock timing helpers ---------------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock timer used by the TRACER driver (per-query budgets)
+/// and the benchmark harnesses (per-benchmark running times).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SUPPORT_TIMER_H
+#define OPTABS_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <string>
+
+namespace optabs {
+
+/// Measures elapsed wall-clock time from construction or the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction or reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Formats a duration the way the paper's Table 2 does: "14s", "6m", "3h".
+std::string formatDuration(double Seconds);
+
+} // namespace optabs
+
+#endif // OPTABS_SUPPORT_TIMER_H

@@ -1,0 +1,99 @@
+//===- Generator.h - Synthetic benchmark generator -------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of synthetic benchmark programs standing in for
+/// the paper's seven Java benchmarks (Table 1). Each benchmark is a
+/// procedure forest (main -> application procedures -> shared "library"
+/// procedures, the analogue of analyzed-but-unqueried JDK code) whose
+/// bodies are composed of idiom units that drive the phenomena the paper's
+/// evaluation measures:
+///
+///   ts-chain      must-alias copy chains ending in method calls: queries
+///                 provable with exactly the chain's variables (drives
+///                 Table 3's type-state abstraction sizes and Table 2's
+///                 iteration counts);
+///   ts-kill       a call through a variable merged from two objects: its
+///                 must-alias set is empty under every abstraction, so the
+///                 queries after it are impossible to prove;
+///   esc-local     an object that never escapes: provable with 1-2 L-sites;
+///   esc-escape    an object published through a global: impossible;
+///   esc-handoff   a chain of objects linked through fields: the i-th load
+///                 is provable with exactly i+1 L-sites;
+///   esc-confuser  an n-way allocation choice: provable only with all n
+///                 sites mapped to L, one CEGAR iteration per site (drives
+///                 Figure 14's tail and, when n exceeds the iteration
+///                 budget, Figure 12's unresolved queries); the escaping
+///                 variant is impossible but takes ~n iterations to refute;
+///   noise         allocations, copies, loads, stores and calls without
+///                 queries (library code).
+///
+/// Queries are generated pervasively, as in §6: a type-state check after
+/// every method call (the paper's fictitious stress property) and a
+/// thread-escape check at every field access. Units reset their variables
+/// when done, so abstract-state multiplicity stays bounded and the
+/// analyses scale the way the paper's per-method frames make them scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SYNTH_GENERATOR_H
+#define OPTABS_SYNTH_GENERATOR_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace optabs {
+namespace synth {
+
+/// Shape parameters of one synthetic benchmark.
+struct BenchConfig {
+  std::string Name;
+  std::string Description;
+  uint64_t Seed = 1;
+
+  unsigned AppProcs = 6;        ///< queried application procedures
+  unsigned LibProcs = 6;        ///< analyzed, query-free library procedures
+  unsigned UnitsPerAppProc = 3; ///< idiom units per application procedure
+  unsigned UnitsPerLibProc = 3; ///< noise units per library procedure
+  unsigned LibCallsPerProc = 2; ///< library invocations per app procedure
+
+  unsigned TsChainMax = 3;    ///< longest must-alias chain
+  unsigned EscChainMax = 2;   ///< longest field hand-off chain
+  unsigned ConfuserMaxWays = 4; ///< widest allocation confuser
+  unsigned LoopPercent = 30;   ///< chance a residue-free unit sits in a loop
+  unsigned BranchPercent = 20; ///< chance it sits in a branch instead
+};
+
+/// A generated benchmark: the program plus its query lists.
+struct Benchmark {
+  ir::Program P;
+  BenchConfig Config;
+  /// Type-state queries: one check per method call (receiver as the
+  /// queried variable). A TRACER query is a (check, may-pointed site) pair;
+  /// see planTypestateQueries in reporting/Harness.h.
+  std::vector<ir::CheckId> TsChecks;
+  /// Thread-escape queries: one check per field access (base variable).
+  std::vector<ir::CheckId> EscChecks;
+};
+
+/// Generates the benchmark for \p Config. Deterministic in Config.Seed.
+Benchmark generate(const BenchConfig &Config);
+
+/// The seven-benchmark suite mirroring Table 1's relative sizes at
+/// laptop scale (tsp, elevator, hedc, weblech, antlr, avrora, lusearch).
+const std::vector<BenchConfig> &paperSuite();
+
+/// The four smallest benchmarks of the suite (used by Figure 13, which the
+/// paper restricts to them because k=1 and k=10 exhaust memory elsewhere).
+std::vector<BenchConfig> smallSuite();
+
+} // namespace synth
+} // namespace optabs
+
+#endif // OPTABS_SYNTH_GENERATOR_H

@@ -1,0 +1,234 @@
+//===- MinCostSat.cpp - Viable-set CNF and minimum-cost models --------------===//
+
+#include "tracer/MinCostSat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace optabs {
+namespace tracer {
+
+void Cnf::addClause(std::vector<BoolLit> Lits) {
+  std::sort(Lits.begin(), Lits.end());
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  for (size_t I = 0; I + 1 < Lits.size(); ++I)
+    if (Lits[I].Var == Lits[I + 1].Var)
+      return; // tautology: x or !x
+  if (Lits.empty())
+    ContainsEmptyClause = true;
+  if (std::find(Clauses.begin(), Clauses.end(), Lits) == Clauses.end())
+    Clauses.push_back(std::move(Lits));
+}
+
+bool Cnf::eval(const std::vector<bool> &Assignment) const {
+  for (const auto &Clause : Clauses) {
+    bool Sat = false;
+    for (const BoolLit &L : Clause) {
+      bool Val = L.Var < Assignment.size() && Assignment[L.Var];
+      if (Val == L.Positive) {
+        Sat = true;
+        break;
+      }
+    }
+    if (!Sat)
+      return false;
+  }
+  return true;
+}
+
+uint64_t Cnf::signature() const {
+  // Order-independent: clauses are combined commutatively so that the same
+  // clause set learned in different orders groups together.
+  uint64_t Sig = 0x243f6a8885a308d3ULL;
+  for (const auto &Clause : Clauses) {
+    uint64_t H = 0x13198a2e03707344ULL;
+    for (const BoolLit &L : Clause) {
+      uint64_t X = (static_cast<uint64_t>(L.Var) << 1) | L.Positive;
+      X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      H = (H ^ X) * 0x100000001b3ULL;
+    }
+    Sig += H * 0x9e3779b97f4a7c15ULL;
+  }
+  return Sig ^ (Clauses.size() << 1) ^ ContainsEmptyClause;
+}
+
+namespace {
+
+/// DPLL branch-and-bound over only the variables mentioned in the CNF.
+class Solver {
+public:
+  explicit Solver(const Cnf &F) {
+    for (const auto &Clause : F.clauses()) {
+      Clauses.push_back({});
+      for (const BoolLit &L : Clause) {
+        auto [It, Inserted] =
+            VarIndex.emplace(L.Var, static_cast<uint32_t>(Vars.size()));
+        if (Inserted)
+          Vars.push_back(L.Var);
+        Clauses.back().push_back({It->second, L.Positive});
+      }
+    }
+    Assign.assign(Vars.size(), Unassigned);
+  }
+
+  std::optional<MinCostModel> solve(uint32_t NumVars) {
+    BestCost = UINT32_MAX;
+    search(0);
+    if (BestCost == UINT32_MAX)
+      return std::nullopt;
+    MinCostModel Model;
+    Model.Assignment.assign(NumVars, false);
+    Model.Cost = BestCost;
+    for (size_t I = 0; I < Vars.size(); ++I)
+      if (Best[I] == True)
+        Model.Assignment[Vars[I]] = true;
+    return Model;
+  }
+
+private:
+  enum Value : uint8_t { False = 0, True = 1, Unassigned = 2 };
+
+  /// Unit propagation. Returns false on conflict; appends assigned local
+  /// vars to \p Trail so the caller can undo.
+  bool propagate(std::vector<uint32_t> &Trail, uint32_t &TrueCount) {
+    bool Again = true;
+    while (Again) {
+      Again = false;
+      for (const auto &Clause : Clauses) {
+        uint32_t Unset = 0;
+        int UnsetIdx = -1;
+        bool Sat = false;
+        for (size_t I = 0; I < Clause.size(); ++I) {
+          const BoolLit &L = Clause[I];
+          Value V = Assign[L.Var];
+          if (V == Unassigned) {
+            ++Unset;
+            UnsetIdx = static_cast<int>(I);
+          } else if ((V == True) == L.Positive) {
+            Sat = true;
+            break;
+          }
+        }
+        if (Sat)
+          continue;
+        if (Unset == 0)
+          return false; // conflict
+        if (Unset == 1) {
+          const BoolLit &L = Clause[static_cast<size_t>(UnsetIdx)];
+          Assign[L.Var] = L.Positive ? True : False;
+          TrueCount += L.Positive;
+          Trail.push_back(L.Var);
+          Again = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Lower bound: each currently-unsatisfied clause whose unassigned
+  /// literals are all positive needs at least one more true bit; clauses
+  /// over disjoint variables need distinct bits (greedy disjoint count).
+  uint32_t lowerBound() const {
+    uint32_t Bound = 0;
+    std::vector<bool> Used(Assign.size(), false);
+    for (const auto &Clause : Clauses) {
+      bool Sat = false;
+      bool AllPositive = true;
+      bool Disjoint = true;
+      for (const BoolLit &L : Clause) {
+        Value V = Assign[L.Var];
+        if (V == Unassigned) {
+          AllPositive &= L.Positive;
+          Disjoint &= !Used[L.Var];
+        } else if ((V == True) == L.Positive) {
+          Sat = true;
+          break;
+        }
+      }
+      if (Sat || !AllPositive || !Disjoint)
+        continue;
+      ++Bound;
+      for (const BoolLit &L : Clause)
+        if (Assign[L.Var] == Unassigned)
+          Used[L.Var] = true;
+    }
+    return Bound;
+  }
+
+  void search(uint32_t TrueCount) {
+    std::vector<uint32_t> Trail;
+    if (!propagate(Trail, TrueCount)) {
+      undo(Trail);
+      return;
+    }
+    if (TrueCount + lowerBound() >= BestCost) {
+      undo(Trail);
+      return;
+    }
+    // Branch on the first unassigned variable of the first unsatisfied
+    // clause; if all clauses are satisfied, the remaining variables go
+    // false and we have a (new best) model.
+    int BranchVar = -1;
+    for (const auto &Clause : Clauses) {
+      bool Sat = false;
+      int Candidate = -1;
+      for (const BoolLit &L : Clause) {
+        Value V = Assign[L.Var];
+        if (V == Unassigned) {
+          if (Candidate < 0)
+            Candidate = static_cast<int>(L.Var);
+        } else if ((V == True) == L.Positive) {
+          Sat = true;
+          break;
+        }
+      }
+      if (!Sat) {
+        assert(Candidate >= 0 && "conflict should have been caught above");
+        BranchVar = Candidate;
+        break;
+      }
+    }
+    if (BranchVar < 0) {
+      BestCost = TrueCount;
+      Best = Assign;
+      for (Value &V : Best)
+        if (V == Unassigned)
+          V = False;
+      undo(Trail);
+      return;
+    }
+    // False first: finds cheap models early, sharpening the bound.
+    Assign[BranchVar] = False;
+    search(TrueCount);
+    Assign[BranchVar] = True;
+    search(TrueCount + 1);
+    Assign[BranchVar] = Unassigned;
+    undo(Trail);
+  }
+
+  /// Unassigns unit-propagated variables; TrueCount is per-frame, so there
+  /// is nothing else to roll back.
+  void undo(const std::vector<uint32_t> &Trail) {
+    for (uint32_t V : Trail)
+      Assign[V] = Unassigned;
+  }
+
+  std::vector<std::vector<BoolLit>> Clauses; ///< literals use local var ids
+  std::unordered_map<uint32_t, uint32_t> VarIndex;
+  std::vector<uint32_t> Vars; ///< local id -> original variable
+  std::vector<Value> Assign;
+  std::vector<Value> Best;
+  uint32_t BestCost = UINT32_MAX;
+};
+
+} // namespace
+
+std::optional<MinCostModel> solveMinCost(const Cnf &F, uint32_t NumVars) {
+  if (F.hasEmptyClause())
+    return std::nullopt;
+  return Solver(F).solve(NumVars);
+}
+
+} // namespace tracer
+} // namespace optabs

@@ -1,0 +1,89 @@
+//===- MinCostSat.h - Viable-set CNF and minimum-cost models ---*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TRACER (Algorithm 1) maintains the set of still-viable abstractions and
+/// repeatedly picks a minimum-cost element of it. Both client analyses have
+/// parameter spaces isomorphic to bit vectors with cost = popcount:
+///
+///   type-state:    p in 2^V,        bit x = "variable x is tracked"
+///   thread-escape: p in {L,E}^H,    bit h = "site h is mapped to L"
+///
+/// Each backward meta-analysis run yields a DNF over parameter atoms whose
+/// models are *unviable*; its negation is a set of clauses. The viable set
+/// is therefore a CNF over the parameter bits, and "choose a minimum p in
+/// viable" (line 8) is an exact minimum-cost SAT problem, solved here by
+/// DPLL branch-and-bound with unit propagation. An unsatisfiable CNF is
+/// the impossibility verdict (line 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_TRACER_MINCOSTSAT_H
+#define OPTABS_TRACER_MINCOSTSAT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace optabs {
+namespace tracer {
+
+/// A literal over parameter bits.
+struct BoolLit {
+  uint32_t Var = 0;
+  bool Positive = true;
+
+  friend bool operator==(const BoolLit &A, const BoolLit &B) {
+    return A.Var == B.Var && A.Positive == B.Positive;
+  }
+  friend bool operator<(const BoolLit &A, const BoolLit &B) {
+    return A.Var != B.Var ? A.Var < B.Var : A.Positive < B.Positive;
+  }
+};
+
+/// A CNF over parameter bits. Empty CNF = `true` (everything viable); a
+/// CNF containing the empty clause is unsatisfiable (nothing viable).
+class Cnf {
+public:
+  /// Adds a clause (a disjunction). Duplicate literals are merged and
+  /// tautological clauses (x or !x) dropped; duplicate clauses are dropped.
+  void addClause(std::vector<BoolLit> Lits);
+
+  const std::vector<std::vector<BoolLit>> &clauses() const { return Clauses; }
+  bool hasEmptyClause() const { return ContainsEmptyClause; }
+
+  /// True if \p Assignment (indexed by variable) satisfies every clause.
+  bool eval(const std::vector<bool> &Assignment) const;
+
+  /// A collision-resistant-enough signature for grouping queries with
+  /// identical viable sets (§6's query-grouping optimization).
+  uint64_t signature() const;
+
+  size_t size() const { return Clauses.size(); }
+
+private:
+  std::vector<std::vector<BoolLit>> Clauses;
+  bool ContainsEmptyClause = false;
+};
+
+/// Result of the minimum-cost search.
+struct MinCostModel {
+  std::vector<bool> Assignment; ///< indexed by variable, size NumVars
+  uint32_t Cost = 0;            ///< number of true bits
+};
+
+/// Finds an assignment with the fewest true bits satisfying \p F, over
+/// variables [0, NumVars). Variables not mentioned in any clause are false.
+/// Returns nullopt iff F is unsatisfiable. Deterministic: among minimum-
+/// cost models, the one found by false-first DFS over ascending variable
+/// order is returned.
+std::optional<MinCostModel> solveMinCost(const Cnf &F, uint32_t NumVars);
+
+} // namespace tracer
+} // namespace optabs
+
+#endif // OPTABS_TRACER_MINCOSTSAT_H

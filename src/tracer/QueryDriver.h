@@ -1,0 +1,490 @@
+//===- QueryDriver.h - The TRACER algorithm --------------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TRACER (Algorithm 1): the iterative forward-backward analysis that
+/// resolves each query either with a minimum-cost abstraction that proves
+/// it or with an impossibility verdict, plus the multi-query optimization
+/// of §6 (queries whose sets of unviable abstractions coincide are grouped
+/// and share forward runs).
+///
+/// The driver is generic over an Analysis bundle supplying both the forward
+/// client (§3.2) and the backward meta-analysis client (§4.1):
+///
+/// \code
+///   struct Analysis {
+///     using Param = ...;
+///     using State = ...;
+///     struct StateHash { size_t operator()(const State &) const; };
+///     // -- forward analysis (Figure 3/4/5)
+///     State transfer(const ir::Command &, const State &, const Param &)
+///         const;
+///     State initialState() const;                  // d_I
+///     // -- queries
+///     formula::Dnf notQ(ir::CheckId) const;        // failure condition
+///     // -- backward meta-analysis (Figures 7-11)
+///     formula::Formula wpAtom(const ir::Command &, formula::AtomId) const;
+///     bool evalAtom(formula::AtomId, const Param &, const State &) const;
+///     bool isParamAtom(formula::AtomId) const;
+///     std::string atomName(formula::AtomId) const;
+///     // -- parameter-space codec (P, cost order |.|)
+///     uint32_t numParamBits() const;
+///     // (bit, value of that bit that makes the atom true)
+///     std::pair<uint32_t, bool> decodeParamAtom(formula::AtomId) const;
+///     Param paramFromBits(const std::vector<bool> &) const;
+///     uint32_t paramCost(const Param &) const;     // = popcount
+///     std::string paramToString(const Param &) const;
+///   };
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_TRACER_QUERYDRIVER_H
+#define OPTABS_TRACER_QUERYDRIVER_H
+
+#include "dataflow/Forward.h"
+#include "meta/Backward.h"
+#include "support/Timer.h"
+#include "tracer/MinCostSat.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace optabs {
+namespace tracer {
+
+/// Per-query verdicts. Unresolved corresponds to the paper's queries that
+/// exhausted the time budget (Figure 12's third category).
+enum class Verdict : uint8_t { Proven, Impossible, Unresolved };
+
+inline const char *verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Proven:
+    return "proven";
+  case Verdict::Impossible:
+    return "impossible";
+  case Verdict::Unresolved:
+    return "unresolved";
+  }
+  return "?";
+}
+
+/// Outcome of one query.
+struct QueryOutcome {
+  ir::CheckId Check;
+  Verdict V = Verdict::Unresolved;
+  unsigned Iterations = 0; ///< CEGAR iterations (forward runs) consumed
+  double Seconds = 0;      ///< attributed resolution time
+  uint32_t CheapestCost = 0;     ///< |p| of the proving abstraction
+  std::string CheapestParam;     ///< canonical form, for Table 4 grouping
+};
+
+/// How the next abstraction is chosen after a failed proof attempt. The
+/// non-default strategies are the baselines the paper's Related Work
+/// contrasts TRACER with.
+enum class SearchStrategy : uint8_t {
+  /// Algorithm 1: backward meta-analysis eliminates whole sets of
+  /// abstractions; next is a minimum-cost viable one.
+  Tracer,
+  /// Strawman CEGAR: each iteration eliminates exactly the current
+  /// abstraction. Sound and (eventually) optimal, but the search space is
+  /// 2^N, so it exhausts any budget beyond toy families.
+  EliminateCurrent,
+  /// Monotone refinement in the style of demand-driven pointer analyses
+  /// (Sridharan-Bodik et al.): grow the abstraction by every parameter the
+  /// failure is blamed on. Fast, but over-refines (no minimality) and can
+  /// never conclude impossibility.
+  GreedyGrow,
+};
+
+inline const char *strategyName(SearchStrategy S) {
+  switch (S) {
+  case SearchStrategy::Tracer:
+    return "tracer";
+  case SearchStrategy::EliminateCurrent:
+    return "eliminate-current";
+  case SearchStrategy::GreedyGrow:
+    return "greedy-grow";
+  }
+  return "?";
+}
+
+/// Tuning knobs (defaults follow the paper's chosen operating point k=5).
+struct TracerOptions {
+  unsigned K = 5;                  ///< dropk beam width; 0 = no underapprox
+  unsigned MaxItersPerQuery = 100; ///< per-query iteration budget
+  double TimeBudgetSeconds = 1e12; ///< whole-driver wall-clock budget
+  bool GroupQueries = true;        ///< §6 unviable-set grouping
+  size_t ProductSoftCap = 4096;
+  /// Per-trace budget for the backward meta-analysis; 0 = unbounded. A
+  /// timed-out meta-analysis run leaves its query unresolved (this is how
+  /// the exact-mode configuration of §6 times out).
+  double BackwardTimeoutSeconds = 0;
+  /// Abstraction-selection strategy (see SearchStrategy).
+  SearchStrategy Strategy = SearchStrategy::Tracer;
+  /// Counterexamples analyzed per failed iteration. 1 reproduces the
+  /// paper; larger values analyze several distinct failing states' traces
+  /// and conjoin everything learned - a lightweight realization of §8's
+  /// "DAG counterexamples" direction.
+  unsigned TracesPerIteration = 1;
+};
+
+/// Aggregate statistics of one driver run.
+struct DriverStats {
+  unsigned Rounds = 0;
+  unsigned ForwardRuns = 0;  ///< distinct (abstraction) forward analyses
+  unsigned BackwardRuns = 0; ///< meta-analysis trace runs
+  unsigned SolverCalls = 0;
+  size_t MaxFormulaCubes = 0; ///< largest backward formula encountered
+};
+
+template <typename Analysis> class QueryDriver {
+public:
+  using Param = typename Analysis::Param;
+  using State = typename Analysis::State;
+  using Forward = dataflow::ForwardAnalysis<Analysis>;
+  using Backward = meta::BackwardMetaAnalysis<Analysis>;
+
+  QueryDriver(const ir::Program &P, const Analysis &A,
+              TracerOptions Options = TracerOptions())
+      : P(P), A(A), Options(Options) {}
+
+  /// Resolves all \p Queries; the result vector is parallel to the input.
+  std::vector<QueryOutcome> run(const std::vector<ir::CheckId> &Queries) {
+    if (Options.Strategy == SearchStrategy::GreedyGrow)
+      return runGreedy(Queries);
+    Timer Total;
+    Stats = DriverStats();
+
+    struct QueryRec {
+      Cnf Viable;
+      bool Done = false;
+      formula::Dnf NotQ;
+    };
+    std::vector<QueryOutcome> Outcomes(Queries.size());
+    std::vector<QueryRec> Recs(Queries.size());
+    for (size_t I = 0; I < Queries.size(); ++I) {
+      Outcomes[I].Check = Queries[I];
+      Recs[I].NotQ = A.notQ(Queries[I]);
+    }
+
+    meta::BackwardConfig BwdConfig;
+    BwdConfig.K = Options.K;
+    BwdConfig.ProductSoftCap = Options.ProductSoftCap;
+    BwdConfig.TimeoutSeconds = Options.BackwardTimeoutSeconds;
+    Backward Bwd(P, A, BwdConfig);
+    State Init = A.initialState();
+
+    size_t Unresolved = Queries.size();
+    while (Unresolved > 0 && Total.seconds() < Options.TimeBudgetSeconds) {
+      ++Stats.Rounds;
+
+      // Group unresolved queries by viable-set signature (§6). Without
+      // grouping, every query is its own group but forward runs for equal
+      // abstractions are still shared within the round.
+      std::map<uint64_t, std::vector<size_t>> Groups;
+      for (size_t I = 0; I < Queries.size(); ++I) {
+        if (Recs[I].Done)
+          continue;
+        uint64_t Key = Options.GroupQueries
+                           ? Recs[I].Viable.signature()
+                           : static_cast<uint64_t>(I);
+        Groups[Key].push_back(I);
+      }
+
+      // One min-cost solve per group; one forward run per distinct
+      // abstraction this round.
+      std::map<std::string, std::unique_ptr<Forward>> Runs;
+      std::map<std::string, double> RunTime;
+      std::map<std::string, size_t> RunUsers;
+
+      struct GroupPlan {
+        std::vector<size_t> Members;
+        std::optional<Param> Abs;
+        std::vector<bool> Bits;
+        std::string AbsKey;
+      };
+      std::vector<GroupPlan> Plans;
+      for (auto &[Sig, Members] : Groups) {
+        (void)Sig;
+        GroupPlan Plan;
+        Plan.Members = Members;
+        ++Stats.SolverCalls;
+        auto Model =
+            solveMinCost(Recs[Members[0]].Viable, A.numParamBits());
+        if (Model) {
+          Plan.Abs = A.paramFromBits(Model->Assignment);
+          Plan.Bits = std::move(Model->Assignment);
+          Plan.AbsKey = A.paramToString(*Plan.Abs);
+          // Without grouping, each query runs its own forward analysis
+          // (the "technique run separately per query" baseline of §6).
+          if (!Options.GroupQueries)
+            Plan.AbsKey += "#" + std::to_string(Plans.size());
+          RunUsers[Plan.AbsKey] += Members.size();
+        }
+        Plans.push_back(std::move(Plan));
+      }
+
+      for (GroupPlan &Plan : Plans) {
+        if (!Plan.Abs) {
+          // Viable set empty: the analysis cannot prove these queries with
+          // any abstraction (Algorithm 1, line 6).
+          for (size_t I : Plan.Members) {
+            Recs[I].Done = true;
+            Outcomes[I].V = Verdict::Impossible;
+            --Unresolved;
+          }
+          continue;
+        }
+        auto RunIt = Runs.find(Plan.AbsKey);
+        if (RunIt == Runs.end()) {
+          Timer RunTimer;
+          auto Run = std::make_unique<Forward>(P, A, *Plan.Abs);
+          Run->run(Init);
+          ++Stats.ForwardRuns;
+          RunTime[Plan.AbsKey] = RunTimer.seconds();
+          RunIt = Runs.emplace(Plan.AbsKey, std::move(Run)).first;
+        }
+        Forward &Run = *RunIt->second;
+        double SharedTime =
+            RunTime[Plan.AbsKey] / static_cast<double>(RunUsers[Plan.AbsKey]);
+
+        for (size_t I : Plan.Members) {
+          if (Total.seconds() >= Options.TimeBudgetSeconds)
+            break;
+          Timer QueryTimer;
+          QueryOutcome &Out = Outcomes[I];
+          QueryRec &Rec = Recs[I];
+          ++Out.Iterations;
+
+          // D = F_p[s]({d_I}) restricted to the check, intersected with
+          // gamma(not q) (line 9).
+          std::vector<State> Fails;
+          for (const State &D : Run.statesAtCheck(Out.Check)) {
+            bool IsFail = Rec.NotQ.eval([&](formula::AtomId Atom) {
+              return A.evalAtom(Atom, *Plan.Abs, D);
+            });
+            if (IsFail)
+              Fails.push_back(D);
+          }
+          if (Fails.empty()) {
+            // Proven with a minimum abstraction (line 11).
+            Rec.Done = true;
+            Out.V = Verdict::Proven;
+            Out.CheapestCost = A.paramCost(*Plan.Abs);
+            Out.CheapestParam = A.paramToString(*Plan.Abs);
+            Out.Seconds += SharedTime + QueryTimer.seconds();
+            --Unresolved;
+            continue;
+          }
+          if (Out.Iterations >= Options.MaxItersPerQuery) {
+            Rec.Done = true;
+            Out.V = Verdict::Unresolved;
+            Out.Seconds += SharedTime + QueryTimer.seconds();
+            --Unresolved;
+            continue;
+          }
+
+          if (Options.Strategy == SearchStrategy::EliminateCurrent) {
+            // Baseline: rule out exactly the current abstraction.
+            std::vector<BoolLit> Clause;
+            for (uint32_t Bit = 0; Bit < A.numParamBits(); ++Bit)
+              Clause.push_back(BoolLit{Bit, Bit < Plan.Bits.size()
+                                                ? !Plan.Bits[Bit]
+                                                : true});
+            Rec.Viable.addClause(std::move(Clause));
+            Out.Seconds += SharedTime + QueryTimer.seconds();
+            continue;
+          }
+
+          // Lines 13-15: counterexample trace(s), backward meta-analysis,
+          // and viable-set strengthening. Analyzing several distinct
+          // failing states' traces per iteration conjoins everything they
+          // rule out (§8's DAG-counterexample direction, in trace form).
+          std::sort(Fails.begin(), Fails.end());
+          size_t WantTraces = std::max(1u, Options.TracesPerIteration);
+          std::vector<ir::Trace> Traces;
+          for (const State &Bad : Fails) {
+            if (Traces.size() >= WantTraces)
+              break;
+            for (ir::Trace &T : Run.extractTraces(
+                     Out.Check, Bad, WantTraces - Traces.size()))
+              Traces.push_back(std::move(T));
+          }
+          assert(!Traces.empty() &&
+                 "failing state must be witnessed by a trace");
+          if (Traces.empty()) {
+            // Defensive: without a counterexample nothing can be learned
+            // and retrying the same abstraction would not terminate.
+            Rec.Done = true;
+            Out.V = Verdict::Unresolved;
+            Out.Seconds += SharedTime + QueryTimer.seconds();
+            --Unresolved;
+            continue;
+          }
+          bool MetaTimedOut = false;
+          for (const ir::Trace &T : Traces) {
+            std::vector<State> States = Run.replay(T, Init);
+            ++Stats.BackwardRuns;
+            std::optional<formula::Dnf> F =
+                Bwd.run(T, *Plan.Abs, States, Rec.NotQ);
+            Stats.MaxFormulaCubes =
+                std::max(Stats.MaxFormulaCubes, Bwd.stats().MaxCubes);
+            if (!F) {
+              // The meta-analysis timed out on this trace: nothing sound
+              // can be learned, so the query stays unresolved.
+              MetaTimedOut = true;
+              break;
+            }
+            formula::Dnf Unviable =
+                Bwd.projectToParams(*F, *Plan.Abs, Init);
+            addUnviable(Rec.Viable, Unviable);
+          }
+          if (MetaTimedOut) {
+            Rec.Done = true;
+            Out.V = Verdict::Unresolved;
+            Out.Seconds += SharedTime + QueryTimer.seconds();
+            --Unresolved;
+            continue;
+          }
+          // Progress (Theorem 3): the current abstraction is always among
+          // the eliminated ones, so the next round cannot repeat it.
+          assert(!Rec.Viable.eval(Plan.Bits) &&
+                 "meta-analysis failed to eliminate the current abstraction");
+          Out.Seconds += SharedTime + QueryTimer.seconds();
+        }
+      }
+    }
+
+    for (size_t I = 0; I < Queries.size(); ++I) {
+      if (!Recs[I].Done)
+        Outcomes[I].V = Verdict::Unresolved;
+    }
+    TotalSeconds = Total.seconds();
+    return Outcomes;
+  }
+
+  const DriverStats &stats() const { return Stats; }
+  double totalSeconds() const { return TotalSeconds; }
+
+private:
+  /// The GreedyGrow baseline: per query, monotonically switch on every
+  /// parameter bit the failed proof is blamed on. Never shrinks, never
+  /// optimizes, and cannot conclude impossibility (failures with no new
+  /// blame are reported unresolved) - the behavior the paper attributes to
+  /// classic refinement-based analyses.
+  std::vector<QueryOutcome> runGreedy(const std::vector<ir::CheckId> &Queries) {
+    Timer Total;
+    Stats = DriverStats();
+    meta::BackwardConfig BwdConfig;
+    BwdConfig.K = Options.K;
+    BwdConfig.ProductSoftCap = Options.ProductSoftCap;
+    BwdConfig.TimeoutSeconds = Options.BackwardTimeoutSeconds;
+    Backward Bwd(P, A, BwdConfig);
+    State Init = A.initialState();
+
+    // Forward runs cache shared across queries and iterations.
+    std::map<std::vector<bool>, std::unique_ptr<Forward>> Runs;
+    auto GetRun = [&](const std::vector<bool> &Bits) -> Forward & {
+      auto It = Runs.find(Bits);
+      if (It == Runs.end()) {
+        auto Run = std::make_unique<Forward>(P, A, A.paramFromBits(Bits));
+        Run->run(Init);
+        ++Stats.ForwardRuns;
+        It = Runs.emplace(Bits, std::move(Run)).first;
+      }
+      return *It->second;
+    };
+
+    std::vector<QueryOutcome> Outcomes(Queries.size());
+    for (size_t I = 0; I < Queries.size(); ++I) {
+      QueryOutcome &Out = Outcomes[I];
+      Out.Check = Queries[I];
+      Timer QueryTimer;
+      formula::Dnf NotQ = A.notQ(Out.Check);
+      std::vector<bool> Bits(A.numParamBits(), false);
+
+      while (true) {
+        if (Total.seconds() >= Options.TimeBudgetSeconds ||
+            Out.Iterations >= Options.MaxItersPerQuery)
+          break; // stays Unresolved
+        ++Out.Iterations;
+        ++Stats.Rounds;
+        Param Prm = A.paramFromBits(Bits);
+        Forward &Run = GetRun(Bits);
+        std::vector<State> Fails;
+        for (const State &D : Run.statesAtCheck(Out.Check))
+          if (NotQ.eval([&](formula::AtomId Atom) {
+                return A.evalAtom(Atom, Prm, D);
+              }))
+            Fails.push_back(D);
+        if (Fails.empty()) {
+          Out.V = Verdict::Proven;
+          Out.CheapestCost = A.paramCost(Prm); // NOT minimal in general
+          Out.CheapestParam = A.paramToString(Prm);
+          break;
+        }
+        std::sort(Fails.begin(), Fails.end());
+        auto T = Run.extractTrace(Out.Check, Fails.front());
+        assert(T && "failing state must be witnessed by a trace");
+        std::vector<State> States = Run.replay(*T, Init);
+        ++Stats.BackwardRuns;
+        std::optional<formula::Dnf> F = Bwd.run(*T, Prm, States, NotQ);
+        if (!F)
+          break; // meta-analysis budget: Unresolved
+        formula::Dnf Unviable = Bwd.projectToParams(*F, Prm, Init);
+        // Blame: every parameter mentioned by the failure condition.
+        std::vector<bool> Grown = Bits;
+        for (const formula::Cube &Cube : Unviable.cubes())
+          for (formula::Lit L : Cube.literals())
+            Grown[A.decodeParamAtom(L.atom()).first] = true;
+        if (Grown == Bits)
+          break; // no new blame: give up (cannot conclude impossibility)
+        Bits = std::move(Grown);
+      }
+      Out.Seconds = QueryTimer.seconds();
+    }
+    TotalSeconds = Total.seconds();
+    return Outcomes;
+  }
+
+  /// Conjoins the negation of the unviable DNF into the viable CNF: each
+  /// unviable cube becomes one clause of negated literals.
+  void addUnviable(Cnf &Viable, const formula::Dnf &Unviable) const {
+    for (const formula::Cube &Cube : Unviable.cubes()) {
+      std::vector<BoolLit> Clause;
+      for (formula::Lit L : Cube.literals()) {
+        auto [Bit, ValueWhenTrue] = A.decodeParamAtom(L.atom());
+        bool AtomTruePolarity = !L.isNeg();
+        // Literal holds iff bit == (ValueWhenTrue == AtomTruePolarity
+        // ? true : false)... i.e. the literal constrains the bit to
+        // (ValueWhenTrue == AtomTruePolarity). The clause needs its
+        // negation.
+        bool BitMustBe = (ValueWhenTrue == AtomTruePolarity);
+        Clause.push_back(BoolLit{Bit, !BitMustBe});
+      }
+      Viable.addClause(std::move(Clause));
+    }
+  }
+
+  /// Deterministic tie-break for the failing state choice; clients define
+  /// operator< on their states.
+  static bool less(const State &A, const State &B) { return A < B; }
+
+  const ir::Program &P;
+  const Analysis &A;
+  TracerOptions Options;
+  DriverStats Stats;
+  double TotalSeconds = 0;
+};
+
+} // namespace tracer
+} // namespace optabs
+
+#endif // OPTABS_TRACER_QUERYDRIVER_H

@@ -1,0 +1,74 @@
+//===- Properties.cpp - Canonical type-state properties -----------------------===//
+
+#include "typestate/Properties.h"
+
+namespace optabs {
+namespace typestate {
+
+using ir::MethodId;
+using ir::Program;
+
+TypestateSpec makeFileProperty(Program &P) {
+  TypestateSpec Spec("closed");
+  uint32_t Closed = 0;
+  uint32_t Opened = Spec.addState("opened");
+  MethodId Open = P.makeMethod("open");
+  MethodId Close = P.makeMethod("close");
+  Spec.addTransition(Open, Closed, Opened);
+  Spec.addErrorTransition(Open, Opened);
+  Spec.addTransition(Close, Opened, Closed);
+  Spec.addErrorTransition(Close, Closed);
+  return Spec;
+}
+
+TypestateSpec makeIteratorProperty(Program &P) {
+  TypestateSpec Spec("unknown");
+  uint32_t Unknown = 0;
+  uint32_t Ready = Spec.addState("ready");
+  MethodId HasNext = P.makeMethod("hasNext");
+  MethodId Next = P.makeMethod("next");
+  Spec.addTransition(HasNext, Unknown, Ready);
+  Spec.addTransition(HasNext, Ready, Ready);
+  Spec.addTransition(Next, Ready, Unknown);
+  Spec.addErrorTransition(Next, Unknown);
+  return Spec;
+}
+
+TypestateSpec makeSocketProperty(Program &P) {
+  TypestateSpec Spec("fresh");
+  uint32_t Fresh = 0;
+  uint32_t Connected = Spec.addState("connected");
+  uint32_t Closed = Spec.addState("closed");
+  MethodId Connect = P.makeMethod("connect");
+  MethodId Send = P.makeMethod("send");
+  MethodId Recv = P.makeMethod("recv");
+  MethodId Close = P.makeMethod("close");
+  Spec.addTransition(Connect, Fresh, Connected);
+  Spec.addErrorTransition(Connect, Connected);
+  Spec.addErrorTransition(Connect, Closed);
+  for (MethodId M : {Send, Recv}) {
+    Spec.addTransition(M, Connected, Connected);
+    Spec.addErrorTransition(M, Fresh);
+    Spec.addErrorTransition(M, Closed);
+  }
+  Spec.addTransition(Close, Connected, Closed);
+  Spec.addTransition(Close, Fresh, Closed);
+  Spec.addErrorTransition(Close, Closed);
+  return Spec;
+}
+
+TypestateSpec makeResourceProperty(Program &P) {
+  TypestateSpec Spec("idle");
+  uint32_t Idle = 0;
+  uint32_t Held = Spec.addState("held");
+  MethodId Acquire = P.makeMethod("acquire");
+  MethodId Release = P.makeMethod("release");
+  Spec.addTransition(Acquire, Idle, Held);
+  Spec.addErrorTransition(Acquire, Held);
+  Spec.addTransition(Release, Held, Idle);
+  Spec.addErrorTransition(Release, Idle);
+  return Spec;
+}
+
+} // namespace typestate
+} // namespace optabs

@@ -1,0 +1,47 @@
+//===- Properties.h - Canonical type-state properties ----------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small library of classic type-state properties (the kind Fink et
+/// al.'s verifier - the paper's reference [7] - ships with), expressed as
+/// TypestateSpec automata over a program's method names. Each builder
+/// interns the methods it needs into the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_TYPESTATE_PROPERTIES_H
+#define OPTABS_TYPESTATE_PROPERTIES_H
+
+#include "typestate/Typestate.h"
+
+namespace optabs {
+namespace typestate {
+
+/// File discipline (the paper's Figure 1): closed <-> opened via
+/// open()/close(); re-opening or re-closing errs. Initial state "closed".
+TypestateSpec makeFileProperty(ir::Program &P);
+
+/// Iterator discipline: next() is only legal after hasNext(); calling
+/// next() in the initial/consumed state errs. States: "unknown" (init),
+/// "ready". hasNext: unknown->ready, ready->ready; next: ready->unknown,
+/// unknown->ERR.
+TypestateSpec makeIteratorProperty(ir::Program &P);
+
+/// Socket discipline: connect() before send()/recv(), close() ends the
+/// session; send/recv after close or before connect errs, double connect
+/// errs. States: "fresh" (init), "connected", "closed".
+TypestateSpec makeSocketProperty(ir::Program &P);
+
+/// Resource handle: acquire() then release(), strictly alternating;
+/// double acquire or release-without-acquire errs. States: "idle" (init),
+/// "held".
+TypestateSpec makeResourceProperty(ir::Program &P);
+
+} // namespace typestate
+} // namespace optabs
+
+#endif // OPTABS_TYPESTATE_PROPERTIES_H

@@ -1,0 +1,195 @@
+//===- Typestate.h - Parametric type-state analysis ------------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parametric type-state analysis of §3.2 / Figure 4 together with its
+/// backward meta-analysis (Figures 9/10), packaged as an Analysis bundle
+/// for the generic forward engine, backward engine and TRACER driver.
+///
+/// The analysis tracks a single allocation site h per instance. Abstract
+/// states are (ts, vs) or TOP: ts over-approximates the possible
+/// type-states of objects allocated at h, vs is a must-alias set of
+/// variables definitely pointing to the most recent such object, and TOP
+/// records a detected type-state error. The abstraction p (a subset of the
+/// program's variables, cost |p|) bounds which variables may appear in vs.
+///
+/// Method-call semantics comes from a TypestateSpec, which is either
+///  - an automaton: [m] : T -> T u {TOP} per method (e.g. File open/close,
+///    Figure 1), unknown methods leaving the state unchanged; or
+///  - the paper's "fictitious" stress property (§6): any call v.m() with v
+///    may-aliasing the tracked site but absent from the must-alias set
+///    drives the state to TOP, so the property precisely detects must-alias
+///    precision loss.
+/// A call whose receiver cannot point to the tracked site (per the 0-CFA
+/// may-points-to substrate) never affects the state, in both modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_TYPESTATE_TYPESTATE_H
+#define OPTABS_TYPESTATE_TYPESTATE_H
+
+#include "formula/Formula.h"
+#include "formula/Normalize.h"
+#include "ir/Program.h"
+#include "pointer/PointsTo.h"
+#include "support/BitSet.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace optabs {
+namespace typestate {
+
+/// A type-state property. State 0 is always `init`.
+class TypestateSpec {
+public:
+  static constexpr uint32_t MaxStates = 30;
+
+  /// Creates an automaton-mode spec whose initial state is named \p
+  /// InitName ("init" by default; Figure 1 uses "closed").
+  explicit TypestateSpec(const std::string &InitName = "init");
+
+  /// Creates the §6 stress property: two conceptual states (init and the
+  /// error TOP); any weakly-updated call errs.
+  static TypestateSpec stress();
+
+  /// Interns a type-state; returns its dense id (init is 0).
+  uint32_t addState(const std::string &Name);
+
+  /// Declares [m](From) = To.
+  void addTransition(ir::MethodId M, uint32_t From, uint32_t To);
+  /// Declares [m](From) = TOP (a type-state error).
+  void addErrorTransition(ir::MethodId M, uint32_t From);
+
+  bool isStress() const { return Stress; }
+  uint32_t numStates() const {
+    return static_cast<uint32_t>(StateNames.size());
+  }
+  const std::string &stateName(uint32_t S) const { return StateNames[S]; }
+  /// Looks up a state by name; nullopt if unknown.
+  std::optional<uint32_t> findState(const std::string &Name) const;
+
+  /// [m](S): the successor state, or nullopt for TOP. Methods without a
+  /// declared transition leave the state unchanged.
+  std::optional<uint32_t> apply(ir::MethodId M, uint32_t S) const;
+
+private:
+  bool Stress = false;
+  std::vector<std::string> StateNames;
+  /// (method, from) -> successor; SuccTop marks TOP.
+  static constexpr uint32_t SuccTop = UINT32_MAX;
+  std::vector<std::pair<uint64_t, uint32_t>> Transitions; // sorted on demand
+  std::optional<uint32_t> lookup(ir::MethodId M, uint32_t S) const;
+};
+
+/// Abstract state d in D = (2^T x 2^V) u {TOP} (Figure 4).
+struct AbsState {
+  bool Top = false;
+  uint32_t Ts = 0;              ///< bitset over spec states (<= MaxStates)
+  std::vector<uint32_t> Vs;     ///< sorted variable indices (subset of p)
+
+  friend bool operator==(const AbsState &A, const AbsState &B) {
+    return A.Top == B.Top && A.Ts == B.Ts && A.Vs == B.Vs;
+  }
+  friend bool operator<(const AbsState &A, const AbsState &B) {
+    if (A.Top != B.Top)
+      return A.Top < B.Top;
+    if (A.Ts != B.Ts)
+      return A.Ts < B.Ts;
+    return A.Vs < B.Vs;
+  }
+};
+
+/// The abstraction p: the set of variables the analysis may track in
+/// must-alias sets. Cost = |p| (the paper's preorder).
+struct TsParam {
+  BitSet Tracked;
+};
+
+/// The full Analysis bundle for one tracked allocation site. See
+/// tracer/QueryDriver.h for the interface contract.
+class TypestateAnalysis {
+public:
+  using Param = TsParam;
+  using State = AbsState;
+
+  struct StateHash {
+    size_t operator()(const AbsState &S) const {
+      uint64_t H = S.Top ? 0x9e3779b97f4a7c15ULL : 0x85ebca6b0f4a7c15ULL;
+      H = (H ^ S.Ts) * 0xff51afd7ed558ccdULL;
+      for (uint32_t V : S.Vs)
+        H = (H ^ V) * 0xc4ceb9fe1a85ec53ULL;
+      return static_cast<size_t>(H ^ (H >> 33));
+    }
+  };
+
+  /// \p Tracked is the allocation site this instance tracks; \p Pt supplies
+  /// the may-alias oracle; both must outlive the analysis.
+  TypestateAnalysis(const ir::Program &P, const TypestateSpec &Spec,
+                    ir::AllocId Tracked, const pointer::PointsToResult &Pt);
+
+  //===--- forward ---------------------------------------------------------===
+  State initialState() const;
+  State transfer(const ir::Command &Cmd, const State &In,
+                 const Param &Prm) const;
+
+  //===--- queries ---------------------------------------------------------===
+  /// Failure condition not(q) for a check(v, allowed): err or any
+  /// disallowed type-state reachable. In stress mode (or without payload):
+  /// err alone.
+  formula::Dnf notQ(ir::CheckId Check) const;
+
+  //===--- backward meta-analysis ------------------------------------------===
+  formula::Formula wpAtom(const ir::Command &Cmd, formula::AtomId A) const;
+  bool evalAtom(formula::AtomId A, const Param &Prm, const State &D) const;
+  bool isParamAtom(formula::AtomId A) const;
+  std::string atomName(formula::AtomId A) const;
+
+  /// Semantic normalization hooks (Figure 9's domain): err excludes every
+  /// var/type atom, since those describe non-TOP states. There are no
+  /// multi-valued locations in this domain.
+  std::optional<formula::LocationInfo> atomLocation(formula::AtomId) const {
+    return std::nullopt;
+  }
+  std::optional<formula::Cube> refineCube(const formula::Cube &C) const;
+
+  //===--- parameter codec --------------------------------------------------===
+  uint32_t numParamBits() const { return P.numVars(); }
+  std::pair<uint32_t, bool> decodeParamAtom(formula::AtomId A) const;
+  Param paramFromBits(const std::vector<bool> &Bits) const;
+  uint32_t paramCost(const Param &Prm) const {
+    return static_cast<uint32_t>(Prm.Tracked.count());
+  }
+  std::string paramToString(const Param &Prm) const;
+
+  //===--- atom constructors (public for tests and examples) ----------------===
+  static formula::AtomId atomErr() { return 0; }
+  static formula::AtomId atomParam(ir::VarId X) {
+    return (X.index() << 2) | 1;
+  }
+  static formula::AtomId atomVar(ir::VarId X) { return (X.index() << 2) | 2; }
+  static formula::AtomId atomType(uint32_t S) { return (S << 2) | 3; }
+
+  ir::AllocId trackedSite() const { return Tracked; }
+  const TypestateSpec &spec() const { return Spec; }
+
+private:
+  bool mayAffect(ir::VarId Receiver) const {
+    return Pt.mayPoint(Receiver, Tracked);
+  }
+
+  const ir::Program &P;
+  const TypestateSpec &Spec;
+  ir::AllocId Tracked;
+  const pointer::PointsToResult &Pt;
+};
+
+} // namespace typestate
+} // namespace optabs
+
+#endif // OPTABS_TYPESTATE_TYPESTATE_H

@@ -1,0 +1,252 @@
+//===- BackwardTest.cpp - Theorem 3 property tests for the meta-analysis ------===//
+//
+// Theorem 3 (Soundness) of the paper:
+//   1. (p, F_p[t](d)) in gamma(f)  ==>  (p, d) in gamma(B[t](p, d, f))
+//      - the current pair is never lost (progress);
+//   2. every (p0, d0) in gamma(B[t](p, d, f)) satisfies
+//      (p0, F_p0[t](d0)) in gamma(f)
+//      - everything the formula captures really fails the same way.
+// These are validated here on traces extracted from randomly generated
+// programs, for both client analyses and several beam widths, by sampling
+// (p0, d0) pairs and replaying the trace under them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "meta/Backward.h"
+
+#include "dataflow/Forward.h"
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+#include "pointer/PointsTo.h"
+#include "support/Prng.h"
+#include "typestate/Typestate.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace optabs;
+using namespace optabs::ir;
+
+Program parse(const std::string &Src) {
+  Program P;
+  std::string Error;
+  bool Ok = parseProgram(Src, P, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return P;
+}
+
+/// Shared driver: run forward under the cheapest abstraction, take every
+/// failing state at every check, extract traces, run the meta-analysis,
+/// then check both halves of Theorem 3 by sampling.
+template <typename Analysis, typename RandomParam, typename RandomState>
+void checkTheorem3(const Program &P, const Analysis &A, unsigned K,
+                   RandomParam RandParam, RandomState RandState,
+                   Prng &Rng) {
+  using Fwd = dataflow::ForwardAnalysis<Analysis>;
+  typename Analysis::Param P0 = A.paramFromBits({});
+  Fwd Forward(P, A, P0);
+  Forward.run(A.initialState());
+
+  meta::BackwardConfig Config;
+  Config.K = K;
+  meta::BackwardMetaAnalysis<Analysis> Bwd(P, A, Config);
+
+  for (uint32_t CI = 0; CI < P.numChecks(); ++CI) {
+    CheckId Check(CI);
+    formula::Dnf NotQ = A.notQ(Check);
+    for (const auto &D : Forward.statesAtCheck(Check)) {
+      bool Fails = NotQ.eval(
+          [&](formula::AtomId At) { return A.evalAtom(At, P0, D); });
+      if (!Fails)
+        continue;
+      auto T = Forward.extractTrace(Check, D);
+      ASSERT_TRUE(T.has_value());
+      auto States = Forward.replay(*T, A.initialState());
+      auto F = Bwd.run(*T, P0, States, NotQ);
+      ASSERT_TRUE(F.has_value());
+
+      // Part 1: the run's own (p, d_I) is captured.
+      EXPECT_TRUE(F->eval([&](formula::AtomId At) {
+        return A.evalAtom(At, P0, States.front());
+      }));
+
+      // Part 2: sampled members of gamma(F) really fail.
+      for (int Sample = 0; Sample < 30; ++Sample) {
+        typename Analysis::Param Prm = RandParam(Rng);
+        typename Analysis::State D0 = RandState(Rng);
+        bool Captured = F->eval([&](formula::AtomId At) {
+          return A.evalAtom(At, Prm, D0);
+        });
+        if (!Captured)
+          continue;
+        typename Analysis::State Cur = D0;
+        for (CommandId Cmd : *T)
+          Cur = A.transfer(P.command(Cmd), Cur, Prm);
+        EXPECT_TRUE(NotQ.eval([&](formula::AtomId At) {
+          return A.evalAtom(At, Prm, Cur);
+        })) << "a captured pair did not fail (check " << CI << ", k=" << K
+            << ")";
+      }
+    }
+  }
+}
+
+std::string randomEscapeProgram(Prng &Rng) {
+  const char *Vars[] = {"a", "b", "c"};
+  const char *Sites[] = {"h1", "h2", "h3"};
+  const char *Fields[] = {"f", "k"};
+  std::string Src = "global g;\nproc main {\n";
+  Src += "  a = new h1;\n  b = new h2;\n  c = null;\n";
+  unsigned Len = 3 + Rng.nextBelow(8);
+  for (unsigned I = 0; I < Len; ++I) {
+    std::string V = Vars[Rng.nextBelow(3)];
+    std::string W = Vars[Rng.nextBelow(3)];
+    switch (Rng.nextBelow(8)) {
+    case 0:
+      Src += "  " + V + " = new " + Sites[Rng.nextBelow(3)] + ";\n";
+      break;
+    case 1:
+      Src += "  " + V + " = " + W + ";\n";
+      break;
+    case 2:
+      Src += "  g = " + V + ";\n";
+      break;
+    case 3:
+      Src += "  " + V + " = g;\n";
+      break;
+    case 4:
+      Src += "  " + V + " = " + W + "." + Fields[Rng.nextBelow(2)] + ";\n";
+      break;
+    case 5:
+      Src += "  " + V + "." + Fields[Rng.nextBelow(2)] + " = " + W + ";\n";
+      break;
+    case 6:
+      Src += "  choice { " + V + " = " + W + "; } or { }\n";
+      break;
+    default:
+      Src += "  " + V + " = null;\n";
+      break;
+    }
+  }
+  Src += "  check(a);\n  check(b);\n}\n";
+  return Src;
+}
+
+TEST(Theorem3, HoldsForEscapeOnRandomPrograms) {
+  Prng Rng(0x7EAC);
+  for (int Round = 0; Round < 40; ++Round) {
+    Program P = parse(randomEscapeProgram(Rng));
+    escape::EscapeAnalysis A(P);
+    auto RandParam = [&P, &A](Prng &R) {
+      std::vector<bool> Bits(P.numAllocs());
+      for (size_t I = 0; I < Bits.size(); ++I)
+        Bits[I] = R.chance(1, 2);
+      return A.paramFromBits(Bits);
+    };
+    auto RandState = [&P, &A](Prng &R) {
+      escape::EscState D = A.initialState();
+      for (uint8_t &V : D.Vals)
+        V = static_cast<uint8_t>(R.nextBelow(3));
+      return D;
+    };
+    for (unsigned K : {1u, 3u, 0u})
+      checkTheorem3(P, A, K, RandParam, RandState, Rng);
+  }
+}
+
+TEST(Theorem3, HoldsForTypestateOnRandomPrograms) {
+  Prng Rng(0x7EAD);
+  const char *Vars[] = {"a", "b", "c"};
+  for (int Round = 0; Round < 40; ++Round) {
+    std::string Src = "proc main {\n  a = new h1;\n";
+    unsigned Len = 2 + Rng.nextBelow(8);
+    for (unsigned I = 0; I < Len; ++I) {
+      std::string V = Vars[Rng.nextBelow(3)];
+      std::string W = Vars[Rng.nextBelow(3)];
+      switch (Rng.nextBelow(5)) {
+      case 0:
+        Src += "  " + V + " = " + W + ";\n";
+        break;
+      case 1:
+        Src += "  " + V + ".work();\n";
+        break;
+      case 2:
+        Src += "  " + V + " = new h1;\n";
+        break;
+      case 3:
+        Src += "  choice { " + V + " = " + W + "; } or { }\n";
+        break;
+      default:
+        Src += "  " + V + " = null;\n";
+        break;
+      }
+    }
+    Src += "  check(a, init);\n}\n";
+    Program P = parse(Src);
+    typestate::TypestateSpec Spec = typestate::TypestateSpec::stress();
+    pointer::PointsToResult Pt = pointer::runPointsTo(P);
+    typestate::TypestateAnalysis A(P, Spec, P.findAlloc("h1"), Pt);
+    auto RandParam = [&P, &A](Prng &R) {
+      std::vector<bool> Bits(P.numVars());
+      for (size_t I = 0; I < Bits.size(); ++I)
+        Bits[I] = R.chance(1, 2);
+      return A.paramFromBits(Bits);
+    };
+    auto RandState = [&P](Prng &R) {
+      typestate::AbsState D;
+      if (R.chance(1, 6)) {
+        D.Top = true;
+        return D;
+      }
+      D.Ts = 1;
+      for (uint32_t V = 0; V < P.numVars(); ++V)
+        if (R.chance(1, 3))
+          D.Vs.push_back(V);
+      return D;
+    };
+    for (unsigned K : {1u, 3u, 0u})
+      checkTheorem3(P, A, K, RandParam, RandState, Rng);
+  }
+}
+
+TEST(Backward, StatsArePopulated) {
+  Program P = parse(R"(
+    global g;
+    proc main { a = new h1; g = a; check(a); }
+  )");
+  escape::EscapeAnalysis A(P);
+  escape::EscParam Prm = A.paramFromBits({});
+  dataflow::ForwardAnalysis<escape::EscapeAnalysis> Fwd(P, A, Prm);
+  Fwd.run(A.initialState());
+  auto AtCheck = Fwd.statesAtCheck(CheckId(0));
+  ASSERT_FALSE(AtCheck.empty());
+  auto T = Fwd.extractTrace(CheckId(0), AtCheck[0]);
+  ASSERT_TRUE(T.has_value());
+  meta::BackwardMetaAnalysis<escape::EscapeAnalysis> Bwd(P, A);
+  auto States = Fwd.replay(*T, A.initialState());
+  auto F = Bwd.run(*T, Prm, States, A.notQ(CheckId(0)));
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(Bwd.stats().Steps, T->size());
+  EXPECT_GE(Bwd.stats().MaxCubes, 1u);
+}
+
+TEST(Backward, TimeoutReturnsNullopt) {
+  Program P = parse(R"(
+    global g;
+    proc main { a = new h1; g = a; check(a); }
+  )");
+  escape::EscapeAnalysis A(P);
+  escape::EscParam Prm = A.paramFromBits({});
+  dataflow::ForwardAnalysis<escape::EscapeAnalysis> Fwd(P, A, Prm);
+  Fwd.run(A.initialState());
+  auto AtCheck = Fwd.statesAtCheck(CheckId(0));
+  auto T = Fwd.extractTrace(CheckId(0), AtCheck[0]);
+  meta::BackwardConfig Config;
+  Config.TimeoutSeconds = 1e-12; // expires immediately
+  meta::BackwardMetaAnalysis<escape::EscapeAnalysis> Bwd(P, A, Config);
+  auto States = Fwd.replay(*T, A.initialState());
+  EXPECT_FALSE(Bwd.run(*T, Prm, States, A.notQ(CheckId(0))).has_value());
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- DnfLawsTest.cpp - Algebraic laws of the DNF operators ------------------===//
+//
+// Property sweeps over randomly generated formulas validating the laws the
+// meta-analysis relies on: simplify preserves meaning and is idempotent;
+// dropk under-approximates while keeping the current point (the two
+// conditions §4 requires of approx); soft-capped products under-
+// approximate the true conjunction and are exact when under the cap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formula/Dnf.h"
+
+#include "support/Prng.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace optabs::formula;
+using optabs::Prng;
+
+constexpr unsigned NumAtoms = 6;
+
+Dnf randomDnf(Prng &Rng, unsigned MaxCubes) {
+  std::vector<Cube> Cubes;
+  unsigned N = 1 + Rng.nextBelow(MaxCubes);
+  for (unsigned I = 0; I < N; ++I) {
+    std::vector<Lit> Lits;
+    unsigned Len = Rng.nextBelow(4);
+    for (unsigned J = 0; J < Len; ++J) {
+      AtomId A = static_cast<AtomId>(Rng.nextBelow(NumAtoms));
+      Lits.push_back(Rng.chance(1, 3) ? Lit::neg(A) : Lit::pos(A));
+    }
+    if (auto C = Cube::make(std::move(Lits)))
+      Cubes.push_back(std::move(*C));
+  }
+  return Dnf::fromCubes(std::move(Cubes));
+}
+
+AtomEval evalOfMask(unsigned Mask) {
+  return [Mask](AtomId A) { return A < NumAtoms && ((Mask >> A) & 1); };
+}
+
+/// Parameterized over the PRNG seed: each instantiation sweeps a distinct
+/// family of random formulas.
+class DnfLaws : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DnfLaws, SimplifyPreservesMeaningAndIsIdempotent) {
+  Prng Rng(GetParam());
+  for (int Round = 0; Round < 100; ++Round) {
+    Dnf D = randomDnf(Rng, 10);
+    Dnf S = D;
+    S.sortBySize();
+    S.simplify();
+    for (unsigned Mask = 0; Mask < (1u << NumAtoms); ++Mask)
+      ASSERT_EQ(D.eval(evalOfMask(Mask)), S.eval(evalOfMask(Mask)));
+    Dnf S2 = S;
+    S2.sortBySize();
+    S2.simplify();
+    EXPECT_EQ(S2.size(), S.size());
+  }
+}
+
+TEST_P(DnfLaws, DropKIsAnUnderApproximationKeepingTheWitness) {
+  Prng Rng(GetParam() ^ 0xD20B);
+  for (int Round = 0; Round < 100; ++Round) {
+    Dnf D = randomDnf(Rng, 10);
+    // Pick a witness mask that satisfies D (skip unsatisfiable rounds).
+    std::optional<unsigned> Witness;
+    for (unsigned Mask = 0; Mask < (1u << NumAtoms); ++Mask)
+      if (D.eval(evalOfMask(Mask))) {
+        Witness = Mask;
+        break;
+      }
+    if (!Witness)
+      continue;
+    for (unsigned K : {1u, 2u, 3u}) {
+      Dnf A = D;
+      A.approx(K, evalOfMask(*Witness));
+      EXPECT_LE(A.size(), K);
+      // Condition 1: gamma(approx(f)) subseteq gamma(f).
+      for (unsigned Mask = 0; Mask < (1u << NumAtoms); ++Mask) {
+        if (A.eval(evalOfMask(Mask))) {
+          ASSERT_TRUE(D.eval(evalOfMask(Mask)));
+        }
+      }
+      // Condition 2: the witness is kept.
+      EXPECT_TRUE(A.eval(evalOfMask(*Witness)));
+    }
+  }
+}
+
+TEST_P(DnfLaws, UncappedProductIsExactConjunction) {
+  Prng Rng(GetParam() ^ 0xF00D);
+  AtomEval Unused;
+  for (int Round = 0; Round < 100; ++Round) {
+    Dnf A = randomDnf(Rng, 6);
+    Dnf B = randomDnf(Rng, 6);
+    Dnf P = Dnf::product(A, B, 0, Unused);
+    for (unsigned Mask = 0; Mask < (1u << NumAtoms); ++Mask) {
+      AtomEval E = evalOfMask(Mask);
+      ASSERT_EQ(P.eval(E), A.eval(E) && B.eval(E)) << "round " << Round;
+    }
+  }
+}
+
+TEST_P(DnfLaws, CappedProductUnderApproximatesAndKeepsJointWitness) {
+  Prng Rng(GetParam() ^ 0xCA99);
+  for (int Round = 0; Round < 100; ++Round) {
+    Dnf A = randomDnf(Rng, 6);
+    Dnf B = randomDnf(Rng, 6);
+    // Find a mask satisfying both.
+    std::optional<unsigned> Witness;
+    for (unsigned Mask = 0; Mask < (1u << NumAtoms); ++Mask)
+      if (A.eval(evalOfMask(Mask)) && B.eval(evalOfMask(Mask))) {
+        Witness = Mask;
+        break;
+      }
+    if (!Witness)
+      continue;
+    Dnf P = Dnf::product(A, B, /*SoftCap=*/2, evalOfMask(*Witness));
+    for (unsigned Mask = 0; Mask < (1u << NumAtoms); ++Mask) {
+      if (P.eval(evalOfMask(Mask))) {
+        ASSERT_TRUE(A.eval(evalOfMask(Mask)) && B.eval(evalOfMask(Mask)));
+      }
+    }
+    EXPECT_TRUE(P.eval(evalOfMask(*Witness)));
+  }
+}
+
+TEST_P(DnfLaws, SortBySizeDeduplicates) {
+  Prng Rng(GetParam() ^ 0x50F7);
+  for (int Round = 0; Round < 50; ++Round) {
+    Dnf D = randomDnf(Rng, 6);
+    Dnf Doubled = D;
+    Doubled.orWith(D);
+    Doubled.sortBySize();
+    Dnf Sorted = D;
+    Sorted.sortBySize();
+    EXPECT_EQ(Doubled.size(), Sorted.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfLaws,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- EngineEdgeTest.cpp - Edge cases of the forward engine and parser -------===//
+
+#include "dataflow/Forward.h"
+
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+namespace {
+
+using namespace optabs;
+using namespace optabs::ir;
+
+Program parse(const std::string &Src) {
+  Program P;
+  std::string Error;
+  bool Ok = parseProgram(Src, P, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return P;
+}
+
+/// Counting client (same as ForwardTest's).
+struct CounterClient {
+  struct Param {
+    unsigned Max = 5;
+  };
+  using State = unsigned;
+  struct StateHash {
+    size_t operator()(unsigned S) const { return S; }
+  };
+  State transfer(const Command &Cmd, const State &In, const Param &P) const {
+    if (Cmd.Kind == CmdKind::New)
+      return std::min(In + 1, P.Max);
+    if (Cmd.Kind == CmdKind::Null)
+      return 0;
+    return In;
+  }
+};
+
+TEST(ForwardEdge, EmptyMainHasNoCheckStates) {
+  Program P = parse("proc main { }");
+  CounterClient C;
+  dataflow::ForwardAnalysis<CounterClient> FA(P, C, {});
+  FA.run(0);
+  EXPECT_GE(FA.stats().NumRounds, 1u);
+}
+
+TEST(ForwardEdge, AssumeIsIdentity) {
+  Program P = parse("proc main { assume(*); x = new h1; assume(*); check(x); }");
+  CounterClient C;
+  dataflow::ForwardAnalysis<CounterClient> FA(P, C, {});
+  FA.run(0);
+  auto States = FA.statesAtCheck(CheckId(0));
+  ASSERT_EQ(States.size(), 1u);
+  EXPECT_EQ(States[0], 1u);
+}
+
+TEST(ForwardEdge, MutualRecursionTerminates) {
+  Program P = parse(R"(
+    proc main { call even; check(x); }
+    proc even { if { x = new h1; call odd; } }
+    proc odd { x = new h1; call even; }
+  )");
+  CounterClient C;
+  dataflow::ForwardAnalysis<CounterClient> FA(P, C, {});
+  FA.run(0);
+  auto States = FA.statesAtCheck(CheckId(0));
+  // 0 (skip), or any saturating count of News along even/odd chains.
+  EXPECT_FALSE(States.empty());
+  for (unsigned S : States)
+    EXPECT_LE(S, 5u);
+}
+
+TEST(ForwardEdge, CheckInsideStarBody) {
+  Program P = parse(R"(
+    proc main { loop { check(x); x = new h1; } }
+  )");
+  CounterClient C;
+  dataflow::ForwardAnalysis<CounterClient> FA(P, C, {});
+  FA.run(0);
+  std::vector<unsigned> AtCheck = FA.statesAtCheck(CheckId(0));
+  std::set<unsigned> Seen(AtCheck.begin(), AtCheck.end());
+  EXPECT_EQ(Seen, (std::set<unsigned>{0, 1, 2, 3, 4, 5}));
+  // Each is witnessed by a trace ending at the in-loop check; earlier
+  // iterations contribute a check and a new command each.
+  for (unsigned S : Seen) {
+    auto T = FA.extractTrace(CheckId(0), S);
+    ASSERT_TRUE(T.has_value());
+    EXPECT_EQ(FA.replay(*T, 0).back(), S);
+    EXPECT_EQ(T->size(), 2 * S);
+  }
+}
+
+TEST(ForwardEdge, ReplayOnEmptyTrace) {
+  Program P = parse("proc main { check(x); }");
+  CounterClient C;
+  dataflow::ForwardAnalysis<CounterClient> FA(P, C, {});
+  FA.run(3);
+  auto T = FA.extractTrace(CheckId(0), 3u);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_TRUE(T->empty());
+  auto States = FA.replay(*T, 3);
+  ASSERT_EQ(States.size(), 1u);
+  EXPECT_EQ(States[0], 3u);
+}
+
+TEST(ForwardEdge, ExtractTracesAreDistinctAndCapped) {
+  Program P = parse(R"(
+    proc main {
+      choice { x = new h1; x = null; } or { x = null; }
+        or { assume(*); x = null; }
+      check(x);
+    }
+  )");
+  CounterClient C;
+  dataflow::ForwardAnalysis<CounterClient> FA(P, C, {});
+  FA.run(0);
+  auto Traces = FA.extractTraces(CheckId(0), 0u, 3);
+  EXPECT_GE(Traces.size(), 2u);
+  EXPECT_LE(Traces.size(), 3u);
+  std::set<ir::Trace> Unique(Traces.begin(), Traces.end());
+  EXPECT_EQ(Unique.size(), Traces.size());
+  for (const auto &T : Traces)
+    EXPECT_EQ(FA.replay(T, 0).back(), 0u);
+}
+
+TEST(ForwardEdge, DeeplyNestedStructure) {
+  std::string Src = "proc main {\n";
+  for (int I = 0; I < 30; ++I)
+    Src += "  loop { if {\n";
+  Src += "  x = new h1;\n";
+  for (int I = 0; I < 30; ++I)
+    Src += "  } }\n";
+  Src += "  check(x);\n}\n";
+  Program P = parse(Src);
+  CounterClient C;
+  dataflow::ForwardAnalysis<CounterClient> FA(P, C, {});
+  FA.run(0);
+  auto States = FA.statesAtCheck(CheckId(0));
+  EXPECT_FALSE(States.empty());
+}
+
+TEST(ParserEdge, IdentifiersWithDigitsUnderscoresDollars) {
+  Program P = parse(R"(
+    proc main { _x1 = new h$2; $tmp = _x1; check($tmp); }
+  )");
+  EXPECT_TRUE(P.findVar("_x1").isValid());
+  EXPECT_TRUE(P.findVar("$tmp").isValid());
+  EXPECT_TRUE(P.findAlloc("h$2").isValid());
+}
+
+TEST(ParserEdge, CommentsEverywhere) {
+  Program P = parse(R"(
+    // leading comment
+    proc main { // trailing
+      x = new h1; // after statement
+      // between statements
+      check(x);
+    } // after brace
+    // at end
+  )");
+  EXPECT_EQ(P.numChecks(), 1u);
+}
+
+TEST(ParserEdge, LargeFlatProgramParsesQuickly) {
+  std::string Src = "proc main {\n";
+  for (int I = 0; I < 5000; ++I)
+    Src += "  v" + std::to_string(I % 50) + " = new h" +
+           std::to_string(I % 20) + ";\n";
+  Src += "}\n";
+  Program P = parse(Src);
+  EXPECT_EQ(P.numCommands(), 5000u);
+  EXPECT_EQ(P.numAllocs(), 20u);
+}
+
+TEST(ParserEdge, ChoiceWithManyBranches) {
+  std::string Src = "proc main {\n  choice { x = null; }";
+  for (int I = 0; I < 20; ++I)
+    Src += " or { x = new h" + std::to_string(I) + "; }";
+  Src += "\n  check(x);\n}\n";
+  Program P = parse(Src);
+  CounterClient C;
+  dataflow::ForwardAnalysis<CounterClient> FA(P, C, {});
+  FA.run(0);
+  std::vector<unsigned> AtCheck = FA.statesAtCheck(CheckId(0));
+  std::set<unsigned> Seen(AtCheck.begin(), AtCheck.end());
+  EXPECT_EQ(Seen, (std::set<unsigned>{0, 1}));
+}
+
+TEST(ForwardEdge, EscapeStateSpaceStaysBoundedOnCanonicalUnits) {
+  // Two branchy-but-canonicalizing regions in sequence must not multiply
+  // downstream states (the property the benchmark generator relies on).
+  Program P = parse(R"(
+    proc main {
+      choice { a = new h1; } or { a = new h2; }
+      check(a);
+      a = null;
+      choice { b = new h3; } or { b = new h4; }
+      check(b);
+      b = null;
+      check(a);
+    }
+  )");
+  escape::EscapeAnalysis A(P);
+  dataflow::ForwardAnalysis<escape::EscapeAnalysis> FA(P, A,
+                                                       A.paramFromBits({}));
+  FA.run(A.initialState());
+  // After both resets, exactly one state remains at the final check.
+  EXPECT_EQ(FA.statesAtCheck(CheckId(2)).size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,289 @@
+//===- EscapeTest.cpp - Unit tests for the thread-escape client --------------===//
+
+#include "escape/Escape.h"
+
+#include "ir/Parser.h"
+#include "support/Prng.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace optabs::ir;
+using namespace optabs::escape;
+using optabs::BitSet;
+using optabs::Prng;
+using optabs::formula::AtomId;
+
+Program parse(const char *Src) {
+  Program P;
+  std::string Error;
+  bool Ok = parseProgram(Src, P, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return P;
+}
+
+EscParam paramOf(const Program &P, std::initializer_list<const char *> LSites) {
+  EscParam Prm;
+  Prm.LSites = BitSet(P.numAllocs());
+  for (const char *Name : LSites) {
+    AllocId H = P.findAlloc(Name);
+    EXPECT_TRUE(H.isValid()) << Name;
+    Prm.LSites.set(H.index());
+  }
+  return Prm;
+}
+
+AbsVal varVal(const EscapeAnalysis &A, const Program &P, const EscState &D,
+              const char *Name) {
+  return static_cast<AbsVal>(D.Vals[A.locOfVar(P.findVar(Name))]);
+}
+
+AbsVal fieldVal(const EscapeAnalysis &A, const Program &P, const EscState &D,
+                const char *Name) {
+  return static_cast<AbsVal>(D.Vals[A.locOfField(P.findField(Name))]);
+}
+
+/// The Figure 6 program.
+const char *Fig6Src = R"(
+  proc main {
+    u = new h1;
+    v = new h2;
+    v.f = u;
+    check(u);
+  }
+)";
+
+TEST(Escape, TransferFollowsFigure5OnFig6Program) {
+  Program P = parse(Fig6Src);
+  EscapeAnalysis A(P);
+
+  // (b2) of Figure 6: p = [h1 -> L, h2 -> E].
+  EscParam Prm = paramOf(P, {"h1"});
+  EscState D = A.initialState();
+  D = A.transfer(P.command(CommandId(0)), D, Prm); // u = new h1
+  EXPECT_EQ(varVal(A, P, D, "u"), AbsVal::L);
+  D = A.transfer(P.command(CommandId(1)), D, Prm); // v = new h2
+  EXPECT_EQ(varVal(A, P, D, "v"), AbsVal::E);
+  D = A.transfer(P.command(CommandId(2)), D, Prm); // v.f = u: E.f := L
+  // Storing a local into an escaped object: esc() collapses the state.
+  EXPECT_EQ(varVal(A, P, D, "u"), AbsVal::E);
+  EXPECT_EQ(varVal(A, P, D, "v"), AbsVal::E);
+  EXPECT_EQ(fieldVal(A, P, D, "f"), AbsVal::N);
+
+  // p = [h1 -> L, h2 -> L]: the cheapest proving abstraction of Figure 6.
+  EscParam Both = paramOf(P, {"h1", "h2"});
+  EscState E = A.initialState();
+  E = A.transfer(P.command(CommandId(0)), E, Both);
+  E = A.transfer(P.command(CommandId(1)), E, Both);
+  E = A.transfer(P.command(CommandId(2)), E, Both); // L.f := L, f was N
+  EXPECT_EQ(varVal(A, P, E, "u"), AbsVal::L);
+  EXPECT_EQ(fieldVal(A, P, E, "f"), AbsVal::L);
+}
+
+TEST(Escape, GlobalStorePublishesLocals) {
+  Program P = parse(R"(
+    global g;
+    proc main {
+      a = new h1;
+      b = new h2;
+      b.f = b;
+      g = a;
+      check(b);
+    }
+  )");
+  EscapeAnalysis A(P);
+  EscParam Prm = paramOf(P, {"h1", "h2"});
+  EscState D = A.initialState();
+  for (uint32_t I = 0; I < 4; ++I)
+    D = A.transfer(P.command(CommandId(I)), D, Prm);
+  // g = a escapes a and collapses every L, including b; fields reset.
+  EXPECT_EQ(varVal(A, P, D, "a"), AbsVal::E);
+  EXPECT_EQ(varVal(A, P, D, "b"), AbsVal::E);
+  EXPECT_EQ(fieldVal(A, P, D, "f"), AbsVal::N);
+}
+
+TEST(Escape, GlobalStoreOfEscapedIsNoop) {
+  Program P = parse(R"(
+    global g;
+    proc main { a = new h1; b = g; g = b; check(a); }
+  )");
+  EscapeAnalysis A(P);
+  EscParam Prm = paramOf(P, {"h1"});
+  EscState D = A.initialState();
+  D = A.transfer(P.command(CommandId(0)), D, Prm);
+  D = A.transfer(P.command(CommandId(1)), D, Prm);
+  EXPECT_EQ(varVal(A, P, D, "b"), AbsVal::E);
+  EscState After = A.transfer(P.command(CommandId(2)), D, Prm);
+  EXPECT_EQ(After, D); // storing an escaped pointer changes nothing
+}
+
+TEST(Escape, LoadFromLocalReadsFieldSummary) {
+  Program P = parse(R"(
+    proc main { a = new h1; b = new h2; a.f = b; c = a.f; d = b.f; check(c); }
+  )");
+  EscapeAnalysis A(P);
+  EscParam Prm = paramOf(P, {"h1", "h2"});
+  EscState D = A.initialState();
+  for (uint32_t I = 0; I < 5; ++I)
+    D = A.transfer(P.command(CommandId(I)), D, Prm);
+  EXPECT_EQ(varVal(A, P, D, "c"), AbsVal::L); // read of f summary
+  EXPECT_EQ(varVal(A, P, D, "d"), AbsVal::L);
+}
+
+TEST(Escape, LoadFromEscapedYieldsEscaped) {
+  Program P = parse(R"(
+    global g;
+    proc main { a = g; b = a.f; check(b); }
+  )");
+  EscapeAnalysis A(P);
+  EscParam Prm = paramOf(P, {});
+  EscState D = A.initialState();
+  D = A.transfer(P.command(CommandId(0)), D, Prm);
+  D = A.transfer(P.command(CommandId(1)), D, Prm);
+  EXPECT_EQ(varVal(A, P, D, "b"), AbsVal::E);
+}
+
+TEST(Escape, StoreFieldMixedSummaryCollapses) {
+  // f holds L (from a), then storing an escaped value into an L object's
+  // field forces esc: {L, E} is not representable.
+  Program P = parse(R"(
+    global g;
+    proc main {
+      a = new h1;
+      a.f = a;
+      e = g;
+      a.f = e;
+      check(a);
+    }
+  )");
+  EscapeAnalysis A(P);
+  EscParam Prm = paramOf(P, {"h1"});
+  EscState D = A.initialState();
+  for (uint32_t I = 0; I < 4; ++I)
+    D = A.transfer(P.command(CommandId(I)), D, Prm);
+  EXPECT_EQ(varVal(A, P, D, "a"), AbsVal::E);
+  EXPECT_EQ(fieldVal(A, P, D, "f"), AbsVal::N);
+}
+
+TEST(Escape, NullBaseStoreIsIdentity) {
+  Program P = parse(R"(
+    proc main { a = null; b = new h1; a.f = b; check(b); }
+  )");
+  EscapeAnalysis A(P);
+  EscParam Prm = paramOf(P, {"h1"});
+  EscState D = A.initialState();
+  D = A.transfer(P.command(CommandId(0)), D, Prm);
+  D = A.transfer(P.command(CommandId(1)), D, Prm);
+  EscState After = A.transfer(P.command(CommandId(2)), D, Prm);
+  EXPECT_EQ(After, D);
+}
+
+//===----------------------------------------------------------------------===//
+// Requirement (2): wp is exactly the weakest precondition, by property
+// testing over random states/abstractions and all commands of a program
+// that covers every case of Figure 5.
+//===----------------------------------------------------------------------===//
+
+TEST(EscapeWp, SoundAndCompleteOnAllCommandKinds) {
+  Program P = parse(R"(
+    global g;
+    proc main {
+      a = new h1;
+      b = new h2;
+      a = b;
+      a = null;
+      a = g;
+      g = a;
+      b = a.f;
+      a.f = b;
+      a.k = a;
+      b.work();
+      assume(*);
+      check(a);
+    }
+  )");
+  EscapeAnalysis A(P);
+  Prng Rng(0xE5CA9E);
+
+  std::vector<AtomId> Atoms;
+  for (uint32_t H = 0; H < P.numAllocs(); ++H)
+    for (AbsVal O : {AbsVal::L, AbsVal::E})
+      Atoms.push_back(EscapeAnalysis::atomSite(AllocId(H), O));
+  for (uint32_t V = 0; V < P.numVars(); ++V)
+    for (AbsVal O : {AbsVal::N, AbsVal::L, AbsVal::E})
+      Atoms.push_back(EscapeAnalysis::atomVar(VarId(V), O));
+  for (uint32_t F = 0; F < P.numFields(); ++F)
+    for (AbsVal O : {AbsVal::N, AbsVal::L, AbsVal::E})
+      Atoms.push_back(EscapeAnalysis::atomField(FieldId(F), O));
+
+  for (int Round = 0; Round < 500; ++Round) {
+    EscParam Prm;
+    Prm.LSites = BitSet(P.numAllocs());
+    for (uint32_t H = 0; H < P.numAllocs(); ++H)
+      if (Rng.chance(1, 2))
+        Prm.LSites.set(H);
+    EscState D = A.initialState();
+    for (uint8_t &V : D.Vals)
+      V = static_cast<uint8_t>(Rng.nextBelow(3));
+
+    for (uint32_t CI = 0; CI < P.numCommands(); ++CI) {
+      const Command &Cmd = P.command(CommandId(CI));
+      if (Cmd.Kind == CmdKind::Invoke)
+        continue;
+      EscState Post = A.transfer(Cmd, D, Prm);
+      for (AtomId Atom : Atoms) {
+        bool PostHolds = A.evalAtom(Atom, Prm, Post);
+        bool WpHolds = A.wpAtom(Cmd, Atom).eval(
+            [&](AtomId B) { return A.evalAtom(B, Prm, D); });
+        ASSERT_EQ(WpHolds, PostHolds)
+            << "cmd " << CI << " (" << cmdKindName(Cmd.Kind) << ") atom "
+            << A.atomName(Atom) << " round " << Round;
+      }
+    }
+  }
+}
+
+TEST(Escape, ParamCodecAndNames) {
+  Program P = parse(Fig6Src);
+  EscapeAnalysis A(P);
+  EXPECT_EQ(A.numParamBits(), 2u);
+  AllocId H1 = P.findAlloc("h1");
+  auto [BitL, ValL] =
+      A.decodeParamAtom(EscapeAnalysis::atomSite(H1, AbsVal::L));
+  EXPECT_EQ(BitL, H1.index());
+  EXPECT_TRUE(ValL);
+  auto [BitE, ValE] =
+      A.decodeParamAtom(EscapeAnalysis::atomSite(H1, AbsVal::E));
+  EXPECT_EQ(BitE, H1.index());
+  EXPECT_FALSE(ValE);
+
+  std::vector<bool> Bits{true, false};
+  EscParam Prm = A.paramFromBits(Bits);
+  EXPECT_EQ(A.paramCost(Prm), 1u);
+  EXPECT_EQ(A.paramToString(Prm), "[L:h1]");
+
+  EXPECT_EQ(A.atomName(EscapeAnalysis::atomSite(H1, AbsVal::E)), "h1.E");
+  EXPECT_EQ(A.atomName(EscapeAnalysis::atomVar(P.findVar("u"), AbsVal::L)),
+            "u.L");
+  EXPECT_EQ(
+      A.atomName(EscapeAnalysis::atomField(P.findField("f"), AbsVal::N)),
+      "f.N");
+}
+
+TEST(Escape, NotQIsQueriedVarEscapes) {
+  Program P = parse(Fig6Src);
+  EscapeAnalysis A(P);
+  auto NotQ = A.notQ(CheckId(0));
+  EXPECT_EQ(NotQ.size(), 1u);
+  EscParam Prm = paramOf(P, {});
+  EscState D = A.initialState();
+  auto Eval = [&](const EscState &S) {
+    return [&, S](AtomId At) { return A.evalAtom(At, Prm, S); };
+  };
+  EXPECT_FALSE(NotQ.eval(Eval(D)));
+  D.Vals[A.locOfVar(P.findVar("u"))] = static_cast<uint8_t>(AbsVal::E);
+  EXPECT_TRUE(NotQ.eval(Eval(D)));
+}
+
+} // namespace

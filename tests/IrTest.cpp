@@ -1,0 +1,162 @@
+//===- IrTest.cpp - Unit tests for the mini-IR -------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Program.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+namespace {
+
+using namespace optabs::ir;
+
+TEST(Program, InterningIsIdempotent) {
+  Program P;
+  VarId X1 = P.makeVar("x");
+  VarId X2 = P.makeVar("x");
+  VarId Y = P.makeVar("y");
+  EXPECT_EQ(X1, X2);
+  EXPECT_NE(X1, Y);
+  EXPECT_EQ(P.numVars(), 2u);
+  EXPECT_EQ(P.varName(X1), "x");
+  EXPECT_EQ(P.findVar("y"), Y);
+  EXPECT_FALSE(P.findVar("zz").isValid());
+}
+
+TEST(Program, BuilderProducesCommands) {
+  Program P;
+  ProcId Main = P.makeProc("main");
+  VarId X = P.makeVar("x");
+  AllocId H = P.makeAlloc("h1");
+  CommandId New = P.cmdNew(X, H);
+  CommandId Check = P.cmdCheck(X, SymbolId(), Main);
+  P.setProcBody(Main, P.stmtSeq({P.stmtAtom(New), P.stmtAtom(Check)}));
+  P.setMain(Main);
+
+  EXPECT_EQ(P.command(New).Kind, CmdKind::New);
+  EXPECT_EQ(P.command(New).Dst, X);
+  EXPECT_EQ(P.numChecks(), 1u);
+  EXPECT_EQ(P.checkSite(CheckId(0)).Var, X);
+  EXPECT_EQ(P.checkSite(CheckId(0)).Command, Check);
+}
+
+TEST(Parser, ParsesRepresentativeProgram) {
+  const char *Src = R"(
+    // Figure 1 of the paper.
+    global g;
+    proc main {
+      x = new h1;
+      y = x;
+      if { z = x; }
+      x.open();
+      y.close();
+      choice { check(x, closed); } or { check(x, opened); }
+      call helper;
+    }
+    proc helper {
+      loop { w = x.f; x.f = w; g = x; w = g; assume(*); }
+      w = null;
+    }
+  )";
+  Program P;
+  std::string Error;
+  ASSERT_TRUE(parseProgram(Src, P, Error)) << Error;
+  EXPECT_TRUE(P.main().isValid());
+  EXPECT_EQ(P.proc(P.main()).Name, "main");
+  EXPECT_EQ(P.numProcs(), 2u);
+  EXPECT_EQ(P.numGlobals(), 1u);
+  EXPECT_EQ(P.numChecks(), 2u);
+  EXPECT_EQ(P.numAllocs(), 1u);
+  EXPECT_EQ(P.numMethods(), 2u); // open, close
+  EXPECT_TRUE(P.findVar("w").isValid());
+  EXPECT_FALSE(P.findVar("g").isValid()); // globals are not locals
+}
+
+TEST(Parser, ReportsErrors) {
+  auto Fails = [](const char *Src) {
+    Program P;
+    std::string Error;
+    bool Ok = parseProgram(Src, P, Error);
+    EXPECT_FALSE(Ok);
+    EXPECT_FALSE(Error.empty());
+    return Error;
+  };
+  EXPECT_NE(Fails("proc main { x = ; }").find("line"), std::string::npos);
+  Fails("proc main { x = new ; }");
+  Fails("proc main { call missing; }");      // undefined procedure
+  Fails("proc other { x = null; }");          // no main
+  Fails("global g; proc main { g = new h; }"); // globals cannot be alloc'ed
+  Fails("proc main { x = null; } proc main { }"); // redefinition
+  Fails("proc main { x = null }");             // missing semicolon
+}
+
+TEST(Parser, GlobalLoadStoreDisambiguation) {
+  const char *Src = R"(
+    global g;
+    proc main { x = g; g = x; y = x; }
+  )";
+  Program P;
+  std::string Error;
+  ASSERT_TRUE(parseProgram(Src, P, Error)) << Error;
+  // Walk main's commands.
+  std::vector<CmdKind> Kinds;
+  for (uint32_t I = 0; I < P.numCommands(); ++I)
+    Kinds.push_back(P.command(CommandId(I)).Kind);
+  ASSERT_EQ(Kinds.size(), 3u);
+  EXPECT_EQ(Kinds[0], CmdKind::LoadGlobal);
+  EXPECT_EQ(Kinds[1], CmdKind::StoreGlobal);
+  EXPECT_EQ(Kinds[2], CmdKind::Copy);
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+  const char *Src = R"(
+    global g;
+    proc main {
+      x = new h1;
+      choice { y = x; } or { y = null; } or { y = g; }
+      loop { x.f = y; }
+      x.open();
+      check(x, closed);
+      call sub;
+    }
+    proc sub { z = x.f; g = z; assume(*); }
+  )";
+  Program P1;
+  std::string Error;
+  ASSERT_TRUE(parseProgram(Src, P1, Error)) << Error;
+  std::ostringstream OS1;
+  printProgram(OS1, P1);
+
+  Program P2;
+  ASSERT_TRUE(parseProgram(OS1.str(), P2, Error)) << Error << "\n"
+                                                  << OS1.str();
+  std::ostringstream OS2;
+  printProgram(OS2, P2);
+  EXPECT_EQ(OS1.str(), OS2.str());
+  EXPECT_EQ(P1.numCommands(), P2.numCommands());
+  EXPECT_EQ(P1.numChecks(), P2.numChecks());
+}
+
+TEST(Printer, CommandToString) {
+  Program P;
+  ProcId Main = P.makeProc("main");
+  VarId X = P.makeVar("x");
+  VarId Y = P.makeVar("y");
+  FieldId F = P.makeField("f");
+  GlobalId G = P.makeGlobal("g");
+  EXPECT_EQ(commandToString(P, P.cmdNew(X, P.makeAlloc("h1"))), "x = new h1");
+  EXPECT_EQ(commandToString(P, P.cmdCopy(X, Y)), "x = y");
+  EXPECT_EQ(commandToString(P, P.cmdNull(X)), "x = null");
+  EXPECT_EQ(commandToString(P, P.cmdLoadGlobal(X, G)), "x = g");
+  EXPECT_EQ(commandToString(P, P.cmdStoreGlobal(G, Y)), "g = y");
+  EXPECT_EQ(commandToString(P, P.cmdLoadField(X, Y, F)), "x = y.f");
+  EXPECT_EQ(commandToString(P, P.cmdStoreField(X, F, Y)), "x.f = y");
+  EXPECT_EQ(commandToString(P, P.cmdMethodCall(X, P.makeMethod("open"))),
+            "x.open()");
+  EXPECT_EQ(commandToString(P, P.cmdInvoke(Main)), "call main");
+  EXPECT_EQ(commandToString(P, P.cmdCheck(X, SymbolId(), Main)), "check(x)");
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- MetaTest.cpp - Unit tests for the backward meta-analysis driver --------===//
+
+#include "meta/Backward.h"
+
+#include "dataflow/Forward.h"
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace optabs;
+using namespace optabs::ir;
+using escape::EscapeAnalysis;
+using escape::EscParam;
+using escape::EscState;
+
+Program parse(const char *Src) {
+  Program P;
+  std::string Error;
+  bool Ok = parseProgram(Src, P, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return P;
+}
+
+struct Fixture {
+  Program P;
+  std::unique_ptr<EscapeAnalysis> A;
+  std::unique_ptr<dataflow::ForwardAnalysis<EscapeAnalysis>> Fwd;
+  EscParam Prm;
+  ir::Trace T;
+  std::vector<EscState> States;
+  formula::Dnf NotQ;
+
+  explicit Fixture(const char *Src) {
+    P = parse(Src);
+    A = std::make_unique<EscapeAnalysis>(P);
+    Prm = A->paramFromBits({});
+    Fwd = std::make_unique<dataflow::ForwardAnalysis<EscapeAnalysis>>(
+        P, *A, Prm);
+    Fwd->run(A->initialState());
+    NotQ = A->notQ(CheckId(0));
+    for (const auto &D : Fwd->statesAtCheck(CheckId(0))) {
+      if (NotQ.eval([&](formula::AtomId At) {
+            return A->evalAtom(At, Prm, D);
+          })) {
+        auto Trace = Fwd->extractTrace(CheckId(0), D);
+        EXPECT_TRUE(Trace.has_value());
+        T = *Trace;
+        States = Fwd->replay(T, A->initialState());
+        break;
+      }
+    }
+    EXPECT_FALSE(T.empty());
+  }
+};
+
+const char *Fig6 = R"(
+  proc main { u = new h1; v = new h2; v.f = u; check(u); }
+)";
+
+TEST(Meta, ProjectToParamsKeepsOnlyParamAtoms) {
+  Fixture F(Fig6);
+  meta::BackwardMetaAnalysis<EscapeAnalysis> Bwd(F.P, *F.A);
+  auto Formula = Bwd.run(F.T, F.Prm, F.States, F.NotQ);
+  ASSERT_TRUE(Formula.has_value());
+  formula::Dnf Proj =
+      Bwd.projectToParams(*Formula, F.Prm, F.A->initialState());
+  for (const formula::Cube &C : Proj.cubes())
+    for (formula::Lit L : C.literals())
+      EXPECT_TRUE(F.A->isParamAtom(L.atom()));
+  // The current abstraction (all-E) must be in the projected set.
+  EXPECT_TRUE(Proj.eval([&](formula::AtomId At) {
+    return F.A->evalAtom(At, F.Prm, F.A->initialState());
+  }));
+}
+
+TEST(Meta, ProjectionDropsCubesInfeasibleAtInitialState) {
+  // A cube demanding u.E at d_I (all-N) is infeasible and must vanish.
+  Fixture F(Fig6);
+  meta::BackwardMetaAnalysis<EscapeAnalysis> Bwd(F.P, *F.A);
+  VarId U = F.P.findVar("u");
+  formula::Dnf D = formula::Dnf::fromCubes(
+      {*formula::Cube::make(
+           {formula::Lit::pos(EscapeAnalysis::atomVar(U, escape::AbsVal::E)),
+            formula::Lit::pos(EscapeAnalysis::atomSite(
+                F.P.findAlloc("h1"), escape::AbsVal::L))}),
+       *formula::Cube::make({formula::Lit::pos(EscapeAnalysis::atomSite(
+           F.P.findAlloc("h2"), escape::AbsVal::E))})});
+  formula::Dnf Proj = Bwd.projectToParams(D, F.Prm, F.A->initialState());
+  ASSERT_EQ(Proj.size(), 1u);
+  EXPECT_EQ(Proj.cubes()[0].size(), 1u);
+}
+
+TEST(Meta, IdentitySkipDoesNotChangeResults) {
+  Fixture F(Fig6);
+  meta::BackwardConfig WithSkip, WithoutSkip;
+  WithSkip.SkipIdentitySteps = true;
+  WithoutSkip.SkipIdentitySteps = false;
+  meta::BackwardMetaAnalysis<EscapeAnalysis> B1(F.P, *F.A, WithSkip);
+  meta::BackwardMetaAnalysis<EscapeAnalysis> B2(F.P, *F.A, WithoutSkip);
+  auto F1 = B1.run(F.T, F.Prm, F.States, F.NotQ);
+  auto F2 = B2.run(F.T, F.Prm, F.States, F.NotQ);
+  ASSERT_TRUE(F1.has_value() && F2.has_value());
+  auto Name = [&](formula::AtomId A) { return F.A->atomName(A); };
+  EXPECT_EQ(F1->toString(Name), F2->toString(Name));
+}
+
+TEST(Meta, ObserverSeesEveryStep) {
+  Fixture F(Fig6);
+  meta::BackwardConfig Config;
+  std::vector<size_t> Steps;
+  Config.StepObserver = [&](size_t I, const Command &,
+                            const formula::Dnf &) { Steps.push_back(I); };
+  meta::BackwardMetaAnalysis<EscapeAnalysis> Bwd(F.P, *F.A, Config);
+  auto Formula = Bwd.run(F.T, F.Prm, F.States, F.NotQ);
+  ASSERT_TRUE(Formula.has_value());
+  ASSERT_EQ(Steps.size(), F.T.size());
+  // Steps are observed back to front.
+  for (size_t I = 0; I < Steps.size(); ++I)
+    EXPECT_EQ(Steps[I], F.T.size() - 1 - I);
+}
+
+TEST(Meta, KZeroTracksMoreCubesThanKOne) {
+  Fixture F(Fig6);
+  meta::BackwardConfig K1, K0;
+  K1.K = 1;
+  K0.K = 0;
+  meta::BackwardMetaAnalysis<EscapeAnalysis> B1(F.P, *F.A, K1);
+  meta::BackwardMetaAnalysis<EscapeAnalysis> B0(F.P, *F.A, K0);
+  ASSERT_TRUE(B1.run(F.T, F.Prm, F.States, F.NotQ).has_value());
+  ASSERT_TRUE(B0.run(F.T, F.Prm, F.States, F.NotQ).has_value());
+  EXPECT_LE(B1.stats().MaxCubes, 1u);
+  EXPECT_GT(B0.stats().MaxCubes, 1u);
+}
+
+TEST(Meta, LongIdentityTailIsCheap) {
+  // A long stretch of commands unrelated to the query: every backward step
+  // over them is the identity, and the result still projects to h1.E.
+  std::string Src = "global g;\nproc main {\n  u = new h1;\n";
+  for (int I = 0; I < 200; ++I)
+    Src += "  n" + std::to_string(I) + " = new hx" + std::to_string(I % 7) +
+           ";\n";
+  Src += "  check(u);\n}\n";
+  Fixture F(Src.c_str());
+  meta::BackwardMetaAnalysis<EscapeAnalysis> Bwd(F.P, *F.A);
+  auto Formula = Bwd.run(F.T, F.Prm, F.States, F.NotQ);
+  ASSERT_TRUE(Formula.has_value());
+  formula::Dnf Proj =
+      Bwd.projectToParams(*Formula, F.Prm, F.A->initialState());
+  auto Name = [&](formula::AtomId A) { return F.A->atomName(A); };
+  EXPECT_EQ(Proj.toString(Name), "h1.E");
+  EXPECT_EQ(Bwd.stats().Steps, F.T.size());
+}
+
+TEST(Meta, FormulaToStringUsesClientAtomNames) {
+  Fixture F(Fig6);
+  meta::BackwardMetaAnalysis<EscapeAnalysis> Bwd(F.P, *F.A);
+  formula::Dnf D = formula::Dnf::singleLit(formula::Lit::pos(
+      EscapeAnalysis::atomSite(F.P.findAlloc("h1"), escape::AbsVal::L)));
+  EXPECT_EQ(Bwd.formulaToString(D), "h1.L");
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- MinCostSatTest.cpp - Unit tests for the viable-set solver -------------===//
+
+#include "tracer/MinCostSat.h"
+
+#include "support/Prng.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using optabs::Prng;
+using optabs::tracer::BoolLit;
+using optabs::tracer::Cnf;
+using optabs::tracer::solveMinCost;
+
+BoolLit pos(uint32_t V) { return BoolLit{V, true}; }
+BoolLit neg(uint32_t V) { return BoolLit{V, false}; }
+
+TEST(Cnf, EmptyIsTrue) {
+  Cnf F;
+  auto Model = solveMinCost(F, 8);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_EQ(Model->Cost, 0u);
+  for (bool B : Model->Assignment)
+    EXPECT_FALSE(B);
+}
+
+TEST(Cnf, EmptyClauseIsUnsat) {
+  Cnf F;
+  F.addClause({});
+  EXPECT_FALSE(solveMinCost(F, 4).has_value());
+}
+
+TEST(Cnf, TautologiesAreDropped) {
+  Cnf F;
+  F.addClause({pos(1), neg(1)});
+  EXPECT_EQ(F.size(), 0u);
+  F.addClause({pos(1), pos(1)});
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F.clauses()[0].size(), 1u);
+}
+
+TEST(Cnf, DuplicateClausesAreDropped) {
+  Cnf F;
+  F.addClause({pos(2), pos(1)});
+  F.addClause({pos(1), pos(2)});
+  EXPECT_EQ(F.size(), 1u);
+}
+
+TEST(MinCostSat, UnitContradiction) {
+  Cnf F;
+  F.addClause({pos(0)});
+  F.addClause({neg(0)});
+  EXPECT_FALSE(solveMinCost(F, 2).has_value());
+}
+
+TEST(MinCostSat, PicksCheapestModel) {
+  // (a or b or c) /\ (a or d): setting a alone costs 1.
+  Cnf F;
+  F.addClause({pos(0), pos(1), pos(2)});
+  F.addClause({pos(0), pos(3)});
+  auto Model = solveMinCost(F, 4);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_EQ(Model->Cost, 1u);
+  EXPECT_TRUE(Model->Assignment[0]);
+}
+
+TEST(MinCostSat, DisjointPositiveClausesNeedOneEach) {
+  Cnf F;
+  F.addClause({pos(0), pos(1)});
+  F.addClause({pos(2), pos(3)});
+  F.addClause({pos(4)});
+  auto Model = solveMinCost(F, 5);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_EQ(Model->Cost, 3u);
+}
+
+TEST(MinCostSat, NegativeLiteralsAreFree) {
+  // (!a or b): all-false satisfies at cost 0.
+  Cnf F;
+  F.addClause({neg(0), pos(1)});
+  auto Model = solveMinCost(F, 2);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_EQ(Model->Cost, 0u);
+}
+
+TEST(MinCostSat, ChainedImplications) {
+  // a, a->b, b->c (as clauses): forces cost 3.
+  Cnf F;
+  F.addClause({pos(0)});
+  F.addClause({neg(0), pos(1)});
+  F.addClause({neg(1), pos(2)});
+  auto Model = solveMinCost(F, 3);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_EQ(Model->Cost, 3u);
+  EXPECT_TRUE(Model->Assignment[0] && Model->Assignment[1] &&
+              Model->Assignment[2]);
+}
+
+TEST(MinCostSat, SignatureIsOrderIndependent) {
+  Cnf A, B;
+  A.addClause({pos(0)});
+  A.addClause({pos(1), neg(2)});
+  B.addClause({pos(1), neg(2)});
+  B.addClause({pos(0)});
+  EXPECT_EQ(A.signature(), B.signature());
+
+  Cnf C;
+  C.addClause({pos(0)});
+  EXPECT_NE(A.signature(), C.signature());
+}
+
+/// Cross-check the solver against brute force on random small instances.
+TEST(MinCostSat, MatchesBruteForceOnRandomInstances) {
+  Prng Rng(0xC0FFEE);
+  for (int Round = 0; Round < 200; ++Round) {
+    const uint32_t NumVars = 1 + Rng.nextBelow(8);
+    Cnf F;
+    unsigned NumClauses = Rng.nextBelow(10);
+    for (unsigned CI = 0; CI < NumClauses; ++CI) {
+      std::vector<BoolLit> Clause;
+      unsigned Len = Rng.nextBelow(4); // may be empty => unsat
+      for (unsigned LI = 0; LI < Len; ++LI)
+        Clause.push_back(BoolLit{static_cast<uint32_t>(Rng.nextBelow(NumVars)),
+                                 Rng.chance(1, 2)});
+      F.addClause(std::move(Clause));
+    }
+
+    // Brute force.
+    int BestCost = -1;
+    for (uint32_t Mask = 0; Mask < (1u << NumVars); ++Mask) {
+      std::vector<bool> Assign(NumVars);
+      int Cost = 0;
+      for (uint32_t I = 0; I < NumVars; ++I) {
+        Assign[I] = (Mask >> I) & 1;
+        Cost += Assign[I];
+      }
+      if (F.eval(Assign) && (BestCost < 0 || Cost < BestCost))
+        BestCost = Cost;
+    }
+
+    auto Model = solveMinCost(F, NumVars);
+    if (BestCost < 0) {
+      EXPECT_FALSE(Model.has_value()) << "round " << Round;
+    } else {
+      ASSERT_TRUE(Model.has_value()) << "round " << Round;
+      EXPECT_EQ(static_cast<int>(Model->Cost), BestCost)
+          << "round " << Round;
+      EXPECT_TRUE(F.eval(Model->Assignment)) << "round " << Round;
+    }
+  }
+}
+
+} // namespace

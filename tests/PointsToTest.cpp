@@ -1,0 +1,108 @@
+//===- PointsToTest.cpp - Unit tests for the may-points-to substrate ---------===//
+
+#include "pointer/PointsTo.h"
+
+#include "ir/Parser.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace optabs::ir;
+using optabs::pointer::runPointsTo;
+
+Program parse(const char *Src) {
+  Program P;
+  std::string Error;
+  bool Ok = parseProgram(Src, P, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return P;
+}
+
+TEST(PointsTo, DirectAllocationAndCopy) {
+  Program P = parse(R"(
+    proc main {
+      x = new h1;
+      y = x;
+      z = new h2;
+    }
+  )");
+  auto R = runPointsTo(P);
+  VarId X = P.findVar("x"), Y = P.findVar("y"), Z = P.findVar("z");
+  AllocId H1 = P.findAlloc("h1"), H2 = P.findAlloc("h2");
+  EXPECT_TRUE(R.mayPoint(X, H1));
+  EXPECT_FALSE(R.mayPoint(X, H2));
+  EXPECT_TRUE(R.mayPoint(Y, H1));
+  EXPECT_TRUE(R.mayPoint(Z, H2));
+  EXPECT_TRUE(R.mayAlias(X, Y));
+  EXPECT_FALSE(R.mayAlias(X, Z));
+}
+
+TEST(PointsTo, FlowsThroughGlobalsAndFields) {
+  Program P = parse(R"(
+    global g;
+    proc main {
+      x = new h1;
+      g = x;
+      y = g;
+      c = new h2;
+      c.f = x;
+      w = c.f;
+    }
+  )");
+  auto R = runPointsTo(P);
+  EXPECT_TRUE(R.mayPoint(P.findVar("y"), P.findAlloc("h1")));
+  EXPECT_TRUE(R.mayPoint(P.findVar("w"), P.findAlloc("h1")));
+  EXPECT_FALSE(R.mayPoint(P.findVar("y"), P.findAlloc("h2")));
+}
+
+TEST(PointsTo, IsFlowInsensitive) {
+  // x points to h2 at the end, but flow-insensitive analysis keeps h1 too.
+  Program P = parse(R"(
+    proc main {
+      x = new h1;
+      x = new h2;
+    }
+  )");
+  auto R = runPointsTo(P);
+  EXPECT_TRUE(R.mayPoint(P.findVar("x"), P.findAlloc("h1")));
+  EXPECT_TRUE(R.mayPoint(P.findVar("x"), P.findAlloc("h2")));
+}
+
+TEST(PointsTo, UnreachableProceduresAreExcluded) {
+  Program P = parse(R"(
+    proc main { x = new h1; call used; }
+    proc used { y = x; }
+    proc unused { z = new h2; }
+  )");
+  auto R = runPointsTo(P);
+  EXPECT_TRUE(R.isReachable(P.findProc("main")));
+  EXPECT_TRUE(R.isReachable(P.findProc("used")));
+  EXPECT_FALSE(R.isReachable(P.findProc("unused")));
+  // z is never assigned in reachable code.
+  EXPECT_FALSE(R.mayPoint(P.findVar("z"), P.findAlloc("h2")));
+  EXPECT_TRUE(R.mayPoint(P.findVar("y"), P.findAlloc("h1")));
+}
+
+TEST(PointsTo, RecursionTerminates) {
+  Program P = parse(R"(
+    proc main { x = new h1; call rec; }
+    proc rec { y = x; if { call rec; } }
+  )");
+  auto R = runPointsTo(P);
+  EXPECT_TRUE(R.mayPoint(P.findVar("y"), P.findAlloc("h1")));
+}
+
+TEST(PointsTo, LoopsAndChoices) {
+  Program P = parse(R"(
+    proc main {
+      choice { x = new h1; } or { x = new h2; }
+      loop { y = x; x = y; }
+    }
+  )");
+  auto R = runPointsTo(P);
+  EXPECT_TRUE(R.mayPoint(P.findVar("y"), P.findAlloc("h1")));
+  EXPECT_TRUE(R.mayPoint(P.findVar("y"), P.findAlloc("h2")));
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- SynthTest.cpp - Unit tests for the benchmark generator -----------------===//
+
+#include "synth/Generator.h"
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "pointer/PointsTo.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+namespace {
+
+using namespace optabs;
+using namespace optabs::ir;
+
+TEST(Synth, DeterministicForSeed) {
+  const auto &Config = synth::paperSuite()[0];
+  synth::Benchmark A = synth::generate(Config);
+  synth::Benchmark B = synth::generate(Config);
+  std::ostringstream OA, OB;
+  printProgram(OA, A.P);
+  printProgram(OB, B.P);
+  EXPECT_EQ(OA.str(), OB.str());
+  EXPECT_EQ(A.TsChecks.size(), B.TsChecks.size());
+  EXPECT_EQ(A.EscChecks.size(), B.EscChecks.size());
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  synth::BenchConfig C = synth::paperSuite()[0];
+  synth::Benchmark A = synth::generate(C);
+  C.Seed += 1;
+  synth::Benchmark B = synth::generate(C);
+  std::ostringstream OA, OB;
+  printProgram(OA, A.P);
+  printProgram(OB, B.P);
+  EXPECT_NE(OA.str(), OB.str());
+}
+
+TEST(Synth, GeneratedProgramsRoundTripThroughParser) {
+  for (const auto &Config : synth::smallSuite()) {
+    synth::Benchmark B = synth::generate(Config);
+    std::ostringstream OS;
+    printProgram(OS, B.P);
+    Program P2;
+    std::string Error;
+    ASSERT_TRUE(parseProgram(OS.str(), P2, Error))
+        << Config.Name << ": " << Error;
+    EXPECT_EQ(P2.numCommands(), B.P.numCommands());
+    EXPECT_EQ(P2.numChecks(), B.P.numChecks());
+    EXPECT_EQ(P2.numProcs(), B.P.numProcs());
+  }
+}
+
+TEST(Synth, StructuralInvariants) {
+  for (const auto &Config : synth::paperSuite()) {
+    synth::Benchmark B = synth::generate(Config);
+    EXPECT_TRUE(B.P.main().isValid());
+    EXPECT_EQ(B.P.proc(B.P.main()).Name, "main");
+    // Every check is tagged and belongs to exactly one query list.
+    SymbolId Ts = B.P.findSymbol("ts");
+    SymbolId Esc = B.P.findSymbol("esc");
+    ASSERT_TRUE(Ts.isValid() && Esc.isValid());
+    EXPECT_EQ(B.TsChecks.size() + B.EscChecks.size(), B.P.numChecks());
+    for (CheckId C : B.TsChecks)
+      EXPECT_EQ(B.P.checkSite(C).Payload, Ts);
+    for (CheckId C : B.EscChecks)
+      EXPECT_EQ(B.P.checkSite(C).Payload, Esc);
+    // All procedures defined, all checks in reachable code.
+    auto Pt = pointer::runPointsTo(B.P);
+    for (uint32_t I = 0; I < B.P.numProcs(); ++I)
+      EXPECT_TRUE(B.P.proc(ProcId(I)).Body.isValid());
+    for (uint32_t I = 0; I < B.P.numChecks(); ++I)
+      EXPECT_TRUE(Pt.isReachable(B.P.checkSite(CheckId(I)).Proc))
+          << Config.Name;
+  }
+}
+
+TEST(Synth, SuiteSizesGrowRoughlyLikeTable1) {
+  const auto &Suite = synth::paperSuite();
+  ASSERT_EQ(Suite.size(), 7u);
+  synth::Benchmark Tsp = synth::generate(Suite[0]);
+  synth::Benchmark Avrora = synth::generate(Suite[5]);
+  // avrora is the largest benchmark in every dimension.
+  EXPECT_GT(Avrora.P.numCommands(), 3 * Tsp.P.numCommands());
+  EXPECT_GT(Avrora.P.numVars(), 3 * Tsp.P.numVars());
+  EXPECT_GT(Avrora.P.numAllocs(), 3 * Tsp.P.numAllocs());
+  EXPECT_EQ(Suite[5].Name, "avrora");
+}
+
+TEST(Synth, SmallSuiteIsPrefixOfFour) {
+  auto Small = synth::smallSuite();
+  ASSERT_EQ(Small.size(), 4u);
+  EXPECT_EQ(Small[0].Name, "tsp");
+  EXPECT_EQ(Small[3].Name, "weblech");
+}
+
+TEST(Synth, EveryBenchmarkHasBothQueryKinds) {
+  for (const auto &Config : synth::paperSuite()) {
+    synth::Benchmark B = synth::generate(Config);
+    EXPECT_GT(B.TsChecks.size(), 0u) << Config.Name;
+    EXPECT_GT(B.EscChecks.size(), 0u) << Config.Name;
+  }
+}
+
+TEST(Synth, MayPointSetsAreUnitSizedForChainChecks) {
+  // Type-state checks in chain units reference variables whose points-to
+  // sets contain only the unit's own site, keeping queries well-scoped.
+  synth::Benchmark B = synth::generate(synth::paperSuite()[0]);
+  auto Pt = pointer::runPointsTo(B.P);
+  size_t Queries = 0;
+  for (CheckId C : B.TsChecks)
+    Queries += Pt.pointsTo(B.P.checkSite(C).Var).count();
+  // Every ts check maps to at least one query and at most two (kill units).
+  EXPECT_GE(Queries, B.TsChecks.size());
+  EXPECT_LE(Queries, 2 * B.TsChecks.size());
+}
+
+} // namespace

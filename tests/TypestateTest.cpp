@@ -1,0 +1,326 @@
+//===- TypestateTest.cpp - Unit tests for the type-state client --------------===//
+
+#include "typestate/Typestate.h"
+
+#include "ir/Parser.h"
+#include "pointer/PointsTo.h"
+#include "support/Prng.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace optabs::ir;
+using namespace optabs::typestate;
+using optabs::BitSet;
+using optabs::Prng;
+using optabs::formula::AtomId;
+
+Program parse(const char *Src) {
+  Program P;
+  std::string Error;
+  bool Ok = parseProgram(Src, P, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return P;
+}
+
+/// The File property of Figure 1: closed (init) <-> opened; open() on
+/// opened and close() on closed are errors.
+TypestateSpec fileSpec(Program &P) {
+  TypestateSpec Spec("closed");
+  uint32_t Closed = 0;
+  uint32_t Opened = Spec.addState("opened");
+  MethodId Open = P.makeMethod("open");
+  MethodId Close = P.makeMethod("close");
+  Spec.addTransition(Open, Closed, Opened);
+  Spec.addErrorTransition(Open, Opened);
+  Spec.addTransition(Close, Opened, Closed);
+  Spec.addErrorTransition(Close, Closed);
+  return Spec;
+}
+
+TsParam paramOf(const Program &P, std::initializer_list<const char *> Vars) {
+  TsParam Prm;
+  Prm.Tracked = BitSet(P.numVars());
+  for (const char *Name : Vars) {
+    VarId V = P.findVar(Name);
+    EXPECT_TRUE(V.isValid()) << Name;
+    Prm.Tracked.set(V.index());
+  }
+  return Prm;
+}
+
+struct Fixture {
+  Program P;
+  std::unique_ptr<TypestateSpec> Spec;
+  std::unique_ptr<optabs::pointer::PointsToResult> Pt;
+  std::unique_ptr<TypestateAnalysis> A;
+
+  explicit Fixture(const char *Src, bool Stress = false) {
+    P = parse(Src);
+    Spec = std::make_unique<TypestateSpec>(
+        Stress ? TypestateSpec::stress() : fileSpec(P));
+    Pt = std::make_unique<optabs::pointer::PointsToResult>(
+        optabs::pointer::runPointsTo(P));
+    A = std::make_unique<TypestateAnalysis>(P, *Spec, P.findAlloc("h1"),
+                                            *Pt);
+  }
+
+  const Command &cmd(uint32_t I) const { return P.command(CommandId(I)); }
+};
+
+const char *Fig1Src = R"(
+  proc main {
+    x = new h1;
+    y = x;
+    if { z = x; }
+    x.open();
+    y.close();
+    choice { check(x, closed); } or { check(x, opened); }
+  }
+)";
+
+TEST(TypestateSpec, AutomatonLookup) {
+  Program P;
+  TypestateSpec Spec = fileSpec(P);
+  MethodId Open = P.makeMethod("open");
+  MethodId Close = P.makeMethod("close");
+  EXPECT_EQ(Spec.apply(Open, 0), std::optional<uint32_t>(1));
+  EXPECT_EQ(Spec.apply(Open, 1), std::nullopt);
+  EXPECT_EQ(Spec.apply(Close, 1), std::optional<uint32_t>(0));
+  EXPECT_EQ(Spec.apply(Close, 0), std::nullopt);
+  // Unknown methods keep the state.
+  MethodId Other = P.makeMethod("read");
+  EXPECT_EQ(Spec.apply(Other, 0), std::optional<uint32_t>(0));
+  EXPECT_EQ(Spec.findState("opened"), std::optional<uint32_t>(1));
+  EXPECT_FALSE(Spec.findState("nope").has_value());
+}
+
+TEST(Typestate, TransferFollowsFigure4) {
+  Fixture F(Fig1Src);
+  TsParam Full = paramOf(F.P, {"x", "y", "z"});
+  AbsState D = F.A->initialState();
+  EXPECT_EQ(D.Ts, 1u);
+  EXPECT_TRUE(D.Vs.empty());
+
+  // x = new h1: vs = {x} (tracked by p).
+  D = F.A->transfer(F.cmd(0), D, Full);
+  EXPECT_EQ(D.Vs.size(), 1u);
+  // y = x: vs = {x, y}.
+  D = F.A->transfer(F.cmd(1), D, Full);
+  EXPECT_EQ(D.Vs.size(), 2u);
+  // x.open(): strong update, ts = {opened}.
+  AbsState AfterOpen = F.A->transfer(F.cmd(3), D, Full);
+  EXPECT_EQ(AfterOpen.Ts, 2u);
+  EXPECT_FALSE(AfterOpen.Top);
+  // y.close() on opened: back to closed.
+  AbsState AfterClose = F.A->transfer(F.cmd(4), AfterOpen, Full);
+  EXPECT_EQ(AfterClose.Ts, 1u);
+  // y.close() on closed: error.
+  AbsState Err = F.A->transfer(F.cmd(4), AfterClose, Full);
+  EXPECT_TRUE(Err.Top);
+  // TOP is absorbing.
+  EXPECT_TRUE(F.A->transfer(F.cmd(0), Err, Full).Top);
+}
+
+TEST(Typestate, WeakUpdateWithoutMustAlias) {
+  Fixture F(Fig1Src);
+  TsParam Empty = paramOf(F.P, {});
+  AbsState D = F.A->initialState();
+  D = F.A->transfer(F.cmd(0), D, Empty); // x = new h1, x untracked
+  EXPECT_TRUE(D.Vs.empty());
+  // x.open() with x not in vs: weak update keeps closed and adds opened.
+  AbsState After = F.A->transfer(F.cmd(3), D, Empty);
+  EXPECT_EQ(After.Ts, 3u);
+  // y.close() now errs: closed in ts and [close](closed) = TOP.
+  EXPECT_TRUE(F.A->transfer(F.cmd(4), After, Empty).Top);
+}
+
+TEST(Typestate, CallOnUnrelatedReceiverIsIdentity) {
+  Fixture F(R"(
+    proc main {
+      x = new h1;
+      w = new h2;
+      w.open();
+      check(x, closed);
+    }
+  )");
+  TsParam Full = paramOf(F.P, {"x", "w"});
+  AbsState D = F.A->initialState();
+  D = F.A->transfer(F.cmd(0), D, Full);
+  // w.open(): w cannot point to h1, so the tracked object is unaffected.
+  AbsState After = F.A->transfer(F.cmd(2), D, Full);
+  EXPECT_EQ(After, D);
+}
+
+TEST(Typestate, UntrackedAllocationDropsMustAlias) {
+  Fixture F(R"(
+    proc main { x = new h1; x = new h2; check(x, closed); }
+  )");
+  TsParam Full = paramOf(F.P, {"x"});
+  AbsState D = F.A->initialState();
+  D = F.A->transfer(F.cmd(0), D, Full);
+  EXPECT_EQ(D.Vs.size(), 1u);
+  D = F.A->transfer(F.cmd(1), D, Full);
+  EXPECT_TRUE(D.Vs.empty());
+}
+
+TEST(Typestate, StressModeErrsExactlyOnWeakCalls) {
+  Fixture F(R"(
+    proc main { x = new h1; y = x; y.work(); check(x, init); }
+  )", /*Stress=*/true);
+  TsParam Both = paramOf(F.P, {"x", "y"});
+  TsParam JustX = paramOf(F.P, {"x"});
+  AbsState D0 = F.A->initialState();
+  AbsState D1 = F.A->transfer(F.cmd(0), D0, Both);
+  AbsState D2 = F.A->transfer(F.cmd(1), D1, Both);
+  EXPECT_FALSE(F.A->transfer(F.cmd(2), D2, Both).Top); // y in vs: precise
+  AbsState E1 = F.A->transfer(F.cmd(0), D0, JustX);
+  AbsState E2 = F.A->transfer(F.cmd(1), E1, JustX);
+  EXPECT_TRUE(F.A->transfer(F.cmd(2), E2, JustX).Top); // weak: errs
+}
+
+//===----------------------------------------------------------------------===//
+// Requirement (2) of the framework: gamma(wp(A)) = {(p,d) | A(p, [a]_p(d))},
+// checked by property testing over random states, abstractions, commands.
+//===----------------------------------------------------------------------===//
+
+AbsState randomState(Prng &Rng, uint32_t NumVars, uint32_t NumTs) {
+  AbsState D;
+  if (Rng.chance(1, 8)) {
+    D.Top = true;
+    return D;
+  }
+  D.Ts = static_cast<uint32_t>(Rng.nextBelow(1u << NumTs));
+  if (D.Ts == 0)
+    D.Ts = 1;
+  for (uint32_t V = 0; V < NumVars; ++V)
+    if (Rng.chance(1, 3))
+      D.Vs.push_back(V);
+  return D;
+}
+
+void wpSoundnessProperty(const char *Src, bool Stress) {
+  Fixture F(Src, Stress);
+  Prng Rng(Stress ? 0xBEEF : 0xFEED);
+  uint32_t NumTs = F.Spec->numStates();
+
+  // All atoms of the domain (Figure 9).
+  std::vector<AtomId> Atoms;
+  Atoms.push_back(TypestateAnalysis::atomErr());
+  for (uint32_t V = 0; V < F.P.numVars(); ++V) {
+    Atoms.push_back(TypestateAnalysis::atomParam(VarId(V)));
+    Atoms.push_back(TypestateAnalysis::atomVar(VarId(V)));
+  }
+  for (uint32_t S = 0; S < NumTs; ++S)
+    Atoms.push_back(TypestateAnalysis::atomType(S));
+
+  for (int Round = 0; Round < 300; ++Round) {
+    TsParam Prm;
+    Prm.Tracked = BitSet(F.P.numVars());
+    for (uint32_t V = 0; V < F.P.numVars(); ++V)
+      if (Rng.chance(1, 2))
+        Prm.Tracked.set(V);
+    AbsState D = randomState(Rng, F.P.numVars(), NumTs);
+    for (uint32_t CI = 0; CI < F.P.numCommands(); ++CI) {
+      const Command &Cmd = F.P.command(CommandId(CI));
+      if (Cmd.Kind == CmdKind::Invoke)
+        continue;
+      AbsState Post = F.A->transfer(Cmd, D, Prm);
+      for (AtomId A : Atoms) {
+        bool PostHolds = F.A->evalAtom(A, Prm, Post);
+        bool WpHolds = F.A->wpAtom(Cmd, A).eval([&](AtomId B) {
+          return F.A->evalAtom(B, Prm, D);
+        });
+        ASSERT_EQ(WpHolds, PostHolds)
+            << "cmd " << CI << " atom " << F.A->atomName(A) << " round "
+            << Round;
+      }
+    }
+  }
+}
+
+TEST(TypestateWp, SoundAndCompleteForAutomaton) {
+  wpSoundnessProperty(R"(
+    global g;
+    proc main {
+      x = new h1;
+      w = new h2;
+      y = x;
+      y = null;
+      y = g;
+      y = x.f;
+      x.f = y;
+      g = x;
+      x.open();
+      y.close();
+      w.open();
+      assume(*);
+      check(x, closed);
+    }
+  )", /*Stress=*/false);
+}
+
+TEST(TypestateWp, SoundAndCompleteForStress) {
+  wpSoundnessProperty(R"(
+    global g;
+    proc main {
+      x = new h1;
+      w = new h2;
+      y = x;
+      y = null;
+      y = g;
+      y = x.f;
+      x.f = y;
+      x.work();
+      y.work();
+      w.work();
+      check(x, init);
+    }
+  )", /*Stress=*/true);
+}
+
+TEST(Typestate, NotQForAutomatonChecks) {
+  Fixture F(Fig1Src);
+  // check(x, closed): err \/ type(opened)
+  auto D0 = F.A->notQ(CheckId(0));
+  EXPECT_EQ(D0.size(), 2u);
+  AbsState Closed = F.A->initialState();
+  TsParam Empty = paramOf(F.P, {});
+  auto Eval = [&](const AbsState &D) {
+    return [&, D](AtomId A) { return F.A->evalAtom(A, Empty, D); };
+  };
+  EXPECT_FALSE(D0.eval(Eval(Closed)));
+  AbsState Opened = Closed;
+  Opened.Ts = 2;
+  EXPECT_TRUE(D0.eval(Eval(Opened)));
+  AbsState Top;
+  Top.Top = true;
+  EXPECT_TRUE(D0.eval(Eval(Top)));
+}
+
+TEST(Typestate, ParamCodec) {
+  Fixture F(Fig1Src);
+  EXPECT_EQ(F.A->numParamBits(), F.P.numVars());
+  VarId X = F.P.findVar("x");
+  auto [Bit, Val] = F.A->decodeParamAtom(TypestateAnalysis::atomParam(X));
+  EXPECT_EQ(Bit, X.index());
+  EXPECT_TRUE(Val);
+  std::vector<bool> Bits(F.P.numVars(), false);
+  Bits[X.index()] = true;
+  TsParam Prm = F.A->paramFromBits(Bits);
+  EXPECT_EQ(F.A->paramCost(Prm), 1u);
+  EXPECT_EQ(F.A->paramToString(Prm), "{x}");
+}
+
+TEST(Typestate, AtomNames) {
+  Fixture F(Fig1Src);
+  EXPECT_EQ(F.A->atomName(TypestateAnalysis::atomErr()), "err");
+  EXPECT_EQ(F.A->atomName(TypestateAnalysis::atomType(0)), "type(closed)");
+  EXPECT_EQ(F.A->atomName(TypestateAnalysis::atomType(1)), "type(opened)");
+  VarId X = F.P.findVar("x");
+  EXPECT_EQ(F.A->atomName(TypestateAnalysis::atomParam(X)), "param(x)");
+  EXPECT_EQ(F.A->atomName(TypestateAnalysis::atomVar(X)), "var(x)");
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+//===- optabs_cli.cpp - Command-line driver for the optabs library ------------===//
+//
+// Runs the optimum-abstraction search on a textual mini-IR program:
+//
+//   optabs-cli PROGRAM.opt --client=escape [options]
+//   optabs-cli PROGRAM.opt --client=typestate
+//       [--property="init=closed; open: closed->opened, opened->ERR; ..."]
+//
+// Options:
+//   --client=escape|typestate   which parametric analysis to run (required)
+//   --property=SPEC             type-state automaton; without it the §6
+//                               stress property (must-alias precision) runs
+//   --k=N                       dropk beam width (default 5; 0 = exact)
+//   --strategy=tracer|eliminate-current|greedy-grow
+//   --max-iters=N               per-query iteration budget (default 100)
+//   --traces-per-iter=N         counterexamples per failed iteration
+//   --stats                     print program statistics and exit
+//   --verbose                   print the program before the report
+//
+// Every check(v[, state]) command in the program becomes a query. For the
+// escape client the query is "is v thread-local here"; for the type-state
+// client one query is posed per (check, may-pointed allocation site) and
+// asks that the object's type-state be the check's payload (or that no
+// error occurred, under the stress property).
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "pointer/PointsTo.h"
+#include "tracer/QueryDriver.h"
+#include "typestate/Typestate.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace optabs;
+using namespace optabs::ir;
+
+namespace {
+
+struct CliOptions {
+  std::string ProgramPath;
+  std::string Client;
+  std::string Property;
+  tracer::TracerOptions Tracer;
+  bool Stats = false;
+  bool Verbose = false;
+};
+
+int usage(const char *Msg = nullptr) {
+  if (Msg)
+    std::cerr << "error: " << Msg << "\n";
+  std::cerr << "usage: optabs-cli PROGRAM.opt --client=escape|typestate "
+               "[--property=SPEC] [--k=N]\n"
+               "       [--strategy=tracer|eliminate-current|greedy-grow] "
+               "[--max-iters=N]\n"
+               "       [--traces-per-iter=N] [--stats] [--verbose]\n";
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&Arg](const char *Prefix) -> std::optional<std::string> {
+      std::string P = Prefix;
+      if (Arg.rfind(P, 0) == 0)
+        return Arg.substr(P.size());
+      return std::nullopt;
+    };
+    if (auto V = Value("--client=")) {
+      Opts.Client = *V;
+    } else if (auto V = Value("--property=")) {
+      Opts.Property = *V;
+    } else if (auto V = Value("--k=")) {
+      Opts.Tracer.K = static_cast<unsigned>(std::stoul(*V));
+    } else if (auto V = Value("--max-iters=")) {
+      Opts.Tracer.MaxItersPerQuery = static_cast<unsigned>(std::stoul(*V));
+    } else if (auto V = Value("--traces-per-iter=")) {
+      Opts.Tracer.TracesPerIteration =
+          static_cast<unsigned>(std::stoul(*V));
+    } else if (auto V = Value("--strategy=")) {
+      if (*V == "tracer")
+        Opts.Tracer.Strategy = tracer::SearchStrategy::Tracer;
+      else if (*V == "eliminate-current")
+        Opts.Tracer.Strategy = tracer::SearchStrategy::EliminateCurrent;
+      else if (*V == "greedy-grow")
+        Opts.Tracer.Strategy = tracer::SearchStrategy::GreedyGrow;
+      else {
+        Err = "unknown strategy '" + *V + "'";
+        return false;
+      }
+    } else if (Arg == "--stats") {
+      Opts.Stats = true;
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      Err = "unknown option '" + Arg + "'";
+      return false;
+    } else if (Opts.ProgramPath.empty()) {
+      Opts.ProgramPath = Arg;
+    } else {
+      Err = "multiple program files given";
+      return false;
+    }
+  }
+  if (Opts.ProgramPath.empty()) {
+    Err = "no program file given";
+    return false;
+  }
+  if (!Opts.Stats && Opts.Client != "escape" && Opts.Client != "typestate") {
+    Err = "--client must be 'escape' or 'typestate'";
+    return false;
+  }
+  return true;
+}
+
+/// Parses "init=closed; open: closed->opened, opened->ERR; close: ..."
+/// into a TypestateSpec. ERR (any capitalization) is the error verdict.
+bool parseProperty(const std::string &Spec, Program &P,
+                   std::unique_ptr<typestate::TypestateSpec> &Out,
+                   std::string &Err) {
+  auto Trim = [](std::string S) {
+    size_t B = S.find_first_not_of(" \t");
+    size_t E = S.find_last_not_of(" \t");
+    return B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
+  };
+  std::vector<std::string> Clauses;
+  std::stringstream SS(Spec);
+  std::string Clause;
+  while (std::getline(SS, Clause, ';'))
+    if (!Trim(Clause).empty())
+      Clauses.push_back(Trim(Clause));
+  if (Clauses.empty() || Clauses[0].rfind("init=", 0) != 0) {
+    Err = "property must start with 'init=<state>'";
+    return false;
+  }
+  Out = std::make_unique<typestate::TypestateSpec>(
+      Trim(Clauses[0].substr(5)));
+  for (size_t I = 1; I < Clauses.size(); ++I) {
+    size_t Colon = Clauses[I].find(':');
+    if (Colon == std::string::npos) {
+      Err = "expected 'method: from->to, ...' in '" + Clauses[I] + "'";
+      return false;
+    }
+    MethodId M = P.makeMethod(Trim(Clauses[I].substr(0, Colon)));
+    std::stringstream TS(Clauses[I].substr(Colon + 1));
+    std::string Rule;
+    while (std::getline(TS, Rule, ',')) {
+      size_t Arrow = Rule.find("->");
+      if (Arrow == std::string::npos) {
+        Err = "expected 'from->to' in '" + Rule + "'";
+        return false;
+      }
+      uint32_t From = Out->addState(Trim(Rule.substr(0, Arrow)));
+      std::string To = Trim(Rule.substr(Arrow + 2));
+      if (To == "ERR" || To == "err" || To == "error")
+        Out->addErrorTransition(M, From);
+      else
+        Out->addTransition(M, From, Out->addState(To));
+    }
+  }
+  return true;
+}
+
+void printOutcome(const Program &P, const tracer::QueryOutcome &O,
+                  const std::string &Extra) {
+  const CheckSite &Site = P.checkSite(O.Check);
+  std::cout << "  " << commandToString(P, Site.Command) << " in "
+            << P.proc(Site.Proc).Name << Extra << ": "
+            << tracer::verdictName(O.V);
+  if (O.V == tracer::Verdict::Proven)
+    std::cout << " with " << O.CheapestParam << " (|p| = " << O.CheapestCost
+              << ")";
+  std::cout << " [" << O.Iterations << " iteration(s)]\n";
+}
+
+int runEscape(const Program &P, const CliOptions &Opts) {
+  escape::EscapeAnalysis A(P);
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts.Tracer);
+  std::vector<CheckId> Queries;
+  for (uint32_t I = 0; I < P.numChecks(); ++I)
+    Queries.push_back(CheckId(I));
+  std::cout << "thread-escape analysis, " << Queries.size()
+            << " queries, strategy "
+            << tracer::strategyName(Opts.Tracer.Strategy) << ", k = "
+            << Opts.Tracer.K << "\n";
+  for (const auto &O : Driver.run(Queries))
+    printOutcome(P, O, "");
+  return 0;
+}
+
+int runTypestate(Program &P, const CliOptions &Opts) {
+  std::unique_ptr<typestate::TypestateSpec> Spec;
+  if (!Opts.Property.empty()) {
+    std::string Err;
+    if (!parseProperty(Opts.Property, P, Spec, Err)) {
+      std::cerr << "error: " << Err << "\n";
+      return 2;
+    }
+  } else {
+    Spec = std::make_unique<typestate::TypestateSpec>(
+        typestate::TypestateSpec::stress());
+  }
+  pointer::PointsToResult Pt = pointer::runPointsTo(P);
+  std::cout << "type-state analysis ("
+            << (Opts.Property.empty() ? "stress property"
+                                      : "property automaton")
+            << "), strategy " << tracer::strategyName(Opts.Tracer.Strategy)
+            << ", k = " << Opts.Tracer.K << "\n";
+  for (uint32_t H = 0; H < P.numAllocs(); ++H) {
+    std::vector<CheckId> Queries;
+    for (uint32_t I = 0; I < P.numChecks(); ++I)
+      if (Pt.mayPoint(P.checkSite(CheckId(I)).Var, AllocId(H)))
+        Queries.push_back(CheckId(I));
+    if (Queries.empty())
+      continue;
+    typestate::TypestateAnalysis A(P, *Spec, AllocId(H), Pt);
+    tracer::QueryDriver<typestate::TypestateAnalysis> Driver(P, A,
+                                                             Opts.Tracer);
+    for (const auto &O : Driver.run(Queries))
+      printOutcome(P, O, " (site " + P.allocName(AllocId(H)) + ")");
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  std::string Err;
+  if (!parseArgs(Argc, Argv, Opts, Err))
+    return usage(Err.c_str());
+
+  std::ifstream In(Opts.ProgramPath);
+  if (!In) {
+    std::cerr << "error: cannot open '" << Opts.ProgramPath << "'\n";
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Program P;
+  if (!parseProgram(Buffer.str(), P, Err)) {
+    std::cerr << Opts.ProgramPath << ": " << Err << "\n";
+    return 2;
+  }
+  if (Opts.Verbose)
+    printProgram(std::cout, P);
+  if (Opts.Stats) {
+    std::cout << "procs: " << P.numProcs() << "\ncommands: "
+              << P.numCommands() << "\nvariables: " << P.numVars()
+              << "\nallocation sites: " << P.numAllocs() << "\nfields: "
+              << P.numFields() << "\nchecks: " << P.numChecks() << "\n";
+    if (Opts.Client.empty())
+      return 0;
+  }
+  if (Opts.Client == "escape")
+    return runEscape(P, Opts);
+  return runTypestate(P, Opts);
+}
