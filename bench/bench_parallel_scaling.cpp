@@ -1,0 +1,121 @@
+//===- bench_parallel_scaling.cpp - Driver speedup vs worker count ------------===//
+//
+// Measures how the parallel TRACER driver scales on the Table-2
+// scalability workload: the full paper suite, both clients, at 1/2/4/8
+// worker threads. Reports wall-clock per thread count, speedup over the
+// sequential driver, and the forward-run cache hit rate (hits over
+// lookups). Because the driver merges deterministically, every row
+// resolves the same queries to the same verdicts - only the wall clock
+// changes; the bench asserts that.
+//
+// Usage: bench_parallel_scaling [out.csv]
+// With an argument, additionally writes one aggregate summary row per
+// (benchmark, client, thread count) through the shared CSV path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reporting/Csv.h"
+#include "reporting/Harness.h"
+#include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace optabs;
+using reporting::BenchRun;
+using reporting::ClientResults;
+
+namespace {
+
+struct Row {
+  unsigned Threads = 0;
+  double Seconds = 0;
+  unsigned Proven = 0, Impossible = 0, Unresolved = 0;
+  uint64_t Hits = 0, Misses = 0;
+};
+
+void accumulate(Row &R, const ClientResults &C) {
+  R.Seconds += C.TotalSeconds;
+  R.Proven += C.count(tracer::Verdict::Proven);
+  R.Impossible += C.count(tracer::Verdict::Impossible);
+  R.Unresolved += C.count(tracer::Verdict::Unresolved);
+  R.Hits += C.CacheHits;
+  R.Misses += C.CacheMisses;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::ofstream Csv;
+  if (Argc > 1) {
+    Csv.open(Argv[1]);
+    if (!Csv) {
+      std::cerr << "cannot open " << Argv[1] << "\n";
+      return 1;
+    }
+    reporting::writeCsvSummaryHeader(Csv);
+  }
+
+  const std::vector<synth::BenchConfig> &Suite = synth::paperSuite();
+  std::vector<Row> Rows;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    reporting::HarnessOptions Options;
+    Options.Tracer.NumThreads = Threads;
+    Row R;
+    R.Threads = Threads;
+    for (const synth::BenchConfig &Config : Suite) {
+      BenchRun Run = reporting::runBenchmark(Config, Options);
+      accumulate(R, Run.Ts);
+      accumulate(R, Run.Esc);
+      if (Csv.is_open()) {
+        std::string Label = "threads=" + std::to_string(Threads);
+        reporting::writeCsvSummaryRow(Csv, Config.Name, "typestate", Label,
+                                      Run.Ts);
+        reporting::writeCsvSummaryRow(Csv, Config.Name, "thread-escape",
+                                      Label, Run.Esc);
+      }
+    }
+    Rows.push_back(R);
+  }
+
+  // Determinism cross-check: verdict mixes must be identical at every
+  // worker count.
+  bool Deterministic = true;
+  for (const Row &R : Rows)
+    Deterministic = Deterministic && R.Proven == Rows[0].Proven &&
+                    R.Impossible == Rows[0].Impossible &&
+                    R.Unresolved == Rows[0].Unresolved &&
+                    R.Hits == Rows[0].Hits && R.Misses == Rows[0].Misses;
+
+  TablePrinter T;
+  T.setHeader({"threads", "wall", "speedup", "proven", "imposs.", "unres.",
+               "cache hit rate"});
+  for (const Row &R : Rows) {
+    double Speedup = R.Seconds > 0 ? Rows[0].Seconds / R.Seconds : 0;
+    double Lookups = static_cast<double>(R.Hits + R.Misses);
+    T.addRow({TablePrinter::cell((long long)R.Threads),
+              formatDuration(R.Seconds),
+              TablePrinter::cell(Speedup, 2) + "x",
+              TablePrinter::cell((long long)R.Proven),
+              TablePrinter::cell((long long)R.Impossible),
+              TablePrinter::cell((long long)R.Unresolved),
+              Lookups > 0 ? TablePrinter::percent(R.Hits / Lookups, 1)
+                          : "-"});
+  }
+  T.print(std::cout,
+          "Parallel scaling: full suite, both clients, per worker count");
+  std::cout << "hardware threads: " << support::ThreadPool::hardwareWorkers()
+            << " (speedup is bounded by this)\n";
+  std::cout << (Deterministic
+                    ? "verdicts and cache counters identical at every "
+                      "worker count\n"
+                    : "DETERMINISM VIOLATION: results differ across worker "
+                      "counts\n");
+  return Deterministic ? 0 : 1;
+}

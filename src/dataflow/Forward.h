@@ -92,12 +92,20 @@ public:
   /// its Check command), across all calling contexts.
   std::vector<State> statesAtCheck(ir::CheckId Check) const {
     std::vector<State> Result;
-    auto It = CheckStates.find(Check.index());
-    if (It == CheckStates.end())
-      return Result;
-    for (StateId Id : It->second)
+    for (StateId Id : statesAtCheckIds(Check))
       Result.push_back(Interner.state(Id));
     return Result;
+  }
+
+  /// Id-based variant of statesAtCheck(): the sorted interned ids, without
+  /// copying any state. Resolve ids with state(). This is what the TRACER
+  /// driver iterates every CEGAR iteration; it is read-only and safe to
+  /// call concurrently as long as no thread mutates this analysis (trace
+  /// extraction and replay mutate).
+  const StateSet &statesAtCheckIds(ir::CheckId Check) const {
+    static const StateSet Empty;
+    auto It = CheckStates.find(Check.index());
+    return It == CheckStates.end() ? Empty : It->second;
   }
 
   /// Reconstructs an abstract counterexample trace from program entry to
@@ -127,7 +135,7 @@ public:
     if (It == CheckStates.end())
       return Result;
     StateId TargetId = Interner.intern(Target);
-    if (!It->second.count(TargetId))
+    if (!contains(It->second, TargetId))
       return Result;
     ir::CommandId CheckCmd = P.checkSite(Check).Command;
     for (unsigned R = 0; R < 2 * MaxCount + 1 && Result.size() < MaxCount;
@@ -241,7 +249,7 @@ private:
         return visit(P.proc(Cmd.Callee).Body, In);
       }
       if (Cmd.Kind == ir::CmdKind::Check)
-        CheckStates[Cmd.Check.index()].insert(In);
+        addState(CheckStates[Cmd.Check.index()], In);
       return {applyCommand(Node.Cmd, In)};
     }
     case ir::StmtKind::Seq: {
@@ -525,7 +533,7 @@ private:
   std::unordered_map<Key, StateId> TransferMemo;
   std::unordered_set<Key> RoundMark;
   std::unordered_set<Key> OnStack;
-  std::unordered_map<uint32_t, std::unordered_set<StateId>> CheckStates;
+  std::unordered_map<uint32_t, StateSet> CheckStates;
   bool Changed = false;
 
   std::unordered_set<std::tuple<uint32_t, StateId, StateId>, TripleHash>

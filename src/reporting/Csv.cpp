@@ -45,5 +45,22 @@ void writeCsvRows(std::ostream &OS, const BenchRun &Run) {
   writeClient(OS, Run.Config.Name, "thread-escape", Run.Esc);
 }
 
+void writeCsvSummaryHeader(std::ostream &OS) {
+  OS << "benchmark,client,config,queries,proven,impossible,unresolved,"
+        "seconds,forward_runs,backward_runs,cache_hits,cache_misses,"
+        "cache_evictions\n";
+}
+
+void writeCsvSummaryRow(std::ostream &OS, const std::string &Bench,
+                        const char *Client, const std::string &Label,
+                        const ClientResults &R) {
+  OS << Bench << ',' << Client << ',' << Label << ',' << R.Queries.size()
+     << ',' << R.count(tracer::Verdict::Proven) << ','
+     << R.count(tracer::Verdict::Impossible) << ','
+     << R.count(tracer::Verdict::Unresolved) << ',' << R.TotalSeconds << ','
+     << R.ForwardRuns << ',' << R.BackwardRuns << ',' << R.CacheHits << ','
+     << R.CacheMisses << ',' << R.CacheEvictions << '\n';
+}
+
 } // namespace reporting
 } // namespace optabs

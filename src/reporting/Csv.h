@@ -29,6 +29,17 @@ void writeCsvHeader(std::ostream &OS);
 /// verdict, iterations, seconds, cheapest |p|, cheapest abstraction.
 void writeCsvRows(std::ostream &OS, const BenchRun &Run);
 
+/// Writes the CSV header row for per-client aggregate summaries (one row
+/// per client per benchmark configuration): driver work counters plus the
+/// forward-run cache statistics, used by the scaling benchmarks.
+void writeCsvSummaryHeader(std::ostream &OS);
+
+/// Writes one aggregate summary row. \p Label tags the configuration the
+/// run used (e.g. "threads=4"); pass an empty string when unused.
+void writeCsvSummaryRow(std::ostream &OS, const std::string &Bench,
+                        const char *Client, const std::string &Label,
+                        const ClientResults &R);
+
 } // namespace reporting
 } // namespace optabs
 

@@ -36,6 +36,9 @@ void runEscape(const synth::Benchmark &B, const HarnessOptions &Options,
     Out.Queries.push_back(statOf(O));
   Out.ForwardRuns += Driver.stats().ForwardRuns;
   Out.BackwardRuns += Driver.stats().BackwardRuns;
+  Out.CacheHits += Driver.stats().CacheHits;
+  Out.CacheMisses += Driver.stats().CacheMisses;
+  Out.CacheEvictions += Driver.stats().CacheEvictions;
   Out.TotalSeconds = Total.seconds();
 }
 
@@ -66,6 +69,9 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
       Out.Queries.push_back(statOf(O));
     Out.ForwardRuns += Driver.stats().ForwardRuns;
     Out.BackwardRuns += Driver.stats().BackwardRuns;
+    Out.CacheHits += Driver.stats().CacheHits;
+    Out.CacheMisses += Driver.stats().CacheMisses;
+    Out.CacheEvictions += Driver.stats().CacheEvictions;
   }
   Out.TotalSeconds = Total.seconds();
 }

@@ -47,6 +47,9 @@ struct ClientResults {
   double TotalSeconds = 0;
   unsigned ForwardRuns = 0;
   unsigned BackwardRuns = 0;
+  uint64_t CacheHits = 0;      ///< forward-run cache hits (memoized runs)
+  uint64_t CacheMisses = 0;    ///< forward-run cache misses (computed runs)
+  uint64_t CacheEvictions = 0; ///< forward-run cache LRU evictions
 
   unsigned count(tracer::Verdict V) const {
     unsigned N = 0;

@@ -1,0 +1,146 @@
+//===- ForwardRunCache.h - Cross-round forward-run memoization -*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LRU cache of completed forward analyses, keyed by the abstraction's
+/// parameter bit-vector. The TRACER driver consults it across rounds and
+/// across queries (and across successive run() calls on one driver), so an
+/// abstraction revisited later - typically because two query groups solve
+/// to the same minimum-cost model in different rounds - never recomputes
+/// its forward fixpoint.
+///
+/// Epoch-based pinning keeps the driver's parallel rounds safe: the driver
+/// calls beginEpoch() at every round start, and every entry looked up or
+/// inserted during a round is pinned for that round, so LRU eviction (which
+/// runs only at insert time) can never free a forward run that outstanding
+/// tasks of the current round still reference. When every resident entry is
+/// pinned the cache temporarily overshoots its capacity rather than evict.
+///
+/// The cache is deliberately single-threaded: the driver probes and inserts
+/// only from its sequential planning/merge phases, while the parallel phase
+/// works on raw pointers obtained before it started. All counters are
+/// therefore deterministic regardless of the worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_TRACER_FORWARDRUNCACHE_H
+#define OPTABS_TRACER_FORWARDRUNCACHE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace optabs {
+namespace tracer {
+
+/// Hit/miss/eviction counters of one cache, reported through DriverStats.
+struct ForwardCacheCounters {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+template <typename RunT> class ForwardRunCache {
+public:
+  /// Cache key: the abstraction's parameter bits, plus a salt used by the
+  /// ungrouped (§6 baseline) driver mode to keep per-query runs separate.
+  struct Key {
+    std::vector<bool> Bits;
+    uint32_t Salt = 0;
+
+    friend bool operator<(const Key &A, const Key &B) {
+      if (A.Salt != B.Salt)
+        return A.Salt < B.Salt;
+      return A.Bits < B.Bits;
+    }
+  };
+
+  /// \p Capacity = maximum resident entries; 0 means unbounded.
+  explicit ForwardRunCache(size_t Capacity = 0) : Capacity(Capacity) {}
+
+  void setCapacity(size_t NewCapacity) { Capacity = NewCapacity; }
+  size_t capacity() const { return Capacity; }
+  size_t size() const { return Entries.size(); }
+
+  const ForwardCacheCounters &counters() const { return Counters; }
+  void resetCounters() { Counters = ForwardCacheCounters(); }
+
+  /// Starts a new round: entries touched from here on are pinned until the
+  /// next beginEpoch() and cannot be evicted.
+  void beginEpoch() { ++CurrentEpoch; }
+
+  /// Returns the cached run for \p K (counting a hit and pinning it for the
+  /// current epoch), or nullptr (counting a miss).
+  RunT *lookup(const Key &K) {
+    auto It = Entries.find(K);
+    if (It == Entries.end()) {
+      ++Counters.Misses;
+      return nullptr;
+    }
+    ++Counters.Hits;
+    touch(It->second);
+    return It->second.Run.get();
+  }
+
+  /// Counts a hit without a lookup - used when the driver resolves a second
+  /// request for a key it already materialized this round.
+  void noteSharedHit() { ++Counters.Hits; }
+
+  /// Inserts a freshly computed run (pinned for the current epoch) and
+  /// applies LRU eviction if the cache exceeds its capacity. Returns the
+  /// now-owned run.
+  RunT *insert(Key K, std::unique_ptr<RunT> Run) {
+    Entry &E = Entries[std::move(K)];
+    E.Run = std::move(Run);
+    touch(E);
+    evictOverCapacity();
+    return E.Run.get();
+  }
+
+private:
+  struct Entry {
+    std::unique_ptr<RunT> Run;
+    uint64_t Stamp = 0; ///< recency; larger = more recently used
+    uint64_t Epoch = 0; ///< last epoch this entry was touched in
+  };
+
+  void touch(Entry &E) {
+    E.Stamp = ++StampCounter;
+    E.Epoch = CurrentEpoch;
+  }
+
+  void evictOverCapacity() {
+    if (Capacity == 0)
+      return;
+    while (Entries.size() > Capacity) {
+      auto Victim = Entries.end();
+      for (auto It = Entries.begin(); It != Entries.end(); ++It) {
+        if (It->second.Epoch == CurrentEpoch)
+          continue; // pinned: in use by the current round
+        if (Victim == Entries.end() ||
+            It->second.Stamp < Victim->second.Stamp)
+          Victim = It;
+      }
+      if (Victim == Entries.end())
+        return; // everything pinned: overshoot rather than evict
+      Entries.erase(Victim);
+      ++Counters.Evictions;
+    }
+  }
+
+  size_t Capacity;
+  std::map<Key, Entry> Entries;
+  ForwardCacheCounters Counters;
+  uint64_t StampCounter = 0;
+  uint64_t CurrentEpoch = 1;
+};
+
+} // namespace tracer
+} // namespace optabs
+
+#endif // OPTABS_TRACER_FORWARDRUNCACHE_H

@@ -41,6 +41,18 @@
 ///   };
 /// \endcode
 ///
+/// Concurrency (TracerOptions::NumThreads): each round is a sequence of
+/// barrier-separated stages - plan (sequential), forward-run construction
+/// (parallel per distinct abstraction), query classification (parallel per
+/// query, read-only), trace extraction (parallel per forward run), backward
+/// meta-analysis (parallel per counterexample trace, one BackwardMetaAnalysis
+/// instance per worker), merge (sequential, in query order). All results and
+/// non-timing statistics are bitwise independent of the worker count because
+/// every parallel stage writes into pre-sized slots that the sequential merge
+/// folds in the same order the single-threaded driver would. Completed
+/// forward runs are memoized across rounds, queries, and run() calls in a
+/// ForwardRunCache keyed by the abstraction bit-vector.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTABS_TRACER_QUERYDRIVER_H
@@ -48,11 +60,15 @@
 
 #include "dataflow/Forward.h"
 #include "meta/Backward.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "tracer/ForwardRunCache.h"
 #include "tracer/MinCostSat.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -124,7 +140,9 @@ struct TracerOptions {
   size_t ProductSoftCap = 4096;
   /// Per-trace budget for the backward meta-analysis; 0 = unbounded. A
   /// timed-out meta-analysis run leaves its query unresolved (this is how
-  /// the exact-mode configuration of §6 times out).
+  /// the exact-mode configuration of §6 times out). Note: a nonzero
+  /// timeout makes results timing-dependent, so the worker-count
+  /// determinism guarantee only holds when it is 0.
   double BackwardTimeoutSeconds = 0;
   /// Abstraction-selection strategy (see SearchStrategy).
   SearchStrategy Strategy = SearchStrategy::Tracer;
@@ -133,15 +151,27 @@ struct TracerOptions {
   /// and conjoin everything learned - a lightweight realization of §8's
   /// "DAG counterexamples" direction.
   unsigned TracesPerIteration = 1;
+  /// Worker threads for the per-round forward analyses and the per-trace
+  /// backward meta-analysis. 1 = fully sequential (no threads spawned);
+  /// 0 = one worker per hardware thread. Verdicts, costs, iteration
+  /// counts, and all non-timing statistics are identical for every value.
+  unsigned NumThreads = 1;
+  /// Entry cap of the cross-round forward-run cache (LRU eviction);
+  /// 0 = unbounded. Entries in use by the current round are never evicted,
+  /// so the cache may transiently exceed the cap.
+  size_t ForwardCacheCapacity = 0;
 };
 
 /// Aggregate statistics of one driver run.
 struct DriverStats {
   unsigned Rounds = 0;
-  unsigned ForwardRuns = 0;  ///< distinct (abstraction) forward analyses
+  unsigned ForwardRuns = 0;  ///< forward fixpoints actually computed
   unsigned BackwardRuns = 0; ///< meta-analysis trace runs
   unsigned SolverCalls = 0;
   size_t MaxFormulaCubes = 0; ///< largest backward formula encountered
+  uint64_t CacheHits = 0;      ///< forward-run requests served memoized
+  uint64_t CacheMisses = 0;    ///< forward-run requests that computed
+  uint64_t CacheEvictions = 0; ///< LRU evictions (capacity overflow)
 };
 
 template <typename Analysis> class QueryDriver {
@@ -161,6 +191,8 @@ public:
       return runGreedy(Queries);
     Timer Total;
     Stats = DriverStats();
+    Cache.setCapacity(Options.ForwardCacheCapacity);
+    Cache.resetCounters();
 
     struct QueryRec {
       Cnf Viable;
@@ -178,16 +210,47 @@ public:
     BwdConfig.K = Options.K;
     BwdConfig.ProductSoftCap = Options.ProductSoftCap;
     BwdConfig.TimeoutSeconds = Options.BackwardTimeoutSeconds;
-    Backward Bwd(P, A, BwdConfig);
+    unsigned Workers = effectiveWorkers();
+    ensurePool(Workers);
+    // One backward meta-analysis per worker: its scratch (stats, wp memo)
+    // never crosses threads.
+    std::vector<std::unique_ptr<Backward>> Bwds;
+    for (unsigned W = 0; W < Workers; ++W)
+      Bwds.push_back(std::make_unique<Backward>(P, A, BwdConfig));
     State Init = A.initialState();
+
+    /// What one query learned this round; produced by the parallel stages,
+    /// folded by the sequential merge.
+    enum class StepKind : uint8_t {
+      Proven,     ///< no failing state under the round's abstraction
+      IterBudget, ///< would exceed MaxItersPerQuery
+      Eliminate,  ///< EliminateCurrent baseline: rule out this abstraction
+      Traces,     ///< counterexample traces extracted, backward runs follow
+      NoTrace,    ///< defensive: failing state without a witness
+    };
+    struct TraceResult {
+      std::optional<formula::Dnf> Unviable; ///< nullopt = meta timeout
+      size_t MaxCubes = 0;
+      double Seconds = 0;
+    };
+    struct MemberStep {
+      size_t PlanIdx = 0;
+      size_t Query = 0;
+      StepKind Kind = StepKind::NoTrace;
+      std::vector<dataflow::StateId> FailIds; ///< sorted by state value
+      std::vector<std::pair<ir::Trace, std::vector<State>>> Traces;
+      std::vector<TraceResult> TraceResults;
+      double Seconds = 0;
+    };
 
     size_t Unresolved = Queries.size();
     while (Unresolved > 0 && Total.seconds() < Options.TimeBudgetSeconds) {
       ++Stats.Rounds;
+      Cache.beginEpoch();
 
       // Group unresolved queries by viable-set signature (§6). Without
-      // grouping, every query is its own group but forward runs for equal
-      // abstractions are still shared within the round.
+      // grouping, every query is its own group and its forward runs stay
+      // private (the "technique run separately per query" baseline).
       std::map<uint64_t, std::vector<size_t>> Groups;
       for (size_t I = 0; I < Queries.size(); ++I) {
         if (Recs[I].Done)
@@ -198,19 +261,27 @@ public:
         Groups[Key].push_back(I);
       }
 
-      // One min-cost solve per group; one forward run per distinct
-      // abstraction this round.
-      std::map<std::string, std::unique_ptr<Forward>> Runs;
-      std::map<std::string, double> RunTime;
-      std::map<std::string, size_t> RunUsers;
-
+      // One min-cost solve per group; one run slot per distinct abstraction
+      // this round. Slots resolve against the cross-round cache here, in
+      // deterministic plan order, so hit/miss counters are independent of
+      // the worker count.
       struct GroupPlan {
         std::vector<size_t> Members;
         std::optional<Param> Abs;
         std::vector<bool> Bits;
-        std::string AbsKey;
+        size_t Slot = 0;
+      };
+      struct RunSlot {
+        CacheKey Key;
+        std::optional<Param> Abs;
+        Forward *Run = nullptr;        ///< cached, or set after stage A
+        std::unique_ptr<Forward> Fresh; ///< built by stage A on a miss
+        double BuildSeconds = 0;
+        size_t Users = 0;
       };
       std::vector<GroupPlan> Plans;
+      std::vector<RunSlot> Slots;
+      std::map<CacheKey, size_t> SlotIndex;
       for (auto &[Sig, Members] : Groups) {
         (void)Sig;
         GroupPlan Plan;
@@ -221,99 +292,139 @@ public:
         if (Model) {
           Plan.Abs = A.paramFromBits(Model->Assignment);
           Plan.Bits = std::move(Model->Assignment);
-          Plan.AbsKey = A.paramToString(*Plan.Abs);
-          // Without grouping, each query runs its own forward analysis
-          // (the "technique run separately per query" baseline of §6).
-          if (!Options.GroupQueries)
-            Plan.AbsKey += "#" + std::to_string(Plans.size());
-          RunUsers[Plan.AbsKey] += Members.size();
+          CacheKey Key;
+          Key.Bits = Plan.Bits;
+          // Without grouping, each query keeps its own runs (the §6
+          // baseline); the salt separates them in the shared cache.
+          Key.Salt = Options.GroupQueries
+                         ? 0
+                         : static_cast<uint32_t>(Members[0]) + 1;
+          auto [It, IsNew] = SlotIndex.try_emplace(Key, Slots.size());
+          if (IsNew) {
+            RunSlot Slot;
+            Slot.Key = std::move(Key);
+            Slot.Abs = Plan.Abs;
+            Slot.Run = Cache.lookup(Slot.Key); // counts a hit or a miss
+            Slots.push_back(std::move(Slot));
+          } else {
+            // A second group solved to the same abstraction this round.
+            Cache.noteSharedHit();
+          }
+          Plan.Slot = It->second;
+          Slots[Plan.Slot].Users += Members.size();
         }
         Plans.push_back(std::move(Plan));
       }
 
+      // Stage A: forward fixpoints for every missed abstraction, in
+      // parallel; merged into the cache in plan order.
+      std::vector<size_t> ToBuild;
+      for (size_t S = 0; S < Slots.size(); ++S)
+        if (!Slots[S].Run)
+          ToBuild.push_back(S);
+      Pool->parallelFor(ToBuild.size(), [&](size_t T, unsigned) {
+        RunSlot &Slot = Slots[ToBuild[T]];
+        Timer BuildTimer;
+        auto Run = std::make_unique<Forward>(P, A, *Slot.Abs);
+        Run->run(Init);
+        Slot.Fresh = std::move(Run);
+        Slot.BuildSeconds = BuildTimer.seconds();
+      });
+      for (size_t S : ToBuild) {
+        ++Stats.ForwardRuns;
+        Slots[S].Run = Cache.insert(Slots[S].Key, std::move(Slots[S].Fresh));
+      }
+
+      // Viable set empty: the analysis cannot prove these queries with any
+      // abstraction (Algorithm 1, line 6).
       for (GroupPlan &Plan : Plans) {
-        if (!Plan.Abs) {
-          // Viable set empty: the analysis cannot prove these queries with
-          // any abstraction (Algorithm 1, line 6).
-          for (size_t I : Plan.Members) {
-            Recs[I].Done = true;
-            Outcomes[I].V = Verdict::Impossible;
-            --Unresolved;
-          }
+        if (Plan.Abs)
           continue;
-        }
-        auto RunIt = Runs.find(Plan.AbsKey);
-        if (RunIt == Runs.end()) {
-          Timer RunTimer;
-          auto Run = std::make_unique<Forward>(P, A, *Plan.Abs);
-          Run->run(Init);
-          ++Stats.ForwardRuns;
-          RunTime[Plan.AbsKey] = RunTimer.seconds();
-          RunIt = Runs.emplace(Plan.AbsKey, std::move(Run)).first;
-        }
-        Forward &Run = *RunIt->second;
-        double SharedTime =
-            RunTime[Plan.AbsKey] / static_cast<double>(RunUsers[Plan.AbsKey]);
-
         for (size_t I : Plan.Members) {
-          if (Total.seconds() >= Options.TimeBudgetSeconds)
+          Recs[I].Done = true;
+          Outcomes[I].V = Verdict::Impossible;
+          --Unresolved;
+        }
+      }
+
+      // Schedule one step per (plan, member), in the order the sequential
+      // driver would process them; the wall-clock budget is checked here,
+      // at schedule time.
+      std::vector<MemberStep> Steps;
+      std::vector<std::vector<size_t>> SlotWork(Slots.size());
+      bool OutOfTime = false;
+      for (size_t PlanIdx = 0; PlanIdx < Plans.size() && !OutOfTime;
+           ++PlanIdx) {
+        GroupPlan &Plan = Plans[PlanIdx];
+        if (!Plan.Abs)
+          continue;
+        for (size_t I : Plan.Members) {
+          if (Total.seconds() >= Options.TimeBudgetSeconds) {
+            OutOfTime = true;
             break;
-          Timer QueryTimer;
-          QueryOutcome &Out = Outcomes[I];
-          QueryRec &Rec = Recs[I];
-          ++Out.Iterations;
+          }
+          MemberStep Step;
+          Step.PlanIdx = PlanIdx;
+          Step.Query = I;
+          SlotWork[Plan.Slot].push_back(Steps.size());
+          Steps.push_back(std::move(Step));
+        }
+      }
 
-          // D = F_p[s]({d_I}) restricted to the check, intersected with
-          // gamma(not q) (line 9).
-          std::vector<State> Fails;
-          for (const State &D : Run.statesAtCheck(Out.Check)) {
-            bool IsFail = Rec.NotQ.eval([&](formula::AtomId Atom) {
-              return A.evalAtom(Atom, *Plan.Abs, D);
-            });
-            if (IsFail)
-              Fails.push_back(D);
-          }
-          if (Fails.empty()) {
-            // Proven with a minimum abstraction (line 11).
-            Rec.Done = true;
-            Out.V = Verdict::Proven;
-            Out.CheapestCost = A.paramCost(*Plan.Abs);
-            Out.CheapestParam = A.paramToString(*Plan.Abs);
-            Out.Seconds += SharedTime + QueryTimer.seconds();
-            --Unresolved;
-            continue;
-          }
-          if (Out.Iterations >= Options.MaxItersPerQuery) {
-            Rec.Done = true;
-            Out.V = Verdict::Unresolved;
-            Out.Seconds += SharedTime + QueryTimer.seconds();
-            --Unresolved;
-            continue;
-          }
+      // Stage B1: classify every step - does the abstraction prove the
+      // query? Read-only on the forward runs, so fully parallel across
+      // steps. D = F_p[s]({d_I}) at the check, intersected with
+      // gamma(not q) (line 9).
+      Pool->parallelFor(Steps.size(), [&](size_t T, unsigned) {
+        MemberStep &Step = Steps[T];
+        const GroupPlan &Plan = Plans[Step.PlanIdx];
+        const RunSlot &Slot = Slots[Plan.Slot];
+        Timer StepTimer;
+        const QueryOutcome &Out = Outcomes[Step.Query];
+        const QueryRec &Rec = Recs[Step.Query];
+        for (dataflow::StateId Id : Slot.Run->statesAtCheckIds(Out.Check)) {
+          bool IsFail = Rec.NotQ.eval([&](formula::AtomId Atom) {
+            return A.evalAtom(Atom, *Slot.Abs, Slot.Run->state(Id));
+          });
+          if (IsFail)
+            Step.FailIds.push_back(Id);
+        }
+        if (Step.FailIds.empty()) {
+          Step.Kind = StepKind::Proven;
+        } else if (Out.Iterations + 1 >= Options.MaxItersPerQuery) {
+          Step.Kind = StepKind::IterBudget;
+        } else if (Options.Strategy == SearchStrategy::EliminateCurrent) {
+          Step.Kind = StepKind::Eliminate;
+        } else {
+          Step.Kind = StepKind::Traces;
+          // Deterministic choice of counterexample states: smallest state
+          // values first, exactly as the sequential driver sorts.
+          std::sort(Step.FailIds.begin(), Step.FailIds.end(),
+                    [&](dataflow::StateId X, dataflow::StateId Y) {
+                      return Slot.Run->state(X) < Slot.Run->state(Y);
+                    });
+        }
+        Step.Seconds = StepTimer.seconds();
+      });
 
-          if (Options.Strategy == SearchStrategy::EliminateCurrent) {
-            // Baseline: rule out exactly the current abstraction.
-            std::vector<BoolLit> Clause;
-            for (uint32_t Bit = 0; Bit < A.numParamBits(); ++Bit)
-              Clause.push_back(BoolLit{Bit, Bit < Plan.Bits.size()
-                                                ? !Plan.Bits[Bit]
-                                                : true});
-            Rec.Viable.addClause(std::move(Clause));
-            Out.Seconds += SharedTime + QueryTimer.seconds();
+      // Stage B2: counterexample trace extraction and replay (lines
+      // 13-14). Extraction mutates a run's scratch tables, so steps of one
+      // forward run stay sequential; distinct runs proceed in parallel.
+      Pool->parallelFor(Slots.size(), [&](size_t S, unsigned) {
+        RunSlot &Slot = Slots[S];
+        for (size_t StepIdx : SlotWork[S]) {
+          MemberStep &Step = Steps[StepIdx];
+          if (Step.Kind != StepKind::Traces)
             continue;
-          }
-
-          // Lines 13-15: counterexample trace(s), backward meta-analysis,
-          // and viable-set strengthening. Analyzing several distinct
-          // failing states' traces per iteration conjoins everything they
-          // rule out (§8's DAG-counterexample direction, in trace form).
-          std::sort(Fails.begin(), Fails.end());
+          Timer StepTimer;
+          const QueryOutcome &Out = Outcomes[Step.Query];
           size_t WantTraces = std::max(1u, Options.TracesPerIteration);
           std::vector<ir::Trace> Traces;
-          for (const State &Bad : Fails) {
+          for (dataflow::StateId Id : Step.FailIds) {
             if (Traces.size() >= WantTraces)
               break;
-            for (ir::Trace &T : Run.extractTraces(
+            State Bad = Slot.Run->state(Id);
+            for (ir::Trace &T : Slot.Run->extractTraces(
                      Out.Check, Bad, WantTraces - Traces.size()))
               Traces.push_back(std::move(T));
           }
@@ -322,42 +433,110 @@ public:
           if (Traces.empty()) {
             // Defensive: without a counterexample nothing can be learned
             // and retrying the same abstraction would not terminate.
-            Rec.Done = true;
-            Out.V = Verdict::Unresolved;
-            Out.Seconds += SharedTime + QueryTimer.seconds();
-            --Unresolved;
-            continue;
+            Step.Kind = StepKind::NoTrace;
+          } else {
+            for (ir::Trace &T : Traces) {
+              std::vector<State> States = Slot.Run->replay(T, Init);
+              Step.Traces.emplace_back(std::move(T), std::move(States));
+            }
+            Step.TraceResults.resize(Step.Traces.size());
           }
+          Step.Seconds += StepTimer.seconds();
+        }
+      });
+
+      // Stage B3: backward meta-analysis, one task per counterexample
+      // trace (line 14), on per-worker Backward instances.
+      std::vector<std::pair<size_t, size_t>> TraceTasks;
+      for (size_t T = 0; T < Steps.size(); ++T)
+        for (size_t J = 0; J < Steps[T].Traces.size(); ++J)
+          TraceTasks.emplace_back(T, J);
+      Pool->parallelFor(TraceTasks.size(), [&](size_t T, unsigned Worker) {
+        auto [StepIdx, J] = TraceTasks[T];
+        MemberStep &Step = Steps[StepIdx];
+        const GroupPlan &Plan = Plans[Step.PlanIdx];
+        const RunSlot &Slot = Slots[Plan.Slot];
+        Timer TraceTimer;
+        Backward &Bwd = *Bwds[Worker];
+        TraceResult &R = Step.TraceResults[J];
+        std::optional<formula::Dnf> F =
+            Bwd.run(Step.Traces[J].first, *Slot.Abs, Step.Traces[J].second,
+                    Recs[Step.Query].NotQ);
+        R.MaxCubes = Bwd.stats().MaxCubes;
+        if (F)
+          R.Unviable = Bwd.projectToParams(*F, *Slot.Abs, Init);
+        R.Seconds = TraceTimer.seconds();
+      });
+
+      // Merge: fold every step in schedule order - the same order the
+      // sequential driver processes members - so verdicts, viable sets,
+      // and statistics are independent of the worker count.
+      for (MemberStep &Step : Steps) {
+        GroupPlan &Plan = Plans[Step.PlanIdx];
+        RunSlot &Slot = Slots[Plan.Slot];
+        QueryOutcome &Out = Outcomes[Step.Query];
+        QueryRec &Rec = Recs[Step.Query];
+        double SharedTime =
+            Slot.Users ? Slot.BuildSeconds / static_cast<double>(Slot.Users)
+                       : 0;
+        ++Out.Iterations;
+        Out.Seconds += SharedTime + Step.Seconds;
+        switch (Step.Kind) {
+        case StepKind::Proven:
+          // Proven with a minimum abstraction (line 11).
+          Rec.Done = true;
+          Out.V = Verdict::Proven;
+          Out.CheapestCost = A.paramCost(*Plan.Abs);
+          Out.CheapestParam = A.paramToString(*Plan.Abs);
+          --Unresolved;
+          break;
+        case StepKind::IterBudget:
+        case StepKind::NoTrace:
+          Rec.Done = true;
+          Out.V = Verdict::Unresolved;
+          --Unresolved;
+          break;
+        case StepKind::Eliminate: {
+          // Baseline: rule out exactly the current abstraction.
+          std::vector<BoolLit> Clause;
+          for (uint32_t Bit = 0; Bit < A.numParamBits(); ++Bit)
+            Clause.push_back(BoolLit{Bit, Bit < Plan.Bits.size()
+                                              ? !Plan.Bits[Bit]
+                                              : true});
+          Rec.Viable.addClause(std::move(Clause));
+          break;
+        }
+        case StepKind::Traces: {
+          // Lines 13-15: viable-set strengthening. Analyzing several
+          // distinct failing states' traces per iteration conjoins
+          // everything they rule out (§8's DAG-counterexample direction,
+          // in trace form).
           bool MetaTimedOut = false;
-          for (const ir::Trace &T : Traces) {
-            std::vector<State> States = Run.replay(T, Init);
+          for (TraceResult &R : Step.TraceResults) {
             ++Stats.BackwardRuns;
-            std::optional<formula::Dnf> F =
-                Bwd.run(T, *Plan.Abs, States, Rec.NotQ);
             Stats.MaxFormulaCubes =
-                std::max(Stats.MaxFormulaCubes, Bwd.stats().MaxCubes);
-            if (!F) {
+                std::max(Stats.MaxFormulaCubes, R.MaxCubes);
+            Out.Seconds += R.Seconds;
+            if (!R.Unviable) {
               // The meta-analysis timed out on this trace: nothing sound
               // can be learned, so the query stays unresolved.
               MetaTimedOut = true;
               break;
             }
-            formula::Dnf Unviable =
-                Bwd.projectToParams(*F, *Plan.Abs, Init);
-            addUnviable(Rec.Viable, Unviable);
+            addUnviable(Rec.Viable, *R.Unviable);
           }
           if (MetaTimedOut) {
             Rec.Done = true;
             Out.V = Verdict::Unresolved;
-            Out.Seconds += SharedTime + QueryTimer.seconds();
             --Unresolved;
-            continue;
+            break;
           }
           // Progress (Theorem 3): the current abstraction is always among
           // the eliminated ones, so the next round cannot repeat it.
           assert(!Rec.Viable.eval(Plan.Bits) &&
                  "meta-analysis failed to eliminate the current abstraction");
-          Out.Seconds += SharedTime + QueryTimer.seconds();
+          break;
+        }
         }
       }
     }
@@ -366,6 +545,7 @@ public:
       if (!Recs[I].Done)
         Outcomes[I].V = Verdict::Unresolved;
     }
+    publishCacheCounters();
     TotalSeconds = Total.seconds();
     return Outcomes;
   }
@@ -374,6 +554,8 @@ public:
   double totalSeconds() const { return TotalSeconds; }
 
 private:
+  using CacheKey = typename ForwardRunCache<Forward>::Key;
+
   /// The GreedyGrow baseline: per query, monotonically switch on every
   /// parameter bit the failed proof is blamed on. Never shrinks, never
   /// optimizes, and cannot conclude impossibility (failures with no new
@@ -382,6 +564,8 @@ private:
   std::vector<QueryOutcome> runGreedy(const std::vector<ir::CheckId> &Queries) {
     Timer Total;
     Stats = DriverStats();
+    Cache.setCapacity(Options.ForwardCacheCapacity);
+    Cache.resetCounters();
     meta::BackwardConfig BwdConfig;
     BwdConfig.K = Options.K;
     BwdConfig.ProductSoftCap = Options.ProductSoftCap;
@@ -389,17 +573,16 @@ private:
     Backward Bwd(P, A, BwdConfig);
     State Init = A.initialState();
 
-    // Forward runs cache shared across queries and iterations.
-    std::map<std::vector<bool>, std::unique_ptr<Forward>> Runs;
+    // Forward runs memoized across queries, iterations, and run() calls.
     auto GetRun = [&](const std::vector<bool> &Bits) -> Forward & {
-      auto It = Runs.find(Bits);
-      if (It == Runs.end()) {
-        auto Run = std::make_unique<Forward>(P, A, A.paramFromBits(Bits));
-        Run->run(Init);
-        ++Stats.ForwardRuns;
-        It = Runs.emplace(Bits, std::move(Run)).first;
-      }
-      return *It->second;
+      CacheKey Key;
+      Key.Bits = Bits;
+      if (Forward *Hit = Cache.lookup(Key))
+        return *Hit;
+      auto Run = std::make_unique<Forward>(P, A, A.paramFromBits(Bits));
+      Run->run(Init);
+      ++Stats.ForwardRuns;
+      return *Cache.insert(std::move(Key), std::move(Run));
     };
 
     std::vector<QueryOutcome> Outcomes(Queries.size());
@@ -416,22 +599,27 @@ private:
           break; // stays Unresolved
         ++Out.Iterations;
         ++Stats.Rounds;
+        Cache.beginEpoch();
         Param Prm = A.paramFromBits(Bits);
         Forward &Run = GetRun(Bits);
-        std::vector<State> Fails;
-        for (const State &D : Run.statesAtCheck(Out.Check))
+        std::vector<dataflow::StateId> Fails;
+        for (dataflow::StateId Id : Run.statesAtCheckIds(Out.Check))
           if (NotQ.eval([&](formula::AtomId Atom) {
-                return A.evalAtom(Atom, Prm, D);
+                return A.evalAtom(Atom, Prm, Run.state(Id));
               }))
-            Fails.push_back(D);
+            Fails.push_back(Id);
         if (Fails.empty()) {
           Out.V = Verdict::Proven;
           Out.CheapestCost = A.paramCost(Prm); // NOT minimal in general
           Out.CheapestParam = A.paramToString(Prm);
           break;
         }
-        std::sort(Fails.begin(), Fails.end());
-        auto T = Run.extractTrace(Out.Check, Fails.front());
+        std::sort(Fails.begin(), Fails.end(),
+                  [&](dataflow::StateId X, dataflow::StateId Y) {
+                    return Run.state(X) < Run.state(Y);
+                  });
+        State Bad = Run.state(Fails.front());
+        auto T = Run.extractTrace(Out.Check, Bad);
         assert(T && "failing state must be witnessed by a trace");
         std::vector<State> States = Run.replay(*T, Init);
         ++Stats.BackwardRuns;
@@ -450,6 +638,7 @@ private:
       }
       Out.Seconds = QueryTimer.seconds();
     }
+    publishCacheCounters();
     TotalSeconds = Total.seconds();
     return Outcomes;
   }
@@ -473,15 +662,31 @@ private:
     }
   }
 
-  /// Deterministic tie-break for the failing state choice; clients define
-  /// operator< on their states.
-  static bool less(const State &A, const State &B) { return A < B; }
+  unsigned effectiveWorkers() const {
+    unsigned N = Options.NumThreads == 0
+                     ? support::ThreadPool::hardwareWorkers()
+                     : Options.NumThreads;
+    return N < 1 ? 1 : N;
+  }
+
+  void ensurePool(unsigned Workers) {
+    if (!Pool || Pool->numWorkers() != Workers)
+      Pool = std::make_unique<support::ThreadPool>(Workers);
+  }
+
+  void publishCacheCounters() {
+    Stats.CacheHits = Cache.counters().Hits;
+    Stats.CacheMisses = Cache.counters().Misses;
+    Stats.CacheEvictions = Cache.counters().Evictions;
+  }
 
   const ir::Program &P;
   const Analysis &A;
   TracerOptions Options;
   DriverStats Stats;
   double TotalSeconds = 0;
+  ForwardRunCache<Forward> Cache;
+  std::unique_ptr<support::ThreadPool> Pool;
 };
 
 } // namespace tracer

@@ -1,0 +1,202 @@
+//===- ParallelDriverTest.cpp - Determinism of the parallel driver ------------===//
+//
+// The parallel TRACER driver promises bitwise-identical results for every
+// worker count: verdicts, iteration counts, cheapest abstractions, and all
+// non-timing statistics must match the sequential run exactly (only the
+// Seconds fields may differ). These tests pin that contract on both client
+// analyses over the synthetic integration programs, and cover the
+// cross-round forward-run cache (hit accounting, LRU eviction, pinning).
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/Escape.h"
+#include "reporting/Harness.h"
+#include "synth/Generator.h"
+#include "tracer/ForwardRunCache.h"
+#include "tracer/QueryDriver.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace optabs;
+using tracer::ForwardRunCache;
+using tracer::QueryOutcome;
+using tracer::TracerOptions;
+using tracer::Verdict;
+
+/// Everything the determinism contract covers, in comparable form.
+struct Fingerprint {
+  std::vector<std::string> Queries; ///< verdict/iters/cost/param per query
+  unsigned ForwardRuns = 0;
+  unsigned BackwardRuns = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+
+  bool operator==(const Fingerprint &) const = default;
+};
+
+Fingerprint fingerprintOf(const reporting::ClientResults &R,
+                          unsigned ForwardRuns, unsigned BackwardRuns) {
+  Fingerprint F;
+  for (const reporting::QueryStat &Q : R.Queries)
+    F.Queries.push_back(std::string(tracer::verdictName(Q.V)) + "/" +
+                        std::to_string(Q.Iterations) + "/" +
+                        std::to_string(Q.Cost) + "/" + Q.ParamKey);
+  F.ForwardRuns = ForwardRuns;
+  F.BackwardRuns = BackwardRuns;
+  F.CacheHits = R.CacheHits;
+  F.CacheMisses = R.CacheMisses;
+  F.CacheEvictions = R.CacheEvictions;
+  return F;
+}
+
+/// Runs both clients over one integration benchmark at a given worker
+/// count and fingerprints everything that must not depend on it.
+std::pair<Fingerprint, Fingerprint> runAt(const synth::BenchConfig &Config,
+                                          unsigned NumThreads,
+                                          size_t CacheCapacity = 0) {
+  reporting::HarnessOptions Options;
+  Options.Tracer.NumThreads = NumThreads;
+  Options.Tracer.ForwardCacheCapacity = CacheCapacity;
+  reporting::BenchRun Run = reporting::runBenchmark(Config, Options);
+  return {fingerprintOf(Run.Esc, Run.Esc.ForwardRuns, Run.Esc.BackwardRuns),
+          fingerprintOf(Run.Ts, Run.Ts.ForwardRuns, Run.Ts.BackwardRuns)};
+}
+
+TEST(ParallelDriver, WorkerCountDoesNotChangeResults) {
+  // Both clients (escape + typestate) over the first two integration
+  // programs: the full Algorithm 1 pipeline including §6 grouping.
+  for (size_t BenchIdx : {size_t(0), size_t(1)}) {
+    const synth::BenchConfig &Config = synth::paperSuite()[BenchIdx];
+    auto Baseline = runAt(Config, 1);
+    EXPECT_FALSE(Baseline.first.Queries.empty());
+    EXPECT_FALSE(Baseline.second.Queries.empty());
+    for (unsigned Threads : {2u, 8u}) {
+      auto Parallel = runAt(Config, Threads);
+      EXPECT_EQ(Baseline.first, Parallel.first)
+          << Config.Name << " escape, threads=" << Threads;
+      EXPECT_EQ(Baseline.second, Parallel.second)
+          << Config.Name << " typestate, threads=" << Threads;
+    }
+  }
+}
+
+TEST(ParallelDriver, CacheCapDoesNotChangeResults) {
+  // A capacity-1 cache forces evictions but only costs recomputation;
+  // verdicts and driver statistics other than the cache counters are
+  // unchanged, and forward runs can only go up.
+  const synth::BenchConfig &Config = synth::paperSuite()[0];
+  auto Unbounded = runAt(Config, 4);
+  auto Capped = runAt(Config, 4, 1);
+  EXPECT_EQ(Unbounded.first.Queries, Capped.first.Queries);
+  EXPECT_EQ(Unbounded.second.Queries, Capped.second.Queries);
+  EXPECT_GE(Capped.first.ForwardRuns, Unbounded.first.ForwardRuns);
+}
+
+TEST(ParallelDriver, RevisitedAbstractionHitsTheCache) {
+  // A second run() on the same driver replays the CEGAR search from
+  // scratch; every abstraction of the first run is already cached, so the
+  // forward fixpoint never recomputes and the second run counts hits.
+  synth::Benchmark B = synth::generate(synth::paperSuite()[0]);
+  escape::EscapeAnalysis A(B.P);
+  tracer::TracerOptions Options;
+  Options.MaxItersPerQuery = 32;
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(B.P, A, Options);
+
+  std::vector<QueryOutcome> First = Driver.run(B.EscChecks);
+  unsigned FirstForwardRuns = Driver.stats().ForwardRuns;
+  EXPECT_GT(FirstForwardRuns, 0u);
+
+  std::vector<QueryOutcome> Second = Driver.run(B.EscChecks);
+  EXPECT_EQ(Driver.stats().ForwardRuns, 0u)
+      << "revisited abstractions must not recompute their forward runs";
+  EXPECT_GT(Driver.stats().CacheHits, 0u);
+  EXPECT_EQ(Driver.stats().CacheMisses, 0u);
+
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I) {
+    EXPECT_EQ(First[I].V, Second[I].V);
+    EXPECT_EQ(First[I].Iterations, Second[I].Iterations);
+    EXPECT_EQ(First[I].CheapestParam, Second[I].CheapestParam);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ForwardRunCache unit tests
+//===----------------------------------------------------------------------===//
+
+using IntCache = ForwardRunCache<int>;
+
+IntCache::Key key(std::initializer_list<bool> Bits, uint32_t Salt = 0) {
+  IntCache::Key K;
+  K.Bits = Bits;
+  K.Salt = Salt;
+  return K;
+}
+
+TEST(ForwardRunCache, LookupCountsHitsAndMisses) {
+  IntCache Cache;
+  EXPECT_EQ(Cache.lookup(key({true})), nullptr);
+  EXPECT_EQ(Cache.counters().Misses, 1u);
+  int *Run = Cache.insert(key({true}), std::make_unique<int>(7));
+  ASSERT_NE(Run, nullptr);
+  EXPECT_EQ(*Cache.lookup(key({true})), 7);
+  EXPECT_EQ(Cache.counters().Hits, 1u);
+  // The salt separates otherwise-equal abstractions (§6 ungrouped mode).
+  EXPECT_EQ(Cache.lookup(key({true}, /*Salt=*/5)), nullptr);
+  EXPECT_EQ(Cache.counters().Misses, 2u);
+}
+
+TEST(ForwardRunCache, LruEvictionRespectsCapacity) {
+  IntCache Cache(/*Capacity=*/2);
+  Cache.insert(key({true, false}), std::make_unique<int>(1));
+  Cache.beginEpoch(); // unpin entry 1
+  Cache.insert(key({false, true}), std::make_unique<int>(2));
+  Cache.beginEpoch(); // unpin entry 2
+  // Entry 1 is least recently used; inserting a third entry evicts it.
+  Cache.insert(key({true, true}), std::make_unique<int>(3));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.counters().Evictions, 1u);
+  Cache.beginEpoch();
+  EXPECT_EQ(Cache.lookup(key({true, false})), nullptr); // evicted
+  EXPECT_NE(Cache.lookup(key({false, true})), nullptr);
+  EXPECT_NE(Cache.lookup(key({true, true})), nullptr);
+}
+
+TEST(ForwardRunCache, LookupRefreshesRecency) {
+  IntCache Cache(2);
+  Cache.insert(key({true, false}), std::make_unique<int>(1));
+  Cache.insert(key({false, true}), std::make_unique<int>(2));
+  Cache.beginEpoch();
+  EXPECT_NE(Cache.lookup(key({true, false})), nullptr); // refresh entry 1
+  Cache.beginEpoch();
+  Cache.insert(key({true, true}), std::make_unique<int>(3));
+  // Entry 2 was the least recently used one.
+  Cache.beginEpoch();
+  EXPECT_NE(Cache.lookup(key({true, false})), nullptr);
+  EXPECT_EQ(Cache.lookup(key({false, true})), nullptr);
+}
+
+TEST(ForwardRunCache, PinnedEntriesAreNeverEvicted) {
+  IntCache Cache(1);
+  // Both entries touched in the current epoch: the cache overshoots its
+  // capacity rather than evict a run the current round still references.
+  Cache.insert(key({true, false}), std::make_unique<int>(1));
+  int *Pinned = Cache.insert(key({false, true}), std::make_unique<int>(2));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.counters().Evictions, 0u);
+  EXPECT_EQ(*Pinned, 2);
+  // Next epoch unpins: the next insert shrinks the cache back to its cap.
+  Cache.beginEpoch();
+  Cache.insert(key({true, true}), std::make_unique<int>(3));
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.counters().Evictions, 2u);
+}
+
+} // namespace

@@ -4,12 +4,17 @@
 #include "support/Prng.h"
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include "gtest/gtest.h"
 
+#include <atomic>
+#include <numeric>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 namespace {
 
@@ -169,6 +174,68 @@ TEST(TablePrinter, BarChart) {
   EXPECT_NE(Out.find("##########"), std::string::npos);
   EXPECT_NE(Out.find("#####"), std::string::npos);
   EXPECT_NE(Out.find("bb"), std::string::npos);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  support::ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numWorkers(), 1u);
+  std::vector<size_t> Order;
+  Pool.parallelFor(5, [&](size_t I, unsigned Worker) {
+    EXPECT_EQ(Worker, 0u);
+    Order.push_back(I); // no synchronization needed: runs on the caller
+  });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  support::ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Counts(N);
+  Pool.parallelFor(N, [&](size_t I, unsigned Worker) {
+    EXPECT_LT(Worker, 4u);
+    Counts[I].fetch_add(1);
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ResultsIndependentOfWorkerCount) {
+  std::vector<uint64_t> Expected(64);
+  for (size_t I = 0; I < Expected.size(); ++I)
+    Expected[I] = I * I + 7;
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    support::ThreadPool Pool(Workers);
+    std::vector<uint64_t> Got(Expected.size(), 0);
+    Pool.parallelFor(Got.size(),
+                     [&](size_t I, unsigned) { Got[I] = I * I + 7; });
+    EXPECT_EQ(Got, Expected) << "workers=" << Workers;
+  }
+}
+
+TEST(ThreadPool, TaskExceptionIsRethrownAfterDrain) {
+  support::ThreadPool Pool(4);
+  std::atomic<size_t> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I, unsigned) {
+                                  Ran.fetch_add(1);
+                                  if (I == 3)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The batch drains completely before the exception propagates.
+  EXPECT_EQ(Ran.load(), 100u);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  support::ThreadPool Pool(2);
+  auto A = Pool.submit([] { return 21 * 2; });
+  auto B = Pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(A.get(), 42);
+  EXPECT_EQ(B.get(), "ok");
+}
+
+TEST(ThreadPool, HardwareWorkersIsPositive) {
+  EXPECT_GE(support::ThreadPool::hardwareWorkers(), 1u);
 }
 
 } // namespace
