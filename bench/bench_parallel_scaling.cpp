@@ -20,6 +20,7 @@
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <fstream>
@@ -62,6 +63,12 @@ int main(int Argc, char **Argv) {
     reporting::writeCsvSummaryHeader(Csv);
   }
 
+  // On a single-hardware-thread container the pool worker counts are pure
+  // oversubscription: "speedup" would measure scheduler noise, not
+  // scaling. Annotate the CSV rows so downstream plots can filter, and
+  // skip the speedup sanity check below.
+  const unsigned HW = support::ThreadPool::hardwareWorkers();
+
   const std::vector<synth::BenchConfig> &Suite = synth::paperSuite();
   std::vector<Row> Rows;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
@@ -74,7 +81,8 @@ int main(int Argc, char **Argv) {
       accumulate(R, Run.Ts);
       accumulate(R, Run.Esc);
       if (Csv.is_open()) {
-        std::string Label = "threads=" + std::to_string(Threads);
+        std::string Label = "threads=" + std::to_string(Threads) +
+                            " hw=" + std::to_string(HW);
         reporting::writeCsvSummaryRow(Csv, Config.Name, "typestate", Label,
                                       Run.Ts);
         reporting::writeCsvSummaryRow(Csv, Config.Name, "thread-escape",
@@ -110,12 +118,31 @@ int main(int Argc, char **Argv) {
   }
   T.print(std::cout,
           "Parallel scaling: full suite, both clients, per worker count");
-  std::cout << "hardware threads: " << support::ThreadPool::hardwareWorkers()
+  std::cout << "hardware threads: " << HW
             << " (speedup is bounded by this)\n";
   std::cout << (Deterministic
                     ? "verdicts and cache counters identical at every "
                       "worker count\n"
                     : "DETERMINISM VIOLATION: results differ across worker "
                       "counts\n");
-  return Deterministic ? 0 : 1;
+
+  // Speedup sanity: with real hardware parallelism, the parallel driver
+  // must not be catastrophically slower than sequential. Skipped on one
+  // hardware thread, where every multi-worker row is oversubscribed and
+  // the ratio is meaningless.
+  bool SpeedupOk = true;
+  if (HW > 1) {
+    double Best = 0;
+    for (const Row &R : Rows)
+      if (R.Seconds > 0)
+        Best = std::max(Best, Rows[0].Seconds / R.Seconds);
+    SpeedupOk = Best >= 0.5;
+    if (!SpeedupOk)
+      std::cout << "SPEEDUP REGRESSION: best parallel speedup " << Best
+                << "x is below the 0.5x sanity floor\n";
+  } else {
+    std::cout << "single hardware thread: speedup column reflects "
+              << "oversubscription noise; sanity check skipped\n";
+  }
+  return (Deterministic && SpeedupOk) ? 0 : 1;
 }

@@ -2,6 +2,8 @@
 
 #include "formula/Dnf.h"
 
+#include "support/Invariants.h"
+
 #include <algorithm>
 
 namespace optabs {
@@ -58,20 +60,29 @@ void Dnf::simplify() {
   Cubes = std::move(Kept);
 }
 
-void Dnf::dropK(unsigned K, const AtomEval &Eval) {
-  assert(K >= 1 && "beam width must be at least 1");
+void Dnf::dropK(unsigned K, const AtomEval &Eval,
+                support::InvariantSink *Sink) {
+  if (K < 1) {
+    support::reportInvariant(Sink, "dropk-beam-width", "Dnf::dropK",
+                             "beam width must be at least 1; formula left "
+                             "unpruned");
+    return;
+  }
   if (Cubes.size() <= K)
     return;
-  std::vector<Cube> Kept(Cubes.begin(), Cubes.begin() + (K - 1));
   bool HaveSatisfied = false;
-  for (const Cube &C : Kept) {
-    if (C.eval(Eval)) {
+  for (size_t I = 0; I < K; ++I) {
+    if (Cubes[I].eval(Eval)) {
       HaveSatisfied = true;
       break;
     }
   }
+  std::vector<Cube> Kept(Cubes.begin(), Cubes.begin() + K);
   if (!HaveSatisfied) {
-    // Cubes are sorted by size, so the first satisfied one is the shortest.
+    // A satisfied cube must be retained but none sits in the prefix: trade
+    // the K-th cube for the shortest satisfied one beyond it (cubes are
+    // sorted by size, so the first satisfied one is the shortest).
+    Kept.pop_back();
     bool Found = false;
     for (size_t I = K - 1; I < Cubes.size(); ++I) {
       if (Cubes[I].eval(Eval)) {
@@ -80,18 +91,29 @@ void Dnf::dropK(unsigned K, const AtomEval &Eval) {
         break;
       }
     }
-    assert(Found && "dropK requires the current (p, d) to satisfy the "
-                    "formula (Theorem 3 progress guarantee)");
-    (void)Found;
+    if (!Found) {
+      // Theorem 3's progress guarantee requires the current (p, d) to
+      // satisfy the formula here. Keep the first K cubes - still a sound
+      // under-approximation - and flag that progress is no longer
+      // guaranteed so the driver can recover (it falls back to eliminating
+      // the current abstraction explicitly).
+      support::reportInvariant(
+          Sink, "dropk-progress", "Dnf::dropK",
+          "no disjunct of the " + std::to_string(Cubes.size()) +
+              "-cube formula is satisfied by the current (p, d); Theorem 3 "
+              "progress guarantee lost");
+      Kept.push_back(Cubes[K - 1]);
+    }
   }
   Cubes = std::move(Kept);
 }
 
-void Dnf::approx(unsigned K, const AtomEval &Eval) {
+void Dnf::approx(unsigned K, const AtomEval &Eval,
+                 support::InvariantSink *Sink) {
   sortBySize();
   simplify();
   if (K > 0 && Cubes.size() > K)
-    dropK(K, Eval);
+    dropK(K, Eval, Sink);
 }
 
 void Dnf::orWith(const Dnf &Other) {
@@ -99,7 +121,7 @@ void Dnf::orWith(const Dnf &Other) {
 }
 
 Dnf Dnf::product(const Dnf &A, const Dnf &B, size_t SoftCap,
-                 const AtomEval &Eval) {
+                 const AtomEval &Eval, support::InvariantSink *Sink) {
   Dnf Result;
   for (const Cube &CA : A.Cubes) {
     for (const Cube &CB : B.Cubes) {
@@ -135,6 +157,24 @@ Dnf Dnf::product(const Dnf &A, const Dnf &B, size_t SoftCap,
         }
       }
       Kept.push_back(Result.Cubes[Extra]);
+      // Retention invariant of the pruning path: whenever a satisfied cube
+      // existed anywhere in the full product, the kept prefix must still
+      // contain one - otherwise the downstream dropk progress guarantee is
+      // silently broken mid-product.
+      if (HaveSatisfied && !Kept.back().eval(Eval)) {
+        bool KeptSatisfied = false;
+        for (const Cube &C : Kept) {
+          if (C.eval(Eval)) {
+            KeptSatisfied = true;
+            break;
+          }
+        }
+        if (!KeptSatisfied)
+          support::reportInvariant(
+              Sink, "product-softcap-retention", "Dnf::product",
+              "soft-cap pruning dropped every satisfied cube of a " +
+                  std::to_string(Result.Cubes.size()) + "-cube product");
+      }
       Result.Cubes = std::move(Kept);
     }
   }

@@ -31,6 +31,9 @@
 #include <vector>
 
 namespace optabs {
+namespace support {
+class InvariantSink;
+} // namespace support
 namespace formula {
 
 /// An opaque primitive-formula identifier. Clients pack their own structure
@@ -144,16 +147,21 @@ public:
   /// implies it. Assumes sortBySize() was applied; keeps the order.
   void simplify();
 
-  /// Figure 8 dropk: under-approximates to at most K disjuncts, keeping the
-  /// first K-1 plus (if not already kept) the shortest disjunct satisfied
-  /// under \p Eval, which encodes the current pair (p, d). Requires the
-  /// formula to be satisfied under Eval (Theorem 3's progress guarantee);
-  /// asserts otherwise.
-  void dropK(unsigned K, const AtomEval &Eval);
+  /// Figure 8 dropk: under-approximates to at most K disjuncts. When one of
+  /// the first K disjuncts is satisfied under \p Eval (which encodes the
+  /// current pair (p, d)), the first K are kept; otherwise the first K-1
+  /// plus the shortest satisfied disjunct beyond them. Requires the formula
+  /// to be satisfied under Eval (Theorem 3's progress guarantee); a
+  /// violation is reported to \p Sink (see support/Invariants.h) and the
+  /// first K disjuncts are kept - a sound under-approximation, minus the
+  /// progress guarantee the report flags.
+  void dropK(unsigned K, const AtomEval &Eval,
+             support::InvariantSink *Sink = nullptr);
 
   /// The full approx operator of §4.1: sortBySize + simplify, then dropK
   /// only when more than K disjuncts remain. K = 0 means "no bound".
-  void approx(unsigned K, const AtomEval &Eval);
+  void approx(unsigned K, const AtomEval &Eval,
+              support::InvariantSink *Sink = nullptr);
 
   /// Disjunction (concatenates cube lists; call approx/simplify after).
   void orWith(const Dnf &Other);
@@ -162,9 +170,12 @@ public:
   /// result cubes before pruning: when exceeded, cubes satisfied under
   /// \p Eval and the shortest remaining cubes are preferred (a sound
   /// under-approximation in the sense of the approx operator). SoftCap = 0
-  /// means unbounded.
+  /// means unbounded. The retention invariant of the pruning path (a
+  /// satisfied cube survives whenever one existed) is checked and reported
+  /// to \p Sink on violation.
   static Dnf product(const Dnf &A, const Dnf &B, size_t SoftCap,
-                     const AtomEval &Eval);
+                     const AtomEval &Eval,
+                     support::InvariantSink *Sink = nullptr);
 
   std::string toString(
       const std::function<std::string(AtomId)> &AtomName) const;

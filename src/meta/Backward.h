@@ -62,10 +62,11 @@
 #include "formula/Normalize.h"
 #include "ir/Program.h"
 #include "ir/Trace.h"
+#include "support/Invariants.h"
 #include "support/Timer.h"
 
-#include <cassert>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -102,9 +103,19 @@ struct BackwardConfig {
   /// Optional observer called after each backward step with the trace
   /// index, the command just traversed, and the formula before it (i.e.
   /// the meta-analysis state at the command's program point). Used by the
-  /// examples to print Figure 1/6-style walkthroughs.
+  /// examples to print Figure 1/6-style walkthroughs. The observer runs on
+  /// whichever thread executes the backward run; callers sharing one
+  /// callable across several BackwardMetaAnalysis instances on different
+  /// threads must serialize it themselves (the TRACER driver wraps the
+  /// observer in a mutex when NumThreads > 1).
   std::function<void(size_t, const ir::Command &, const formula::Dnf &)>
       StepObserver;
+  /// Where violated invariants are recorded (see support/Invariants.h).
+  /// A violated precondition or soundness invariant makes run() discard
+  /// the tainted formula and return nullopt, exactly like a timeout, so an
+  /// invariant violation can never unsoundly prune viable abstractions.
+  /// Null: violations go to stderr instead.
+  support::InvariantSink *Invariants = nullptr;
 };
 
 /// Statistics of one backward run.
@@ -136,14 +147,29 @@ public:
   std::optional<formula::Dnf> run(const ir::Trace &T, const Param &Prm,
                                   const std::vector<State> &States,
                                   const formula::Dnf &NotQ) {
-    assert(States.size() == T.size() + 1 && "state sequence length mismatch");
     Stats = BackwardStats();
     Stats.Steps = T.size();
+    if (States.size() != T.size() + 1) {
+      support::reportInvariant(
+          Config.Invariants, "backward-state-length",
+          "BackwardMetaAnalysis::run",
+          "state sequence length " + std::to_string(States.size()) +
+              " does not match trace length " + std::to_string(T.size()) +
+              " + 1; run discarded");
+      return std::nullopt;
+    }
     Timer Clock;
 
     formula::Dnf F = NotQ;
-    assert(F.eval(makeEval(Prm, States.back())) &&
-           "not(q) must hold at the end of a counterexample trace");
+    if (!F.eval(makeEval(Prm, States.back()))) {
+      support::reportInvariant(
+          Config.Invariants, "backward-notq-precondition",
+          "BackwardMetaAnalysis::run",
+          "not(q) does not hold at the end of the supposed counterexample "
+          "trace (length " +
+              std::to_string(T.size()) + "); run discarded");
+      return std::nullopt;
+    }
 
     for (size_t I = T.size(); I-- > 0;) {
       if (Config.TimeoutSeconds > 0 &&
@@ -175,10 +201,22 @@ public:
       }
       if (Config.K > 0 && F.size() > Config.K) {
         F.sortBySize();
-        F.dropK(Config.K, PreEval);
+        F.dropK(Config.K, PreEval, Config.Invariants);
       }
-      assert(F.eval(PreEval) &&
-             "soundness invariant: (p, d) must stay inside the formula");
+      if (!F.eval(PreEval)) {
+        // Soundness invariant (Theorem 3): the current (p, d) must stay
+        // inside the formula at every trace point, or the final formula
+        // is not guaranteed to eliminate the current abstraction. Discard
+        // the run like a timeout - learning nothing is sound, learning
+        // from a tainted formula is not.
+        support::reportInvariant(
+            Config.Invariants, "backward-soundness",
+            "BackwardMetaAnalysis::run",
+            "(p, d) escaped the formula at trace step " + std::to_string(I) +
+                " (formula size " + std::to_string(F.size()) +
+                "); run discarded");
+        return std::nullopt;
+      }
       Stats.MaxCubes = std::max(Stats.MaxCubes, F.size());
       Stats.TotalCubes += F.size();
       if (Config.StepObserver)
@@ -260,7 +298,8 @@ private:
       formula::Dnf CubeWp = formula::Dnf::constTrue();
       for (formula::Lit L : Cube.literals()) {
         CubeWp = formula::Dnf::product(CubeWp, wpLit(CmdId, Cmd, L),
-                                       Config.ProductSoftCap, PreEval);
+                                       Config.ProductSoftCap, PreEval,
+                                       Config.Invariants);
         if (Config.HardCubeCap > 0 &&
             Result.size() + CubeWp.size() > Config.HardCubeCap)
           return std::nullopt;

@@ -48,7 +48,8 @@ void writeCsvRows(std::ostream &OS, const BenchRun &Run) {
 void writeCsvSummaryHeader(std::ostream &OS) {
   OS << "benchmark,client,config,queries,proven,impossible,unresolved,"
         "seconds,forward_runs,backward_runs,cache_hits,cache_misses,"
-        "cache_evictions\n";
+        "cache_evictions,invariant_violations,certificates_checked,"
+        "certificate_failures\n";
 }
 
 void writeCsvSummaryRow(std::ostream &OS, const std::string &Bench,
@@ -59,7 +60,9 @@ void writeCsvSummaryRow(std::ostream &OS, const std::string &Bench,
      << R.count(tracer::Verdict::Impossible) << ','
      << R.count(tracer::Verdict::Unresolved) << ',' << R.TotalSeconds << ','
      << R.ForwardRuns << ',' << R.BackwardRuns << ',' << R.CacheHits << ','
-     << R.CacheMisses << ',' << R.CacheEvictions << '\n';
+     << R.CacheMisses << ',' << R.CacheEvictions << ','
+     << R.InvariantViolations << ',' << R.CertificatesChecked << ','
+     << R.CertificateFailures << '\n';
 }
 
 } // namespace reporting

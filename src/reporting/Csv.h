@@ -30,8 +30,9 @@ void writeCsvHeader(std::ostream &OS);
 void writeCsvRows(std::ostream &OS, const BenchRun &Run);
 
 /// Writes the CSV header row for per-client aggregate summaries (one row
-/// per client per benchmark configuration): driver work counters plus the
-/// forward-run cache statistics, used by the scaling benchmarks.
+/// per client per benchmark configuration): driver work counters, the
+/// forward-run cache statistics, and the audit counters (invariant
+/// violations, certificates checked/failed).
 void writeCsvSummaryHeader(std::ostream &OS);
 
 /// Writes one aggregate summary row. \p Label tags the configuration the

@@ -5,8 +5,10 @@
 #include "escape/Escape.h"
 #include "pointer/PointsTo.h"
 #include "support/Timer.h"
+#include "tracer/Certificates.h"
 #include "typestate/Typestate.h"
 
+#include <cstdlib>
 #include <map>
 
 namespace optabs {
@@ -26,19 +28,58 @@ QueryStat statOf(const tracer::QueryOutcome &O) {
   return S;
 }
 
+/// Folds one driver run's audit evidence (invariant records, certificate
+/// checks) into the client results.
+template <typename Analysis>
+void auditRun(const ir::Program &P, const Analysis &A,
+              const HarnessOptions &Options,
+              const tracer::QueryDriver<Analysis> &Driver,
+              const std::vector<tracer::QueryOutcome> &Outcomes,
+              const std::string &Label, ClientResults &Out) {
+  const auto &Violations = Driver.stats().Violations;
+  Out.InvariantViolations += Violations.size();
+  for (const auto &V : Violations)
+    Out.AuditNotes.push_back(Label + ": invariant [" + V.Check + "] in " +
+                             V.Where + ": " + V.Message);
+  if (!Options.Audit)
+    return;
+  tracer::CertificateOptions CertOpts;
+  // GreedyGrow never promises minimal abstractions, so a cost mismatch
+  // against the (empty) viable CNF would be a false alarm.
+  CertOpts.CheckMinimality =
+      Options.Tracer.Strategy != tracer::SearchStrategy::GreedyGrow;
+  tracer::CertificateChecker<Analysis> Checker(P, A, CertOpts);
+  tracer::CertificateReport Report =
+      Checker.check(Outcomes, Driver.finalViableSets());
+  Out.CertificatesChecked += Report.ProvenChecked + Report.ImpossibleChecked +
+                             Report.MinimalityChecked +
+                             Report.EliminatedSampled;
+  Out.CertificateFailures += static_cast<unsigned>(Report.Issues.size());
+  for (const tracer::CertificateIssue &Issue : Report.Issues)
+    Out.AuditNotes.push_back(Label + ": certificate [" + Issue.Kind +
+                             "] query " + std::to_string(Issue.Query) + ": " +
+                             Issue.Detail);
+}
+
 void runEscape(const synth::Benchmark &B, const HarnessOptions &Options,
                ClientResults &Out) {
   Timer Total;
   escape::EscapeAnalysis A(B.P);
-  tracer::QueryDriver<escape::EscapeAnalysis> Driver(B.P, A,
-                                                     Options.Tracer);
-  for (const tracer::QueryOutcome &O : Driver.run(B.EscChecks))
+  tracer::TracerOptions Opts = Options.Tracer;
+  if (!Options.EventTracePath.empty()) {
+    Opts.EventTracePath = Options.EventTracePath;
+    Opts.EventTraceLabel = "escape";
+  }
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(B.P, A, Opts);
+  std::vector<tracer::QueryOutcome> Outcomes = Driver.run(B.EscChecks);
+  for (const tracer::QueryOutcome &O : Outcomes)
     Out.Queries.push_back(statOf(O));
   Out.ForwardRuns += Driver.stats().ForwardRuns;
   Out.BackwardRuns += Driver.stats().BackwardRuns;
   Out.CacheHits += Driver.stats().CacheHits;
   Out.CacheMisses += Driver.stats().CacheMisses;
   Out.CacheEvictions += Driver.stats().CacheEvictions;
+  auditRun(B.P, A, Options, Driver, Outcomes, "escape", Out);
   Out.TotalSeconds = Total.seconds();
 }
 
@@ -63,20 +104,36 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
     typestate::TypestateAnalysis A(B.P, Spec, AllocId(SiteIdx), Pt);
     tracer::TracerOptions PerSite = Options.Tracer;
     PerSite.TimeBudgetSeconds = std::max(0.0, Budget - Total.seconds());
+    std::string Label = "typestate/site=" + std::to_string(SiteIdx);
+    if (!Options.EventTracePath.empty()) {
+      PerSite.EventTracePath = Options.EventTracePath;
+      PerSite.EventTraceLabel = Label;
+    }
     tracer::QueryDriver<typestate::TypestateAnalysis> Driver(B.P, A,
                                                              PerSite);
-    for (const tracer::QueryOutcome &O : Driver.run(Checks))
+    std::vector<tracer::QueryOutcome> Outcomes = Driver.run(Checks);
+    for (const tracer::QueryOutcome &O : Outcomes)
       Out.Queries.push_back(statOf(O));
     Out.ForwardRuns += Driver.stats().ForwardRuns;
     Out.BackwardRuns += Driver.stats().BackwardRuns;
     Out.CacheHits += Driver.stats().CacheHits;
     Out.CacheMisses += Driver.stats().CacheMisses;
     Out.CacheEvictions += Driver.stats().CacheEvictions;
+    auditRun(B.P, A, Options, Driver, Outcomes, Label, Out);
   }
   Out.TotalSeconds = Total.seconds();
 }
 
 } // namespace
+
+HarnessOptions::HarnessOptions() {
+  // The operating point of §6: k = 5, bounded per-query iterations
+  // (standing in for the paper's 1000-minute timeout at laptop scale).
+  Tracer.K = 5;
+  Tracer.MaxItersPerQuery = 32;
+  Tracer.TimeBudgetSeconds = 180;
+  Audit = std::getenv("OPTABS_AUDIT") != nullptr;
+}
 
 BenchRun runBenchmark(const synth::BenchConfig &Config,
                       const HarnessOptions &Options) {

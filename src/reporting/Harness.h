@@ -50,6 +50,12 @@ struct ClientResults {
   uint64_t CacheHits = 0;      ///< forward-run cache hits (memoized runs)
   uint64_t CacheMisses = 0;    ///< forward-run cache misses (computed runs)
   uint64_t CacheEvictions = 0; ///< forward-run cache LRU evictions
+  size_t InvariantViolations = 0;   ///< checked-invariant records (audit)
+  unsigned CertificatesChecked = 0; ///< certificate checks performed (audit)
+  unsigned CertificateFailures = 0; ///< certificate checks failed (audit)
+  /// Formatted descriptions of every violation and failed certificate, for
+  /// diagnostics (empty on a healthy audited run).
+  std::vector<std::string> AuditNotes;
 
   unsigned count(tracer::Verdict V) const {
     unsigned N = 0;
@@ -79,14 +85,18 @@ struct HarnessOptions {
   tracer::TracerOptions Tracer;
   bool RunTypestate = true;
   bool RunEscape = true;
+  /// Audit mode: after each driver run, record invariant violations and
+  /// independently validate every verdict with the certificate checker
+  /// (tracer/Certificates.h). Costs extra forward fixpoints. Defaults on
+  /// when the OPTABS_AUDIT environment variable is set - how the CI audit
+  /// job arms the whole integration suite without touching call sites.
+  bool Audit;
+  /// When nonempty, every driver appends its JSONL CEGAR event trace here,
+  /// labeled per client ("escape", "typestate/site=N"). The file is
+  /// appended to, never truncated; truncate before the run if needed.
+  std::string EventTracePath;
 
-  HarnessOptions() {
-    // The operating point of §6: k = 5, bounded per-query iterations
-    // (standing in for the paper's 1000-minute timeout at laptop scale).
-    Tracer.K = 5;
-    Tracer.MaxItersPerQuery = 32;
-    Tracer.TimeBudgetSeconds = 180;
-  }
+  HarnessOptions();
 };
 
 /// Generates and runs one benchmark.

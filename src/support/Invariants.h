@@ -1,0 +1,96 @@
+//===- Invariants.h - Checked-error invariant reporting --------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Always-on invariant checking. The paper proves several invariants that
+/// the algorithm's correctness rests on - Theorem 3's progress guarantee in
+/// dropk, the backward soundness invariant "(p, d) stays inside the
+/// formula", the trace/state-length preconditions of B[t] - and a plain
+/// `assert` of those compiles out under NDEBUG, turning a violation into a
+/// silent unsound pruning of viable abstractions.
+///
+/// This header replaces those asserts with a *checked-error* mechanism: a
+/// violated invariant produces a structured InvariantViolation record in an
+/// InvariantSink (thread-safe, so the parallel backward stage can report
+/// concurrently), the violating computation recovers along a sound path
+/// (e.g. the backward run is discarded like a timeout), and the driver
+/// surfaces every record through DriverStats and the CEGAR event trace.
+/// When no sink is installed the violation is written to stderr - never a
+/// silent no-op, in any build type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SUPPORT_INVARIANTS_H
+#define OPTABS_SUPPORT_INVARIANTS_H
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace optabs {
+namespace support {
+
+/// One violated invariant, as recorded by reportInvariant().
+struct InvariantViolation {
+  /// Stable identifier of the invariant, e.g. "dropk-progress". The audit
+  /// layer and the event trace key on this string.
+  std::string Check;
+  /// The function that detected the violation, e.g. "Dnf::dropK".
+  std::string Where;
+  /// Human-readable details (sizes, indices, query numbers).
+  std::string Message;
+};
+
+/// Collects violations. Thread-safe: the driver's parallel backward stage
+/// reports from worker threads while the sequential phases read counts.
+class InvariantSink {
+public:
+  void report(std::string Check, std::string Where, std::string Message) {
+    std::lock_guard<std::mutex> Lock(M);
+    Violations.push_back(
+        {std::move(Check), std::move(Where), std::move(Message)});
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Violations.size();
+  }
+
+  std::vector<InvariantViolation> snapshot() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Violations;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Violations.clear();
+  }
+
+private:
+  mutable std::mutex M;
+  std::vector<InvariantViolation> Violations;
+};
+
+/// Records a violation in \p Sink when one is installed; otherwise writes
+/// one diagnostic line to stderr. Either way the caller is expected to
+/// recover soundly (discard the tainted result, fall back to a weaker but
+/// correct step) - reporting never aborts.
+inline void reportInvariant(InvariantSink *Sink, const char *Check,
+                            const char *Where, std::string Message) {
+  if (Sink) {
+    Sink->report(Check, Where, std::move(Message));
+    return;
+  }
+  std::fprintf(stderr, "optabs: invariant violation [%s] in %s: %s\n", Check,
+               Where, Message.c_str());
+}
+
+} // namespace support
+} // namespace optabs
+
+#endif // OPTABS_SUPPORT_INVARIANTS_H

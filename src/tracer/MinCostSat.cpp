@@ -9,6 +9,23 @@
 namespace optabs {
 namespace tracer {
 
+namespace {
+
+/// Order-sensitive hash of a normalized (sorted, deduped) clause. The same
+/// mixing as signature() always used, factored out so addClause can index
+/// clauses by it.
+uint64_t hashClause(const std::vector<BoolLit> &Lits) {
+  uint64_t H = 0x13198a2e03707344ULL;
+  for (const BoolLit &L : Lits) {
+    uint64_t X = (static_cast<uint64_t>(L.Var) << 1) | L.Positive;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    H = (H ^ X) * 0x100000001b3ULL;
+  }
+  return H;
+}
+
+} // namespace
+
 void Cnf::addClause(std::vector<BoolLit> Lits) {
   std::sort(Lits.begin(), Lits.end());
   Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
@@ -17,8 +34,16 @@ void Cnf::addClause(std::vector<BoolLit> Lits) {
       return; // tautology: x or !x
   if (Lits.empty())
     ContainsEmptyClause = true;
-  if (std::find(Clauses.begin(), Clauses.end(), Lits) == Clauses.end())
-    Clauses.push_back(std::move(Lits));
+  uint64_t H = hashClause(Lits);
+  auto &Bucket = ClauseIndex[H];
+  // Exact comparison on collision: hash-only dedup could silently drop a
+  // distinct learned clause, weakening the viable set unsoundly.
+  for (uint32_t Idx : Bucket)
+    if (Clauses[Idx] == Lits)
+      return;
+  Bucket.push_back(static_cast<uint32_t>(Clauses.size()));
+  Clauses.push_back(std::move(Lits));
+  ClauseHashes.push_back(H);
 }
 
 bool Cnf::eval(const std::vector<bool> &Assignment) const {
@@ -39,17 +64,11 @@ bool Cnf::eval(const std::vector<bool> &Assignment) const {
 
 uint64_t Cnf::signature() const {
   // Order-independent: clauses are combined commutatively so that the same
-  // clause set learned in different orders groups together.
+  // clause set learned in different orders groups together. Reuses the
+  // per-clause hashes computed at insertion time.
   uint64_t Sig = 0x243f6a8885a308d3ULL;
-  for (const auto &Clause : Clauses) {
-    uint64_t H = 0x13198a2e03707344ULL;
-    for (const BoolLit &L : Clause) {
-      uint64_t X = (static_cast<uint64_t>(L.Var) << 1) | L.Positive;
-      X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      H = (H ^ X) * 0x100000001b3ULL;
-    }
+  for (uint64_t H : ClauseHashes)
     Sig += H * 0x9e3779b97f4a7c15ULL;
-  }
   return Sig ^ (Clauses.size() << 1) ^ ContainsEmptyClause;
 }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace optabs {
@@ -51,6 +52,9 @@ class Cnf {
 public:
   /// Adds a clause (a disjunction). Duplicate literals are merged and
   /// tautological clauses (x or !x) dropped; duplicate clauses are dropped.
+  /// Amortized O(clause length): duplicates are detected through a hash
+  /// index over clause signatures (exact comparison on collision), so
+  /// clause learning stays linear as CEGAR rounds accumulate.
   void addClause(std::vector<BoolLit> Lits);
 
   const std::vector<std::vector<BoolLit>> &clauses() const { return Clauses; }
@@ -67,6 +71,10 @@ public:
 
 private:
   std::vector<std::vector<BoolLit>> Clauses;
+  /// Clause hashes, parallel to Clauses; signature() folds these.
+  std::vector<uint64_t> ClauseHashes;
+  /// Hash -> indices into Clauses with that hash (usually one entry).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> ClauseIndex;
   bool ContainsEmptyClause = false;
 };
 

@@ -60,14 +60,18 @@
 
 #include "dataflow/Forward.h"
 #include "meta/Backward.h"
+#include "support/Invariants.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "tracer/EventTrace.h"
 #include "tracer/ForwardRunCache.h"
 #include "tracer/MinCostSat.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -99,6 +103,9 @@ struct QueryOutcome {
   double Seconds = 0;      ///< attributed resolution time
   uint32_t CheapestCost = 0;     ///< |p| of the proving abstraction
   std::string CheapestParam;     ///< canonical form, for Table 4 grouping
+  /// Bit-vector of the proving abstraction (Proven only; empty otherwise).
+  /// The witness the certificate checker re-validates independently.
+  std::vector<bool> CheapestBits;
 };
 
 /// How the next abstraction is chosen after a failed proof attempt. The
@@ -160,6 +167,19 @@ struct TracerOptions {
   /// 0 = unbounded. Entries in use by the current round are never evicted,
   /// so the cache may transiently exceed the cap.
   size_t ForwardCacheCapacity = 0;
+  /// When nonempty, a JSONL CEGAR event trace (tracer/EventTrace.h) is
+  /// appended to this path. The driver appends and never truncates, so a
+  /// harness running several clients can interleave them into one file;
+  /// truncation is the CLI's job, once, at startup.
+  std::string EventTracePath;
+  /// Value of the "label" field stamped on every emitted event (e.g. the
+  /// client name), distinguishing interleaved runs.
+  std::string EventTraceLabel;
+  /// Forwarded to BackwardConfig::StepObserver for every backward run.
+  /// When more than one worker is active the driver serializes the calls
+  /// behind a mutex, so a single callable can observe all workers' steps.
+  std::function<void(size_t, const ir::Command &, const formula::Dnf &)>
+      BackwardStepObserver;
 };
 
 /// Aggregate statistics of one driver run.
@@ -172,6 +192,11 @@ struct DriverStats {
   uint64_t CacheHits = 0;      ///< forward-run requests served memoized
   uint64_t CacheMisses = 0;    ///< forward-run requests that computed
   uint64_t CacheEvictions = 0; ///< LRU evictions (capacity overflow)
+  /// Every invariant violation detected during the run (empty on a healthy
+  /// run). Violations never abort: the violating computation recovers
+  /// along a sound path (see support/Invariants.h) and the record lands
+  /// here and in the event trace.
+  std::vector<support::InvariantViolation> Violations;
 };
 
 template <typename Analysis> class QueryDriver {
@@ -191,8 +216,19 @@ public:
       return runGreedy(Queries);
     Timer Total;
     Stats = DriverStats();
+    Sink.clear();
+    LastViable.clear();
     Cache.setCapacity(Options.ForwardCacheCapacity);
     Cache.resetCounters();
+    EventTraceWriter Trace;
+    if (!Options.EventTracePath.empty())
+      Trace.open(Options.EventTracePath, Options.EventTraceLabel);
+    if (Trace.enabled())
+      Trace.write(Trace.event("run_begin")
+                      .field("queries", Queries.size())
+                      .field("strategy", strategyName(Options.Strategy))
+                      .field("k", Options.K)
+                      .field("threads", effectiveWorkers()));
 
     struct QueryRec {
       Cnf Viable;
@@ -206,12 +242,28 @@ public:
       Recs[I].NotQ = A.notQ(Queries[I]);
     }
 
+    unsigned Workers = effectiveWorkers();
+    ensurePool(Workers);
     meta::BackwardConfig BwdConfig;
     BwdConfig.K = Options.K;
     BwdConfig.ProductSoftCap = Options.ProductSoftCap;
     BwdConfig.TimeoutSeconds = Options.BackwardTimeoutSeconds;
-    unsigned Workers = effectiveWorkers();
-    ensurePool(Workers);
+    BwdConfig.Invariants = &Sink;
+    if (Options.BackwardStepObserver) {
+      if (Workers > 1) {
+        // The backward stage clones one BackwardMetaAnalysis per worker,
+        // so an unserialized shared observer would race with itself.
+        auto Mx = std::make_shared<std::mutex>();
+        auto Obs = Options.BackwardStepObserver;
+        BwdConfig.StepObserver = [Mx, Obs](size_t I, const ir::Command &Cmd,
+                                           const formula::Dnf &F) {
+          std::lock_guard<std::mutex> Lock(*Mx);
+          Obs(I, Cmd, F);
+        };
+      } else {
+        BwdConfig.StepObserver = Options.BackwardStepObserver;
+      }
+    }
     // One backward meta-analysis per worker: its scratch (stats, wp memo)
     // never crosses threads.
     std::vector<std::unique_ptr<Backward>> Bwds;
@@ -260,6 +312,11 @@ public:
                            : static_cast<uint64_t>(I);
         Groups[Key].push_back(I);
       }
+      if (Trace.enabled())
+        Trace.write(Trace.event("round_begin")
+                        .field("round", Stats.Rounds)
+                        .field("unresolved", Unresolved)
+                        .field("groups", Groups.size()));
 
       // One min-cost solve per group; one run slot per distinct abstraction
       // this round. Slots resolve against the cross-round cache here, in
@@ -313,6 +370,16 @@ public:
           Plan.Slot = It->second;
           Slots[Plan.Slot].Users += Members.size();
         }
+        if (Trace.enabled() && Plan.Abs)
+          Trace.write(Trace.event("choose")
+                          .field("round", Stats.Rounds)
+                          .field("members", Plan.Members.size())
+                          .field("cost", A.paramCost(*Plan.Abs))
+                          .field("bits", bitsToString(Plan.Bits))
+                          .field("viable_clauses",
+                                 Recs[Plan.Members[0]].Viable.size())
+                          .hexField("viable_sig",
+                                    Recs[Plan.Members[0]].Viable.signature()));
         Plans.push_back(std::move(Plan));
       }
 
@@ -334,6 +401,17 @@ public:
         ++Stats.ForwardRuns;
         Slots[S].Run = Cache.insert(Slots[S].Key, std::move(Slots[S].Fresh));
       }
+      if (Trace.enabled()) {
+        std::vector<bool> Built(Slots.size(), false);
+        for (size_t S : ToBuild)
+          Built[S] = true;
+        for (size_t S = 0; S < Slots.size(); ++S)
+          Trace.write(Trace.event("forward")
+                          .field("round", Stats.Rounds)
+                          .field("bits", bitsToString(Slots[S].Key.Bits))
+                          .field("cached", !Built[S])
+                          .field("seconds", Slots[S].BuildSeconds));
+      }
 
       // Viable set empty: the analysis cannot prove these queries with any
       // abstraction (Algorithm 1, line 6).
@@ -344,6 +422,12 @@ public:
           Recs[I].Done = true;
           Outcomes[I].V = Verdict::Impossible;
           --Unresolved;
+          if (Trace.enabled())
+            Trace.write(Trace.event("verdict")
+                            .field("round", Stats.Rounds)
+                            .field("query", Queries[I].index())
+                            .field("verdict", verdictName(Verdict::Impossible))
+                            .field("iterations", Outcomes[I].Iterations));
         }
       }
 
@@ -428,11 +512,16 @@ public:
                      Out.Check, Bad, WantTraces - Traces.size()))
               Traces.push_back(std::move(T));
           }
-          assert(!Traces.empty() &&
-                 "failing state must be witnessed by a trace");
           if (Traces.empty()) {
-            // Defensive: without a counterexample nothing can be learned
-            // and retrying the same abstraction would not terminate.
+            // Without a counterexample nothing can be learned and retrying
+            // the same abstraction would not terminate, so the query is
+            // left unresolved. The sink is thread-safe; this stage runs on
+            // pool workers.
+            support::reportInvariant(
+                &Sink, "trace-witness", "QueryDriver::run",
+                "failing state at check " +
+                    std::to_string(Out.Check.index()) +
+                    " has no witnessing trace; query left unresolved");
             Step.Kind = StepKind::NoTrace;
           } else {
             for (ir::Trace &T : Traces) {
@@ -471,6 +560,21 @@ public:
       // Merge: fold every step in schedule order - the same order the
       // sequential driver processes members - so verdicts, viable sets,
       // and statistics are independent of the worker count.
+      auto KindName = [](StepKind K) {
+        switch (K) {
+        case StepKind::Proven:
+          return "proven";
+        case StepKind::IterBudget:
+          return "iter-budget";
+        case StepKind::Eliminate:
+          return "eliminate";
+        case StepKind::Traces:
+          return "traces";
+        case StepKind::NoTrace:
+          return "no-trace";
+        }
+        return "?";
+      };
       for (MemberStep &Step : Steps) {
         GroupPlan &Plan = Plans[Step.PlanIdx];
         RunSlot &Slot = Slots[Plan.Slot];
@@ -488,6 +592,7 @@ public:
           Out.V = Verdict::Proven;
           Out.CheapestCost = A.paramCost(*Plan.Abs);
           Out.CheapestParam = A.paramToString(*Plan.Abs);
+          Out.CheapestBits = Plan.Bits;
           --Unresolved;
           break;
         case StepKind::IterBudget:
@@ -496,16 +601,10 @@ public:
           Out.V = Verdict::Unresolved;
           --Unresolved;
           break;
-        case StepKind::Eliminate: {
+        case StepKind::Eliminate:
           // Baseline: rule out exactly the current abstraction.
-          std::vector<BoolLit> Clause;
-          for (uint32_t Bit = 0; Bit < A.numParamBits(); ++Bit)
-            Clause.push_back(BoolLit{Bit, Bit < Plan.Bits.size()
-                                              ? !Plan.Bits[Bit]
-                                              : true});
-          Rec.Viable.addClause(std::move(Clause));
+          Rec.Viable.addClause(eliminateClause(Plan.Bits));
           break;
-        }
         case StepKind::Traces: {
           // Lines 13-15: viable-set strengthening. Analyzing several
           // distinct failing states' traces per iteration conjoins
@@ -532,26 +631,90 @@ public:
             break;
           }
           // Progress (Theorem 3): the current abstraction is always among
-          // the eliminated ones, so the next round cannot repeat it.
-          assert(!Rec.Viable.eval(Plan.Bits) &&
-                 "meta-analysis failed to eliminate the current abstraction");
+          // the eliminated ones, so the next round cannot repeat it. When
+          // the learned clauses fail to rule it out, fall back to
+          // eliminating it explicitly - weaker learning, but termination
+          // (and soundness) survive the violation.
+          if (Rec.Viable.eval(Plan.Bits)) {
+            support::reportInvariant(
+                &Sink, "progress", "QueryDriver::run",
+                "meta-analysis failed to eliminate the current abstraction "
+                "for check " +
+                    std::to_string(Out.Check.index()) +
+                    "; eliminating it explicitly");
+            Rec.Viable.addClause(eliminateClause(Plan.Bits));
+          }
           break;
         }
         }
+        if (Trace.enabled()) {
+          std::vector<size_t> TraceLens;
+          size_t MaxCubes = 0;
+          for (size_t J = 0; J < Step.Traces.size(); ++J) {
+            TraceLens.push_back(Step.Traces[J].first.size());
+            MaxCubes = std::max(MaxCubes, Step.TraceResults[J].MaxCubes);
+          }
+          Trace.write(Trace.event("step")
+                          .field("round", Stats.Rounds)
+                          .field("query", Queries[Step.Query].index())
+                          .field("kind", KindName(Step.Kind))
+                          .field("fail_states", Step.FailIds.size())
+                          .field("traces", Step.Traces.size())
+                          .field("trace_lens", TraceLens)
+                          .field("max_cubes", MaxCubes)
+                          .hexField("learned_sig", Rec.Viable.signature()));
+          if (Rec.Done)
+            Trace.write(Trace.event("verdict")
+                            .field("round", Stats.Rounds)
+                            .field("query", Queries[Step.Query].index())
+                            .field("verdict", verdictName(Out.V))
+                            .field("iterations", Out.Iterations)
+                            .field("cost", Out.CheapestCost)
+                            .field("param", Out.CheapestParam));
+        }
       }
+      if (Trace.enabled())
+        Trace.write(Trace.event("round_end")
+                        .field("round", Stats.Rounds)
+                        .field("unresolved", Unresolved)
+                        .field("cache_hits", Cache.counters().Hits)
+                        .field("cache_misses", Cache.counters().Misses)
+                        .field("cache_evictions", Cache.counters().Evictions));
     }
 
     for (size_t I = 0; I < Queries.size(); ++I) {
       if (!Recs[I].Done)
         Outcomes[I].V = Verdict::Unresolved;
+      LastViable.push_back(std::move(Recs[I].Viable));
     }
     publishCacheCounters();
+    Stats.Violations = Sink.snapshot();
     TotalSeconds = Total.seconds();
+    if (Trace.enabled()) {
+      for (const support::InvariantViolation &V : Stats.Violations)
+        Trace.write(Trace.event("invariant_violation")
+                        .field("check", V.Check)
+                        .field("where", V.Where)
+                        .field("message", V.Message));
+      Trace.write(Trace.event("run_end")
+                      .field("rounds", Stats.Rounds)
+                      .field("forward_runs", Stats.ForwardRuns)
+                      .field("backward_runs", Stats.BackwardRuns)
+                      .field("solver_calls", Stats.SolverCalls)
+                      .field("violations", Stats.Violations.size())
+                      .field("seconds", TotalSeconds));
+    }
     return Outcomes;
   }
 
   const DriverStats &stats() const { return Stats; }
   double totalSeconds() const { return TotalSeconds; }
+
+  /// The per-query viable CNFs as of the end of the last run() call
+  /// (parallel to its outcome vector; empty CNF = nothing learned). Input
+  /// to the certificate checker's minimality / impossibility / eliminated
+  /// checks. GreedyGrow learns no viable sets, so its entries are empty.
+  const std::vector<Cnf> &finalViableSets() const { return LastViable; }
 
 private:
   using CacheKey = typename ForwardRunCache<Forward>::Key;
@@ -564,12 +727,25 @@ private:
   std::vector<QueryOutcome> runGreedy(const std::vector<ir::CheckId> &Queries) {
     Timer Total;
     Stats = DriverStats();
+    Sink.clear();
+    LastViable.clear();
     Cache.setCapacity(Options.ForwardCacheCapacity);
     Cache.resetCounters();
+    EventTraceWriter Trace;
+    if (!Options.EventTracePath.empty())
+      Trace.open(Options.EventTracePath, Options.EventTraceLabel);
+    if (Trace.enabled())
+      Trace.write(Trace.event("run_begin")
+                      .field("queries", Queries.size())
+                      .field("strategy", strategyName(Options.Strategy))
+                      .field("k", Options.K)
+                      .field("threads", 1u));
     meta::BackwardConfig BwdConfig;
     BwdConfig.K = Options.K;
     BwdConfig.ProductSoftCap = Options.ProductSoftCap;
     BwdConfig.TimeoutSeconds = Options.BackwardTimeoutSeconds;
+    BwdConfig.Invariants = &Sink;
+    BwdConfig.StepObserver = Options.BackwardStepObserver; // single thread
     Backward Bwd(P, A, BwdConfig);
     State Init = A.initialState();
 
@@ -612,6 +788,7 @@ private:
           Out.V = Verdict::Proven;
           Out.CheapestCost = A.paramCost(Prm); // NOT minimal in general
           Out.CheapestParam = A.paramToString(Prm);
+          Out.CheapestBits = Bits;
           break;
         }
         std::sort(Fails.begin(), Fails.end(),
@@ -620,7 +797,13 @@ private:
                   });
         State Bad = Run.state(Fails.front());
         auto T = Run.extractTrace(Out.Check, Bad);
-        assert(T && "failing state must be witnessed by a trace");
+        if (!T) {
+          support::reportInvariant(
+              &Sink, "trace-witness", "QueryDriver::runGreedy",
+              "failing state at check " + std::to_string(Out.Check.index()) +
+                  " has no witnessing trace; query left unresolved");
+          break;
+        }
         std::vector<State> States = Run.replay(*T, Init);
         ++Stats.BackwardRuns;
         std::optional<formula::Dnf> F = Bwd.run(*T, Prm, States, NotQ);
@@ -637,9 +820,35 @@ private:
         Bits = std::move(Grown);
       }
       Out.Seconds = QueryTimer.seconds();
+      if (Trace.enabled())
+        Trace.write(Trace.event("verdict")
+                        .field("round", Stats.Rounds)
+                        .field("query", Out.Check.index())
+                        .field("verdict", verdictName(Out.V))
+                        .field("iterations", Out.Iterations)
+                        .field("cost", Out.CheapestCost)
+                        .field("param", Out.CheapestParam));
     }
+    // GreedyGrow never learns viable sets; empty CNFs keep the vector
+    // parallel to the outcomes for the certificate checker.
+    LastViable.assign(Queries.size(), Cnf());
     publishCacheCounters();
+    Stats.Violations = Sink.snapshot();
     TotalSeconds = Total.seconds();
+    if (Trace.enabled()) {
+      for (const support::InvariantViolation &V : Stats.Violations)
+        Trace.write(Trace.event("invariant_violation")
+                        .field("check", V.Check)
+                        .field("where", V.Where)
+                        .field("message", V.Message));
+      Trace.write(Trace.event("run_end")
+                      .field("rounds", Stats.Rounds)
+                      .field("forward_runs", Stats.ForwardRuns)
+                      .field("backward_runs", Stats.BackwardRuns)
+                      .field("solver_calls", Stats.SolverCalls)
+                      .field("violations", Stats.Violations.size())
+                      .field("seconds", TotalSeconds));
+    }
     return Outcomes;
   }
 
@@ -660,6 +869,17 @@ private:
       }
       Viable.addClause(std::move(Clause));
     }
+  }
+
+  /// A clause satisfied by every assignment except exactly \p Bits: one
+  /// negated literal per parameter bit. Used by the EliminateCurrent
+  /// baseline and by the progress-violation recovery path.
+  std::vector<BoolLit> eliminateClause(const std::vector<bool> &Bits) const {
+    std::vector<BoolLit> Clause;
+    for (uint32_t Bit = 0; Bit < A.numParamBits(); ++Bit)
+      Clause.push_back(
+          BoolLit{Bit, Bit < Bits.size() ? !Bits[Bit] : true});
+    return Clause;
   }
 
   unsigned effectiveWorkers() const {
@@ -687,6 +907,8 @@ private:
   double TotalSeconds = 0;
   ForwardRunCache<Forward> Cache;
   std::unique_ptr<support::ThreadPool> Pool;
+  support::InvariantSink Sink;
+  std::vector<Cnf> LastViable;
 };
 
 } // namespace tracer

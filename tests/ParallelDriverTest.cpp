@@ -199,4 +199,44 @@ TEST(ForwardRunCache, PinnedEntriesAreNeverEvicted) {
   EXPECT_EQ(Cache.counters().Evictions, 2u);
 }
 
+TEST(ForwardRunCache, OvershootKeepsGrowingWhileEverythingIsPinned) {
+  IntCache Cache(1);
+  // One round that touches three distinct abstractions: all three stay
+  // resident (3x overshoot), every pointer stays valid, nothing is
+  // evicted until the epoch rolls over.
+  int *A = Cache.insert(key({true, false, false}), std::make_unique<int>(1));
+  int *B = Cache.insert(key({false, true, false}), std::make_unique<int>(2));
+  int *C = Cache.insert(key({false, false, true}), std::make_unique<int>(3));
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_EQ(Cache.counters().Evictions, 0u);
+  EXPECT_EQ(*A, 1);
+  EXPECT_EQ(*B, 2);
+  EXPECT_EQ(*C, 3);
+  // After unpinning, one insert drains the overshoot back to capacity in
+  // LRU order (A, then B, then C are the stalest).
+  Cache.beginEpoch();
+  int *D = Cache.insert(key({true, true, true}), std::make_unique<int>(4));
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.counters().Evictions, 3u);
+  EXPECT_EQ(*D, 4);
+  Cache.beginEpoch();
+  EXPECT_EQ(Cache.lookup(key({true, false, false})), nullptr);
+  EXPECT_NE(Cache.lookup(key({true, true, true})), nullptr);
+}
+
+TEST(ForwardRunCache, InsertOverResidentKeyReplacesInPlace) {
+  IntCache Cache(2);
+  Cache.insert(key({true}), std::make_unique<int>(1));
+  Cache.insert(key({false}), std::make_unique<int>(2));
+  // Re-inserting an already-resident key must replace the run without
+  // growing the cache or evicting the other entry.
+  int *Replaced = Cache.insert(key({true}), std::make_unique<int>(7));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.counters().Evictions, 0u);
+  EXPECT_EQ(*Replaced, 7);
+  Cache.beginEpoch();
+  EXPECT_EQ(*Cache.lookup(key({true})), 7);
+  EXPECT_EQ(*Cache.lookup(key({false})), 2);
+}
+
 } // namespace

@@ -14,6 +14,11 @@
 //   --strategy=tracer|eliminate-current|greedy-grow
 //   --max-iters=N               per-query iteration budget (default 100)
 //   --traces-per-iter=N         counterexamples per failed iteration
+//   --audit                     validate every verdict with the certificate
+//                               checker and fail (exit 1) on any invariant
+//                               violation or certificate mismatch
+//   --event-trace=PATH          write a JSONL CEGAR event trace to PATH
+//                               (truncated once at startup)
 //   --stats                     print program statistics and exit
 //   --verbose                   print the program before the report
 //
@@ -29,6 +34,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "pointer/PointsTo.h"
+#include "tracer/Certificates.h"
 #include "tracer/QueryDriver.h"
 #include "typestate/Typestate.h"
 
@@ -46,8 +52,17 @@ struct CliOptions {
   std::string Client;
   std::string Property;
   tracer::TracerOptions Tracer;
+  bool Audit = false;
   bool Stats = false;
   bool Verbose = false;
+};
+
+/// Aggregated audit evidence across driver runs (type-state runs one
+/// driver per site).
+struct AuditTally {
+  size_t Violations = 0;
+  unsigned Checked = 0;
+  size_t Failures = 0;
 };
 
 int usage(const char *Msg = nullptr) {
@@ -57,7 +72,8 @@ int usage(const char *Msg = nullptr) {
                "[--property=SPEC] [--k=N]\n"
                "       [--strategy=tracer|eliminate-current|greedy-grow] "
                "[--max-iters=N]\n"
-               "       [--traces-per-iter=N] [--stats] [--verbose]\n";
+               "       [--traces-per-iter=N] [--audit] "
+               "[--event-trace=PATH] [--stats] [--verbose]\n";
   return 2;
 }
 
@@ -92,6 +108,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
         Err = "unknown strategy '" + *V + "'";
         return false;
       }
+    } else if (auto V = Value("--event-trace=")) {
+      Opts.Tracer.EventTracePath = *V;
+    } else if (Arg == "--audit") {
+      Opts.Audit = true;
     } else if (Arg == "--stats") {
       Opts.Stats = true;
     } else if (Arg == "--verbose") {
@@ -177,9 +197,51 @@ void printOutcome(const Program &P, const tracer::QueryOutcome &O,
   std::cout << " [" << O.Iterations << " iteration(s)]\n";
 }
 
+/// Folds one driver run's audit evidence into \p Tally: invariant records
+/// (always collected) and, under --audit, independent certificate checks
+/// of every verdict.
+template <typename Analysis>
+void auditDriver(const Program &P, const Analysis &A, const CliOptions &Opts,
+                 const tracer::QueryDriver<Analysis> &Driver,
+                 const std::vector<tracer::QueryOutcome> &Outcomes,
+                 AuditTally &Tally) {
+  for (const auto &V : Driver.stats().Violations) {
+    ++Tally.Violations;
+    std::cerr << "audit: invariant violation [" << V.Check << "] in "
+              << V.Where << ": " << V.Message << "\n";
+  }
+  if (!Opts.Audit)
+    return;
+  tracer::CertificateOptions CertOpts;
+  CertOpts.CheckMinimality =
+      Opts.Tracer.Strategy != tracer::SearchStrategy::GreedyGrow;
+  tracer::CertificateChecker<Analysis> Checker(P, A, CertOpts);
+  tracer::CertificateReport Report =
+      Checker.check(Outcomes, Driver.finalViableSets());
+  Tally.Checked += Report.ProvenChecked + Report.ImpossibleChecked +
+                   Report.MinimalityChecked + Report.EliminatedSampled;
+  for (const tracer::CertificateIssue &Issue : Report.Issues) {
+    ++Tally.Failures;
+    std::cerr << "audit: certificate failure [" << Issue.Kind << "] query "
+              << Issue.Query << ": " << Issue.Detail << "\n";
+  }
+}
+
+/// Prints the audit summary; exit status 1 when anything failed.
+int finishAudit(const CliOptions &Opts, const AuditTally &Tally) {
+  if (!Opts.Audit)
+    return 0;
+  std::cout << "audit: " << Tally.Checked << " certificate check(s), "
+            << Tally.Failures << " failure(s), " << Tally.Violations
+            << " invariant violation(s)\n";
+  return (Tally.Failures > 0 || Tally.Violations > 0) ? 1 : 0;
+}
+
 int runEscape(const Program &P, const CliOptions &Opts) {
   escape::EscapeAnalysis A(P);
-  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts.Tracer);
+  tracer::TracerOptions TracerOpts = Opts.Tracer;
+  TracerOpts.EventTraceLabel = "escape";
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, TracerOpts);
   std::vector<CheckId> Queries;
   for (uint32_t I = 0; I < P.numChecks(); ++I)
     Queries.push_back(CheckId(I));
@@ -187,9 +249,12 @@ int runEscape(const Program &P, const CliOptions &Opts) {
             << " queries, strategy "
             << tracer::strategyName(Opts.Tracer.Strategy) << ", k = "
             << Opts.Tracer.K << "\n";
-  for (const auto &O : Driver.run(Queries))
+  std::vector<tracer::QueryOutcome> Outcomes = Driver.run(Queries);
+  for (const auto &O : Outcomes)
     printOutcome(P, O, "");
-  return 0;
+  AuditTally Tally;
+  auditDriver(P, A, Opts, Driver, Outcomes, Tally);
+  return finishAudit(Opts, Tally);
 }
 
 int runTypestate(Program &P, const CliOptions &Opts) {
@@ -210,6 +275,7 @@ int runTypestate(Program &P, const CliOptions &Opts) {
                                       : "property automaton")
             << "), strategy " << tracer::strategyName(Opts.Tracer.Strategy)
             << ", k = " << Opts.Tracer.K << "\n";
+  AuditTally Tally;
   for (uint32_t H = 0; H < P.numAllocs(); ++H) {
     std::vector<CheckId> Queries;
     for (uint32_t I = 0; I < P.numChecks(); ++I)
@@ -218,12 +284,15 @@ int runTypestate(Program &P, const CliOptions &Opts) {
     if (Queries.empty())
       continue;
     typestate::TypestateAnalysis A(P, *Spec, AllocId(H), Pt);
-    tracer::QueryDriver<typestate::TypestateAnalysis> Driver(P, A,
-                                                             Opts.Tracer);
-    for (const auto &O : Driver.run(Queries))
+    tracer::TracerOptions PerSite = Opts.Tracer;
+    PerSite.EventTraceLabel = "typestate/site=" + P.allocName(AllocId(H));
+    tracer::QueryDriver<typestate::TypestateAnalysis> Driver(P, A, PerSite);
+    std::vector<tracer::QueryOutcome> Outcomes = Driver.run(Queries);
+    for (const auto &O : Outcomes)
       printOutcome(P, O, " (site " + P.allocName(AllocId(H)) + ")");
+    auditDriver(P, A, Opts, Driver, Outcomes, Tally);
   }
-  return 0;
+  return finishAudit(Opts, Tally);
 }
 
 } // namespace
@@ -233,6 +302,17 @@ int main(int Argc, char **Argv) {
   std::string Err;
   if (!parseArgs(Argc, Argv, Opts, Err))
     return usage(Err.c_str());
+
+  if (!Opts.Tracer.EventTracePath.empty()) {
+    // Truncate once here; the drivers append, so the per-site type-state
+    // runs interleave into one file.
+    std::ofstream Truncate(Opts.Tracer.EventTracePath, std::ios::trunc);
+    if (!Truncate) {
+      std::cerr << "error: cannot write event trace '"
+                << Opts.Tracer.EventTracePath << "'\n";
+      return 2;
+    }
+  }
 
   std::ifstream In(Opts.ProgramPath);
   if (!In) {
