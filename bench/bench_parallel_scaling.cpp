@@ -39,6 +39,7 @@ struct Row {
   double Seconds = 0;
   unsigned Proven = 0, Impossible = 0, Unresolved = 0;
   uint64_t Hits = 0, Misses = 0;
+  tracer::PhaseSeconds Phases;
 };
 
 void accumulate(Row &R, const ClientResults &C) {
@@ -48,6 +49,7 @@ void accumulate(Row &R, const ClientResults &C) {
   R.Unresolved += C.count(tracer::Verdict::Unresolved);
   R.Hits += C.CacheHits;
   R.Misses += C.CacheMisses;
+  R.Phases += C.Phases;
 }
 
 } // namespace
@@ -118,6 +120,23 @@ int main(int Argc, char **Argv) {
   }
   T.print(std::cout,
           "Parallel scaling: full suite, both clients, per worker count");
+
+  // Where the wall clock goes: the driver's per-stage timers, summed over
+  // both clients. The parallel stages (forward, classify, backward) should
+  // shrink with real hardware threads; plan and merge are sequential.
+  TablePrinter Phases;
+  Phases.setHeader({"threads", "plan", "forward", "classify", "extract",
+                    "backward", "merge"});
+  for (const Row &R : Rows)
+    Phases.addRow({TablePrinter::cell((long long)R.Threads),
+                   formatDuration(R.Phases.Plan),
+                   formatDuration(R.Phases.Forward),
+                   formatDuration(R.Phases.Classify),
+                   formatDuration(R.Phases.Extract),
+                   formatDuration(R.Phases.Backward),
+                   formatDuration(R.Phases.Merge)});
+  Phases.print(std::cout, "Per-phase wall clock (tracer strategy rounds)");
+
   std::cout << "hardware threads: " << HW
             << " (speedup is bounded by this)\n";
   std::cout << (Deterministic

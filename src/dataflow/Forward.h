@@ -47,6 +47,7 @@
 #include "dataflow/StateInterner.h"
 #include "ir/Program.h"
 #include "ir/Trace.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <optional>
@@ -86,6 +87,15 @@ public:
       ++Stats.NumRounds;
       visit(Root, InitId);
     } while (Changed);
+    if (support::metricsEnabled()) {
+      auto &Reg = support::MetricRegistry::global();
+      static auto &Rounds = Reg.histogram("optabs_forward_fixpoint_rounds");
+      static auto &States = Reg.histogram("optabs_forward_states");
+      static auto &Visits = Reg.counter("optabs_forward_visits_total");
+      Rounds.record(Stats.NumRounds);
+      States.record(Interner.size());
+      Visits.add(Stats.NumVisits);
+    }
   }
 
   /// All abstract states reaching check site \p Check (i.e. flowing into
@@ -175,6 +185,21 @@ public:
   }
 
   const State &state(StateId Id) const { return Interner.state(Id); }
+
+  /// Approximate heap footprint of this run: interned states plus the
+  /// tabulation/memo tables. Feeds the forward-run cache's resident-bytes
+  /// gauge; an estimate, not exact accounting.
+  size_t approxMemoryBytes() const {
+    size_t Bytes = Interner.approxBytes();
+    size_t SetBytes = 0;
+    for (const auto &KV : Values)
+      SetBytes += KV.second.capacity() * sizeof(StateId);
+    Bytes += SetBytes + Values.size() * (sizeof(Key) + sizeof(StateSet));
+    Bytes += TransferMemo.size() * (sizeof(Key) + sizeof(StateId));
+    for (const auto &KV : CheckStates)
+      Bytes += KV.second.capacity() * sizeof(StateId) + sizeof(KV);
+    return Bytes;
+  }
 
 private:
   //===--------------------------------------------------------------------===

@@ -46,6 +46,16 @@ public:
 
   size_t size() const { return States.size(); }
 
+  /// Approximate heap footprint of the interned states: both the forward
+  /// copy in States and the hash-index copy, plus one bucket pointer per
+  /// index slot. A footprint estimate for the cache resident-bytes gauge,
+  /// not an exact accounting.
+  size_t approxBytes() const {
+    size_t PerState = sizeof(State) + sizeof(StateId);
+    return States.capacity() * sizeof(State) + Index.size() * PerState +
+           Index.bucket_count() * sizeof(void *);
+  }
+
 private:
   std::unordered_map<State, StateId, HashT> Index;
   std::vector<State> States;

@@ -3,6 +3,7 @@
 #include "formula/Dnf.h"
 
 #include "support/Invariants.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 
@@ -70,6 +71,13 @@ void Dnf::dropK(unsigned K, const AtomEval &Eval,
   }
   if (Cubes.size() <= K)
     return;
+  if (support::metricsEnabled()) {
+    auto &Reg = support::MetricRegistry::global();
+    static auto &Calls = Reg.counter("optabs_dnf_dropk_calls_total");
+    static auto &Dropped = Reg.counter("optabs_dnf_dropk_cubes_dropped_total");
+    Calls.add(1);
+    Dropped.add(Cubes.size() - K);
+  }
   bool HaveSatisfied = false;
   for (size_t I = 0; I < K; ++I) {
     if (Cubes[I].eval(Eval)) {
@@ -128,6 +136,13 @@ Dnf Dnf::product(const Dnf &A, const Dnf &B, size_t SoftCap,
       if (auto C = Cube::conjoin(CA, CB))
         Result.Cubes.push_back(std::move(*C));
     }
+  }
+  if (support::metricsEnabled()) {
+    auto &Reg = support::MetricRegistry::global();
+    static auto &Calls = Reg.counter("optabs_dnf_product_calls_total");
+    static auto &Cubes = Reg.histogram("optabs_dnf_product_cubes");
+    Calls.add(1);
+    Cubes.record(Result.Cubes.size());
   }
   if (SoftCap > 0 && Result.Cubes.size() > SoftCap) {
     // Sound mid-product pruning: keep the cap's worth of shortest cubes,

@@ -63,6 +63,7 @@
 #include "ir/Program.h"
 #include "ir/Trace.h"
 #include "support/Invariants.h"
+#include "support/Metrics.h"
 #include "support/Timer.h"
 
 #include <optional>
@@ -221,6 +222,16 @@ public:
       Stats.TotalCubes += F.size();
       if (Config.StepObserver)
         Config.StepObserver(I, Cmd, F);
+      if (support::metricsEnabled()) {
+        static auto &StepCubes = support::MetricRegistry::global().histogram(
+            "optabs_backward_step_cubes");
+        StepCubes.record(F.size());
+      }
+    }
+    if (support::metricsEnabled()) {
+      static auto &Steps = support::MetricRegistry::global().counter(
+          "optabs_backward_steps_total");
+      Steps.add(T.size());
     }
     return F;
   }

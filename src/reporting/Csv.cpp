@@ -49,7 +49,8 @@ void writeCsvSummaryHeader(std::ostream &OS) {
   OS << "benchmark,client,config,queries,proven,impossible,unresolved,"
         "seconds,forward_runs,backward_runs,cache_hits,cache_misses,"
         "cache_evictions,invariant_violations,certificates_checked,"
-        "certificate_failures\n";
+        "certificate_failures,plan_seconds,forward_seconds,classify_seconds,"
+        "extract_seconds,backward_seconds,merge_seconds\n";
 }
 
 void writeCsvSummaryRow(std::ostream &OS, const std::string &Bench,
@@ -62,7 +63,10 @@ void writeCsvSummaryRow(std::ostream &OS, const std::string &Bench,
      << R.ForwardRuns << ',' << R.BackwardRuns << ',' << R.CacheHits << ','
      << R.CacheMisses << ',' << R.CacheEvictions << ','
      << R.InvariantViolations << ',' << R.CertificatesChecked << ','
-     << R.CertificateFailures << '\n';
+     << R.CertificateFailures << ',' << R.Phases.Plan << ','
+     << R.Phases.Forward << ',' << R.Phases.Classify << ','
+     << R.Phases.Extract << ',' << R.Phases.Backward << ','
+     << R.Phases.Merge << '\n';
 }
 
 } // namespace reporting

@@ -31,8 +31,9 @@ void writeCsvRows(std::ostream &OS, const BenchRun &Run);
 
 /// Writes the CSV header row for per-client aggregate summaries (one row
 /// per client per benchmark configuration): driver work counters, the
-/// forward-run cache statistics, and the audit counters (invariant
-/// violations, certificates checked/failed).
+/// forward-run cache statistics, the audit counters (invariant
+/// violations, certificates checked/failed), and the per-phase wall-clock
+/// breakdown (plan/forward/classify/extract/backward/merge seconds).
 void writeCsvSummaryHeader(std::ostream &OS);
 
 /// Writes one aggregate summary row. \p Label tags the configuration the

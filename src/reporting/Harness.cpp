@@ -70,6 +70,8 @@ void runEscape(const synth::Benchmark &B, const HarnessOptions &Options,
     Opts.EventTracePath = Options.EventTracePath;
     Opts.EventTraceLabel = "escape";
   }
+  Opts.MetricsPath = Options.MetricsPath;
+  Opts.ProfilePath = Options.ChromeTracePath;
   tracer::QueryDriver<escape::EscapeAnalysis> Driver(B.P, A, Opts);
   std::vector<tracer::QueryOutcome> Outcomes = Driver.run(B.EscChecks);
   for (const tracer::QueryOutcome &O : Outcomes)
@@ -79,6 +81,7 @@ void runEscape(const synth::Benchmark &B, const HarnessOptions &Options,
   Out.CacheHits += Driver.stats().CacheHits;
   Out.CacheMisses += Driver.stats().CacheMisses;
   Out.CacheEvictions += Driver.stats().CacheEvictions;
+  Out.Phases += Driver.stats().Phases;
   auditRun(B.P, A, Options, Driver, Outcomes, "escape", Out);
   Out.TotalSeconds = Total.seconds();
 }
@@ -109,6 +112,8 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
       PerSite.EventTracePath = Options.EventTracePath;
       PerSite.EventTraceLabel = Label;
     }
+    PerSite.MetricsPath = Options.MetricsPath;
+    PerSite.ProfilePath = Options.ChromeTracePath;
     tracer::QueryDriver<typestate::TypestateAnalysis> Driver(B.P, A,
                                                              PerSite);
     std::vector<tracer::QueryOutcome> Outcomes = Driver.run(Checks);
@@ -119,6 +124,7 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
     Out.CacheHits += Driver.stats().CacheHits;
     Out.CacheMisses += Driver.stats().CacheMisses;
     Out.CacheEvictions += Driver.stats().CacheEvictions;
+    Out.Phases += Driver.stats().Phases;
     auditRun(B.P, A, Options, Driver, Outcomes, Label, Out);
   }
   Out.TotalSeconds = Total.seconds();
@@ -133,6 +139,10 @@ HarnessOptions::HarnessOptions() {
   Tracer.MaxItersPerQuery = 32;
   Tracer.TimeBudgetSeconds = 180;
   Audit = std::getenv("OPTABS_AUDIT") != nullptr;
+  if (const char *Path = std::getenv("OPTABS_METRICS"))
+    MetricsPath = Path;
+  if (const char *Path = std::getenv("OPTABS_CHROME_TRACE"))
+    ChromeTracePath = Path;
 }
 
 BenchRun runBenchmark(const synth::BenchConfig &Config,

@@ -50,6 +50,10 @@ struct ClientResults {
   uint64_t CacheHits = 0;      ///< forward-run cache hits (memoized runs)
   uint64_t CacheMisses = 0;    ///< forward-run cache misses (computed runs)
   uint64_t CacheEvictions = 0; ///< forward-run cache LRU evictions
+  /// Per-stage wall-clock breakdown summed over every driver run of this
+  /// client (tracer::DriverStats::Phases); feeds the phase columns of the
+  /// CSV summary export.
+  tracer::PhaseSeconds Phases;
   size_t InvariantViolations = 0;   ///< checked-invariant records (audit)
   unsigned CertificatesChecked = 0; ///< certificate checks performed (audit)
   unsigned CertificateFailures = 0; ///< certificate checks failed (audit)
@@ -95,6 +99,16 @@ struct HarnessOptions {
   /// labeled per client ("escape", "typestate/site=N"). The file is
   /// appended to, never truncated; truncate before the run if needed.
   std::string EventTracePath;
+  /// When nonempty, enables the process-wide metrics layer and has every
+  /// driver rewrite a cumulative Prometheus-style dump here at the end of
+  /// its run (the last driver leaves the complete picture). Defaults from
+  /// the OPTABS_METRICS environment variable, so CI can collect metrics
+  /// from an unmodified integration binary.
+  std::string MetricsPath;
+  /// Same, for the Chrome trace-event JSON of all profiler spans
+  /// (chrome://tracing / Perfetto loadable). Defaults from
+  /// OPTABS_CHROME_TRACE.
+  std::string ChromeTracePath;
 
   HarnessOptions();
 };

@@ -30,6 +30,8 @@
 #ifndef OPTABS_SUPPORT_THREADPOOL_H
 #define OPTABS_SUPPORT_THREADPOOL_H
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -181,6 +183,9 @@ private:
   }
 
   void workerLoop(unsigned Worker) {
+    // Thread-local store only; lets the span profiler label this thread's
+    // trace track "worker-N" even when metrics are enabled later.
+    setMetricsWorkerLabel(Worker);
     while (true) {
       Task T;
       {

@@ -15,16 +15,36 @@
 #define OPTABS_SUPPORT_TIMER_H
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 
 namespace optabs {
 
-/// Measures elapsed wall-clock time from construction or the last reset().
+/// Measures elapsed time from construction or the last reset().
+///
+/// Reads std::chrono::steady_clock — monotonic, immune to wall-clock
+/// adjustments (NTP steps, DST) — so per-query budgets and profiler spans
+/// can never observe negative or jumping durations.
 class Timer {
 public:
+  /// The monotonic clock every duration in the project is measured on.
+  using Clock = std::chrono::steady_clock;
+
   Timer() : Start(Clock::now()) {}
 
   void reset() { Start = Clock::now(); }
+
+  /// Elapsed time since construction or reset() at the clock's full
+  /// (nanosecond) resolution; the primitive ScopedSpan timestamps with.
+  std::chrono::nanoseconds elapsed() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                Start);
+  }
+
+  /// elapsed() as a raw nanosecond count.
+  uint64_t elapsedNanos() const {
+    return static_cast<uint64_t>(elapsed().count());
+  }
 
   /// Elapsed seconds since construction or reset().
   double seconds() const {
@@ -34,7 +54,6 @@ public:
   double millis() const { return seconds() * 1e3; }
 
 private:
-  using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
 };
 

@@ -23,7 +23,8 @@
 ///               max_cubes, learned_sig
 ///   verdict     round, query, verdict, iterations, cost, param
 ///   round_end   round, unresolved, cache_hits, cache_misses,
-///               cache_evictions
+///               cache_evictions, seconds (round wall clock, from the
+///               driver's per-round steady-clock timer)
 ///   invariant_violation  check, where, message
 ///   run_end     rounds, forward_runs, backward_runs, solver_calls,
 ///               violations, seconds

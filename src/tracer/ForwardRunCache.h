@@ -23,13 +23,19 @@
 /// The cache is deliberately single-threaded: the driver probes and inserts
 /// only from its sequential planning/merge phases, while the parallel phase
 /// works on raw pointers obtained before it started. All counters are
-/// therefore deterministic regardless of the worker count.
+/// therefore deterministic regardless of the worker count. They are still
+/// kept as relaxed atomics so observability readers (metrics exporters,
+/// watchdog threads) can snapshot them from any thread without
+/// synchronizing with the driver.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTABS_TRACER_FORWARDRUNCACHE_H
 #define OPTABS_TRACER_FORWARDRUNCACHE_H
 
+#include "support/Metrics.h"
+
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -38,11 +44,13 @@
 namespace optabs {
 namespace tracer {
 
-/// Hit/miss/eviction counters of one cache, reported through DriverStats.
+/// A point-in-time snapshot of one cache's hit/miss/eviction counters and
+/// approximate resident footprint, reported through DriverStats.
 struct ForwardCacheCounters {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
+  uint64_t ResidentBytes = 0;
 };
 
 template <typename RunT> class ForwardRunCache {
@@ -67,8 +75,29 @@ public:
   size_t capacity() const { return Capacity; }
   size_t size() const { return Entries.size(); }
 
-  const ForwardCacheCounters &counters() const { return Counters; }
-  void resetCounters() { Counters = ForwardCacheCounters(); }
+  /// Snapshot of the counters; relaxed loads, so callable from any thread
+  /// (the mutating API stays single-threaded).
+  ForwardCacheCounters counters() const {
+    ForwardCacheCounters C;
+    C.Hits = Hits.load(std::memory_order_relaxed);
+    C.Misses = Misses.load(std::memory_order_relaxed);
+    C.Evictions = Evictions.load(std::memory_order_relaxed);
+    C.ResidentBytes = ResidentBytes.load(std::memory_order_relaxed);
+    return C;
+  }
+
+  void resetCounters() {
+    Hits.store(0, std::memory_order_relaxed);
+    Misses.store(0, std::memory_order_relaxed);
+    Evictions.store(0, std::memory_order_relaxed);
+    // ResidentBytes tracks live entries, not history; it survives resets.
+  }
+
+  /// Approximate bytes held by resident forward runs (a gauge, not a
+  /// counter: grows on insert, shrinks on eviction).
+  uint64_t residentBytes() const {
+    return ResidentBytes.load(std::memory_order_relaxed);
+  }
 
   /// Starts a new round: entries touched from here on are pinned until the
   /// next beginEpoch() and cannot be evicted.
@@ -79,24 +108,28 @@ public:
   RunT *lookup(const Key &K) {
     auto It = Entries.find(K);
     if (It == Entries.end()) {
-      ++Counters.Misses;
+      bump(Misses, "optabs_forward_cache_misses_total");
       return nullptr;
     }
-    ++Counters.Hits;
+    bump(Hits, "optabs_forward_cache_hits_total");
     touch(It->second);
     return It->second.Run.get();
   }
 
   /// Counts a hit without a lookup - used when the driver resolves a second
   /// request for a key it already materialized this round.
-  void noteSharedHit() { ++Counters.Hits; }
+  void noteSharedHit() { bump(Hits, "optabs_forward_cache_hits_total"); }
 
   /// Inserts a freshly computed run (pinned for the current epoch) and
   /// applies LRU eviction if the cache exceeds its capacity. Returns the
   /// now-owned run.
   RunT *insert(Key K, std::unique_ptr<RunT> Run) {
     Entry &E = Entries[std::move(K)];
+    if (E.Run)
+      addResident(-static_cast<int64_t>(E.Bytes)); // re-insert over resident
     E.Run = std::move(Run);
+    E.Bytes = approxBytesOf(*E.Run, 0);
+    addResident(static_cast<int64_t>(E.Bytes));
     touch(E);
     evictOverCapacity();
     return E.Run.get();
@@ -107,7 +140,35 @@ private:
     std::unique_ptr<RunT> Run;
     uint64_t Stamp = 0; ///< recency; larger = more recently used
     uint64_t Epoch = 0; ///< last epoch this entry was touched in
+    uint64_t Bytes = 0; ///< approx footprint charged to ResidentBytes
   };
+
+  /// Footprint estimate of a run: RunT::approxMemoryBytes() when the type
+  /// provides it (ForwardAnalysis does), sizeof(RunT) otherwise (unit tests
+  /// cache plain structs).
+  template <typename R>
+  static auto approxBytesOf(const R &Run, int)
+      -> decltype(Run.approxMemoryBytes()) {
+    return Run.approxMemoryBytes();
+  }
+  template <typename R> static size_t approxBytesOf(const R &, long) {
+    return sizeof(R);
+  }
+
+  void bump(std::atomic<uint64_t> &C, const char *MetricName) {
+    C.fetch_add(1, std::memory_order_relaxed);
+    if (support::metricsEnabled())
+      support::MetricRegistry::global().counter(MetricName).add(1);
+  }
+
+  void addResident(int64_t Delta) {
+    ResidentBytes.fetch_add(static_cast<uint64_t>(Delta),
+                            std::memory_order_relaxed);
+    if (support::metricsEnabled())
+      support::MetricRegistry::global()
+          .gauge("optabs_forward_cache_resident_bytes")
+          .add(Delta);
+  }
 
   void touch(Entry &E) {
     E.Stamp = ++StampCounter;
@@ -128,14 +189,18 @@ private:
       }
       if (Victim == Entries.end())
         return; // everything pinned: overshoot rather than evict
+      addResident(-static_cast<int64_t>(Victim->second.Bytes));
       Entries.erase(Victim);
-      ++Counters.Evictions;
+      bump(Evictions, "optabs_forward_cache_evictions_total");
     }
   }
 
   size_t Capacity;
   std::map<Key, Entry> Entries;
-  ForwardCacheCounters Counters;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> ResidentBytes{0};
   uint64_t StampCounter = 0;
   uint64_t CurrentEpoch = 1;
 };

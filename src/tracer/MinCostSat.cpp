@@ -2,6 +2,8 @@
 
 #include "tracer/MinCostSat.h"
 
+#include "support/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 #include <unordered_map>
@@ -178,6 +180,7 @@ private:
   void search(uint32_t TrueCount) {
     std::vector<uint32_t> Trail;
     if (!propagate(Trail, TrueCount)) {
+      ++Conflicts;
       undo(Trail);
       return;
     }
@@ -218,6 +221,7 @@ private:
       return;
     }
     // False first: finds cheap models early, sharpening the bound.
+    ++Decisions;
     Assign[BranchVar] = False;
     search(TrueCount);
     Assign[BranchVar] = True;
@@ -239,14 +243,36 @@ private:
   std::vector<Value> Assign;
   std::vector<Value> Best;
   uint32_t BestCost = UINT32_MAX;
+
+public:
+  uint64_t Conflicts = 0; ///< propagation dead-ends hit during search
+  uint64_t Decisions = 0; ///< branch points explored
 };
 
 } // namespace
 
 std::optional<MinCostModel> solveMinCost(const Cnf &F, uint32_t NumVars) {
-  if (F.hasEmptyClause())
+  if (F.hasEmptyClause()) {
+    if (support::metricsEnabled())
+      support::MetricRegistry::global()
+          .counter("optabs_mincostsat_calls_total")
+          .add(1);
     return std::nullopt;
-  return Solver(F).solve(NumVars);
+  }
+  Solver S(F);
+  std::optional<MinCostModel> Model = S.solve(NumVars);
+  if (support::metricsEnabled()) {
+    auto &Reg = support::MetricRegistry::global();
+    static auto &Calls = Reg.counter("optabs_mincostsat_calls_total");
+    static auto &Conflicts = Reg.counter("optabs_mincostsat_conflicts_total");
+    static auto &Decisions = Reg.counter("optabs_mincostsat_decisions_total");
+    static auto &Clauses = Reg.histogram("optabs_mincostsat_clauses");
+    Calls.add(1);
+    Conflicts.add(S.Conflicts);
+    Decisions.add(S.Decisions);
+    Clauses.record(F.size());
+  }
+  return Model;
 }
 
 } // namespace tracer

@@ -61,6 +61,7 @@
 #include "dataflow/Forward.h"
 #include "meta/Backward.h"
 #include "support/Invariants.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "tracer/EventTrace.h"
@@ -180,6 +181,43 @@ struct TracerOptions {
   /// behind a mutex, so a single callable can observe all workers' steps.
   std::function<void(size_t, const ir::Command &, const formula::Dnf &)>
       BackwardStepObserver;
+  /// When nonempty, enables the process-wide metrics layer (if not already
+  /// on) and writes a Prometheus-style text dump of every registered
+  /// metric to this path at the end of run(). The dump is cumulative over
+  /// the process (the registry is global) and rewritten on every run(), so
+  /// the last driver to finish leaves the complete picture.
+  std::string MetricsPath;
+  /// When nonempty, enables the metrics layer and writes a Chrome
+  /// trace-event JSON (chrome://tracing / Perfetto loadable; one track per
+  /// ThreadPool worker) of all spans recorded so far to this path at the
+  /// end of run(). Cumulative and rewritten like MetricsPath.
+  std::string ProfilePath;
+};
+
+/// Wall-clock seconds attributed to each pipeline stage of the TRACER
+/// driver, accumulated across rounds. Always collected (two steady_clock
+/// reads per stage per round); independent of the metrics layer.
+struct PhaseSeconds {
+  double Plan = 0;     ///< grouping, min-cost solves, cache resolution
+  double Forward = 0;  ///< stage A: parallel forward fixpoints
+  double Classify = 0; ///< stage B1: parallel query classification
+  double Extract = 0;  ///< stage B2: counterexample trace extraction
+  double Backward = 0; ///< stage B3: parallel backward meta-analysis
+  double Merge = 0;    ///< sequential ordered merge + verdicts
+
+  double sum() const {
+    return Plan + Forward + Classify + Extract + Backward + Merge;
+  }
+
+  PhaseSeconds &operator+=(const PhaseSeconds &O) {
+    Plan += O.Plan;
+    Forward += O.Forward;
+    Classify += O.Classify;
+    Extract += O.Extract;
+    Backward += O.Backward;
+    Merge += O.Merge;
+    return *this;
+  }
 };
 
 /// Aggregate statistics of one driver run.
@@ -192,6 +230,12 @@ struct DriverStats {
   uint64_t CacheHits = 0;      ///< forward-run requests served memoized
   uint64_t CacheMisses = 0;    ///< forward-run requests that computed
   uint64_t CacheEvictions = 0; ///< LRU evictions (capacity overflow)
+  /// Approximate bytes resident in the forward-run cache at the end of the
+  /// run (gauge snapshot of ForwardRunCache::residentBytes()).
+  uint64_t CacheResidentBytes = 0;
+  /// Per-stage wall-clock breakdown (the TRACER path only; the GreedyGrow
+  /// baseline has no barrier-separated stages and leaves this zero).
+  PhaseSeconds Phases;
   /// Every invariant violation detected during the run (empty on a healthy
   /// run). Violations never abort: the violating computation recovers
   /// along a sound path (see support/Invariants.h) and the record lands
@@ -212,8 +256,23 @@ public:
 
   /// Resolves all \p Queries; the result vector is parallel to the input.
   std::vector<QueryOutcome> run(const std::vector<ir::CheckId> &Queries) {
-    if (Options.Strategy == SearchStrategy::GreedyGrow)
-      return runGreedy(Queries);
+    if ((!Options.MetricsPath.empty() || !Options.ProfilePath.empty()) &&
+        !support::metricsEnabled())
+      support::setMetricsEnabled(true);
+    std::vector<QueryOutcome> Outcomes;
+    {
+      // Closed before export: open spans are skipped by the exporters.
+      support::ScopedSpan RunSpan("tracer.run");
+      Outcomes = Options.Strategy == SearchStrategy::GreedyGrow
+                     ? runGreedy(Queries)
+                     : runTracer(Queries);
+    }
+    exportMetrics();
+    return Outcomes;
+  }
+
+private:
+  std::vector<QueryOutcome> runTracer(const std::vector<ir::CheckId> &Queries) {
     Timer Total;
     Stats = DriverStats();
     Sink.clear();
@@ -298,7 +357,24 @@ public:
     size_t Unresolved = Queries.size();
     while (Unresolved > 0 && Total.seconds() < Options.TimeBudgetSeconds) {
       ++Stats.Rounds;
+      if (support::metricsEnabled()) {
+        static auto &Rounds =
+            support::MetricRegistry::global().counter("optabs_rounds_total");
+        Rounds.add(1);
+      }
+      Timer RoundTimer;
+      support::ScopedSpan RoundSpan("tracer.round");
       Cache.beginEpoch();
+
+      // Stage attribution: PhaseTimer is reset at every stage boundary and
+      // its reading accumulated into Stats.Phases (always, two clock reads
+      // per stage); PhaseSpan re-opens a published profiler span at the
+      // same boundaries (no-ops when metrics are off). Publishing lets the
+      // root spans of pool workers reparent under the current stage in the
+      // aggregate view.
+      Timer PhaseTimer;
+      std::optional<support::ScopedSpan> PhaseSpan;
+      PhaseSpan.emplace("tracer.plan", /*Publish=*/true);
 
       // Group unresolved queries by viable-set signature (§6). Without
       // grouping, every query is its own group and its forward runs stay
@@ -383,6 +459,10 @@ public:
         Plans.push_back(std::move(Plan));
       }
 
+      Stats.Phases.Plan += PhaseTimer.seconds();
+      PhaseSpan.emplace("tracer.forward", /*Publish=*/true);
+      PhaseTimer.reset();
+
       // Stage A: forward fixpoints for every missed abstraction, in
       // parallel; merged into the cache in plan order.
       std::vector<size_t> ToBuild;
@@ -390,6 +470,7 @@ public:
         if (!Slots[S].Run)
           ToBuild.push_back(S);
       Pool->parallelFor(ToBuild.size(), [&](size_t T, unsigned) {
+        support::ScopedSpan TaskSpan("tracer.forward.fixpoint");
         RunSlot &Slot = Slots[ToBuild[T]];
         Timer BuildTimer;
         auto Run = std::make_unique<Forward>(P, A, *Slot.Abs);
@@ -400,6 +481,11 @@ public:
       for (size_t S : ToBuild) {
         ++Stats.ForwardRuns;
         Slots[S].Run = Cache.insert(Slots[S].Key, std::move(Slots[S].Fresh));
+      }
+      if (support::metricsEnabled() && !ToBuild.empty()) {
+        static auto &Runs = support::MetricRegistry::global().counter(
+            "optabs_forward_runs_total");
+        Runs.add(ToBuild.size());
       }
       if (Trace.enabled()) {
         std::vector<bool> Built(Slots.size(), false);
@@ -412,6 +498,10 @@ public:
                           .field("cached", !Built[S])
                           .field("seconds", Slots[S].BuildSeconds));
       }
+
+      Stats.Phases.Forward += PhaseTimer.seconds();
+      PhaseSpan.emplace("tracer.plan", /*Publish=*/true);
+      PhaseTimer.reset();
 
       // Viable set empty: the analysis cannot prove these queries with any
       // abstraction (Algorithm 1, line 6).
@@ -455,6 +545,10 @@ public:
         }
       }
 
+      Stats.Phases.Plan += PhaseTimer.seconds();
+      PhaseSpan.emplace("tracer.classify", /*Publish=*/true);
+      PhaseTimer.reset();
+
       // Stage B1: classify every step - does the abstraction prove the
       // query? Read-only on the forward runs, so fully parallel across
       // steps. D = F_p[s]({d_I}) at the check, intersected with
@@ -490,6 +584,10 @@ public:
         }
         Step.Seconds = StepTimer.seconds();
       });
+
+      Stats.Phases.Classify += PhaseTimer.seconds();
+      PhaseSpan.emplace("tracer.extract", /*Publish=*/true);
+      PhaseTimer.reset();
 
       // Stage B2: counterexample trace extraction and replay (lines
       // 13-14). Extraction mutates a run's scratch tables, so steps of one
@@ -534,6 +632,10 @@ public:
         }
       });
 
+      Stats.Phases.Extract += PhaseTimer.seconds();
+      PhaseSpan.emplace("tracer.backward", /*Publish=*/true);
+      PhaseTimer.reset();
+
       // Stage B3: backward meta-analysis, one task per counterexample
       // trace (line 14), on per-worker Backward instances.
       std::vector<std::pair<size_t, size_t>> TraceTasks;
@@ -541,6 +643,7 @@ public:
         for (size_t J = 0; J < Steps[T].Traces.size(); ++J)
           TraceTasks.emplace_back(T, J);
       Pool->parallelFor(TraceTasks.size(), [&](size_t T, unsigned Worker) {
+        support::ScopedSpan TaskSpan("tracer.backward.trace");
         auto [StepIdx, J] = TraceTasks[T];
         MemberStep &Step = Steps[StepIdx];
         const GroupPlan &Plan = Plans[Step.PlanIdx];
@@ -556,6 +659,10 @@ public:
           R.Unviable = Bwd.projectToParams(*F, *Slot.Abs, Init);
         R.Seconds = TraceTimer.seconds();
       });
+
+      Stats.Phases.Backward += PhaseTimer.seconds();
+      PhaseSpan.emplace("tracer.merge", /*Publish=*/true);
+      PhaseTimer.reset();
 
       // Merge: fold every step in schedule order - the same order the
       // sequential driver processes members - so verdicts, viable sets,
@@ -613,6 +720,11 @@ public:
           bool MetaTimedOut = false;
           for (TraceResult &R : Step.TraceResults) {
             ++Stats.BackwardRuns;
+            if (support::metricsEnabled()) {
+              static auto &Runs = support::MetricRegistry::global().counter(
+                  "optabs_backward_runs_total");
+              Runs.add(1);
+            }
             Stats.MaxFormulaCubes =
                 std::max(Stats.MaxFormulaCubes, R.MaxCubes);
             Out.Seconds += R.Seconds;
@@ -673,13 +785,16 @@ public:
                             .field("param", Out.CheapestParam));
         }
       }
+      Stats.Phases.Merge += PhaseTimer.seconds();
+      PhaseSpan.reset();
       if (Trace.enabled())
         Trace.write(Trace.event("round_end")
                         .field("round", Stats.Rounds)
                         .field("unresolved", Unresolved)
                         .field("cache_hits", Cache.counters().Hits)
                         .field("cache_misses", Cache.counters().Misses)
-                        .field("cache_evictions", Cache.counters().Evictions));
+                        .field("cache_evictions", Cache.counters().Evictions)
+                        .field("seconds", RoundTimer.seconds()));
     }
 
     for (size_t I = 0; I < Queries.size(); ++I) {
@@ -707,6 +822,7 @@ public:
     return Outcomes;
   }
 
+public:
   const DriverStats &stats() const { return Stats; }
   double totalSeconds() const { return TotalSeconds; }
 
@@ -895,9 +1011,24 @@ private:
   }
 
   void publishCacheCounters() {
-    Stats.CacheHits = Cache.counters().Hits;
-    Stats.CacheMisses = Cache.counters().Misses;
-    Stats.CacheEvictions = Cache.counters().Evictions;
+    ForwardCacheCounters C = Cache.counters();
+    Stats.CacheHits = C.Hits;
+    Stats.CacheMisses = C.Misses;
+    Stats.CacheEvictions = C.Evictions;
+    Stats.CacheResidentBytes = C.ResidentBytes;
+  }
+
+  /// Writes the Prometheus dump and/or the Chrome trace when the
+  /// corresponding TracerOptions paths are set. Both exports are
+  /// cumulative process-wide snapshots, rewritten at the end of every
+  /// run(); failures to open the files are silently ignored (observability
+  /// must never fail the analysis).
+  void exportMetrics() const {
+    if (!Options.MetricsPath.empty())
+      support::MetricRegistry::global().writePrometheusFile(
+          Options.MetricsPath);
+    if (!Options.ProfilePath.empty())
+      support::Profiler::global().writeChromeTraceFile(Options.ProfilePath);
   }
 
   const ir::Program &P;

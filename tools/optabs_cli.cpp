@@ -19,6 +19,12 @@
 //                               violation or certificate mismatch
 //   --event-trace=PATH          write a JSONL CEGAR event trace to PATH
 //                               (truncated once at startup)
+//   --metrics=PATH              enable the metrics layer and write a
+//                               Prometheus-style text dump of all counters,
+//                               gauges and histograms to PATH
+//   --chrome-trace=PATH         enable the metrics layer and write a Chrome
+//                               trace-event JSON of all profiler spans to
+//                               PATH (load in chrome://tracing or Perfetto)
 //   --stats                     print program statistics and exit
 //   --verbose                   print the program before the report
 //
@@ -73,7 +79,9 @@ int usage(const char *Msg = nullptr) {
                "       [--strategy=tracer|eliminate-current|greedy-grow] "
                "[--max-iters=N]\n"
                "       [--traces-per-iter=N] [--audit] "
-               "[--event-trace=PATH] [--stats] [--verbose]\n";
+               "[--event-trace=PATH]\n"
+               "       [--metrics=PATH] [--chrome-trace=PATH] [--stats] "
+               "[--verbose]\n";
   return 2;
 }
 
@@ -110,6 +118,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
       }
     } else if (auto V = Value("--event-trace=")) {
       Opts.Tracer.EventTracePath = *V;
+    } else if (auto V = Value("--metrics=")) {
+      Opts.Tracer.MetricsPath = *V;
+    } else if (auto V = Value("--chrome-trace=")) {
+      Opts.Tracer.ProfilePath = *V;
     } else if (Arg == "--audit") {
       Opts.Audit = true;
     } else if (Arg == "--stats") {
