@@ -1,0 +1,111 @@
+//===- bench_governor_overhead.cpp - Cost of the resource governor ------------===//
+//
+// The governor's charge points sit on the hottest loops of every kernel
+// (forward state visits, backward wp steps, DNF products, solver
+// decisions), so their disarmed and armed costs both matter. This bench
+// runs the full harness over the first paper-suite benchmarks three ways:
+//
+//   baseline   no gates anywhere (all budgets zero, faults disarmed)
+//   gated      enormous budgets on every kernel (every charge point runs,
+//              none ever exhausts)
+//   memory     a 1-byte memory budget (the degradation ladder fires every
+//              round - the worst-case governed configuration)
+//
+// and reports wall clock plus the relative overhead. Verdicts must match
+// between baseline and gated (generous budgets are behavior-neutral); the
+// bench asserts that.
+//
+// Usage: bench_governor_overhead
+//
+//===----------------------------------------------------------------------===//
+
+#include "reporting/Harness.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+#include "synth/Generator.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace optabs;
+using reporting::BenchRun;
+using reporting::HarnessOptions;
+
+namespace {
+
+struct Row {
+  double Seconds = 0;
+  unsigned Proven = 0, Impossible = 0, Unresolved = 0;
+  unsigned Exhausted = 0, Degradations = 0;
+};
+
+Row runConfig(const HarnessOptions &Options, size_t NumBenches) {
+  Row R;
+  Timer T;
+  for (size_t I = 0; I < NumBenches; ++I) {
+    BenchRun Run = reporting::runBenchmark(synth::paperSuite()[I], Options);
+    for (const reporting::ClientResults *C : {&Run.Esc, &Run.Ts}) {
+      R.Proven += C->count(tracer::Verdict::Proven);
+      R.Impossible += C->count(tracer::Verdict::Impossible);
+      R.Unresolved += C->count(tracer::Verdict::Unresolved);
+      R.Exhausted += C->BudgetExhausted;
+      R.Degradations += C->Degradations;
+    }
+  }
+  R.Seconds = T.seconds();
+  return R;
+}
+
+std::string fmt(double V, const char *Suffix = "") {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f%s", V, Suffix);
+  return Buf;
+}
+
+} // namespace
+
+int main() {
+  const size_t NumBenches = 2; // first two paper-suite programs
+  HarnessOptions Baseline;
+
+  HarnessOptions Gated = Baseline;
+  Gated.Tracer.ForwardStepBudget = 1ull << 40;
+  Gated.Tracer.BackwardStepBudget = 1ull << 40;
+  Gated.Tracer.SolverDecisionBudget = 1ull << 40;
+
+  HarnessOptions Memory = Gated;
+  Memory.Tracer.MemoryBudgetBytes = 1;
+
+  // Interleave-free, coarse but honest: one full pass per configuration.
+  Row B = runConfig(Baseline, NumBenches);
+  Row G = runConfig(Gated, NumBenches);
+  Row M = runConfig(Memory, NumBenches);
+
+  if (B.Proven != G.Proven || B.Impossible != G.Impossible ||
+      B.Unresolved != G.Unresolved || G.Exhausted != 0) {
+    std::cerr << "FAIL: generous budgets changed verdicts (baseline "
+              << B.Proven << "/" << B.Impossible << "/" << B.Unresolved
+              << ", gated " << G.Proven << "/" << G.Impossible << "/"
+              << G.Unresolved << ", exhausted " << G.Exhausted << ")\n";
+    return 1;
+  }
+
+  TablePrinter Table;
+  Table.setHeader({"config", "seconds", "overhead", "proven", "impossible",
+                   "unresolved", "exhausted", "degradations"});
+  auto AddRow = [&](const char *Name, const Row &R) {
+    Table.addRow({Name, fmt(R.Seconds),
+                  fmt(B.Seconds > 0 ? (R.Seconds / B.Seconds - 1) * 100 : 0,
+                      "%"),
+                  std::to_string(R.Proven), std::to_string(R.Impossible),
+                  std::to_string(R.Unresolved), std::to_string(R.Exhausted),
+                  std::to_string(R.Degradations)});
+  };
+  AddRow("baseline", B);
+  AddRow("gated", G);
+  AddRow("memory-ladder", M);
+  Table.print(std::cout);
+  return 0;
+}

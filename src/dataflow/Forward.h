@@ -47,6 +47,7 @@
 #include "dataflow/StateInterner.h"
 #include "ir/Program.h"
 #include "ir/Trace.h"
+#include "support/Budget.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
@@ -77,8 +78,17 @@ public:
   ForwardAnalysis(const ir::Program &P, const Client &C, Param Prm)
       : P(P), C(C), Prm(std::move(Prm)) {}
 
-  /// Runs the analysis from \p Init to the global least fixpoint.
-  void run(const State &Init) {
+  /// Runs the analysis from \p Init to the global least fixpoint. When
+  /// \p G is set, every state visit charges it; an exhausted gate stops the
+  /// chaotic iteration at the next visit and leaves the run in a *partial*
+  /// under-fixpoint state — exhausted() is then true and the caller must
+  /// not classify queries against or cache this run (the table may still
+  /// grow, so "no bad state reached" proves nothing). Because visits are
+  /// counted by this task alone, the cut point is the same at any worker
+  /// count.
+  void run(const State &Init, support::BudgetGate *G = nullptr) {
+    Gate = G;
+    Exhaustion.reset();
     InitId = Interner.intern(Init);
     ir::StmtId Root = P.proc(P.main()).Body;
     do {
@@ -86,7 +96,8 @@ public:
       RoundMark.clear();
       ++Stats.NumRounds;
       visit(Root, InitId);
-    } while (Changed);
+    } while (Changed && !Exhaustion);
+    Gate = nullptr;
     if (support::metricsEnabled()) {
       auto &Reg = support::MetricRegistry::global();
       static auto &Rounds = Reg.histogram("optabs_forward_fixpoint_rounds");
@@ -96,6 +107,14 @@ public:
       States.record(Interner.size());
       Visits.add(Stats.NumVisits);
     }
+  }
+
+  /// True when the last run() was cut short by its budget gate. A run in
+  /// this state is a partial under-fixpoint: sound to extract nothing
+  /// from, unsound to classify against or cache.
+  bool exhausted() const { return Exhaustion.has_value(); }
+  const std::optional<support::Exhausted> &exhaustion() const {
+    return Exhaustion;
   }
 
   /// All abstract states reaching check site \p Check (i.e. flowing into
@@ -247,6 +266,14 @@ private:
     (void)ValueIt;
     if (!Inserted && (RoundMark.count(K) || OnStack.count(K)))
       return Values[K];
+    if (Gate && !Gate->charge()) {
+      // Budget exhausted: refuse the evaluation (the key stays unmarked and
+      // NumVisits unbumped) and return the stored value so the recursion
+      // unwinds quickly — every enclosing Seq/Star loop sees a stable value
+      // and the outer loop stops on the Exhaustion flag.
+      Exhaustion = Gate->why();
+      return Values[K];
+    }
     RoundMark.insert(K);
     OnStack.insert(K);
     ++Stats.NumVisits;
@@ -560,6 +587,8 @@ private:
   std::unordered_set<Key> OnStack;
   std::unordered_map<uint32_t, StateSet> CheckStates;
   bool Changed = false;
+  support::BudgetGate *Gate = nullptr;
+  std::optional<support::Exhausted> Exhaustion;
 
   std::unordered_set<std::tuple<uint32_t, StateId, StateId>, TripleHash>
       PrefixStack, ThroughStack;

@@ -2,6 +2,7 @@
 
 #include "formula/Dnf.h"
 
+#include "support/Budget.h"
 #include "support/Invariants.h"
 #include "support/Metrics.h"
 
@@ -129,8 +130,29 @@ void Dnf::orWith(const Dnf &Other) {
 }
 
 Dnf Dnf::product(const Dnf &A, const Dnf &B, size_t SoftCap,
-                 const AtomEval &Eval, support::InvariantSink *Sink) {
+                 const AtomEval &Eval, support::InvariantSink *Sink,
+                 support::BudgetGate *Gate) {
   Dnf Result;
+  if (support::faultsEnabled()) {
+    // This site runs under the caller's gate (if any), so armed faults are
+    // consulted by name here: Alloc throws from faultPoint itself;
+    // Cancel/Invariant are realized against the gate when one exists.
+    if (auto K = support::faultPoint("dnf.product"); K && Gate) {
+      if (*K == support::FaultKind::Invariant)
+        reportInvariant(Sink, "injected-fault", "dnf.product",
+                        "fault injection: forced invariant breakage");
+      Gate->exhaust(support::Resource::Cancelled);
+    }
+  }
+  if (Gate) {
+    // Charge the full cross-product size up front: the cost of this call is
+    // |A| * |B| conjunctions whether or not they survive pruning, and the
+    // count is schedule-independent, so a step budget trips here at the
+    // same term on every NumThreads. An exhausted gate yields false — a
+    // sound under-approximation, flagged to the caller via the gate itself.
+    if (!Gate->charge(A.Cubes.size() * B.Cubes.size()))
+      return Result;
+  }
   for (const Cube &CA : A.Cubes) {
     for (const Cube &CB : B.Cubes) {
       if (auto C = Cube::conjoin(CA, CB))

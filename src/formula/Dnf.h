@@ -32,6 +32,7 @@
 
 namespace optabs {
 namespace support {
+class BudgetGate;
 class InvariantSink;
 } // namespace support
 namespace formula {
@@ -172,10 +173,15 @@ public:
   /// under-approximation in the sense of the approx operator). SoftCap = 0
   /// means unbounded. The retention invariant of the pruning path (a
   /// satisfied cube survives whenever one existed) is checked and reported
-  /// to \p Sink on violation.
+  /// to \p Sink on violation. When \p Gate is set the cross-product size is
+  /// charged against it before any term is built; an exhausted gate makes
+  /// product return false (the empty Dnf) — a sound under-approximation the
+  /// caller must detect via Gate->exhausted() and treat as "budget ran out",
+  /// not as a proved-unreachable condition.
   static Dnf product(const Dnf &A, const Dnf &B, size_t SoftCap,
                      const AtomEval &Eval,
-                     support::InvariantSink *Sink = nullptr);
+                     support::InvariantSink *Sink = nullptr,
+                     support::BudgetGate *Gate = nullptr);
 
   std::string toString(
       const std::function<std::string(AtomId)> &AtomName) const;

@@ -62,6 +62,7 @@
 #include "formula/Normalize.h"
 #include "ir/Program.h"
 #include "ir/Trace.h"
+#include "support/Budget.h"
 #include "support/Invariants.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
@@ -88,6 +89,16 @@ struct BackwardConfig {
   /// timeout: the partial formula constrains an interior trace point, not
   /// the initial state, and must be discarded.
   double TimeoutSeconds = 0;
+  /// Logical-step budget per trace run: each non-skipped backward step
+  /// charges 1 and each Dnf::product charges its cross-product size against
+  /// one shared per-run gate. 0 disables. Unlike TimeoutSeconds this is
+  /// deterministic — it trips at the same step for any worker count — and
+  /// an exhausted run is discarded exactly like a timeout (nullopt), which
+  /// is sound: learning nothing never prunes a viable abstraction.
+  uint64_t StepBudget = 0;
+  /// Optional cooperative-cancellation token polled at every step charge;
+  /// a requested token makes run() unwind and return nullopt.
+  const support::CancelToken *Cancel = nullptr;
   /// Hard cap on formula size before a run is declared timed out; guards
   /// against a single substitution step exhausting memory. 0 disables.
   size_t HardCubeCap = 50000;
@@ -150,6 +161,9 @@ public:
                                   const formula::Dnf &NotQ) {
     Stats = BackwardStats();
     Stats.Steps = T.size();
+    LastExhaustion.reset();
+    support::BudgetGate Gate("backward.step", Config.StepBudget,
+                             Config.Cancel, 0, Config.Invariants);
     if (States.size() != T.size() + 1) {
       support::reportInvariant(
           Config.Invariants, "backward-state-length",
@@ -174,8 +188,15 @@ public:
 
     for (size_t I = T.size(); I-- > 0;) {
       if (Config.TimeoutSeconds > 0 &&
-          Clock.seconds() > Config.TimeoutSeconds)
+          Clock.seconds() > Config.TimeoutSeconds) {
+        LastExhaustion =
+            support::Exhausted{support::Resource::WallClock, "backward.step"};
         return std::nullopt;
+      }
+      if (!Gate.charge()) {
+        LastExhaustion = Gate.why();
+        return std::nullopt; // budget/cancellation: discard like a timeout
+      }
       const ir::Command &Cmd = P.command(T[I]);
       formula::AtomEval PreEval = makeEval(Prm, States[I]);
       if (Config.SkipIdentitySteps && isIdentityStep(T[I], Cmd, F)) {
@@ -184,9 +205,17 @@ public:
           Config.StepObserver(I, Cmd, F);
         continue;
       }
-      std::optional<formula::Dnf> Wp = wpFormula(T[I], Cmd, F, PreEval);
-      if (!Wp)
+      std::optional<formula::Dnf> Wp = wpFormula(T[I], Cmd, F, PreEval, &Gate);
+      if (!Wp) {
+        // Either the shared gate ran out mid-substitution or the hard cube
+        // cap tripped; the latter is a memory guard, reported as such.
+        LastExhaustion =
+            Gate.exhausted()
+                ? Gate.why()
+                : std::optional<support::Exhausted>{support::Exhausted{
+                      support::Resource::Memory, "backward.step"}};
         return std::nullopt; // formula blow-up (exact mode)
+      }
       F = std::move(*Wp);
       // Semantic simplification recovers the compact forms of the paper's
       // hand-written transfer functions before the beam search prunes.
@@ -271,6 +300,17 @@ public:
 
   const BackwardStats &stats() const { return Stats; }
 
+  /// Why the most recent run() returned nullopt for resource reasons;
+  /// empty after a successful run or an invariant-discard.
+  const std::optional<support::Exhausted> &lastExhaustion() const {
+    return LastExhaustion;
+  }
+
+  /// Shrinks (or widens) the dropk beam between runs — the degradation
+  /// ladder's rung 2. A smaller K only under-approximates harder (§5's
+  /// dropK argument), so tightening mid-driver-run is sound.
+  void setBeamWidth(unsigned K) { Config.K = K; }
+
   std::string formulaToString(const formula::Dnf &F) const {
     return F.toString([this](formula::AtomId A) { return C.atomName(A); });
   }
@@ -303,14 +343,17 @@ private:
   std::optional<formula::Dnf> wpFormula(ir::CommandId CmdId,
                                         const ir::Command &Cmd,
                                         const formula::Dnf &F,
-                                        const formula::AtomEval &PreEval) {
+                                        const formula::AtomEval &PreEval,
+                                        support::BudgetGate *Gate = nullptr) {
     formula::Dnf Result;
     for (const formula::Cube &Cube : F.cubes()) {
       formula::Dnf CubeWp = formula::Dnf::constTrue();
       for (formula::Lit L : Cube.literals()) {
         CubeWp = formula::Dnf::product(CubeWp, wpLit(CmdId, Cmd, L),
                                        Config.ProductSoftCap, PreEval,
-                                       Config.Invariants);
+                                       Config.Invariants, Gate);
+        if (Gate && Gate->exhausted())
+          return std::nullopt; // product returned an under-charged false
         if (Config.HardCubeCap > 0 &&
             Result.size() + CubeWp.size() > Config.HardCubeCap)
           return std::nullopt;
@@ -343,6 +386,7 @@ private:
   formula::LocationFn LocFn;
   std::unordered_map<uint64_t, formula::Dnf> WpMemo;
   BackwardStats Stats;
+  std::optional<support::Exhausted> LastExhaustion;
 };
 
 } // namespace meta

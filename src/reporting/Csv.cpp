@@ -7,7 +7,7 @@ namespace reporting {
 
 void writeCsvHeader(std::ostream &OS) {
   OS << "benchmark,client,query,verdict,iterations,seconds,cheapest_size,"
-        "cheapest_abstraction\n";
+        "cheapest_abstraction,exhausted_resource,exhausted_site\n";
 }
 
 namespace {
@@ -34,7 +34,7 @@ void writeClient(std::ostream &OS, const std::string &Bench,
       OS << Q.Cost << ',' << quote(Q.ParamKey);
     else
       OS << ',';
-    OS << '\n';
+    OS << ',' << Q.ExhaustedResource << ',' << Q.ExhaustedSite << '\n';
   }
 }
 
@@ -48,9 +48,10 @@ void writeCsvRows(std::ostream &OS, const BenchRun &Run) {
 void writeCsvSummaryHeader(std::ostream &OS) {
   OS << "benchmark,client,config,queries,proven,impossible,unresolved,"
         "seconds,forward_runs,backward_runs,cache_hits,cache_misses,"
-        "cache_evictions,invariant_violations,certificates_checked,"
-        "certificate_failures,plan_seconds,forward_seconds,classify_seconds,"
-        "extract_seconds,backward_seconds,merge_seconds\n";
+        "cache_evictions,budget_exhausted,degradations,invariant_violations,"
+        "certificates_checked,certificate_failures,plan_seconds,"
+        "forward_seconds,classify_seconds,extract_seconds,backward_seconds,"
+        "merge_seconds\n";
 }
 
 void writeCsvSummaryRow(std::ostream &OS, const std::string &Bench,
@@ -62,6 +63,7 @@ void writeCsvSummaryRow(std::ostream &OS, const std::string &Bench,
      << R.count(tracer::Verdict::Unresolved) << ',' << R.TotalSeconds << ','
      << R.ForwardRuns << ',' << R.BackwardRuns << ',' << R.CacheHits << ','
      << R.CacheMisses << ',' << R.CacheEvictions << ','
+     << R.BudgetExhausted << ',' << R.Degradations << ','
      << R.InvariantViolations << ',' << R.CertificatesChecked << ','
      << R.CertificateFailures << ',' << R.Phases.Plan << ','
      << R.Phases.Forward << ',' << R.Phases.Classify << ','

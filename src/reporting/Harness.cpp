@@ -4,6 +4,7 @@
 
 #include "escape/Escape.h"
 #include "pointer/PointsTo.h"
+#include "support/Budget.h"
 #include "support/Timer.h"
 #include "tracer/Certificates.h"
 #include "typestate/Typestate.h"
@@ -25,6 +26,10 @@ QueryStat statOf(const tracer::QueryOutcome &O) {
   S.Seconds = O.Seconds;
   S.Cost = O.CheapestCost;
   S.ParamKey = O.CheapestParam;
+  if (O.Exhaustion) {
+    S.ExhaustedResource = support::resourceName(O.Exhaustion->Res);
+    S.ExhaustedSite = O.Exhaustion->Site;
+  }
   return S;
 }
 
@@ -82,6 +87,8 @@ void runEscape(const synth::Benchmark &B, const HarnessOptions &Options,
   Out.CacheMisses += Driver.stats().CacheMisses;
   Out.CacheEvictions += Driver.stats().CacheEvictions;
   Out.Phases += Driver.stats().Phases;
+  Out.BudgetExhausted += Driver.stats().BudgetExhausted;
+  Out.Degradations += Driver.stats().Degradations;
   auditRun(B.P, A, Options, Driver, Outcomes, "escape", Out);
   Out.TotalSeconds = Total.seconds();
 }
@@ -104,9 +111,24 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
 
   double Budget = Options.Tracer.TimeBudgetSeconds;
   for (auto &[SiteIdx, Checks] : BySite) {
+    double Remaining = Budget - Total.seconds();
+    if (Remaining <= 0) {
+      // The shared wall-clock budget is spent. Record a clean exhaustion
+      // verdict per query instead of constructing a driver doomed to burn
+      // setup time resolving nothing.
+      for (size_t I = 0; I < Checks.size(); ++I) {
+        QueryStat S;
+        S.V = tracer::Verdict::Unresolved;
+        S.ExhaustedResource = "wall_clock";
+        S.ExhaustedSite = "harness.budget";
+        Out.Queries.push_back(std::move(S));
+        ++Out.BudgetExhausted;
+      }
+      continue;
+    }
     typestate::TypestateAnalysis A(B.P, Spec, AllocId(SiteIdx), Pt);
     tracer::TracerOptions PerSite = Options.Tracer;
-    PerSite.TimeBudgetSeconds = std::max(0.0, Budget - Total.seconds());
+    PerSite.TimeBudgetSeconds = Remaining;
     std::string Label = "typestate/site=" + std::to_string(SiteIdx);
     if (!Options.EventTracePath.empty()) {
       PerSite.EventTracePath = Options.EventTracePath;
@@ -125,6 +147,8 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
     Out.CacheMisses += Driver.stats().CacheMisses;
     Out.CacheEvictions += Driver.stats().CacheEvictions;
     Out.Phases += Driver.stats().Phases;
+    Out.BudgetExhausted += Driver.stats().BudgetExhausted;
+    Out.Degradations += Driver.stats().Degradations;
     auditRun(B.P, A, Options, Driver, Outcomes, Label, Out);
   }
   Out.TotalSeconds = Total.seconds();

@@ -39,6 +39,11 @@ struct QueryStat {
   double Seconds = 0;
   uint32_t Cost = 0;          ///< |p| of the cheapest abstraction (proven)
   std::string ParamKey;       ///< canonical cheapest abstraction (proven)
+  /// When the query went Unresolved because a resource ran out, which one
+  /// ("steps", "wall_clock", "memory", "cancelled") and at which charge
+  /// site (e.g. "forward.visit"); empty otherwise.
+  std::string ExhaustedResource;
+  std::string ExhaustedSite;
 };
 
 /// All outcomes of one client on one benchmark.
@@ -54,6 +59,8 @@ struct ClientResults {
   /// client (tracer::DriverStats::Phases); feeds the phase columns of the
   /// CSV summary export.
   tracer::PhaseSeconds Phases;
+  unsigned BudgetExhausted = 0;     ///< queries that hit a resource budget
+  unsigned Degradations = 0;        ///< memory-pressure ladder escalations
   size_t InvariantViolations = 0;   ///< checked-invariant records (audit)
   unsigned CertificatesChecked = 0; ///< certificate checks performed (audit)
   unsigned CertificateFailures = 0; ///< certificate checks failed (audit)

@@ -1,0 +1,158 @@
+//===- Budget.h - Deterministic work budgets and cooperative cancellation -===//
+//
+// The resource governor for every long-running kernel. Two complementary
+// mechanisms:
+//
+//  * Logical-step budgets. Each kernel invocation counts its own units of
+//    work (forward state visits, backward wp steps, Dnf::product terms,
+//    MinCostSat decisions) against a per-task BudgetGate. Because the count
+//    is local to one deterministic task — never a counter shared between
+//    pool workers — a step-budget exhaustion fires at exactly the same point
+//    of the computation at any NumThreads, so budgeted runs stay bitwise
+//    reproducible (unlike wall-clock timeouts).
+//
+//  * Cooperative cancellation + wall-clock deadlines. A CancelToken can be
+//    shared across all tasks of a driver run; gates poll it (and an optional
+//    deadline) so a stuck kernel unwinds at its next charge() instead of
+//    hanging a pool worker forever. These are inherently nondeterministic
+//    and are off unless explicitly requested.
+//
+// Exhaustion is a value, not an exception: charge() returns false (sticky)
+// and why() says which resource ran out at which site. Callers unwind to a
+// safe boundary and surface Exhausted{resource, site}; QueryDriver maps it
+// to the Unresolved verdict path.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SUPPORT_BUDGET_H
+#define OPTABS_SUPPORT_BUDGET_H
+
+#include "support/FaultInjection.h"
+#include "support/Invariants.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+namespace optabs::support {
+
+enum class Resource : uint8_t {
+  Steps,     // a logical-step budget ran out (deterministic)
+  WallClock, // a deadline passed
+  Memory,    // MemoryBudgetBytes ceiling or a contained bad_alloc
+  Cancelled, // the shared CancelToken was triggered
+};
+
+inline const char *resourceName(Resource R) {
+  switch (R) {
+  case Resource::Steps:
+    return "steps";
+  case Resource::WallClock:
+    return "wall_clock";
+  case Resource::Memory:
+    return "memory";
+  case Resource::Cancelled:
+    return "cancelled";
+  }
+  return "?";
+}
+
+/// Structured "this computation was cut short" outcome. Site is a static
+/// string naming the kernel that ran out (one of FaultRegistry::knownSites()
+/// plus driver-level sites such as "driver.run").
+struct Exhausted {
+  Resource Res = Resource::Steps;
+  const char *Site = "";
+};
+
+/// Shared cooperative-cancellation flag. request() may be called from any
+/// thread; kernels observe it at their next charge().
+class CancelToken {
+public:
+  void request() { Flag.store(true, std::memory_order_relaxed); }
+  bool requested() const { return Flag.load(std::memory_order_relaxed); }
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Per-task budget meter. Create one gate per kernel invocation (one forward
+/// run, one backward trace run, one solver call), charge units of work as
+/// they happen, and unwind when charge() returns false. Not thread-safe by
+/// design: sharing a gate between workers would reintroduce schedule
+/// dependence.
+class BudgetGate {
+public:
+  /// StepLimit 0 = unbounded. DeadlineSeconds 0 = no deadline. The deadline
+  /// clock starts at construction.
+  explicit BudgetGate(const char *Site, uint64_t StepLimit = 0,
+                      const CancelToken *Cancel = nullptr,
+                      double DeadlineSeconds = 0,
+                      InvariantSink *Sink = nullptr)
+      : SiteName(Site), StepLimit(StepLimit), Cancel(Cancel),
+        DeadlineSeconds(DeadlineSeconds), Sink(Sink) {}
+
+  /// Charge N units of work. Returns false once the gate is exhausted
+  /// (sticky); callers must then stop producing work and unwind. The step
+  /// check is purely arithmetic, so it trips at the same unit of work on
+  /// every schedule; cancellation and the wall clock are checked after it
+  /// and only matter when explicitly armed.
+  bool charge(uint64_t N = 1) {
+    if (Why)
+      return false;
+    Used += N;
+    if (faultsEnabled())
+      if (auto K = faultPoint(SiteName)) { // throws bad_alloc for Alloc
+        if (*K == FaultKind::Invariant)
+          reportInvariant(Sink, "injected-fault", SiteName,
+                          "fault injection: forced invariant breakage");
+        Why = Exhausted{Resource::Cancelled, SiteName};
+        return false;
+      }
+    if (StepLimit && Used > StepLimit) {
+      Why = Exhausted{Resource::Steps, SiteName};
+      return false;
+    }
+    if (Cancel && Cancel->requested()) {
+      Why = Exhausted{Resource::Cancelled, SiteName};
+      return false;
+    }
+    // The wall clock is polled sparsely: deadlines are a coarse safety net,
+    // and a syscall per unit of work would dominate small kernels.
+    if (DeadlineSeconds > 0 && (Used & 1023) == 0 &&
+        Clock.seconds() > DeadlineSeconds) {
+      Why = Exhausted{Resource::WallClock, SiteName};
+      return false;
+    }
+    return true;
+  }
+
+  /// Force exhaustion from outside the charge path (e.g. a caller realizing
+  /// a Cancel fault at a site that has no gate of its own, or mapping a
+  /// hard cap to a Memory outcome).
+  void exhaust(Resource R) {
+    if (!Why)
+      Why = Exhausted{R, SiteName};
+  }
+
+  bool exhausted() const { return Why.has_value(); }
+  const std::optional<Exhausted> &why() const { return Why; }
+  uint64_t stepsUsed() const { return Used; }
+  const char *site() const { return SiteName; }
+
+private:
+  const char *SiteName;
+  uint64_t StepLimit;
+  const CancelToken *Cancel;
+  double DeadlineSeconds;
+  InvariantSink *Sink;
+  Timer Clock;
+  uint64_t Used = 0;
+  std::optional<Exhausted> Why;
+};
+
+} // namespace optabs::support
+
+#endif // OPTABS_SUPPORT_BUDGET_H

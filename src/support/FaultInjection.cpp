@@ -1,0 +1,124 @@
+//===- FaultInjection.cpp - Deterministic fault injection -----------------===//
+
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace optabs::support {
+
+std::atomic<bool> FaultsArmed{false};
+
+const std::vector<std::string> &FaultRegistry::knownSites() {
+  static const std::vector<std::string> Sites = {
+      "forward.visit",  "backward.step", "dnf.product",
+      "mincostsat.decision", "cache.insert", "driver.schedule",
+  };
+  return Sites;
+}
+
+FaultRegistry &FaultRegistry::global() {
+  static FaultRegistry R;
+  return R;
+}
+
+FaultRegistry::FaultRegistry() {
+  if (const char *Env = std::getenv("OPTABS_FAULTS")) {
+    std::string Err;
+    if (!arm(Env, Err))
+      std::fprintf(stderr, "optabs: ignoring OPTABS_FAULTS: %s\n",
+                   Err.c_str());
+  }
+}
+
+bool FaultRegistry::arm(const std::string &Spec, std::string &Err) {
+  std::vector<Arm> Parsed;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Part = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Part.empty()) {
+      if (Pos > Spec.size())
+        break;
+      Err = "empty arm in spec '" + Spec + "'";
+      return false;
+    }
+
+    size_t Colon = Part.find(':');
+    if (Colon == std::string::npos) {
+      Err = "arm '" + Part + "' is missing ':kind'";
+      return false;
+    }
+    Arm A;
+    A.Site = Part.substr(0, Colon);
+    std::string Rest = Part.substr(Colon + 1);
+
+    size_t At = Rest.find('@');
+    std::string KindStr = Rest.substr(0, At);
+    if (At != std::string::npos) {
+      std::string NStr = Rest.substr(At + 1);
+      char *EndPtr = nullptr;
+      unsigned long long N = std::strtoull(NStr.c_str(), &EndPtr, 10);
+      if (NStr.empty() || *EndPtr != '\0' || N == 0) {
+        Err = "bad hit count '" + NStr + "' in arm '" + Part + "'";
+        return false;
+      }
+      A.Nth = N;
+    }
+
+    if (KindStr == "alloc")
+      A.Kind = FaultKind::Alloc;
+    else if (KindStr == "cancel")
+      A.Kind = FaultKind::Cancel;
+    else if (KindStr == "invariant")
+      A.Kind = FaultKind::Invariant;
+    else {
+      Err = "unknown fault kind '" + KindStr + "' in arm '" + Part +
+            "' (want alloc|cancel|invariant)";
+      return false;
+    }
+
+    const auto &Sites = knownSites();
+    if (std::find(Sites.begin(), Sites.end(), A.Site) == Sites.end()) {
+      Err = "unknown fault site '" + A.Site + "'";
+      return false;
+    }
+    Parsed.push_back(std::move(A));
+  }
+
+  if (Parsed.empty()) {
+    Err = "empty fault spec";
+    return false;
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &A : Parsed)
+    Arms.push_back(std::move(A));
+  FaultsArmed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultRegistry::disarm() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Arms.clear();
+  FaultsArmed.store(false, std::memory_order_relaxed);
+}
+
+std::optional<FaultKind> FaultRegistry::hit(const char *Site) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &A : Arms) {
+    if (A.Fired || A.Site != Site)
+      continue;
+    if (++A.Hits == A.Nth) {
+      A.Fired = true;
+      return A.Kind;
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace optabs::support

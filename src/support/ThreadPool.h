@@ -24,12 +24,18 @@
 ///    bit-for-bit the sequential driver.
 ///  * Exceptions thrown by tasks are captured and the first one is rethrown
 ///    from parallelFor()/the submit() future once the batch has drained.
+///    Exceptions are additionally routed to an optional InvariantSink so the
+///    driver's audit layer sees them as structured records, and anything
+///    that escapes a worker outside a batch (which would otherwise hit the
+///    std::thread boundary and terminate the process) is captured and
+///    rethrown at the next parallelFor() barrier.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTABS_SUPPORT_THREADPOOL_H
 #define OPTABS_SUPPORT_THREADPOOL_H
 
+#include "support/Invariants.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
@@ -42,6 +48,7 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace optabs {
@@ -51,9 +58,10 @@ class ThreadPool {
 public:
   /// Creates a pool of \p NumThreads workers (clamped to >= 1). Worker 0 is
   /// the thread calling parallelFor(); only NumThreads - 1 threads are
-  /// spawned.
-  explicit ThreadPool(unsigned NumThreads)
-      : NumWorkers(NumThreads < 1 ? 1 : NumThreads) {
+  /// spawned. Task exceptions are reported to \p Sink (when non-null) as
+  /// structured invariant records in addition to being rethrown.
+  explicit ThreadPool(unsigned NumThreads, InvariantSink *Sink = nullptr)
+      : NumWorkers(NumThreads < 1 ? 1 : NumThreads), Sink(Sink) {
     for (unsigned W = 1; W < NumWorkers; ++W)
       Threads.emplace_back([this, W] { workerLoop(W); });
   }
@@ -104,6 +112,7 @@ public:
     State->Fn = &Fn;
     State->NumTasks = NumTasks;
     State->Remaining = NumTasks;
+    State->Sink = Sink;
     size_t Helpers =
         std::min<size_t>(NumWorkers - 1, NumTasks - 1);
     {
@@ -124,6 +133,15 @@ public:
     }
     if (State->FirstException)
       std::rethrow_exception(State->FirstException);
+    // A stray exception captured in workerLoop() (outside any batch) is
+    // rethrown here, at the first join/wait barrier after it happened.
+    std::exception_ptr Stray;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stray = std::exchange(StrayException, nullptr);
+    }
+    if (Stray)
+      std::rethrow_exception(Stray);
   }
 
   /// Submits a single task for asynchronous execution on some worker; the
@@ -158,7 +176,19 @@ private:
     std::mutex Mutex;
     std::condition_variable Done;
     std::exception_ptr FirstException;
+    InvariantSink *Sink = nullptr;
   };
+
+  /// Renders an exception_ptr as a one-line message for invariant records.
+  static std::string describeException(const std::exception_ptr &E) {
+    try {
+      std::rethrow_exception(E);
+    } catch (const std::exception &Ex) {
+      return Ex.what();
+    } catch (...) {
+      return "unknown exception";
+    }
+  }
 
   /// Claims and runs tasks of \p B until the index space is exhausted.
   static void runBatch(Batch &B, unsigned Worker) {
@@ -169,9 +199,15 @@ private:
       try {
         (*B.Fn)(I, Worker);
       } catch (...) {
+        std::exception_ptr E = std::current_exception();
+        // Sink only: the exception is also rethrown at the barrier, so the
+        // no-sink stderr fallback would double-report.
+        if (B.Sink)
+          B.Sink->report("task-exception", "ThreadPool::runBatch",
+                         describeException(E));
         std::lock_guard<std::mutex> Lock(B.Mutex);
         if (!B.FirstException)
-          B.FirstException = std::current_exception();
+          B.FirstException = E;
       }
       if (B.Remaining.fetch_sub(1) == 1) {
         // Take the batch mutex before notifying so the waiter cannot miss
@@ -197,15 +233,31 @@ private:
         T = std::move(Queue.front());
         Queue.pop_front();
       }
-      T(Worker);
+      try {
+        T(Worker);
+      } catch (...) {
+        // A task that escaped the per-task capture in runBatch (e.g. a
+        // throw from invoking the closure itself). Without this it would
+        // cross the std::thread boundary and std::terminate the process.
+        // Record it and rethrow the first one at the next parallelFor
+        // barrier.
+        std::exception_ptr E = std::current_exception();
+        reportInvariant(Sink, "worker-exception", "ThreadPool::workerLoop",
+                        describeException(E));
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (!StrayException)
+          StrayException = E;
+      }
     }
   }
 
   const unsigned NumWorkers;
+  InvariantSink *Sink = nullptr;
   std::vector<std::thread> Threads;
   std::mutex Mutex;
   std::condition_variable WorkAvailable;
   std::deque<Task> Queue;
+  std::exception_ptr StrayException; ///< guarded by Mutex
   bool ShuttingDown = false;
 };
 

@@ -26,8 +26,15 @@
 ///               cache_evictions, seconds (round wall clock, from the
 ///               driver's per-round steady-clock timer)
 ///   invariant_violation  check, where, message
+///   budget_exhausted     round, query, resource, site (a resource budget
+///               ran out: resource in {steps, wall_clock, memory,
+///               cancelled}, site names the charge point, e.g.
+///               "forward.visit")
+///   degrade     round, rung, action, trigger, resident_bytes,
+///               budget_bytes, evicted (memory-pressure ladder escalation;
+///               action in {evict_cache, shrink_beam, single_trace})
 ///   run_end     rounds, forward_runs, backward_runs, solver_calls,
-///               violations, seconds
+///               violations, budget_exhausted, degradations, seconds
 ///
 /// uint64 signatures are emitted as "0x..." hex *strings*: JSON numbers
 /// lose integer precision above 2^53.

@@ -135,6 +135,25 @@ public:
     return E.Run.get();
   }
 
+  /// Drops every entry not pinned by the current epoch, regardless of
+  /// capacity — the degradation ladder's immediate memory-pressure relief.
+  /// Pinned entries stay because the driver may hold raw pointers into
+  /// them for the rest of the round. Returns the number evicted.
+  size_t evictUnpinned() {
+    size_t Count = 0;
+    for (auto It = Entries.begin(); It != Entries.end();) {
+      if (It->second.Epoch == CurrentEpoch) {
+        ++It;
+        continue;
+      }
+      addResident(-static_cast<int64_t>(It->second.Bytes));
+      bump(Evictions, "optabs_forward_cache_evictions_total");
+      It = Entries.erase(It);
+      ++Count;
+    }
+    return Count;
+  }
+
 private:
   struct Entry {
     std::unique_ptr<RunT> Run;

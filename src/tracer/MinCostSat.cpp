@@ -2,6 +2,7 @@
 
 #include "tracer/MinCostSat.h"
 
+#include "support/Budget.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
@@ -93,9 +94,14 @@ public:
     Assign.assign(Vars.size(), Unassigned);
   }
 
-  std::optional<MinCostModel> solve(uint32_t NumVars) {
+  std::optional<MinCostModel> solve(uint32_t NumVars,
+                                    support::BudgetGate *G = nullptr) {
+    Gate = G;
+    Aborted = false;
     BestCost = UINT32_MAX;
     search(0);
+    if (Aborted)
+      return std::nullopt; // partial search: best-so-far minimality unproven
     if (BestCost == UINT32_MAX)
       return std::nullopt;
     MinCostModel Model;
@@ -222,10 +228,17 @@ private:
     }
     // False first: finds cheap models early, sharpening the bound.
     ++Decisions;
+    if (Gate && !Gate->charge()) {
+      Aborted = true;
+      undo(Trail);
+      return;
+    }
     Assign[BranchVar] = False;
     search(TrueCount);
-    Assign[BranchVar] = True;
-    search(TrueCount + 1);
+    if (!Aborted) {
+      Assign[BranchVar] = True;
+      search(TrueCount + 1);
+    }
     Assign[BranchVar] = Unassigned;
     undo(Trail);
   }
@@ -243,6 +256,8 @@ private:
   std::vector<Value> Assign;
   std::vector<Value> Best;
   uint32_t BestCost = UINT32_MAX;
+  support::BudgetGate *Gate = nullptr;
+  bool Aborted = false;
 
 public:
   uint64_t Conflicts = 0; ///< propagation dead-ends hit during search
@@ -251,7 +266,8 @@ public:
 
 } // namespace
 
-std::optional<MinCostModel> solveMinCost(const Cnf &F, uint32_t NumVars) {
+std::optional<MinCostModel> solveMinCost(const Cnf &F, uint32_t NumVars,
+                                         support::BudgetGate *Gate) {
   if (F.hasEmptyClause()) {
     if (support::metricsEnabled())
       support::MetricRegistry::global()
@@ -260,7 +276,7 @@ std::optional<MinCostModel> solveMinCost(const Cnf &F, uint32_t NumVars) {
     return std::nullopt;
   }
   Solver S(F);
-  std::optional<MinCostModel> Model = S.solve(NumVars);
+  std::optional<MinCostModel> Model = S.solve(NumVars, Gate);
   if (support::metricsEnabled()) {
     auto &Reg = support::MetricRegistry::global();
     static auto &Calls = Reg.counter("optabs_mincostsat_calls_total");

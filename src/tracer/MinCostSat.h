@@ -31,6 +31,9 @@
 #include <vector>
 
 namespace optabs {
+namespace support {
+class BudgetGate;
+} // namespace support
 namespace tracer {
 
 /// A literal over parameter bits.
@@ -89,7 +92,15 @@ struct MinCostModel {
 /// Returns nullopt iff F is unsatisfiable. Deterministic: among minimum-
 /// cost models, the one found by false-first DFS over ascending variable
 /// order is returned.
-std::optional<MinCostModel> solveMinCost(const Cnf &F, uint32_t NumVars);
+///
+/// When \p Gate is set, every branch decision charges one unit against it;
+/// an exhausted gate aborts the search and the call returns nullopt with
+/// Gate->exhausted() true. A partial search's best-so-far model is
+/// discarded (its minimality is unproven), and the caller MUST check the
+/// gate before reading nullopt as "unsatisfiable" — an aborted search
+/// proves nothing.
+std::optional<MinCostModel> solveMinCost(const Cnf &F, uint32_t NumVars,
+                                         support::BudgetGate *Gate = nullptr);
 
 } // namespace tracer
 } // namespace optabs

@@ -60,6 +60,8 @@
 
 #include "dataflow/Forward.h"
 #include "meta/Backward.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
 #include "support/Invariants.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
@@ -107,6 +109,10 @@ struct QueryOutcome {
   /// Bit-vector of the proving abstraction (Proven only; empty otherwise).
   /// The witness the certificate checker re-validates independently.
   std::vector<bool> CheapestBits;
+  /// For Unresolved verdicts caused by the resource governor: which
+  /// resource ran out, and at which site. Empty when the query resolved or
+  /// was given up for a non-budget reason (e.g. a missing trace witness).
+  std::optional<support::Exhausted> Exhaustion;
 };
 
 /// How the next abstraction is chosen after a failed proof attempt. The
@@ -152,6 +158,38 @@ struct TracerOptions {
   /// timeout makes results timing-dependent, so the worker-count
   /// determinism guarantee only holds when it is 0.
   double BackwardTimeoutSeconds = 0;
+  /// Logical-step budget per forward fixpoint (counted state visits);
+  /// 0 = unbounded. Deterministic: each fixpoint task counts its own
+  /// visits, so exhaustion cuts the run at the same visit for any
+  /// NumThreads — the reproducible alternative to wall-clock timeouts. An
+  /// exhausted fixpoint is a partial under-fixpoint: it is never cached or
+  /// classified against, and its queries end Unresolved.
+  uint64_t ForwardStepBudget = 0;
+  /// Logical-step budget per backward trace run (counted wp steps plus
+  /// Dnf::product terms); 0 = unbounded. Deterministic like
+  /// ForwardStepBudget; an exhausted run is discarded exactly like a
+  /// BackwardTimeoutSeconds timeout (sound: nothing is learned).
+  uint64_t BackwardStepBudget = 0;
+  /// Logical-step budget per min-cost SAT solve (counted branch
+  /// decisions); 0 = unbounded. An aborted solve leaves its group
+  /// Unresolved — never Impossible, since an unfinished search proves no
+  /// unsatisfiability.
+  uint64_t SolverDecisionBudget = 0;
+  /// Ceiling on the forward-run cache's resident bytes, checked at every
+  /// round boundary; 0 = unbounded. Exceeding it walks the graceful-
+  /// degradation ladder (evict the cache, then halve the dropk beam, then
+  /// drop to one trace per iteration), each rung a sound harder
+  /// under-approximation, each recorded as a `degrade` event and counted
+  /// in DriverStats::Degradations. Resident bytes are a deterministic
+  /// function of the cached runs, so the ladder fires identically at any
+  /// NumThreads. TRACER strategy only (GreedyGrow has no rounds).
+  uint64_t MemoryBudgetBytes = 0;
+  /// Optional shared cancellation token. All kernels poll it cooperatively
+  /// and unwind at their next unit of work when it is requested; affected
+  /// queries end Unresolved with an `Exhausted{cancelled, ...}` record.
+  /// Cancellation is inherently schedule-dependent, so the worker-count
+  /// determinism guarantee only covers runs where it never fires.
+  std::shared_ptr<support::CancelToken> Cancel;
   /// Abstraction-selection strategy (see SearchStrategy).
   SearchStrategy Strategy = SearchStrategy::Tracer;
   /// Counterexamples analyzed per failed iteration. 1 reproduces the
@@ -233,6 +271,12 @@ struct DriverStats {
   /// Approximate bytes resident in the forward-run cache at the end of the
   /// run (gauge snapshot of ForwardRunCache::residentBytes()).
   uint64_t CacheResidentBytes = 0;
+  /// Queries that ended Unresolved because a resource budget ran out
+  /// (steps, wall clock, memory, or cancellation) — the count of outcomes
+  /// carrying an Exhaustion record.
+  unsigned BudgetExhausted = 0;
+  /// Degradation-ladder rung applications triggered by memory pressure.
+  unsigned Degradations = 0;
   /// Per-stage wall-clock breakdown (the TRACER path only; the GreedyGrow
   /// baseline has no barrier-separated stages and leaves this zero).
   PhaseSeconds Phases;
@@ -303,10 +347,18 @@ private:
 
     unsigned Workers = effectiveWorkers();
     ensurePool(Workers);
+    // A token always exists so injected Cancel faults at gateless sites
+    // (cache.insert, driver.schedule) have something to act on even when
+    // the caller passed none.
+    std::shared_ptr<support::CancelToken> CancelTok =
+        Options.Cancel ? Options.Cancel
+                       : std::make_shared<support::CancelToken>();
     meta::BackwardConfig BwdConfig;
     BwdConfig.K = Options.K;
     BwdConfig.ProductSoftCap = Options.ProductSoftCap;
     BwdConfig.TimeoutSeconds = Options.BackwardTimeoutSeconds;
+    BwdConfig.StepBudget = Options.BackwardStepBudget;
+    BwdConfig.Cancel = CancelTok.get();
     BwdConfig.Invariants = &Sink;
     if (Options.BackwardStepObserver) {
       if (Workers > 1) {
@@ -338,9 +390,11 @@ private:
       Eliminate,  ///< EliminateCurrent baseline: rule out this abstraction
       Traces,     ///< counterexample traces extracted, backward runs follow
       NoTrace,    ///< defensive: failing state without a witness
+      Exhausted,  ///< a resource budget ran out; query ends Unresolved
     };
     struct TraceResult {
       std::optional<formula::Dnf> Unviable; ///< nullopt = meta timeout
+      std::optional<support::Exhausted> Exhaustion; ///< why, if budget
       size_t MaxCubes = 0;
       double Seconds = 0;
     };
@@ -348,14 +402,26 @@ private:
       size_t PlanIdx = 0;
       size_t Query = 0;
       StepKind Kind = StepKind::NoTrace;
+      std::optional<support::Exhausted> Exhaustion; ///< set when Exhausted
       std::vector<dataflow::StateId> FailIds; ///< sorted by state value
       std::vector<std::pair<ir::Trace, std::vector<State>>> Traces;
       std::vector<TraceResult> TraceResults;
       double Seconds = 0;
     };
 
+    // Degradation-ladder state: each memory-pressure event escalates one
+    // (sticky) rung, and the checks run sequentially at round boundaries
+    // against deterministic resident-byte totals, so the ladder walks
+    // identically at any worker count.
+    unsigned LadderRung = 0;
+    unsigned EffTracesPerIter = std::max(1u, Options.TracesPerIteration);
+    // Why the whole run stopped early, applied to every query still open
+    // when the round loop exits.
+    std::optional<support::Exhausted> RunExhaustion;
+
     size_t Unresolved = Queries.size();
-    while (Unresolved > 0 && Total.seconds() < Options.TimeBudgetSeconds) {
+    while (Unresolved > 0 && Total.seconds() < Options.TimeBudgetSeconds &&
+           !CancelTok->requested()) {
       ++Stats.Rounds;
       if (support::metricsEnabled()) {
         static auto &Rounds =
@@ -365,6 +431,44 @@ private:
       Timer RoundTimer;
       support::ScopedSpan RoundSpan("tracer.round");
       Cache.beginEpoch();
+
+      // Graceful degradation: when the cache's resident bytes exceed the
+      // memory budget, escalate one rung and always evict as immediate
+      // relief. Right after beginEpoch() nothing is pinned, so eviction
+      // reclaims everything cacheable; the deeper rungs additionally shrink
+      // future work. Every rung only under-approximates harder (§5's dropK
+      // argument), so verdicts stay sound.
+      if (Options.MemoryBudgetBytes > 0 &&
+          Cache.counters().ResidentBytes > Options.MemoryBudgetBytes) {
+        uint64_t Resident = Cache.counters().ResidentBytes;
+        LadderRung = std::min(LadderRung + 1, 3u);
+        size_t Evicted = Cache.evictUnpinned();
+        const char *Action = "evict_cache";
+        if (LadderRung >= 2) {
+          unsigned NarrowK = std::max(1u, Options.K / 2);
+          for (auto &B : Bwds)
+            B->setBeamWidth(NarrowK);
+          Action = "shrink_beam";
+        }
+        if (LadderRung >= 3) {
+          EffTracesPerIter = 1;
+          Action = "single_trace";
+        }
+        ++Stats.Degradations;
+        if (support::metricsEnabled())
+          support::MetricRegistry::global()
+              .counter("optabs_degrade_total")
+              .add(1);
+        if (Trace.enabled())
+          Trace.write(Trace.event("degrade")
+                          .field("round", Stats.Rounds)
+                          .field("rung", LadderRung)
+                          .field("action", Action)
+                          .field("trigger", "memory")
+                          .field("resident_bytes", Resident)
+                          .field("budget_bytes", Options.MemoryBudgetBytes)
+                          .field("evicted", Evicted));
+      }
 
       // Stage attribution: PhaseTimer is reset at every stage boundary and
       // its reading accumulated into Stats.Phases (always, two clock reads
@@ -403,12 +507,16 @@ private:
         std::optional<Param> Abs;
         std::vector<bool> Bits;
         size_t Slot = 0;
+        /// Set when the min-cost solve was cut short: its members end
+        /// Unresolved, never Impossible (an aborted search proves no UNSAT).
+        std::optional<support::Exhausted> SolveExhaustion;
       };
       struct RunSlot {
         CacheKey Key;
         std::optional<Param> Abs;
         Forward *Run = nullptr;        ///< cached, or set after stage A
         std::unique_ptr<Forward> Fresh; ///< built by stage A on a miss
+        std::optional<support::Exhausted> Exhaustion; ///< stage A cut short
         double BuildSeconds = 0;
         size_t Users = 0;
       };
@@ -420,8 +528,20 @@ private:
         GroupPlan Plan;
         Plan.Members = Members;
         ++Stats.SolverCalls;
-        auto Model =
-            solveMinCost(Recs[Members[0]].Viable, A.numParamBits());
+        std::optional<MinCostModel> Model;
+        {
+          support::BudgetGate SolverGate("mincostsat.decision",
+                                         Options.SolverDecisionBudget,
+                                         CancelTok.get(), 0, &Sink);
+          try {
+            Model = solveMinCost(Recs[Members[0]].Viable, A.numParamBits(),
+                                 &SolverGate);
+          } catch (const std::bad_alloc &) {
+            SolverGate.exhaust(support::Resource::Memory);
+          }
+          if (SolverGate.exhausted())
+            Plan.SolveExhaustion = SolverGate.why();
+        }
         if (Model) {
           Plan.Abs = A.paramFromBits(Model->Assignment);
           Plan.Bits = std::move(Model->Assignment);
@@ -473,14 +593,43 @@ private:
         support::ScopedSpan TaskSpan("tracer.forward.fixpoint");
         RunSlot &Slot = Slots[ToBuild[T]];
         Timer BuildTimer;
-        auto Run = std::make_unique<Forward>(P, A, *Slot.Abs);
-        Run->run(Init);
-        Slot.Fresh = std::move(Run);
+        try {
+          // Per-task gate: this task alone counts its visits, so the cut
+          // point is schedule-independent. A worker's bad_alloc is contained
+          // here — it costs this abstraction's queries, not the process.
+          support::BudgetGate Gate("forward.visit", Options.ForwardStepBudget,
+                                   CancelTok.get(), 0, &Sink);
+          auto Run = std::make_unique<Forward>(P, A, *Slot.Abs);
+          Run->run(Init, &Gate);
+          if (Run->exhausted())
+            Slot.Exhaustion = *Run->exhaustion();
+          else
+            Slot.Fresh = std::move(Run);
+        } catch (const std::bad_alloc &) {
+          Slot.Exhaustion =
+              support::Exhausted{support::Resource::Memory, "forward.visit"};
+        }
         Slot.BuildSeconds = BuildTimer.seconds();
       });
       for (size_t S : ToBuild) {
         ++Stats.ForwardRuns;
-        Slots[S].Run = Cache.insert(Slots[S].Key, std::move(Slots[S].Fresh));
+        if (!Slots[S].Fresh)
+          continue; // exhausted mid-fixpoint: partial runs are never cached
+        try {
+          if (auto K = support::faultPoint("cache.insert")) {
+            if (*K == support::FaultKind::Cancel)
+              CancelTok->request();
+            else
+              support::reportInvariant(
+                  &Sink, "injected-fault", "cache.insert",
+                  "fault injection: forced invariant breakage");
+          }
+          Slots[S].Run =
+              Cache.insert(Slots[S].Key, std::move(Slots[S].Fresh));
+        } catch (const std::bad_alloc &) {
+          Slots[S].Exhaustion =
+              support::Exhausted{support::Resource::Memory, "cache.insert"};
+        }
       }
       if (support::metricsEnabled() && !ToBuild.empty()) {
         static auto &Runs = support::MetricRegistry::global().counter(
@@ -504,19 +653,26 @@ private:
       PhaseTimer.reset();
 
       // Viable set empty: the analysis cannot prove these queries with any
-      // abstraction (Algorithm 1, line 6).
+      // abstraction (Algorithm 1, line 6) — unless the solve was aborted by
+      // its budget, in which case nothing was proven unsatisfiable and the
+      // members end Unresolved.
       for (GroupPlan &Plan : Plans) {
         if (Plan.Abs)
           continue;
         for (size_t I : Plan.Members) {
           Recs[I].Done = true;
-          Outcomes[I].V = Verdict::Impossible;
+          if (Plan.SolveExhaustion) {
+            Outcomes[I].V = Verdict::Unresolved;
+            noteExhausted(Outcomes[I], *Plan.SolveExhaustion, Trace);
+          } else {
+            Outcomes[I].V = Verdict::Impossible;
+          }
           --Unresolved;
           if (Trace.enabled())
             Trace.write(Trace.event("verdict")
                             .field("round", Stats.Rounds)
                             .field("query", Queries[I].index())
-                            .field("verdict", verdictName(Verdict::Impossible))
+                            .field("verdict", verdictName(Outcomes[I].V))
                             .field("iterations", Outcomes[I].Iterations));
         }
       }
@@ -533,13 +689,47 @@ private:
         if (!Plan.Abs)
           continue;
         for (size_t I : Plan.Members) {
+          try {
+            if (auto K = support::faultPoint("driver.schedule")) {
+              if (*K == support::FaultKind::Cancel)
+                CancelTok->request();
+              else
+                support::reportInvariant(
+                    &Sink, "injected-fault", "driver.schedule",
+                    "fault injection: forced invariant breakage");
+            }
+          } catch (const std::bad_alloc &) {
+            RunExhaustion = support::Exhausted{support::Resource::Memory,
+                                               "driver.schedule"};
+            OutOfTime = true;
+            break;
+          }
           if (Total.seconds() >= Options.TimeBudgetSeconds) {
+            OutOfTime = true;
+            break;
+          }
+          if (CancelTok->requested()) {
+            RunExhaustion = support::Exhausted{support::Resource::Cancelled,
+                                               "driver.run"};
             OutOfTime = true;
             break;
           }
           MemberStep Step;
           Step.PlanIdx = PlanIdx;
           Step.Query = I;
+          if (!Slots[Plan.Slot].Run) {
+            // Stage A ran out of budget (or OOMed) on this abstraction:
+            // its members resolve to Unresolved at merge time; nothing is
+            // classified against the partial fixpoint.
+            Step.Kind = StepKind::Exhausted;
+            Step.Exhaustion =
+                Slots[Plan.Slot].Exhaustion
+                    ? Slots[Plan.Slot].Exhaustion
+                    : std::optional<support::Exhausted>{support::Exhausted{
+                          support::Resource::Memory, "forward.visit"}};
+            Steps.push_back(std::move(Step));
+            continue;
+          }
           SlotWork[Plan.Slot].push_back(Steps.size());
           Steps.push_back(std::move(Step));
         }
@@ -555,32 +745,40 @@ private:
       // gamma(not q) (line 9).
       Pool->parallelFor(Steps.size(), [&](size_t T, unsigned) {
         MemberStep &Step = Steps[T];
+        if (Step.Kind == StepKind::Exhausted)
+          return; // no forward run to classify against
         const GroupPlan &Plan = Plans[Step.PlanIdx];
         const RunSlot &Slot = Slots[Plan.Slot];
         Timer StepTimer;
         const QueryOutcome &Out = Outcomes[Step.Query];
         const QueryRec &Rec = Recs[Step.Query];
-        for (dataflow::StateId Id : Slot.Run->statesAtCheckIds(Out.Check)) {
-          bool IsFail = Rec.NotQ.eval([&](formula::AtomId Atom) {
-            return A.evalAtom(Atom, *Slot.Abs, Slot.Run->state(Id));
-          });
-          if (IsFail)
-            Step.FailIds.push_back(Id);
-        }
-        if (Step.FailIds.empty()) {
-          Step.Kind = StepKind::Proven;
-        } else if (Out.Iterations + 1 >= Options.MaxItersPerQuery) {
-          Step.Kind = StepKind::IterBudget;
-        } else if (Options.Strategy == SearchStrategy::EliminateCurrent) {
-          Step.Kind = StepKind::Eliminate;
-        } else {
-          Step.Kind = StepKind::Traces;
-          // Deterministic choice of counterexample states: smallest state
-          // values first, exactly as the sequential driver sorts.
-          std::sort(Step.FailIds.begin(), Step.FailIds.end(),
-                    [&](dataflow::StateId X, dataflow::StateId Y) {
-                      return Slot.Run->state(X) < Slot.Run->state(Y);
-                    });
+        try {
+          for (dataflow::StateId Id : Slot.Run->statesAtCheckIds(Out.Check)) {
+            bool IsFail = Rec.NotQ.eval([&](formula::AtomId Atom) {
+              return A.evalAtom(Atom, *Slot.Abs, Slot.Run->state(Id));
+            });
+            if (IsFail)
+              Step.FailIds.push_back(Id);
+          }
+          if (Step.FailIds.empty()) {
+            Step.Kind = StepKind::Proven;
+          } else if (Out.Iterations + 1 >= Options.MaxItersPerQuery) {
+            Step.Kind = StepKind::IterBudget;
+          } else if (Options.Strategy == SearchStrategy::EliminateCurrent) {
+            Step.Kind = StepKind::Eliminate;
+          } else {
+            Step.Kind = StepKind::Traces;
+            // Deterministic choice of counterexample states: smallest state
+            // values first, exactly as the sequential driver sorts.
+            std::sort(Step.FailIds.begin(), Step.FailIds.end(),
+                      [&](dataflow::StateId X, dataflow::StateId Y) {
+                        return Slot.Run->state(X) < Slot.Run->state(Y);
+                      });
+          }
+        } catch (const std::bad_alloc &) {
+          Step.Kind = StepKind::Exhausted;
+          Step.Exhaustion = support::Exhausted{support::Resource::Memory,
+                                               "driver.classify"};
         }
         Step.Seconds = StepTimer.seconds();
       });
@@ -600,33 +798,41 @@ private:
             continue;
           Timer StepTimer;
           const QueryOutcome &Out = Outcomes[Step.Query];
-          size_t WantTraces = std::max(1u, Options.TracesPerIteration);
-          std::vector<ir::Trace> Traces;
-          for (dataflow::StateId Id : Step.FailIds) {
-            if (Traces.size() >= WantTraces)
-              break;
-            State Bad = Slot.Run->state(Id);
-            for (ir::Trace &T : Slot.Run->extractTraces(
-                     Out.Check, Bad, WantTraces - Traces.size()))
-              Traces.push_back(std::move(T));
-          }
-          if (Traces.empty()) {
-            // Without a counterexample nothing can be learned and retrying
-            // the same abstraction would not terminate, so the query is
-            // left unresolved. The sink is thread-safe; this stage runs on
-            // pool workers.
-            support::reportInvariant(
-                &Sink, "trace-witness", "QueryDriver::run",
-                "failing state at check " +
-                    std::to_string(Out.Check.index()) +
-                    " has no witnessing trace; query left unresolved");
-            Step.Kind = StepKind::NoTrace;
-          } else {
-            for (ir::Trace &T : Traces) {
-              std::vector<State> States = Slot.Run->replay(T, Init);
-              Step.Traces.emplace_back(std::move(T), std::move(States));
+          size_t WantTraces = EffTracesPerIter;
+          try {
+            std::vector<ir::Trace> Traces;
+            for (dataflow::StateId Id : Step.FailIds) {
+              if (Traces.size() >= WantTraces)
+                break;
+              State Bad = Slot.Run->state(Id);
+              for (ir::Trace &T : Slot.Run->extractTraces(
+                       Out.Check, Bad, WantTraces - Traces.size()))
+                Traces.push_back(std::move(T));
             }
-            Step.TraceResults.resize(Step.Traces.size());
+            if (Traces.empty()) {
+              // Without a counterexample nothing can be learned and
+              // retrying the same abstraction would not terminate, so the
+              // query is left unresolved. The sink is thread-safe; this
+              // stage runs on pool workers.
+              support::reportInvariant(
+                  &Sink, "trace-witness", "QueryDriver::run",
+                  "failing state at check " +
+                      std::to_string(Out.Check.index()) +
+                      " has no witnessing trace; query left unresolved");
+              Step.Kind = StepKind::NoTrace;
+            } else {
+              for (ir::Trace &T : Traces) {
+                std::vector<State> States = Slot.Run->replay(T, Init);
+                Step.Traces.emplace_back(std::move(T), std::move(States));
+              }
+              Step.TraceResults.resize(Step.Traces.size());
+            }
+          } catch (const std::bad_alloc &) {
+            Step.Kind = StepKind::Exhausted;
+            Step.Exhaustion = support::Exhausted{support::Resource::Memory,
+                                                 "driver.extract"};
+            Step.Traces.clear();
+            Step.TraceResults.clear();
           }
           Step.Seconds += StepTimer.seconds();
         }
@@ -651,12 +857,19 @@ private:
         Timer TraceTimer;
         Backward &Bwd = *Bwds[Worker];
         TraceResult &R = Step.TraceResults[J];
-        std::optional<formula::Dnf> F =
-            Bwd.run(Step.Traces[J].first, *Slot.Abs, Step.Traces[J].second,
-                    Recs[Step.Query].NotQ);
-        R.MaxCubes = Bwd.stats().MaxCubes;
-        if (F)
-          R.Unviable = Bwd.projectToParams(*F, *Slot.Abs, Init);
+        try {
+          std::optional<formula::Dnf> F =
+              Bwd.run(Step.Traces[J].first, *Slot.Abs, Step.Traces[J].second,
+                      Recs[Step.Query].NotQ);
+          R.MaxCubes = Bwd.stats().MaxCubes;
+          if (F)
+            R.Unviable = Bwd.projectToParams(*F, *Slot.Abs, Init);
+          else
+            R.Exhaustion = Bwd.lastExhaustion(); // empty on invariant-discard
+        } catch (const std::bad_alloc &) {
+          R.Exhaustion =
+              support::Exhausted{support::Resource::Memory, "backward.step"};
+        }
         R.Seconds = TraceTimer.seconds();
       });
 
@@ -679,6 +892,8 @@ private:
           return "traces";
         case StepKind::NoTrace:
           return "no-trace";
+        case StepKind::Exhausted:
+          return "exhausted";
         }
         return "?";
       };
@@ -703,9 +918,24 @@ private:
           --Unresolved;
           break;
         case StepKind::IterBudget:
+          Rec.Done = true;
+          Out.V = Verdict::Unresolved;
+          noteExhausted(Out,
+                        support::Exhausted{support::Resource::Steps,
+                                           "driver.iterations"},
+                        Trace);
+          --Unresolved;
+          break;
         case StepKind::NoTrace:
           Rec.Done = true;
           Out.V = Verdict::Unresolved;
+          --Unresolved;
+          break;
+        case StepKind::Exhausted:
+          Rec.Done = true;
+          Out.V = Verdict::Unresolved;
+          if (Step.Exhaustion)
+            noteExhausted(Out, *Step.Exhaustion, Trace);
           --Unresolved;
           break;
         case StepKind::Eliminate:
@@ -718,6 +948,7 @@ private:
           // everything they rule out (§8's DAG-counterexample direction,
           // in trace form).
           bool MetaTimedOut = false;
+          std::optional<support::Exhausted> MetaExhaustion;
           for (TraceResult &R : Step.TraceResults) {
             ++Stats.BackwardRuns;
             if (support::metricsEnabled()) {
@@ -732,6 +963,7 @@ private:
               // The meta-analysis timed out on this trace: nothing sound
               // can be learned, so the query stays unresolved.
               MetaTimedOut = true;
+              MetaExhaustion = R.Exhaustion;
               break;
             }
             addUnviable(Rec.Viable, *R.Unviable);
@@ -739,6 +971,8 @@ private:
           if (MetaTimedOut) {
             Rec.Done = true;
             Out.V = Verdict::Unresolved;
+            if (MetaExhaustion)
+              noteExhausted(Out, *MetaExhaustion, Trace);
             --Unresolved;
             break;
           }
@@ -797,9 +1031,21 @@ private:
                         .field("seconds", RoundTimer.seconds()));
     }
 
+    if (Unresolved > 0 && !RunExhaustion) {
+      // The round loop stopped with open queries: the whole-run wall-clock
+      // budget or an external cancellation, whichever tripped.
+      RunExhaustion =
+          CancelTok->requested()
+              ? support::Exhausted{support::Resource::Cancelled, "driver.run"}
+              : support::Exhausted{support::Resource::WallClock,
+                                   "driver.run"};
+    }
     for (size_t I = 0; I < Queries.size(); ++I) {
-      if (!Recs[I].Done)
+      if (!Recs[I].Done) {
         Outcomes[I].V = Verdict::Unresolved;
+        if (RunExhaustion)
+          noteExhausted(Outcomes[I], *RunExhaustion, Trace);
+      }
       LastViable.push_back(std::move(Recs[I].Viable));
     }
     publishCacheCounters();
@@ -817,6 +1063,8 @@ private:
                       .field("backward_runs", Stats.BackwardRuns)
                       .field("solver_calls", Stats.SolverCalls)
                       .field("violations", Stats.Violations.size())
+                      .field("budget_exhausted", Stats.BudgetExhausted)
+                      .field("degradations", Stats.Degradations)
                       .field("seconds", TotalSeconds));
     }
     return Outcomes;
@@ -856,25 +1104,39 @@ private:
                       .field("strategy", strategyName(Options.Strategy))
                       .field("k", Options.K)
                       .field("threads", 1u));
+    std::shared_ptr<support::CancelToken> CancelTok =
+        Options.Cancel ? Options.Cancel
+                       : std::make_shared<support::CancelToken>();
     meta::BackwardConfig BwdConfig;
     BwdConfig.K = Options.K;
     BwdConfig.ProductSoftCap = Options.ProductSoftCap;
     BwdConfig.TimeoutSeconds = Options.BackwardTimeoutSeconds;
+    BwdConfig.StepBudget = Options.BackwardStepBudget;
+    BwdConfig.Cancel = CancelTok.get();
     BwdConfig.Invariants = &Sink;
     BwdConfig.StepObserver = Options.BackwardStepObserver; // single thread
     Backward Bwd(P, A, BwdConfig);
     State Init = A.initialState();
 
     // Forward runs memoized across queries, iterations, and run() calls.
-    auto GetRun = [&](const std::vector<bool> &Bits) -> Forward & {
+    // Returns nullptr (with GreedyExhaustion set) when the fixpoint was cut
+    // short by its budget: the partial run is neither cached nor usable.
+    std::optional<support::Exhausted> GreedyExhaustion;
+    auto GetRun = [&](const std::vector<bool> &Bits) -> Forward * {
       CacheKey Key;
       Key.Bits = Bits;
       if (Forward *Hit = Cache.lookup(Key))
-        return *Hit;
+        return Hit;
+      support::BudgetGate Gate("forward.visit", Options.ForwardStepBudget,
+                               CancelTok.get(), 0, &Sink);
       auto Run = std::make_unique<Forward>(P, A, A.paramFromBits(Bits));
-      Run->run(Init);
+      Run->run(Init, &Gate);
       ++Stats.ForwardRuns;
-      return *Cache.insert(std::move(Key), std::move(Run));
+      if (Run->exhausted()) {
+        GreedyExhaustion = *Run->exhaustion();
+        return nullptr;
+      }
+      return Cache.insert(std::move(Key), std::move(Run));
     };
 
     std::vector<QueryOutcome> Outcomes(Queries.size());
@@ -885,15 +1147,44 @@ private:
       formula::Dnf NotQ = A.notQ(Out.Check);
       std::vector<bool> Bits(A.numParamBits(), false);
 
+      try {
       while (true) {
-        if (Total.seconds() >= Options.TimeBudgetSeconds ||
-            Out.Iterations >= Options.MaxItersPerQuery)
+        if (Total.seconds() >= Options.TimeBudgetSeconds) {
+          noteExhausted(Out,
+                        support::Exhausted{support::Resource::WallClock,
+                                           "driver.run"},
+                        Trace);
           break; // stays Unresolved
+        }
+        if (CancelTok->requested()) {
+          noteExhausted(Out,
+                        support::Exhausted{support::Resource::Cancelled,
+                                           "driver.run"},
+                        Trace);
+          break;
+        }
+        if (Out.Iterations >= Options.MaxItersPerQuery) {
+          noteExhausted(Out,
+                        support::Exhausted{support::Resource::Steps,
+                                           "driver.iterations"},
+                        Trace);
+          break;
+        }
         ++Out.Iterations;
         ++Stats.Rounds;
         Cache.beginEpoch();
         Param Prm = A.paramFromBits(Bits);
-        Forward &Run = GetRun(Bits);
+        Forward *RunPtr = GetRun(Bits);
+        if (!RunPtr) {
+          noteExhausted(Out,
+                        GreedyExhaustion
+                            ? *GreedyExhaustion
+                            : support::Exhausted{support::Resource::Steps,
+                                                 "forward.visit"},
+                        Trace);
+          break; // stays Unresolved
+        }
+        Forward &Run = *RunPtr;
         std::vector<dataflow::StateId> Fails;
         for (dataflow::StateId Id : Run.statesAtCheckIds(Out.Check))
           if (NotQ.eval([&](formula::AtomId Atom) {
@@ -923,8 +1214,11 @@ private:
         std::vector<State> States = Run.replay(*T, Init);
         ++Stats.BackwardRuns;
         std::optional<formula::Dnf> F = Bwd.run(*T, Prm, States, NotQ);
-        if (!F)
+        if (!F) {
+          if (Bwd.lastExhaustion())
+            noteExhausted(Out, *Bwd.lastExhaustion(), Trace);
           break; // meta-analysis budget: Unresolved
+        }
         formula::Dnf Unviable = Bwd.projectToParams(*F, Prm, Init);
         // Blame: every parameter mentioned by the failure condition.
         std::vector<bool> Grown = Bits;
@@ -934,6 +1228,14 @@ private:
         if (Grown == Bits)
           break; // no new blame: give up (cannot conclude impossibility)
         Bits = std::move(Grown);
+      }
+      } catch (const std::bad_alloc &) {
+        // One query's OOM (or injected allocation failure) resolves that
+        // query, not the process; the next query starts clean.
+        noteExhausted(Out,
+                      support::Exhausted{support::Resource::Memory,
+                                         "driver.run"},
+                      Trace);
       }
       Out.Seconds = QueryTimer.seconds();
       if (Trace.enabled())
@@ -966,6 +1268,27 @@ private:
                       .field("seconds", TotalSeconds));
     }
     return Outcomes;
+  }
+
+  /// Records a budget exhaustion on a query outcome: the structured
+  /// Exhausted value, the stats counter, the metrics counter, and a
+  /// `budget_exhausted` trace event. Called from sequential phases only
+  /// (merge, plan, post-loop, and the single-threaded greedy loop), so the
+  /// event stream stays worker-count independent.
+  void noteExhausted(QueryOutcome &Out, const support::Exhausted &E,
+                     EventTraceWriter &Trace) {
+    Out.Exhaustion = E;
+    ++Stats.BudgetExhausted;
+    if (support::metricsEnabled())
+      support::MetricRegistry::global()
+          .counter("optabs_budget_exhausted_total")
+          .add(1);
+    if (Trace.enabled())
+      Trace.write(Trace.event("budget_exhausted")
+                      .field("round", Stats.Rounds)
+                      .field("query", Out.Check.index())
+                      .field("resource", support::resourceName(E.Res))
+                      .field("site", E.Site));
   }
 
   /// Conjoins the negation of the unviable DNF into the viable CNF: each
@@ -1007,7 +1330,7 @@ private:
 
   void ensurePool(unsigned Workers) {
     if (!Pool || Pool->numWorkers() != Workers)
-      Pool = std::make_unique<support::ThreadPool>(Workers);
+      Pool = std::make_unique<support::ThreadPool>(Workers, &Sink);
   }
 
   void publishCacheCounters() {

@@ -31,9 +31,10 @@ using tracer::Verdict;
 
 /// Everything the determinism contract covers, in comparable form.
 struct Fingerprint {
-  std::vector<std::string> Queries; ///< verdict/iters/cost/param per query
+  std::vector<std::string> Queries; ///< verdict/iters/cost/param/exhaustion
   unsigned ForwardRuns = 0;
   unsigned BackwardRuns = 0;
+  unsigned BudgetExhausted = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
@@ -47,9 +48,11 @@ Fingerprint fingerprintOf(const reporting::ClientResults &R,
   for (const reporting::QueryStat &Q : R.Queries)
     F.Queries.push_back(std::string(tracer::verdictName(Q.V)) + "/" +
                         std::to_string(Q.Iterations) + "/" +
-                        std::to_string(Q.Cost) + "/" + Q.ParamKey);
+                        std::to_string(Q.Cost) + "/" + Q.ParamKey + "/" +
+                        Q.ExhaustedResource + "/" + Q.ExhaustedSite);
   F.ForwardRuns = ForwardRuns;
   F.BackwardRuns = BackwardRuns;
+  F.BudgetExhausted = R.BudgetExhausted;
   F.CacheHits = R.CacheHits;
   F.CacheMisses = R.CacheMisses;
   F.CacheEvictions = R.CacheEvictions;
@@ -84,6 +87,38 @@ TEST(ParallelDriver, WorkerCountDoesNotChangeResults) {
       EXPECT_EQ(Baseline.second, Parallel.second)
           << Config.Name << " typestate, threads=" << Threads;
     }
+  }
+}
+
+TEST(ParallelDriver, StepBudgetExhaustionIsWorkerCountInvariant) {
+  // Logical-step budgets are counted per task, not per worker, so a budget
+  // timeout cuts the very same unit of work at any thread count: with zero
+  // wall-clock limits in play, the budgeted run - including which queries
+  // exhausted, at which site, after how many iterations - must be bitwise
+  // identical for 1, 2 and 8 workers.
+  auto RunAt = [](unsigned Threads) {
+    reporting::HarnessOptions Options;
+    Options.Tracer.NumThreads = Threads;
+    Options.Tracer.ForwardStepBudget = 400;
+    Options.Tracer.BackwardStepBudget = 300;
+    Options.Tracer.SolverDecisionBudget = 64;
+    reporting::BenchRun Run =
+        reporting::runBenchmark(synth::paperSuite()[0], Options);
+    return std::make_pair(
+        fingerprintOf(Run.Esc, Run.Esc.ForwardRuns, Run.Esc.BackwardRuns),
+        fingerprintOf(Run.Ts, Run.Ts.ForwardRuns, Run.Ts.BackwardRuns));
+  };
+  auto Baseline = RunAt(1);
+  EXPECT_FALSE(Baseline.first.Queries.empty());
+  // The budgets must actually bite for this test to pin anything.
+  EXPECT_GT(Baseline.first.BudgetExhausted + Baseline.second.BudgetExhausted,
+            0u);
+  for (unsigned Threads : {2u, 8u}) {
+    auto Parallel = RunAt(Threads);
+    EXPECT_EQ(Baseline.first, Parallel.first) << "escape, threads="
+                                              << Threads;
+    EXPECT_EQ(Baseline.second, Parallel.second) << "typestate, threads="
+                                                << Threads;
   }
 }
 

@@ -11,6 +11,8 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "pointer/PointsTo.h"
+#include "reporting/Harness.h"
+#include "support/FaultInjection.h"
 #include "support/Prng.h"
 #include "synth/Generator.h"
 #include "tracer/MinCostSat.h"
@@ -177,6 +179,54 @@ TEST(Robustness, StressSpecIgnoresAutomatonQueries) {
   EXPECT_EQ(NotQ.size(), 1u);
   EXPECT_EQ(NotQ.toString([&](formula::AtomId At) { return A.atomName(At); }),
             "err");
+}
+
+TEST(FaultMatrix, EverySiteEveryKindRecoversSoundly) {
+  // One injected fault per run - every registered site, every fault kind,
+  // sequential and parallel. The contract is sound recovery: the harness
+  // run completes (no crash, no deadlock), and under audit every verdict
+  // the driver still hands out carries a valid certificate. Injected
+  // invariant faults leave violation records by design, so those are not
+  // asserted empty - only that no verdict is wrong.
+  for (unsigned Threads : {1u, 8u}) {
+    for (const std::string &Site : support::FaultRegistry::knownSites()) {
+      for (const char *Kind : {"alloc", "cancel", "invariant"}) {
+        std::string Spec = Site + ":" + Kind;
+        std::string Err;
+        ASSERT_TRUE(support::FaultRegistry::global().arm(Spec, Err)) << Err;
+        reporting::HarnessOptions Options;
+        Options.RunTypestate = false; // escape exercises every fault site
+        Options.Audit = true;
+        Options.Tracer.NumThreads = Threads;
+        reporting::BenchRun Run =
+            reporting::runBenchmark(synth::paperSuite()[0], Options);
+        support::FaultRegistry::global().disarm();
+        EXPECT_FALSE(Run.Esc.Queries.empty());
+        EXPECT_EQ(Run.Esc.CertificateFailures, 0u)
+            << Spec << " threads=" << Threads;
+        for (const std::string &Note : Run.Esc.AuditNotes)
+          if (Note.find("certificate") != std::string::npos)
+            ADD_FAILURE() << Spec << " threads=" << Threads << ": " << Note;
+      }
+    }
+  }
+}
+
+TEST(FaultMatrix, DelayedFaultsFireMidRun) {
+  // An @n arm lets the run make progress before the failure lands; the
+  // driver must still recover. The 3rd forward fixpoint dying exercises
+  // recovery with a warm cache and learned clauses in play.
+  std::string Err;
+  ASSERT_TRUE(
+      support::FaultRegistry::global().arm("forward.visit:alloc@3", Err))
+      << Err;
+  reporting::HarnessOptions Options;
+  Options.RunTypestate = false;
+  Options.Audit = true;
+  reporting::BenchRun Run =
+      reporting::runBenchmark(synth::paperSuite()[0], Options);
+  support::FaultRegistry::global().disarm();
+  EXPECT_EQ(Run.Esc.CertificateFailures, 0u);
 }
 
 TEST(Robustness, GeneratedSuiteUsesLoopsAndBranches) {

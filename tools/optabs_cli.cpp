@@ -25,6 +25,19 @@
 //   --chrome-trace=PATH         enable the metrics layer and write a Chrome
 //                               trace-event JSON of all profiler spans to
 //                               PATH (load in chrome://tracing or Perfetto)
+//   --step-budget=N             deterministic logical-step budget applied to
+//                               every kernel (forward state visits, backward
+//                               cube expansions, solver decisions); a query
+//                               that exhausts it goes Unresolved with the
+//                               exhausted resource and site reported
+//   --memory-budget-mb=N        resident-bytes ceiling for the forward-run
+//                               cache; pressure triggers the graceful-
+//                               degradation ladder (evict cache, shrink
+//                               beam, single trace per iteration)
+//   --faults=SPEC               arm the deterministic fault-injection
+//                               registry, e.g. "forward.visit:alloc@3;
+//                               backward.step:cancel" (also armed by the
+//                               OPTABS_FAULTS environment variable)
 //   --stats                     print program statistics and exit
 //   --verbose                   print the program before the report
 //
@@ -40,6 +53,8 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "pointer/PointsTo.h"
+#include "support/Budget.h"
+#include "support/FaultInjection.h"
 #include "tracer/Certificates.h"
 #include "tracer/QueryDriver.h"
 #include "typestate/Typestate.h"
@@ -80,7 +95,9 @@ int usage(const char *Msg = nullptr) {
                "[--max-iters=N]\n"
                "       [--traces-per-iter=N] [--audit] "
                "[--event-trace=PATH]\n"
-               "       [--metrics=PATH] [--chrome-trace=PATH] [--stats] "
+               "       [--metrics=PATH] [--chrome-trace=PATH] "
+               "[--step-budget=N]\n"
+               "       [--memory-budget-mb=N] [--faults=SPEC] [--stats] "
                "[--verbose]\n";
   return 2;
 }
@@ -116,6 +133,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
         Err = "unknown strategy '" + *V + "'";
         return false;
       }
+    } else if (auto V = Value("--step-budget=")) {
+      uint64_t N = std::stoull(*V);
+      Opts.Tracer.ForwardStepBudget = N;
+      Opts.Tracer.BackwardStepBudget = N;
+      Opts.Tracer.SolverDecisionBudget = N;
+    } else if (auto V = Value("--memory-budget-mb=")) {
+      Opts.Tracer.MemoryBudgetBytes = std::stoull(*V) * 1024 * 1024;
+    } else if (auto V = Value("--faults=")) {
+      if (!support::FaultRegistry::global().arm(*V, Err))
+        return false;
     } else if (auto V = Value("--event-trace=")) {
       Opts.Tracer.EventTracePath = *V;
     } else if (auto V = Value("--metrics=")) {
@@ -206,6 +233,9 @@ void printOutcome(const Program &P, const tracer::QueryOutcome &O,
   if (O.V == tracer::Verdict::Proven)
     std::cout << " with " << O.CheapestParam << " (|p| = " << O.CheapestCost
               << ")";
+  if (O.Exhaustion)
+    std::cout << " (exhausted " << support::resourceName(O.Exhaustion->Res)
+              << " at " << O.Exhaustion->Site << ")";
   std::cout << " [" << O.Iterations << " iteration(s)]\n";
 }
 
