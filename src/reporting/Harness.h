@@ -23,8 +23,9 @@
 #ifndef OPTABS_REPORTING_HARNESS_H
 #define OPTABS_REPORTING_HARNESS_H
 
-#include "synth/Generator.h"
-#include "tracer/QueryDriver.h"
+#include <optabs/optabs.h>
+
+#include "synth/Generator.h" // internal: the synthetic benchmark suite
 
 #include <string>
 #include <vector>
@@ -91,11 +92,24 @@ struct BenchRun {
   ClientResults Ts, Esc;
 };
 
-/// Knobs for a harness run.
+/// Knobs for a harness run. Like tracer::TracerOptions this is a thin
+/// deprecated alias of the unified optabs::Config: the default constructor
+/// resolves Config::fromEnv() (so the OPTABS_* precedence chain applies)
+/// and fromConfig() builds one from an explicit Config. The individual
+/// fields stay writable for existing call sites; new code should configure
+/// a Config and convert.
 struct HarnessOptions {
   tracer::TracerOptions Tracer;
   bool RunTypestate = true;
   bool RunEscape = true;
+  /// Route every query through a service::AnalysisService (one per client
+  /// run) instead of standalone drivers: the program is printed, registered
+  /// and re-parsed, a session per client submits every query, and the cache
+  /// statistics come from the service's counters. Verdicts are bitwise
+  /// identical to the direct path. Audit mode needs the drivers' final
+  /// viable sets, which the service does not expose, so Audit + UseService
+  /// falls back to the direct path.
+  bool UseService = false;
   /// Audit mode: after each driver run, record invariant violations and
   /// independently validate every verdict with the certificate checker
   /// (tracer/Certificates.h). Costs extra forward fixpoints. Defaults on
@@ -118,6 +132,12 @@ struct HarnessOptions {
   std::string ChromeTracePath;
 
   HarnessOptions();
+
+  /// Builds harness options from the unified configuration surface:
+  /// Execution/Budgets map through TracerOptions::fromConfig, Audit.Enabled
+  /// arms audit mode, and the Observability paths land on the harness
+  /// fields (the harness stamps per-client event-trace labels itself).
+  static HarnessOptions fromConfig(const Config &C);
 };
 
 /// Generates and runs one benchmark.

@@ -1,0 +1,798 @@
+//===- AnalysisService.cpp - Multi-tenant analysis service ----------------===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation notes (see the header and DESIGN.md §9 for the model):
+//
+//  * One mutex guards programs, sessions, queues, and stats. The scheduler
+//    thread is the only code that runs drivers or touches the per-program
+//    cache shards, so every ForwardRunCache keeps its single-threaded
+//    mutating contract even though sessions submit concurrently.
+//  * Program registrations are immutable once published: re-registering a
+//    name installs a fresh ProgramEntry under the next epoch and retires
+//    the old one. Retired entries stay alive until the scheduler has
+//    evicted every cache entry of their epochs (cached forward runs hold
+//    references into the retired IR), then both are dropped together.
+//  * Batch picking: the session with the fewest served jobs leads; its
+//    best pending job (priority, then submission order) defines the shard
+//    key, and every compatible pending job across all sessions rides in
+//    the same driver run, ordered by global submission sequence. That
+//    order is what makes batch composition - and therefore cache-hit
+//    accounting - deterministic under AutoDispatch = false.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisService.h"
+
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+#include "pointer/PointsTo.h"
+#include "support/Budget.h"
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "typestate/Typestate.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace optabs {
+namespace service {
+
+namespace {
+
+/// A property automaton parsed from the "init=...; method: from->to, ..."
+/// syntax without touching any Program (method names stay strings). Parsing
+/// happens at openSession so tenants get syntax errors synchronously;
+/// interning the method names into the (scheduler-owned) Program is
+/// deferred to first use.
+struct PropertySpec {
+  struct Rule {
+    std::string Method;
+    std::string From;
+    std::string To; ///< empty when Error
+    bool Error = false;
+  };
+  std::string Init;
+  std::vector<Rule> Rules;
+};
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  size_t E = S.find_last_not_of(" \t");
+  return B == std::string::npos ? std::string() : S.substr(B, E - B + 1);
+}
+
+bool parsePropertySpec(const std::string &Spec, PropertySpec &Out,
+                       std::string &Err) {
+  std::vector<std::string> Clauses;
+  std::stringstream SS(Spec);
+  std::string Clause;
+  while (std::getline(SS, Clause, ';'))
+    if (!trim(Clause).empty())
+      Clauses.push_back(trim(Clause));
+  if (Clauses.empty() || Clauses[0].rfind("init=", 0) != 0) {
+    Err = "property must start with 'init=<state>'";
+    return false;
+  }
+  Out.Init = trim(Clauses[0].substr(5));
+  for (size_t I = 1; I < Clauses.size(); ++I) {
+    size_t Colon = Clauses[I].find(':');
+    if (Colon == std::string::npos) {
+      Err = "expected 'method: from->to, ...' in '" + Clauses[I] + "'";
+      return false;
+    }
+    std::string Method = trim(Clauses[I].substr(0, Colon));
+    std::stringstream TS(Clauses[I].substr(Colon + 1));
+    std::string Rule;
+    while (std::getline(TS, Rule, ',')) {
+      size_t Arrow = Rule.find("->");
+      if (Arrow == std::string::npos) {
+        Err = "expected 'from->to' in '" + Rule + "'";
+        return false;
+      }
+      PropertySpec::Rule R;
+      R.Method = Method;
+      R.From = trim(Rule.substr(0, Arrow));
+      std::string To = trim(Rule.substr(Arrow + 2));
+      if (To == "ERR" || To == "err" || To == "error")
+        R.Error = true;
+      else
+        R.To = To;
+      Out.Rules.push_back(std::move(R));
+    }
+  }
+  return true;
+}
+
+/// Interns a parsed property into \p P (scheduler thread only - makeMethod
+/// mutates the Program).
+std::unique_ptr<typestate::TypestateSpec>
+materializeSpec(const PropertySpec &PS, ir::Program &P) {
+  auto Spec = std::make_unique<typestate::TypestateSpec>(PS.Init);
+  for (const PropertySpec::Rule &R : PS.Rules) {
+    ir::MethodId M = P.makeMethod(R.Method);
+    uint32_t From = Spec->addState(R.From);
+    if (R.Error)
+      Spec->addErrorTransition(M, From);
+    else
+      Spec->addTransition(M, From, Spec->addState(R.To));
+  }
+  return Spec;
+}
+
+/// The execution-relevant slice of a session's Config, serialized so
+/// sessions coalesce into one batch exactly when a shared driver run would
+/// behave identically for both. Observability paths are included (a batch
+/// writes one trace/metrics dump, so sessions wanting different files must
+/// not share).
+std::string optionsSignature(const Config &C) {
+  std::ostringstream S;
+  S << C.Execution.K << '|' << C.Execution.MaxItersPerQuery << '|'
+    << C.Execution.GroupQueries << '|' << C.Execution.ProductSoftCap << '|'
+    << C.Execution.TracesPerIteration << '|' << C.Execution.Strategy << '|'
+    << C.Budgets.TimeBudgetSeconds << '|' << C.Budgets.BackwardTimeoutSeconds
+    << '|' << C.Budgets.ForwardStepBudget << '|'
+    << C.Budgets.BackwardStepBudget << '|' << C.Budgets.SolverDecisionBudget
+    << '|' << C.Budgets.MemoryBudgetBytes << '|'
+    << C.Observability.EventTracePath << '|' << C.Observability.MetricsPath
+    << '|' << C.Observability.ProfilePath;
+  return S.str();
+}
+
+QueryResult rejected(uint64_t Session, std::string Why) {
+  QueryResult R;
+  R.Session = Session;
+  R.Status = JobStatus::Rejected;
+  R.Error = std::move(Why);
+  return R;
+}
+
+std::future<QueryResult> readyFuture(QueryResult R) {
+  std::promise<QueryResult> P;
+  P.set_value(std::move(R));
+  return P.get_future();
+}
+
+void bumpServiceCounter(const char *Name, uint64_t N = 1) {
+  if (support::metricsEnabled())
+    support::MetricRegistry::global().counter(Name).add(N);
+}
+
+} // namespace
+
+struct AnalysisService::Impl {
+  using EscForward = dataflow::ForwardAnalysis<escape::EscapeAnalysis>;
+  using TsForward = dataflow::ForwardAnalysis<typestate::TypestateAnalysis>;
+
+  /// A type-state analysis family: one property automaton plus its
+  /// per-tracked-site analysis instances. Everything lives here, stably,
+  /// because cached forward runs hold references into the analysis.
+  struct TsFamily {
+    uint64_t Index = 0; ///< >= 1; composes the cache keys' Family field
+    std::unique_ptr<typestate::TypestateSpec> Spec;
+    std::map<uint32_t, std::unique_ptr<typestate::TypestateAnalysis>> PerSite;
+  };
+
+  /// One immutable registration of a program. Lazily grown (analyses,
+  /// points-to, families) by the scheduler thread only.
+  struct ProgramEntry {
+    std::unique_ptr<ir::Program> P;
+    uint64_t Epoch = 0;
+    uint64_t NextFamilyId = 1;
+    std::unique_ptr<escape::EscapeAnalysis> Esc;
+    std::unique_ptr<pointer::PointsToResult> Pt;
+    std::map<std::string, TsFamily> Families; ///< by property text
+  };
+
+  /// The per-name slot: survives re-registration and owns the cache shards
+  /// (which is the whole point - a new epoch keeps hitting the warm shard
+  /// for keys it shares, while stale epochs are evicted below).
+  struct ProgramSlot {
+    std::shared_ptr<ProgramEntry> Current;
+    /// Entries replaced by a re-registration, kept alive until the shards
+    /// no longer cache runs referencing their IR.
+    std::vector<std::shared_ptr<ProgramEntry>> Retired;
+    bool NeedsInvalidation = false;
+    tracer::ForwardRunCache<EscForward> EscCache;
+    tracer::ForwardRunCache<TsForward> TsCache;
+  };
+
+  struct PendingJob {
+    uint64_t Id = 0; ///< global submission sequence; batch execution order
+    JobSpec Spec;
+    std::promise<QueryResult> Promise;
+  };
+
+  struct SessionState {
+    uint64_t Id = 0;
+    std::string ProgramName;
+    bool Typestate = false;
+    std::string Property;
+    Config Cfg;
+    std::string OptionsSig;
+    std::deque<PendingJob> Pending;
+    uint64_t SubmittedTotal = 0;
+    uint64_t Served = 0; ///< fair-share: lowest goes first
+    size_t Running = 0;
+    bool Closed = false;
+  };
+
+  /// One coalesced unit of driver work, extracted under the lock, executed
+  /// without it.
+  struct Batch {
+    std::string ProgramName;
+    bool Typestate = false;
+    std::string Property;
+    uint32_t Site = 0;
+    Config Cfg;
+    std::vector<PendingJob> Jobs; ///< sorted by Id (submission order)
+    std::vector<uint64_t> JobSessions; ///< parallel to Jobs
+    std::shared_ptr<ProgramEntry> Entry;
+    ProgramSlot *Slot = nullptr;
+  };
+
+  struct BatchResult {
+    std::vector<QueryResult> Results; ///< parallel to Batch::Jobs
+    tracer::DriverStats DS;
+    bool Ran = false;
+    double Seconds = 0;
+  };
+
+  explicit Impl(Options O) : Opts(std::move(O)) {
+    unsigned Workers = Opts.Base.Execution.NumThreads == 0
+                           ? support::ThreadPool::hardwareWorkers()
+                           : Opts.Base.Execution.NumThreads;
+    Pool = std::make_unique<support::ThreadPool>(Workers);
+    Scheduler = std::thread([this] { schedulerLoop(); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ShuttingDown = true;
+    }
+    WorkCV.notify_all();
+    IdleCV.notify_all();
+    Scheduler.join();
+  }
+
+  // -- state (guarded by M unless noted) ---------------------------------
+  Options Opts;
+  mutable std::mutex M;
+  std::condition_variable WorkCV; ///< wakes the scheduler
+  std::condition_variable IdleCV; ///< wakes drain() waiters
+  bool ShuttingDown = false;
+  unsigned DrainWaiters = 0;
+
+  std::unique_ptr<support::ThreadPool> Pool; ///< immutable after ctor
+  std::thread Scheduler;
+
+  std::map<std::string, ProgramSlot> Programs;
+  std::map<uint64_t, SessionState> Sessions;
+  uint64_t NextEpoch = 1;   ///< > 0: standalone drivers use epoch 0
+  uint64_t NextSession = 1;
+  uint64_t NextJob = 1;
+  ServiceStats Stats;
+
+  // -- helpers -----------------------------------------------------------
+
+  size_t queuedJobs() const {
+    size_t N = 0;
+    for (const auto &[Id, S] : Sessions)
+      N += S.Pending.size() + S.Running;
+    return N;
+  }
+
+  void setQueueDepth() {
+    Stats.QueueDepth = queuedJobs();
+    if (support::metricsEnabled())
+      support::MetricRegistry::global()
+          .gauge("optabs_service_queue_depth")
+          .set(static_cast<int64_t>(Stats.QueueDepth));
+  }
+
+  /// Scheduler only. Evicts every cache entry of a stale epoch and drops
+  /// the retired registrations those entries referenced.
+  void processInvalidations() {
+    for (auto &[Name, Slot] : Programs) {
+      if (!Slot.NeedsInvalidation)
+        continue;
+      uint64_t Live = Slot.Current->Epoch;
+      auto Stale = [Live](const auto &K) { return K.ProgramEpoch != Live; };
+      size_t N = Slot.EscCache.evictKeysWhere(Stale) +
+                 Slot.TsCache.evictKeysWhere(Stale);
+      Stats.StaleEntriesInvalidated += N;
+      bumpServiceCounter("optabs_service_stale_invalidated_total", N);
+      Slot.Retired.clear();
+      Slot.NeedsInvalidation = false;
+    }
+  }
+
+  /// Extracts the next coalesced batch. Returns false when nothing is
+  /// runnable. Lock held.
+  bool pickBatch(Batch &B) {
+    // Fair share: the open session with the fewest served jobs (ties to
+    // the older session) leads.
+    SessionState *Lead = nullptr;
+    for (auto &[Id, S] : Sessions) {
+      if (S.Closed || S.Pending.empty())
+        continue;
+      if (!Lead || S.Served < Lead->Served)
+        Lead = &S;
+    }
+    if (!Lead)
+      return false;
+
+    // The lead's best job (priority, then submission order) fixes the
+    // shard: program, client, property, options - and, for type-state,
+    // the tracked site, since one driver run handles one site.
+    const PendingJob *Best = nullptr;
+    for (const PendingJob &J : Lead->Pending)
+      if (!Best || J.Spec.Priority > Best->Spec.Priority ||
+          (J.Spec.Priority == Best->Spec.Priority && J.Id < Best->Id))
+        Best = &J;
+
+    B.ProgramName = Lead->ProgramName;
+    B.Typestate = Lead->Typestate;
+    B.Property = Lead->Property;
+    B.Site = Best->Spec.Site;
+    B.Cfg = Lead->Cfg;
+
+    // Coalesce matching jobs from every compatible session.
+    for (auto &[Id, S] : Sessions) {
+      if (S.Closed || S.Pending.empty())
+        continue;
+      if (S.ProgramName != B.ProgramName || S.Typestate != B.Typestate ||
+          S.Property != B.Property || S.OptionsSig != Lead->OptionsSig)
+        continue;
+      for (auto It = S.Pending.begin(); It != S.Pending.end();) {
+        if (B.Typestate && It->Spec.Site != B.Site) {
+          ++It;
+          continue;
+        }
+        B.Jobs.push_back(std::move(*It));
+        B.JobSessions.push_back(Id);
+        It = S.Pending.erase(It);
+        ++S.Running;
+      }
+    }
+    // Global submission order: what the "one client submitting the same
+    // list to a standalone driver" order would have been.
+    std::vector<size_t> Order(B.Jobs.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), [&](size_t X, size_t Y) {
+      return B.Jobs[X].Id < B.Jobs[Y].Id;
+    });
+    std::vector<PendingJob> Jobs;
+    std::vector<uint64_t> JobSessions;
+    Jobs.reserve(Order.size());
+    for (size_t I : Order) {
+      Jobs.push_back(std::move(B.Jobs[I]));
+      JobSessions.push_back(B.JobSessions[I]);
+    }
+    B.Jobs = std::move(Jobs);
+    B.JobSessions = std::move(JobSessions);
+
+    auto SlotIt = Programs.find(B.ProgramName);
+    if (SlotIt != Programs.end()) {
+      B.Slot = &SlotIt->second;
+      B.Entry = SlotIt->second.Current;
+    }
+    return true;
+  }
+
+  /// Scheduler only, lock NOT held: runs the batch's driver.
+  BatchResult executeBatch(Batch &B) {
+    BatchResult R;
+    R.Results.resize(B.Jobs.size());
+    for (size_t I = 0; I < B.Jobs.size(); ++I) {
+      R.Results[I].Job = B.Jobs[I].Id;
+      R.Results[I].Session = B.JobSessions[I];
+      R.Results[I].Status = JobStatus::Failed;
+    }
+    if (!B.Entry) {
+      for (QueryResult &Res : R.Results)
+        Res.Error = "program '" + B.ProgramName + "' is not registered";
+      return R;
+    }
+    ir::Program &P = *B.Entry->P;
+
+    std::vector<ir::CheckId> Queries;
+    std::vector<size_t> QueryJob; ///< batch-job index per query
+    for (size_t I = 0; I < B.Jobs.size(); ++I) {
+      const JobSpec &Spec = B.Jobs[I].Spec;
+      if (Spec.Check >= P.numChecks()) {
+        R.Results[I].Error = "check " + std::to_string(Spec.Check) +
+                             " out of range (program has " +
+                             std::to_string(P.numChecks()) + " checks)";
+        continue;
+      }
+      if (B.Typestate && Spec.Site >= P.numAllocs()) {
+        R.Results[I].Error = "site " + std::to_string(Spec.Site) +
+                             " out of range (program has " +
+                             std::to_string(P.numAllocs()) +
+                             " allocation sites)";
+        continue;
+      }
+      QueryJob.push_back(I);
+      Queries.push_back(ir::CheckId(Spec.Check));
+    }
+    if (Queries.empty())
+      return R;
+
+    tracer::TracerOptions O = tracer::TracerOptions::fromConfig(B.Cfg);
+    O.EventTraceLabel =
+        "service/" + B.ProgramName + "/" +
+        (B.Typestate ? "typestate/site=" + std::to_string(B.Site) : "escape");
+
+    Timer BatchTimer;
+    try {
+      std::vector<tracer::QueryOutcome> Outcomes;
+      if (!B.Typestate) {
+        if (!B.Entry->Esc)
+          B.Entry->Esc = std::make_unique<escape::EscapeAnalysis>(P);
+        tracer::QueryDriver<escape::EscapeAnalysis> D(P, *B.Entry->Esc, O);
+        D.borrowExecution(Pool.get(), &B.Slot->EscCache, B.Entry->Epoch,
+                          /*Family=*/0);
+        Outcomes = D.run(Queries);
+        R.DS = D.stats();
+      } else {
+        std::string Err;
+        TsFamily *Fam = materializeFamily(*B.Entry, B.Property, Err);
+        if (!Fam) {
+          for (size_t I : QueryJob)
+            R.Results[I].Error = "invalid property: " + Err;
+          return R;
+        }
+        if (!B.Entry->Pt)
+          B.Entry->Pt = std::make_unique<pointer::PointsToResult>(
+              pointer::runPointsTo(P));
+        auto &A = Fam->PerSite[B.Site];
+        if (!A)
+          A = std::make_unique<typestate::TypestateAnalysis>(
+              P, *Fam->Spec, ir::AllocId(B.Site), *B.Entry->Pt);
+        tracer::QueryDriver<typestate::TypestateAnalysis> D(P, *A, O);
+        // Family: property automaton index in the high half, tracked site
+        // in the low half, so every (family, site) analysis keys its own
+        // disjoint slice of the shared shard.
+        uint64_t Family = (Fam->Index << 32) | B.Site;
+        D.borrowExecution(Pool.get(), &B.Slot->TsCache, B.Entry->Epoch,
+                          Family);
+        Outcomes = D.run(Queries);
+        R.DS = D.stats();
+      }
+      R.Ran = true;
+      for (size_t Q = 0; Q < Outcomes.size(); ++Q) {
+        QueryResult &Res = R.Results[QueryJob[Q]];
+        const tracer::QueryOutcome &Out = Outcomes[Q];
+        Res.Status = JobStatus::Done;
+        Res.V = Out.V;
+        Res.Iterations = Out.Iterations;
+        Res.CheapestCost = Out.CheapestCost;
+        Res.CheapestParam = Out.CheapestParam;
+        if (Out.Exhaustion) {
+          Res.ExhaustedResource = support::resourceName(Out.Exhaustion->Res);
+          Res.ExhaustedSite = Out.Exhaustion->Site;
+        }
+      }
+    } catch (const std::exception &E) {
+      for (size_t I : QueryJob)
+        if (R.Results[I].Status != JobStatus::Done)
+          R.Results[I].Error = std::string("batch execution failed: ") +
+                               E.what();
+    }
+    R.Seconds = BatchTimer.seconds();
+    return R;
+  }
+
+  TsFamily *materializeFamily(ProgramEntry &E, const std::string &Prop,
+                              std::string &Err) {
+    auto It = E.Families.find(Prop);
+    if (It != E.Families.end())
+      return &It->second;
+    TsFamily F;
+    F.Index = E.NextFamilyId++;
+    if (Prop.empty()) {
+      F.Spec = std::make_unique<typestate::TypestateSpec>(
+          typestate::TypestateSpec::stress());
+    } else {
+      PropertySpec PS;
+      if (!parsePropertySpec(Prop, PS, Err))
+        return nullptr; // openSession validated; defensive for re-registers
+      F.Spec = materializeSpec(PS, *E.P);
+    }
+    return &E.Families.emplace(Prop, std::move(F)).first->second;
+  }
+
+  void schedulerLoop() {
+    std::unique_lock<std::mutex> Lock(M);
+    for (;;) {
+      processInvalidations();
+      if (ShuttingDown)
+        break;
+      Batch B;
+      if ((Opts.AutoDispatch || DrainWaiters > 0) && pickBatch(B)) {
+        Lock.unlock();
+        BatchResult R = executeBatch(B);
+        for (size_t I = 0; I < B.Jobs.size(); ++I)
+          B.Jobs[I].Promise.set_value(std::move(R.Results[I]));
+        Lock.lock();
+        finishBatch(B, R);
+        IdleCV.notify_all();
+        continue;
+      }
+      if (queuedJobs() == 0)
+        IdleCV.notify_all();
+      WorkCV.wait(Lock);
+    }
+    // Shutdown: everything still queued completes as Cancelled.
+    std::vector<std::promise<QueryResult>> Doomed;
+    for (auto &[Id, S] : Sessions) {
+      for (PendingJob &J : S.Pending) {
+        QueryResult Res;
+        Res.Job = J.Id;
+        Res.Session = Id;
+        Res.Status = JobStatus::Cancelled;
+        Res.Error = "service shut down";
+        J.Promise.set_value(std::move(Res));
+        ++Stats.JobsCancelled;
+      }
+      S.Pending.clear();
+    }
+    setQueueDepth();
+    IdleCV.notify_all();
+  }
+
+  /// Lock held: folds a finished batch into stats and session accounting.
+  void finishBatch(const Batch &B, const BatchResult &R) {
+    ++Stats.Batches;
+    Stats.CoalescedJobs += B.Jobs.size() - 1;
+    for (size_t I = 0; I < B.Jobs.size(); ++I) {
+      if (R.Results[I].Status == JobStatus::Done)
+        ++Stats.JobsCompleted;
+      else
+        ++Stats.JobsFailed;
+      auto It = Sessions.find(B.JobSessions[I]);
+      if (It != Sessions.end()) {
+        ++It->second.Served;
+        --It->second.Running;
+      }
+    }
+    if (R.Ran) {
+      Stats.ForwardRuns += R.DS.ForwardRuns;
+      Stats.BackwardRuns += R.DS.BackwardRuns;
+      Stats.CacheHits += R.DS.CacheHits;
+      Stats.CacheMisses += R.DS.CacheMisses;
+      Stats.CacheEvictions += R.DS.CacheEvictions;
+    }
+    setQueueDepth();
+    if (support::metricsEnabled()) {
+      auto &Reg = support::MetricRegistry::global();
+      Reg.counter("optabs_service_batches_total").add(1);
+      Reg.histogram("optabs_service_batch_jobs").record(B.Jobs.size());
+      auto Micros = static_cast<uint64_t>(R.Seconds * 1e6);
+      Reg.histogram("optabs_service_batch_micros").record(Micros);
+      // Per-tenant phase attribution: one histogram per session that had
+      // jobs in this batch (entries are never removed from the registry,
+      // so the references stay valid).
+      std::vector<uint64_t> Tenants(B.JobSessions);
+      std::sort(Tenants.begin(), Tenants.end());
+      Tenants.erase(std::unique(Tenants.begin(), Tenants.end()),
+                    Tenants.end());
+      for (uint64_t T : Tenants)
+        Reg.histogram("optabs_service_session_" + std::to_string(T) +
+                      "_batch_micros")
+            .record(Micros);
+    }
+  }
+};
+
+AnalysisService::AnalysisService() : AnalysisService(Options()) {}
+
+AnalysisService::AnalysisService(Options Opts)
+    : I(std::make_unique<Impl>(std::move(Opts))) {}
+
+AnalysisService::~AnalysisService() = default;
+
+RegisterResult AnalysisService::registerProgram(const std::string &Name,
+                                                const std::string &IrText) {
+  RegisterResult R;
+  if (Name.empty()) {
+    R.Error = "program name must be non-empty";
+    return R;
+  }
+  auto Entry = std::make_shared<Impl::ProgramEntry>();
+  Entry->P = std::make_unique<ir::Program>();
+  std::string Err;
+  if (!ir::parseProgram(IrText, *Entry->P, Err)) {
+    R.Error = Err;
+    return R;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    Entry->Epoch = I->NextEpoch++;
+    Impl::ProgramSlot &Slot = I->Programs[Name];
+    if (!Slot.Current) {
+      size_t Cap = I->Opts.Base.Execution.ForwardCacheCapacity;
+      Slot.EscCache.setCapacity(Cap);
+      Slot.TsCache.setCapacity(Cap);
+    } else {
+      Slot.Retired.push_back(std::move(Slot.Current));
+      Slot.NeedsInvalidation = true;
+    }
+    Slot.Current = Entry;
+    ++I->Stats.ProgramsRegistered;
+    R.Ok = true;
+    R.Epoch = Entry->Epoch;
+    R.Checks = Entry->P->numChecks();
+    R.Allocs = Entry->P->numAllocs();
+  }
+  bumpServiceCounter("optabs_service_programs_registered_total");
+  I->WorkCV.notify_all(); // stale-epoch eviction runs promptly
+  return R;
+}
+
+Session AnalysisService::openSession(const SessionSpec &Spec,
+                                     std::string &Error) {
+  if (Spec.Client != "escape" && Spec.Client != "typestate") {
+    Error = "client must be 'escape' or 'typestate', got '" + Spec.Client +
+            "'";
+    return Session();
+  }
+  if (Spec.Client == "escape" && !Spec.Property.empty()) {
+    Error = "the escape client takes no property";
+    return Session();
+  }
+  std::vector<ConfigError> Errs = Spec.SessionConfig.validate();
+  if (!Errs.empty()) {
+    Error = "invalid session config: " + formatConfigErrors(Errs);
+    return Session();
+  }
+  if (!Spec.Property.empty()) {
+    PropertySpec PS;
+    if (!parsePropertySpec(Spec.Property, PS, Error))
+      return Session();
+  }
+  std::lock_guard<std::mutex> Lock(I->M);
+  if (I->Programs.find(Spec.Program) == I->Programs.end()) {
+    Error = "program '" + Spec.Program + "' is not registered";
+    return Session();
+  }
+  size_t Open = 0;
+  for (const auto &[Id, S] : I->Sessions)
+    if (!S.Closed)
+      ++Open;
+  if (Open >= I->Opts.Base.Service.MaxSessions) {
+    Error = "session quota exceeded (" +
+            std::to_string(I->Opts.Base.Service.MaxSessions) +
+            " open sessions)";
+    return Session();
+  }
+  uint64_t Id = I->NextSession++;
+  Impl::SessionState &S = I->Sessions[Id];
+  S.Id = Id;
+  S.ProgramName = Spec.Program;
+  S.Typestate = Spec.Client == "typestate";
+  S.Property = Spec.Property;
+  S.Cfg = Spec.SessionConfig;
+  S.OptionsSig = optionsSignature(Spec.SessionConfig);
+  ++I->Stats.SessionsOpened;
+  bumpServiceCounter("optabs_service_sessions_opened_total");
+  return Session(this, Id);
+}
+
+std::future<QueryResult> AnalysisService::submitJob(uint64_t SessionId,
+                                                    const JobSpec &Job,
+                                                    uint64_t *JobId) {
+  if (JobId)
+    *JobId = 0;
+  std::unique_lock<std::mutex> Lock(I->M);
+  ++I->Stats.JobsSubmitted;
+  bumpServiceCounter("optabs_service_jobs_submitted_total");
+  auto It = I->Sessions.find(SessionId);
+  if (It == I->Sessions.end() || It->second.Closed || I->ShuttingDown) {
+    ++I->Stats.JobsRejected;
+    bumpServiceCounter("optabs_service_jobs_rejected_total");
+    return readyFuture(rejected(SessionId, "unknown or closed session"));
+  }
+  Impl::SessionState &S = It->second;
+  // Admission control. Quotas are per-tenant (the session's own config),
+  // so one tenant flooding its queue never affects another's admissions.
+  const Config::ServiceConfig &Q = S.Cfg.Service;
+  if (S.Pending.size() + S.Running >= Q.MaxPendingPerSession) {
+    ++I->Stats.JobsRejected;
+    bumpServiceCounter("optabs_service_jobs_rejected_total");
+    return readyFuture(
+        rejected(SessionId, "pending-job quota exceeded (" +
+                                std::to_string(Q.MaxPendingPerSession) +
+                                " jobs in flight)"));
+  }
+  if (Q.MaxJobsPerSession > 0 && S.SubmittedTotal >= Q.MaxJobsPerSession) {
+    ++I->Stats.JobsRejected;
+    bumpServiceCounter("optabs_service_jobs_rejected_total");
+    return readyFuture(
+        rejected(SessionId, "lifetime job quota exceeded (" +
+                                std::to_string(Q.MaxJobsPerSession) +
+                                " jobs per session)"));
+  }
+  Impl::PendingJob P;
+  P.Id = I->NextJob++;
+  if (JobId)
+    *JobId = P.Id;
+  P.Spec = Job;
+  std::future<QueryResult> F = P.Promise.get_future();
+  S.Pending.push_back(std::move(P));
+  ++S.SubmittedTotal;
+  I->setQueueDepth();
+  Lock.unlock();
+  I->WorkCV.notify_all();
+  return F;
+}
+
+size_t AnalysisService::cancelSessionPending(uint64_t SessionId) {
+  std::vector<Impl::PendingJob> Cancelled;
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    auto It = I->Sessions.find(SessionId);
+    if (It == I->Sessions.end())
+      return 0;
+    for (Impl::PendingJob &J : It->second.Pending)
+      Cancelled.push_back(std::move(J));
+    It->second.Pending.clear();
+    I->Stats.JobsCancelled += Cancelled.size();
+    bumpServiceCounter("optabs_service_jobs_cancelled_total",
+                       Cancelled.size());
+    I->setQueueDepth();
+  }
+  for (Impl::PendingJob &J : Cancelled) {
+    QueryResult R;
+    R.Job = J.Id;
+    R.Session = SessionId;
+    R.Status = JobStatus::Cancelled;
+    R.Error = "cancelled by client";
+    J.Promise.set_value(std::move(R));
+  }
+  I->IdleCV.notify_all();
+  return Cancelled.size();
+}
+
+void AnalysisService::closeSession(uint64_t SessionId) {
+  cancelSessionPending(SessionId);
+  std::lock_guard<std::mutex> Lock(I->M);
+  auto It = I->Sessions.find(SessionId);
+  if (It == I->Sessions.end() || It->second.Closed)
+    return;
+  It->second.Closed = true;
+  ++I->Stats.SessionsClosed;
+  bumpServiceCounter("optabs_service_sessions_closed_total");
+}
+
+void AnalysisService::drain() {
+  std::unique_lock<std::mutex> Lock(I->M);
+  ++I->DrainWaiters;
+  I->WorkCV.notify_all();
+  I->IdleCV.wait(Lock, [this] {
+    return I->queuedJobs() == 0 || I->ShuttingDown;
+  });
+  --I->DrainWaiters;
+}
+
+ServiceStats AnalysisService::stats() const {
+  std::lock_guard<std::mutex> Lock(I->M);
+  return I->Stats;
+}
+
+unsigned AnalysisService::poolWorkers() const { return I->Pool->numWorkers(); }
+
+} // namespace service
+} // namespace optabs

@@ -1,0 +1,282 @@
+//===- AnalysisService.h - Long-lived multi-tenant analysis service -*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived, multi-tenant front door to the TRACER engine. Where a
+/// standalone tracer::QueryDriver is a one-shot object owning its own
+/// thread pool and forward-run cache, an AnalysisService amortizes both
+/// across every client: tenants register programs, open Sessions bound to
+/// a program, submit (query, abstraction-family, budget, priority) jobs,
+/// and receive futures; a batch scheduler coalesces jobs that target the
+/// same (program, client, options) shard into one driver run, so a CEGAR
+/// round's forward fixpoints are planned once across all pending queries
+/// and memoized for every later one.
+///
+/// Architecture (DESIGN.md §9):
+///
+///  * One process-wide support::ThreadPool, borrowed by every driver run
+///    for its parallel phases (QueryDriver::borrowExecution).
+///  * One ForwardRunCache shard per (program, client family), shared
+///    across sessions and batches. Cache keys carry the program's
+///    registration epoch, so re-registering a program under the same name
+///    invalidates cleanly: new keys never match stale runs, and the stale
+///    entries (plus the retired IR they reference) are reclaimed by the
+///    scheduler before the next batch on that program.
+///  * A single scheduler thread executes batches one at a time: the
+///    caches keep their single-threaded contract, verdicts stay bitwise
+///    identical to standalone driver runs, and intra-batch parallelism
+///    still comes from the shared pool.
+///  * Admission control: per-session pending and lifetime job quotas
+///    (Config::ServiceConfig). A tenant over quota has its submissions
+///    rejected with a structured reason; other tenants are unaffected.
+///    Fair-share scheduling picks the next batch from the session with
+///    the fewest jobs served so far, then coalesces every compatible
+///    pending job across all sessions into the same run.
+///
+/// All public methods are thread-safe. Batch execution order is
+/// deterministic given a deterministic submission order (single scheduler,
+/// fair-share tie-broken by session id and submission sequence), and
+/// verdicts are independent of batch composition altogether: batching only
+/// changes which forward fixpoints are shared, never what any query
+/// concludes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SERVICE_ANALYSISSERVICE_H
+#define OPTABS_SERVICE_ANALYSISSERVICE_H
+
+#include "support/Config.h"
+#include "tracer/QueryDriver.h"
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace optabs {
+namespace service {
+
+/// How one submitted job ended.
+enum class JobStatus : uint8_t {
+  Done,      ///< the driver resolved the query (see QueryResult::V)
+  Rejected,  ///< admission control refused it (quota, bad session/query)
+  Cancelled, ///< cancelled before it was scheduled
+  Failed,    ///< the batch failed (program re-registered away, internal)
+};
+
+inline const char *jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Done:
+    return "done";
+  case JobStatus::Rejected:
+    return "rejected";
+  case JobStatus::Cancelled:
+    return "cancelled";
+  case JobStatus::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+/// The resolution of one job, delivered through the future returned by
+/// submit(). For Status == Done the verdict fields mirror
+/// tracer::QueryOutcome; otherwise Error says what happened.
+struct QueryResult {
+  uint64_t Job = 0;
+  uint64_t Session = 0;
+  JobStatus Status = JobStatus::Failed;
+  tracer::Verdict V = tracer::Verdict::Unresolved;
+  unsigned Iterations = 0;
+  uint32_t CheapestCost = 0;
+  std::string CheapestParam;
+  std::string ExhaustedResource; ///< for budget-unresolved verdicts
+  std::string ExhaustedSite;
+  std::string Error; ///< Rejected/Cancelled/Failed reason
+};
+
+/// A registration receipt (or a structured refusal).
+struct RegisterResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Epoch = 0;   ///< bumped every time the name is re-registered
+  uint32_t Checks = 0;  ///< check sites in the parsed program
+  uint32_t Allocs = 0;  ///< allocation sites (typestate site domain)
+};
+
+/// What a session analyzes: the thread-escape client, or the type-state
+/// client (stress property when Property is empty, otherwise a property
+/// automaton in the CLI's "init=...; method: from->to, ..." syntax).
+struct SessionSpec {
+  std::string Program; ///< registered program name
+  std::string Client;  ///< "escape" or "typestate"
+  std::string Property;
+  /// Per-session execution/budget configuration. Validated at open;
+  /// Execution.NumThreads and Execution.ForwardCacheCapacity are
+  /// service-owned and ignored here. Sessions with identical effective
+  /// options coalesce into shared batches; differing options (a different
+  /// K, strategy, or budget) keep their runs apart.
+  Config SessionConfig;
+};
+
+/// One submitted query.
+struct JobSpec {
+  uint32_t Check = 0; ///< check-site index in the program
+  /// Type-state tracked allocation-site index; ignored by the escape
+  /// client. One driver run handles one site, so jobs coalesce per site.
+  uint32_t Site = 0;
+  /// Larger = served earlier within this session's queue. Priority orders
+  /// batch *selection*; it never changes any query's verdict.
+  int32_t Priority = 0;
+};
+
+/// Aggregate service counters (monotonic except QueueDepth). Exposed to
+/// the stats protocol op and mirrored as optabs_service_* metrics.
+struct ServiceStats {
+  uint64_t ProgramsRegistered = 0;
+  uint64_t SessionsOpened = 0;
+  uint64_t SessionsClosed = 0;
+  uint64_t JobsSubmitted = 0;
+  uint64_t JobsRejected = 0;
+  uint64_t JobsCancelled = 0;
+  uint64_t JobsCompleted = 0;
+  uint64_t JobsFailed = 0;
+  uint64_t Batches = 0;
+  /// Jobs that rode in a coalesced batch beyond the first of each batch:
+  /// BatchedJobs - Batches. The amortization the service exists for.
+  uint64_t CoalescedJobs = 0;
+  uint64_t QueueDepth = 0; ///< pending + running jobs right now
+  /// Summed driver statistics across every batch (deltas per run).
+  uint64_t ForwardRuns = 0;
+  uint64_t BackwardRuns = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t StaleEntriesInvalidated = 0; ///< re-registration evictions
+};
+
+class AnalysisService;
+
+/// A tenant's handle: a session id plus the service it lives in. Thin and
+/// copyable; close() (or closing the service) invalidates all copies.
+class Session {
+public:
+  Session() = default;
+
+  uint64_t id() const { return Id; }
+  bool valid() const { return Svc != nullptr; }
+
+  /// Submits one query; the future always completes (Rejected results
+  /// complete immediately, scheduled ones when their batch finishes).
+  /// \p JobId (when non-null) receives the assigned job id, or 0 when the
+  /// submission was rejected without being queued.
+  std::future<QueryResult> submit(const JobSpec &Job,
+                                  uint64_t *JobId = nullptr);
+
+  /// Cancels this session's still-pending jobs; running batches finish.
+  /// Returns how many were cancelled.
+  size_t cancelPending();
+
+  /// Closes the session: pending jobs are cancelled, further submissions
+  /// rejected. Idempotent.
+  void close();
+
+private:
+  friend class AnalysisService;
+  Session(AnalysisService *Svc, uint64_t Id) : Svc(Svc), Id(Id) {}
+
+  AnalysisService *Svc = nullptr;
+  uint64_t Id = 0;
+};
+
+/// See the file comment. Construction spins up the shared pool and the
+/// scheduler thread; destruction drains nothing - still-pending jobs
+/// complete as Cancelled.
+class AnalysisService {
+public:
+  struct Options {
+    /// Service-wide execution defaults: NumThreads sizes the shared pool
+    /// (0 = hardware concurrency), ForwardCacheCapacity caps every cache
+    /// shard, and Service.* carries the tenant quotas.
+    Config Base;
+    /// When false, submitted jobs only run inside drain() calls - every
+    /// pending job is visible to the scheduler at once, so batch
+    /// composition (and therefore cache-hit accounting) is a pure
+    /// function of the submission order. The JSONL server runs this way
+    /// to keep scripted transcripts byte-stable; interactive embedders
+    /// keep the default and batches form as the scheduler frees up.
+    bool AutoDispatch = true;
+  };
+
+  AnalysisService(); ///< default Options
+  explicit AnalysisService(Options Opts);
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService &) = delete;
+  AnalysisService &operator=(const AnalysisService &) = delete;
+
+  /// Parses and (re-)registers a program under \p Name. Re-registration
+  /// bumps the epoch: sessions keep working against the new program, jobs
+  /// already queued resolve against it (out-of-range queries fail with a
+  /// structured error), and every cached forward run of older epochs is
+  /// invalidated before the next batch.
+  RegisterResult registerProgram(const std::string &Name,
+                                 const std::string &IrText);
+
+  /// Opens a session; on failure the returned Session is !valid() and
+  /// \p Error explains why (unknown program/client, invalid config,
+  /// session quota).
+  Session openSession(const SessionSpec &Spec, std::string &Error);
+
+  /// Blocks until every job pending at (or submitted during) this call
+  /// has completed. With AutoDispatch = false this is also what runs them.
+  void drain();
+
+  ServiceStats stats() const;
+
+  /// The number of workers in the shared pool (diagnostics/tests).
+  unsigned poolWorkers() const;
+
+private:
+  friend class Session;
+
+  std::future<QueryResult> submitJob(uint64_t SessionId, const JobSpec &Job,
+                                     uint64_t *JobId);
+  size_t cancelSessionPending(uint64_t SessionId);
+  void closeSession(uint64_t SessionId);
+
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+inline std::future<QueryResult> Session::submit(const JobSpec &Job,
+                                                uint64_t *JobId) {
+  if (JobId)
+    *JobId = 0;
+  if (!Svc) {
+    std::promise<QueryResult> P;
+    QueryResult R;
+    R.Status = JobStatus::Rejected;
+    R.Error = "invalid session handle";
+    P.set_value(std::move(R));
+    return P.get_future();
+  }
+  return Svc->submitJob(Id, Job, JobId);
+}
+inline size_t Session::cancelPending() {
+  return Svc ? Svc->cancelSessionPending(Id) : 0;
+}
+inline void Session::close() {
+  if (Svc)
+    Svc->closeSession(Id);
+  Svc = nullptr;
+}
+
+} // namespace service
+} // namespace optabs
+
+#endif // OPTABS_SERVICE_ANALYSISSERVICE_H

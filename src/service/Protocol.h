@@ -1,0 +1,297 @@
+//===- Protocol.h - Versioned JSONL service protocol -----------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response protocol spoken by `optabs-serve` over
+/// stdin/stdout: one JSON object per line in each direction. Both
+/// directions carry `"v": 1` - the protocol schema version, versioned
+/// independently of the event-trace schema (tracer/EventTrace.h) but with
+/// the same compatibility rule: adding fields is compatible, renaming or
+/// re-typing one bumps the version. The golden-transcript test
+/// (tools/testdata/serve_session.jsonl against its .golden) pins the exact
+/// serialized form of every response kind.
+///
+/// Requests (fields beyond "op" per operation; unknown ops and malformed
+/// lines produce an `"ok": false` error response and the server keeps
+/// reading):
+///
+///   {"op":"register-program","name":N,"text":IR}
+///   {"op":"open-session","program":N,"client":"escape"|"typestate"
+///        [,"property":SPEC] [,"k":K] [,"strategy":S] [,"max-iters":N]
+///        [,"step-budget":N] [,"max-pending":N] [,"max-jobs":N]}
+///   {"op":"submit","session":S,"check":C [,"site":H] [,"priority":P]}
+///   {"op":"cancel","session":S}
+///   {"op":"close-session","session":S}
+///   {"op":"drain"}            -> one result line per job, in job-id order
+///   {"op":"stats"}
+///   {"op":"shutdown"}
+///
+/// Responses always carry "v", "ok", and (echoed) "op". Job results (the
+/// lines emitted by "drain") additionally carry "job", "session",
+/// "status", and - for status "done" - "verdict", "iterations", "cost",
+/// "param". Responses contain no wall-clock or other nondeterministic
+/// fields, so a scripted session's transcript is byte-stable; that is
+/// enforced in CI by diffing a live server run against the golden file.
+///
+/// The parser below handles exactly the flat JSON objects the protocol
+/// uses: string values (with escapes), integers, doubles, and booleans -
+/// no nesting, no arrays. Lines that need more than that are not valid
+/// protocol lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SERVICE_PROTOCOL_H
+#define OPTABS_SERVICE_PROTOCOL_H
+
+#include "tracer/EventTrace.h" // JsonObject: the response builder
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace optabs {
+namespace service {
+
+/// Schema version stamped as `"v":1` on every request and response line.
+inline constexpr int ProtocolVersion = 1;
+
+/// One parsed flat JSON object: every value kept as a string plus a tag.
+/// Accessors coerce on demand and report absence/mismatch via optional.
+class JsonLine {
+public:
+  enum class Kind : uint8_t { String, Number, Bool };
+
+  /// Parses one line. Returns false (with \p Err set) on anything that is
+  /// not a single flat JSON object.
+  static bool parse(const std::string &Line, JsonLine &Out,
+                    std::string &Err) {
+    Out.Fields.clear();
+    size_t I = 0;
+    auto Skip = [&] {
+      while (I < Line.size() &&
+             (Line[I] == ' ' || Line[I] == '\t' || Line[I] == '\r'))
+        ++I;
+    };
+    auto ParseString = [&](std::string &S) -> bool {
+      if (I >= Line.size() || Line[I] != '"')
+        return false;
+      ++I;
+      S.clear();
+      while (I < Line.size() && Line[I] != '"') {
+        char C = Line[I];
+        if (C == '\\') {
+          if (I + 1 >= Line.size())
+            return false;
+          char E = Line[++I];
+          switch (E) {
+          case '"':
+            S += '"';
+            break;
+          case '\\':
+            S += '\\';
+            break;
+          case '/':
+            S += '/';
+            break;
+          case 'n':
+            S += '\n';
+            break;
+          case 'r':
+            S += '\r';
+            break;
+          case 't':
+            S += '\t';
+            break;
+          case 'u': {
+            if (I + 4 >= Line.size())
+              return false;
+            unsigned V = 0;
+            for (int K = 0; K < 4; ++K) {
+              char H = Line[++I];
+              V <<= 4;
+              if (H >= '0' && H <= '9')
+                V |= static_cast<unsigned>(H - '0');
+              else if (H >= 'a' && H <= 'f')
+                V |= static_cast<unsigned>(H - 'a' + 10);
+              else if (H >= 'A' && H <= 'F')
+                V |= static_cast<unsigned>(H - 'A' + 10);
+              else
+                return false;
+            }
+            // The protocol only escapes control characters; anything above
+            // ASCII would have been sent as UTF-8 directly.
+            if (V > 0x7f)
+              return false;
+            S += static_cast<char>(V);
+            break;
+          }
+          default:
+            return false;
+          }
+        } else {
+          S += C;
+        }
+        ++I;
+      }
+      if (I >= Line.size())
+        return false;
+      ++I; // closing quote
+      return true;
+    };
+
+    Skip();
+    if (I >= Line.size() || Line[I] != '{') {
+      Err = "expected a JSON object";
+      return false;
+    }
+    ++I;
+    Skip();
+    if (I < Line.size() && Line[I] == '}') {
+      ++I;
+    } else {
+      for (;;) {
+        Skip();
+        std::string Key;
+        if (!ParseString(Key)) {
+          Err = "expected a string key";
+          return false;
+        }
+        Skip();
+        if (I >= Line.size() || Line[I] != ':') {
+          Err = "expected ':' after key '" + Key + "'";
+          return false;
+        }
+        ++I;
+        Skip();
+        Value V;
+        if (I < Line.size() && Line[I] == '"') {
+          V.K = Kind::String;
+          if (!ParseString(V.S)) {
+            Err = "unterminated string value for key '" + Key + "'";
+            return false;
+          }
+        } else if (Line.compare(I, 4, "true") == 0) {
+          V.K = Kind::Bool;
+          V.S = "true";
+          I += 4;
+        } else if (Line.compare(I, 5, "false") == 0) {
+          V.K = Kind::Bool;
+          V.S = "false";
+          I += 5;
+        } else {
+          size_t Start = I;
+          if (I < Line.size() && (Line[I] == '-' || Line[I] == '+'))
+            ++I;
+          while (I < Line.size() &&
+                 ((Line[I] >= '0' && Line[I] <= '9') || Line[I] == '.' ||
+                  Line[I] == 'e' || Line[I] == 'E' || Line[I] == '-' ||
+                  Line[I] == '+'))
+            ++I;
+          if (I == Start) {
+            Err = "expected a value for key '" + Key + "'";
+            return false;
+          }
+          V.K = Kind::Number;
+          V.S = Line.substr(Start, I - Start);
+        }
+        Out.Fields[Key] = std::move(V);
+        Skip();
+        if (I < Line.size() && Line[I] == ',') {
+          ++I;
+          continue;
+        }
+        if (I < Line.size() && Line[I] == '}') {
+          ++I;
+          break;
+        }
+        Err = "expected ',' or '}'";
+        return false;
+      }
+    }
+    Skip();
+    if (I != Line.size()) {
+      Err = "trailing characters after object";
+      return false;
+    }
+    return true;
+  }
+
+  bool has(const std::string &Key) const { return Fields.count(Key) > 0; }
+
+  std::optional<std::string> getString(const std::string &Key) const {
+    auto It = Fields.find(Key);
+    if (It == Fields.end() || It->second.K != Kind::String)
+      return std::nullopt;
+    return It->second.S;
+  }
+
+  std::optional<uint64_t> getUInt(const std::string &Key) const {
+    auto It = Fields.find(Key);
+    if (It == Fields.end() || It->second.K != Kind::Number)
+      return std::nullopt;
+    const std::string &S = It->second.S;
+    if (S.empty() || S[0] == '-')
+      return std::nullopt;
+    uint64_t V = 0;
+    for (char C : S) {
+      if (C < '0' || C > '9')
+        return std::nullopt; // doubles are not valid where uints go
+      V = V * 10 + static_cast<uint64_t>(C - '0');
+    }
+    return V;
+  }
+
+  std::optional<int64_t> getInt(const std::string &Key) const {
+    auto It = Fields.find(Key);
+    if (It == Fields.end() || It->second.K != Kind::Number)
+      return std::nullopt;
+    const std::string &S = It->second.S;
+    bool Neg = !S.empty() && S[0] == '-';
+    uint64_t V = 0;
+    for (size_t I = Neg ? 1 : 0; I < S.size(); ++I) {
+      char C = S[I];
+      if (C < '0' || C > '9')
+        return std::nullopt;
+      V = V * 10 + static_cast<uint64_t>(C - '0');
+    }
+    if (S.size() == (Neg ? 1u : 0u))
+      return std::nullopt;
+    return Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
+  }
+
+private:
+  struct Value {
+    Kind K = Kind::String;
+    std::string S;
+  };
+  std::map<std::string, Value> Fields;
+};
+
+/// Starts a response object with the common "v" and "ok" fields; the
+/// caller adds "op" and the payload. tracer::JsonObject handles escaping
+/// and field ordering (insertion order, so transcripts are stable).
+inline tracer::JsonObject response(bool Ok) {
+  tracer::JsonObject O;
+  O.field("v", ProtocolVersion);
+  O.field("ok", Ok);
+  return O;
+}
+
+/// A complete error-response line.
+inline std::string errorLine(const std::string &Op, const std::string &Msg) {
+  tracer::JsonObject O = response(false);
+  if (!Op.empty())
+    O.field("op", Op);
+  O.field("error", Msg);
+  return O.str();
+}
+
+} // namespace service
+} // namespace optabs
+
+#endif // OPTABS_SERVICE_PROTOCOL_H

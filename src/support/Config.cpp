@@ -1,0 +1,191 @@
+//===- Config.cpp - Unified public configuration surface ----------------------===//
+
+#include "support/Config.h"
+
+#include <cstdlib>
+
+namespace optabs {
+
+namespace {
+
+void addError(std::vector<ConfigError> *Errors, const std::string &Field,
+              const std::string &Message) {
+  if (Errors)
+    Errors->push_back(ConfigError{Field, Message});
+}
+
+/// Parses \p Text fully as an unsigned integer; false on any junk.
+bool parseU64(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(Text.c_str(), &End, 10);
+  if (errno != 0 || End != Text.c_str() + Text.size() || Text[0] == '-')
+    return false;
+  Out = static_cast<uint64_t>(V);
+  return true;
+}
+
+bool parseDouble(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  double V = std::strtod(Text.c_str(), &End);
+  if (errno != 0 || End != Text.c_str() + Text.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+/// One environment override: reads \p Var and hands the raw text to
+/// \p Apply, which reports a malformed value by returning false.
+template <typename ApplyFn>
+void envOverride(const char *Var, const std::string &Field,
+                 std::vector<ConfigError> *Errors, ApplyFn Apply) {
+  const char *Raw = std::getenv(Var);
+  if (!Raw)
+    return;
+  if (!Apply(std::string(Raw)))
+    addError(Errors, Field,
+             std::string("malformed value '") + Raw + "' in " + Var);
+}
+
+} // namespace
+
+std::string formatConfigErrors(const std::vector<ConfigError> &Errors) {
+  std::string Out;
+  for (const ConfigError &E : Errors)
+    Out += "config error: " + E.Field + ": " + E.Message + "\n";
+  return Out;
+}
+
+bool Config::isKnownStrategy(const std::string &Name) {
+  return Name == "tracer" || Name == "eliminate-current" ||
+         Name == "greedy-grow";
+}
+
+Config Config::fromEnv(std::vector<ConfigError> *Errors) {
+  Config C;
+  if (std::getenv("OPTABS_AUDIT"))
+    C.Audit.Enabled = true;
+  if (const char *Path = std::getenv("OPTABS_METRICS"))
+    C.Observability.MetricsPath = Path;
+  if (const char *Path = std::getenv("OPTABS_CHROME_TRACE"))
+    C.Observability.ProfilePath = Path;
+  if (const char *Path = std::getenv("OPTABS_EVENT_TRACE"))
+    C.Observability.EventTracePath = Path;
+  envOverride("OPTABS_THREADS", "execution.num_threads", Errors,
+              [&](const std::string &V) {
+                uint64_t N;
+                if (!parseU64(V, N))
+                  return false;
+                C.Execution.NumThreads = static_cast<unsigned>(N);
+                return true;
+              });
+  envOverride("OPTABS_K", "execution.k", Errors, [&](const std::string &V) {
+    uint64_t N;
+    if (!parseU64(V, N))
+      return false;
+    C.Execution.K = static_cast<unsigned>(N);
+    return true;
+  });
+  envOverride("OPTABS_STRATEGY", "execution.strategy", Errors,
+              [&](const std::string &V) {
+                if (!isKnownStrategy(V))
+                  return false;
+                C.Execution.Strategy = V;
+                return true;
+              });
+  envOverride("OPTABS_CACHE_CAPACITY", "execution.forward_cache_capacity",
+              Errors, [&](const std::string &V) {
+                uint64_t N;
+                if (!parseU64(V, N))
+                  return false;
+                C.Execution.ForwardCacheCapacity = static_cast<size_t>(N);
+                return true;
+              });
+  envOverride("OPTABS_STEP_BUDGET", "budgets.step_budget", Errors,
+              [&](const std::string &V) {
+                uint64_t N;
+                if (!parseU64(V, N))
+                  return false;
+                C.Budgets.ForwardStepBudget = N;
+                C.Budgets.BackwardStepBudget = N;
+                C.Budgets.SolverDecisionBudget = N;
+                return true;
+              });
+  envOverride("OPTABS_TIME_BUDGET_SECONDS", "budgets.time_budget_seconds",
+              Errors, [&](const std::string &V) {
+                double D;
+                if (!parseDouble(V, D))
+                  return false;
+                C.Budgets.TimeBudgetSeconds = D;
+                return true;
+              });
+  envOverride("OPTABS_MEMORY_BUDGET_MB", "budgets.memory_budget_bytes",
+              Errors, [&](const std::string &V) {
+                uint64_t N;
+                if (!parseU64(V, N))
+                  return false;
+                C.Budgets.MemoryBudgetBytes = N * 1024 * 1024;
+                return true;
+              });
+  return C;
+}
+
+std::vector<ConfigError> Config::validate() const {
+  std::vector<ConfigError> Errors;
+  auto Reject = [&](const std::string &Field, const std::string &Message) {
+    Errors.push_back(ConfigError{Field, Message});
+  };
+
+  // (1) Strategy must name one of the three implemented searches.
+  if (!isKnownStrategy(Execution.Strategy))
+    Reject("execution.strategy",
+           "unknown strategy '" + Execution.Strategy +
+               "' (expected tracer, eliminate-current or greedy-grow)");
+  // (2)/(3) Degenerate loop bounds that would make the CEGAR loop a no-op.
+  if (Execution.TracesPerIteration == 0)
+    Reject("execution.traces_per_iteration",
+           "must analyze at least one counterexample per failed iteration");
+  if (Execution.MaxItersPerQuery == 0)
+    Reject("execution.max_iters_per_query",
+           "the CEGAR loop needs at least one iteration per query");
+  if (Execution.ProductSoftCap == 0)
+    Reject("execution.product_soft_cap",
+           "the Dnf::product soft cap must be at least 1");
+  // (4) Budgets must be positive where zero has no 'unbounded' meaning.
+  if (Budgets.TimeBudgetSeconds <= 0)
+    Reject("budgets.time_budget_seconds", "must be positive");
+  if (Budgets.BackwardTimeoutSeconds < 0)
+    Reject("budgets.backward_timeout_seconds", "must be non-negative");
+  // (5) Wall-clock timeouts are schedule-dependent; they cannot coexist
+  // with a determinism claim (previously only a comment on TracerOptions).
+  if (Execution.Deterministic && Budgets.BackwardTimeoutSeconds > 0)
+    Reject("budgets.backward_timeout_seconds",
+           "a wall-clock backward timeout is schedule-dependent and "
+           "conflicts with execution.deterministic; use "
+           "budgets.backward_step_budget for a reproducible cutoff");
+  // (6) The degradation ladder runs at TRACER round boundaries only.
+  if (Budgets.MemoryBudgetBytes > 0 && Execution.Strategy == "greedy-grow")
+    Reject("budgets.memory_budget_bytes",
+           "the memory degradation ladder only runs under the tracer "
+           "strategy (greedy-grow has no round boundaries)");
+  // (7) A trace label without a trace file records nothing.
+  if (!Observability.EventTraceLabel.empty() &&
+      Observability.EventTracePath.empty())
+    Reject("observability.event_trace_label",
+           "an event-trace label requires observability.event_trace_path");
+  // (8) Service quotas must admit at least one job per tenant.
+  if (Service.MaxPendingPerSession == 0)
+    Reject("service.max_pending_per_session",
+           "a session must be able to queue at least one job");
+  if (Service.MaxSessions == 0)
+    Reject("service.max_sessions",
+           "the service must admit at least one session");
+  return Errors;
+}
+
+} // namespace optabs

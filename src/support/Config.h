@@ -1,0 +1,148 @@
+//===- Config.h - Unified public configuration surface ---------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// optabs::Config is the one public knob surface of the library. Every
+/// entry point - the CLI, the analysis service, the experiment harness -
+/// builds its execution options from a Config, and the legacy option
+/// structs (tracer::TracerOptions, reporting::HarnessOptions) are thin
+/// deprecated aliases constructed from it.
+///
+/// Three rules, enforced in exactly one place each:
+///
+///  * Precedence: explicit > environment (OPTABS_*) > defaults. Start from
+///    Config::fromEnv() (defaults overlaid with the environment) and apply
+///    explicit settings on top; nothing else reads OPTABS_* variables.
+///  * Validation: validate() returns structured ConfigErrors for every
+///    invalid combination. The checks below replace what used to be
+///    comments scattered across TracerOptions (e.g. "a nonzero backward
+///    timeout makes results timing-dependent").
+///  * Sections: Execution (how the search runs), Budgets (when it stops),
+///    Observability (what it records), Audit (how it is checked), Service
+///    (multi-tenant quotas).
+///
+/// Documented invalid configurations rejected by validate():
+///
+///   1. execution.strategy not in {tracer, eliminate-current, greedy-grow}
+///   2. execution.traces_per_iteration == 0 (at least one counterexample
+///      per failed iteration)
+///   3. execution.max_iters_per_query == 0 (the CEGAR loop needs a round)
+///   4. budgets.time_budget_seconds <= 0 (and any negative budget)
+///   5. budgets.backward_timeout_seconds > 0 while execution.deterministic
+///      claims worker-count reproducibility (wall-clock timeouts are
+///      schedule-dependent; use budgets.backward_step_budget instead)
+///   6. budgets.memory_budget_bytes > 0 under the greedy-grow strategy
+///      (the degradation ladder runs at TRACER round boundaries only)
+///   7. observability.event_trace_label set without an event_trace_path
+///   8. service.max_pending_per_session == 0 (a tenant must be able to
+///      queue at least one job)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SUPPORT_CONFIG_H
+#define OPTABS_SUPPORT_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optabs {
+
+/// One structured validation (or environment-parse) error: which field is
+/// wrong, dotted-path style ("budgets.backward_timeout_seconds"), and why.
+struct ConfigError {
+  std::string Field;
+  std::string Message;
+};
+
+/// Renders a list of errors as one human-readable line per error.
+std::string formatConfigErrors(const std::vector<ConfigError> &Errors);
+
+struct Config {
+  /// How the search executes: the paper's operating point plus the
+  /// parallelism and caching knobs of the production driver.
+  struct ExecutionConfig {
+    unsigned K = 5;                  ///< dropk beam width; 0 = exact
+    unsigned MaxItersPerQuery = 100; ///< per-query CEGAR iteration budget
+    bool GroupQueries = true;        ///< §6 unviable-set grouping
+    size_t ProductSoftCap = 4096;    ///< Dnf::product growth cap
+    unsigned TracesPerIteration = 1; ///< counterexamples per failed round
+    /// Strategy name: "tracer", "eliminate-current" or "greedy-grow".
+    std::string Strategy = "tracer";
+    /// Worker threads (1 = sequential, 0 = hardware concurrency).
+    unsigned NumThreads = 1;
+    /// Forward-run cache entry cap (LRU); 0 = unbounded.
+    size_t ForwardCacheCapacity = 0;
+    /// Claim bitwise worker-count reproducibility. Purely declarative: it
+    /// does not change execution, but validate() rejects any knob (e.g. a
+    /// wall-clock backward timeout) that would break the claim.
+    bool Deterministic = false;
+  };
+
+  /// When the search stops: deterministic logical-step budgets per kernel,
+  /// plus the schedule-dependent wall-clock limits.
+  struct BudgetConfig {
+    double TimeBudgetSeconds = 1e12;   ///< whole-driver wall clock
+    double BackwardTimeoutSeconds = 0; ///< per-trace meta-analysis timeout
+    uint64_t ForwardStepBudget = 0;    ///< forward state visits per fixpoint
+    uint64_t BackwardStepBudget = 0;   ///< backward wp steps per trace
+    uint64_t SolverDecisionBudget = 0; ///< MinCostSat branch decisions
+    uint64_t MemoryBudgetBytes = 0;    ///< cache ceiling -> degradation ladder
+  };
+
+  /// What the run records. All default from OPTABS_* via fromEnv().
+  struct ObservabilityConfig {
+    std::string MetricsPath;     ///< Prometheus text dump (OPTABS_METRICS)
+    std::string ProfilePath;     ///< Chrome trace JSON (OPTABS_CHROME_TRACE)
+    std::string EventTracePath;  ///< JSONL CEGAR trace (OPTABS_EVENT_TRACE)
+    std::string EventTraceLabel; ///< label stamped on every event line
+  };
+
+  /// How verdicts are double-checked (tracer/Certificates.h).
+  struct AuditConfig {
+    bool Enabled = false; ///< certificate-check every verdict (OPTABS_AUDIT)
+  };
+
+  /// Multi-tenant quotas of the analysis service (src/service/).
+  struct ServiceConfig {
+    unsigned MaxSessions = 64;          ///< concurrently open sessions
+    unsigned MaxPendingPerSession = 1024; ///< queued jobs before rejection
+    uint64_t MaxJobsPerSession = 0;     ///< lifetime job quota; 0 = unlimited
+  };
+
+  ExecutionConfig Execution;
+  BudgetConfig Budgets;
+  ObservabilityConfig Observability;
+  AuditConfig Audit;
+  ServiceConfig Service;
+
+  /// The built-in defaults (the paper's k=5 operating point, sequential,
+  /// unbounded budgets, no observability).
+  static Config defaults() { return Config(); }
+
+  /// Defaults overlaid with the OPTABS_* environment: OPTABS_AUDIT,
+  /// OPTABS_METRICS, OPTABS_CHROME_TRACE, OPTABS_EVENT_TRACE,
+  /// OPTABS_THREADS, OPTABS_K, OPTABS_STRATEGY, OPTABS_STEP_BUDGET (arms
+  /// all three step budgets), OPTABS_TIME_BUDGET_SECONDS,
+  /// OPTABS_CACHE_CAPACITY, OPTABS_MEMORY_BUDGET_MB. Malformed values are
+  /// reported through \p Errors (when non-null) and leave the default in
+  /// place. This is the only function in the codebase that reads OPTABS_*
+  /// configuration variables.
+  static Config fromEnv(std::vector<ConfigError> *Errors = nullptr);
+
+  /// Structural validation; empty result = valid. See the file comment for
+  /// the documented rejected combinations.
+  std::vector<ConfigError> validate() const;
+
+  /// True when \p Name is a known strategy ("tracer", "eliminate-current",
+  /// "greedy-grow").
+  static bool isKnownStrategy(const std::string &Name);
+};
+
+} // namespace optabs
+
+#endif // OPTABS_SUPPORT_CONFIG_H

@@ -12,8 +12,8 @@
 /// Yang's probabilistic refinement guidance - consume the rounds without
 /// parsing human-oriented logs.
 ///
-/// Schema (every event carries "event" and "label"; see DESIGN.md for the
-/// full field tables):
+/// Schema (every event carries "v" - the schema version, currently 1 -
+/// plus "event" and "label"; see DESIGN.md for the full field tables):
 ///
 ///   run_begin   queries, strategy, k, threads
 ///   round_begin round, unresolved, groups
@@ -59,6 +59,14 @@
 
 namespace optabs {
 namespace tracer {
+
+/// Schema version stamped as `"v":1` on every event-trace line. Bump it
+/// when a field is renamed, removed, or changes meaning; adding fields is
+/// backward compatible and needs no bump. The golden-file test in
+/// tests/ProtocolTest.cpp pins the exact serialized form of every event
+/// kind, so accidental renames fail CI instead of silently breaking
+/// downstream trace consumers.
+inline constexpr int EventSchemaVersion = 1;
 
 /// Builds one JSON object incrementally. Only the types the event trace
 /// needs; strings are escaped per RFC 8259.
@@ -182,9 +190,11 @@ public:
     return Out.is_open();
   }
 
-  /// Starts an event object with the common "event" and "label" fields.
+  /// Starts an event object with the common "v" (schema version), "event"
+  /// and "label" fields.
   JsonObject event(const char *Kind) const {
     JsonObject O;
+    O.field("v", EventSchemaVersion);
     O.field("event", Kind);
     std::lock_guard<std::mutex> Lock(M);
     O.field("label", TraceLabel);

@@ -57,11 +57,22 @@ template <typename RunT> class ForwardRunCache {
 public:
   /// Cache key: the abstraction's parameter bits, plus a salt used by the
   /// ungrouped (§6 baseline) driver mode to keep per-query runs separate.
+  /// Service-shared caches additionally scope every entry by the program
+  /// registration epoch (re-registering a program bumps the epoch, so stale
+  /// runs against the old IR can never be served) and an analysis family
+  /// (e.g. the typestate tracked-site index), so one cache object can be
+  /// shared across sessions without runs from different analyses colliding.
   struct Key {
     std::vector<bool> Bits;
     uint32_t Salt = 0;
+    uint64_t ProgramEpoch = 0; ///< 0 for standalone (driver-owned) caches
+    uint64_t Family = 0;       ///< analysis family within one program
 
     friend bool operator<(const Key &A, const Key &B) {
+      if (A.ProgramEpoch != B.ProgramEpoch)
+        return A.ProgramEpoch < B.ProgramEpoch;
+      if (A.Family != B.Family)
+        return A.Family < B.Family;
       if (A.Salt != B.Salt)
         return A.Salt < B.Salt;
       return A.Bits < B.Bits;
@@ -133,6 +144,25 @@ public:
     touch(E);
     evictOverCapacity();
     return E.Run.get();
+  }
+
+  /// Drops every entry whose key satisfies \p Pred, regardless of pinning
+  /// or capacity - the service's invalidation hook for re-registered
+  /// programs (all entries of a stale ProgramEpoch go at once, between
+  /// batches, when nothing references them). Returns the number evicted.
+  template <typename PredT> size_t evictKeysWhere(PredT Pred) {
+    size_t Count = 0;
+    for (auto It = Entries.begin(); It != Entries.end();) {
+      if (!Pred(It->first)) {
+        ++It;
+        continue;
+      }
+      addResident(-static_cast<int64_t>(It->second.Bytes));
+      bump(Evictions, "optabs_forward_cache_evictions_total");
+      It = Entries.erase(It);
+      ++Count;
+    }
+    return Count;
   }
 
   /// Drops every entry not pinned by the current epoch, regardless of

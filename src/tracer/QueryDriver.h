@@ -61,6 +61,7 @@
 #include "dataflow/Forward.h"
 #include "meta/Backward.h"
 #include "support/Budget.h"
+#include "support/Config.h"
 #include "support/FaultInjection.h"
 #include "support/Invariants.h"
 #include "support/Metrics.h"
@@ -143,6 +144,21 @@ inline const char *strategyName(SearchStrategy S) {
     return "greedy-grow";
   }
   return "?";
+}
+
+/// Parses a strategy name; false (and \p Out untouched) when unknown. The
+/// inverse of strategyName, shared by the CLI, the service protocol, and
+/// the Config bridge.
+inline bool parseStrategy(const std::string &Name, SearchStrategy &Out) {
+  if (Name == "tracer")
+    Out = SearchStrategy::Tracer;
+  else if (Name == "eliminate-current")
+    Out = SearchStrategy::EliminateCurrent;
+  else if (Name == "greedy-grow")
+    Out = SearchStrategy::GreedyGrow;
+  else
+    return false;
+  return true;
 }
 
 /// Tuning knobs (defaults follow the paper's chosen operating point k=5).
@@ -230,6 +246,35 @@ struct TracerOptions {
   /// ThreadPool worker) of all spans recorded so far to this path at the
   /// end of run(). Cumulative and rewritten like MetricsPath.
   std::string ProfilePath;
+
+  /// Builds driver options from the unified public configuration surface
+  /// (support/Config.h). TracerOptions is a deprecated alias kept for the
+  /// library internals: new code should carry an optabs::Config (validated
+  /// once at the entry point) and convert here, at the driver boundary. An
+  /// unknown strategy name falls back to Tracer - Config::validate()
+  /// rejects it before any well-behaved caller gets this far.
+  static TracerOptions fromConfig(const optabs::Config &C) {
+    TracerOptions O;
+    O.K = C.Execution.K;
+    O.MaxItersPerQuery = C.Execution.MaxItersPerQuery;
+    O.GroupQueries = C.Execution.GroupQueries;
+    O.ProductSoftCap = C.Execution.ProductSoftCap;
+    O.TracesPerIteration = C.Execution.TracesPerIteration;
+    parseStrategy(C.Execution.Strategy, O.Strategy);
+    O.NumThreads = C.Execution.NumThreads;
+    O.ForwardCacheCapacity = C.Execution.ForwardCacheCapacity;
+    O.TimeBudgetSeconds = C.Budgets.TimeBudgetSeconds;
+    O.BackwardTimeoutSeconds = C.Budgets.BackwardTimeoutSeconds;
+    O.ForwardStepBudget = C.Budgets.ForwardStepBudget;
+    O.BackwardStepBudget = C.Budgets.BackwardStepBudget;
+    O.SolverDecisionBudget = C.Budgets.SolverDecisionBudget;
+    O.MemoryBudgetBytes = C.Budgets.MemoryBudgetBytes;
+    O.EventTracePath = C.Observability.EventTracePath;
+    O.EventTraceLabel = C.Observability.EventTraceLabel;
+    O.MetricsPath = C.Observability.MetricsPath;
+    O.ProfilePath = C.Observability.ProfilePath;
+    return O;
+  }
 };
 
 /// Wall-clock seconds attributed to each pipeline stage of the TRACER
@@ -298,6 +343,26 @@ public:
               TracerOptions Options = TracerOptions())
       : P(P), A(A), Options(Options) {}
 
+  /// Service injection: runs this driver against a thread pool and a
+  /// forward-run cache owned by someone else (the AnalysisService shares
+  /// one pool and one cache shard across every session of a program)
+  /// instead of the driver's private ones. Under borrowed execution the
+  /// driver never resets the cache's capacity or counters (DriverStats
+  /// reports per-run deltas instead), stamps \p ProgramEpoch / \p Family
+  /// into every cache key so shards shared across program registrations
+  /// and analysis families stay disjoint, and sizes its per-worker scratch
+  /// from the borrowed pool (TracerOptions::NumThreads is ignored). The
+  /// borrowed cache's single-threaded contract carries over: the owner
+  /// must not run two drivers against one cache concurrently.
+  void borrowExecution(support::ThreadPool *Pool,
+                       ForwardRunCache<Forward> *SharedCache,
+                       uint64_t ProgramEpoch = 0, uint64_t Family = 0) {
+    BorrowedPool = Pool;
+    BorrowedCache = SharedCache;
+    CacheEpochScope = ProgramEpoch;
+    CacheFamilyScope = Family;
+  }
+
   /// Resolves all \p Queries; the result vector is parallel to the input.
   std::vector<QueryOutcome> run(const std::vector<ir::CheckId> &Queries) {
     if ((!Options.MetricsPath.empty() || !Options.ProfilePath.empty()) &&
@@ -321,8 +386,13 @@ private:
     Stats = DriverStats();
     Sink.clear();
     LastViable.clear();
-    Cache.setCapacity(Options.ForwardCacheCapacity);
-    Cache.resetCounters();
+    if (!BorrowedCache) {
+      // A borrowed (service-shared) cache keeps its capacity and counters
+      // across runs; the stats below report this run's deltas.
+      OwnedCache.setCapacity(Options.ForwardCacheCapacity);
+      OwnedCache.resetCounters();
+    }
+    BaseCounters = cache().counters();
     EventTraceWriter Trace;
     if (!Options.EventTracePath.empty())
       Trace.open(Options.EventTracePath, Options.EventTraceLabel);
@@ -430,7 +500,7 @@ private:
       }
       Timer RoundTimer;
       support::ScopedSpan RoundSpan("tracer.round");
-      Cache.beginEpoch();
+      cache().beginEpoch();
 
       // Graceful degradation: when the cache's resident bytes exceed the
       // memory budget, escalate one rung and always evict as immediate
@@ -439,10 +509,10 @@ private:
       // future work. Every rung only under-approximates harder (§5's dropK
       // argument), so verdicts stay sound.
       if (Options.MemoryBudgetBytes > 0 &&
-          Cache.counters().ResidentBytes > Options.MemoryBudgetBytes) {
-        uint64_t Resident = Cache.counters().ResidentBytes;
+          cache().counters().ResidentBytes > Options.MemoryBudgetBytes) {
+        uint64_t Resident = cache().counters().ResidentBytes;
         LadderRung = std::min(LadderRung + 1, 3u);
-        size_t Evicted = Cache.evictUnpinned();
+        size_t Evicted = cache().evictUnpinned();
         const char *Action = "evict_cache";
         if (LadderRung >= 2) {
           unsigned NarrowK = std::max(1u, Options.K / 2);
@@ -547,6 +617,8 @@ private:
           Plan.Bits = std::move(Model->Assignment);
           CacheKey Key;
           Key.Bits = Plan.Bits;
+          Key.ProgramEpoch = CacheEpochScope;
+          Key.Family = CacheFamilyScope;
           // Without grouping, each query keeps its own runs (the §6
           // baseline); the salt separates them in the shared cache.
           Key.Salt = Options.GroupQueries
@@ -557,11 +629,11 @@ private:
             RunSlot Slot;
             Slot.Key = std::move(Key);
             Slot.Abs = Plan.Abs;
-            Slot.Run = Cache.lookup(Slot.Key); // counts a hit or a miss
+            Slot.Run = cache().lookup(Slot.Key); // counts a hit or a miss
             Slots.push_back(std::move(Slot));
           } else {
             // A second group solved to the same abstraction this round.
-            Cache.noteSharedHit();
+            cache().noteSharedHit();
           }
           Plan.Slot = It->second;
           Slots[Plan.Slot].Users += Members.size();
@@ -589,7 +661,7 @@ private:
       for (size_t S = 0; S < Slots.size(); ++S)
         if (!Slots[S].Run)
           ToBuild.push_back(S);
-      Pool->parallelFor(ToBuild.size(), [&](size_t T, unsigned) {
+      pool().parallelFor(ToBuild.size(), [&](size_t T, unsigned) {
         support::ScopedSpan TaskSpan("tracer.forward.fixpoint");
         RunSlot &Slot = Slots[ToBuild[T]];
         Timer BuildTimer;
@@ -625,7 +697,7 @@ private:
                   "fault injection: forced invariant breakage");
           }
           Slots[S].Run =
-              Cache.insert(Slots[S].Key, std::move(Slots[S].Fresh));
+              cache().insert(Slots[S].Key, std::move(Slots[S].Fresh));
         } catch (const std::bad_alloc &) {
           Slots[S].Exhaustion =
               support::Exhausted{support::Resource::Memory, "cache.insert"};
@@ -743,7 +815,7 @@ private:
       // query? Read-only on the forward runs, so fully parallel across
       // steps. D = F_p[s]({d_I}) at the check, intersected with
       // gamma(not q) (line 9).
-      Pool->parallelFor(Steps.size(), [&](size_t T, unsigned) {
+      pool().parallelFor(Steps.size(), [&](size_t T, unsigned) {
         MemberStep &Step = Steps[T];
         if (Step.Kind == StepKind::Exhausted)
           return; // no forward run to classify against
@@ -790,7 +862,7 @@ private:
       // Stage B2: counterexample trace extraction and replay (lines
       // 13-14). Extraction mutates a run's scratch tables, so steps of one
       // forward run stay sequential; distinct runs proceed in parallel.
-      Pool->parallelFor(Slots.size(), [&](size_t S, unsigned) {
+      pool().parallelFor(Slots.size(), [&](size_t S, unsigned) {
         RunSlot &Slot = Slots[S];
         for (size_t StepIdx : SlotWork[S]) {
           MemberStep &Step = Steps[StepIdx];
@@ -848,7 +920,7 @@ private:
       for (size_t T = 0; T < Steps.size(); ++T)
         for (size_t J = 0; J < Steps[T].Traces.size(); ++J)
           TraceTasks.emplace_back(T, J);
-      Pool->parallelFor(TraceTasks.size(), [&](size_t T, unsigned Worker) {
+      pool().parallelFor(TraceTasks.size(), [&](size_t T, unsigned Worker) {
         support::ScopedSpan TaskSpan("tracer.backward.trace");
         auto [StepIdx, J] = TraceTasks[T];
         MemberStep &Step = Steps[StepIdx];
@@ -1025,9 +1097,13 @@ private:
         Trace.write(Trace.event("round_end")
                         .field("round", Stats.Rounds)
                         .field("unresolved", Unresolved)
-                        .field("cache_hits", Cache.counters().Hits)
-                        .field("cache_misses", Cache.counters().Misses)
-                        .field("cache_evictions", Cache.counters().Evictions)
+                        .field("cache_hits",
+                               cache().counters().Hits - BaseCounters.Hits)
+                        .field("cache_misses",
+                               cache().counters().Misses - BaseCounters.Misses)
+                        .field("cache_evictions",
+                               cache().counters().Evictions -
+                                   BaseCounters.Evictions)
                         .field("seconds", RoundTimer.seconds()));
     }
 
@@ -1093,8 +1169,13 @@ private:
     Stats = DriverStats();
     Sink.clear();
     LastViable.clear();
-    Cache.setCapacity(Options.ForwardCacheCapacity);
-    Cache.resetCounters();
+    if (!BorrowedCache) {
+      // A borrowed (service-shared) cache keeps its capacity and counters
+      // across runs; the stats below report this run's deltas.
+      OwnedCache.setCapacity(Options.ForwardCacheCapacity);
+      OwnedCache.resetCounters();
+    }
+    BaseCounters = cache().counters();
     EventTraceWriter Trace;
     if (!Options.EventTracePath.empty())
       Trace.open(Options.EventTracePath, Options.EventTraceLabel);
@@ -1125,7 +1206,9 @@ private:
     auto GetRun = [&](const std::vector<bool> &Bits) -> Forward * {
       CacheKey Key;
       Key.Bits = Bits;
-      if (Forward *Hit = Cache.lookup(Key))
+      Key.ProgramEpoch = CacheEpochScope;
+      Key.Family = CacheFamilyScope;
+      if (Forward *Hit = cache().lookup(Key))
         return Hit;
       support::BudgetGate Gate("forward.visit", Options.ForwardStepBudget,
                                CancelTok.get(), 0, &Sink);
@@ -1136,7 +1219,7 @@ private:
         GreedyExhaustion = *Run->exhaustion();
         return nullptr;
       }
-      return Cache.insert(std::move(Key), std::move(Run));
+      return cache().insert(std::move(Key), std::move(Run));
     };
 
     std::vector<QueryOutcome> Outcomes(Queries.size());
@@ -1172,7 +1255,7 @@ private:
         }
         ++Out.Iterations;
         ++Stats.Rounds;
-        Cache.beginEpoch();
+        cache().beginEpoch();
         Param Prm = A.paramFromBits(Bits);
         Forward *RunPtr = GetRun(Bits);
         if (!RunPtr) {
@@ -1322,6 +1405,8 @@ private:
   }
 
   unsigned effectiveWorkers() const {
+    if (BorrowedPool)
+      return BorrowedPool->numWorkers();
     unsigned N = Options.NumThreads == 0
                      ? support::ThreadPool::hardwareWorkers()
                      : Options.NumThreads;
@@ -1329,15 +1414,28 @@ private:
   }
 
   void ensurePool(unsigned Workers) {
-    if (!Pool || Pool->numWorkers() != Workers)
-      Pool = std::make_unique<support::ThreadPool>(Workers, &Sink);
+    if (BorrowedPool)
+      return; // the service owns (and sizes) the shared pool
+    if (!OwnedPool || OwnedPool->numWorkers() != Workers)
+      OwnedPool = std::make_unique<support::ThreadPool>(Workers, &Sink);
   }
 
+  support::ThreadPool &pool() {
+    return BorrowedPool ? *BorrowedPool : *OwnedPool;
+  }
+
+  ForwardRunCache<Forward> &cache() {
+    return BorrowedCache ? *BorrowedCache : OwnedCache;
+  }
+
+  /// Cache activity attributable to this run: on a borrowed (shared) cache
+  /// the process-lifetime counters keep growing across batches, so stats
+  /// report the delta against the snapshot taken at run() entry.
   void publishCacheCounters() {
-    ForwardCacheCounters C = Cache.counters();
-    Stats.CacheHits = C.Hits;
-    Stats.CacheMisses = C.Misses;
-    Stats.CacheEvictions = C.Evictions;
+    ForwardCacheCounters C = cache().counters();
+    Stats.CacheHits = C.Hits - BaseCounters.Hits;
+    Stats.CacheMisses = C.Misses - BaseCounters.Misses;
+    Stats.CacheEvictions = C.Evictions - BaseCounters.Evictions;
     Stats.CacheResidentBytes = C.ResidentBytes;
   }
 
@@ -1359,8 +1457,15 @@ private:
   TracerOptions Options;
   DriverStats Stats;
   double TotalSeconds = 0;
-  ForwardRunCache<Forward> Cache;
-  std::unique_ptr<support::ThreadPool> Pool;
+  ForwardRunCache<Forward> OwnedCache;
+  std::unique_ptr<support::ThreadPool> OwnedPool;
+  /// Borrowed execution context (see borrowExecution); null = self-owned.
+  ForwardRunCache<Forward> *BorrowedCache = nullptr;
+  support::ThreadPool *BorrowedPool = nullptr;
+  uint64_t CacheEpochScope = 0;
+  uint64_t CacheFamilyScope = 0;
+  /// Counter snapshot at run() entry; publishCacheCounters reports deltas.
+  ForwardCacheCounters BaseCounters;
   support::InvariantSink Sink;
   std::vector<Cnf> LastViable;
 };

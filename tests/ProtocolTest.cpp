@@ -1,0 +1,311 @@
+//===- ProtocolTest.cpp - Versioned JSONL schema tests ------------------------===//
+//
+// Both JSONL surfaces of the project - the CEGAR event trace
+// (tracer/EventTrace.h, `"v":1`) and the optabs-serve request/response
+// protocol (service/Protocol.h, `"v":1`) - are versioned, and their exact
+// serialized forms are pinned by a golden file: a renamed, re-typed, or
+// re-ordered field fails here instead of silently breaking downstream
+// trace consumers. The flat-JSON request parser is exercised over its
+// whole grammar, including everything it must reject.
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+#include "service/Protocol.h"
+#include "tracer/EventTrace.h"
+#include "tracer/QueryDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace optabs;
+using tracer::JsonObject;
+
+namespace {
+
+#ifndef OPTABS_GOLDEN_DIR
+#define OPTABS_GOLDEN_DIR "golden"
+#endif
+
+std::vector<std::string> readLines(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.is_open()) << "cannot open " << Path;
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// Mirrors EventTraceWriter::event(): the common prefix every trace line
+/// carries.
+JsonObject event(const char *Kind) {
+  JsonObject O;
+  O.field("v", tracer::EventSchemaVersion);
+  O.field("event", Kind);
+  O.field("label", "golden");
+  return O;
+}
+
+/// One sample line per event kind and per protocol response form, with
+/// fixed values, built exactly like the emitting code builds them. The
+/// golden file pins the serialized bytes.
+std::vector<std::string> sampleSchemaLines() {
+  std::vector<std::string> L;
+  L.push_back(event("run_begin")
+                  .field("queries", size_t(2))
+                  .field("strategy", "tracer")
+                  .field("k", 5u)
+                  .field("threads", 1u)
+                  .str());
+  L.push_back(event("round_begin")
+                  .field("round", 1u)
+                  .field("unresolved", 2u)
+                  .field("groups", size_t(1))
+                  .str());
+  L.push_back(event("choose")
+                  .field("round", 1u)
+                  .field("members", size_t(2))
+                  .field("cost", uint32_t(1))
+                  .field("bits", tracer::bitsToString({false, true, false}))
+                  .field("viable_clauses", size_t(3))
+                  .hexField("viable_sig", 0x1234)
+                  .str());
+  L.push_back(event("forward")
+                  .field("round", 1u)
+                  .field("bits", "010")
+                  .field("cached", false)
+                  .field("seconds", 0.25)
+                  .str());
+  L.push_back(event("step")
+                  .field("round", 1u)
+                  .field("query", uint32_t(0))
+                  .field("kind", "backward")
+                  .field("fail_states", size_t(1))
+                  .field("traces", size_t(1))
+                  .field("trace_lens", std::vector<size_t>{4, 7})
+                  .field("max_cubes", size_t(2))
+                  .hexField("learned_sig", 0xdeadbeef)
+                  .str());
+  L.push_back(event("verdict")
+                  .field("round", 2u)
+                  .field("query", uint32_t(0))
+                  .field("verdict", "proven")
+                  .field("iterations", 2u)
+                  .field("cost", uint32_t(1))
+                  .field("param", "[L:h1]")
+                  .str());
+  L.push_back(event("round_end")
+                  .field("round", 1u)
+                  .field("unresolved", 1u)
+                  .field("cache_hits", uint64_t(0))
+                  .field("cache_misses", uint64_t(1))
+                  .field("cache_evictions", uint64_t(0))
+                  .field("seconds", 0.5)
+                  .str());
+  L.push_back(event("invariant_violation")
+                  .field("check", uint32_t(0))
+                  .field("where", "forward.postcheck")
+                  .field("message", "fixpoint not inductive")
+                  .str());
+  L.push_back(event("budget_exhausted")
+                  .field("round", 1u)
+                  .field("query", uint32_t(0))
+                  .field("resource", "steps")
+                  .field("site", "forward.visit")
+                  .str());
+  L.push_back(event("degrade")
+                  .field("round", 2u)
+                  .field("rung", 1u)
+                  .field("action", "evict_cache")
+                  .field("trigger", "memory")
+                  .field("resident_bytes", uint64_t(2048))
+                  .field("budget_bytes", uint64_t(1024))
+                  .field("evicted", size_t(3))
+                  .str());
+  L.push_back(event("run_end")
+                  .field("rounds", 3u)
+                  .field("forward_runs", 4u)
+                  .field("backward_runs", 2u)
+                  .field("solver_calls", 3u)
+                  .field("violations", size_t(0))
+                  .field("budget_exhausted", 1u)
+                  .field("degradations", 1u)
+                  .field("seconds", 1.5)
+                  .str());
+  // Service protocol response forms (service/Protocol.h).
+  L.push_back(service::response(true).str());
+  L.push_back(service::response(false).str());
+  L.push_back(service::errorLine("submit", "unknown or closed session"));
+  L.push_back(service::errorLine("", "not json"));
+  // A job-result line as optabs-serve emits it after a drain.
+  L.push_back(service::response(true)
+                  .field("op", "result")
+                  .field("job", uint64_t(1))
+                  .field("session", uint64_t(1))
+                  .field("status", "done")
+                  .field("verdict", "proven")
+                  .field("iterations", 3u)
+                  .field("cost", uint32_t(2))
+                  .field("param", "[L:h1,h2]")
+                  .str());
+  return L;
+}
+
+TEST(SchemaGoldenTest, SerializedFormsMatchGoldenFile) {
+  std::vector<std::string> Want =
+      readLines(std::string(OPTABS_GOLDEN_DIR) + "/schema_v1.golden");
+  std::vector<std::string> Got = sampleSchemaLines();
+  ASSERT_EQ(Want.size(), Got.size())
+      << "schema sample count changed; regenerate the golden file "
+         "deliberately and bump the schema version if a field changed";
+  for (size_t I = 0; I < Want.size(); ++I)
+    EXPECT_EQ(Want[I], Got[I]) << "line " << (I + 1);
+}
+
+TEST(SchemaGoldenTest, VersionsAreStillOne) {
+  // Bumping either version is a deliberate act: it must come with a new
+  // golden file and a schema note in DESIGN.md.
+  EXPECT_EQ(tracer::EventSchemaVersion, 1);
+  EXPECT_EQ(service::ProtocolVersion, 1);
+}
+
+TEST(JsonObjectTest, EscapesStringsPerRfc8259) {
+  JsonObject O;
+  O.field("s", std::string("a\"b\\c\nd\te\x01"));
+  EXPECT_EQ(O.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+}
+
+TEST(JsonObjectTest, FieldsKeepInsertionOrder) {
+  JsonObject O;
+  O.field("z", 1u).field("a", 2u).field("m", true);
+  EXPECT_EQ(O.str(), "{\"z\":1,\"a\":2,\"m\":true}");
+}
+
+//===----------------------------------------------------------------------===//
+// service::JsonLine - the request parser.
+//===----------------------------------------------------------------------===//
+
+service::JsonLine parseOk(const std::string &Text) {
+  service::JsonLine L;
+  std::string Err;
+  EXPECT_TRUE(service::JsonLine::parse(Text, L, Err)) << Err;
+  return L;
+}
+
+std::string parseErr(const std::string &Text) {
+  service::JsonLine L;
+  std::string Err;
+  EXPECT_FALSE(service::JsonLine::parse(Text, L, Err)) << Text;
+  return Err;
+}
+
+TEST(JsonLineTest, ParsesFlatObjects) {
+  service::JsonLine L = parseOk(
+      R"({"op":"submit","session":3,"priority":-2,"ok":true,"bad":false,)"
+      R"("text":"a\nb\t\"q\" \\ A","f":1.5})");
+  EXPECT_EQ(L.getString("op"), "submit");
+  EXPECT_EQ(L.getUInt("session"), 3u);
+  EXPECT_EQ(L.getInt("priority"), -2);
+  EXPECT_EQ(L.getString("text"), "a\nb\t\"q\" \\ A");
+  EXPECT_TRUE(L.has("ok"));
+  EXPECT_TRUE(L.has("f"));
+  EXPECT_FALSE(L.has("missing"));
+  service::JsonLine Empty = parseOk("{}");
+  EXPECT_FALSE(Empty.has("op"));
+}
+
+TEST(JsonLineTest, AccessorsRejectTypeMismatches) {
+  service::JsonLine L =
+      parseOk(R"({"s":"five","n":5,"neg":-1,"d":2.5,"b":true})");
+  EXPECT_EQ(L.getUInt("s"), std::nullopt);   // string where a uint goes
+  EXPECT_EQ(L.getString("n"), std::nullopt); // number where a string goes
+  EXPECT_EQ(L.getUInt("neg"), std::nullopt); // negative is not unsigned
+  EXPECT_EQ(L.getUInt("d"), std::nullopt);   // doubles are not valid uints
+  EXPECT_EQ(L.getUInt("b"), std::nullopt);   // bools are not numbers
+  EXPECT_EQ(L.getInt("neg"), -1);
+  EXPECT_EQ(L.getUInt("n"), 5u);
+}
+
+TEST(JsonLineTest, RejectsEverythingThatIsNotAFlatObject) {
+  EXPECT_EQ(parseErr("this is not json"), "expected a JSON object");
+  EXPECT_EQ(parseErr("[1,2]"), "expected a JSON object");
+  EXPECT_EQ(parseErr(R"({"a":1} trailing)"),
+            "trailing characters after object");
+  EXPECT_NE(parseErr(R"({"a":"unterminated)").find("unterminated"),
+            std::string::npos);
+  EXPECT_NE(parseErr(R"({42:"key"})").find("string key"),
+            std::string::npos);
+  EXPECT_NE(parseErr(R"({"a" 1})").find("':'"), std::string::npos);
+  EXPECT_NE(parseErr(R"({"a":})").find("value"), std::string::npos);
+  EXPECT_NE(parseErr(R"({"a":1 "b":2})").find("','"), std::string::npos);
+  // Nested structures are not protocol lines.
+  EXPECT_NE(parseErr(R"({"a":{"b":1}})").size(), 0u);
+  // \u escapes beyond ASCII and unknown escapes are rejected (non-ASCII
+  // text travels as raw UTF-8 instead, which the parser passes through).
+  EXPECT_NE(parseErr("{\"a\":\"\\u00ff\"}").size(), 0u);
+  EXPECT_NE(parseErr("{\"a\":\"\\x41\"}").size(), 0u);
+  service::JsonLine Utf8 = parseOk("{\"a\":\"\xc3\xbf\"}");
+  EXPECT_EQ(Utf8.getString("a"), "\xc3\xbf");
+}
+
+TEST(JsonLineTest, RoundTripsThroughJsonObject) {
+  // What the serve tool writes, the parser (a test client, effectively)
+  // must read back unchanged - including every escaped character.
+  std::string Tricky = "path\\with \"quotes\"\nand\ttabs";
+  JsonObject O = service::response(true);
+  O.field("op", "register-program").field("name", Tricky);
+  O.field("epoch", uint64_t(7));
+  service::JsonLine L = parseOk(O.str());
+  EXPECT_EQ(L.getUInt("v"),
+            static_cast<uint64_t>(service::ProtocolVersion));
+  EXPECT_EQ(L.getString("name"), Tricky);
+  EXPECT_EQ(L.getUInt("epoch"), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Live event trace: schema stamped on every emitted line.
+//===----------------------------------------------------------------------===//
+
+TEST(EventTraceTest, EveryEmittedLineCarriesTheSchemaVersion) {
+  const char *Text = "proc main {\n"
+                     "  u = new h1;\n"
+                     "  v = new h2;\n"
+                     "  v.f = u;\n"
+                     "  check(u);\n"
+                     "}\n";
+  ir::Program P;
+  std::string Err;
+  ASSERT_TRUE(ir::parseProgram(Text, P, Err)) << Err;
+
+  std::string Path = "protocol_event_trace_smoke.jsonl";
+  std::ofstream(Path, std::ios::trunc).close();
+  escape::EscapeAnalysis A(P);
+  tracer::TracerOptions Opts;
+  Opts.EventTracePath = Path;
+  Opts.EventTraceLabel = "smoke";
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts);
+  Driver.run({ir::CheckId(0)});
+
+  std::vector<std::string> Lines = readLines(Path);
+  ASSERT_FALSE(Lines.empty());
+  const std::string Prefix = "{\"v\":1,\"event\":\"";
+  bool SawRunBegin = false, SawRunEnd = false;
+  for (const std::string &Line : Lines) {
+    EXPECT_EQ(Line.compare(0, Prefix.size(), Prefix), 0) << Line;
+    EXPECT_NE(Line.find("\"label\":\"smoke\""), std::string::npos) << Line;
+    SawRunBegin |= Line.find("\"event\":\"run_begin\"") != std::string::npos;
+    SawRunEnd |= Line.find("\"event\":\"run_end\"") != std::string::npos;
+  }
+  EXPECT_TRUE(SawRunBegin);
+  EXPECT_TRUE(SawRunEnd);
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,27 @@
+# Boots optabs-serve, pipes a scripted JSONL session through it, and
+# fails unless stdout is byte-identical to the checked-in golden
+# transcript. Invoked by the ServeGoldenTranscript test (and the CI serve
+# step) as:
+#
+#   cmake -DSERVE=<binary> -DINPUT=<session.jsonl> -DGOLDEN=<golden>
+#         -DACTUAL=<scratch output> -P RunServeTranscript.cmake
+
+execute_process(
+  COMMAND ${SERVE} --threads=2
+  INPUT_FILE ${INPUT}
+  OUTPUT_FILE ${ACTUAL}
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "optabs-serve exited with status ${RC}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${ACTUAL} ${GOLDEN}
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  file(READ ${ACTUAL} ACTUAL_TEXT)
+  file(READ ${GOLDEN} GOLDEN_TEXT)
+  message(FATAL_ERROR "serve transcript diverged from ${GOLDEN}\n"
+                      "--- expected ---\n${GOLDEN_TEXT}\n"
+                      "--- actual ---\n${ACTUAL_TEXT}")
+endif()

@@ -6,7 +6,8 @@
 //   optabs-cli PROGRAM.opt --client=typestate
 //       [--property="init=closed; open: closed->opened, opened->ERR; ..."]
 //
-// Options:
+// Options (every setting is a field of optabs::Config, with the standard
+// precedence explicit flag > OPTABS_* environment > default):
 //   --client=escape|typestate   which parametric analysis to run (required)
 //   --property=SPEC             type-state automaton; without it the §6
 //                               stress property (must-alias precision) runs
@@ -14,6 +15,7 @@
 //   --strategy=tracer|eliminate-current|greedy-grow
 //   --max-iters=N               per-query iteration budget (default 100)
 //   --traces-per-iter=N         counterexamples per failed iteration
+//   --threads=N                 worker threads (1 = sequential, 0 = all)
 //   --audit                     validate every verdict with the certificate
 //                               checker and fail (exit 1) on any invariant
 //                               violation or certificate mismatch
@@ -49,15 +51,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "escape/Escape.h"
-#include "ir/Parser.h"
-#include "ir/Printer.h"
-#include "pointer/PointsTo.h"
-#include "support/Budget.h"
-#include "support/FaultInjection.h"
-#include "tracer/Certificates.h"
-#include "tracer/QueryDriver.h"
-#include "typestate/Typestate.h"
+#include <optabs/optabs.h>
 
 #include <fstream>
 #include <iostream>
@@ -72,8 +66,7 @@ struct CliOptions {
   std::string ProgramPath;
   std::string Client;
   std::string Property;
-  tracer::TracerOptions Tracer;
-  bool Audit = false;
+  Config Cfg; // audit lives in Cfg.Audit.Enabled
   bool Stats = false;
   bool Verbose = false;
 };
@@ -93,7 +86,7 @@ int usage(const char *Msg = nullptr) {
                "[--property=SPEC] [--k=N]\n"
                "       [--strategy=tracer|eliminate-current|greedy-grow] "
                "[--max-iters=N]\n"
-               "       [--traces-per-iter=N] [--audit] "
+               "       [--traces-per-iter=N] [--threads=N] [--audit] "
                "[--event-trace=PATH]\n"
                "       [--metrics=PATH] [--chrome-trace=PATH] "
                "[--step-budget=N]\n"
@@ -103,74 +96,66 @@ int usage(const char *Msg = nullptr) {
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts, std::string &Err) {
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto Value = [&Arg](const char *Prefix) -> std::optional<std::string> {
-      std::string P = Prefix;
-      if (Arg.rfind(P, 0) == 0)
-        return Arg.substr(P.size());
-      return std::nullopt;
-    };
-    if (auto V = Value("--client=")) {
-      Opts.Client = *V;
-    } else if (auto V = Value("--property=")) {
-      Opts.Property = *V;
-    } else if (auto V = Value("--k=")) {
-      Opts.Tracer.K = static_cast<unsigned>(std::stoul(*V));
-    } else if (auto V = Value("--max-iters=")) {
-      Opts.Tracer.MaxItersPerQuery = static_cast<unsigned>(std::stoul(*V));
-    } else if (auto V = Value("--traces-per-iter=")) {
-      Opts.Tracer.TracesPerIteration =
-          static_cast<unsigned>(std::stoul(*V));
-    } else if (auto V = Value("--strategy=")) {
-      if (*V == "tracer")
-        Opts.Tracer.Strategy = tracer::SearchStrategy::Tracer;
-      else if (*V == "eliminate-current")
-        Opts.Tracer.Strategy = tracer::SearchStrategy::EliminateCurrent;
-      else if (*V == "greedy-grow")
-        Opts.Tracer.Strategy = tracer::SearchStrategy::GreedyGrow;
-      else {
-        Err = "unknown strategy '" + *V + "'";
-        return false;
-      }
-    } else if (auto V = Value("--step-budget=")) {
-      uint64_t N = std::stoull(*V);
-      Opts.Tracer.ForwardStepBudget = N;
-      Opts.Tracer.BackwardStepBudget = N;
-      Opts.Tracer.SolverDecisionBudget = N;
-    } else if (auto V = Value("--memory-budget-mb=")) {
-      Opts.Tracer.MemoryBudgetBytes = std::stoull(*V) * 1024 * 1024;
-    } else if (auto V = Value("--faults=")) {
-      if (!support::FaultRegistry::global().arm(*V, Err))
-        return false;
-    } else if (auto V = Value("--event-trace=")) {
-      Opts.Tracer.EventTracePath = *V;
-    } else if (auto V = Value("--metrics=")) {
-      Opts.Tracer.MetricsPath = *V;
-    } else if (auto V = Value("--chrome-trace=")) {
-      Opts.Tracer.ProfilePath = *V;
-    } else if (Arg == "--audit") {
-      Opts.Audit = true;
-    } else if (Arg == "--stats") {
-      Opts.Stats = true;
-    } else if (Arg == "--verbose") {
-      Opts.Verbose = true;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      Err = "unknown option '" + Arg + "'";
-      return false;
-    } else if (Opts.ProgramPath.empty()) {
-      Opts.ProgramPath = Arg;
-    } else {
-      Err = "multiple program files given";
-      return false;
-    }
+  Config &C = Opts.Cfg;
+  std::vector<std::string> Positionals;
+  uint64_t StepBudget = 0, MemoryBudgetMb = 0;
+  support::ArgParser Args;
+  Args.positional(&Positionals)
+      .option("--client", &Opts.Client, "escape or typestate")
+      .option("--property", &Opts.Property, "type-state automaton spec")
+      .option("--k", &C.Execution.K, "dropk beam width (0 = exact)")
+      .option("--strategy", &C.Execution.Strategy,
+              "tracer, eliminate-current or greedy-grow")
+      .option("--max-iters", &C.Execution.MaxItersPerQuery,
+              "per-query iteration budget")
+      .option("--traces-per-iter", &C.Execution.TracesPerIteration,
+              "counterexamples per failed iteration")
+      .option("--threads", &C.Execution.NumThreads,
+              "worker threads (1 = sequential, 0 = hardware)")
+      .option("--step-budget", &StepBudget,
+              "logical-step budget for every kernel")
+      .option("--memory-budget-mb", &MemoryBudgetMb,
+              "forward-cache resident ceiling")
+      .option("--event-trace", &C.Observability.EventTracePath,
+              "JSONL CEGAR trace output")
+      .option("--metrics", &C.Observability.MetricsPath,
+              "Prometheus text dump output")
+      .option("--chrome-trace", &C.Observability.ProfilePath,
+              "Chrome trace-event JSON output")
+      .callback(
+          "--faults",
+          [](const std::string &V, std::string &CbErr) {
+            return support::FaultRegistry::global().arm(V, CbErr);
+          },
+          "deterministic fault-injection spec")
+      .flag("--audit", &C.Audit.Enabled, "certificate-check every verdict")
+      .flag("--stats", &Opts.Stats, "print program statistics and exit")
+      .flag("--verbose", &Opts.Verbose, "print the program first");
+  if (!Args.parse(Argc, Argv, Err))
+    return false;
+  if (StepBudget > 0) {
+    C.Budgets.ForwardStepBudget = StepBudget;
+    C.Budgets.BackwardStepBudget = StepBudget;
+    C.Budgets.SolverDecisionBudget = StepBudget;
   }
-  if (Opts.ProgramPath.empty()) {
+  if (MemoryBudgetMb > 0)
+    C.Budgets.MemoryBudgetBytes = MemoryBudgetMb * 1024 * 1024;
+  if (Positionals.size() > 1) {
+    Err = "multiple program files given";
+    return false;
+  }
+  if (Positionals.empty()) {
     Err = "no program file given";
     return false;
   }
+  Opts.ProgramPath = Positionals[0];
   if (!Opts.Stats && Opts.Client != "escape" && Opts.Client != "typestate") {
     Err = "--client must be 'escape' or 'typestate'";
+    return false;
+  }
+  std::vector<ConfigError> Invalid = C.validate();
+  if (!Invalid.empty()) {
+    Err = formatConfigErrors(Invalid);
     return false;
   }
   return true;
@@ -252,11 +237,10 @@ void auditDriver(const Program &P, const Analysis &A, const CliOptions &Opts,
     std::cerr << "audit: invariant violation [" << V.Check << "] in "
               << V.Where << ": " << V.Message << "\n";
   }
-  if (!Opts.Audit)
+  if (!Opts.Cfg.Audit.Enabled)
     return;
   tracer::CertificateOptions CertOpts;
-  CertOpts.CheckMinimality =
-      Opts.Tracer.Strategy != tracer::SearchStrategy::GreedyGrow;
+  CertOpts.CheckMinimality = Opts.Cfg.Execution.Strategy != "greedy-grow";
   tracer::CertificateChecker<Analysis> Checker(P, A, CertOpts);
   tracer::CertificateReport Report =
       Checker.check(Outcomes, Driver.finalViableSets());
@@ -271,7 +255,7 @@ void auditDriver(const Program &P, const Analysis &A, const CliOptions &Opts,
 
 /// Prints the audit summary; exit status 1 when anything failed.
 int finishAudit(const CliOptions &Opts, const AuditTally &Tally) {
-  if (!Opts.Audit)
+  if (!Opts.Cfg.Audit.Enabled)
     return 0;
   std::cout << "audit: " << Tally.Checked << " certificate check(s), "
             << Tally.Failures << " failure(s), " << Tally.Violations
@@ -281,16 +265,16 @@ int finishAudit(const CliOptions &Opts, const AuditTally &Tally) {
 
 int runEscape(const Program &P, const CliOptions &Opts) {
   escape::EscapeAnalysis A(P);
-  tracer::TracerOptions TracerOpts = Opts.Tracer;
+  tracer::TracerOptions TracerOpts =
+      tracer::TracerOptions::fromConfig(Opts.Cfg);
   TracerOpts.EventTraceLabel = "escape";
   tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, TracerOpts);
   std::vector<CheckId> Queries;
   for (uint32_t I = 0; I < P.numChecks(); ++I)
     Queries.push_back(CheckId(I));
   std::cout << "thread-escape analysis, " << Queries.size()
-            << " queries, strategy "
-            << tracer::strategyName(Opts.Tracer.Strategy) << ", k = "
-            << Opts.Tracer.K << "\n";
+            << " queries, strategy " << Opts.Cfg.Execution.Strategy
+            << ", k = " << Opts.Cfg.Execution.K << "\n";
   std::vector<tracer::QueryOutcome> Outcomes = Driver.run(Queries);
   for (const auto &O : Outcomes)
     printOutcome(P, O, "");
@@ -315,8 +299,8 @@ int runTypestate(Program &P, const CliOptions &Opts) {
   std::cout << "type-state analysis ("
             << (Opts.Property.empty() ? "stress property"
                                       : "property automaton")
-            << "), strategy " << tracer::strategyName(Opts.Tracer.Strategy)
-            << ", k = " << Opts.Tracer.K << "\n";
+            << "), strategy " << Opts.Cfg.Execution.Strategy
+            << ", k = " << Opts.Cfg.Execution.K << "\n";
   AuditTally Tally;
   for (uint32_t H = 0; H < P.numAllocs(); ++H) {
     std::vector<CheckId> Queries;
@@ -326,7 +310,8 @@ int runTypestate(Program &P, const CliOptions &Opts) {
     if (Queries.empty())
       continue;
     typestate::TypestateAnalysis A(P, *Spec, AllocId(H), Pt);
-    tracer::TracerOptions PerSite = Opts.Tracer;
+    tracer::TracerOptions PerSite =
+        tracer::TracerOptions::fromConfig(Opts.Cfg);
     PerSite.EventTraceLabel = "typestate/site=" + P.allocName(AllocId(H));
     tracer::QueryDriver<typestate::TypestateAnalysis> Driver(P, A, PerSite);
     std::vector<tracer::QueryOutcome> Outcomes = Driver.run(Queries);
@@ -341,17 +326,22 @@ int runTypestate(Program &P, const CliOptions &Opts) {
 
 int main(int Argc, char **Argv) {
   CliOptions Opts;
+  std::vector<ConfigError> EnvErrors;
+  Opts.Cfg = Config::fromEnv(&EnvErrors);
+  for (const ConfigError &E : EnvErrors)
+    std::cerr << "warning: " << E.Field << ": " << E.Message << "\n";
   std::string Err;
   if (!parseArgs(Argc, Argv, Opts, Err))
     return usage(Err.c_str());
 
-  if (!Opts.Tracer.EventTracePath.empty()) {
+  if (!Opts.Cfg.Observability.EventTracePath.empty()) {
     // Truncate once here; the drivers append, so the per-site type-state
     // runs interleave into one file.
-    std::ofstream Truncate(Opts.Tracer.EventTracePath, std::ios::trunc);
+    std::ofstream Truncate(Opts.Cfg.Observability.EventTracePath,
+                           std::ios::trunc);
     if (!Truncate) {
       std::cerr << "error: cannot write event trace '"
-                << Opts.Tracer.EventTracePath << "'\n";
+                << Opts.Cfg.Observability.EventTracePath << "'\n";
       return 2;
     }
   }

@@ -1,0 +1,327 @@
+//===- optabs_serve.cpp - JSONL analysis server over stdin/stdout ---------===//
+//
+// A long-lived front end to service::AnalysisService speaking the
+// versioned JSONL protocol of service/Protocol.h: one request object per
+// stdin line, one (or, for "drain", several) response objects per stdout
+// line. See the Protocol.h file comment for the operation reference and
+// README.md for a quick-start transcript.
+//
+//   optabs-serve [--threads=N] [--cache-capacity=N] [--max-sessions=N]
+//                [--metrics=PATH]
+//
+// The server runs the service with AutoDispatch off: submitted jobs are
+// queued and only execute inside "drain", which then emits every finished
+// job's result in job-id order. Responses carry no wall-clock fields, so a
+// scripted session always produces a byte-identical transcript - CI boots
+// this binary, pipes tools/testdata/serve_session.jsonl through it, and
+// diffs the output against the checked-in golden file.
+//
+//===----------------------------------------------------------------------===//
+
+#include <optabs/optabs.h>
+
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace optabs;
+using tracer::JsonObject;
+
+namespace {
+
+struct ServerState {
+  std::unique_ptr<service::AnalysisService> Svc;
+  std::map<uint64_t, service::Session> Sessions;
+  /// Futures of every accepted job, in submission (= job-id) order;
+  /// drained and cleared by the "drain" op.
+  std::vector<std::future<service::QueryResult>> InFlight;
+};
+
+void emit(const JsonObject &O) { std::cout << O.str() << "\n" << std::flush; }
+
+/// Reads the per-session configuration fields of an "open-session"
+/// request into \p C. Returns false (with \p Err) on an unknown strategy
+/// or a non-integer where an integer belongs.
+bool readSessionConfig(const service::JsonLine &Req, Config &C,
+                       std::string &Err) {
+  struct UIntField {
+    const char *Key;
+    uint64_t *Out;
+  };
+  uint64_t K = C.Execution.K, MaxIters = C.Execution.MaxItersPerQuery;
+  uint64_t Traces = C.Execution.TracesPerIteration;
+  uint64_t StepBudget = 0;
+  uint64_t MaxPending = C.Service.MaxPendingPerSession;
+  uint64_t MaxJobs = C.Service.MaxJobsPerSession;
+  for (UIntField F : {UIntField{"k", &K}, UIntField{"max-iters", &MaxIters},
+                      UIntField{"traces-per-iter", &Traces},
+                      UIntField{"step-budget", &StepBudget},
+                      UIntField{"max-pending", &MaxPending},
+                      UIntField{"max-jobs", &MaxJobs}}) {
+    if (!Req.has(F.Key))
+      continue;
+    auto V = Req.getUInt(F.Key);
+    if (!V) {
+      Err = std::string("field '") + F.Key + "' must be an unsigned integer";
+      return false;
+    }
+    *F.Out = *V;
+  }
+  C.Execution.K = static_cast<unsigned>(K);
+  C.Execution.MaxItersPerQuery = static_cast<unsigned>(MaxIters);
+  C.Execution.TracesPerIteration = static_cast<unsigned>(Traces);
+  if (StepBudget > 0) {
+    C.Budgets.ForwardStepBudget = StepBudget;
+    C.Budgets.BackwardStepBudget = StepBudget;
+    C.Budgets.SolverDecisionBudget = StepBudget;
+  }
+  C.Service.MaxPendingPerSession = static_cast<unsigned>(MaxPending);
+  C.Service.MaxJobsPerSession = MaxJobs;
+  if (auto S = Req.getString("strategy"))
+    C.Execution.Strategy = *S;
+  // Config::validate() (run by openSession) rejects unknown strategies and
+  // inconsistent combinations with structured errors.
+  return true;
+}
+
+void emitResult(const service::QueryResult &R) {
+  JsonObject O = service::response(true);
+  O.field("op", "result");
+  O.field("job", R.Job);
+  O.field("session", R.Session);
+  O.field("status", service::jobStatusName(R.Status));
+  if (R.Status == service::JobStatus::Done) {
+    O.field("verdict", tracer::verdictName(R.V));
+    O.field("iterations", R.Iterations);
+    if (R.V == tracer::Verdict::Proven) {
+      O.field("cost", R.CheapestCost);
+      O.field("param", R.CheapestParam);
+    }
+    if (!R.ExhaustedResource.empty()) {
+      O.field("exhausted", R.ExhaustedResource);
+      O.field("site", R.ExhaustedSite);
+    }
+  } else {
+    O.field("error", R.Error);
+  }
+  emit(O);
+}
+
+int serve(const Config &Base, const std::string &MetricsPath) {
+  service::AnalysisService::Options Opts;
+  Opts.Base = Base;
+  Opts.AutoDispatch = false; // jobs run inside "drain": stable transcripts
+  ServerState St;
+  St.Svc = std::make_unique<service::AnalysisService>(std::move(Opts));
+
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue; // blank lines and comments keep scripted sessions readable
+    service::JsonLine Req;
+    std::string Err;
+    if (!service::JsonLine::parse(Line, Req, Err)) {
+      emit(JsonObject(service::response(false))
+               .field("error", "malformed request: " + Err));
+      continue;
+    }
+    auto Op = Req.getString("op");
+    if (!Op) {
+      emit(JsonObject(service::response(false))
+               .field("error", "missing 'op' field"));
+      continue;
+    }
+
+    if (*Op == "register-program") {
+      auto Name = Req.getString("name");
+      auto Text = Req.getString("text");
+      if (!Name || !Text) {
+        std::cout << service::errorLine(
+                         *Op, "register-program needs 'name' and 'text'")
+                  << "\n"
+                  << std::flush;
+        continue;
+      }
+      service::RegisterResult R = St.Svc->registerProgram(*Name, *Text);
+      if (!R.Ok) {
+        std::cout << service::errorLine(*Op, R.Error) << "\n" << std::flush;
+        continue;
+      }
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      O.field("name", *Name);
+      O.field("epoch", R.Epoch);
+      O.field("checks", R.Checks);
+      O.field("allocs", R.Allocs);
+      emit(O);
+    } else if (*Op == "open-session") {
+      service::SessionSpec Spec;
+      Spec.SessionConfig = Config::defaults();
+      if (auto P = Req.getString("program"))
+        Spec.Program = *P;
+      if (auto C = Req.getString("client"))
+        Spec.Client = *C;
+      if (auto P = Req.getString("property"))
+        Spec.Property = *P;
+      std::string CfgErr;
+      if (!readSessionConfig(Req, Spec.SessionConfig, CfgErr)) {
+        std::cout << service::errorLine(*Op, CfgErr) << "\n" << std::flush;
+        continue;
+      }
+      std::string OpenErr;
+      service::Session S = St.Svc->openSession(Spec, OpenErr);
+      if (!S.valid()) {
+        std::cout << service::errorLine(*Op, OpenErr) << "\n" << std::flush;
+        continue;
+      }
+      St.Sessions[S.id()] = S;
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      O.field("session", S.id());
+      emit(O);
+    } else if (*Op == "submit") {
+      auto Sess = Req.getUInt("session");
+      auto Check = Req.getUInt("check");
+      if (!Sess || !Check) {
+        std::cout << service::errorLine(*Op,
+                                        "submit needs 'session' and 'check'")
+                  << "\n"
+                  << std::flush;
+        continue;
+      }
+      auto It = St.Sessions.find(*Sess);
+      if (It == St.Sessions.end()) {
+        std::cout << service::errorLine(
+                         *Op, "unknown session " + std::to_string(*Sess))
+                  << "\n"
+                  << std::flush;
+        continue;
+      }
+      service::JobSpec Job;
+      Job.Check = static_cast<uint32_t>(*Check);
+      if (auto Site = Req.getUInt("site"))
+        Job.Site = static_cast<uint32_t>(*Site);
+      if (auto Prio = Req.getInt("priority"))
+        Job.Priority = static_cast<int32_t>(*Prio);
+      uint64_t JobId = 0;
+      std::future<service::QueryResult> F = It->second.submit(Job, &JobId);
+      if (JobId == 0) {
+        // Rejected synchronously: the ready future carries the reason.
+        service::QueryResult R = F.get();
+        JsonObject O = service::response(false);
+        O.field("op", *Op);
+        O.field("status", service::jobStatusName(R.Status));
+        O.field("error", R.Error);
+        emit(O);
+        continue;
+      }
+      St.InFlight.push_back(std::move(F));
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      O.field("job", JobId);
+      emit(O);
+    } else if (*Op == "cancel") {
+      auto Sess = Req.getUInt("session");
+      auto It = Sess ? St.Sessions.find(*Sess) : St.Sessions.end();
+      if (It == St.Sessions.end()) {
+        std::cout << service::errorLine(*Op, "unknown session") << "\n"
+                  << std::flush;
+        continue;
+      }
+      size_t N = It->second.cancelPending();
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      O.field("cancelled", N);
+      emit(O);
+    } else if (*Op == "close-session") {
+      auto Sess = Req.getUInt("session");
+      auto It = Sess ? St.Sessions.find(*Sess) : St.Sessions.end();
+      if (It == St.Sessions.end()) {
+        std::cout << service::errorLine(*Op, "unknown session") << "\n"
+                  << std::flush;
+        continue;
+      }
+      It->second.close();
+      St.Sessions.erase(It);
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      emit(O);
+    } else if (*Op == "drain") {
+      St.Svc->drain();
+      for (std::future<service::QueryResult> &F : St.InFlight)
+        emitResult(F.get());
+      size_t N = St.InFlight.size();
+      St.InFlight.clear();
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      O.field("results", N);
+      emit(O);
+    } else if (*Op == "stats") {
+      service::ServiceStats S = St.Svc->stats();
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      O.field("programs", S.ProgramsRegistered);
+      O.field("sessions_opened", S.SessionsOpened);
+      O.field("sessions_closed", S.SessionsClosed);
+      O.field("submitted", S.JobsSubmitted);
+      O.field("rejected", S.JobsRejected);
+      O.field("cancelled", S.JobsCancelled);
+      O.field("completed", S.JobsCompleted);
+      O.field("failed", S.JobsFailed);
+      O.field("batches", S.Batches);
+      O.field("coalesced", S.CoalescedJobs);
+      O.field("queue_depth", S.QueueDepth);
+      O.field("forward_runs", S.ForwardRuns);
+      O.field("backward_runs", S.BackwardRuns);
+      O.field("cache_hits", S.CacheHits);
+      O.field("cache_misses", S.CacheMisses);
+      O.field("cache_evictions", S.CacheEvictions);
+      O.field("stale_invalidated", S.StaleEntriesInvalidated);
+      emit(O);
+    } else if (*Op == "shutdown") {
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      emit(O);
+      break;
+    } else {
+      std::cout << service::errorLine(*Op, "unknown op '" + *Op + "'")
+                << "\n"
+                << std::flush;
+    }
+  }
+
+  if (!MetricsPath.empty())
+    support::MetricRegistry::global().writePrometheusFile(MetricsPath);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Config Base = Config::defaults();
+  Base.Execution.NumThreads = 1;
+  uint64_t Threads = 1, CacheCapacity = 0, MaxSessions = 64;
+  std::string MetricsPath;
+  support::ArgParser Parser;
+  Parser.option("--threads", &Threads, "shared pool workers (0 = hardware)");
+  Parser.option("--cache-capacity", &CacheCapacity,
+                "forward-run cache entries per shard (0 = unbounded)");
+  Parser.option("--max-sessions", &MaxSessions, "open-session quota");
+  Parser.option("--metrics", &MetricsPath, "Prometheus dump on shutdown");
+  std::string Err;
+  if (!Parser.parse(Argc, Argv, Err)) {
+    std::cerr << "error: " << Err << "\n"
+              << "usage: optabs-serve [--threads=N] [--cache-capacity=N] "
+                 "[--max-sessions=N] [--metrics=PATH]\n";
+    return 2;
+  }
+  Base.Execution.NumThreads = static_cast<unsigned>(Threads);
+  Base.Execution.ForwardCacheCapacity = static_cast<size_t>(CacheCapacity);
+  Base.Service.MaxSessions = static_cast<unsigned>(MaxSessions);
+  if (!MetricsPath.empty())
+    support::setMetricsEnabled(true);
+  return serve(Base, MetricsPath);
+}
