@@ -18,6 +18,13 @@
 ///     // for client commands (never Invoke).
 ///     State transfer(const ir::Command &Cmd, const State &In,
 ///                    const Param &P) const;
+///     // Optional: forget the variable components outside Live (detected
+///     // by SFINAE). When present and the engine is built with a
+///     // CommandLiveness, every transfer output is pruned to the command's
+///     // live-out variables before interning, so states differing only in
+///     // dead variables collapse to one id. Exact for verdicts: a dead
+///     // variable is, by construction, never read by any continuation.
+///     void pruneState(State &S, const BitSet &Live) const;
 ///   };
 /// \endcode
 ///
@@ -45,13 +52,16 @@
 #define OPTABS_DATAFLOW_FORWARD_H
 
 #include "dataflow/StateInterner.h"
+#include "ir/Liveness.h"
 #include "ir/Program.h"
 #include "ir/Trace.h"
+#include "support/BitSet.h"
 #include "support/Budget.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
 #include <optional>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -70,13 +80,30 @@ struct ForwardStats {
   size_t NumRounds = 0;   ///< outer chaotic-iteration rounds
 };
 
+namespace detail {
+/// True when the client exposes the optional pruneState(State&, BitSet)
+/// dead-variable hook (see the file comment).
+template <typename ClientT, typename StateT, typename = void>
+struct HasPruneState : std::false_type {};
+template <typename ClientT, typename StateT>
+struct HasPruneState<
+    ClientT, StateT,
+    std::void_t<decltype(std::declval<const ClientT &>().pruneState(
+        std::declval<StateT &>(), std::declval<const BitSet &>()))>>
+    : std::true_type {};
+} // namespace detail
+
 template <typename Client> class ForwardAnalysis {
 public:
   using Param = typename Client::Param;
   using State = typename Client::State;
 
-  ForwardAnalysis(const ir::Program &P, const Client &C, Param Prm)
-      : P(P), C(C), Prm(std::move(Prm)) {}
+  /// When \p Live is non-null and the client exposes pruneState, every
+  /// transfer output is restricted to the command's live-out variables
+  /// before interning. \p Live must outlive the analysis.
+  ForwardAnalysis(const ir::Program &P, const Client &C, Param Prm,
+                  const ir::CommandLiveness *Live = nullptr)
+      : P(P), C(C), Prm(std::move(Prm)), Live(Live) {}
 
   /// Runs the analysis from \p Init to the global least fixpoint. When
   /// \p G is set, every state visit charges it; an exhausted gate stops the
@@ -93,7 +120,7 @@ public:
     ir::StmtId Root = P.proc(P.main()).Body;
     do {
       Changed = false;
-      RoundMark.clear();
+      ++Round; // invalidates every cell's RoundSeen mark at once
       ++Stats.NumRounds;
       visit(Root, InitId);
     } while (Changed && !Exhaustion);
@@ -185,14 +212,26 @@ public:
   /// Replays \p T from \p Init, returning the state sequence d0..dn with
   /// d0 = Init and d_{i} the state after command i. Used by the backward
   /// meta-analysis, which needs F_p[t](d) at every trace point (Figure 7).
-  std::vector<State> replay(const ir::Trace &T, const State &Init) {
+  /// \p IdsOut, when non-null, additionally receives the interned id of
+  /// every state in the sequence (same indexing); the trace-segment
+  /// detector compares these ids instead of state values.
+  std::vector<State> replay(const ir::Trace &T, const State &Init,
+                            std::vector<StateId> *IdsOut = nullptr) {
     std::vector<State> States;
     States.reserve(T.size() + 1);
+    if (IdsOut) {
+      IdsOut->clear();
+      IdsOut->reserve(T.size() + 1);
+    }
     StateId Cur = Interner.intern(Init);
     States.push_back(Interner.state(Cur));
+    if (IdsOut)
+      IdsOut->push_back(Cur);
     for (ir::CommandId Cmd : T) {
       Cur = applyCommand(Cmd, Cur);
       States.push_back(Interner.state(Cur));
+      if (IdsOut)
+        IdsOut->push_back(Cur);
     }
     return States;
   }
@@ -212,8 +251,8 @@ public:
     size_t Bytes = Interner.approxBytes();
     size_t SetBytes = 0;
     for (const auto &KV : Values)
-      SetBytes += KV.second.capacity() * sizeof(StateId);
-    Bytes += SetBytes + Values.size() * (sizeof(Key) + sizeof(StateSet));
+      SetBytes += KV.second.Set.capacity() * sizeof(StateId);
+    Bytes += SetBytes + Values.size() * (sizeof(Key) + sizeof(Cell));
     Bytes += TransferMemo.size() * (sizeof(Key) + sizeof(StateId));
     for (const auto &KV : CheckStates)
       Bytes += KV.second.capacity() * sizeof(StateId) + sizeof(KV);
@@ -230,6 +269,15 @@ private:
     return (static_cast<uint64_t>(S.index()) << 32) | In;
   }
 
+  /// One tabulation entry: the accumulated value of a (statement, entry)
+  /// pair plus the per-round visit mark and recursion flag. One hash lookup
+  /// where three (value map, round-mark set, on-stack set) used to be.
+  struct Cell {
+    StateSet Set;
+    uint64_t RoundSeen = 0; ///< Round of the last evaluation (0 = never)
+    bool OnStack = false;   ///< currently on the evaluation stack
+  };
+
   /// Applies the client transfer (or expands summaries for Invoke) for a
   /// single command on a single state, memoized.
   StateId applyCommand(ir::CommandId Cmd, StateId In) {
@@ -240,7 +288,12 @@ private:
     auto It = TransferMemo.find(K);
     if (It != TransferMemo.end())
       return It->second;
-    StateId Out = Interner.intern(C.transfer(Command, Interner.state(In), Prm));
+    State OutState = C.transfer(Command, Interner.state(In), Prm);
+    if constexpr (detail::HasPruneState<Client, State>::value) {
+      if (Live)
+        C.pruneState(OutState, Live->liveOut(Cmd));
+    }
+    StateId Out = Interner.intern(OutState);
     TransferMemo.emplace(K, Out);
     return Out;
   }
@@ -263,32 +316,34 @@ private:
   const StateSet &visit(ir::StmtId S, StateId In) {
     Key K = makeKey(S, In);
     auto [ValueIt, Inserted] = Values.try_emplace(K);
-    (void)ValueIt;
-    if (!Inserted && (RoundMark.count(K) || OnStack.count(K)))
-      return Values[K];
+    Cell &Slot = ValueIt->second;
+    if (!Inserted && (Slot.RoundSeen == Round || Slot.OnStack))
+      return Slot.Set;
     if (Gate && !Gate->charge()) {
       // Budget exhausted: refuse the evaluation (the key stays unmarked and
       // NumVisits unbumped) and return the stored value so the recursion
       // unwinds quickly — every enclosing Seq/Star loop sees a stable value
       // and the outer loop stops on the Exhaustion flag.
       Exhaustion = Gate->why();
-      return Values[K];
+      return Slot.Set;
     }
-    RoundMark.insert(K);
-    OnStack.insert(K);
+    Slot.RoundSeen = Round;
+    Slot.OnStack = true;
     ++Stats.NumVisits;
 
     StateSet Fresh = evaluate(S, In);
 
-    OnStack.erase(K);
-    StateSet &Stored = Values[K];
+    // evaluate() visits other keys and may rehash Values: re-find the cell
+    // instead of trusting Slot.
+    Cell &Stored = Values.find(K)->second;
+    Stored.OnStack = false;
     for (StateId Id : Fresh) {
-      if (!contains(Stored, Id)) {
-        addState(Stored, Id);
+      if (!contains(Stored.Set, Id)) {
+        addState(Stored.Set, Id);
         Changed = true;
       }
     }
-    return Stored;
+    return Stored.Set;
   }
 
   StateSet evaluate(ir::StmtId S, StateId In) {
@@ -355,7 +410,7 @@ private:
   const StateSet &finalValue(ir::StmtId S, StateId In) const {
     static const StateSet Empty;
     auto It = Values.find(makeKey(S, In));
-    return It == Values.end() ? Empty : It->second;
+    return It == Values.end() ? Empty : It->second.Set;
   }
 
   struct TripleHash {
@@ -524,12 +579,23 @@ private:
       }
       for (size_t I = 0; I < Node.Children.size(); ++I) {
         for (StateId X : Reach[I]) {
-          size_t Mark = T.size();
-          if (!findThroughSeq(Node.Children, 0, I, In, X, T))
+          // Probe the cheap leg first: whether the check (with state
+          // Target) is reachable from X inside child I. Only the winning
+          // candidate pays for the full witness of the children before I.
+          // The accepted (I, X) pair is the first for which both legs
+          // succeed - the same pair the through-first order accepts - and
+          // both legs emit their subtraces deterministically, so the
+          // resulting trace is unchanged.
+          ir::Trace Suffix;
+          if (!findPrefix(Node.Children[I], X, CheckCmd, Target, Suffix))
             continue;
-          if (findPrefix(Node.Children[I], X, CheckCmd, Target, T))
-            return true;
-          T.resize(Mark);
+          size_t Mark = T.size();
+          if (!findThroughSeq(Node.Children, 0, I, In, X, T)) {
+            T.resize(Mark);
+            continue;
+          }
+          T.insert(T.end(), Suffix.begin(), Suffix.end());
+          return true;
         }
       }
       return false;
@@ -577,15 +643,15 @@ private:
   const ir::Program &P;
   const Client &C;
   Param Prm;
+  const ir::CommandLiveness *Live = nullptr;
 
   StateInterner<State, typename Client::StateHash> Interner;
   StateId InitId = 0;
 
-  std::unordered_map<Key, StateSet> Values;
+  std::unordered_map<Key, Cell> Values;
   std::unordered_map<Key, StateId> TransferMemo;
-  std::unordered_set<Key> RoundMark;
-  std::unordered_set<Key> OnStack;
   std::unordered_map<uint32_t, StateSet> CheckStates;
+  uint64_t Round = 0;
   bool Changed = false;
   support::BudgetGate *Gate = nullptr;
   std::optional<support::Exhausted> Exhaustion;

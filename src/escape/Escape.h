@@ -100,6 +100,16 @@ public:
   State transfer(const ir::Command &Cmd, const State &In,
                  const Param &Prm) const;
 
+  /// Forgets dead variables (optional engine hook, see dataflow/Forward.h):
+  /// resets their slots to the initial N. Field slots are shared program
+  /// state and stay untouched.
+  void pruneState(State &S, const BitSet &Live) const {
+    const size_t NumVars = P.numVars();
+    for (size_t V = 0; V < NumVars && V < S.Vals.size(); ++V)
+      if (V >= Live.size() || !Live.test(V))
+        S.Vals[V] = static_cast<uint8_t>(AbsVal::N);
+  }
+
   //===--- queries ---------------------------------------------------------===
   /// Failure condition for check(v) = "local(v)?": the queried variable may
   /// point to a potentially escaping object, i.e. the atom v.E.

@@ -19,20 +19,56 @@ std::optional<Cube> Cube::make(std::vector<Lit> Lits) {
     if (Lits[I].atom() == Lits[I + 1].atom())
       return std::nullopt;
   Cube C;
-  C.Lits = std::move(Lits);
+  C.Lits.assign(Lits.data(), Lits.size());
+  for (Lit L : Lits)
+    C.Sig |= sigBit(L.atom());
   return C;
 }
 
 std::optional<Cube> Cube::conjoin(const Cube &A, const Cube &B) {
-  std::vector<Lit> Merged;
-  Merged.reserve(A.Lits.size() + B.Lits.size());
-  Merged.insert(Merged.end(), A.Lits.begin(), A.Lits.end());
-  Merged.insert(Merged.end(), B.Lits.begin(), B.Lits.end());
-  return make(std::move(Merged));
+  if (A.isTrue())
+    return B;
+  if (B.isTrue())
+    return A;
+  Cube R;
+  R.Lits.reserve(A.Lits.size() + B.Lits.size());
+  R.Sig = A.Sig | B.Sig;
+  const Lit *PA = A.Lits.begin(), *EA = A.Lits.end();
+  const Lit *PB = B.Lits.begin(), *EB = B.Lits.end();
+  if ((A.Sig & B.Sig) == 0) {
+    // Disjoint atom signatures: the cubes share no atom (equal atoms would
+    // share a signature bit), so neither duplicates nor complementary pairs
+    // can arise - a plain unchecked merge suffices.
+    while (PA != EA && PB != EB)
+      R.Lits.push_back(*PB < *PA ? *PB++ : *PA++);
+  } else {
+    while (PA != EA && PB != EB) {
+      if (*PA == *PB) {
+        R.Lits.push_back(*PA);
+        ++PA;
+        ++PB;
+      } else if (PA->atom() == PB->atom()) {
+        return std::nullopt; // a and !a: contradiction
+      } else {
+        R.Lits.push_back(*PB < *PA ? *PB++ : *PA++);
+      }
+    }
+  }
+  // Both inputs are sorted and duplicate-free, so the merged tail needs no
+  // further checks.
+  for (; PA != EA; ++PA)
+    R.Lits.push_back(*PA);
+  for (; PB != EB; ++PB)
+    R.Lits.push_back(*PB);
+  return R;
 }
 
 bool Cube::implies(const Cube &Other) const {
-  // this => Other iff Other's literals are a subset of ours.
+  // this => Other iff Other's literals are a subset of ours. An atom
+  // present in Other but absent here shows up as a signature bit Other has
+  // that we lack - reject on one word op before the literal scan.
+  if ((Other.Sig & ~Sig) != 0 || Other.Lits.size() > Lits.size())
+    return false;
   return std::includes(Lits.begin(), Lits.end(), Other.Lits.begin(),
                        Other.Lits.end());
 }
@@ -153,6 +189,10 @@ Dnf Dnf::product(const Dnf &A, const Dnf &B, size_t SoftCap,
     if (!Gate->charge(A.Cubes.size() * B.Cubes.size()))
       return Result;
   }
+  // Reserve for the full cross product, clamped so a huge (soon-pruned)
+  // product does not balloon the allocation.
+  size_t Hint = A.Cubes.size() * B.Cubes.size();
+  Result.Cubes.reserve(SoftCap > 0 ? std::min(Hint, SoftCap + 1) : Hint);
   for (const Cube &CA : A.Cubes) {
     for (const Cube &CB : B.Cubes) {
       if (auto C = Cube::conjoin(CA, CB))

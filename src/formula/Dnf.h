@@ -18,13 +18,23 @@
 /// Atoms are opaque 32-bit ids whose meaning (the gamma function of the
 /// paper) is supplied by the client analysis through evaluation callbacks.
 ///
+/// Representation invariant: every cube keeps its literals sorted (by raw
+/// literal value) and duplicate-free, and carries a 64-bit atom-presence
+/// signature (bit `atom mod 64`). The sort order lets conjunction run as a
+/// linear two-way merge and subsumption as std::includes; the signature
+/// lets both short-circuit on single word ops (disjoint-atom conjunctions
+/// cannot clash, and a cube whose signature covers atoms the other lacks
+/// cannot be a subset).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPTABS_FORMULA_DNF_H
 #define OPTABS_FORMULA_DNF_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <string>
@@ -69,6 +79,136 @@ private:
   uint32_t Bits;
 };
 
+/// A small-size-optimized literal array: up to InlineCap literals live
+/// inside the object, larger cubes spill to the heap. Cubes in this
+/// codebase are overwhelmingly short (a handful of atoms constrain one
+/// trace step), so the inline path removes the per-cube heap allocation
+/// std::vector paid on every conjoin/copy in Dnf::product. Exposes the
+/// read-only slice of the std::vector interface that Cube's clients use.
+class LitVec {
+public:
+  static constexpr uint32_t InlineCap = 6;
+
+  LitVec() = default;
+  LitVec(const LitVec &O) { assignRaw(O.data(), O.Count); }
+  LitVec(LitVec &&O) noexcept {
+    if (O.isInline()) {
+      std::memcpy(InlineBuf, O.InlineBuf, O.Count * sizeof(Lit));
+    } else {
+      Heap = O.Heap;
+      Cap = O.Cap;
+      O.Heap = nullptr;
+      O.Cap = InlineCap;
+    }
+    Count = O.Count;
+    O.Count = 0;
+  }
+  LitVec &operator=(const LitVec &O) {
+    if (this != &O)
+      assignRaw(O.data(), O.Count);
+    return *this;
+  }
+  LitVec &operator=(LitVec &&O) noexcept {
+    if (this == &O)
+      return *this;
+    if (!isInline())
+      delete[] Heap;
+    if (O.isInline()) {
+      Cap = InlineCap;
+      std::memcpy(InlineBuf, O.InlineBuf, O.Count * sizeof(Lit));
+    } else {
+      Heap = O.Heap;
+      Cap = O.Cap;
+      O.Heap = nullptr;
+      O.Cap = InlineCap;
+    }
+    Count = O.Count;
+    O.Count = 0;
+    return *this;
+  }
+  ~LitVec() {
+    if (!isInline())
+      delete[] Heap;
+  }
+
+  const Lit *begin() const { return data(); }
+  const Lit *end() const { return data() + Count; }
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Lit operator[](size_t I) const { return data()[I]; }
+  Lit back() const { return data()[Count - 1]; }
+
+  /// Grows capacity to at least \p N (never shrinks).
+  void reserve(size_t N) {
+    if (N > Cap)
+      grow(static_cast<uint32_t>(N));
+  }
+
+  void push_back(Lit L) {
+    if (Count == Cap)
+      grow(Cap * 2);
+    mutableData()[Count++] = L;
+  }
+
+  /// Replaces the contents with \p N literals from \p Src.
+  void assign(const Lit *Src, size_t N) { assignRaw(Src, N); }
+
+  friend bool operator==(const LitVec &A, const LitVec &B) {
+    return A.Count == B.Count &&
+           std::memcmp(A.data(), B.data(), A.Count * sizeof(Lit)) == 0;
+  }
+  friend bool operator!=(const LitVec &A, const LitVec &B) { return !(A == B); }
+  /// Lexicographic, matching std::vector<Lit> ordering.
+  friend bool operator<(const LitVec &A, const LitVec &B) {
+    const Lit *PA = A.begin(), *PB = B.begin();
+    const Lit *EA = A.end(), *EB = B.end();
+    for (; PA != EA && PB != EB; ++PA, ++PB) {
+      if (*PA < *PB)
+        return true;
+      if (*PB < *PA)
+        return false;
+    }
+    return PA == EA && PB != EB;
+  }
+  friend bool operator==(const LitVec &A, const std::vector<Lit> &B) {
+    return A.Count == B.size() &&
+           std::equal(A.begin(), A.end(), B.begin(), B.end());
+  }
+  friend bool operator==(const std::vector<Lit> &A, const LitVec &B) {
+    return B == A;
+  }
+
+private:
+  bool isInline() const { return Cap == InlineCap; }
+  const Lit *data() const {
+    return isInline() ? reinterpret_cast<const Lit *>(InlineBuf) : Heap;
+  }
+  Lit *mutableData() {
+    return isInline() ? reinterpret_cast<Lit *>(InlineBuf) : Heap;
+  }
+  void grow(uint32_t NewCap) {
+    Lit *Fresh = new Lit[NewCap];
+    std::memcpy(Fresh, data(), Count * sizeof(Lit));
+    if (!isInline())
+      delete[] Heap;
+    Heap = Fresh;
+    Cap = NewCap;
+  }
+  void assignRaw(const Lit *Src, size_t N) {
+    if (N > Cap)
+      grow(static_cast<uint32_t>(N));
+    std::memcpy(mutableData(), Src, N * sizeof(Lit));
+    Count = static_cast<uint32_t>(N);
+  }
+
+  union {
+    alignas(Lit) unsigned char InlineBuf[InlineCap * sizeof(Lit)];
+    Lit *Heap;
+  };
+  uint32_t Count = 0;
+  uint32_t Cap = InlineCap;
+};
+
 /// A conjunction of literals, stored sorted and duplicate-free. The empty
 /// cube is `true`. Contradictory literal sets (a and !a) are rejected at
 /// construction time (make returns nullopt), so every Cube is satisfiable
@@ -80,12 +220,17 @@ public:
   /// Normalizes \p Lits; returns nullopt if they contain a and !a.
   static std::optional<Cube> make(std::vector<Lit> Lits);
 
-  /// Conjunction of two cubes; nullopt if contradictory.
+  /// Conjunction of two cubes; nullopt if contradictory. Both inputs are
+  /// sorted by construction, so this is a linear merge - no re-sort.
   static std::optional<Cube> conjoin(const Cube &A, const Cube &B);
 
   size_t size() const { return Lits.size(); }
   bool isTrue() const { return Lits.empty(); }
-  const std::vector<Lit> &literals() const { return Lits; }
+  const LitVec &literals() const { return Lits; }
+
+  /// 64-bit atom-presence filter: bit (atom mod 64) is set for every atom
+  /// occurring in the cube (positively or negatively).
+  uint64_t signature() const { return Sig; }
 
   /// Entailment this => Other: every literal of Other occurs in this.
   /// (The paper's fast, incomplete syntactic subsumption check.)
@@ -99,11 +244,14 @@ public:
   }
 
   friend bool operator==(const Cube &A, const Cube &B) {
-    return A.Lits == B.Lits;
+    return A.Sig == B.Sig && A.Lits == B.Lits;
   }
 
 private:
-  std::vector<Lit> Lits;
+  static uint64_t sigBit(AtomId A) { return uint64_t(1) << (A & 63); }
+
+  LitVec Lits;
+  uint64_t Sig = 0;
 };
 
 /// A disjunction of cubes. No cubes = `false`; a lone empty cube = `true`.
@@ -132,6 +280,14 @@ public:
   bool isTrue() const { return Cubes.size() == 1 && Cubes[0].isTrue(); }
   size_t size() const { return Cubes.size(); }
   const std::vector<Cube> &cubes() const { return Cubes; }
+
+  /// Moves the cube list out, leaving this formula false. The inverse of
+  /// fromCubes; lets normalization passes shuttle cubes in and out of Dnf
+  /// form without copying them.
+  std::vector<Cube> takeCubes() { return std::move(Cubes); }
+
+  /// Capacity hint for cube-producing loops (orWith, product callers).
+  void reserve(size_t N) { Cubes.reserve(N); }
 
   bool eval(const AtomEval &Eval) const {
     for (const Cube &C : Cubes)
@@ -182,6 +338,15 @@ public:
                      const AtomEval &Eval,
                      support::InvariantSink *Sink = nullptr,
                      support::BudgetGate *Gate = nullptr);
+
+  /// Structural equality of the cube lists (order-sensitive; two Dnfs that
+  /// went through the same normalization pipeline compare equal iff they
+  /// denote the same normalized formula). Used by the backward engine's
+  /// loop-segment fixpoint detection.
+  friend bool operator==(const Dnf &A, const Dnf &B) {
+    return A.Cubes == B.Cubes;
+  }
+  friend bool operator!=(const Dnf &A, const Dnf &B) { return !(A == B); }
 
   std::string toString(
       const std::function<std::string(AtomId)> &AtomName) const;

@@ -3,7 +3,7 @@
 #include "formula/Normalize.h"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
 
 namespace optabs {
 namespace formula {
@@ -11,12 +11,14 @@ namespace formula {
 std::optional<Cube> refineCubeByLocations(const Cube &C,
                                           const LocationFn &Loc) {
   // Group the cube's literals by location (identified by the sorted value
-  // list's first atom, which is stable per location).
+  // list's first atom, which is stable per location). Cubes hold a handful
+  // of literals, so flat vectors beat a node-based map here.
   struct Group {
+    AtomId Key;
     LocationInfo Info;
     std::vector<Lit> Present;
   };
-  std::map<AtomId, Group> Groups;
+  std::vector<Group> Groups;
   std::vector<Lit> Independent;
   for (Lit L : C.literals()) {
     auto Info = Loc(L.atom());
@@ -26,15 +28,19 @@ std::optional<Cube> refineCubeByLocations(const Cube &C,
     }
     assert(!Info->Values.empty());
     AtomId Key = *std::min_element(Info->Values.begin(), Info->Values.end());
-    auto &G = Groups[Key];
-    if (G.Present.empty())
-      G.Info = std::move(*Info);
-    G.Present.push_back(L);
+    auto It = std::find_if(Groups.begin(), Groups.end(),
+                           [Key](const Group &G) { return G.Key == Key; });
+    if (It == Groups.end()) {
+      Groups.push_back(Group{Key, std::move(*Info), {}});
+      It = Groups.end() - 1;
+    }
+    It->Present.push_back(L);
   }
+  std::sort(Groups.begin(), Groups.end(),
+            [](const Group &A, const Group &B) { return A.Key < B.Key; });
 
   std::vector<Lit> Result = std::move(Independent);
-  for (auto &[Key, G] : Groups) {
-    (void)Key;
+  for (Group &G : Groups) {
     std::vector<AtomId> Positive;
     std::vector<AtomId> Negative;
     for (Lit L : G.Present)
@@ -76,15 +82,89 @@ std::optional<Cube> refineCubeByLocations(const Cube &C,
 
 namespace {
 
+/// Order-independent (commutative) hash of one literal, mixed well enough
+/// that sums of literal hashes rarely collide. Collisions are handled by an
+/// exact check, so this only affects speed.
+uint64_t litHash(Lit L) {
+  uint64_t X = L.raw() + 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Commutative hash of a whole cube: the sum of its literal hashes. A
+/// one-literal substitution is a constant-time hash update, which is what
+/// lets mergeRound probe for partner cubes without materializing them.
+uint64_t cubeHash(const Cube &C) {
+  uint64_t H = 0;
+  for (Lit L : C.literals())
+    H += litHash(L);
+  return H;
+}
+
+/// True when A with \p La removed equals B with \p Lb removed, i.e. B is A
+/// with one literal substituted. Both literal lists are sorted and
+/// duplicate-free; La must occur in A and Lb in B for a match.
+bool sameExcept(const Cube &A, Lit La, const Cube &B, Lit Lb) {
+  if (A.size() != B.size())
+    return false;
+  const Lit *PA = A.literals().begin(), *EA = A.literals().end();
+  const Lit *PB = B.literals().begin(), *EB = B.literals().end();
+  bool SkippedA = false, SkippedB = false;
+  while (PA != EA && PB != EB) {
+    if (!SkippedA && *PA == La) {
+      ++PA;
+      SkippedA = true;
+      continue;
+    }
+    if (!SkippedB && *PB == Lb) {
+      ++PB;
+      SkippedB = true;
+      continue;
+    }
+    if (*PA != *PB)
+      return false;
+    ++PA;
+    ++PB;
+  }
+  if (PA != EA && !SkippedA && *PA == La) {
+    ++PA;
+    SkippedA = true;
+  }
+  if (PB != EB && !SkippedB && *PB == Lb) {
+    ++PB;
+    SkippedB = true;
+  }
+  return PA == EA && PB == EB && SkippedA && SkippedB;
+}
+
 /// One round of complementary-literal and value-complete merging. Returns
-/// true if anything changed.
+/// true if anything changed. The candidate scan order (ascending cube
+/// index, literal order within the cube, complementary before
+/// value-complete) fixes which merge fires first, so the fixpoint result
+/// is deterministic.
 bool mergeRound(std::vector<Cube> &Cubes, const LocationFn &Loc) {
-  // Index cubes by their literal vectors for O(log n) membership tests.
-  auto Find = [&](const std::vector<Lit> &Lits) -> int {
-    for (size_t I = 0; I < Cubes.size(); ++I)
-      if (Cubes[I].literals() == Lits)
-        return static_cast<int>(I);
-    return -1;
+  // Index cubes by commutative hash: the partner of a one-literal
+  // substitution is found by adjusting the hash in O(1) and verifying the
+  // (rare) candidates exactly. Cubes are duplicate-free here (subsumption
+  // ran just before), so a verified match is unique.
+  std::unordered_multimap<uint64_t, size_t> Index;
+  std::vector<uint64_t> Hashes(Cubes.size());
+  Index.reserve(Cubes.size());
+  for (size_t I = 0; I < Cubes.size(); ++I) {
+    Hashes[I] = cubeHash(Cubes[I]);
+    Index.emplace(Hashes[I], I);
+  }
+  // First cube whose literals are Cubes[I] with La replaced by Lb; -1 if
+  // absent. Equivalent to a linear scan for the substituted literal list.
+  auto FindSubst = [&](size_t I, Lit La, Lit Lb) -> int {
+    uint64_t H = Hashes[I] - litHash(La) + litHash(Lb);
+    int Best = -1;
+    for (auto [It, End] = Index.equal_range(H); It != End; ++It)
+      if (sameExcept(Cubes[I], La, Cubes[It->second], Lb) &&
+          (Best < 0 || static_cast<int>(It->second) < Best))
+        Best = static_cast<int>(It->second);
+    return Best;
   };
   auto Without = [](const Cube &C, Lit L) {
     std::vector<Lit> Lits;
@@ -93,20 +173,13 @@ bool mergeRound(std::vector<Cube> &Cubes, const LocationFn &Loc) {
         Lits.push_back(X);
     return Lits;
   };
-  auto WithExtra = [](std::vector<Lit> Base, Lit L) {
-    auto It = std::lower_bound(Base.begin(), Base.end(), L);
-    Base.insert(It, L);
-    return Base;
-  };
 
   for (size_t I = 0; I < Cubes.size(); ++I) {
     for (Lit L : Cubes[I].literals()) {
-      std::vector<Lit> Rest = Without(Cubes[I], L);
-
       // Complementary merge: X u {l} and X u {!l} -> X.
-      int Partner = Find(WithExtra(Rest, L.negate()));
+      int Partner = FindSubst(I, L, L.negate());
       if (Partner >= 0 && Partner != static_cast<int>(I)) {
-        Cube Merged = *Cube::make(Rest);
+        Cube Merged = *Cube::make(Without(Cubes[I], L));
         size_t A = std::min(I, static_cast<size_t>(Partner));
         size_t B = std::max(I, static_cast<size_t>(Partner));
         Cubes.erase(Cubes.begin() + B);
@@ -124,7 +197,7 @@ bool mergeRound(std::vector<Cube> &Cubes, const LocationFn &Loc) {
       std::vector<size_t> Members;
       bool Complete = true;
       for (AtomId V : Info->Values) {
-        int At = Find(WithExtra(Rest, Lit::pos(V)));
+        int At = FindSubst(I, L, Lit::pos(V));
         if (At < 0) {
           Complete = false;
           break;
@@ -136,7 +209,7 @@ bool mergeRound(std::vector<Cube> &Cubes, const LocationFn &Loc) {
       std::sort(Members.begin(), Members.end());
       Members.erase(std::unique(Members.begin(), Members.end()),
                     Members.end());
-      Cube Merged = *Cube::make(Rest);
+      Cube Merged = *Cube::make(Without(Cubes[I], L));
       for (size_t J = Members.size(); J-- > 0;)
         Cubes.erase(Cubes.begin() + Members[J]);
       Cubes.push_back(std::move(Merged));
@@ -160,6 +233,19 @@ void semanticNormalize(Dnf &D, const CubeRefiner &Refine,
       Cubes.push_back(std::move(*R));
   }
 
+  // The client's atomLocation builds a fresh LocationInfo per call; the
+  // same few atoms are queried over and over across merge rounds, so one
+  // per-call cache pays for itself immediately.
+  std::unordered_map<AtomId, std::optional<LocationInfo>> LocCache;
+  LocationFn CachedLoc;
+  if (Loc)
+    CachedLoc = [&Loc, &LocCache](AtomId A) -> std::optional<LocationInfo> {
+      auto It = LocCache.find(A);
+      if (It == LocCache.end())
+        It = LocCache.emplace(A, Loc(A)).first;
+      return It->second;
+    };
+
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -167,9 +253,9 @@ void semanticNormalize(Dnf &D, const CubeRefiner &Refine,
     Dnf Tmp = Dnf::fromCubes(std::move(Cubes));
     Tmp.sortBySize();
     Tmp.simplify();
-    Cubes.assign(Tmp.cubes().begin(), Tmp.cubes().end());
+    Cubes = Tmp.takeCubes();
 
-    if (Loc && mergeRound(Cubes, Loc)) {
+    if (CachedLoc && mergeRound(Cubes, CachedLoc)) {
       Changed = true;
       continue;
     }

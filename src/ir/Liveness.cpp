@@ -1,0 +1,125 @@
+//===- Liveness.cpp - Per-command live-variable sets ------------------------===//
+
+#include "ir/Liveness.h"
+
+namespace optabs {
+namespace ir {
+
+namespace {
+
+/// Removes the variables overwritten by \p C from \p Live and adds the
+/// variables it reads, turning a live-out set into the live-in set. See the
+/// use/def table in Liveness.h.
+void applyUseDef(const Command &C, BitSet &Live) {
+  switch (C.Kind) {
+  case CmdKind::Assume:
+  case CmdKind::Invoke:
+    break;
+  case CmdKind::New:
+  case CmdKind::Null:
+  case CmdKind::LoadGlobal:
+    Live.reset(C.Dst.index());
+    break;
+  case CmdKind::Copy:
+    Live.reset(C.Dst.index());
+    Live.set(C.Src.index());
+    break;
+  case CmdKind::LoadField:
+    Live.reset(C.Dst.index());
+    Live.set(C.Src.index());
+    break;
+  case CmdKind::StoreGlobal:
+    Live.set(C.Src.index());
+    break;
+  case CmdKind::StoreField:
+    Live.set(C.Dst.index());
+    Live.set(C.Src.index());
+    break;
+  case CmdKind::MethodCall:
+  case CmdKind::Check:
+    Live.set(C.Dst.index());
+    break;
+  }
+}
+
+} // namespace
+
+CommandLiveness::CommandLiveness(const Program &P) {
+  const uint32_t NumVars = P.numVars();
+  const uint32_t NumStmts = P.numStmts();
+  CmdOut.assign(P.numCommands(), BitSet(NumVars));
+  // Per-statement live-in/live-out, each the union over every context the
+  // statement occurs in (the AST is a DAG; sharing just unions contexts).
+  std::vector<BitSet> In(NumStmts, BitSet(NumVars));
+  std::vector<BitSet> Out(NumStmts, BitSet(NumVars));
+  BitSet Tmp(NumVars);
+
+  // Monotone fixpoint: all sets only grow, bounded by NumVars bits each.
+  // Statements are pooled children-before-parents, so the descending sweep
+  // pushes live-out down the tree quickly; live-in flows upward across
+  // sweeps until stable.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t SI = NumStmts; SI-- > 0;) {
+      const Stmt &S = P.stmt(StmtId(SI));
+      switch (S.Kind) {
+      case StmtKind::Atom: {
+        const Command &C = P.command(S.Cmd);
+        if (C.Kind == CmdKind::Invoke) {
+          if (C.Callee.isValid() && P.proc(C.Callee).Body.isValid()) {
+            uint32_t Body = P.proc(C.Callee).Body.index();
+            Changed |= Out[Body].unionWith(Out[SI]);
+            Changed |= In[SI].unionWith(In[Body]);
+          } else {
+            Changed |= In[SI].unionWith(Out[SI]);
+          }
+          break;
+        }
+        Changed |= CmdOut[S.Cmd.index()].unionWith(Out[SI]);
+        Tmp = Out[SI];
+        applyUseDef(C, Tmp);
+        Changed |= In[SI].unionWith(Tmp);
+        break;
+      }
+      case StmtKind::Seq: {
+        if (S.Children.empty()) {
+          Changed |= In[SI].unionWith(Out[SI]);
+          break;
+        }
+        Changed |= Out[S.Children.back().index()].unionWith(Out[SI]);
+        for (size_t I = S.Children.size(); I-- > 1;)
+          Changed |= Out[S.Children[I - 1].index()].unionWith(
+              In[S.Children[I].index()]);
+        Changed |= In[SI].unionWith(In[S.Children.front().index()]);
+        break;
+      }
+      case StmtKind::Choice: {
+        if (S.Children.empty()) {
+          Changed |= In[SI].unionWith(Out[SI]);
+          break;
+        }
+        for (StmtId Child : S.Children) {
+          Changed |= Out[Child.index()].unionWith(Out[SI]);
+          Changed |= In[SI].unionWith(In[Child.index()]);
+        }
+        break;
+      }
+      case StmtKind::Star: {
+        uint32_t Body = S.Children.front().index();
+        // Zero iterations: live-out passes straight through. One or more:
+        // the body's live-in is live at the loop head, hence also live at
+        // the end of every earlier iteration (feed In[Body] into Out[Body]).
+        Changed |= Out[Body].unionWith(Out[SI]);
+        Changed |= Out[Body].unionWith(In[Body]);
+        Changed |= In[SI].unionWith(Out[SI]);
+        Changed |= In[SI].unionWith(In[Body]);
+        break;
+      }
+      }
+    }
+  }
+}
+
+} // namespace ir
+} // namespace optabs

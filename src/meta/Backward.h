@@ -62,11 +62,14 @@
 #include "formula/Normalize.h"
 #include "ir/Program.h"
 #include "ir/Trace.h"
+#include "meta/TraceSegments.h"
 #include "support/Budget.h"
+#include "support/FaultInjection.h"
 #include "support/Invariants.h"
 #include "support/Metrics.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -156,12 +159,24 @@ public:
   /// Returns nullopt when the run exceeded its time or size budget (only
   /// possible with a nonzero TimeoutSeconds/HardCubeCap); a timed-out
   /// partial formula is unusable and is not returned.
+  ///
+  /// \p Segs, when provided, is the loop-segment plan detectSegments()
+  /// derived from this exact (trace, state) pair. Once the formula reaches
+  /// a fixpoint across one repetition of a segment, the remaining
+  /// repetitions are skipped and their gate cost is charged in bulk; the
+  /// result and all budget decisions are bitwise identical to the unrolled
+  /// walk (see meta/TraceSegments.h for the argument). Compression is
+  /// disabled under a StepObserver (observers must see every step) and
+  /// under armed fault injection (bulk charges would shift per-site
+  /// fault-hit counts, i.e. *when* an armed fault fires).
   std::optional<formula::Dnf> run(const ir::Trace &T, const Param &Prm,
                                   const std::vector<State> &States,
-                                  const formula::Dnf &NotQ) {
+                                  const formula::Dnf &NotQ,
+                                  const TraceSegments *Segs = nullptr) {
     Stats = BackwardStats();
     Stats.Steps = T.size();
     LastExhaustion.reset();
+    SkipMemo.clear();
     support::BudgetGate Gate("backward.step", Config.StepBudget,
                              Config.Cancel, 0, Config.Invariants);
     if (States.size() != T.size() + 1) {
@@ -186,7 +201,29 @@ public:
       return std::nullopt;
     }
 
+    // The formula changes only at non-skipped steps; FVersion numbers those
+    // changes so the identity-skip verdict can be memoized per
+    // (command, formula version) below.
+    uint64_t FVersion = 0;
+
+    // Segment-compression bookkeeping. Repeats are disjoint and sorted by
+    // position, so walking backwards consumes them from the back.
+    const bool Compress = Segs && !Segs->empty() && !Config.StepObserver &&
+                          !support::faultsEnabled();
+    size_t SegIdx = Compress ? Segs->Repeats.size() : 0;
+    const SegmentRepeat *Active = nullptr;
+    formula::Dnf BoundaryF;
+    bool HaveBoundaryF = false;
+    uint64_t BoundaryUsed = 0;
+    size_t BoundaryCubes = 0;
+
     for (size_t I = T.size(); I-- > 0;) {
+      if (!Active && SegIdx > 0 && Segs->Repeats[SegIdx - 1].end() == I + 1) {
+        Active = &Segs->Repeats[--SegIdx];
+        HaveBoundaryF = false;
+        BoundaryUsed = Gate.stepsUsed();
+        BoundaryCubes = Stats.TotalCubes;
+      }
       if (Config.TimeoutSeconds > 0 &&
           Clock.seconds() > Config.TimeoutSeconds) {
         LastExhaustion =
@@ -198,63 +235,116 @@ public:
         return std::nullopt; // budget/cancellation: discard like a timeout
       }
       const ir::Command &Cmd = P.command(T[I]);
-      formula::AtomEval PreEval = makeEval(Prm, States[I]);
-      if (Config.SkipIdentitySteps && isIdentityStep(T[I], Cmd, F)) {
-        Stats.TotalCubes += F.size();
-        if (Config.StepObserver)
-          Config.StepObserver(I, Cmd, F);
-        continue;
+      bool Skip = false;
+      if (Config.SkipIdentitySteps) {
+        // The exact per-literal wp check is itself a hashmap lookup per
+        // literal; on long traces the same (command, formula) pair recurs
+        // constantly (loops, unrelated program regions), so the verdict is
+        // memoized under the formula's version. Bitwise equivalent to
+        // checking every step: the formula is unchanged since FVersion was
+        // last bumped.
+        uint64_t SkipKey = (static_cast<uint64_t>(T[I].index()) << 32) |
+                           (FVersion & 0xffffffff);
+        auto SkipIt = SkipMemo.find(SkipKey);
+        Skip = SkipIt != SkipMemo.end()
+                   ? SkipIt->second
+                   : SkipMemo.emplace(SkipKey, isIdentityStep(T[I], Cmd, F))
+                         .first->second;
       }
-      std::optional<formula::Dnf> Wp = wpFormula(T[I], Cmd, F, PreEval, &Gate);
-      if (!Wp) {
-        // Either the shared gate ran out mid-substitution or the hard cube
-        // cap tripped; the latter is a memory guard, reported as such.
-        LastExhaustion =
-            Gate.exhausted()
-                ? Gate.why()
-                : std::optional<support::Exhausted>{support::Exhausted{
-                      support::Resource::Memory, "backward.step"}};
-        return std::nullopt; // formula blow-up (exact mode)
+      if (!Skip) {
+        formula::AtomEval PreEval = makeEval(Prm, States[I]);
+        std::optional<formula::Dnf> Wp =
+            wpFormula(T[I], Cmd, F, PreEval, &Gate);
+        if (!Wp) {
+          // Either the shared gate ran out mid-substitution or the hard
+          // cube cap tripped; the latter is a memory guard, reported as
+          // such.
+          LastExhaustion =
+              Gate.exhausted()
+                  ? Gate.why()
+                  : std::optional<support::Exhausted>{support::Exhausted{
+                        support::Resource::Memory, "backward.step"}};
+          return std::nullopt; // formula blow-up (exact mode)
+        }
+        F = std::move(*Wp);
+        // Semantic simplification recovers the compact forms of the paper's
+        // hand-written transfer functions before the beam search prunes.
+        // Its merging pass is quadratic, so very large (exact-mode)
+        // formulas get progressively lighter treatment.
+        if (F.size() <= Config.NormalizeCap) {
+          formula::semanticNormalize(F, Refiner, LocFn);
+        } else if (F.size() <= Config.SimplifyCap) {
+          F.sortBySize();
+          F.simplify();
+        } else {
+          F.sortBySize(); // subsumption is quadratic; skip when huge
+        }
+        if (Config.K > 0 && F.size() > Config.K) {
+          F.sortBySize();
+          F.dropK(Config.K, PreEval, Config.Invariants);
+        }
+        if (!F.eval(PreEval)) {
+          // Soundness invariant (Theorem 3): the current (p, d) must stay
+          // inside the formula at every trace point, or the final formula
+          // is not guaranteed to eliminate the current abstraction. Discard
+          // the run like a timeout - learning nothing is sound, learning
+          // from a tainted formula is not.
+          support::reportInvariant(
+              Config.Invariants, "backward-soundness",
+              "BackwardMetaAnalysis::run",
+              "(p, d) escaped the formula at trace step " +
+                  std::to_string(I) + " (formula size " +
+                  std::to_string(F.size()) + "); run discarded");
+          return std::nullopt;
+        }
+        ++FVersion;
+        Stats.MaxCubes = std::max(Stats.MaxCubes, F.size());
       }
-      F = std::move(*Wp);
-      // Semantic simplification recovers the compact forms of the paper's
-      // hand-written transfer functions before the beam search prunes.
-      // Its merging pass is quadratic, so very large (exact-mode) formulas
-      // get progressively lighter treatment.
-      if (F.size() <= Config.NormalizeCap) {
-        formula::semanticNormalize(F, Refiner, LocFn);
-      } else if (F.size() <= Config.SimplifyCap) {
-        F.sortBySize();
-        F.simplify();
-      } else {
-        F.sortBySize(); // subsumption is quadratic; skip when huge
-      }
-      if (Config.K > 0 && F.size() > Config.K) {
-        F.sortBySize();
-        F.dropK(Config.K, PreEval, Config.Invariants);
-      }
-      if (!F.eval(PreEval)) {
-        // Soundness invariant (Theorem 3): the current (p, d) must stay
-        // inside the formula at every trace point, or the final formula
-        // is not guaranteed to eliminate the current abstraction. Discard
-        // the run like a timeout - learning nothing is sound, learning
-        // from a tainted formula is not.
-        support::reportInvariant(
-            Config.Invariants, "backward-soundness",
-            "BackwardMetaAnalysis::run",
-            "(p, d) escaped the formula at trace step " + std::to_string(I) +
-                " (formula size " + std::to_string(F.size()) +
-                "); run discarded");
-        return std::nullopt;
-      }
-      Stats.MaxCubes = std::max(Stats.MaxCubes, F.size());
       Stats.TotalCubes += F.size();
       if (Config.StepObserver)
         Config.StepObserver(I, Cmd, F);
-      if (support::metricsEnabled()) {
+      if (!Skip && support::metricsEnabled()) {
         static auto &StepCubes = support::MetricRegistry::global().histogram(
             "optabs_backward_step_cubes");
         StepCubes.record(F.size());
+      }
+
+      if (Active && (I - Active->Pos) % Active->Period == 0) {
+        if (I == Active->Pos) {
+          Active = nullptr; // region fully walked without stabilizing
+        } else if (HaveBoundaryF && F == BoundaryF) {
+          // Fixpoint: one full repetition mapped F to itself, and every
+          // remaining repetition runs the identical computation from the
+          // identical states, so each maps F to F too. Skip them, charging
+          // the gate exactly what the unrolled walk would have (one
+          // repetition's measured cost per skipped repetition) so step
+          // budgets exhaust at the same logical step either way.
+          size_t Skipped = (I - Active->Pos) / Active->Period;
+          uint64_t PeriodCost = Gate.stepsUsed() - BoundaryUsed;
+          size_t PeriodCubes = Stats.TotalCubes - BoundaryCubes;
+          if (PeriodCost > 0 && !Gate.charge(PeriodCost * Skipped)) {
+            LastExhaustion = Gate.why();
+            return std::nullopt;
+          }
+          Stats.TotalCubes += PeriodCubes * Skipped;
+          if (support::metricsEnabled()) {
+            static auto &SkippedSteps =
+                support::MetricRegistry::global().counter(
+                    "optabs_backward_segment_steps_skipped_total");
+            static auto &Fixpoints =
+                support::MetricRegistry::global().counter(
+                    "optabs_backward_segment_fixpoints_total");
+            SkippedSteps.add(Skipped * Active->Period);
+            Fixpoints.add(1);
+          }
+          I = Active->Pos; // loop decrement resumes below the region
+          Active = nullptr;
+        } else {
+          BoundaryF = F;
+          HaveBoundaryF = true;
+          BoundaryUsed = Gate.stepsUsed();
+          BoundaryCubes = Stats.TotalCubes;
+        }
       }
     }
     if (support::metricsEnabled()) {
@@ -346,12 +436,24 @@ private:
                                         const formula::AtomEval &PreEval,
                                         support::BudgetGate *Gate = nullptr) {
     formula::Dnf Result;
+    std::vector<const formula::Dnf *> Wps;
     for (const formula::Cube &Cube : F.cubes()) {
+      // Multiply the literal wps smallest-first: the product cube multiset
+      // is order-independent (conjunction is commutative and contradictions
+      // absorb), and every normalization tier canonicalizes with
+      // sortBySize, so the result is unchanged while the intermediate
+      // cross-products - the actual cost - stay as small as possible.
+      Wps.clear();
+      for (formula::Lit L : Cube.literals())
+        Wps.push_back(&wpLit(CmdId, Cmd, L)); // node-stable references
+      std::stable_sort(Wps.begin(), Wps.end(),
+                       [](const formula::Dnf *A, const formula::Dnf *B) {
+                         return A->size() < B->size();
+                       });
       formula::Dnf CubeWp = formula::Dnf::constTrue();
-      for (formula::Lit L : Cube.literals()) {
-        CubeWp = formula::Dnf::product(CubeWp, wpLit(CmdId, Cmd, L),
-                                       Config.ProductSoftCap, PreEval,
-                                       Config.Invariants, Gate);
+      for (const formula::Dnf *Wp : Wps) {
+        CubeWp = formula::Dnf::product(CubeWp, *Wp, Config.ProductSoftCap,
+                                       PreEval, Config.Invariants, Gate);
         if (Gate && Gate->exhausted())
           return std::nullopt; // product returned an under-charged false
         if (Config.HardCubeCap > 0 &&
@@ -385,6 +487,9 @@ private:
   formula::CubeRefiner Refiner;
   formula::LocationFn LocFn;
   std::unordered_map<uint64_t, formula::Dnf> WpMemo;
+  /// Per-run memo of identity-skip verdicts keyed (command, formula
+  /// version); cleared at every run() entry.
+  std::unordered_map<uint64_t, bool> SkipMemo;
   BackwardStats Stats;
   std::optional<support::Exhausted> LastExhaustion;
 };

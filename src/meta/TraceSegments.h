@@ -1,0 +1,119 @@
+//===- TraceSegments.h - Loop-segment detection in traces ------*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HTR-style hierarchical trace compression: counterexample traces through
+/// loops unroll the same body over and over, and the backward meta-analysis
+/// of long traces spends most of its time re-deriving the same formula
+/// across identical iterations. This header detects the repeats; the
+/// backward engine (meta/Backward.h) consumes the plan and, once the
+/// formula reaches a fixpoint across one repetition, skips the remaining
+/// ones wholesale.
+///
+/// A repeat (Pos, Period, Count) asserts that for every offset
+/// j in [Pos, Pos + (Count-1)*Period) both the command and the forward
+/// abstract state at j equal those at j + Period. Under that condition the
+/// backward propagation of each repetition is a pure function of the
+/// incoming formula (every per-step evaluation point States[i] coincides
+/// across repetitions), so once two adjacent repetitions map a formula F to
+/// itself, all earlier repetitions provably do too - the skip is exact, not
+/// an approximation. When the formula never stabilizes, the engine simply
+/// walks every step (the sound fallback to unrolled replay).
+///
+/// Detection compares interned forward state ids, not state values: within
+/// one forward run, equal ids iff equal states, which is exactly the
+/// equality the argument above needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_META_TRACESEGMENTS_H
+#define OPTABS_META_TRACESEGMENTS_H
+
+#include "ir/Trace.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace optabs {
+namespace meta {
+
+/// One maximal adjacent repeat: Count back-to-back copies of the
+/// Period-command window starting at trace index Pos.
+struct SegmentRepeat {
+  uint32_t Pos = 0;
+  uint32_t Period = 0;
+  uint32_t Count = 0;
+
+  size_t end() const { return Pos + size_t(Count) * Period; }
+};
+
+/// The compression plan for one trace: disjoint repeats in ascending
+/// position order.
+struct TraceSegments {
+  std::vector<SegmentRepeat> Repeats;
+
+  bool empty() const { return Repeats.empty(); }
+};
+
+/// Detects adjacent repeats in \p T. \p StateIds are the interned forward
+/// states along the trace (length |T| + 1, StateIds[i] = state before
+/// command i), as produced by ForwardAnalysis::replay. \p MinCount is the
+/// smallest repetition count worth recording: the backward engine must
+/// process two repetitions before it can detect a fixpoint, so anything
+/// below 3 can never save work.
+inline TraceSegments detectSegments(const ir::Trace &T,
+                                    const std::vector<uint32_t> &StateIds,
+                                    uint32_t MinCount = 3) {
+  TraceSegments Result;
+  const size_t N = T.size();
+  if (StateIds.size() != N + 1 || N < 4)
+    return Result;
+  auto SameAt = [&](size_t A, size_t B) {
+    return T[A] == T[B] && StateIds[A] == StateIds[B];
+  };
+  // Most recent position of each forward state id: a repeat must revisit
+  // the same abstract state, so candidate periods come from state
+  // recurrences, keeping the scan near-linear instead of trying every
+  // period at every offset.
+  std::unordered_map<uint32_t, size_t> LastSeen;
+  LastSeen.reserve(N);
+  size_t J = 0;
+  while (J < N) {
+    auto It = LastSeen.find(StateIds[J]);
+    if (It == LastSeen.end()) {
+      LastSeen.emplace(StateIds[J], J);
+      ++J;
+      continue;
+    }
+    size_t Q = It->second;       // candidate repeat start
+    size_t Period = J - Q;       // candidate period
+    // Extend the shift-match: M = largest m with X[Q+i] == X[Q+Period+i]
+    // for all i < m (X pairing command and state id).
+    size_t M = 0;
+    while (Q + Period + M < N && SameAt(Q + M, Q + Period + M))
+      ++M;
+    size_t Count = M / Period + 1; // full repetitions covered
+    if (Count >= MinCount) {
+      Result.Repeats.push_back({static_cast<uint32_t>(Q),
+                                static_cast<uint32_t>(Period),
+                                static_cast<uint32_t>(Count)});
+      // Restart the scan after the region; repeats stay disjoint.
+      J = Q + Count * Period;
+      LastSeen.clear();
+      continue;
+    }
+    It->second = J;
+    ++J;
+  }
+  return Result;
+}
+
+} // namespace meta
+} // namespace optabs
+
+#endif // OPTABS_META_TRACESEGMENTS_H

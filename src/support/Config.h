@@ -77,6 +77,12 @@ struct Config {
     unsigned NumThreads = 1;
     /// Forward-run cache entry cap (LRU); 0 = unbounded.
     size_t ForwardCacheCapacity = 0;
+    /// Liveness-based dead-variable pruning of forward states (exact
+    /// optimization; disable only to debug or to compare footprints).
+    bool PruneDeadVars = true;
+    /// Loop-segment compression of counterexample traces in the backward
+    /// meta-analysis (exact optimization; see meta/TraceSegments.h).
+    bool CompressTraces = true;
     /// Claim bitwise worker-count reproducibility. Purely declarative: it
     /// does not change execution, but validate() rejects any knob (e.g. a
     /// wall-clock backward timeout) that would break the claim.

@@ -59,6 +59,7 @@
 #define OPTABS_TRACER_QUERYDRIVER_H
 
 #include "dataflow/Forward.h"
+#include "ir/Liveness.h"
 #include "meta/Backward.h"
 #include "support/Budget.h"
 #include "support/Config.h"
@@ -222,6 +223,18 @@ struct TracerOptions {
   /// 0 = unbounded. Entries in use by the current round are never evicted,
   /// so the cache may transiently exceed the cap.
   size_t ForwardCacheCapacity = 0;
+  /// Liveness-based dead-variable pruning: compute per-command live-out
+  /// sets once per program and forget dead variables before interning
+  /// forward states. Shrinks the interned state space (and the forward
+  /// cache's resident bytes) without changing any verdict - the pruned
+  /// components are exactly those no later read, check, or backward
+  /// formula can observe (see DESIGN.md).
+  bool PruneDeadVars = true;
+  /// Loop-aware compression of extracted counterexample traces: detect
+  /// repeated (command, state) segments at extraction time and let the
+  /// backward meta-analysis skip repetitions once its formula stabilizes
+  /// across one of them. Exact, not approximate - see meta/TraceSegments.h.
+  bool CompressTraces = true;
   /// When nonempty, a JSONL CEGAR event trace (tracer/EventTrace.h) is
   /// appended to this path. The driver appends and never truncates, so a
   /// harness running several clients can interleave them into one file;
@@ -263,6 +276,8 @@ struct TracerOptions {
     parseStrategy(C.Execution.Strategy, O.Strategy);
     O.NumThreads = C.Execution.NumThreads;
     O.ForwardCacheCapacity = C.Execution.ForwardCacheCapacity;
+    O.PruneDeadVars = C.Execution.PruneDeadVars;
+    O.CompressTraces = C.Execution.CompressTraces;
     O.TimeBudgetSeconds = C.Budgets.TimeBudgetSeconds;
     O.BackwardTimeoutSeconds = C.Budgets.BackwardTimeoutSeconds;
     O.ForwardStepBudget = C.Budgets.ForwardStepBudget;
@@ -341,7 +356,12 @@ public:
 
   QueryDriver(const ir::Program &P, const Analysis &A,
               TracerOptions Options = TracerOptions())
-      : P(P), A(A), Options(Options) {}
+      : P(P), A(A), Options(Options) {
+    // Live-variable sets are a property of the program alone: computed once
+    // here, shared by every forward run this driver builds.
+    if (this->Options.PruneDeadVars)
+      Liveness.emplace(P);
+  }
 
   /// Service injection: runs this driver against a thread pool and a
   /// forward-run cache owned by someone else (the AnalysisService shares
@@ -468,13 +488,21 @@ private:
       size_t MaxCubes = 0;
       double Seconds = 0;
     };
+    /// One extracted counterexample: the trace, its replayed forward
+    /// states, and the loop-segment compression plan derived from the
+    /// replay's interned state ids (meta/TraceSegments.h).
+    struct TraceData {
+      ir::Trace T;
+      std::vector<State> States;
+      meta::TraceSegments Segs;
+    };
     struct MemberStep {
       size_t PlanIdx = 0;
       size_t Query = 0;
       StepKind Kind = StepKind::NoTrace;
       std::optional<support::Exhausted> Exhaustion; ///< set when Exhausted
       std::vector<dataflow::StateId> FailIds; ///< sorted by state value
-      std::vector<std::pair<ir::Trace, std::vector<State>>> Traces;
+      std::vector<TraceData> Traces;
       std::vector<TraceResult> TraceResults;
       double Seconds = 0;
     };
@@ -671,7 +699,7 @@ private:
           // here — it costs this abstraction's queries, not the process.
           support::BudgetGate Gate("forward.visit", Options.ForwardStepBudget,
                                    CancelTok.get(), 0, &Sink);
-          auto Run = std::make_unique<Forward>(P, A, *Slot.Abs);
+          auto Run = std::make_unique<Forward>(P, A, *Slot.Abs, liveness());
           Run->run(Init, &Gate);
           if (Run->exhausted())
             Slot.Exhaustion = *Run->exhaustion();
@@ -894,8 +922,19 @@ private:
               Step.Kind = StepKind::NoTrace;
             } else {
               for (ir::Trace &T : Traces) {
-                std::vector<State> States = Slot.Run->replay(T, Init);
-                Step.Traces.emplace_back(std::move(T), std::move(States));
+                TraceData Data;
+                std::vector<dataflow::StateId> Ids;
+                Data.States = Slot.Run->replay(T, Init, &Ids);
+                if (Options.CompressTraces)
+                  Data.Segs = meta::detectSegments(T, Ids);
+                if (support::metricsEnabled() && !Data.Segs.empty()) {
+                  static auto &Detected =
+                      support::MetricRegistry::global().counter(
+                          "optabs_trace_segments_detected_total");
+                  Detected.add(Data.Segs.Repeats.size());
+                }
+                Data.T = std::move(T);
+                Step.Traces.push_back(std::move(Data));
               }
               Step.TraceResults.resize(Step.Traces.size());
             }
@@ -930,9 +969,10 @@ private:
         Backward &Bwd = *Bwds[Worker];
         TraceResult &R = Step.TraceResults[J];
         try {
+          const TraceData &Data = Step.Traces[J];
           std::optional<formula::Dnf> F =
-              Bwd.run(Step.Traces[J].first, *Slot.Abs, Step.Traces[J].second,
-                      Recs[Step.Query].NotQ);
+              Bwd.run(Data.T, *Slot.Abs, Data.States, Recs[Step.Query].NotQ,
+                      Data.Segs.empty() ? nullptr : &Data.Segs);
           R.MaxCubes = Bwd.stats().MaxCubes;
           if (F)
             R.Unviable = Bwd.projectToParams(*F, *Slot.Abs, Init);
@@ -1069,7 +1109,7 @@ private:
           std::vector<size_t> TraceLens;
           size_t MaxCubes = 0;
           for (size_t J = 0; J < Step.Traces.size(); ++J) {
-            TraceLens.push_back(Step.Traces[J].first.size());
+            TraceLens.push_back(Step.Traces[J].T.size());
             MaxCubes = std::max(MaxCubes, Step.TraceResults[J].MaxCubes);
           }
           Trace.write(Trace.event("step")
@@ -1212,7 +1252,8 @@ private:
         return Hit;
       support::BudgetGate Gate("forward.visit", Options.ForwardStepBudget,
                                CancelTok.get(), 0, &Sink);
-      auto Run = std::make_unique<Forward>(P, A, A.paramFromBits(Bits));
+      auto Run = std::make_unique<Forward>(P, A, A.paramFromBits(Bits),
+                                           liveness());
       Run->run(Init, &Gate);
       ++Stats.ForwardRuns;
       if (Run->exhausted()) {
@@ -1452,9 +1493,15 @@ private:
       support::Profiler::global().writeChromeTraceFile(Options.ProfilePath);
   }
 
+  /// The shared dead-variable pruning tables; null when pruning is off.
+  const ir::CommandLiveness *liveness() const {
+    return Liveness ? &*Liveness : nullptr;
+  }
+
   const ir::Program &P;
   const Analysis &A;
   TracerOptions Options;
+  std::optional<ir::CommandLiveness> Liveness;
   DriverStats Stats;
   double TotalSeconds = 0;
   ForwardRunCache<Forward> OwnedCache;

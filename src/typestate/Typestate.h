@@ -138,6 +138,17 @@ public:
   State transfer(const ir::Command &Cmd, const State &In,
                  const Param &Prm) const;
 
+  /// Forgets dead variables (optional engine hook, see dataflow/Forward.h):
+  /// drops must-alias entries outside \p Live. Ts and Top are not
+  /// variable-indexed and stay untouched.
+  void pruneState(State &S, const BitSet &Live) const {
+    size_t W = 0;
+    for (uint32_t V : S.Vs)
+      if (V < Live.size() && Live.test(V))
+        S.Vs[W++] = V;
+    S.Vs.resize(W);
+  }
+
   //===--- queries ---------------------------------------------------------===
   /// Failure condition not(q) for a check(v, allowed): err or any
   /// disallowed type-state reachable. In stress mode (or without payload):

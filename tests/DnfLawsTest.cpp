@@ -141,7 +141,53 @@ TEST_P(DnfLaws, SortBySizeDeduplicates) {
   }
 }
 
+class CubeOrderingSweep : public ::testing::TestWithParam<uint64_t> {};
+
+bool cubeIsCanonical(const Cube &C) {
+  const Lit *B = C.literals().begin(), *E = C.literals().end();
+  for (const Lit *P = B; P + 1 < E; ++P)
+    if (!(P->raw() < (P + 1)->raw()))
+      return false; // out of order or duplicate
+  return true;
+}
+
+TEST(CubeOrdering, MakeCanonicalizesShuffledInput) {
+  // Literals arrive reversed and with a duplicate; the cube must come out
+  // sorted by raw value with the duplicate folded away.
+  auto C = Cube::make({Lit::pos(AtomId(5)), Lit::neg(AtomId(2)),
+                       Lit::pos(AtomId(0)), Lit::pos(AtomId(5))});
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->literals().size(), 3u);
+  EXPECT_TRUE(cubeIsCanonical(*C));
+}
+
+TEST_P(CubeOrderingSweep, ConjoinAndProductKeepLiteralsSorted) {
+  // The product fast path skips re-sorting because conjoin's merge
+  // already emits literals in raw order; this pins that invariant so a
+  // future conjoin change cannot silently break signature() and the
+  // sorted-merge subsumption checks downstream.
+  Prng Rng(GetParam() ^ 0x0D9E);
+  AtomEval Unused;
+  for (int Round = 0; Round < 200; ++Round) {
+    Dnf A = randomDnf(Rng, 6);
+    Dnf B = randomDnf(Rng, 6);
+    for (const Cube &C : A.cubes())
+      ASSERT_TRUE(cubeIsCanonical(C));
+    std::optional<Cube> Joined;
+    if (!A.cubes().empty() && !B.cubes().empty())
+      Joined = Cube::conjoin(A.cubes().front(), B.cubes().front());
+    if (Joined) {
+      ASSERT_TRUE(cubeIsCanonical(*Joined));
+    }
+    Dnf P = Dnf::product(A, B, 0, Unused);
+    for (const Cube &C : P.cubes())
+      ASSERT_TRUE(cubeIsCanonical(C)) << "round " << Round;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DnfLaws,
                          ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+INSTANTIATE_TEST_SUITE_P(Seeds, CubeOrderingSweep,
+                         ::testing::Values(1ull, 2ull, 3ull));
 
 } // namespace

@@ -218,6 +218,94 @@ TEST(TraceExtraction, TraceForUnreachedStateFails) {
   EXPECT_FALSE(FA.extractTrace(CheckId(0), 3u).has_value());
 }
 
+//===----------------------------------------------------------------------===//
+// State-interner footprint and dead-variable pruning
+//===----------------------------------------------------------------------===//
+
+TEST(StateInterner, ApproxBytesGrowsWithDistinctStatesOnly) {
+  optabs::dataflow::StateInterner<unsigned, CounterClient::StateHash> I;
+  size_t Empty = I.approxBytes();
+  for (unsigned S = 0; S < 64; ++S)
+    I.intern(S);
+  EXPECT_EQ(I.size(), 64u);
+  size_t Full = I.approxBytes();
+  EXPECT_GT(Full, Empty);
+  // The estimate covers at least the stored states themselves.
+  EXPECT_GE(Full, 64 * sizeof(unsigned));
+  // Re-interning existing states mints no ids and allocates nothing.
+  for (unsigned S = 0; S < 64; ++S)
+    EXPECT_LT(I.intern(S), 64u);
+  EXPECT_EQ(I.size(), 64u);
+  EXPECT_EQ(I.approxBytes(), Full);
+}
+
+/// Tracks per variable whether it currently holds a fresh allocation (one
+/// bit per variable index). Exposes the optional pruneState hook, so the
+/// engine can forget dead variables and collapse states that differ only
+/// in them.
+struct BitsClient {
+  struct Param {};
+  using State = uint32_t;
+  struct StateHash {
+    size_t operator()(uint32_t S) const { return S; }
+  };
+
+  State transfer(const Command &Cmd, const State &In, const Param &) const {
+    auto Bit = [](VarId V) { return 1u << V.index(); };
+    switch (Cmd.Kind) {
+    case CmdKind::New:
+      return In | Bit(Cmd.Dst);
+    case CmdKind::Null:
+      return In & ~Bit(Cmd.Dst);
+    case CmdKind::Copy:
+      return (In & Bit(Cmd.Src)) ? (In | Bit(Cmd.Dst)) : (In & ~Bit(Cmd.Dst));
+    default:
+      return In;
+    }
+  }
+
+  void pruneState(State &S, const optabs::BitSet &Live) const {
+    State Keep = 0;
+    for (size_t I = 0; I < Live.size() && I < 32; ++I)
+      if (Live.test(I))
+        Keep |= 1u << I;
+    S &= Keep;
+  }
+};
+
+TEST(Forward, PruningCollapsesDeadVariableStates) {
+  // x and w are dead the moment they are assigned; only y reaches the
+  // check. Without pruning the two choices make four distinct states at
+  // the check; with pruning they collapse to one.
+  Program P = parse(R"(
+    proc main {
+      choice { x = new h1; } or { x = null; }
+      choice { w = new h2; } or { w = null; }
+      y = new h3;
+      check(y);
+    }
+  )");
+  BitsClient C;
+  ForwardAnalysis<BitsClient> Plain(P, C, BitsClient::Param{});
+  Plain.run(0);
+  CommandLiveness L(P);
+  ForwardAnalysis<BitsClient> Pruned(P, C, BitsClient::Param{}, &L);
+  Pruned.run(0);
+
+  // The live variable's verdict bit is identical in every reached state.
+  unsigned YBit = 1u << P.findVar("y").index();
+  for (BitsClient::State S : Plain.statesAtCheck(CheckId(0)))
+    EXPECT_TRUE(S & YBit);
+  ASSERT_EQ(Pruned.statesAtCheck(CheckId(0)).size(), 1u);
+  EXPECT_TRUE(Pruned.statesAtCheck(CheckId(0)).front() & YBit);
+  EXPECT_EQ(Plain.statesAtCheck(CheckId(0)).size(), 4u);
+
+  // Collapsing dead-variable diversity shrinks the interner and the
+  // footprint estimate the forward-run cache's resident-bytes gauge uses.
+  EXPECT_LT(Pruned.stats().NumStates, Plain.stats().NumStates);
+  EXPECT_LE(Pruned.approxMemoryBytes(), Plain.approxMemoryBytes());
+}
+
 TEST(Forward, StatsArePopulated) {
   Program P = parse("proc main { loop { x = new h1; } check(x); }");
   CounterClient C;

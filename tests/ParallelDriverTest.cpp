@@ -259,6 +259,24 @@ TEST(ForwardRunCache, OvershootKeepsGrowingWhileEverythingIsPinned) {
   EXPECT_NE(Cache.lookup(key({true, true, true})), nullptr);
 }
 
+TEST(ForwardRunCache, ResidentBytesGaugeTracksInsertReplaceAndEviction) {
+  IntCache Cache(/*Capacity=*/1);
+  EXPECT_EQ(Cache.residentBytes(), 0u);
+  // Plain runs report sizeof(RunT); real forward runs report
+  // approxMemoryBytes(), which shrinks when dead-variable pruning
+  // collapses interned states (see ForwardTest).
+  Cache.insert(key({true}), std::make_unique<int>(1));
+  EXPECT_EQ(Cache.residentBytes(), sizeof(int));
+  // Replacing a resident key swaps the charge instead of double-counting.
+  Cache.insert(key({true}), std::make_unique<int>(2));
+  EXPECT_EQ(Cache.residentBytes(), sizeof(int));
+  // Eviction releases the evicted run's bytes.
+  Cache.beginEpoch();
+  Cache.insert(key({false}), std::make_unique<int>(3));
+  EXPECT_EQ(Cache.counters().Evictions, 1u);
+  EXPECT_EQ(Cache.residentBytes(), sizeof(int));
+}
+
 TEST(ForwardRunCache, InsertOverResidentKeyReplacesInPlace) {
   IntCache Cache(2);
   Cache.insert(key({true}), std::make_unique<int>(1));

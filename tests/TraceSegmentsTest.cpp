@@ -1,0 +1,147 @@
+//===- TraceSegmentsTest.cpp - Loop-segment detection and compression ---------===//
+//
+// Pins detectSegments() on hand-built traces (repeat found, repeat too
+// short, states diverging) and proves the backward engine's segment
+// compression is exact: the same trace run with and without a segment
+// plan produces the identical formula, and a StepObserver forces the
+// unrolled walk even when a plan is supplied.
+//
+//===----------------------------------------------------------------------===//
+
+#include "meta/TraceSegments.h"
+
+#include "dataflow/Forward.h"
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+#include "meta/Backward.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace optabs;
+using namespace optabs::ir;
+using escape::EscapeAnalysis;
+using escape::EscParam;
+using escape::EscState;
+
+TEST(DetectSegments, FindsAdjacentRepeat) {
+  // Commands a b a b a b a b with states cycling 0 1 0 1 ... 0: four
+  // back-to-back copies of the two-command window at position 0.
+  Trace T;
+  std::vector<uint32_t> Ids{0};
+  for (int I = 0; I < 4; ++I) {
+    T.push_back(CommandId(0));
+    Ids.push_back(1);
+    T.push_back(CommandId(1));
+    Ids.push_back(0);
+  }
+  meta::TraceSegments Segs = meta::detectSegments(T, Ids);
+  ASSERT_EQ(Segs.Repeats.size(), 1u);
+  EXPECT_EQ(Segs.Repeats[0].Pos, 0u);
+  EXPECT_EQ(Segs.Repeats[0].Period, 2u);
+  EXPECT_EQ(Segs.Repeats[0].Count, 4u);
+}
+
+TEST(DetectSegments, IgnoresRepeatsBelowMinCount) {
+  // Two repetitions only: the backward engine needs two to detect a
+  // fixpoint, so nothing can be saved and nothing is recorded.
+  Trace T{CommandId(0), CommandId(1), CommandId(0), CommandId(1)};
+  std::vector<uint32_t> Ids{0, 1, 0, 1, 0};
+  EXPECT_TRUE(meta::detectSegments(T, Ids).empty());
+}
+
+TEST(DetectSegments, DivergingStatesBreakTheRepeat) {
+  // Same command over and over, but every state is fresh - a loop whose
+  // abstract state keeps growing is not a repeat.
+  Trace T(8, CommandId(0));
+  std::vector<uint32_t> Ids;
+  for (uint32_t I = 0; I <= 8; ++I)
+    Ids.push_back(I);
+  EXPECT_TRUE(meta::detectSegments(T, Ids).empty());
+}
+
+TEST(DetectSegments, RejectsMismatchedStateSequence) {
+  Trace T(6, CommandId(0));
+  std::vector<uint32_t> Ids(3, 0); // wrong length: must be |T| + 1
+  EXPECT_TRUE(meta::detectSegments(T, Ids).empty());
+}
+
+/// Builds a counterexample trace with an artificial 6-fold repeat by
+/// replaying a hand-assembled command sequence: the repeated command is
+/// idempotent on the abstract state, so detectSegments sees a period-1
+/// repeat backed by identical interned states.
+struct RepeatFixture {
+  Program P;
+  std::unique_ptr<EscapeAnalysis> A;
+  std::unique_ptr<dataflow::ForwardAnalysis<EscapeAnalysis>> Fwd;
+  EscParam Prm;
+  Trace T;
+  std::vector<EscState> States;
+  std::vector<uint32_t> Ids;
+  meta::TraceSegments Segs;
+  formula::Dnf NotQ;
+
+  RepeatFixture() {
+    std::string Error;
+    bool Ok = parseProgram(R"(
+      proc main { u = new h1; v = new h2; v.f = u; check(u); }
+    )", P, Error);
+    EXPECT_TRUE(Ok) << Error;
+    A = std::make_unique<EscapeAnalysis>(P);
+    Prm = A->paramFromBits({});
+    Fwd = std::make_unique<dataflow::ForwardAnalysis<EscapeAnalysis>>(
+        P, *A, Prm);
+    Fwd->run(A->initialState());
+    NotQ = A->notQ(CheckId(0));
+    // u = new h1; then v = new h2 six times (idempotent after the first);
+    // then v.f = u. Commands are numbered in source order.
+    T.push_back(CommandId(0));
+    for (int I = 0; I < 6; ++I)
+      T.push_back(CommandId(1));
+    T.push_back(CommandId(2));
+    States = Fwd->replay(T, A->initialState(), &Ids);
+    Segs = meta::detectSegments(T, Ids);
+  }
+};
+
+TEST(SegmentCompression, PlanDetectedOnRepeatedReplay) {
+  RepeatFixture F;
+  ASSERT_FALSE(F.Segs.empty());
+  EXPECT_EQ(F.Segs.Repeats[0].Period, 1u);
+  EXPECT_GE(F.Segs.Repeats[0].Count, 3u);
+}
+
+TEST(SegmentCompression, CompressedRunMatchesUnrolledRun) {
+  RepeatFixture F;
+  ASSERT_FALSE(F.Segs.empty());
+  meta::BackwardMetaAnalysis<EscapeAnalysis> Plain(F.P, *F.A);
+  meta::BackwardMetaAnalysis<EscapeAnalysis> Compressed(F.P, *F.A);
+  auto Want = Plain.run(F.T, F.Prm, F.States, F.NotQ);
+  auto Got = Compressed.run(F.T, F.Prm, F.States, F.NotQ, &F.Segs);
+  ASSERT_TRUE(Want.has_value());
+  ASSERT_TRUE(Got.has_value());
+  auto Name = [&](formula::AtomId At) { return F.A->atomName(At); };
+  EXPECT_EQ(Want->toString(Name), Got->toString(Name));
+  // And the projected parameter conditions agree too.
+  formula::Dnf PW = Plain.projectToParams(*Want, F.Prm, F.A->initialState());
+  formula::Dnf PG =
+      Compressed.projectToParams(*Got, F.Prm, F.A->initialState());
+  EXPECT_EQ(PW.toString(Name), PG.toString(Name));
+}
+
+TEST(SegmentCompression, ObserverForcesUnrolledWalk) {
+  RepeatFixture F;
+  ASSERT_FALSE(F.Segs.empty());
+  meta::BackwardConfig Config;
+  std::vector<size_t> Seen;
+  Config.StepObserver = [&](size_t I, const Command &,
+                            const formula::Dnf &) { Seen.push_back(I); };
+  meta::BackwardMetaAnalysis<EscapeAnalysis> Bwd(F.P, *F.A, Config);
+  auto Formula = Bwd.run(F.T, F.Prm, F.States, F.NotQ, &F.Segs);
+  ASSERT_TRUE(Formula.has_value());
+  // Observers must see every step, so the plan is ignored.
+  EXPECT_EQ(Seen.size(), F.T.size());
+}
+
+} // namespace
