@@ -1,0 +1,170 @@
+//===- bench_incremental.cpp - Warm re-registration speedup ------------------===//
+//
+// The incremental re-analysis acceptance gate: on a K-procedure program
+// (one escape check per procedure), a one-procedure edit followed by
+// re-registration and a full re-query must be at least 5x faster through
+// the incremental path (diff, migrate, replay, re-run only the dirty
+// check) than through the historical full-invalidate path (every check
+// recomputed cold) - with bitwise-identical verdicts.
+//
+// Emits BENCH_incremental.json (schema below; bench/BENCH_incremental_
+// baseline.json holds a reference run) and exits 1 when the speedup gate
+// or the verdict-identity check fails. OPTABS_PERF_ADVISORY=1 demotes the
+// speedup gate to a warning, matching bench/perf_smoke.py; the identity
+// check is never advisory.
+//
+// Usage: bench_incremental [OUTPUT_JSON]
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisService.h"
+#include "support/Timer.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace optabs;
+
+namespace {
+
+constexpr unsigned NumProcs = 20;
+
+/// main calls p01..p20; each procedure allocates two objects, links them
+/// through a field (the figure-6 shape, so every check needs a
+/// non-trivial abstraction), and checks the reachable one.
+std::string makeProgram(bool EditLastProc) {
+  std::string Text = "proc main {\n";
+  for (unsigned I = 1; I <= NumProcs; ++I)
+    Text += "  call p" + std::to_string(I) + ";\n";
+  Text += "}\n";
+  for (unsigned I = 1; I <= NumProcs; ++I) {
+    std::string N = std::to_string(I);
+    Text += "proc p" + N + " {\n";
+    Text += "  u" + N + " = new ha" + N + ";\n";
+    Text += "  v" + N + " = new hb" + N + ";\n";
+    Text += "  v" + N + ".f = u" + N + ";\n";
+    if (EditLastProc && I == NumProcs)
+      Text += "  v" + N + ".f = u" + N + ";\n"; // the one-proc edit
+    Text += "  check(u" + N + ");\n";
+    Text += "}\n";
+  }
+  return Text;
+}
+
+struct Pass {
+  std::vector<service::QueryResult> Results;
+  double ReQuerySeconds = 0;
+  uint64_t WarmForwardRuns = 0; ///< forward fixpoints after re-register
+  service::ServiceStats Stats;
+};
+
+/// Cold-registers version 1, queries every check, re-registers the edited
+/// version, and re-queries every check (the timed region).
+Pass runPass(bool Incremental) {
+  service::AnalysisService::Options Opts;
+  Opts.AutoDispatch = false;
+  Opts.Base.Service.IncrementalReRegister = Incremental;
+  service::AnalysisService Svc(std::move(Opts));
+  if (!Svc.registerProgram("p", makeProgram(false)).Ok)
+    std::abort();
+
+  service::SessionSpec Spec;
+  Spec.Program = "p";
+  Spec.Client = "escape";
+  std::string Err;
+  service::Session S = Svc.openSession(Spec, Err);
+  if (!S.valid())
+    std::abort();
+
+  auto QueryAll = [&] {
+    std::vector<std::future<service::QueryResult>> Futures;
+    for (uint32_t C = 0; C < NumProcs; ++C)
+      Futures.push_back(S.submit({C, 0, 0}));
+    Svc.drain();
+    std::vector<service::QueryResult> Out;
+    for (auto &F : Futures)
+      Out.push_back(F.get());
+    return Out;
+  };
+  QueryAll(); // warm the caches against version 1 (untimed)
+
+  uint64_t RunsBefore = Svc.stats().ForwardRuns;
+  Pass P;
+  Timer T;
+  if (!Svc.registerProgram("p", makeProgram(true)).Ok)
+    std::abort();
+  P.Results = QueryAll();
+  P.ReQuerySeconds = T.seconds();
+  P.Stats = Svc.stats();
+  P.WarmForwardRuns = P.Stats.ForwardRuns - RunsBefore;
+  return P;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const std::string OutPath = Argc > 1 ? Argv[1] : "BENCH_incremental.json";
+
+  Pass Full = runPass(/*Incremental=*/false);
+  Pass Warm = runPass(/*Incremental=*/true);
+
+  bool Identical = Full.Results.size() == Warm.Results.size();
+  for (size_t I = 0; Identical && I < Full.Results.size(); ++I) {
+    const service::QueryResult &A = Full.Results[I];
+    const service::QueryResult &B = Warm.Results[I];
+    Identical = A.Status == B.Status && A.V == B.V &&
+                A.Iterations == B.Iterations &&
+                A.CheapestCost == B.CheapestCost &&
+                A.CheapestParam == B.CheapestParam;
+    if (!Identical)
+      std::cerr << "FAIL: verdict " << I
+                << " diverged between incremental and full re-registration\n";
+  }
+
+  double Speedup = Warm.ReQuerySeconds > 0
+                       ? Full.ReQuerySeconds / Warm.ReQuerySeconds
+                       : 0;
+  std::ofstream Out(OutPath);
+  Out << "{\n"
+      << "  \"benchmark\": \"incremental_reregister\",\n"
+      << "  \"procs\": " << NumProcs << ",\n"
+      << "  \"checks\": " << NumProcs << ",\n"
+      << "  \"full_requery_seconds\": " << Full.ReQuerySeconds << ",\n"
+      << "  \"warm_requery_seconds\": " << Warm.ReQuerySeconds << ",\n"
+      << "  \"speedup\": " << Speedup << ",\n"
+      << "  \"full_forward_runs\": " << Full.WarmForwardRuns << ",\n"
+      << "  \"warm_forward_runs\": " << Warm.WarmForwardRuns << ",\n"
+      << "  \"entries_migrated\": " << Warm.Stats.EntriesMigrated << ",\n"
+      << "  \"verdicts_replayed\": " << Warm.Stats.VerdictsReplayed << ",\n"
+      << "  \"procs_dirty\": " << Warm.Stats.ProceduresDirty << "\n"
+      << "}\n";
+
+  std::cout << "incremental re-register: full " << Full.ReQuerySeconds
+            << "s (" << Full.WarmForwardRuns << " forward runs), warm "
+            << Warm.ReQuerySeconds << "s (" << Warm.WarmForwardRuns
+            << " forward runs), speedup " << Speedup << "x, "
+            << Warm.Stats.VerdictsReplayed << " verdicts replayed\n";
+
+  if (!Identical)
+    return 1;
+  // The dirty set is one procedure, so the warm pass must re-run only a
+  // small fraction of the fixpoints the full pass recomputes.
+  if (Warm.WarmForwardRuns * 2 >= Full.WarmForwardRuns) {
+    std::cerr << "FAIL: warm pass recomputed " << Warm.WarmForwardRuns
+              << " of " << Full.WarmForwardRuns
+              << " forward runs - invalidation is not proportional to the "
+                 "edit\n";
+    return 1;
+  }
+  if (Speedup < 5.0) {
+    std::cerr << "FAIL: warm re-register speedup " << Speedup
+              << "x is below the 5x gate\n";
+    if (!std::getenv("OPTABS_PERF_ADVISORY"))
+      return 1;
+    std::cerr << "OPTABS_PERF_ADVISORY set - reporting only\n";
+  }
+  return 0;
+}

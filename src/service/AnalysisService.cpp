@@ -13,9 +13,25 @@
 //    mutating contract even though sessions submit concurrently.
 //  * Program registrations are immutable once published: re-registering a
 //    name installs a fresh ProgramEntry under the next epoch and retires
-//    the old one. Retired entries stay alive until the scheduler has
-//    evicted every cache entry of their epochs (cached forward runs hold
-//    references into the retired IR), then both are dropped together.
+//    the old one. Retired entries stay alive while any cache entry's
+//    *data* epoch still references their IR (cached forward runs hold
+//    references into it); under incremental re-registration a migrated
+//    run keeps its original data epoch, so a retired program can outlive
+//    several re-registrations.
+//  * Incremental re-registration (Config::ServiceConfig, default on):
+//    registerProgram fingerprints every version at registration time
+//    (ir/ProgramDiff.h) - never by re-reading the retiring Program, which
+//    the scheduler may still be mutating through lazy method interning -
+//    and diffs fingerprints under the lock. Checks whose dependence
+//    footprint avoids every dirty procedure keep their CheckLastDirty
+//    epoch; the scheduler then migrates forward runs into the new epoch
+//    wholesale (stale ones are shadowed by the per-check MinDataEpoch
+//    freshness floor at lookup time) and stored verdicts are filtered
+//    right in registerProgram. Jobs answered from a stored verdict replay
+//    the whole recorded outcome - including its event-trace verdict line -
+//    rather than seeding the driver's viable sets: seeding shortens the
+//    search and changes reported iteration counts, and the contract here
+//    is bitwise identity with a cold re-registration.
 //  * Batch picking: the session with the fewest served jobs leads; its
 //    best pending job (priority, then submission order) defines the shard
 //    key, and every compatible pending job across all sessions rides in
@@ -29,6 +45,7 @@
 
 #include "escape/Escape.h"
 #include "ir/Parser.h"
+#include "ir/ProgramDiff.h"
 #include "pointer/PointsTo.h"
 #include "support/Budget.h"
 #include "support/Metrics.h"
@@ -41,8 +58,10 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 namespace optabs {
 namespace service {
@@ -187,10 +206,40 @@ struct AnalysisService::Impl {
   struct ProgramEntry {
     std::unique_ptr<ir::Program> P;
     uint64_t Epoch = 0;
-    uint64_t NextFamilyId = 1;
     std::unique_ptr<escape::EscapeAnalysis> Esc;
     std::unique_ptr<pointer::PointsToResult> Pt;
     std::map<std::string, TsFamily> Families; ///< by property text
+  };
+
+  /// A stored resolved verdict, replayable across re-registrations while
+  /// the check's dependence footprint stays clean. DataEpoch is the epoch
+  /// of the program version that computed it (never rewritten: the
+  /// CheckLastDirty comparison is against the compute-time version).
+  struct VerdictKey {
+    bool Typestate = false;
+    std::string Property;
+    uint32_t Site = 0;
+    std::string OptionsSig;
+    uint32_t Check = 0;
+    bool operator<(const VerdictKey &O) const {
+      return std::tie(Typestate, Property, Site, OptionsSig, Check) <
+             std::tie(O.Typestate, O.Property, O.Site, O.OptionsSig, O.Check);
+    }
+  };
+  struct VerdictEntry {
+    tracer::Verdict V = tracer::Verdict::Unresolved;
+    unsigned Iterations = 0;
+    uint32_t CheapestCost = 0;
+    std::string CheapestParam;
+    /// The learned viable set at resolution, migrated alongside the
+    /// verdict (kept for audit tooling and future warm-start use; the
+    /// replay path never seeds it - see the file comment).
+    tracer::Cnf Viable;
+    /// Replay fields for the "verdict" event-trace line (round + short vs
+    /// full form; see tracer::QueryOutcome::TraceForm).
+    unsigned TraceRound = 0;
+    uint8_t TraceForm = 0;
+    uint64_t DataEpoch = 0;
   };
 
   /// The per-name slot: survives re-registration and owns the cache shards
@@ -199,16 +248,42 @@ struct AnalysisService::Impl {
   struct ProgramSlot {
     std::shared_ptr<ProgramEntry> Current;
     /// Entries replaced by a re-registration, kept alive until the shards
-    /// no longer cache runs referencing their IR.
+    /// no longer cache runs whose data epoch references their IR.
     std::vector<std::shared_ptr<ProgramEntry>> Retired;
     bool NeedsInvalidation = false;
     tracer::ForwardRunCache<EscForward> EscCache;
     tracer::ForwardRunCache<TsForward> TsCache;
+
+    // -- incremental re-registration state (lock held for all of these) --
+    /// Fingerprint of Current, captured at registration (empty Procs when
+    /// the feature is off - fingerprinting is skipped entirely).
+    ir::ProgramFingerprint Fingerprint;
+    /// Per-check epoch of the last re-registration that dirtied the
+    /// check's dependence footprint. Sized numChecks of Current when the
+    /// feature is on; empty otherwise. A cached artifact with
+    /// DataEpoch >= CheckLastDirty[check] is still exact for that check.
+    std::vector<uint64_t> CheckLastDirty;
+    /// Epoch re-keying the scheduler still has to apply to the forward
+    /// shards ((from, to) pairs, in re-registration order).
+    std::vector<std::pair<uint64_t, uint64_t>> PendingMigrations;
+    /// Stored resolved verdicts; filtered against the diff at re-register.
+    std::map<VerdictKey, VerdictEntry> Verdicts;
+    /// Family indices must survive re-registration: cache keys fold
+    /// (family index << 32) | site, and migrated type-state entries are
+    /// only valid if the same property maps to the same index in every
+    /// epoch. Scheduler thread only (like the Families map itself).
+    uint64_t NextFamilyId = 1;
+    std::map<std::string, uint64_t> FamilyIndex; ///< by property text
   };
 
   struct PendingJob {
     uint64_t Id = 0; ///< global submission sequence; batch execution order
     JobSpec Spec;
+    /// Program epoch current at submission. A job still queued when its
+    /// program is re-registered fails with a structured stale-epoch reason
+    /// unless the diff proves its check's footprint untouched; silently
+    /// re-running it against different IR was a bug.
+    uint64_t Epoch = 0;
     std::promise<QueryResult> Promise;
   };
 
@@ -234,14 +309,29 @@ struct AnalysisService::Impl {
     std::string Property;
     uint32_t Site = 0;
     Config Cfg;
+    std::string OptionsSig;
     std::vector<PendingJob> Jobs; ///< sorted by Id (submission order)
     std::vector<uint64_t> JobSessions; ///< parallel to Jobs
     std::shared_ptr<ProgramEntry> Entry;
     ProgramSlot *Slot = nullptr;
+    /// Snapshot of the slot's CheckLastDirty, copied under the lock (the
+    /// driver reads it without the lock as its per-check data-freshness
+    /// floor; a concurrent re-registration must not mutate it mid-run).
+    std::vector<uint64_t> MinDataByCheck;
+    /// Stored verdicts serving jobs without a driver run, copied under the
+    /// lock in pickBatch (parallel to Jobs; nullopt = run the driver).
+    /// Only cross-epoch survivors replay - a repeat submission in the same
+    /// epoch still exercises the driver and its forward-run cache.
+    std::vector<std::optional<VerdictEntry>> Replays;
   };
 
   struct BatchResult {
     std::vector<QueryResult> Results; ///< parallel to Batch::Jobs
+    /// Per-job verdict-recording material (parallel to Jobs; TraceForm 0
+    /// where the job did not run or did not resolve).
+    std::vector<unsigned> TraceRound;
+    std::vector<uint8_t> TraceForm;
+    std::vector<tracer::Cnf> Viable;
     tracer::DriverStats DS;
     bool Ran = false;
     double Seconds = 0;
@@ -300,21 +390,111 @@ struct AnalysisService::Impl {
           .set(static_cast<int64_t>(Stats.QueueDepth));
   }
 
-  /// Scheduler only. Evicts every cache entry of a stale epoch and drops
-  /// the retired registrations those entries referenced.
+  /// Scheduler only, lock held. Applies pending epoch migrations to the
+  /// forward shards, evicts whatever is left under a stale key, fails (or
+  /// re-validates) still-queued jobs from retired epochs, and drops
+  /// retired registrations no cached run references any more.
   void processInvalidations() {
     for (auto &[Name, Slot] : Programs) {
       if (!Slot.NeedsInvalidation)
         continue;
       uint64_t Live = Slot.Current->Epoch;
+
+      // Migrations first (incremental path; empty otherwise): re-key every
+      // surviving epoch's entries into the new one, in re-registration
+      // order. Stale data inside migrated entries is shadowed by the
+      // per-check MinDataEpoch floor at lookup time, so re-keying is
+      // sound wholesale.
+      size_t Migrated = 0;
+      for (const auto &[From, To] : Slot.PendingMigrations)
+        Migrated += Slot.EscCache.migrateEpoch(From, To) +
+                    Slot.TsCache.migrateEpoch(From, To);
+      Slot.PendingMigrations.clear();
+      if (Migrated) {
+        Stats.EntriesMigrated += Migrated;
+        bumpServiceCounter("optabs_service_entries_migrated_total", Migrated);
+      }
+
       auto Stale = [Live](const auto &K) { return K.ProgramEpoch != Live; };
       size_t N = Slot.EscCache.evictKeysWhere(Stale) +
                  Slot.TsCache.evictKeysWhere(Stale);
       Stats.StaleEntriesInvalidated += N;
+      if (Opts.Base.Service.IncrementalReRegister)
+        Stats.EntriesInvalidated += N;
       bumpServiceCounter("optabs_service_stale_invalidated_total", N);
-      Slot.Retired.clear();
+
+      sweepStalePending(Name, Slot, Live);
+      pruneRetired(Slot, Live);
       Slot.NeedsInvalidation = false;
     }
+  }
+
+  /// Lock held. Jobs queued before a re-registration either survive (their
+  /// check's footprint is provably untouched) or fail with a structured
+  /// stale-epoch reason. Fulfilling promises under the lock follows the
+  /// shutdown path's precedent.
+  void sweepStalePending(const std::string &Name, ProgramSlot &Slot,
+                         uint64_t Live) {
+    bool Incr = Opts.Base.Service.IncrementalReRegister;
+    size_t Failed = 0;
+    for (auto &[SId, S] : Sessions) {
+      if (S.ProgramName != Name)
+        continue;
+      for (auto It = S.Pending.begin(); It != S.Pending.end();) {
+        PendingJob &J = *It;
+        if (J.Epoch == Live) {
+          ++It;
+          continue;
+        }
+        bool Clean = Incr && J.Spec.Check < Slot.CheckLastDirty.size() &&
+                     Slot.CheckLastDirty[J.Spec.Check] <= J.Epoch;
+        if (Clean) {
+          // Same check, same footprint, both hashes unchanged: the job's
+          // result against the new version is bitwise what it would have
+          // been against the one it was submitted under.
+          J.Epoch = Live;
+          ++It;
+          continue;
+        }
+        QueryResult Res;
+        Res.Job = J.Id;
+        Res.Session = SId;
+        Res.Status = JobStatus::Failed;
+        Res.Error = "stale epoch: program '" + Name +
+                    "' was re-registered (epoch " + std::to_string(J.Epoch) +
+                    " -> " + std::to_string(Live) + ") and check " +
+                    std::to_string(J.Spec.Check) +
+                    " could not be proven unaffected while the job was queued";
+        J.Promise.set_value(std::move(Res));
+        ++Stats.JobsFailed;
+        ++Failed;
+        It = S.Pending.erase(It);
+      }
+    }
+    if (Failed) {
+      setQueueDepth();
+      IdleCV.notify_all();
+    }
+  }
+
+  /// Lock held. A retired registration stays alive while any cached run's
+  /// data epoch references it (migrated entries keep their original data
+  /// epoch, so retired IR can outlive several re-registrations).
+  void pruneRetired(ProgramSlot &Slot, uint64_t Live) {
+    if (Slot.Retired.empty())
+      return;
+    std::vector<uint64_t> Referenced;
+    auto Note = [&](uint64_t E) { Referenced.push_back(E); };
+    Slot.EscCache.forEachDataEpoch(Note);
+    Slot.TsCache.forEachDataEpoch(Note);
+    Slot.Retired.erase(
+        std::remove_if(Slot.Retired.begin(), Slot.Retired.end(),
+                       [&](const std::shared_ptr<ProgramEntry> &E) {
+                         return E->Epoch != Live &&
+                                std::find(Referenced.begin(), Referenced.end(),
+                                          E->Epoch) == Referenced.end();
+                       }),
+        Slot.Retired.end());
   }
 
   /// Extracts the next coalesced batch. Returns false when nothing is
@@ -346,6 +526,7 @@ struct AnalysisService::Impl {
     B.Property = Lead->Property;
     B.Site = Best->Spec.Site;
     B.Cfg = Lead->Cfg;
+    B.OptionsSig = Lead->OptionsSig;
 
     // Coalesce matching jobs from every compatible session.
     for (auto &[Id, S] : Sessions) {
@@ -388,6 +569,32 @@ struct AnalysisService::Impl {
       B.Slot = &SlotIt->second;
       B.Entry = SlotIt->second.Current;
     }
+    B.Replays.resize(B.Jobs.size());
+    if (B.Slot && B.Entry && Opts.Base.Service.IncrementalReRegister) {
+      // Snapshot the per-check freshness floor (the driver reads it
+      // without the lock) and resolve which jobs replay a stored verdict.
+      B.MinDataByCheck = B.Slot->CheckLastDirty;
+      for (size_t I = 0; I < B.Jobs.size(); ++I) {
+        VerdictKey K;
+        K.Typestate = B.Typestate;
+        K.Property = B.Property;
+        K.Site = B.Site;
+        K.OptionsSig = B.OptionsSig;
+        K.Check = B.Jobs[I].Spec.Check;
+        auto It = B.Slot->Verdicts.find(K);
+        if (It == B.Slot->Verdicts.end())
+          continue;
+        const VerdictEntry &E = It->second;
+        // Cross-epoch survivors only: E outlived at least one
+        // re-registration with its check's footprint clean (the filter at
+        // re-register erased it otherwise; the comparison here re-checks
+        // defensively).
+        if (E.DataEpoch < B.Entry->Epoch &&
+            K.Check < B.MinDataByCheck.size() &&
+            B.MinDataByCheck[K.Check] <= E.DataEpoch)
+          B.Replays[I] = E;
+      }
+    }
     return true;
   }
 
@@ -395,6 +602,9 @@ struct AnalysisService::Impl {
   BatchResult executeBatch(Batch &B) {
     BatchResult R;
     R.Results.resize(B.Jobs.size());
+    R.TraceRound.assign(B.Jobs.size(), 0);
+    R.TraceForm.assign(B.Jobs.size(), 0);
+    R.Viable.resize(B.Jobs.size());
     for (size_t I = 0; I < B.Jobs.size(); ++I) {
       R.Results[I].Job = B.Jobs[I].Id;
       R.Results[I].Session = B.JobSessions[I];
@@ -407,8 +617,19 @@ struct AnalysisService::Impl {
     }
     ir::Program &P = *B.Entry->P;
 
+    std::string TraceLabel =
+        "service/" + B.ProgramName + "/" +
+        (B.Typestate ? "typestate/site=" + std::to_string(B.Site) : "escape");
+
+    // Jobs with a stored verdict replay it wholesale - result fields and
+    // the event-trace verdict line the original run emitted - and never
+    // reach the driver. The line is byte-identical to what a cold run
+    // would write: §6 grouping is exact, so a query's resolution round,
+    // iterations and witness are independent of batch composition, and
+    // the "query" field is the check id, not a batch position.
     std::vector<ir::CheckId> Queries;
     std::vector<size_t> QueryJob; ///< batch-job index per query
+    tracer::EventTraceWriter ReplayTrace;
     for (size_t I = 0; I < B.Jobs.size(); ++I) {
       const JobSpec &Spec = B.Jobs[I].Spec;
       if (Spec.Check >= P.numChecks()) {
@@ -424,6 +645,29 @@ struct AnalysisService::Impl {
                              " allocation sites)";
         continue;
       }
+      if (I < B.Replays.size() && B.Replays[I]) {
+        const VerdictEntry &E = *B.Replays[I];
+        QueryResult &Res = R.Results[I];
+        Res.Status = JobStatus::Done;
+        Res.V = E.V;
+        Res.Iterations = E.Iterations;
+        Res.CheapestCost = E.CheapestCost;
+        Res.CheapestParam = E.CheapestParam;
+        if (E.TraceForm != 0 &&
+            !B.Cfg.Observability.EventTracePath.empty()) {
+          if (!ReplayTrace.enabled())
+            ReplayTrace.open(B.Cfg.Observability.EventTracePath, TraceLabel);
+          tracer::JsonObject O = ReplayTrace.event("verdict");
+          O.field("round", E.TraceRound)
+              .field("query", Spec.Check)
+              .field("verdict", tracer::verdictName(E.V))
+              .field("iterations", E.Iterations);
+          if (E.TraceForm == 2)
+            O.field("cost", E.CheapestCost).field("param", E.CheapestParam);
+          ReplayTrace.write(O);
+        }
+        continue;
+      }
       QueryJob.push_back(I);
       Queries.push_back(ir::CheckId(Spec.Check));
     }
@@ -431,24 +675,26 @@ struct AnalysisService::Impl {
       return R;
 
     tracer::TracerOptions O = tracer::TracerOptions::fromConfig(B.Cfg);
-    O.EventTraceLabel =
-        "service/" + B.ProgramName + "/" +
-        (B.Typestate ? "typestate/site=" + std::to_string(B.Site) : "escape");
+    O.EventTraceLabel = TraceLabel;
+    const std::vector<uint64_t> *MinData =
+        B.MinDataByCheck.empty() ? nullptr : &B.MinDataByCheck;
 
     Timer BatchTimer;
     try {
       std::vector<tracer::QueryOutcome> Outcomes;
+      std::vector<tracer::Cnf> Viable;
       if (!B.Typestate) {
         if (!B.Entry->Esc)
           B.Entry->Esc = std::make_unique<escape::EscapeAnalysis>(P);
         tracer::QueryDriver<escape::EscapeAnalysis> D(P, *B.Entry->Esc, O);
         D.borrowExecution(Pool.get(), &B.Slot->EscCache, B.Entry->Epoch,
-                          /*Family=*/0);
+                          /*Family=*/0, MinData);
         Outcomes = D.run(Queries);
         R.DS = D.stats();
+        Viable = D.finalViableSets();
       } else {
         std::string Err;
-        TsFamily *Fam = materializeFamily(*B.Entry, B.Property, Err);
+        TsFamily *Fam = materializeFamily(*B.Slot, *B.Entry, B.Property, Err);
         if (!Fam) {
           for (size_t I : QueryJob)
             R.Results[I].Error = "invalid property: " + Err;
@@ -467,9 +713,10 @@ struct AnalysisService::Impl {
         // disjoint slice of the shared shard.
         uint64_t Family = (Fam->Index << 32) | B.Site;
         D.borrowExecution(Pool.get(), &B.Slot->TsCache, B.Entry->Epoch,
-                          Family);
+                          Family, MinData);
         Outcomes = D.run(Queries);
         R.DS = D.stats();
+        Viable = D.finalViableSets();
       }
       R.Ran = true;
       for (size_t Q = 0; Q < Outcomes.size(); ++Q) {
@@ -484,6 +731,10 @@ struct AnalysisService::Impl {
           Res.ExhaustedResource = support::resourceName(Out.Exhaustion->Res);
           Res.ExhaustedSite = Out.Exhaustion->Site;
         }
+        R.TraceRound[QueryJob[Q]] = Out.TraceRound;
+        R.TraceForm[QueryJob[Q]] = Out.TraceForm;
+        if (Q < Viable.size())
+          R.Viable[QueryJob[Q]] = Viable[Q];
       }
     } catch (const std::exception &E) {
       for (size_t I : QueryJob)
@@ -495,13 +746,19 @@ struct AnalysisService::Impl {
     return R;
   }
 
-  TsFamily *materializeFamily(ProgramEntry &E, const std::string &Prop,
-                              std::string &Err) {
+  TsFamily *materializeFamily(ProgramSlot &Slot, ProgramEntry &E,
+                              const std::string &Prop, std::string &Err) {
     auto It = E.Families.find(Prop);
     if (It != E.Families.end())
       return &It->second;
     TsFamily F;
-    F.Index = E.NextFamilyId++;
+    auto IdxIt = Slot.FamilyIndex.find(Prop);
+    if (IdxIt != Slot.FamilyIndex.end()) {
+      F.Index = IdxIt->second;
+    } else {
+      F.Index = Slot.NextFamilyId++;
+      Slot.FamilyIndex.emplace(Prop, F.Index);
+    }
     if (Prop.empty()) {
       F.Spec = std::make_unique<typestate::TypestateSpec>(
           typestate::TypestateSpec::stress());
@@ -524,10 +781,13 @@ struct AnalysisService::Impl {
       if ((Opts.AutoDispatch || DrainWaiters > 0) && pickBatch(B)) {
         Lock.unlock();
         BatchResult R = executeBatch(B);
+        Lock.lock();
+        // Record stats and replayable verdicts BEFORE the results are
+        // moved into the promises: moving hollows out the string fields
+        // (witness param, error text) that the verdict store keeps.
+        finishBatch(B, R);
         for (size_t I = 0; I < B.Jobs.size(); ++I)
           B.Jobs[I].Promise.set_value(std::move(R.Results[I]));
-        Lock.lock();
-        finishBatch(B, R);
         IdleCV.notify_all();
         continue;
       }
@@ -553,10 +813,12 @@ struct AnalysisService::Impl {
     IdleCV.notify_all();
   }
 
-  /// Lock held: folds a finished batch into stats and session accounting.
+  /// Lock held: folds a finished batch into stats and session accounting,
+  /// and records freshly resolved verdicts for cross-epoch replay.
   void finishBatch(const Batch &B, const BatchResult &R) {
     ++Stats.Batches;
     Stats.CoalescedJobs += B.Jobs.size() - 1;
+    bool Incr = Opts.Base.Service.IncrementalReRegister;
     for (size_t I = 0; I < B.Jobs.size(); ++I) {
       if (R.Results[I].Status == JobStatus::Done)
         ++Stats.JobsCompleted;
@@ -566,6 +828,37 @@ struct AnalysisService::Impl {
       if (It != Sessions.end()) {
         ++It->second.Served;
         --It->second.Running;
+      }
+      if (I < B.Replays.size() && B.Replays[I]) {
+        ++Stats.VerdictsReplayed;
+        bumpServiceCounter("optabs_service_verdicts_replayed_total");
+        continue;
+      }
+      // Record resolved driver verdicts (never budget-unresolved ones:
+      // a later run under the same options must re-attempt those). The
+      // entry's DataEpoch is the epoch the batch actually ran against;
+      // if the program was re-registered mid-batch, the replay-time
+      // CheckLastDirty comparison decides whether it is still exact.
+      if (Incr && B.Slot && R.Ran &&
+          R.Results[I].Status == JobStatus::Done &&
+          (R.Results[I].V == tracer::Verdict::Proven ||
+           R.Results[I].V == tracer::Verdict::Impossible)) {
+        VerdictKey K;
+        K.Typestate = B.Typestate;
+        K.Property = B.Property;
+        K.Site = B.Site;
+        K.OptionsSig = B.OptionsSig;
+        K.Check = B.Jobs[I].Spec.Check;
+        VerdictEntry E;
+        E.V = R.Results[I].V;
+        E.Iterations = R.Results[I].Iterations;
+        E.CheapestCost = R.Results[I].CheapestCost;
+        E.CheapestParam = R.Results[I].CheapestParam;
+        E.Viable = R.Viable[I];
+        E.TraceRound = R.TraceRound[I];
+        E.TraceForm = R.TraceForm[I];
+        E.DataEpoch = B.Entry->Epoch;
+        B.Slot->Verdicts[K] = std::move(E);
       }
     }
     if (R.Ran) {
@@ -618,6 +911,26 @@ RegisterResult AnalysisService::registerProgram(const std::string &Name,
     R.Error = Err;
     return R;
   }
+  // Fingerprint and footprints of the NEW version, computed outside the
+  // lock (both walk the whole program). The diff later compares this
+  // against the fingerprint stored when the retiring version registered -
+  // never against the retiring Program object itself, which the scheduler
+  // may still be mutating through lazy method interning.
+  const bool Incr = I->Opts.Base.Service.IncrementalReRegister;
+  ir::ProgramFingerprint NewFp;
+  std::vector<BitSet> NewFoot;
+  if (Incr) {
+    NewFp = ir::fingerprintProgram(*Entry->P);
+    NewFoot = ir::checkFootprints(*Entry->P);
+  }
+  auto FootprintDirty = [](const BitSet &Foot, const BitSet &Dirty) {
+    bool Hit = false;
+    Dirty.forEach([&](size_t P) {
+      if (P < Foot.size() && Foot.test(P))
+        Hit = true;
+    });
+    return Hit;
+  };
   {
     std::lock_guard<std::mutex> Lock(I->M);
     Entry->Epoch = I->NextEpoch++;
@@ -626,10 +939,66 @@ RegisterResult AnalysisService::registerProgram(const std::string &Name,
       size_t Cap = I->Opts.Base.Execution.ForwardCacheCapacity;
       Slot.EscCache.setCapacity(Cap);
       Slot.TsCache.setCapacity(Cap);
+      if (Incr)
+        Slot.CheckLastDirty.assign(Entry->P->numChecks(), Entry->Epoch);
     } else {
+      R.ReRegistered = true;
+      bool DidIncremental = false;
+      if (Incr) {
+        ir::ProgramDiff D = ir::diffPrograms(Slot.Fingerprint, NewFp);
+        if (D.Comparable) {
+          DidIncremental = true;
+          R.Incremental = true;
+          R.DirtyProcs = D.DirtyProcNames;
+          I->Stats.ProceduresDirty += D.numDirty();
+          uint32_t NumChecks = Entry->P->numChecks();
+          std::vector<uint64_t> NewCLD(NumChecks, Entry->Epoch);
+          for (uint32_t C = 0; C < NumChecks; ++C) {
+            bool Dirty = C >= Slot.CheckLastDirty.size() ||
+                         FootprintDirty(NewFoot[C], D.DirtyProcs);
+            if (!Dirty)
+              NewCLD[C] = Slot.CheckLastDirty[C];
+            else
+              ++R.DirtyChecks;
+          }
+          Slot.CheckLastDirty = std::move(NewCLD);
+          Slot.PendingMigrations.emplace_back(Slot.Current->Epoch,
+                                              Entry->Epoch);
+          // Filter stored verdicts right here: the counts are part of the
+          // registration receipt's accounting, and the scheduler's later
+          // shard migration never consults them again.
+          for (auto It = Slot.Verdicts.begin(); It != Slot.Verdicts.end();) {
+            bool Keep = It->first.Check < Slot.CheckLastDirty.size() &&
+                        Slot.CheckLastDirty[It->first.Check] <=
+                            It->second.DataEpoch;
+            if (Keep) {
+              ++I->Stats.EntriesMigrated;
+              ++It;
+            } else {
+              ++I->Stats.EntriesInvalidated;
+              It = Slot.Verdicts.erase(It);
+            }
+          }
+        }
+      }
+      if (!DidIncremental) {
+        // Full invalidation: the feature is off, or the versions are
+        // incomparable (entity tables or main moved) - parameter spaces
+        // may not line up, so nothing migrates and every check is dirty.
+        if (Incr) {
+          I->Stats.EntriesInvalidated += Slot.Verdicts.size();
+          I->Stats.ProceduresDirty += NewFp.Procs.size();
+          R.DirtyChecks = Entry->P->numChecks();
+        }
+        Slot.Verdicts.clear();
+        Slot.PendingMigrations.clear();
+        Slot.CheckLastDirty.assign(Incr ? Entry->P->numChecks() : 0,
+                                   Entry->Epoch);
+      }
       Slot.Retired.push_back(std::move(Slot.Current));
       Slot.NeedsInvalidation = true;
     }
+    Slot.Fingerprint = std::move(NewFp);
     Slot.Current = Entry;
     ++I->Stats.ProgramsRegistered;
     R.Ok = true;
@@ -730,6 +1099,9 @@ std::future<QueryResult> AnalysisService::submitJob(uint64_t SessionId,
   if (JobId)
     *JobId = P.Id;
   P.Spec = Job;
+  auto ProgIt = I->Programs.find(S.ProgramName);
+  if (ProgIt != I->Programs.end() && ProgIt->second.Current)
+    P.Epoch = ProgIt->second.Current->Epoch;
   std::future<QueryResult> F = P.Promise.get_future();
   S.Pending.push_back(std::move(P));
   ++S.SubmittedTotal;

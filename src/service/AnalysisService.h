@@ -106,6 +106,19 @@ struct RegisterResult {
   uint64_t Epoch = 0;   ///< bumped every time the name is re-registered
   uint32_t Checks = 0;  ///< check sites in the parsed program
   uint32_t Allocs = 0;  ///< allocation sites (typestate site domain)
+  /// True when this was a re-registration (the name was already bound).
+  bool ReRegistered = false;
+  /// True when the retiring and new versions were comparable and the diff
+  /// drove invalidation (Config::ServiceConfig::IncrementalReRegister on);
+  /// false on first registration, incomparable versions, or with the
+  /// feature off - those fall back to full invalidation.
+  bool Incremental = false;
+  /// Procedures whose content (or liveness) changed, by name, when
+  /// Incremental; empty otherwise. DirtyChecks counts the check sites
+  /// whose dependence footprint intersects those procedures - the only
+  /// checks whose cached artifacts the re-registration discards.
+  std::vector<std::string> DirtyProcs;
+  uint32_t DirtyChecks = 0;
 };
 
 /// What a session analyzes: the thread-escape client, or the type-state
@@ -157,6 +170,16 @@ struct ServiceStats {
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
   uint64_t StaleEntriesInvalidated = 0; ///< re-registration evictions
+  /// Incremental re-registration accounting (ir/ProgramDiff.h): cached
+  /// artifacts (forward runs and stored verdicts) carried into the new
+  /// epoch vs discarded because a dirty procedure sat in their dependence
+  /// footprint; ProceduresDirty sums diff sizes across re-registrations
+  /// and VerdictsReplayed counts jobs answered from a migrated verdict
+  /// without running the driver at all.
+  uint64_t EntriesMigrated = 0;
+  uint64_t EntriesInvalidated = 0;
+  uint64_t ProceduresDirty = 0;
+  uint64_t VerdictsReplayed = 0;
 };
 
 class AnalysisService;
@@ -220,10 +243,24 @@ public:
   AnalysisService &operator=(const AnalysisService &) = delete;
 
   /// Parses and (re-)registers a program under \p Name. Re-registration
-  /// bumps the epoch: sessions keep working against the new program, jobs
-  /// already queued resolve against it (out-of-range queries fail with a
-  /// structured error), and every cached forward run of older epochs is
-  /// invalidated before the next batch.
+  /// bumps the epoch; what happens to queued jobs and cached artifacts
+  /// depends on Config::ServiceConfig::IncrementalReRegister:
+  ///
+  ///  * Incremental (default): the new version is diffed against the
+  ///    retiring one per procedure (ir/ProgramDiff.h). Cached forward runs
+  ///    and stored verdicts whose dependence footprint is entirely clean
+  ///    migrate into the new epoch; only artifacts touching a dirty
+  ///    procedure are discarded. Still-queued jobs survive when their
+  ///    check's footprint is clean and fail with a structured stale-epoch
+  ///    reason otherwise. Verdicts after an incremental re-registration
+  ///    are bitwise identical to a cold re-registration; the service
+  ///    replays whole stored verdicts rather than seeding viable sets
+  ///    (seeding shortens the search and changes reported iteration
+  ///    counts - see tracer::QueryDriver::seedViableSets).
+  ///  * Full (flag off, incomparable versions, or first registration):
+  ///    every cached artifact of older epochs is invalidated before the
+  ///    next batch and every still-queued job against the retiring epoch
+  ///    fails with the stale-epoch reason.
   RegisterResult registerProgram(const std::string &Name,
                                  const std::string &IrText);
 

@@ -50,6 +50,7 @@
 #include "tracer/EventTrace.h" // JsonObject: the response builder
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <optional>
 #include <string>
@@ -77,6 +78,11 @@ public:
              (Line[I] == ' ' || Line[I] == '\t' || Line[I] == '\r'))
         ++I;
     };
+    // Escape failures set EscErr with the exact defect; callers prefer it
+    // over their generic "unterminated string"/"expected a key" messages
+    // (a bad escape used to be reported as an unterminated string, which
+    // sent people hunting for a missing quote that was never the problem).
+    std::string EscErr;
     auto ParseString = [&](std::string &S) -> bool {
       if (I >= Line.size() || Line[I] != '"')
         return false;
@@ -85,8 +91,10 @@ public:
       while (I < Line.size() && Line[I] != '"') {
         char C = Line[I];
         if (C == '\\') {
-          if (I + 1 >= Line.size())
+          if (I + 1 >= Line.size()) {
+            EscErr = "truncated escape at end of line";
             return false;
+          }
           char E = Line[++I];
           switch (E) {
           case '"':
@@ -98,6 +106,12 @@ public:
           case '/':
             S += '/';
             break;
+          case 'b':
+            S += '\b';
+            break;
+          case 'f':
+            S += '\f';
+            break;
           case 'n':
             S += '\n';
             break;
@@ -108,8 +122,10 @@ public:
             S += '\t';
             break;
           case 'u': {
-            if (I + 4 >= Line.size())
+            if (I + 4 >= Line.size()) {
+              EscErr = "truncated \\u escape (needs 4 hex digits)";
               return false;
+            }
             unsigned V = 0;
             for (int K = 0; K < 4; ++K) {
               char H = Line[++I];
@@ -120,17 +136,26 @@ public:
                 V |= static_cast<unsigned>(H - 'a' + 10);
               else if (H >= 'A' && H <= 'F')
                 V |= static_cast<unsigned>(H - 'A' + 10);
-              else
+              else {
+                EscErr = std::string("non-hex digit '") + H +
+                         "' in \\u escape";
                 return false;
+              }
             }
             // The protocol only escapes control characters; anything above
             // ASCII would have been sent as UTF-8 directly.
-            if (V > 0x7f)
+            if (V > 0x7f) {
+              char Buf[8];
+              std::snprintf(Buf, sizeof(Buf), "%04x", V);
+              EscErr = std::string("\\u") + Buf +
+                       " is above 0x7f (send non-ASCII as raw UTF-8)";
               return false;
+            }
             S += static_cast<char>(V);
             break;
           }
           default:
+            EscErr = std::string("invalid escape '\\") + E + "'";
             return false;
           }
         } else {
@@ -158,7 +183,8 @@ public:
         Skip();
         std::string Key;
         if (!ParseString(Key)) {
-          Err = "expected a string key";
+          Err = EscErr.empty() ? std::string("expected a string key")
+                               : EscErr + " in object key";
           return false;
         }
         Skip();
@@ -172,7 +198,9 @@ public:
         if (I < Line.size() && Line[I] == '"') {
           V.K = Kind::String;
           if (!ParseString(V.S)) {
-            Err = "unterminated string value for key '" + Key + "'";
+            Err = EscErr.empty()
+                      ? "unterminated string value for key '" + Key + "'"
+                      : EscErr + " in string value for key '" + Key + "'";
             return false;
           }
         } else if (Line.compare(I, 4, "true") == 0) {

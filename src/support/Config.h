@@ -118,6 +118,15 @@ struct Config {
     unsigned MaxSessions = 64;          ///< concurrently open sessions
     unsigned MaxPendingPerSession = 1024; ///< queued jobs before rejection
     uint64_t MaxJobsPerSession = 0;     ///< lifetime job quota; 0 = unlimited
+    /// Diff programs on re-registration and migrate cached runs / stored
+    /// verdicts whose dependence footprint is untouched into the new epoch
+    /// (see ir/ProgramDiff.h). Off restores the historical evict-everything
+    /// invalidation exactly: every re-registration discards every cached
+    /// artifact of older epochs. (Independently of this flag, jobs still
+    /// queued against a retiring epoch fail with a structured stale-epoch
+    /// reason unless an incremental diff proves their check untouched;
+    /// silently re-running them against different IR was a bug.)
+    bool IncrementalReRegister = true;
   };
 
   ExecutionConfig Execution;
@@ -134,7 +143,8 @@ struct Config {
   /// OPTABS_METRICS, OPTABS_CHROME_TRACE, OPTABS_EVENT_TRACE,
   /// OPTABS_THREADS, OPTABS_K, OPTABS_STRATEGY, OPTABS_STEP_BUDGET (arms
   /// all three step budgets), OPTABS_TIME_BUDGET_SECONDS,
-  /// OPTABS_CACHE_CAPACITY, OPTABS_MEMORY_BUDGET_MB. Malformed values are
+  /// OPTABS_CACHE_CAPACITY, OPTABS_MEMORY_BUDGET_MB, OPTABS_INCREMENTAL
+  /// (0/1, service.incremental_re_register). Malformed values are
   /// reported through \p Errors (when non-null) and leave the default in
   /// place. This is the only function in the codebase that reads OPTABS_*
   /// configuration variables.

@@ -111,19 +111,34 @@ public:
   }
 
   /// Starts a new round: entries touched from here on are pinned until the
-  /// next beginEpoch() and cannot be evicted.
-  void beginEpoch() { ++CurrentEpoch; }
+  /// next beginEpoch() and cannot be evicted. Also releases runs that were
+  /// replaced while pinned during the previous round (see insert()) and
+  /// reconciles the resident-bytes gauge for them.
+  void beginEpoch() {
+    ++CurrentEpoch;
+    for (const DeferredRun &D : Deferred)
+      addResident(-static_cast<int64_t>(D.Bytes));
+    Deferred.clear();
+  }
 
   /// Returns the cached run for \p K (counting a hit and pinning it for the
-  /// current epoch), or nullptr (counting a miss).
-  RunT *lookup(const Key &K) {
+  /// current epoch), or nullptr (counting a miss). An entry whose data
+  /// epoch is older than \p MinDataEpoch is treated as a miss without being
+  /// touched: its run was computed against IR some caller-relevant check
+  /// has since diverged from, and the caller is expected to recompute and
+  /// insert over it. \p DataEpochOut (when non-null) receives the data
+  /// epoch of a served entry.
+  RunT *lookup(const Key &K, uint64_t MinDataEpoch = 0,
+               uint64_t *DataEpochOut = nullptr) {
     auto It = Entries.find(K);
-    if (It == Entries.end()) {
+    if (It == Entries.end() || It->second.DataEpoch < MinDataEpoch) {
       bump(Misses, "optabs_forward_cache_misses_total");
       return nullptr;
     }
     bump(Hits, "optabs_forward_cache_hits_total");
     touch(It->second);
+    if (DataEpochOut)
+      *DataEpochOut = It->second.DataEpoch;
     return It->second.Run.get();
   }
 
@@ -131,19 +146,68 @@ public:
   /// request for a key it already materialized this round.
   void noteSharedHit() { bump(Hits, "optabs_forward_cache_hits_total"); }
 
+  /// Counts a miss without a lookup - used when the driver discards a run
+  /// it already resolved this round because a later requester needs a
+  /// fresher data epoch.
+  void noteStaleMiss() { bump(Misses, "optabs_forward_cache_misses_total"); }
+
   /// Inserts a freshly computed run (pinned for the current epoch) and
-  /// applies LRU eviction if the cache exceeds its capacity. Returns the
-  /// now-owned run.
-  RunT *insert(Key K, std::unique_ptr<RunT> Run) {
+  /// applies LRU eviction if the cache exceeds its capacity. \p DataEpoch
+  /// records which program version's IR the run was computed against (0
+  /// for standalone caches, which never migrate). Returns the now-owned
+  /// run.
+  ///
+  /// Replacing an entry that is pinned by the current round defers the old
+  /// run's destruction to the next beginEpoch(): the driver may still hold
+  /// a raw pointer into it from an earlier lookup this round. The deferred
+  /// run's bytes stay charged to the gauge until it is actually freed, so
+  /// residentBytes() keeps reflecting live memory rather than drifting.
+  RunT *insert(Key K, std::unique_ptr<RunT> Run, uint64_t DataEpoch = 0) {
     Entry &E = Entries[std::move(K)];
-    if (E.Run)
-      addResident(-static_cast<int64_t>(E.Bytes)); // re-insert over resident
+    if (E.Run) {
+      if (E.Epoch == CurrentEpoch)
+        Deferred.push_back({std::move(E.Run), E.Bytes});
+      else
+        addResident(-static_cast<int64_t>(E.Bytes)); // re-insert, unpinned
+    }
     E.Run = std::move(Run);
     E.Bytes = approxBytesOf(*E.Run, 0);
+    E.DataEpoch = DataEpoch;
     addResident(static_cast<int64_t>(E.Bytes));
     touch(E);
     evictOverCapacity();
     return E.Run.get();
+  }
+
+  /// Re-keys every entry of program epoch \p From to program epoch \p To
+  /// in place: runs, data epochs, recency stamps, pins, and the bytes
+  /// gauge all carry over. The service's migration hook for cached runs
+  /// that survived an incremental re-registration. Returns the number of
+  /// entries migrated.
+  size_t migrateEpoch(uint64_t From, uint64_t To) {
+    if (From == To)
+      return 0;
+    size_t Count = 0;
+    Key Probe;
+    Probe.ProgramEpoch = From;
+    auto It = Entries.lower_bound(Probe);
+    while (It != Entries.end() && It->first.ProgramEpoch == From) {
+      auto Next = std::next(It);
+      auto Node = Entries.extract(It);
+      Node.key().ProgramEpoch = To;
+      Entries.insert(std::move(Node));
+      It = Next;
+      ++Count;
+    }
+    return Count;
+  }
+
+  /// Calls \p Fn with the data epoch of every resident entry (the service
+  /// uses this to decide which retired program versions are still
+  /// referenced by cached runs).
+  template <typename FnT> void forEachDataEpoch(FnT Fn) const {
+    for (const auto &KV : Entries)
+      Fn(KV.second.DataEpoch);
   }
 
   /// Drops every entry whose key satisfies \p Pred, regardless of pinning
@@ -190,6 +254,14 @@ private:
     uint64_t Stamp = 0; ///< recency; larger = more recently used
     uint64_t Epoch = 0; ///< last epoch this entry was touched in
     uint64_t Bytes = 0; ///< approx footprint charged to ResidentBytes
+    uint64_t DataEpoch = 0; ///< program version the run was computed on
+  };
+
+  /// A run replaced while pinned: kept alive (and charged to the gauge)
+  /// until the round that may reference it ends.
+  struct DeferredRun {
+    std::unique_ptr<RunT> Run;
+    uint64_t Bytes = 0;
   };
 
   /// Footprint estimate of a run: RunT::approxMemoryBytes() when the type
@@ -246,6 +318,7 @@ private:
 
   size_t Capacity;
   std::map<Key, Entry> Entries;
+  std::vector<DeferredRun> Deferred;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Evictions{0};

@@ -115,6 +115,15 @@ struct QueryOutcome {
   /// resource ran out, and at which site. Empty when the query resolved or
   /// was given up for a non-budget reason (e.g. a missing trace witness).
   std::optional<support::Exhausted> Exhaustion;
+  /// Replay metadata for the "verdict" event-trace line this outcome
+  /// produced (the analysis service re-emits stored verdict lines when it
+  /// serves a cached verdict across program versions, so incremental traces
+  /// stay line-identical to a cold run). TraceRound is the "round" field;
+  /// TraceForm is 0 when no verdict line applies, 1 for the short form
+  /// (round/query/verdict/iterations, the empty-viable path) and 2 for the
+  /// full form (adds cost/param). Stamped even when tracing is disabled.
+  unsigned TraceRound = 0;
+  uint8_t TraceForm = 0;
 };
 
 /// How the next abstraction is chosen after a failed proof attempt. The
@@ -376,12 +385,26 @@ public:
   /// must not run two drivers against one cache concurrently.
   void borrowExecution(support::ThreadPool *Pool,
                        ForwardRunCache<Forward> *SharedCache,
-                       uint64_t ProgramEpoch = 0, uint64_t Family = 0) {
+                       uint64_t ProgramEpoch = 0, uint64_t Family = 0,
+                       const std::vector<uint64_t> *CheckMinDataEpochs =
+                           nullptr) {
     BorrowedPool = Pool;
     BorrowedCache = SharedCache;
     CacheEpochScope = ProgramEpoch;
     CacheFamilyScope = Family;
+    this->CheckMinDataEpochs = CheckMinDataEpochs;
   }
+
+  /// Incremental re-analysis: seeds the per-query viable CNFs of the next
+  /// run() call (parallel to its Queries vector) with clauses learned by a
+  /// previous run. Sound only when every seeded clause was learned for the
+  /// same check against IR whose dependence footprint is unchanged (see
+  /// ir/ProgramDiff.h); the caller owns that argument. Seeding shortens
+  /// the CEGAR search without changing final verdicts, but the per-query
+  /// iteration counts it reports will reflect the shortened search - a
+  /// caller that needs cold-identical results must replay stored verdicts
+  /// instead (the analysis service does).
+  void seedViableSets(std::vector<Cnf> Seeds) { SeedViable = std::move(Seeds); }
 
   /// Resolves all \p Queries; the result vector is parallel to the input.
   std::vector<QueryOutcome> run(const std::vector<ir::CheckId> &Queries) {
@@ -434,6 +457,10 @@ private:
       Outcomes[I].Check = Queries[I];
       Recs[I].NotQ = A.notQ(Queries[I]);
     }
+    if (SeedViable.size() == Queries.size())
+      for (size_t I = 0; I < Queries.size(); ++I)
+        Recs[I].Viable = std::move(SeedViable[I]);
+    SeedViable.clear(); // one-shot, even on a size mismatch
 
     unsigned Workers = effectiveWorkers();
     ensurePool(Workers);
@@ -617,6 +644,9 @@ private:
         std::optional<support::Exhausted> Exhaustion; ///< stage A cut short
         double BuildSeconds = 0;
         size_t Users = 0;
+        uint64_t MinData = 0;  ///< strongest freshness requested so far
+        uint64_t ServedData = 0; ///< data epoch of a cache-served run
+        bool FromCache = false;  ///< Run (if set) came from the cache
       };
       std::vector<GroupPlan> Plans;
       std::vector<RunSlot> Slots;
@@ -652,15 +682,37 @@ private:
           Key.Salt = Options.GroupQueries
                          ? 0
                          : static_cast<uint32_t>(Members[0]) + 1;
+          // Freshness floor for this group: a cached run computed before
+          // the latest IR edit that touched any member's dependence
+          // footprint cannot be served (service-injected; 0 standalone).
+          uint64_t MinData = 0;
+          if (CheckMinDataEpochs)
+            for (size_t M : Plan.Members)
+              MinData = std::max(
+                  MinData, (*CheckMinDataEpochs)[Queries[M].index()]);
           auto [It, IsNew] = SlotIndex.try_emplace(Key, Slots.size());
           if (IsNew) {
             RunSlot Slot;
             Slot.Key = std::move(Key);
             Slot.Abs = Plan.Abs;
-            Slot.Run = cache().lookup(Slot.Key); // counts a hit or a miss
+            Slot.MinData = MinData;
+            Slot.Run = cache().lookup(Slot.Key, MinData, &Slot.ServedData);
+            Slot.FromCache = Slot.Run != nullptr;
             Slots.push_back(std::move(Slot));
+          } else if (RunSlot &Joined = Slots[It->second];
+                     MinData > Joined.MinData && Joined.Run &&
+                     Joined.FromCache && Joined.ServedData < MinData) {
+            // A second group needs the same abstraction but fresher data
+            // than the cached run an earlier group accepted: discard it
+            // and rebuild (the rebuilt run serves both groups).
+            Joined.MinData = MinData;
+            Joined.Run = nullptr;
+            Joined.FromCache = false;
+            cache().noteStaleMiss();
           } else {
             // A second group solved to the same abstraction this round.
+            Slots[It->second].MinData =
+                std::max(Slots[It->second].MinData, MinData);
             cache().noteSharedHit();
           }
           Plan.Slot = It->second;
@@ -724,8 +776,9 @@ private:
                   &Sink, "injected-fault", "cache.insert",
                   "fault injection: forced invariant breakage");
           }
-          Slots[S].Run =
-              cache().insert(Slots[S].Key, std::move(Slots[S].Fresh));
+          Slots[S].Run = cache().insert(Slots[S].Key,
+                                        std::move(Slots[S].Fresh),
+                                        CacheEpochScope);
         } catch (const std::bad_alloc &) {
           Slots[S].Exhaustion =
               support::Exhausted{support::Resource::Memory, "cache.insert"};
@@ -768,6 +821,8 @@ private:
             Outcomes[I].V = Verdict::Impossible;
           }
           --Unresolved;
+          Outcomes[I].TraceRound = Stats.Rounds;
+          Outcomes[I].TraceForm = 1;
           if (Trace.enabled())
             Trace.write(Trace.event("verdict")
                             .field("round", Stats.Rounds)
@@ -1105,6 +1160,10 @@ private:
           break;
         }
         }
+        if (Rec.Done && Outcomes[Step.Query].TraceForm == 0) {
+          Outcomes[Step.Query].TraceRound = Stats.Rounds;
+          Outcomes[Step.Query].TraceForm = 2;
+        }
         if (Trace.enabled()) {
           std::vector<size_t> TraceLens;
           size_t MaxCubes = 0;
@@ -1243,12 +1302,13 @@ private:
     // Returns nullptr (with GreedyExhaustion set) when the fixpoint was cut
     // short by its budget: the partial run is neither cached nor usable.
     std::optional<support::Exhausted> GreedyExhaustion;
+    uint64_t CurMinData = 0; // freshness floor of the query being served
     auto GetRun = [&](const std::vector<bool> &Bits) -> Forward * {
       CacheKey Key;
       Key.Bits = Bits;
       Key.ProgramEpoch = CacheEpochScope;
       Key.Family = CacheFamilyScope;
-      if (Forward *Hit = cache().lookup(Key))
+      if (Forward *Hit = cache().lookup(Key, CurMinData))
         return Hit;
       support::BudgetGate Gate("forward.visit", Options.ForwardStepBudget,
                                CancelTok.get(), 0, &Sink);
@@ -1260,13 +1320,16 @@ private:
         GreedyExhaustion = *Run->exhaustion();
         return nullptr;
       }
-      return cache().insert(std::move(Key), std::move(Run));
+      return cache().insert(std::move(Key), std::move(Run), CacheEpochScope);
     };
 
     std::vector<QueryOutcome> Outcomes(Queries.size());
     for (size_t I = 0; I < Queries.size(); ++I) {
       QueryOutcome &Out = Outcomes[I];
       Out.Check = Queries[I];
+      CurMinData = CheckMinDataEpochs
+                       ? (*CheckMinDataEpochs)[Out.Check.index()]
+                       : 0;
       Timer QueryTimer;
       formula::Dnf NotQ = A.notQ(Out.Check);
       std::vector<bool> Bits(A.numParamBits(), false);
@@ -1362,6 +1425,8 @@ private:
                       Trace);
       }
       Out.Seconds = QueryTimer.seconds();
+      Out.TraceRound = Stats.Rounds;
+      Out.TraceForm = 2;
       if (Trace.enabled())
         Trace.write(Trace.event("verdict")
                         .field("round", Stats.Rounds)
@@ -1511,6 +1576,11 @@ private:
   support::ThreadPool *BorrowedPool = nullptr;
   uint64_t CacheEpochScope = 0;
   uint64_t CacheFamilyScope = 0;
+  /// Per-check freshness floors (indexed by CheckId), injected by the
+  /// service on incremental re-registrations; null = accept any data epoch.
+  const std::vector<uint64_t> *CheckMinDataEpochs = nullptr;
+  /// One-shot viable-CNF seeds for the next run() (see seedViableSets).
+  std::vector<Cnf> SeedViable;
   /// Counter snapshot at run() entry; publishCacheCounters reports deltas.
   ForwardCacheCounters BaseCounters;
   support::InvariantSink Sink;

@@ -267,7 +267,10 @@ TEST(ForwardRunCache, ResidentBytesGaugeTracksInsertReplaceAndEviction) {
   // collapses interned states (see ForwardTest).
   Cache.insert(key({true}), std::make_unique<int>(1));
   EXPECT_EQ(Cache.residentBytes(), sizeof(int));
-  // Replacing a resident key swaps the charge instead of double-counting.
+  // Replacing a resident key in a later round swaps the charge instead of
+  // double-counting. (A same-round replacement defers the old run instead;
+  // see ReplacingAPinnedRunDefersItsBytesUntilEpochEnd.)
+  Cache.beginEpoch();
   Cache.insert(key({true}), std::make_unique<int>(2));
   EXPECT_EQ(Cache.residentBytes(), sizeof(int));
   // Eviction releases the evicted run's bytes.
@@ -275,6 +278,88 @@ TEST(ForwardRunCache, ResidentBytesGaugeTracksInsertReplaceAndEviction) {
   Cache.insert(key({false}), std::make_unique<int>(3));
   EXPECT_EQ(Cache.counters().Evictions, 1u);
   EXPECT_EQ(Cache.residentBytes(), sizeof(int));
+}
+
+TEST(ForwardRunCache, ReplacingAPinnedRunDefersItsBytesUntilEpochEnd) {
+  // Regression: replacing a key that was looked up this round must keep
+  // the old run alive (the driver may hold a raw pointer into it) and keep
+  // its bytes charged to the gauge until beginEpoch() actually frees it -
+  // releasing the charge early made residentBytes() under-report live
+  // memory, and freeing the run early was a use-after-free.
+  IntCache Cache;
+  int *Old = Cache.insert(key({true}), std::make_unique<int>(1));
+  // Same round: the old run is pinned by this lookup.
+  EXPECT_EQ(Cache.lookup(key({true})), Old);
+  int *New = Cache.insert(key({true}), std::make_unique<int>(2));
+  EXPECT_NE(New, Old);
+  EXPECT_EQ(*Old, 1); // still alive and readable
+  EXPECT_EQ(Cache.residentBytes(), 2 * sizeof(int)); // both charged
+  // The epoch roll frees the deferred run and reconciles the gauge.
+  Cache.beginEpoch();
+  EXPECT_EQ(Cache.residentBytes(), sizeof(int));
+  EXPECT_EQ(*Cache.lookup(key({true})), 2);
+}
+
+TEST(ForwardRunCache, EvictUnpinnedReleasesBytesAndCountsEvictions) {
+  IntCache Cache;
+  Cache.insert(key({true, false}), std::make_unique<int>(1));
+  Cache.insert(key({false, true}), std::make_unique<int>(2));
+  Cache.beginEpoch(); // unpin both
+  int *Pinned = Cache.insert(key({true, true}), std::make_unique<int>(3));
+  // The degradation ladder's relief valve: both unpinned entries go, the
+  // pinned one stays, and the gauge drops by exactly what was freed.
+  EXPECT_EQ(Cache.evictUnpinned(), 2u);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.counters().Evictions, 2u);
+  EXPECT_EQ(Cache.residentBytes(), sizeof(int));
+  EXPECT_EQ(*Pinned, 3);
+}
+
+TEST(ForwardRunCache, MinDataEpochTreatsOlderEntriesAsMisses) {
+  IntCache Cache;
+  IntCache::Key K = key({true});
+  K.ProgramEpoch = 4;
+  Cache.insert(K, std::make_unique<int>(1), /*DataEpoch=*/2);
+  uint64_t Served = 0;
+  // Fresh enough for a check last dirtied at epoch 2, stale for one
+  // dirtied at epoch 3.
+  EXPECT_NE(Cache.lookup(K, /*MinDataEpoch=*/2, &Served), nullptr);
+  EXPECT_EQ(Served, 2u);
+  EXPECT_EQ(Cache.lookup(K, /*MinDataEpoch=*/3), nullptr);
+  EXPECT_EQ(Cache.counters().Misses, 1u);
+  // Recomputing against the new version overwrites in place.
+  Cache.insert(K, std::make_unique<int>(9), /*DataEpoch=*/4);
+  EXPECT_NE(Cache.lookup(K, /*MinDataEpoch=*/3), nullptr);
+}
+
+TEST(ForwardRunCache, MigrateEpochCarriesRunsBytesAndDataEpochs) {
+  IntCache Cache;
+  IntCache::Key A = key({true});
+  A.ProgramEpoch = 1;
+  IntCache::Key B = key({false});
+  B.ProgramEpoch = 1;
+  IntCache::Key Other = key({true});
+  Other.ProgramEpoch = 7; // a different program's entries stay put
+  Cache.insert(A, std::make_unique<int>(1), /*DataEpoch=*/1);
+  Cache.insert(B, std::make_unique<int>(2), /*DataEpoch=*/1);
+  Cache.insert(Other, std::make_unique<int>(3), /*DataEpoch=*/7);
+  uint64_t BytesBefore = Cache.residentBytes();
+
+  EXPECT_EQ(Cache.migrateEpoch(1, 2), 2u);
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_EQ(Cache.residentBytes(), BytesBefore);
+  Cache.beginEpoch();
+  EXPECT_EQ(Cache.lookup(A), nullptr); // old epoch keys are gone
+  A.ProgramEpoch = B.ProgramEpoch = 2;
+  EXPECT_EQ(*Cache.lookup(A), 1);
+  EXPECT_EQ(*Cache.lookup(B), 2);
+  EXPECT_EQ(*Cache.lookup(Other), 3);
+  // Data epochs rode along (the runs were computed on version 1's IR and
+  // remain exact for checks not dirtied since).
+  uint64_t Served = 0;
+  EXPECT_NE(Cache.lookup(A, /*MinDataEpoch=*/1, &Served), nullptr);
+  EXPECT_EQ(Served, 1u);
+  EXPECT_EQ(Cache.migrateEpoch(3, 3), 0u); // self-migration is a no-op
 }
 
 TEST(ForwardRunCache, InsertOverResidentKeyReplacesInPlace) {

@@ -1,0 +1,251 @@
+//===- ProgramDiffTest.cpp - Content hashing & version diff tests -------------===//
+//
+// The incremental re-analysis contract (ir/ProgramDiff.h): procedure
+// hashes are stable across re-parses and id-inclusive, cleanliness folds
+// in liveness (an untouched procedure dirties when an edit elsewhere
+// changes what is live across it), entity-shape mismatches make versions
+// incomparable, and per-check footprints over-approximate the procedures
+// whose commands may execute before the check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/ProgramDiff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace optabs;
+using namespace optabs::ir;
+
+namespace {
+
+Program parse(const std::string &Text) {
+  Program P;
+  std::string Err;
+  EXPECT_TRUE(parseProgram(Text, P, Err)) << Err;
+  return P;
+}
+
+ProgramFingerprint fp(const std::string &Text) {
+  Program P = parse(Text);
+  return fingerprintProgram(P);
+}
+
+uint32_t procIndex(const ProgramFingerprint &F, const std::string &Name) {
+  for (uint32_t I = 0; I < F.Procs.size(); ++I)
+    if (F.Procs[I].Name == Name)
+      return I;
+  ADD_FAILURE() << "no procedure named " << Name;
+  return ~0u;
+}
+
+// Three procedures; p2 is parsed last, so edits confined to it leave the
+// id layout of main and p1 untouched.
+const char *BaseText = "proc main {\n"
+                       "  call p1;\n"
+                       "  call p2;\n"
+                       "}\n"
+                       "proc p1 {\n"
+                       "  a = new h1;\n"
+                       "  check(a);\n"
+                       "}\n"
+                       "proc p2 {\n"
+                       "  b = new h2;\n"
+                       "  b.f = b;\n"
+                       "  check(b);\n"
+                       "}\n";
+
+TEST(ProgramDiffTest, FingerprintIsStableAcrossReparses) {
+  ProgramFingerprint A = fp(BaseText);
+  ProgramFingerprint B = fp(BaseText);
+  ASSERT_EQ(A.Procs.size(), B.Procs.size());
+  for (size_t I = 0; I < A.Procs.size(); ++I) {
+    EXPECT_EQ(A.Procs[I].Name, B.Procs[I].Name);
+    EXPECT_EQ(A.Procs[I].ContentHash, B.Procs[I].ContentHash);
+    EXPECT_EQ(A.Procs[I].LivenessHash, B.Procs[I].LivenessHash);
+  }
+  ProgramDiff D = diffPrograms(A, B);
+  EXPECT_TRUE(D.Comparable);
+  EXPECT_EQ(D.numDirty(), 0u);
+}
+
+TEST(ProgramDiffTest, EditConfinedToLastProcDirtiesOnlyThatProc) {
+  // Appending a command that reuses existing entities keeps the entity
+  // tables and every earlier procedure's ids byte-identical.
+  std::string Edited = BaseText;
+  size_t At = Edited.find("  check(b);");
+  ASSERT_NE(At, std::string::npos);
+  Edited.insert(At, "  b.f = b;\n");
+
+  ProgramFingerprint Old = fp(BaseText), New = fp(Edited);
+  ProgramDiff D = diffPrograms(Old, New);
+  ASSERT_TRUE(D.Comparable);
+  EXPECT_EQ(D.numDirty(), 1u);
+  ASSERT_EQ(D.DirtyProcNames.size(), 1u);
+  EXPECT_EQ(D.DirtyProcNames[0], "p2");
+  uint32_t P1 = procIndex(New, "p1");
+  EXPECT_EQ(Old.Procs[P1].ContentHash, New.Procs[P1].ContentHash);
+  EXPECT_EQ(Old.Procs[P1].LivenessHash, New.Procs[P1].LivenessHash);
+}
+
+TEST(ProgramDiffTest, EarlyInsertionDirtiesEveryShiftedProc) {
+  // Inserting a command into p1 shifts the raw StmtId/CommandId values of
+  // everything parsed after it. The hashes are id-inclusive precisely so
+  // this conservatively dirties p2 as well: cached artifacts recorded
+  // p2's old command ids.
+  std::string Edited = BaseText;
+  size_t At = Edited.find("  check(a);");
+  ASSERT_NE(At, std::string::npos);
+  Edited.insert(At, "  a.f = a;\n");
+
+  ProgramDiff D = diffPrograms(fp(BaseText), fp(Edited));
+  ASSERT_TRUE(D.Comparable);
+  EXPECT_GE(D.numDirty(), 2u);
+  BitSet &Dirty = D.DirtyProcs;
+  ProgramFingerprint New = fp(Edited);
+  EXPECT_TRUE(Dirty.test(procIndex(New, "p1")));
+  EXPECT_TRUE(Dirty.test(procIndex(New, "p2")));
+}
+
+TEST(ProgramDiffTest, RenamedProcedureIsDirty) {
+  std::string Edited = BaseText;
+  size_t At = Edited.find("proc p2 {");
+  ASSERT_NE(At, std::string::npos);
+  Edited.replace(At, 9, "proc q2 {");
+  size_t Call = Edited.find("call p2;");
+  ASSERT_NE(Call, std::string::npos);
+  Edited.replace(Call, 8, "call q2;");
+
+  ProgramDiff D = diffPrograms(fp(BaseText), fp(Edited));
+  ASSERT_TRUE(D.Comparable);
+  // main changed (the call target name) and q2 is new under its name.
+  ProgramFingerprint New = fp(Edited);
+  EXPECT_TRUE(D.DirtyProcs.test(procIndex(New, "main")));
+  EXPECT_TRUE(D.DirtyProcs.test(procIndex(New, "q2")));
+}
+
+TEST(ProgramDiffTest, LivenessChangeDirtiesATextuallyUntouchedProc) {
+  // v1: p2 reads the variable p1 assigned, so `a` is live across the call
+  // boundary. v2 severs that use without touching p1's text: p1's content
+  // hash is unchanged but its live-out sets (and thus the pruned states
+  // the forward engine produces inside it) are not.
+  const char *V1 = "proc main {\n"
+                   "  call p1;\n"
+                   "  call p2;\n"
+                   "}\n"
+                   "proc p1 {\n"
+                   "  a = new h1;\n"
+                   "}\n"
+                   "proc p2 {\n"
+                   "  b = a;\n"
+                   "  check(b);\n"
+                   "}\n";
+  const char *V2 = "proc main {\n"
+                   "  call p1;\n"
+                   "  call p2;\n"
+                   "}\n"
+                   "proc p1 {\n"
+                   "  a = new h1;\n"
+                   "}\n"
+                   "proc p2 {\n"
+                   "  b = null;\n"
+                   "  check(b);\n"
+                   "}\n";
+  ProgramFingerprint Old = fp(V1), New = fp(V2);
+  uint32_t P1 = procIndex(New, "p1");
+  EXPECT_EQ(Old.Procs[P1].ContentHash, New.Procs[P1].ContentHash);
+  EXPECT_NE(Old.Procs[P1].LivenessHash, New.Procs[P1].LivenessHash);
+  ProgramDiff D = diffPrograms(Old, New);
+  ASSERT_TRUE(D.Comparable);
+  EXPECT_TRUE(D.DirtyProcs.test(P1));
+  EXPECT_TRUE(D.DirtyProcs.test(procIndex(New, "p2")));
+}
+
+TEST(ProgramDiffTest, EntityShapeMismatchIsIncomparable) {
+  // A new allocation site changes the parameter space: nothing can
+  // migrate, and the diff reports every procedure of the new program
+  // dirty.
+  std::string Edited = BaseText;
+  size_t At = Edited.find("  check(b);");
+  ASSERT_NE(At, std::string::npos);
+  Edited.insert(At, "  c = new h3;\n");
+
+  ProgramDiff D = diffPrograms(fp(BaseText), fp(Edited));
+  EXPECT_FALSE(D.Comparable);
+  EXPECT_EQ(D.numDirty(), fp(Edited).Procs.size());
+}
+
+TEST(ProgramDiffTest, FootprintsFollowSequencing) {
+  // check 0 sits in p1; p2 only runs after it, so p2 is outside its
+  // footprint. check 1 sits in p2 and everything may precede it.
+  Program P = parse(BaseText);
+  ProgramFingerprint F = fingerprintProgram(P);
+  std::vector<BitSet> Foot = checkFootprints(P);
+  ASSERT_EQ(Foot.size(), 2u);
+  uint32_t Main = procIndex(F, "main"), P1 = procIndex(F, "p1"),
+           P2 = procIndex(F, "p2");
+  EXPECT_TRUE(Foot[0].test(Main));
+  EXPECT_TRUE(Foot[0].test(P1));
+  EXPECT_FALSE(Foot[0].test(P2));
+  EXPECT_TRUE(Foot[1].test(Main));
+  EXPECT_TRUE(Foot[1].test(P1));
+  EXPECT_TRUE(Foot[1].test(P2));
+}
+
+TEST(ProgramDiffTest, FootprintsCoverChoiceBranchesAndLoops) {
+  // Both branches of a choice may precede whatever follows it, and a
+  // loop's body may precede a check inside the same loop (the check can
+  // run on the second iteration).
+  const char *Text = "proc main {\n"
+                     "  choice { call pa; } or { call pb; }\n"
+                     "  loop {\n"
+                     "    call pc;\n"
+                     "    check(u);\n"
+                     "  }\n"
+                     "}\n"
+                     "proc pa {\n"
+                     "  u = new h1;\n"
+                     "}\n"
+                     "proc pb {\n"
+                     "  u = new h2;\n"
+                     "}\n"
+                     "proc pc {\n"
+                     "  u.f = u;\n"
+                     "}\n";
+  Program P = parse(Text);
+  ProgramFingerprint F = fingerprintProgram(P);
+  std::vector<BitSet> Foot = checkFootprints(P);
+  ASSERT_EQ(Foot.size(), 1u);
+  EXPECT_TRUE(Foot[0].test(procIndex(F, "main")));
+  EXPECT_TRUE(Foot[0].test(procIndex(F, "pa")));
+  EXPECT_TRUE(Foot[0].test(procIndex(F, "pb")));
+  EXPECT_TRUE(Foot[0].test(procIndex(F, "pc")));
+}
+
+TEST(ProgramDiffTest, FootprintExcludesProcsOnlyReachableAfterTheCheck) {
+  // pd is only ever called after the check: its commands cannot execute
+  // before control reaches the check on any path, so an edit to pd leaves
+  // the check's cached artifacts exact.
+  const char *Text = "proc main {\n"
+                     "  call pa;\n"
+                     "  check(u);\n"
+                     "  call pd;\n"
+                     "}\n"
+                     "proc pa {\n"
+                     "  u = new h1;\n"
+                     "}\n"
+                     "proc pd {\n"
+                     "  u = null;\n"
+                     "}\n";
+  Program P = parse(Text);
+  ProgramFingerprint F = fingerprintProgram(P);
+  std::vector<BitSet> Foot = checkFootprints(P);
+  ASSERT_EQ(Foot.size(), 1u);
+  EXPECT_TRUE(Foot[0].test(procIndex(F, "main")));
+  EXPECT_TRUE(Foot[0].test(procIndex(F, "pa")));
+  EXPECT_FALSE(Foot[0].test(procIndex(F, "pd")));
+}
+
+} // namespace

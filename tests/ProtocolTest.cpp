@@ -255,6 +255,39 @@ TEST(JsonLineTest, RejectsEverythingThatIsNotAFlatObject) {
   EXPECT_EQ(Utf8.getString("a"), "\xc3\xbf");
 }
 
+TEST(JsonLineTest, AcceptsEveryRfc8259SingleCharEscape) {
+  // \b and \f were missing from the escape table for a while, so protocol
+  // strings produced by stricter JSON writers failed to parse. Pin the
+  // full RFC 8259 set.
+  service::JsonLine L =
+      parseOk(R"({"s":"\"\\\/\b\f\n\r\t","u":"A\u000a\u007F"})");
+  EXPECT_EQ(L.getString("s"), "\"\\/\b\f\n\r\t");
+  EXPECT_EQ(L.getString("u"), "A\n\x7f");
+}
+
+TEST(JsonLineTest, ReportsTheExactEscapeDefect) {
+  // A bad escape used to surface as "unterminated string value", sending
+  // people hunting for a quote that was never the problem. The parser now
+  // names the defect, where it sits (key vs value), and which key.
+  EXPECT_EQ(parseErr(R"({"a":"bad\qescape"})"),
+            "invalid escape '\\q' in string value for key 'a'");
+  EXPECT_EQ(parseErr(R"({"bad\qkey":1})"),
+            "invalid escape '\\q' in object key");
+  EXPECT_EQ(parseErr(R"({"a":"\u00zz"})"),
+            "non-hex digit 'z' in \\u escape in string value for key 'a'");
+  EXPECT_EQ(parseErr(R"({"a":"\u00ff"})"),
+            "\\u00ff is above 0x7f (send non-ASCII as raw UTF-8) in string "
+            "value for key 'a'");
+  EXPECT_EQ(parseErr(R"({"a":"\u0a)"),
+            "truncated \\u escape (needs 4 hex digits) in string value for "
+            "key 'a'");
+  EXPECT_EQ(parseErr("{\"a\":\"trail\\"),
+            "truncated escape at end of line in string value for key 'a'");
+  // A plain missing close quote still reports as unterminated.
+  EXPECT_EQ(parseErr(R"({"a":"unterminated)"),
+            "unterminated string value for key 'a'");
+}
+
 TEST(JsonLineTest, RoundTripsThroughJsonObject) {
   // What the serve tool writes, the parser (a test client, effectively)
   // must read back unchanged - including every escaped character.

@@ -1,13 +1,17 @@
 # Boots optabs-serve, pipes a scripted JSONL session through it, and
 # fails unless stdout is byte-identical to the checked-in golden
-# transcript. Invoked by the ServeGoldenTranscript test (and the CI serve
+# transcript. Invoked by the ServeGoldenTranscript tests (and the CI serve
 # step) as:
 #
 #   cmake -DSERVE=<binary> -DINPUT=<session.jsonl> -DGOLDEN=<golden>
-#         -DACTUAL=<scratch output> -P RunServeTranscript.cmake
+#         -DACTUAL=<scratch output> [-DEXTRA_ARGS=<flag;flag...>]
+#         -P RunServeTranscript.cmake
 
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
 execute_process(
-  COMMAND ${SERVE} --threads=2
+  COMMAND ${SERVE} --threads=2 ${EXTRA_ARGS}
   INPUT_FILE ${INPUT}
   OUTPUT_FILE ${ACTUAL}
   RESULT_VARIABLE RC)

@@ -7,7 +7,13 @@
 // README.md for a quick-start transcript.
 //
 //   optabs-serve [--threads=N] [--cache-capacity=N] [--max-sessions=N]
-//                [--metrics=PATH]
+//                [--metrics=PATH] [--incremental=0|1]
+//
+// --incremental (default 1) controls diff-based incremental
+// re-registration (Config::ServiceConfig::IncrementalReRegister). With it
+// on, re-registering a program reports the dirty procedure set and the
+// stats op reports migration counters; with it off the server reproduces
+// the historical evict-everything transcript byte for byte.
 //
 // The server runs the service with AutoDispatch off: submitted jobs are
 // queued and only execute inside "drain", which then emits every finished
@@ -156,6 +162,22 @@ int serve(const Config &Base, const std::string &MetricsPath) {
       O.field("epoch", R.Epoch);
       O.field("checks", R.Checks);
       O.field("allocs", R.Allocs);
+      // The dirty set of a re-registration, only under --incremental=1 so
+      // the legacy transcript stays byte-identical with the feature off.
+      if (R.ReRegistered && Base.Service.IncrementalReRegister) {
+        O.field("incremental", R.Incremental);
+        O.field("dirty_checks", R.DirtyChecks);
+        if (R.Incremental) {
+          O.field("dirty_procs", R.DirtyProcs.size());
+          std::string Joined;
+          for (const std::string &P : R.DirtyProcs) {
+            if (!Joined.empty())
+              Joined += ',';
+            Joined += P;
+          }
+          O.field("dirty", Joined);
+        }
+      }
       emit(O);
     } else if (*Op == "open-session") {
       service::SessionSpec Spec;
@@ -280,6 +302,12 @@ int serve(const Config &Base, const std::string &MetricsPath) {
       O.field("cache_misses", S.CacheMisses);
       O.field("cache_evictions", S.CacheEvictions);
       O.field("stale_invalidated", S.StaleEntriesInvalidated);
+      if (Base.Service.IncrementalReRegister) {
+        O.field("entries_migrated", S.EntriesMigrated);
+        O.field("entries_invalidated", S.EntriesInvalidated);
+        O.field("procs_dirty", S.ProceduresDirty);
+        O.field("verdicts_replayed", S.VerdictsReplayed);
+      }
       emit(O);
     } else if (*Op == "shutdown") {
       JsonObject O = service::response(true);
@@ -304,6 +332,7 @@ int main(int Argc, char **Argv) {
   Config Base = Config::defaults();
   Base.Execution.NumThreads = 1;
   uint64_t Threads = 1, CacheCapacity = 0, MaxSessions = 64;
+  uint64_t Incremental = Base.Service.IncrementalReRegister ? 1 : 0;
   std::string MetricsPath;
   support::ArgParser Parser;
   Parser.option("--threads", &Threads, "shared pool workers (0 = hardware)");
@@ -311,16 +340,19 @@ int main(int Argc, char **Argv) {
                 "forward-run cache entries per shard (0 = unbounded)");
   Parser.option("--max-sessions", &MaxSessions, "open-session quota");
   Parser.option("--metrics", &MetricsPath, "Prometheus dump on shutdown");
+  Parser.option("--incremental", &Incremental,
+                "diff-based incremental re-registration (0 = evict all)");
   std::string Err;
   if (!Parser.parse(Argc, Argv, Err)) {
     std::cerr << "error: " << Err << "\n"
               << "usage: optabs-serve [--threads=N] [--cache-capacity=N] "
-                 "[--max-sessions=N] [--metrics=PATH]\n";
+                 "[--max-sessions=N] [--metrics=PATH] [--incremental=0|1]\n";
     return 2;
   }
   Base.Execution.NumThreads = static_cast<unsigned>(Threads);
   Base.Execution.ForwardCacheCapacity = static_cast<size_t>(CacheCapacity);
   Base.Service.MaxSessions = static_cast<unsigned>(MaxSessions);
+  Base.Service.IncrementalReRegister = Incremental != 0;
   if (!MetricsPath.empty())
     support::setMetricsEnabled(true);
   return serve(Base, MetricsPath);
