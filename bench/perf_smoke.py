@@ -47,7 +47,7 @@ def main(argv):
     new, base = load(new_path), load(base_path)
     base_runs = {r["threads"]: r for r in base.get("runs", [])}
     regressions = []
-    compared = 0
+    rows = []
     for run in new.get("runs", []):
         ref = base_runs.get(run["threads"])
         if ref is None:
@@ -56,18 +56,25 @@ def main(argv):
             ref_secs = ref["phase_seconds"].get(phase)
             if ref_secs is None or ref_secs < MIN_PHASE_SECONDS:
                 continue
-            compared += 1
             delta = 100.0 * (secs - ref_secs) / ref_secs
-            marker = " <-- REGRESSION" if delta > threshold else ""
-            print(f"threads={run['threads']} {phase:>9}: "
-                  f"{ref_secs:8.3f}s -> {secs:8.3f}s ({delta:+6.1f}%){marker}")
+            rows.append((run["threads"], phase, ref_secs, secs, delta))
             if delta > threshold:
                 regressions.append((run["threads"], phase, delta))
 
-    if compared == 0:
+    if not rows:
         print("perf-smoke: no comparable phases (thread counts disjoint?)",
               file=sys.stderr)
         return 2
+
+    # The before/after table prints on every outcome - a green run should
+    # still record where the time went.
+    print(f"{'threads':>7}  {'phase':>9}  {'baseline':>9}  "
+          f"{'new':>9}  {'delta':>7}")
+    for threads, phase, ref_secs, secs, delta in rows:
+        marker = "  <-- REGRESSION" if delta > threshold else ""
+        print(f"{threads:>7}  {phase:>9}  {ref_secs:8.3f}s  "
+              f"{secs:8.3f}s  {delta:+6.1f}%{marker}")
+
     if not regressions:
         print(f"perf-smoke: ok, no phase regressed beyond {threshold:.0f}%")
         return 0

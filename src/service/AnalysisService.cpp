@@ -253,6 +253,10 @@ struct AnalysisService::Impl {
     bool NeedsInvalidation = false;
     tracer::ForwardRunCache<EscForward> EscCache;
     tracer::ForwardRunCache<TsForward> TsCache;
+    /// Per-check dependence footprints of Current (proc indices into
+    /// Fingerprint.Procs), kept when incremental re-registration is on so
+    /// replay events and `explain` can name the clean footprint.
+    std::vector<BitSet> CheckFootprints;
 
     // -- incremental re-registration state (lock held for all of these) --
     /// Fingerprint of Current, captured at registration (empty Procs when
@@ -284,6 +288,12 @@ struct AnalysisService::Impl {
     /// unless the diff proves its check's footprint untouched; silently
     /// re-running it against different IR was a bug.
     uint64_t Epoch = 0;
+    /// Request identity: the caller's trace id (or the job id when the
+    /// caller minted none) + the job id as span id.
+    support::TraceContext Ctx;
+    /// Submission timestamp (Profiler timebase); 0 when neither tracing
+    /// nor metrics were on at submit, so no clock was read.
+    uint64_t SubmitNs = 0;
     std::promise<QueryResult> Promise;
   };
 
@@ -323,6 +333,19 @@ struct AnalysisService::Impl {
     /// Only cross-epoch survivors replay - a repeat submission in the same
     /// epoch still exercises the driver and its forward-run cache.
     std::vector<std::optional<VerdictEntry>> Replays;
+    /// Batch sequence number (1-based, assigned in pickBatch; 0 only
+    /// before assignment). Stable across thread counts: batch formation
+    /// runs on the scheduler thread alone.
+    uint64_t Id = 0;
+    /// Timestamp of batch formation; 0 when neither tracing nor metrics
+    /// are on (queue-wait ends, batch-wait starts).
+    uint64_t PickNs = 0;
+    /// Batch span: the lead job's trace id with the batch id as span.
+    support::TraceContext Ctx;
+    /// Clean-footprint procedure names for replayed jobs (parallel to
+    /// Jobs; empty where the job runs the driver), resolved under the
+    /// lock in pickBatch while the slot's footprints are stable.
+    std::vector<std::string> ReplayFootprints;
   };
 
   struct BatchResult {
@@ -335,9 +358,15 @@ struct AnalysisService::Impl {
     tracer::DriverStats DS;
     bool Ran = false;
     double Seconds = 0;
+    /// Timestamp of the moment executeBatch took over (after batch-wait,
+    /// before the driver); 0 when neither tracing nor metrics are on.
+    uint64_t RunStartNs = 0;
   };
 
   explicit Impl(Options O) : Opts(std::move(O)) {
+    if (Opts.Base.Observability.ServiceTrace)
+      Recorder = std::make_unique<support::FlightRecorder>(
+          Opts.Base.Observability.ServiceTraceCapacity);
     unsigned Workers = Opts.Base.Execution.NumThreads == 0
                            ? support::ThreadPool::hardwareWorkers()
                            : Opts.Base.Execution.NumThreads;
@@ -353,6 +382,15 @@ struct AnalysisService::Impl {
     WorkCV.notify_all();
     IdleCV.notify_all();
     Scheduler.join();
+    // Export whatever the flight recorder still holds. After the join no
+    // other thread touches the recorder, so the snapshot is complete.
+    if (Recorder) {
+      const auto &Obs = Opts.Base.Observability;
+      if (!Obs.ServiceTraceJsonlPath.empty())
+        Recorder->writeJsonlFile(Obs.ServiceTraceJsonlPath);
+      if (!Obs.ServiceTraceChromePath.empty())
+        Recorder->writeChromeTraceFile(Obs.ServiceTraceChromePath);
+    }
   }
 
   // -- state (guarded by M unless noted) ---------------------------------
@@ -371,7 +409,97 @@ struct AnalysisService::Impl {
   uint64_t NextEpoch = 1;   ///< > 0: standalone drivers use epoch 0
   uint64_t NextSession = 1;
   uint64_t NextJob = 1;
+  uint64_t NextBatch = 1;
   ServiceStats Stats;
+
+  // -- request tracing (guarded by M except where noted) -----------------
+  /// Null when observability.service_trace is off: every recording site
+  /// below is gated on this one pointer test, so disabled mode costs a
+  /// single ordinary load + branch and never constructs a TraceEvent.
+  /// The recorder itself is internally synchronized (record() from the
+  /// scheduler thread runs outside M in executeBatch).
+  std::unique_ptr<support::FlightRecorder> Recorder;
+  /// Per-job lifecycle timelines for `explain`, FIFO-bounded at the
+  /// recorder's capacity (JobLogOrder is the eviction queue).
+  std::map<uint64_t, JobTimeline> JobLog;
+  std::deque<uint64_t> JobLogOrder;
+  /// Jobs-per-batch distribution. Recorded unconditionally (batch
+  /// formation is deterministic, so the stats-op quantiles stay
+  /// transcript-stable whether or not metrics are on).
+  support::LogHistogram BatchJobsHist;
+
+  bool timingOn() const {
+    return Recorder != nullptr || support::metricsEnabled();
+  }
+  static uint64_t nowNs() { return support::Profiler::global().nowNs(); }
+
+  /// Lock held. Inserts a fresh timeline, evicting oldest-first so the
+  /// explain log is bounded by the same capacity as the event ring.
+  void logJob(JobTimeline T) {
+    while (JobLogOrder.size() >= Recorder->capacity()) {
+      JobLog.erase(JobLogOrder.front());
+      JobLogOrder.pop_front();
+    }
+    JobLogOrder.push_back(T.Job);
+    JobLog[T.Job] = std::move(T);
+  }
+
+  /// Lock held. Null when the job's timeline was evicted (or never made).
+  JobTimeline *timeline(uint64_t JobId) {
+    auto It = JobLog.find(JobId);
+    return It == JobLog.end() ? nullptr : &It->second;
+  }
+
+  /// Lock held. Records the terminal event for a job that never reached a
+  /// driver run (cancelled, failed stale, shut down).
+  void noteTerminal(const PendingJob &J, uint64_t SessionId,
+                    const char *Status) {
+    if (!Recorder)
+      return;
+    support::TraceEvent E;
+    E.Kind = "fulfilled";
+    E.TraceId = J.Ctx.TraceId;
+    E.SpanId = J.Ctx.SpanId;
+    E.Job = J.Id;
+    E.Session = SessionId;
+    E.Note = Status;
+    Recorder->record(E);
+    if (JobTimeline *T = timeline(J.Id)) {
+      T->Status = Status;
+      T->FulfillNs = nowNs();
+    }
+  }
+
+  /// Lock held. Records an admission rejection. No job id was minted, so
+  /// the event carries only the caller's context and the reason.
+  void noteRejected(uint64_t SessionId, const support::TraceContext &Parent,
+                    const char *Why) {
+    if (!Recorder)
+      return;
+    support::TraceEvent E;
+    E.Kind = "rejected";
+    E.TraceId = Parent.TraceId;
+    E.SpanId = Parent.SpanId;
+    E.Session = SessionId;
+    E.Note = Why;
+    Recorder->record(E);
+  }
+
+  /// Lock held. Comma-joined names of the procedures in \p Check's
+  /// dependence footprint (the set a replay proves clean).
+  std::string footprintNames(const ProgramSlot &Slot, uint32_t Check) const {
+    if (Check >= Slot.CheckFootprints.size())
+      return {};
+    std::string Out;
+    Slot.CheckFootprints[Check].forEach([&](size_t P) {
+      if (P < Slot.Fingerprint.Procs.size()) {
+        if (!Out.empty())
+          Out += ',';
+        Out += Slot.Fingerprint.Procs[P].Name;
+      }
+    });
+    return Out;
+  }
 
   // -- helpers -----------------------------------------------------------
 
@@ -384,10 +512,20 @@ struct AnalysisService::Impl {
 
   void setQueueDepth() {
     Stats.QueueDepth = queuedJobs();
-    if (support::metricsEnabled())
-      support::MetricRegistry::global()
-          .gauge("optabs_service_queue_depth")
+    if (support::metricsEnabled()) {
+      auto &Reg = support::MetricRegistry::global();
+      Reg.gauge("optabs_service_queue_depth")
           .set(static_cast<int64_t>(Stats.QueueDepth));
+      // Per-tenant pending gauges (pending + running, i.e. what counts
+      // against the session's in-flight quota). Registry entries are
+      // never removed, so a closed session's gauge just stays at zero.
+      for (const auto &[Id, S] : Sessions)
+        Reg.gauge("optabs_service_session_" + std::to_string(Id) +
+                  "_pending")
+            .set(static_cast<int64_t>(S.Closed ? 0
+                                               : S.Pending.size() +
+                                                     S.Running));
+    }
   }
 
   /// Scheduler only, lock held. Applies pending epoch migrations to the
@@ -465,6 +603,7 @@ struct AnalysisService::Impl {
                     " -> " + std::to_string(Live) + ") and check " +
                     std::to_string(J.Spec.Check) +
                     " could not be proven unaffected while the job was queued";
+        noteTerminal(J, SId, "failed");
         J.Promise.set_value(std::move(Res));
         ++Stats.JobsFailed;
         ++Failed;
@@ -595,12 +734,50 @@ struct AnalysisService::Impl {
           B.Replays[I] = E;
       }
     }
+
+    // Trace identity: the batch rides the lead (first-by-submission) job's
+    // trace, with the batch sequence number as its span.
+    B.Id = NextBatch++;
+    if (timingOn())
+      B.PickNs = nowNs();
+    B.Ctx.TraceId = B.Jobs.empty() ? B.Id : B.Jobs.front().Ctx.TraceId;
+    B.Ctx.SpanId = B.Id;
+    B.ReplayFootprints.resize(B.Jobs.size());
+    if (B.Slot)
+      for (size_t I = 0; I < B.Jobs.size(); ++I)
+        if (I < B.Replays.size() && B.Replays[I])
+          B.ReplayFootprints[I] =
+              footprintNames(*B.Slot, B.Jobs[I].Spec.Check);
+    if (Recorder) {
+      for (size_t I = 0; I < B.Jobs.size(); ++I) {
+        const PendingJob &J = B.Jobs[I];
+        support::TraceEvent E;
+        E.Kind = "batched";
+        E.TraceId = J.Ctx.TraceId;
+        E.SpanId = J.Ctx.SpanId;
+        E.Job = J.Id;
+        E.Session = B.JobSessions[I];
+        E.Batch = B.Id;
+        E.TsNs = B.PickNs;
+        E.U0 = B.Jobs.size(); // peer count, this job included
+        E.U1 = J.Spec.Check;
+        Recorder->record(E);
+        if (JobTimeline *T = timeline(J.Id)) {
+          T->Status = "batched";
+          T->Batch = B.Id;
+          T->Peers = B.Jobs.size();
+          T->PickNs = B.PickNs;
+        }
+      }
+    }
     return true;
   }
 
   /// Scheduler only, lock NOT held: runs the batch's driver.
   BatchResult executeBatch(Batch &B) {
     BatchResult R;
+    if (timingOn())
+      R.RunStartNs = nowNs();
     R.Results.resize(B.Jobs.size());
     R.TraceRound.assign(B.Jobs.size(), 0);
     R.TraceForm.assign(B.Jobs.size(), 0);
@@ -647,6 +824,18 @@ struct AnalysisService::Impl {
       }
       if (I < B.Replays.size() && B.Replays[I]) {
         const VerdictEntry &E = *B.Replays[I];
+        if (Recorder) {
+          support::TraceEvent TE;
+          TE.Kind = "replayed";
+          TE.TraceId = B.Jobs[I].Ctx.TraceId;
+          TE.SpanId = B.Jobs[I].Ctx.SpanId;
+          TE.Job = B.Jobs[I].Id;
+          TE.Session = B.JobSessions[I];
+          TE.Batch = B.Id;
+          TE.U0 = E.DataEpoch; // epoch of the run the verdict came from
+          TE.Note = B.ReplayFootprints[I];
+          Recorder->record(TE);
+        }
         QueryResult &Res = R.Results[I];
         Res.Status = JobStatus::Done;
         Res.V = E.V;
@@ -688,7 +877,8 @@ struct AnalysisService::Impl {
           B.Entry->Esc = std::make_unique<escape::EscapeAnalysis>(P);
         tracer::QueryDriver<escape::EscapeAnalysis> D(P, *B.Entry->Esc, O);
         D.borrowExecution(Pool.get(), &B.Slot->EscCache, B.Entry->Epoch,
-                          /*Family=*/0, MinData);
+                          /*Family=*/0, MinData, Recorder.get(), B.Ctx,
+                          B.Id);
         Outcomes = D.run(Queries);
         R.DS = D.stats();
         Viable = D.finalViableSets();
@@ -713,7 +903,7 @@ struct AnalysisService::Impl {
         // disjoint slice of the shared shard.
         uint64_t Family = (Fam->Index << 32) | B.Site;
         D.borrowExecution(Pool.get(), &B.Slot->TsCache, B.Entry->Epoch,
-                          Family, MinData);
+                          Family, MinData, Recorder.get(), B.Ctx, B.Id);
         Outcomes = D.run(Queries);
         R.DS = D.stats();
         Viable = D.finalViableSets();
@@ -743,6 +933,39 @@ struct AnalysisService::Impl {
                                E.what();
     }
     R.Seconds = BatchTimer.seconds();
+    // Detach the trace sink: the next batch on this slot re-arms it with
+    // its own context via borrowExecution.
+    if (Recorder && B.Slot) {
+      B.Slot->EscCache.setTraceSink(nullptr);
+      B.Slot->TsCache.setTraceSink(nullptr);
+    }
+    if (Recorder && R.Ran) {
+      auto Phase = [&](const char *Name, double S) {
+        support::TraceEvent E;
+        E.Kind = "phase";
+        E.TraceId = B.Ctx.TraceId;
+        E.SpanId = B.Ctx.SpanId;
+        E.Batch = B.Id;
+        E.Note = Name;
+        E.D0 = S;
+        Recorder->record(E);
+      };
+      Phase("plan", R.DS.Phases.Plan);
+      Phase("forward", R.DS.Phases.Forward);
+      Phase("classify", R.DS.Phases.Classify);
+      Phase("extract", R.DS.Phases.Extract);
+      Phase("backward", R.DS.Phases.Backward);
+      Phase("merge", R.DS.Phases.Merge);
+      support::TraceEvent E;
+      E.Kind = "run";
+      E.TraceId = B.Ctx.TraceId;
+      E.SpanId = B.Ctx.SpanId;
+      E.Batch = B.Id;
+      E.U0 = R.DS.CacheHits;
+      E.U1 = R.DS.CacheMisses;
+      E.D0 = R.Seconds;
+      Recorder->record(E);
+    }
     return R;
   }
 
@@ -804,6 +1027,7 @@ struct AnalysisService::Impl {
         Res.Session = Id;
         Res.Status = JobStatus::Cancelled;
         Res.Error = "service shut down";
+        noteTerminal(J, Id, "cancelled");
         J.Promise.set_value(std::move(Res));
         ++Stats.JobsCancelled;
       }
@@ -818,6 +1042,8 @@ struct AnalysisService::Impl {
   void finishBatch(const Batch &B, const BatchResult &R) {
     ++Stats.Batches;
     Stats.CoalescedJobs += B.Jobs.size() - 1;
+    BatchJobsHist.record(B.Jobs.size());
+    uint64_t FulfillNs = timingOn() ? nowNs() : 0;
     bool Incr = Opts.Base.Service.IncrementalReRegister;
     for (size_t I = 0; I < B.Jobs.size(); ++I) {
       if (R.Results[I].Status == JobStatus::Done)
@@ -832,6 +1058,10 @@ struct AnalysisService::Impl {
       if (I < B.Replays.size() && B.Replays[I]) {
         ++Stats.VerdictsReplayed;
         bumpServiceCounter("optabs_service_verdicts_replayed_total");
+        // A replayed verdict is a whole fixpoint search the batch never
+        // re-ran; count it alongside in-run cache hits below.
+        ++Stats.FixpointsAmortized;
+        bumpServiceCounter("optabs_service_fixpoints_amortized_total");
         continue;
       }
       // Record resolved driver verdicts (never budget-unresolved ones:
@@ -867,6 +1097,93 @@ struct AnalysisService::Impl {
       Stats.CacheHits += R.DS.CacheHits;
       Stats.CacheMisses += R.DS.CacheMisses;
       Stats.CacheEvictions += R.DS.CacheEvictions;
+      Stats.FixpointsAmortized += R.DS.CacheHits;
+      bumpServiceCounter("optabs_service_fixpoints_amortized_total",
+                         R.DS.CacheHits);
+    }
+
+    // Per-job fulfillment: SLO histograms, slow-query log, trace events
+    // and `explain` timelines. One FulfillNs per batch keeps the latency
+    // decomposition exact: e2e = queue-wait + batch-wait + run by ns
+    // arithmetic, no residual.
+    const double SlowS = Opts.Base.Observability.SlowQuerySeconds;
+    for (size_t I = 0; I < B.Jobs.size(); ++I) {
+      const PendingJob &J = B.Jobs[I];
+      const QueryResult &Res = R.Results[I];
+      double E2eS = 0;
+      if (FulfillNs && J.SubmitNs) {
+        uint64_t QueueNs = B.PickNs - J.SubmitNs;
+        uint64_t BatchNs = R.RunStartNs - B.PickNs;
+        uint64_t RunNs = FulfillNs - R.RunStartNs;
+        uint64_t E2eNs = FulfillNs - J.SubmitNs;
+        E2eS = static_cast<double>(E2eNs) / 1e9;
+        if (support::metricsEnabled()) {
+          auto &Reg = support::MetricRegistry::global();
+          std::string P =
+              "optabs_service_session_" + std::to_string(B.JobSessions[I]);
+          Reg.histogram(P + "_queue_wait_micros").record(QueueNs / 1000);
+          Reg.histogram(P + "_batch_wait_micros").record(BatchNs / 1000);
+          Reg.histogram(P + "_run_micros").record(RunNs / 1000);
+          Reg.histogram(P + "_e2e_micros").record(E2eNs / 1000);
+        }
+        if (SlowS > 0 && E2eS > SlowS) {
+          ++Stats.SlowQueries;
+          bumpServiceCounter("optabs_service_slow_queries_total");
+          if (Recorder) {
+            support::TraceEvent E;
+            E.Kind = "slow-query";
+            E.TraceId = J.Ctx.TraceId;
+            E.SpanId = J.Ctx.SpanId;
+            E.Job = J.Id;
+            E.Session = B.JobSessions[I];
+            E.Batch = B.Id;
+            E.D0 = E2eS;
+            Recorder->record(E);
+          }
+        }
+      }
+      if (Recorder) {
+        support::TraceEvent E;
+        E.Kind = "fulfilled";
+        E.TraceId = J.Ctx.TraceId;
+        E.SpanId = J.Ctx.SpanId;
+        E.Job = J.Id;
+        E.Session = B.JobSessions[I];
+        E.Batch = B.Id;
+        E.TsNs = FulfillNs;
+        E.D0 = E2eS;
+        E.Note = jobStatusName(Res.Status);
+        if (Res.Status == JobStatus::Done) {
+          E.Note += ':';
+          E.Note += tracer::verdictName(Res.V);
+        }
+        Recorder->record(E);
+        if (JobTimeline *T = timeline(J.Id)) {
+          T->Status = jobStatusName(Res.Status);
+          if (Res.Status == JobStatus::Done)
+            T->Verdict = tracer::verdictName(Res.V);
+          T->Batch = B.Id;
+          T->Peers = B.Jobs.size();
+          T->PickNs = B.PickNs;
+          T->RunStartNs = R.RunStartNs;
+          T->FulfillNs = FulfillNs;
+          if (R.Ran) {
+            T->PlanS = R.DS.Phases.Plan;
+            T->ForwardS = R.DS.Phases.Forward;
+            T->ClassifyS = R.DS.Phases.Classify;
+            T->ExtractS = R.DS.Phases.Extract;
+            T->BackwardS = R.DS.Phases.Backward;
+            T->MergeS = R.DS.Phases.Merge;
+            T->CacheHits = R.DS.CacheHits;
+            T->CacheMisses = R.DS.CacheMisses;
+          }
+          if (I < B.Replays.size() && B.Replays[I]) {
+            T->Replayed = true;
+            T->ReplayDataEpoch = B.Replays[I]->DataEpoch;
+            T->CleanFootprint = B.ReplayFootprints[I];
+          }
+        }
+      }
     }
     setQueueDepth();
     if (support::metricsEnabled()) {
@@ -999,6 +1316,7 @@ RegisterResult AnalysisService::registerProgram(const std::string &Name,
       Slot.NeedsInvalidation = true;
     }
     Slot.Fingerprint = std::move(NewFp);
+    Slot.CheckFootprints = std::move(NewFoot);
     Slot.Current = Entry;
     ++I->Stats.ProgramsRegistered;
     R.Ok = true;
@@ -1072,6 +1390,7 @@ std::future<QueryResult> AnalysisService::submitJob(uint64_t SessionId,
   if (It == I->Sessions.end() || It->second.Closed || I->ShuttingDown) {
     ++I->Stats.JobsRejected;
     bumpServiceCounter("optabs_service_jobs_rejected_total");
+    I->noteRejected(SessionId, Job.Parent, "unknown or closed session");
     return readyFuture(rejected(SessionId, "unknown or closed session"));
   }
   Impl::SessionState &S = It->second;
@@ -1081,6 +1400,7 @@ std::future<QueryResult> AnalysisService::submitJob(uint64_t SessionId,
   if (S.Pending.size() + S.Running >= Q.MaxPendingPerSession) {
     ++I->Stats.JobsRejected;
     bumpServiceCounter("optabs_service_jobs_rejected_total");
+    I->noteRejected(SessionId, Job.Parent, "pending-job quota exceeded");
     return readyFuture(
         rejected(SessionId, "pending-job quota exceeded (" +
                                 std::to_string(Q.MaxPendingPerSession) +
@@ -1089,6 +1409,7 @@ std::future<QueryResult> AnalysisService::submitJob(uint64_t SessionId,
   if (Q.MaxJobsPerSession > 0 && S.SubmittedTotal >= Q.MaxJobsPerSession) {
     ++I->Stats.JobsRejected;
     bumpServiceCounter("optabs_service_jobs_rejected_total");
+    I->noteRejected(SessionId, Job.Parent, "lifetime job quota exceeded");
     return readyFuture(
         rejected(SessionId, "lifetime job quota exceeded (" +
                                 std::to_string(Q.MaxJobsPerSession) +
@@ -1099,6 +1420,36 @@ std::future<QueryResult> AnalysisService::submitJob(uint64_t SessionId,
   if (JobId)
     *JobId = P.Id;
   P.Spec = Job;
+  // Request identity: adopt the caller's trace id when it minted one
+  // (protocol ingress does); otherwise the job id doubles as the trace.
+  // The span is always the job id.
+  P.Ctx.TraceId = Job.Parent.TraceId ? Job.Parent.TraceId : P.Id;
+  P.Ctx.SpanId = P.Id;
+  if (I->timingOn())
+    P.SubmitNs = Impl::nowNs();
+  if (I->Recorder) {
+    support::TraceEvent E;
+    E.Kind = "submitted";
+    E.TraceId = P.Ctx.TraceId;
+    E.SpanId = P.Ctx.SpanId;
+    E.Job = P.Id;
+    E.Session = SessionId;
+    E.TsNs = P.SubmitNs;
+    E.U0 = Job.Check;
+    E.U1 = Job.Site;
+    I->Recorder->record(E);
+    JobTimeline T;
+    T.Found = true;
+    T.Job = P.Id;
+    T.Session = SessionId;
+    T.Check = Job.Check;
+    T.Site = Job.Site;
+    T.TraceId = P.Ctx.TraceId;
+    T.SpanId = P.Ctx.SpanId;
+    T.Status = "queued";
+    T.SubmitNs = P.SubmitNs;
+    I->logJob(std::move(T));
+  }
   auto ProgIt = I->Programs.find(S.ProgramName);
   if (ProgIt != I->Programs.end() && ProgIt->second.Current)
     P.Epoch = ProgIt->second.Current->Epoch;
@@ -1118,8 +1469,10 @@ size_t AnalysisService::cancelSessionPending(uint64_t SessionId) {
     auto It = I->Sessions.find(SessionId);
     if (It == I->Sessions.end())
       return 0;
-    for (Impl::PendingJob &J : It->second.Pending)
+    for (Impl::PendingJob &J : It->second.Pending) {
+      I->noteTerminal(J, SessionId, "cancelled");
       Cancelled.push_back(std::move(J));
+    }
     It->second.Pending.clear();
     I->Stats.JobsCancelled += Cancelled.size();
     bumpServiceCounter("optabs_service_jobs_cancelled_total",
@@ -1161,7 +1514,34 @@ void AnalysisService::drain() {
 
 ServiceStats AnalysisService::stats() const {
   std::lock_guard<std::mutex> Lock(I->M);
-  return I->Stats;
+  ServiceStats S = I->Stats;
+  S.BatchJobsP50 = I->BatchJobsHist.quantile(0.50);
+  S.BatchJobsP90 = I->BatchJobsHist.quantile(0.90);
+  S.BatchJobsP99 = I->BatchJobsHist.quantile(0.99);
+  for (const auto &[Id, Sess] : I->Sessions)
+    if (!Sess.Closed)
+      S.PendingBySession.emplace_back(Id,
+                                      Sess.Pending.size() + Sess.Running);
+  return S;
+}
+
+bool AnalysisService::tracingEnabled() const {
+  return I->Recorder != nullptr;
+}
+
+std::vector<support::TraceEvent> AnalysisService::drainTrace() {
+  return I->Recorder ? I->Recorder->drain()
+                     : std::vector<support::TraceEvent>();
+}
+
+uint64_t AnalysisService::traceDropped() const {
+  return I->Recorder ? I->Recorder->dropped() : 0;
+}
+
+JobTimeline AnalysisService::explain(uint64_t JobId) const {
+  std::lock_guard<std::mutex> Lock(I->M);
+  auto It = I->JobLog.find(JobId);
+  return It == I->JobLog.end() ? JobTimeline() : It->second;
 }
 
 unsigned AnalysisService::poolWorkers() const { return I->Pool->numWorkers(); }

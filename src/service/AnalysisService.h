@@ -50,6 +50,7 @@
 #define OPTABS_SERVICE_ANALYSISSERVICE_H
 
 #include "support/Config.h"
+#include "support/Trace.h"
 #include "tracer/QueryDriver.h"
 
 #include <cstdint>
@@ -138,6 +139,11 @@ struct SessionSpec {
 
 /// One submitted query.
 struct JobSpec {
+  JobSpec() = default;
+  JobSpec(uint32_t Check, uint32_t Site = 0, int32_t Priority = 0,
+          support::TraceContext Parent = {})
+      : Check(Check), Site(Site), Priority(Priority), Parent(Parent) {}
+
   uint32_t Check = 0; ///< check-site index in the program
   /// Type-state tracked allocation-site index; ignored by the escape
   /// client. One driver run handles one site, so jobs coalesce per site.
@@ -145,6 +151,11 @@ struct JobSpec {
   /// Larger = served earlier within this session's queue. Priority orders
   /// batch *selection*; it never changes any query's verdict.
   int32_t Priority = 0;
+  /// Caller-minted trace context (support/Trace.h). When TraceId is 0 the
+  /// service uses the assigned job id as the trace id, so every job has a
+  /// usable identity; the span id is always the job id. Purely
+  /// observational - never affects scheduling or verdicts.
+  support::TraceContext Parent;
 };
 
 /// Aggregate service counters (monotonic except QueueDepth). Exposed to
@@ -180,6 +191,85 @@ struct ServiceStats {
   uint64_t EntriesInvalidated = 0;
   uint64_t ProceduresDirty = 0;
   uint64_t VerdictsReplayed = 0;
+  /// Forward fixpoints a job got without computing one: cache hits inside
+  /// batch runs plus whole-verdict replays. The amortization the batching
+  /// and incremental layers buy, as one number.
+  uint64_t FixpointsAmortized = 0;
+  /// Jobs whose end-to-end latency exceeded
+  /// Config::ObservabilityConfig::SlowQuerySeconds (0 when that log is
+  /// disabled or tracing/metrics never stamped timestamps).
+  uint64_t SlowQueries = 0;
+  /// Jobs-per-batch quantiles (log2-bucket estimates clamped to min/max;
+  /// support::LogHistogram::quantile). Recorded unconditionally - batch
+  /// composition is deterministic under AutoDispatch = false, so these are
+  /// transcript-stable.
+  uint64_t BatchJobsP50 = 0;
+  uint64_t BatchJobsP90 = 0;
+  uint64_t BatchJobsP99 = 0;
+  /// (session id, pending + running jobs) for every open session at
+  /// snapshot time, ascending by session id. The per-tenant companion to
+  /// the process-wide QueueDepth gauge.
+  std::vector<std::pair<uint64_t, uint64_t>> PendingBySession;
+};
+
+/// One job's recorded lifecycle, returned by AnalysisService::explain()
+/// (and the `explain` protocol op). Only populated while tracing is on;
+/// the service keeps the most recent trace-capacity timelines and evicts
+/// oldest-first, like the flight recorder itself.
+struct JobTimeline {
+  bool Found = false; ///< false: tracing off, never admitted, or evicted
+  uint64_t Job = 0;
+  uint64_t Session = 0;
+  uint32_t Check = 0;
+  uint32_t Site = 0;
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+  std::string Status;  ///< "queued", "batched", or a terminal JobStatus name
+  std::string Verdict; ///< verdict name when Status == "done"
+  uint64_t Batch = 0;  ///< 0 until batched
+  uint64_t Peers = 0;  ///< jobs in the batch, this one included
+  /// Lifecycle timestamps (Profiler timebase, ns): submission, batch
+  /// formation, driver start, fulfillment. 0 = not reached yet.
+  uint64_t SubmitNs = 0;
+  uint64_t PickNs = 0;
+  uint64_t RunStartNs = 0;
+  uint64_t FulfillNs = 0;
+  /// Per-phase driver seconds of the batch that served this job (batch
+  /// attribution: one driver run resolves every non-replayed peer).
+  double PlanS = 0;
+  double ForwardS = 0;
+  double ClassifyS = 0;
+  double ExtractS = 0;
+  double BackwardS = 0;
+  double MergeS = 0;
+  /// Forward-cache hit/miss deltas of the serving batch's run.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  /// Whole-verdict replay attribution: the job was answered from a stored
+  /// verdict computed at DataEpoch, legal because every procedure in the
+  /// check's dependence footprint (CleanFootprint, by name) survived the
+  /// re-registration unchanged.
+  bool Replayed = false;
+  uint64_t ReplayDataEpoch = 0;
+  std::string CleanFootprint;
+
+  /// The latency decomposition; by construction
+  /// endToEndNs() == queueWaitNs() + batchWaitNs() + runNs() once the job
+  /// is fulfilled. Each stage reads 0 while its later stamp is missing
+  /// (job still queued/batched, or clocks off).
+  uint64_t queueWaitNs() const {
+    return PickNs >= SubmitNs && PickNs ? PickNs - SubmitNs : 0;
+  }
+  uint64_t batchWaitNs() const {
+    return RunStartNs >= PickNs && PickNs ? RunStartNs - PickNs : 0;
+  }
+  uint64_t runNs() const {
+    return FulfillNs >= RunStartNs && RunStartNs ? FulfillNs - RunStartNs
+                                                : 0;
+  }
+  uint64_t endToEndNs() const {
+    return FulfillNs >= SubmitNs && FulfillNs ? FulfillNs - SubmitNs : 0;
+  }
 };
 
 class AnalysisService;
@@ -277,6 +367,22 @@ public:
 
   /// The number of workers in the shared pool (diagnostics/tests).
   unsigned poolWorkers() const;
+
+  /// True when the flight recorder is live
+  /// (Config::ObservabilityConfig::ServiceTrace at construction).
+  bool tracingEnabled() const;
+
+  /// Removes and returns every buffered trace event, oldest first (the
+  /// `trace` protocol op). Empty when tracing is disabled.
+  std::vector<support::TraceEvent> drainTrace();
+
+  /// Trace events evicted under ring pressure, lifetime.
+  uint64_t traceDropped() const;
+
+  /// The recorded timeline of one job (the `explain` protocol op).
+  /// !Found when tracing is off, the job was never admitted, or its
+  /// timeline was evicted (bounded like the recorder ring).
+  JobTimeline explain(uint64_t JobId) const;
 
 private:
   friend class Session;

@@ -28,14 +28,24 @@
 ///   {"op":"close-session","session":S}
 ///   {"op":"drain"}            -> one result line per job, in job-id order
 ///   {"op":"stats"}
+///   {"op":"trace"}            -> drains the flight recorder: one
+///        "trace-event" line per buffered event, then a summary line with
+///        the drop count (error when the server runs without tracing)
+///   {"op":"explain","job":J}  -> one job's recorded timeline: latency
+///        decomposition, batch id/peers, per-phase seconds, cache and
+///        replay attribution
 ///   {"op":"shutdown"}
 ///
 /// Responses always carry "v", "ok", and (echoed) "op". Job results (the
 /// lines emitted by "drain") additionally carry "job", "session",
 /// "status", and - for status "done" - "verdict", "iterations", "cost",
-/// "param". Responses contain no wall-clock or other nondeterministic
-/// fields, so a scripted session's transcript is byte-stable; that is
-/// enforced in CI by diffing a live server run against the golden file.
+/// "param". Outside "trace"/"explain", responses contain no wall-clock or
+/// other nondeterministic fields, so a scripted session's transcript is
+/// byte-stable; that is enforced in CI by diffing a live server run
+/// against the golden file. "trace"/"explain" confine nondeterminism to
+/// their timestamp/seconds fields ("*_ns", "*_s", "seconds") - everything
+/// else in them is deterministic, and their CI transcript zeroes exactly
+/// those fields before the diff (RunServeTranscript.cmake SCRUB).
 ///
 /// The parser below handles exactly the flat JSON objects the protocol
 /// uses: string values (with escapes), integers, doubles, and booleans -

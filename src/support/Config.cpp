@@ -140,6 +140,14 @@ Config Config::fromEnv(std::vector<ConfigError> *Errors) {
                 C.Service.IncrementalReRegister = N == 1;
                 return true;
               });
+  envOverride("OPTABS_SERVICE_TRACE", "observability.service_trace",
+              Errors, [&](const std::string &V) {
+                uint64_t N;
+                if (!parseU64(V, N) || N > 1)
+                  return false;
+                C.Observability.ServiceTrace = N == 1;
+                return true;
+              });
   return C;
 }
 
@@ -186,6 +194,20 @@ std::vector<ConfigError> Config::validate() const {
       Observability.EventTracePath.empty())
     Reject("observability.event_trace_label",
            "an event-trace label requires observability.event_trace_path");
+  // (9) The flight recorder must be able to hold at least one event.
+  if (Observability.ServiceTrace && Observability.ServiceTraceCapacity == 0)
+    Reject("observability.service_trace_capacity",
+           "the flight recorder needs capacity for at least one event");
+  // (10) Trace exports without tracing would silently write nothing.
+  if (!Observability.ServiceTrace &&
+      (!Observability.ServiceTraceJsonlPath.empty() ||
+       !Observability.ServiceTraceChromePath.empty()))
+    Reject("observability.service_trace_jsonl_path",
+           "a service trace export path requires "
+           "observability.service_trace");
+  // (11) A negative slow-query threshold is meaningless (0 disables).
+  if (Observability.SlowQuerySeconds < 0)
+    Reject("observability.slow_query_seconds", "must be non-negative");
   // (8) Service quotas must admit at least one job per tenant.
   if (Service.MaxPendingPerSession == 0)
     Reject("service.max_pending_per_session",

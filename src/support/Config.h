@@ -40,6 +40,13 @@
 ///   7. observability.event_trace_label set without an event_trace_path
 ///   8. service.max_pending_per_session == 0 (a tenant must be able to
 ///      queue at least one job)
+///   9. observability.service_trace_capacity == 0 while
+///      observability.service_trace is on (the flight recorder must be
+///      able to hold at least one event)
+///  10. observability.service_trace_jsonl_path or _chrome_path set while
+///      observability.service_trace is off (the export would be empty)
+///  11. observability.slow_query_seconds < 0 (0 disables the slow-query
+///      log; negative thresholds are meaningless)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,6 +113,21 @@ struct Config {
     std::string ProfilePath;     ///< Chrome trace JSON (OPTABS_CHROME_TRACE)
     std::string EventTracePath;  ///< JSONL CEGAR trace (OPTABS_EVENT_TRACE)
     std::string EventTraceLabel; ///< label stamped on every event line
+    /// Request-scoped tracing in the analysis service (support/Trace.h):
+    /// per-job lifecycle timelines in a bounded flight recorder, drained
+    /// by the `trace`/`explain` protocol ops. Service-level, never part of
+    /// a session's options signature (OPTABS_SERVICE_TRACE, 0/1).
+    bool ServiceTrace = false;
+    /// Flight-recorder ring capacity in events (oldest evicted first).
+    size_t ServiceTraceCapacity = 4096;
+    /// Service trace JSONL export written at service shutdown.
+    std::string ServiceTraceJsonlPath;
+    /// Merged Chrome trace (service track + profiler worker tracks)
+    /// written at service shutdown.
+    std::string ServiceTraceChromePath;
+    /// End-to-end latency above which a job lands in the slow-query log
+    /// (a "slow-query" trace event + counter). 0 disables.
+    double SlowQuerySeconds = 0;
   };
 
   /// How verdicts are double-checked (tracer/Certificates.h).
@@ -144,7 +166,8 @@ struct Config {
   /// OPTABS_THREADS, OPTABS_K, OPTABS_STRATEGY, OPTABS_STEP_BUDGET (arms
   /// all three step budgets), OPTABS_TIME_BUDGET_SECONDS,
   /// OPTABS_CACHE_CAPACITY, OPTABS_MEMORY_BUDGET_MB, OPTABS_INCREMENTAL
-  /// (0/1, service.incremental_re_register). Malformed values are
+  /// (0/1, service.incremental_re_register), OPTABS_SERVICE_TRACE (0/1,
+  /// observability.service_trace). Malformed values are
   /// reported through \p Errors (when non-null) and leave the default in
   /// place. This is the only function in the codebase that reads OPTABS_*
   /// configuration variables.

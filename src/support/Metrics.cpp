@@ -103,6 +103,12 @@ void MetricRegistry::dumpPrometheus(std::ostream &OS) const {
     OS << KV.first << "_count " << H.count() << "\n";
     OS << KV.first << "_min " << H.min() << "\n";
     OS << KV.first << "_max " << H.max() << "\n";
+    // Quantile summaries so SLO histograms are consumable without a
+    // scraper-side histogram_quantile (log2-bucket estimates, clamped to
+    // the exact min/max envelope - see LogHistogram::quantile).
+    OS << KV.first << "_p50 " << H.quantile(0.50) << "\n";
+    OS << KV.first << "_p90 " << H.quantile(0.90) << "\n";
+    OS << KV.first << "_p99 " << H.quantile(0.99) << "\n";
   }
   // Per-span totals from the profiler (read outside our mutex domain; the
   // profiler takes its own locks).
@@ -253,9 +259,14 @@ void appendJsonString(std::string &Out, const char *S) {
 } // namespace
 
 void Profiler::writeChromeTrace(std::ostream &OS) const {
-  std::lock_guard<std::mutex> L(M);
   OS << "{\"traceEvents\":[";
   bool First = true;
+  writeChromeTraceEvents(OS, First);
+  OS << "\n]}\n";
+}
+
+void Profiler::writeChromeTraceEvents(std::ostream &OS, bool &First) const {
+  std::lock_guard<std::mutex> L(M);
   auto Sep = [&] {
     if (!First)
       OS << ",";
@@ -284,7 +295,6 @@ void Profiler::writeChromeTrace(std::ostream &OS) const {
          << ",\"dur\":" << static_cast<double>(E.DurNs) / 1000.0 << "}";
     }
   }
-  OS << "\n]}\n";
 }
 
 bool Profiler::writeChromeTraceFile(const std::string &Path) const {

@@ -57,6 +57,7 @@
 #include "support/Stats.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -210,6 +211,36 @@ public:
     return B < NumBuckets ? Buckets[B].V.load(std::memory_order_relaxed) : 0;
   }
 
+  /// Quantile estimate from the log2 buckets: the upper bound of the
+  /// bucket holding the rank-ceil(Q*N) sample, clamped to the exact
+  /// [min, max] envelope (so single-valued distributions report the exact
+  /// value). Deterministic given the same samples, which is what lets the
+  /// serve transcript goldens pin p50/p90/p99 fields byte for byte.
+  uint64_t quantile(double Q) const {
+    uint64_t N = count();
+    if (N == 0)
+      return 0;
+    if (Q <= 0)
+      return min();
+    if (Q >= 1)
+      return max();
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
+    if (static_cast<double>(Rank) < Q * static_cast<double>(N))
+      ++Rank; // ceil
+    if (Rank == 0)
+      Rank = 1;
+    uint64_t Cumulative = 0;
+    for (unsigned B = 0; B < NumBuckets; ++B) {
+      Cumulative += bucketCount(B);
+      if (Cumulative >= Rank) {
+        uint64_t V = bucketHigh(B);
+        V = std::max(V, min());
+        return std::min(V, max());
+      }
+    }
+    return max();
+  }
+
   /// The Stats.h min/max/avg view of this histogram.
   MinMaxAvg summary() const {
     MinMaxAvg S;
@@ -351,6 +382,13 @@ public:
 
   /// writeChromeTrace to \p Path (truncating). False if unopenable.
   bool writeChromeTraceFile(const std::string &Path) const;
+
+  /// Emits this profiler's thread_name metadata and span events as raw
+  /// Chrome trace-event objects into an already-open JSON array (no
+  /// {"traceEvents": wrapper). \p First carries the comma state across
+  /// writers, so a caller can merge additional tracks into the same file
+  /// (the service's FlightRecorder composes its request track this way).
+  void writeChromeTraceEvents(std::ostream &OS, bool &First) const;
 
   /// Total closed spans across all threads (tests).
   size_t spanCount() const;

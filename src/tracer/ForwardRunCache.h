@@ -34,6 +34,7 @@
 #define OPTABS_TRACER_FORWARDRUNCACHE_H
 
 #include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <cstdint>
@@ -86,6 +87,20 @@ public:
   size_t capacity() const { return Capacity; }
   size_t size() const { return Entries.size(); }
 
+  /// Request tracing: while a sink is set, every lookup outcome is also
+  /// recorded as a per-request trace event attributed to \p Ctx and
+  /// \p Batch. The service sets this around each batch's driver run (via
+  /// QueryDriver::borrowExecution) and the driver only probes the cache
+  /// from its sequential plan phase, so the recorded event sequence is
+  /// identical at any worker count. A null \p Recorder disables recording;
+  /// the disabled cost per lookup is this one pointer test.
+  void setTraceSink(support::FlightRecorder *Recorder,
+                    support::TraceContext Ctx = {}, uint64_t Batch = 0) {
+    TraceRec = Recorder;
+    TraceCtx = Ctx;
+    TraceBatch = Batch;
+  }
+
   /// Snapshot of the counters; relaxed loads, so callable from any thread
   /// (the mutating API stays single-threaded).
   ForwardCacheCounters counters() const {
@@ -133,23 +148,37 @@ public:
     auto It = Entries.find(K);
     if (It == Entries.end() || It->second.DataEpoch < MinDataEpoch) {
       bump(Misses, "optabs_forward_cache_misses_total");
+      // U1 = 1 when an entry existed but its data epoch was too old for
+      // the requesting check (re-registration shadowing), 0 = cold miss.
+      traceLookup("cache-miss", /*U0=*/0,
+                  /*U1=*/It == Entries.end() ? 0 : 1);
       return nullptr;
     }
     bump(Hits, "optabs_forward_cache_hits_total");
     touch(It->second);
     if (DataEpochOut)
       *DataEpochOut = It->second.DataEpoch;
+    // U0 = the served run's data epoch: < the key's program epoch means a
+    // migrated entry answered (computed against an older, footprint-clean
+    // program version).
+    traceLookup("cache-hit", /*U0=*/It->second.DataEpoch, /*U1=*/0);
     return It->second.Run.get();
   }
 
   /// Counts a hit without a lookup - used when the driver resolves a second
   /// request for a key it already materialized this round.
-  void noteSharedHit() { bump(Hits, "optabs_forward_cache_hits_total"); }
+  void noteSharedHit() {
+    bump(Hits, "optabs_forward_cache_hits_total");
+    traceLookup("cache-shared-hit", 0, 0);
+  }
 
   /// Counts a miss without a lookup - used when the driver discards a run
   /// it already resolved this round because a later requester needs a
   /// fresher data epoch.
-  void noteStaleMiss() { bump(Misses, "optabs_forward_cache_misses_total"); }
+  void noteStaleMiss() {
+    bump(Misses, "optabs_forward_cache_misses_total");
+    traceLookup("cache-stale-miss", 0, 0);
+  }
 
   /// Inserts a freshly computed run (pinned for the current epoch) and
   /// applies LRU eviction if the cache exceeds its capacity. \p DataEpoch
@@ -282,6 +311,21 @@ private:
       support::MetricRegistry::global().counter(MetricName).add(1);
   }
 
+  /// One pointer test when tracing is off; otherwise a trace event
+  /// attributed to the batch context installed by setTraceSink().
+  void traceLookup(const char *Kind, uint64_t U0, uint64_t U1) {
+    if (!TraceRec)
+      return;
+    support::TraceEvent E;
+    E.Kind = Kind;
+    E.TraceId = TraceCtx.TraceId;
+    E.SpanId = TraceCtx.SpanId;
+    E.Batch = TraceBatch;
+    E.U0 = U0;
+    E.U1 = U1;
+    TraceRec->record(std::move(E));
+  }
+
   void addResident(int64_t Delta) {
     ResidentBytes.fetch_add(static_cast<uint64_t>(Delta),
                             std::memory_order_relaxed);
@@ -325,6 +369,11 @@ private:
   std::atomic<uint64_t> ResidentBytes{0};
   uint64_t StampCounter = 0;
   uint64_t CurrentEpoch = 1;
+  /// Request-tracing sink (null = off); installed by setTraceSink() from
+  /// the same single-threaded owner that drives every mutating call.
+  support::FlightRecorder *TraceRec = nullptr;
+  support::TraceContext TraceCtx;
+  uint64_t TraceBatch = 0;
 };
 
 } // namespace tracer

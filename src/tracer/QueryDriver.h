@@ -383,16 +383,28 @@ public:
   /// from the borrowed pool (TracerOptions::NumThreads is ignored). The
   /// borrowed cache's single-threaded contract carries over: the owner
   /// must not run two drivers against one cache concurrently.
+  /// The trailing trace parameters thread the service's request context
+  /// into the run: while \p TraceRecorder is non-null, the borrowed
+  /// cache's lookups during run() are recorded as trace events attributed
+  /// to \p TraceCtx / \p TraceBatch (support/Trace.h). Every probe happens
+  /// in the sequential plan phase, so the recorded sequence is identical
+  /// at any worker count; a null recorder costs one pointer test per
+  /// lookup.
   void borrowExecution(support::ThreadPool *Pool,
                        ForwardRunCache<Forward> *SharedCache,
                        uint64_t ProgramEpoch = 0, uint64_t Family = 0,
                        const std::vector<uint64_t> *CheckMinDataEpochs =
-                           nullptr) {
+                           nullptr,
+                       support::FlightRecorder *TraceRecorder = nullptr,
+                       support::TraceContext TraceCtx = {},
+                       uint64_t TraceBatch = 0) {
     BorrowedPool = Pool;
     BorrowedCache = SharedCache;
     CacheEpochScope = ProgramEpoch;
     CacheFamilyScope = Family;
     this->CheckMinDataEpochs = CheckMinDataEpochs;
+    if (SharedCache)
+      SharedCache->setTraceSink(TraceRecorder, TraceCtx, TraceBatch);
   }
 
   /// Incremental re-analysis: seeds the per-query viable CNFs of the next

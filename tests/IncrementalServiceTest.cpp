@@ -263,6 +263,53 @@ TEST(IncrementalServiceTest, CleanRepeatReplaysWithoutNewFixpoints) {
   EXPECT_EQ(Svc.stats().VerdictsReplayed, ReplaysBefore + 1);
 }
 
+// With tracing on, explain() attributes a replayed-after-re-register job
+// to the stored verdict's data epoch and names the clean dependence
+// footprint that made the replay legal - the procedures the edit did NOT
+// touch, by name.
+TEST(IncrementalServiceTest, ExplainNamesCleanFootprintOnReplay) {
+  service::AnalysisService::Options Opts;
+  Opts.AutoDispatch = false;
+  Opts.Base.Observability.ServiceTrace = true;
+  service::AnalysisService Svc(std::move(Opts));
+  ASSERT_TRUE(Svc.registerProgram("p", BaseText).Ok);
+  service::Session S = openEscape(Svc);
+  std::vector<service::QueryResult> Cold = queryAll(Svc, S, 2);
+  ASSERT_TRUE(Svc.registerProgram("p", editP2(BaseText)).Ok);
+
+  uint64_t JobId = 0;
+  std::vector<std::future<service::QueryResult>> Futures;
+  Futures.push_back(S.submit({0, 0, 0}, &JobId));
+  Svc.drain();
+  expectIdentical(Cold[0], Futures[0].get(), "replayed clean check");
+
+  service::JobTimeline T = Svc.explain(JobId);
+  ASSERT_TRUE(T.Found);
+  EXPECT_EQ(T.Status, "done");
+  EXPECT_EQ(T.Verdict, "proven");
+  EXPECT_TRUE(T.Replayed);
+  EXPECT_EQ(T.ReplayDataEpoch, 1u); // computed at epoch 1, served at 2
+  // Check 0 depends on main and p1; the edit dirtied only p2.
+  EXPECT_NE(T.CleanFootprint.find("main"), std::string::npos)
+      << T.CleanFootprint;
+  EXPECT_NE(T.CleanFootprint.find("p1"), std::string::npos)
+      << T.CleanFootprint;
+  EXPECT_EQ(T.CleanFootprint.find("p2"), std::string::npos)
+      << T.CleanFootprint;
+
+  // The recorded lifecycle carries the same attribution: a "replayed"
+  // event for this job whose note is the footprint, and no driver "run"
+  // event in that batch.
+  bool SawReplayed = false;
+  for (const support::TraceEvent &E : Svc.drainTrace())
+    if (std::string(E.Kind) == "replayed" && E.Job == JobId) {
+      SawReplayed = true;
+      EXPECT_EQ(E.Note, T.CleanFootprint);
+      EXPECT_EQ(E.U0, T.ReplayDataEpoch);
+    }
+  EXPECT_TRUE(SawReplayed);
+}
+
 // The satellite property test: a randomized edit script, replayed against
 // a cold full-invalidate oracle at every step. Verdict fields and the
 // "verdict" event-trace lines must be identical (the trace lines as a

@@ -1,0 +1,279 @@
+//===- ServiceTraceTest.cpp - Request-tracing contract at the service ---------===//
+//
+// The tracing subsystem's three load-bearing promises:
+//
+//  1. Observational purity: verdicts, iteration counts, witnesses and the
+//     event-trace verdict lines are bitwise identical with tracing on or
+//     off, at 1 and 8 worker threads.
+//  2. Determinism: the recorded lifecycle timeline - event kinds, causal
+//     order, job/session/batch attribution; everything but timestamps and
+//     measured seconds - is identical at any worker count, because every
+//     recording site runs on the scheduler thread or in the driver's
+//     sequential plan phase.
+//  3. Exact latency decomposition: end-to-end = queue-wait + batch-wait +
+//     run, as ns identities (one shared clock reading per boundary), so
+//     the per-tenant SLO histograms decompose by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisService.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+using namespace optabs;
+
+namespace {
+
+const char *ProgramText = "proc main {\n"
+                          "  call p1;\n"
+                          "  call p2;\n"
+                          "}\n"
+                          "proc p1 {\n"
+                          "  a = new h1;\n"
+                          "  check(a);\n"
+                          "}\n"
+                          "proc p2 {\n"
+                          "  b = new h2;\n"
+                          "  b.f = b;\n"
+                          "  check(b);\n"
+                          "}\n";
+
+service::Session openEscape(service::AnalysisService &Svc,
+                            const Config &SessionConfig = Config()) {
+  service::SessionSpec Spec;
+  Spec.Program = "p";
+  Spec.Client = "escape";
+  Spec.SessionConfig = SessionConfig;
+  std::string Err;
+  service::Session S = Svc.openSession(Spec, Err);
+  EXPECT_TRUE(S.valid()) << Err;
+  return S;
+}
+
+/// Runs the reference workload (two checks, drain, repeat-submit check 0,
+/// drain) and returns the results in submission order.
+std::vector<service::QueryResult> runWorkload(service::AnalysisService &Svc,
+                                              const Config &SessionConfig,
+                                              std::vector<uint64_t> *JobIds) {
+  service::Session S = openEscape(Svc, SessionConfig);
+  std::vector<std::future<service::QueryResult>> Futures;
+  for (uint32_t C : {0u, 1u}) {
+    uint64_t Id = 0;
+    Futures.push_back(S.submit({C, 0, 0}, &Id));
+    if (JobIds)
+      JobIds->push_back(Id);
+  }
+  Svc.drain();
+  uint64_t Id = 0;
+  Futures.push_back(S.submit({0, 0, 0}, &Id));
+  if (JobIds)
+    JobIds->push_back(Id);
+  Svc.drain();
+  std::vector<service::QueryResult> Out;
+  for (auto &F : Futures)
+    Out.push_back(F.get());
+  return Out;
+}
+
+/// A trace event's thread-count-invariant signature: everything except
+/// timestamps and measured seconds.
+std::string signature(const support::TraceEvent &E) {
+  return std::to_string(E.Seq) + "|" + E.Kind + "|" +
+         std::to_string(E.TraceId) + "|" + std::to_string(E.SpanId) + "|" +
+         std::to_string(E.Job) + "|" + std::to_string(E.Session) + "|" +
+         std::to_string(E.Batch) + "|" + std::to_string(E.U0) + "|" +
+         std::to_string(E.U1) + "|" + E.Note;
+}
+
+std::vector<std::string> verdictLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Out;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.find("\"event\":\"verdict\"") != std::string::npos)
+      Out.push_back(Line);
+  return Out;
+}
+
+TEST(ServiceTraceTest, TimelineDeterministicAcrossThreadCounts) {
+  std::vector<std::vector<std::string>> PerThreadCount;
+  for (unsigned Threads : {1u, 8u}) {
+    service::AnalysisService::Options Opts;
+    Opts.AutoDispatch = false;
+    Opts.Base.Execution.NumThreads = Threads;
+    Opts.Base.Observability.ServiceTrace = true;
+    service::AnalysisService Svc(std::move(Opts));
+    ASSERT_TRUE(Svc.registerProgram("p", ProgramText).Ok);
+    ASSERT_TRUE(Svc.tracingEnabled());
+    runWorkload(Svc, Config(), nullptr);
+    std::vector<support::TraceEvent> Events = Svc.drainTrace();
+    ASSERT_FALSE(Events.empty());
+    std::vector<std::string> Sigs;
+    for (const support::TraceEvent &E : Events)
+      Sigs.push_back(signature(E));
+    PerThreadCount.push_back(std::move(Sigs));
+  }
+  // Same events, same causal order; only timestamps may differ.
+  EXPECT_EQ(PerThreadCount[0], PerThreadCount[1]);
+}
+
+TEST(ServiceTraceTest, TracingIsObservationallyPure) {
+  for (unsigned Threads : {1u, 8u}) {
+    std::vector<std::vector<service::QueryResult>> Runs;
+    std::vector<std::vector<std::string>> Verdicts;
+    for (bool Trace : {false, true}) {
+      const std::string TracePath =
+          "svc_trace_purity_" + std::to_string(Threads) +
+          (Trace ? "_on" : "_off") + ".jsonl";
+      std::ofstream(TracePath, std::ios::trunc).close();
+      Config SessionConfig;
+      SessionConfig.Observability.EventTracePath = TracePath;
+      service::AnalysisService::Options Opts;
+      Opts.AutoDispatch = false;
+      Opts.Base.Execution.NumThreads = Threads;
+      Opts.Base.Observability.ServiceTrace = Trace;
+      Opts.Base.Observability.SlowQuerySeconds = Trace ? 1e-12 : 0;
+      service::AnalysisService Svc(std::move(Opts));
+      ASSERT_TRUE(Svc.registerProgram("p", ProgramText).Ok);
+      Runs.push_back(runWorkload(Svc, SessionConfig, nullptr));
+      Verdicts.push_back(verdictLines(TracePath));
+      std::remove(TracePath.c_str());
+    }
+    ASSERT_EQ(Runs[0].size(), Runs[1].size());
+    for (size_t I = 0; I < Runs[0].size(); ++I) {
+      const service::QueryResult &Off = Runs[0][I];
+      const service::QueryResult &On = Runs[1][I];
+      std::string Ctx = "job " + std::to_string(I) + " at " +
+                        std::to_string(Threads) + " threads";
+      EXPECT_EQ(Off.Status, On.Status) << Ctx;
+      EXPECT_EQ(Off.V, On.V) << Ctx;
+      EXPECT_EQ(Off.Iterations, On.Iterations) << Ctx;
+      EXPECT_EQ(Off.CheapestCost, On.CheapestCost) << Ctx;
+      EXPECT_EQ(Off.CheapestParam, On.CheapestParam) << Ctx;
+    }
+    // The CEGAR event trace (verdict lines included) is byte-identical:
+    // tracing writes only to the flight recorder, never the event trace.
+    EXPECT_EQ(Verdicts[0], Verdicts[1]) << Threads << " threads";
+  }
+}
+
+TEST(ServiceTraceTest, LatencyDecompositionIsExact) {
+  service::AnalysisService::Options Opts;
+  Opts.AutoDispatch = false;
+  Opts.Base.Observability.ServiceTrace = true;
+  service::AnalysisService Svc(std::move(Opts));
+  ASSERT_TRUE(Svc.registerProgram("p", ProgramText).Ok);
+  std::vector<uint64_t> JobIds;
+  runWorkload(Svc, Config(), &JobIds);
+  ASSERT_EQ(JobIds.size(), 3u);
+  for (uint64_t Id : JobIds) {
+    service::JobTimeline T = Svc.explain(Id);
+    ASSERT_TRUE(T.Found) << "job " << Id;
+    EXPECT_EQ(T.Job, Id);
+    EXPECT_EQ(T.Status, "done");
+    EXPECT_EQ(T.Verdict, "proven");
+    EXPECT_GT(T.Batch, 0u);
+    EXPECT_GE(T.Peers, 1u);
+    // The stamps are one shared clock reading per boundary, so the
+    // decomposition is an identity, not an approximation.
+    EXPECT_LE(T.SubmitNs, T.PickNs);
+    EXPECT_LE(T.PickNs, T.RunStartNs);
+    EXPECT_LE(T.RunStartNs, T.FulfillNs);
+    EXPECT_EQ(T.endToEndNs(),
+              T.queueWaitNs() + T.batchWaitNs() + T.runNs());
+    EXPECT_GT(T.endToEndNs(), 0u);
+  }
+  // The third submission repeats check 0 in the same epoch: it exercises
+  // the driver (same-epoch repeats never replay), with cache attribution.
+  service::JobTimeline Repeat = Svc.explain(JobIds[2]);
+  EXPECT_FALSE(Repeat.Replayed);
+  EXPECT_GT(Repeat.CacheHits + Repeat.CacheMisses, 0u);
+}
+
+TEST(ServiceTraceTest, ExplainIsStructuralOnUnknownJobs) {
+  service::AnalysisService::Options Opts;
+  Opts.AutoDispatch = false;
+  Opts.Base.Observability.ServiceTrace = true;
+  service::AnalysisService Svc(std::move(Opts));
+  EXPECT_FALSE(Svc.explain(42).Found);
+
+  // With tracing off, explain answers structurally too (and the recorder
+  // drains empty) - callers need no mode check before asking.
+  service::AnalysisService::Options Off;
+  Off.AutoDispatch = false;
+  service::AnalysisService Plain(std::move(Off));
+  EXPECT_FALSE(Plain.tracingEnabled());
+  EXPECT_FALSE(Plain.explain(1).Found);
+  EXPECT_TRUE(Plain.drainTrace().empty());
+  EXPECT_EQ(Plain.traceDropped(), 0u);
+}
+
+TEST(ServiceTraceTest, RejectionsAndSlowQueriesAreRecorded) {
+  service::AnalysisService::Options Opts;
+  Opts.AutoDispatch = false;
+  Opts.Base.Observability.ServiceTrace = true;
+  // Every job is a slow query under a subnanosecond threshold, making the
+  // slow-query path deterministic without sleeping.
+  Opts.Base.Observability.SlowQuerySeconds = 1e-12;
+  service::AnalysisService Svc(std::move(Opts));
+  ASSERT_TRUE(Svc.registerProgram("p", ProgramText).Ok);
+  runWorkload(Svc, Config(), nullptr);
+  // A submit against a closed session records a rejection with the
+  // reason; the job never gets an id. Close through a second handle -
+  // close() nulls the handle it is called on, and only a submission that
+  // reaches the service is the admission rejection under test.
+  service::Session S = openEscape(Svc);
+  service::Session Closer = S;
+  Closer.close();
+  uint64_t Id = 7;
+  S.submit({0, 0, 0}, &Id).get();
+  EXPECT_EQ(Id, 0u);
+
+  bool SawSlow = false, SawRejected = false;
+  for (const support::TraceEvent &E : Svc.drainTrace()) {
+    if (std::string(E.Kind) == "slow-query")
+      SawSlow = true;
+    if (std::string(E.Kind) == "rejected") {
+      SawRejected = true;
+      EXPECT_EQ(E.Note, "unknown or closed session");
+    }
+  }
+  EXPECT_TRUE(SawSlow);
+  EXPECT_TRUE(SawRejected);
+  EXPECT_GE(Svc.stats().SlowQueries, 3u);
+}
+
+TEST(ServiceTraceTest, StatsCarryBatchShapeAndPendingBySession) {
+  service::AnalysisService::Options Opts;
+  Opts.AutoDispatch = false;
+  Opts.Base.Observability.ServiceTrace = true;
+  service::AnalysisService Svc(std::move(Opts));
+  ASSERT_TRUE(Svc.registerProgram("p", ProgramText).Ok);
+  service::Session S = openEscape(Svc);
+  std::vector<std::future<service::QueryResult>> Futures;
+  Futures.push_back(S.submit({0, 0, 0}));
+  Futures.push_back(S.submit({1, 0, 0}));
+  service::ServiceStats Queued = Svc.stats();
+  ASSERT_EQ(Queued.PendingBySession.size(), 1u);
+  EXPECT_EQ(Queued.PendingBySession[0].first, S.id());
+  EXPECT_EQ(Queued.PendingBySession[0].second, 2u);
+  Svc.drain();
+  for (auto &F : Futures)
+    F.get();
+  service::ServiceStats Done = Svc.stats();
+  ASSERT_EQ(Done.PendingBySession.size(), 1u);
+  EXPECT_EQ(Done.PendingBySession[0].second, 0u);
+  // One batch of two jobs: every quantile of the jobs-per-batch
+  // distribution reads 2.
+  EXPECT_EQ(Done.BatchJobsP50, 2u);
+  EXPECT_EQ(Done.BatchJobsP90, 2u);
+  EXPECT_EQ(Done.BatchJobsP99, 2u);
+}
+
+} // namespace

@@ -5,7 +5,13 @@
 #
 #   cmake -DSERVE=<binary> -DINPUT=<session.jsonl> -DGOLDEN=<golden>
 #         -DACTUAL=<scratch output> [-DEXTRA_ARGS=<flag;flag...>]
-#         -P RunServeTranscript.cmake
+#         [-DSCRUB=1] -P RunServeTranscript.cmake
+#
+# SCRUB=1 zeroes wall-clock fields in the actual output before the
+# comparison: every "*_ns" and "*_s" value and the trace events' "seconds"
+# field. Everything else in a trace/explain response (event kinds, causal
+# order, batch ids, peer counts, cache attribution) is deterministic, so
+# the golden is checked in pre-scrubbed and the diff stays byte-exact.
 
 if(NOT DEFINED EXTRA_ARGS)
   set(EXTRA_ARGS "")
@@ -17,6 +23,16 @@ execute_process(
   RESULT_VARIABLE RC)
 if(NOT RC EQUAL 0)
   message(FATAL_ERROR "optabs-serve exited with status ${RC}")
+endif()
+
+if(DEFINED SCRUB AND SCRUB)
+  file(READ ${ACTUAL} RAW)
+  string(REGEX REPLACE "\"([a-z0-9_]*_ns)\":[0-9]+" "\"\\1\":0" RAW "${RAW}")
+  string(REGEX REPLACE "\"([a-z0-9_]*_s)\":[0-9.eE+-]+" "\"\\1\":0"
+         RAW "${RAW}")
+  string(REGEX REPLACE "\"seconds\":[0-9.eE+-]+" "\"seconds\":0"
+         RAW "${RAW}")
+  file(WRITE ${ACTUAL} "${RAW}")
 endif()
 
 execute_process(

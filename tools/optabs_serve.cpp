@@ -7,13 +7,25 @@
 // README.md for a quick-start transcript.
 //
 //   optabs-serve [--threads=N] [--cache-capacity=N] [--max-sessions=N]
-//                [--metrics=PATH] [--incremental=0|1]
+//                [--metrics=PATH] [--incremental=0|1] [--trace-capacity=N]
+//                [--trace-jsonl=PATH] [--trace-chrome=PATH]
+//                [--trace-slow-ms=X]
 //
 // --incremental (default 1) controls diff-based incremental
 // re-registration (Config::ServiceConfig::IncrementalReRegister). With it
 // on, re-registering a program reports the dirty procedure set and the
 // stats op reports migration counters; with it off the server reproduces
 // the historical evict-everything transcript byte for byte.
+//
+// Request tracing: any --trace-* flag (or OPTABS_SERVICE_TRACE=1) turns
+// on the service flight recorder. Every protocol line mints a trace
+// context (trace id = line sequence number), so a job's whole lifecycle -
+// admission, batching, driver phases, cache attribution, fulfilment - can
+// be pulled back out with the "trace" op (drains the recorder) or the
+// "explain" op (one job's timeline). --trace-jsonl / --trace-chrome dump
+// the recorder on shutdown; --trace-slow-ms logs jobs whose end-to-end
+// latency exceeds the threshold. Flag defaults seed from OPTABS_*
+// environment overrides, so precedence is flags > environment > defaults.
 //
 // The server runs the service with AutoDispatch off: submitted jobs are
 // queued and only execute inside "drain", which then emits every finished
@@ -124,9 +136,11 @@ int serve(const Config &Base, const std::string &MetricsPath) {
   St.Svc = std::make_unique<service::AnalysisService>(std::move(Opts));
 
   std::string Line;
+  uint64_t LineSeq = 0; ///< per-request trace id (comments don't count)
   while (std::getline(std::cin, Line)) {
     if (Line.empty() || Line[0] == '#')
       continue; // blank lines and comments keep scripted sessions readable
+    ++LineSeq;
     service::JsonLine Req;
     std::string Err;
     if (!service::JsonLine::parse(Line, Req, Err)) {
@@ -228,6 +242,10 @@ int serve(const Config &Base, const std::string &MetricsPath) {
         Job.Site = static_cast<uint32_t>(*Site);
       if (auto Prio = Req.getInt("priority"))
         Job.Priority = static_cast<int32_t>(*Prio);
+      // Protocol ingress mints the request's trace identity: the line
+      // sequence number, stable across reruns of the same script.
+      Job.Parent.TraceId = LineSeq;
+      Job.Parent.SpanId = LineSeq;
       uint64_t JobId = 0;
       std::future<service::QueryResult> F = It->second.submit(Job, &JobId);
       if (JobId == 0) {
@@ -308,6 +326,99 @@ int serve(const Config &Base, const std::string &MetricsPath) {
         O.field("procs_dirty", S.ProceduresDirty);
         O.field("verdicts_replayed", S.VerdictsReplayed);
       }
+      std::string Pending;
+      for (const auto &[Id, N] : S.PendingBySession) {
+        if (!Pending.empty())
+          Pending += ',';
+        Pending += std::to_string(Id) + ":" + std::to_string(N);
+      }
+      O.field("pending_by_session", Pending);
+      O.field("batch_jobs_p50", S.BatchJobsP50);
+      O.field("batch_jobs_p90", S.BatchJobsP90);
+      O.field("batch_jobs_p99", S.BatchJobsP99);
+      O.field("fixpoints_amortized", S.FixpointsAmortized);
+      O.field("slow_queries", S.SlowQueries);
+      emit(O);
+    } else if (*Op == "trace") {
+      if (!St.Svc->tracingEnabled()) {
+        std::cout << service::errorLine(
+                         *Op, "tracing is disabled (enable with "
+                              "--trace-capacity=N or OPTABS_SERVICE_TRACE=1)")
+                  << "\n"
+                  << std::flush;
+        continue;
+      }
+      // Dropped count first: drain() empties the ring but the overflow
+      // counter keeps the history.
+      uint64_t Dropped = St.Svc->traceDropped();
+      std::vector<support::TraceEvent> Events = St.Svc->drainTrace();
+      for (const support::TraceEvent &E : Events) {
+        JsonObject O = service::response(true);
+        O.field("op", "trace-event");
+        O.field("seq", E.Seq);
+        O.field("kind", E.Kind);
+        O.field("trace", E.TraceId);
+        O.field("span", E.SpanId);
+        O.field("job", E.Job);
+        O.field("session", E.Session);
+        O.field("batch", E.Batch);
+        O.field("ts_ns", E.TsNs);
+        O.field("u0", E.U0);
+        O.field("u1", E.U1);
+        O.field("seconds", E.D0);
+        O.field("note", E.Note);
+        emit(O);
+      }
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      O.field("events", Events.size());
+      O.field("dropped", Dropped);
+      emit(O);
+    } else if (*Op == "explain") {
+      auto JobN = Req.getUInt("job");
+      if (!JobN) {
+        std::cout << service::errorLine(*Op, "explain needs 'job'") << "\n"
+                  << std::flush;
+        continue;
+      }
+      service::JobTimeline T = St.Svc->explain(*JobN);
+      if (!T.Found) {
+        std::cout << service::errorLine(
+                         *Op, "no timeline for job " + std::to_string(*JobN) +
+                                  " (tracing disabled, job never admitted, "
+                                  "or entry evicted)")
+                  << "\n"
+                  << std::flush;
+        continue;
+      }
+      JsonObject O = service::response(true);
+      O.field("op", *Op);
+      O.field("job", T.Job);
+      O.field("session", T.Session);
+      O.field("check", T.Check);
+      O.field("site", T.Site);
+      O.field("status", T.Status);
+      if (!T.Verdict.empty())
+        O.field("verdict", T.Verdict);
+      O.field("batch", T.Batch);
+      O.field("peers", T.Peers);
+      O.field("queue_wait_ns", T.queueWaitNs());
+      O.field("batch_wait_ns", T.batchWaitNs());
+      O.field("run_ns", T.runNs());
+      O.field("e2e_ns", T.endToEndNs());
+      O.field("plan_s", T.PlanS);
+      O.field("forward_s", T.ForwardS);
+      O.field("classify_s", T.ClassifyS);
+      O.field("extract_s", T.ExtractS);
+      O.field("backward_s", T.BackwardS);
+      O.field("merge_s", T.MergeS);
+      O.field("cache_hits", T.CacheHits);
+      O.field("cache_misses", T.CacheMisses);
+      O.field("replayed", T.Replayed);
+      if (T.Replayed) {
+        O.field("data_epoch", T.ReplayDataEpoch);
+        O.field("clean_footprint", T.CleanFootprint);
+      }
       emit(O);
     } else if (*Op == "shutdown") {
       JsonObject O = service::response(true);
@@ -329,11 +440,24 @@ int serve(const Config &Base, const std::string &MetricsPath) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  Config Base = Config::defaults();
-  Base.Execution.NumThreads = 1;
-  uint64_t Threads = 1, CacheCapacity = 0, MaxSessions = 64;
+  // OPTABS_* environment overrides seed the flag defaults (fromEnv), so
+  // an explicit flag always wins over the environment, which wins over
+  // Config::defaults(). Malformed env values are reported, not fatal.
+  std::vector<ConfigError> EnvErrors;
+  Config Base = Config::fromEnv(&EnvErrors);
+  if (!EnvErrors.empty())
+    std::cerr << formatConfigErrors(EnvErrors);
+  uint64_t Threads = Base.Execution.NumThreads;
+  uint64_t CacheCapacity = Base.Execution.ForwardCacheCapacity;
+  uint64_t MaxSessions = Base.Service.MaxSessions;
   uint64_t Incremental = Base.Service.IncrementalReRegister ? 1 : 0;
-  std::string MetricsPath;
+  uint64_t TraceCapacity =
+      Base.Observability.ServiceTrace ? Base.Observability.ServiceTraceCapacity
+                                      : 0;
+  std::string MetricsPath = Base.Observability.MetricsPath;
+  std::string TraceJsonl = Base.Observability.ServiceTraceJsonlPath;
+  std::string TraceChrome = Base.Observability.ServiceTraceChromePath;
+  double TraceSlowMs = Base.Observability.SlowQuerySeconds * 1000;
   support::ArgParser Parser;
   Parser.option("--threads", &Threads, "shared pool workers (0 = hardware)");
   Parser.option("--cache-capacity", &CacheCapacity,
@@ -342,17 +466,45 @@ int main(int Argc, char **Argv) {
   Parser.option("--metrics", &MetricsPath, "Prometheus dump on shutdown");
   Parser.option("--incremental", &Incremental,
                 "diff-based incremental re-registration (0 = evict all)");
+  Parser.option("--trace-capacity", &TraceCapacity,
+                "flight-recorder ring size; > 0 enables request tracing");
+  Parser.option("--trace-jsonl", &TraceJsonl,
+                "JSONL trace dump on shutdown (enables tracing)");
+  Parser.option("--trace-chrome", &TraceChrome,
+                "merged Chrome trace dump on shutdown (enables tracing)");
+  Parser.option("--trace-slow-ms", &TraceSlowMs,
+                "slow-query threshold in milliseconds (enables tracing)");
   std::string Err;
   if (!Parser.parse(Argc, Argv, Err)) {
     std::cerr << "error: " << Err << "\n"
               << "usage: optabs-serve [--threads=N] [--cache-capacity=N] "
-                 "[--max-sessions=N] [--metrics=PATH] [--incremental=0|1]\n";
+                 "[--max-sessions=N] [--metrics=PATH] [--incremental=0|1] "
+                 "[--trace-capacity=N] [--trace-jsonl=PATH] "
+                 "[--trace-chrome=PATH] [--trace-slow-ms=X]\n";
     return 2;
   }
   Base.Execution.NumThreads = static_cast<unsigned>(Threads);
   Base.Execution.ForwardCacheCapacity = static_cast<size_t>(CacheCapacity);
   Base.Service.MaxSessions = static_cast<unsigned>(MaxSessions);
   Base.Service.IncrementalReRegister = Incremental != 0;
+  if (TraceCapacity > 0) {
+    Base.Observability.ServiceTrace = true;
+    Base.Observability.ServiceTraceCapacity =
+        static_cast<size_t>(TraceCapacity);
+  }
+  if (!TraceJsonl.empty()) {
+    Base.Observability.ServiceTrace = true;
+    Base.Observability.ServiceTraceJsonlPath = TraceJsonl;
+  }
+  if (!TraceChrome.empty()) {
+    Base.Observability.ServiceTrace = true;
+    Base.Observability.ServiceTraceChromePath = TraceChrome;
+  }
+  if (TraceSlowMs > 0) {
+    Base.Observability.ServiceTrace = true;
+    Base.Observability.SlowQuerySeconds = TraceSlowMs / 1000.0;
+  }
+  Base.Observability.MetricsPath = MetricsPath;
   if (!MetricsPath.empty())
     support::setMetricsEnabled(true);
   return serve(Base, MetricsPath);
