@@ -34,18 +34,23 @@
 ///   {"op":"explain","job":J}  -> one job's recorded timeline: latency
 ///        decomposition, batch id/peers, per-phase seconds, cache and
 ///        replay attribution
+///   {"op":"ping"}             -> liveness probe: "server" ("optabs-serve"
+///        or "optabs-shardd"), "protocol", "uptime_s", and the pending job
+///        count; the shard supervisor also answers it itself and uses it
+///        as the worker health check after every (re)spawn
 ///   {"op":"shutdown"}
 ///
 /// Responses always carry "v", "ok", and (echoed) "op". Job results (the
 /// lines emitted by "drain") additionally carry "job", "session",
 /// "status", and - for status "done" - "verdict", "iterations", "cost",
-/// "param". Outside "trace"/"explain", responses contain no wall-clock or
-/// other nondeterministic fields, so a scripted session's transcript is
-/// byte-stable; that is enforced in CI by diffing a live server run
-/// against the golden file. "trace"/"explain" confine nondeterminism to
-/// their timestamp/seconds fields ("*_ns", "*_s", "seconds") - everything
-/// else in them is deterministic, and their CI transcript zeroes exactly
-/// those fields before the diff (RunServeTranscript.cmake SCRUB).
+/// "param". Outside "trace"/"explain"/"ping", responses contain no
+/// wall-clock or other nondeterministic fields, so a scripted session's
+/// transcript is byte-stable; that is enforced in CI by diffing a live
+/// server run against the golden file. The exceptions confine
+/// nondeterminism to their timestamp/seconds fields ("*_ns", "*_s",
+/// "seconds") - everything else in them is deterministic, and the CI
+/// transcripts zero exactly those fields before the diff
+/// (RunServeTranscript.cmake SCRUB).
 ///
 /// The parser below handles exactly the flat JSON objects the protocol
 /// uses: string values (with escapes), integers, doubles, and booleans -
@@ -300,6 +305,13 @@ public:
     if (S.size() == (Neg ? 1u : 0u))
       return std::nullopt;
     return Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
+  }
+
+  std::optional<bool> getBool(const std::string &Key) const {
+    auto It = Fields.find(Key);
+    if (It == Fields.end() || It->second.K != Kind::Bool)
+      return std::nullopt;
+    return It->second.S == "true";
   }
 
 private:

@@ -1,0 +1,906 @@
+//===- ShardRouter.cpp - Shard supervisor for multi-process serving -------===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ShardRouter.h"
+
+#include "service/Protocol.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <set>
+#include <thread>
+#include <unistd.h>
+
+namespace optabs {
+namespace service {
+
+using tracer::JsonObject;
+
+//===----------------------------------------------------------------------===//
+// Clock
+//===----------------------------------------------------------------------===//
+
+uint64_t SteadyRouterClock::nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SteadyRouterClock::sleepMs(uint64_t Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+//===----------------------------------------------------------------------===//
+// Partitioning
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// fnv1a64 over (program, '\0', client). Hand-rolled on purpose:
+/// std::hash is implementation-defined, and the shard a session lands on
+/// is observable in scripted chaos transcripts.
+uint64_t sessionHash(const std::string &Program, const std::string &Client) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  auto Mix = [&H](const std::string &S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001b3ULL;
+    }
+  };
+  Mix(Program);
+  H ^= 0;
+  H *= 0x100000001b3ULL;
+  Mix(Client);
+  return H;
+}
+
+} // namespace
+
+unsigned ShardRouter::shardFor(const std::string &Program,
+                               const std::string &Client) const {
+  if (Opts.NumShards <= 1)
+    return 0;
+  return static_cast<unsigned>(sessionHash(Program, Client) % Opts.NumShards);
+}
+
+//===----------------------------------------------------------------------===//
+// Construction / lifecycle
+//===----------------------------------------------------------------------===//
+
+ShardRouter::ShardRouter(ShardRouterOptions O, ShardHost &H, RouterClock *C)
+    : Opts(O), Host(H), Clock(C), Jitter(Opts.JitterSeed) {
+  if (Opts.NumShards == 0)
+    Opts.NumShards = 1;
+  if (!Clock) {
+    OwnedClock = std::make_unique<SteadyRouterClock>();
+    Clock = OwnedClock.get();
+  }
+  Shards.resize(Opts.NumShards);
+  Stats.RestartsByShard.assign(Opts.NumShards, 0);
+}
+
+ShardRouter::~ShardRouter() = default;
+
+bool ShardRouter::start(std::string &Err) {
+  for (unsigned I = 0; I < Opts.NumShards; ++I)
+    if (!ensureUp(I, Err))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Restart ladder
+//===----------------------------------------------------------------------===//
+
+void ShardRouter::markDown(unsigned I) { Shards[I].Up = false; }
+
+bool ShardRouter::ensureUp(unsigned I, std::string &Err) {
+  Shard &Sh = Shards[I];
+  if (Sh.Up && Sh.Ep && Sh.Ep->alive())
+    return true;
+  return restartShard(I, Err);
+}
+
+bool ShardRouter::restartShard(unsigned I, std::string &Err) {
+  Shard &Sh = Shards[I];
+  const bool IsRestart = Sh.EverStarted;
+  if (Sh.Ep)
+    Sh.Ep->kill();
+  Sh.Up = false;
+
+  // A shard that stayed healthy long enough earns a fresh ladder.
+  if (IsRestart) {
+    if (Sh.NextBackoffMs == 0)
+      Sh.NextBackoffMs = Opts.BackoffInitialMs;
+    if (Sh.LastRestartMs != 0 &&
+        Clock->nowMs() - Sh.LastRestartMs >= Opts.BackoffResetMs)
+      Sh.NextBackoffMs = Opts.BackoffInitialMs;
+  }
+
+  unsigned Attempts = std::max(1u, Opts.MaxRestartAttempts);
+  std::string SpawnErr;
+  for (unsigned Attempt = 0; Attempt < Attempts; ++Attempt) {
+    // The very first spawn of a shard is not a failure - no delay. Every
+    // later attempt sleeps the current ladder step plus jitter, then
+    // escalates toward the cap.
+    if (IsRestart || Attempt > 0) {
+      uint64_t Base =
+          Sh.NextBackoffMs ? Sh.NextBackoffMs : Opts.BackoffInitialMs;
+      uint64_t Extra = 0;
+      if (Opts.BackoffJitter > 0.0)
+        Extra = Jitter.nextBelow(
+            static_cast<uint64_t>(static_cast<double>(Base) *
+                                  Opts.BackoffJitter) +
+            1);
+      Clock->sleepMs(Base + Extra);
+      Sh.NextBackoffMs = std::min(Base * 2, Opts.BackoffMaxMs);
+    }
+    Sh.EverStarted = true;
+
+    Sh.Ep = Host.spawn(I, SpawnErr);
+    if (!Sh.Ep)
+      continue;
+    // Readiness handshake: the worker answers ping once it is accepting.
+    std::string Resp;
+    if (!Sh.Ep->sendLine("{\"op\":\"ping\"}") ||
+        Sh.Ep->recvLine(Resp, Opts.RequestTimeoutMs) !=
+            ShardEndpoint::RecvStatus::Line) {
+      Sh.Ep->kill();
+      continue;
+    }
+    Sh.Up = true;
+    if (!replayShard(I)) {
+      Sh.Ep->kill();
+      Sh.Up = false;
+      continue;
+    }
+    Sh.LastRestartMs = Clock->nowMs();
+    if (IsRestart) {
+      ++Sh.Restarts;
+      ++Stats.Restarts;
+      ++Stats.RestartsByShard[I];
+    }
+    return true;
+  }
+  Err = "shard " + std::to_string(I) + " failed to start after " +
+        std::to_string(Attempts) + " attempts" +
+        (SpawnErr.empty() ? "" : (": " + SpawnErr));
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// RPC
+//===----------------------------------------------------------------------===//
+
+ShardRouter::RpcStatus ShardRouter::rpcOnce(unsigned I,
+                                            const std::string &Line,
+                                            std::string &Resp) {
+  Shard &Sh = Shards[I];
+  if (!Sh.Ep || !Sh.Up)
+    return RpcStatus::Died;
+  if (!Sh.Ep->sendLine(Line))
+    return RpcStatus::Died;
+  switch (Sh.Ep->recvLine(Resp, Opts.RequestTimeoutMs)) {
+  case ShardEndpoint::RecvStatus::Line:
+    return RpcStatus::Ok;
+  case ShardEndpoint::RecvStatus::Closed:
+    return RpcStatus::Died;
+  case ShardEndpoint::RecvStatus::Timeout:
+    // A hung shard is indistinguishable from a slow one; past the
+    // deadline we treat it as dead so the restart path can requeue.
+    Sh.Ep->kill();
+    return RpcStatus::TimedOut;
+  }
+  return RpcStatus::Died;
+}
+
+bool ShardRouter::rpcWithRetry(unsigned I, const std::string &Line,
+                               std::string &Resp, std::string &Err) {
+  unsigned Tries = Opts.MaxRequestRetries + 1;
+  for (unsigned A = 0; A < Tries; ++A) {
+    if (!ensureUp(I, Err))
+      return false;
+    if (rpcOnce(I, Line, Resp) == RpcStatus::Ok)
+      return true;
+    markDown(I);
+  }
+  Err = "shard " + std::to_string(I) + " did not answer after " +
+        std::to_string(Tries) + " attempts";
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Replay: rebuild a fresh worker from the journal
+//===----------------------------------------------------------------------===//
+
+std::string ShardRouter::submitLineFor(const JobRec &J,
+                                       uint64_t ShardSession) const {
+  JsonObject O;
+  O.field("op", "submit");
+  O.field("session", ShardSession);
+  O.field("check", J.Check);
+  if (J.HasSite)
+    O.field("site", J.Site);
+  if (J.HasPriority)
+    O.field("priority", J.Priority);
+  return O.str();
+}
+
+void ShardRouter::synthesizeResult(JobRec &J, const char *Status,
+                                   const std::string &Error) {
+  JsonObject O = response(true);
+  O.field("op", "result");
+  O.field("job", J.SupId);
+  O.field("session", J.SupSession);
+  O.field("status", Status);
+  O.field("error", Error);
+  J.ResultLine = O.str();
+}
+
+bool ShardRouter::replayShard(unsigned I) {
+  Shard &Sh = Shards[I];
+  Sh.JobsByShardId.clear();
+
+  auto Rpc = [&](const std::string &Line, JsonLine &Parsed) -> bool {
+    std::string Resp;
+    if (rpcOnce(I, Line, Resp) != RpcStatus::Ok)
+      return false;
+    std::string PErr;
+    if (!JsonLine::parse(Resp, Parsed, PErr))
+      return false;
+    return Parsed.getBool("ok").value_or(false);
+  };
+
+  // 1. Registrations, oldest first, so re-registrations land last and the
+  //    worker converges on the same latest-epoch view the journal holds.
+  for (const Registration &R : Journal) {
+    JsonObject O;
+    O.field("op", "register-program");
+    O.field("name", R.Name);
+    O.field("text", R.Text);
+    JsonLine Resp;
+    if (!Rpc(O.str(), Resp))
+      return false;
+  }
+
+  // 2. This shard's live sessions, in supervisor-id order, replaying the
+  //    original open-session lines verbatim (config flags included).
+  for (auto &[Id, S] : Sessions) {
+    if (S.Shard != I || S.Closed)
+      continue;
+    JsonLine Resp;
+    if (!Rpc(S.OpenLine, Resp))
+      return false;
+    auto NewId = Resp.getUInt("session");
+    if (!NewId)
+      return false;
+    S.ShardId = *NewId;
+  }
+
+  // 3. Requeue the shard's unfulfilled jobs, in supervisor-id order.
+  //    Jobs whose cancel was already acknowledged are not re-run: they
+  //    complete here with the same cancelled result line the worker
+  //    would have produced at drain.
+  for (auto &[Id, J] : Jobs) {
+    if (J.Shard != I || J.State != JobState::Pending)
+      continue;
+    if (J.CancelRequested) {
+      synthesizeResult(J, "cancelled", "cancelled by client");
+      J.State = JobState::Fulfilled;
+      ++Stats.Fulfilled;
+      continue;
+    }
+    auto SIt = Sessions.find(J.SupSession);
+    if (SIt == Sessions.end())
+      return false;
+    JsonLine Resp;
+    if (!Rpc(submitLineFor(J, SIt->second.ShardId), Resp)) {
+      // A deterministic rejection (not a dead shard) would recur on
+      // every replay; fail the job rather than loop forever.
+      if (!Sh.Up || !Sh.Ep || !Sh.Ep->alive())
+        return false;
+      synthesizeResult(J, "failed", "shard rejected requeued job");
+      J.State = JobState::Failed;
+      ++Stats.Failed;
+      continue;
+    }
+    auto NewJob = Resp.getUInt("job");
+    if (!NewJob)
+      return false;
+    J.ShardJob = *NewJob;
+    Sh.JobsByShardId[*NewJob] = J.SupId;
+    ++J.Requeues;
+    ++Stats.Requeued;
+    ++DrainRequeues;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Drain
+//===----------------------------------------------------------------------===//
+
+void ShardRouter::handleDrain(std::vector<std::string> &Out) {
+  auto PendingShards = [this] {
+    std::set<unsigned> S;
+    for (const auto &[Id, J] : Jobs)
+      if (J.State == JobState::Pending)
+        S.insert(J.Shard);
+    return S;
+  };
+
+  std::string Err;
+  for (unsigned Round = 0; Round <= Opts.MaxRequestRetries; ++Round) {
+    std::set<unsigned> Need = PendingShards();
+    if (Need.empty())
+      break;
+
+    // Phase 1: issue drain on every shard with outstanding jobs before
+    // collecting from any, so worker batches run concurrently - this is
+    // where N shards buy N-way throughput (bench_shard_scaling).
+    std::vector<unsigned> Sent;
+    for (unsigned I : Need) {
+      if (!ensureUp(I, Err))
+        continue; // replay failed outright; next round retries
+      if (!Shards[I].Ep->sendLine("{\"op\":\"drain\"}")) {
+        markDown(I);
+        continue;
+      }
+      Sent.push_back(I);
+    }
+
+    // Phase 2: collect result lines until each shard's drain summary. A
+    // shard dying mid-collection leaves its unfulfilled jobs Pending; the
+    // next round restarts it (requeueing them) and drains again.
+    for (unsigned I : Sent) {
+      Shard &Sh = Shards[I];
+      for (;;) {
+        std::string Resp;
+        ShardEndpoint::RecvStatus RS =
+            Sh.Ep->recvLine(Resp, Opts.RequestTimeoutMs);
+        if (RS != ShardEndpoint::RecvStatus::Line) {
+          if (RS == ShardEndpoint::RecvStatus::Timeout)
+            Sh.Ep->kill();
+          markDown(I);
+          break;
+        }
+        JsonLine R;
+        std::string PErr;
+        if (!JsonLine::parse(Resp, R, PErr))
+          continue;
+        auto ROp = R.getString("op");
+        if (ROp && *ROp == "drain")
+          break; // the shard's summary: its batch is fully delivered
+        if (!ROp || *ROp != "result")
+          continue;
+        auto ShardJob = R.getUInt("job");
+        if (!ShardJob)
+          continue;
+        auto MIt = Sh.JobsByShardId.find(*ShardJob);
+        if (MIt == Sh.JobsByShardId.end())
+          continue;
+        JobRec &J = Jobs[MIt->second];
+        if (J.State != JobState::Pending)
+          continue;
+        J.ResultLine = rewriteResultLine(Resp, J);
+        J.State = JobState::Fulfilled;
+        ++Stats.Fulfilled;
+      }
+    }
+  }
+
+  // Retry budget exhausted: whatever is still pending fails loudly with
+  // its requeue history rather than hanging the client.
+  for (auto &[Id, J] : Jobs) {
+    if (J.State != JobState::Pending)
+      continue;
+    synthesizeResult(J, "failed",
+                     "shard " + std::to_string(J.Shard) +
+                         " unavailable after " + std::to_string(J.Requeues) +
+                         " requeue(s); job abandoned");
+    J.State = JobState::Failed;
+    ++Stats.Failed;
+  }
+
+  // Emit every not-yet-delivered result in supervisor job-id order - the
+  // same order a single optabs-serve would use, so transcripts diff
+  // cleanly against a single-process oracle.
+  size_t N = 0;
+  for (auto &[Id, J] : Jobs) {
+    if (J.Emitted || J.State == JobState::Pending)
+      continue;
+    Out.push_back(J.ResultLine);
+    J.Emitted = true;
+    ++N;
+  }
+  JsonObject O = response(true);
+  O.field("op", "drain");
+  O.field("results", N);
+  // Requeue events since the previous drain summary: restarts between
+  // drains affect the jobs reported here, so they count too.
+  O.field("requeued", DrainRequeues);
+  Out.push_back(O.str());
+  DrainRequeues = 0;
+}
+
+std::string ShardRouter::rewriteResultLine(const std::string &ShardLine,
+                                           const JobRec &J) const {
+  JsonLine R;
+  std::string PErr;
+  if (!JsonLine::parse(ShardLine, R, PErr))
+    return ShardLine; // unreachable: caller already parsed it
+  JsonObject O = response(true);
+  O.field("op", "result");
+  O.field("job", J.SupId);
+  O.field("session", J.SupSession);
+  std::string Status = R.getString("status").value_or("failed");
+  O.field("status", Status);
+  if (Status == "done") {
+    O.field("verdict", R.getString("verdict").value_or(""));
+    O.field("iterations", R.getUInt("iterations").value_or(0));
+    if (auto Cost = R.getUInt("cost")) {
+      O.field("cost", *Cost);
+      O.field("param", R.getString("param").value_or(""));
+    }
+    if (auto Ex = R.getString("exhausted")) {
+      O.field("exhausted", *Ex);
+      O.field("site", R.getString("site").value_or(""));
+    }
+  } else {
+    O.field("error", R.getString("error").value_or(""));
+  }
+  return O.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Request routing
+//===----------------------------------------------------------------------===//
+
+ShardRouterStats ShardRouter::stats() const {
+  ShardRouterStats S = Stats;
+  S.Pending = 0;
+  for (const auto &[Id, J] : Jobs)
+    if (J.State == JobState::Pending)
+      ++S.Pending;
+  return S;
+}
+
+void ShardRouter::killShardForTesting(unsigned Shard) {
+  if (Shard < Shards.size() && Shards[Shard].Ep)
+    Shards[Shard].Ep->kill();
+}
+
+uint64_t ShardRouter::nextBackoffMsForTesting(unsigned Shard) const {
+  return Shard < Shards.size() ? Shards[Shard].NextBackoffMs : 0;
+}
+
+bool ShardRouter::handleLine(const std::string &Line,
+                             std::vector<std::string> &Out) {
+  auto Emit = [&Out](const std::string &S) { Out.push_back(S); };
+  auto EmitObj = [&Out](const JsonObject &O) { Out.push_back(O.str()); };
+
+  JsonLine Req;
+  std::string Err;
+  if (!JsonLine::parse(Line, Req, Err)) {
+    EmitObj(JsonObject(response(false))
+                .field("error", "malformed request: " + Err));
+    return true;
+  }
+  auto Op = Req.getString("op");
+  if (!Op) {
+    EmitObj(JsonObject(response(false)).field("error", "missing 'op' field"));
+    return true;
+  }
+
+  if (*Op == "register-program") {
+    auto Name = Req.getString("name");
+    auto Text = Req.getString("text");
+    if (!Name || !Text) {
+      Emit(errorLine(*Op, "register-program needs 'name' and 'text'"));
+      return true;
+    }
+    // Broadcast: any shard can be asked to open sessions on any program.
+    // The journal is updated only after every shard acked, so a shard
+    // that dies mid-broadcast replays the pre-broadcast state and then
+    // receives this registration through the per-shard retry below.
+    uint32_t Checks = 0, Allocs = 0;
+    for (unsigned I = 0; I < Opts.NumShards; ++I) {
+      std::string Resp, RpcErr;
+      if (!rpcWithRetry(I, Line, Resp, RpcErr)) {
+        Emit(errorLine(*Op, "registration aborted: " + RpcErr));
+        return true;
+      }
+      JsonLine R;
+      std::string PErr;
+      if (!JsonLine::parse(Resp, R, PErr) ||
+          !R.getBool("ok").value_or(false)) {
+        // Worker validation is deterministic over (journal, text), so the
+        // first rejection is every shard's rejection: forward it as-is.
+        Emit(Resp);
+        return true;
+      }
+      if (I == 0) {
+        Checks = static_cast<uint32_t>(R.getUInt("checks").value_or(0));
+        Allocs = static_cast<uint32_t>(R.getUInt("allocs").value_or(0));
+      }
+    }
+    auto It = std::find_if(Journal.begin(), Journal.end(),
+                           [&](const Registration &R) {
+                             return R.Name == *Name;
+                           });
+    if (It != Journal.end())
+      Journal.erase(It); // re-registration: the latest text moves to the end
+    Registration R;
+    R.Name = *Name;
+    R.Text = *Text;
+    R.Checks = Checks;
+    R.Allocs = Allocs;
+    Journal.push_back(std::move(R));
+    ++RegEpoch;
+    ++Stats.Registered;
+    // The epoch is supervisor-minted: restarted workers have divergent
+    // internal epochs, and the client must see one consistent stream.
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    O.field("name", *Name);
+    O.field("epoch", RegEpoch);
+    O.field("checks", Checks);
+    O.field("allocs", Allocs);
+    EmitObj(O);
+  } else if (*Op == "open-session") {
+    std::string Program = Req.getString("program").value_or("");
+    std::string Client = Req.getString("client").value_or("");
+    unsigned I = shardFor(Program, Client);
+    std::string Resp, RpcErr;
+    if (!rpcWithRetry(I, Line, Resp, RpcErr)) {
+      Emit(errorLine(*Op, RpcErr));
+      return true;
+    }
+    JsonLine R;
+    std::string PErr;
+    if (!JsonLine::parse(Resp, R, PErr) || !R.getBool("ok").value_or(false)) {
+      Emit(Resp); // the worker's structured rejection, id-free
+      return true;
+    }
+    auto ShardId = R.getUInt("session");
+    if (!ShardId) {
+      Emit(errorLine(*Op, "shard returned a malformed session id"));
+      return true;
+    }
+    SessionRec S;
+    S.SupId = NextSession++;
+    S.Shard = I;
+    S.ShardId = *ShardId;
+    S.OpenLine = Line;
+    uint64_t SupId = S.SupId;
+    Sessions[SupId] = std::move(S);
+    ++Stats.SessionsOpened;
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    O.field("session", SupId);
+    EmitObj(O);
+  } else if (*Op == "submit") {
+    auto Sess = Req.getUInt("session");
+    auto Check = Req.getUInt("check");
+    if (!Sess || !Check) {
+      Emit(errorLine(*Op, "submit needs 'session' and 'check'"));
+      return true;
+    }
+    auto SIt = Sessions.find(*Sess);
+    if (SIt == Sessions.end() || SIt->second.Closed) {
+      Emit(errorLine(*Op, "unknown session " + std::to_string(*Sess)));
+      return true;
+    }
+    JobRec J;
+    J.SupSession = *Sess;
+    J.Shard = SIt->second.Shard;
+    J.Check = static_cast<uint32_t>(*Check);
+    if (auto Site = Req.getUInt("site")) {
+      J.Site = *Site;
+      J.HasSite = true;
+    }
+    if (auto Prio = Req.getInt("priority")) {
+      J.Priority = *Prio;
+      J.HasPriority = true;
+    }
+    std::string Resp, RpcErr;
+    if (!rpcWithRetry(J.Shard, submitLineFor(J, SIt->second.ShardId), Resp,
+                      RpcErr)) {
+      Emit(errorLine(*Op, RpcErr));
+      return true;
+    }
+    JsonLine R;
+    std::string PErr;
+    if (!JsonLine::parse(Resp, R, PErr) || !R.getBool("ok").value_or(false)) {
+      Emit(Resp); // worker rejection (queue full, ...), id-free
+      return true;
+    }
+    auto ShardJob = R.getUInt("job");
+    if (!ShardJob) {
+      Emit(errorLine(*Op, "shard returned a malformed job id"));
+      return true;
+    }
+    J.SupId = NextJob++;
+    J.ShardJob = *ShardJob;
+    Shards[J.Shard].JobsByShardId[*ShardJob] = J.SupId;
+    uint64_t SupId = J.SupId;
+    Jobs[SupId] = std::move(J);
+    ++Stats.Submitted;
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    O.field("job", SupId);
+    EmitObj(O);
+  } else if (*Op == "cancel" || *Op == "close-session") {
+    auto Sess = Req.getUInt("session");
+    auto SIt = Sess ? Sessions.find(*Sess) : Sessions.end();
+    if (SIt == Sessions.end() || SIt->second.Closed) {
+      Emit(errorLine(*Op, "unknown session"));
+      return true;
+    }
+    JsonObject Fwd;
+    Fwd.field("op", *Op);
+    Fwd.field("session", SIt->second.ShardId);
+    std::string Resp, RpcErr;
+    if (!rpcWithRetry(SIt->second.Shard, Fwd.str(), Resp, RpcErr)) {
+      Emit(errorLine(*Op, RpcErr));
+      return true;
+    }
+    JsonLine R;
+    std::string PErr;
+    bool Ok = JsonLine::parse(Resp, R, PErr) &&
+              R.getBool("ok").value_or(false);
+    if (Ok) {
+      // Both ops cancel the session's outstanding work on the worker;
+      // remember that so a replay after a crash does not resurrect it.
+      for (auto &[Id, J] : Jobs)
+        if (J.SupSession == *Sess && J.State == JobState::Pending)
+          J.CancelRequested = true;
+      if (*Op == "close-session")
+        SIt->second.Closed = true;
+    }
+    Emit(Resp); // id-free either way: forward verbatim
+  } else if (*Op == "drain") {
+    handleDrain(Out);
+  } else if (*Op == "ping") {
+    unsigned Alive = 0;
+    for (Shard &Sh : Shards)
+      if (Sh.Up && Sh.Ep && Sh.Ep->alive())
+        ++Alive;
+    uint64_t Pending = 0;
+    for (const auto &[Id, J] : Jobs)
+      if (J.State == JobState::Pending)
+        ++Pending;
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    O.field("server", "optabs-shardd");
+    O.field("protocol", ProtocolVersion);
+    O.field("uptime_s", Uptime.seconds());
+    O.field("shards", Opts.NumShards);
+    O.field("alive", Alive);
+    O.field("pending", Pending);
+    EmitObj(O);
+  } else if (*Op == "stats") {
+    ShardRouterStats S = stats();
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    O.field("shards", Opts.NumShards);
+    O.field("restarts", S.Restarts);
+    O.field("requeued", S.Requeued);
+    O.field("registered", S.Registered);
+    O.field("sessions_opened", S.SessionsOpened);
+    O.field("submitted", S.Submitted);
+    O.field("fulfilled", S.Fulfilled);
+    O.field("failed", S.Failed);
+    O.field("pending", S.Pending);
+    EmitObj(O);
+  } else if (*Op == "explain") {
+    auto JobN = Req.getUInt("job");
+    if (!JobN) {
+      Emit(errorLine(*Op, "explain needs 'job'"));
+      return true;
+    }
+    auto JIt = Jobs.find(*JobN);
+    if (JIt == Jobs.end()) {
+      Emit(errorLine(*Op,
+                     "no timeline recorded for job " + std::to_string(*JobN)));
+      return true;
+    }
+    const JobRec &J = JIt->second;
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    O.field("job", J.SupId);
+    O.field("session", J.SupSession);
+    O.field("shard", J.Shard);
+    const char *St = J.State == JobState::Pending
+                         ? (J.CancelRequested ? "cancelled" : "pending")
+                         : (J.State == JobState::Fulfilled ? "fulfilled"
+                                                           : "failed");
+    O.field("status", St);
+    O.field("requeues", J.Requeues);
+    if (J.Requeues > 0)
+      O.field("note", "requeued after shard restart; verdict unaffected "
+                      "(batch-composition independence)");
+    EmitObj(O);
+  } else if (*Op == "chaos-kill") {
+    if (!Opts.AllowChaosOps) {
+      Emit(errorLine(*Op, "chaos ops are disabled (start with --chaos)"));
+      return true;
+    }
+    auto ShardN = Req.getUInt("shard");
+    if (!ShardN || *ShardN >= Opts.NumShards) {
+      Emit(errorLine(*Op, "chaos-kill needs a valid 'shard'"));
+      return true;
+    }
+    killShardForTesting(static_cast<unsigned>(*ShardN));
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    O.field("shard", *ShardN);
+    EmitObj(O);
+  } else if (*Op == "shutdown") {
+    // Best effort: ask every live worker to run its own graceful path
+    // (drain, metrics, trace dumps) before we acknowledge.
+    for (unsigned I = 0; I < Opts.NumShards; ++I) {
+      Shard &Sh = Shards[I];
+      if (!Sh.Up || !Sh.Ep || !Sh.Ep->alive())
+        continue;
+      std::string Resp;
+      if (Sh.Ep->sendLine("{\"op\":\"shutdown\"}"))
+        Sh.Ep->recvLine(Resp, Opts.RequestTimeoutMs);
+      Sh.Up = false;
+    }
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    EmitObj(O);
+    return false;
+  } else {
+    Emit(errorLine(*Op, "unknown op '" + *Op + "'"));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ProcessShardHost: real optabs-serve workers over unix sockets
+//===----------------------------------------------------------------------===//
+
+/// Endpoint over a connected LineChannel; liveness and kill go through
+/// the host so they stay pid-exact across respawns.
+class ProcessShardEndpoint : public ShardEndpoint {
+public:
+  ProcessShardEndpoint(LineChannel C, ProcessShardHost &H, unsigned Shard,
+                       pid_t Pid)
+      : Ch(std::move(C)), H(H), Shard(Shard), Pid(Pid) {}
+
+  bool sendLine(const std::string &Line) override {
+    return Ch.writeLine(Line);
+  }
+
+  RecvStatus recvLine(std::string &Out, int TimeoutMs) override {
+    for (;;) {
+      switch (Ch.readLine(Out, TimeoutMs)) {
+      case LineChannel::ReadStatus::Line:
+        return RecvStatus::Line;
+      case LineChannel::ReadStatus::Timeout:
+        return RecvStatus::Timeout;
+      case LineChannel::ReadStatus::Interrupted:
+        continue; // a signal aimed at the supervisor, not this worker
+      default:
+        return RecvStatus::Closed; // EOF, IO error, oversized response
+      }
+    }
+  }
+
+  bool alive() override { return H.workerAlive(Shard, Pid); }
+  void kill() override { H.killAndReap(Shard, Pid); }
+
+private:
+  LineChannel Ch;
+  ProcessShardHost &H;
+  unsigned Shard;
+  pid_t Pid;
+};
+
+ProcessShardHost::ProcessShardHost(Options Opt) : O(std::move(Opt)) {}
+
+ProcessShardHost::~ProcessShardHost() {
+  std::lock_guard<std::mutex> L(M);
+  for (auto &[Shard, W] : Workers) {
+    W.kill();
+    W.reap(5000);
+  }
+}
+
+std::unique_ptr<ShardEndpoint> ProcessShardHost::spawn(unsigned Shard,
+                                                       std::string &Err) {
+  std::string SockPath;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto It = Workers.find(Shard);
+    if (It != Workers.end()) {
+      It->second.kill();
+      It->second.reap(5000);
+      Workers.erase(It);
+    }
+    // A fresh socket path per incarnation: never connect to a socket a
+    // dying previous worker might still own.
+    SockPath = O.SocketDir + "/optabs-shard-" +
+               std::to_string(static_cast<long>(::getpid())) + "-" +
+               std::to_string(Shard) + "-" + std::to_string(++Incarnation) +
+               ".sock";
+  }
+
+  std::vector<std::string> Argv;
+  Argv.push_back(O.ServeBinary);
+  Argv.push_back("--listen=unix:" + SockPath);
+  for (const std::string &A : O.WorkerArgs)
+    Argv.push_back(A);
+
+  support::ChildProcess C = support::ChildProcess::spawn(Argv, Err);
+  if (!C.valid())
+    return nullptr;
+  pid_t Pid = C.pid();
+
+  ListenSpec Spec;
+  std::string SpecErr;
+  if (!ListenSpec::parse("unix:" + SockPath, Spec, SpecErr)) {
+    Err = SpecErr;
+    C.kill();
+    C.reap(5000);
+    return nullptr;
+  }
+  std::string ConnErr;
+  LineChannel Ch =
+      connectChannel(Spec, O.ConnectTimeoutMs, ConnErr, O.MaxLineBytes);
+  if (!Ch.valid()) {
+    Err = "worker for shard " + std::to_string(Shard) +
+          " never started accepting: " + ConnErr;
+    C.kill();
+    C.reap(5000);
+    return nullptr;
+  }
+
+  {
+    std::lock_guard<std::mutex> L(M);
+    Workers[Shard] = std::move(C);
+  }
+  return std::make_unique<ProcessShardEndpoint>(std::move(Ch), *this, Shard,
+                                                Pid);
+}
+
+pid_t ProcessShardHost::workerPid(unsigned Shard) const {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Workers.find(Shard);
+  return It == Workers.end() ? -1 : It->second.pid();
+}
+
+void ProcessShardHost::killWorker(unsigned Shard) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Workers.find(Shard);
+  if (It != Workers.end())
+    It->second.kill();
+}
+
+bool ProcessShardHost::workerAlive(unsigned Shard, pid_t Pid) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Workers.find(Shard);
+  if (It == Workers.end() || It->second.pid() != Pid)
+    return false;
+  return It->second.alive();
+}
+
+void ProcessShardHost::killAndReap(unsigned Shard, pid_t Pid) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Workers.find(Shard);
+  if (It == Workers.end() || It->second.pid() != Pid)
+    return;
+  It->second.kill();
+  It->second.reap(5000);
+}
+
+} // namespace service
+} // namespace optabs

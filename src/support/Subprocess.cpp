@@ -1,0 +1,108 @@
+//===- Subprocess.cpp - Child-process spawn/liveness/kill helpers ---------===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace optabs {
+namespace support {
+
+ChildProcess ChildProcess::spawn(const std::vector<std::string> &Argv,
+                                 std::string &Err) {
+  ChildProcess C;
+  if (Argv.empty()) {
+    Err = "spawn needs at least argv[0]";
+    return C;
+  }
+  if (::access(Argv[0].c_str(), X_OK) != 0) {
+    Err = "'" + Argv[0] + "' is not executable: " + std::strerror(errno);
+    return C;
+  }
+  std::vector<char *> Raw;
+  Raw.reserve(Argv.size() + 1);
+  for (const std::string &A : Argv)
+    Raw.push_back(const_cast<char *>(A.c_str()));
+  Raw.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    Err = std::string("fork failed: ") + std::strerror(errno);
+    return C;
+  }
+  if (Pid == 0) {
+    // Child: reset the dispositions the parent may have customized (the
+    // supervisor ignores SIGPIPE; workers must start from a clean slate).
+    ::signal(SIGPIPE, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    ::execv(Raw[0], Raw.data());
+    ::_exit(127); // exec failed; 127 matches the shell convention
+  }
+  C.Pid = Pid;
+  C.Reaped = false;
+  return C;
+}
+
+bool ChildProcess::alive() {
+  if (Pid <= 0 || Reaped)
+    return false;
+  int St = 0;
+  pid_t R = ::waitpid(Pid, &St, WNOHANG);
+  if (R == 0)
+    return true; // still running
+  if (R == Pid) {
+    Status = St;
+    Reaped = true;
+    return false;
+  }
+  // ECHILD etc.: treat as gone but unreaped-by-us.
+  Reaped = true;
+  return false;
+}
+
+void ChildProcess::kill(int Signal) {
+  if (Pid > 0 && !Reaped)
+    ::kill(Pid, Signal);
+}
+
+int ChildProcess::reap(int TimeoutMs) {
+  if (Pid <= 0 || Reaped)
+    return Status;
+  if (TimeoutMs < 0) {
+    int St = 0;
+    if (::waitpid(Pid, &St, 0) == Pid)
+      Status = St;
+    Reaped = true;
+    return Status;
+  }
+  // Bounded wait: poll WNOHANG in small sleeps. Coarse but only used by
+  // tests and supervisor shutdown, where tens of milliseconds are fine.
+  for (int Waited = 0;; Waited += 10) {
+    int St = 0;
+    pid_t R = ::waitpid(Pid, &St, WNOHANG);
+    if (R == Pid) {
+      Status = St;
+      Reaped = true;
+      return Status;
+    }
+    if (R < 0) {
+      Reaped = true;
+      return Status;
+    }
+    if (Waited >= TimeoutMs)
+      return -1;
+    ::usleep(10 * 1000);
+  }
+}
+
+} // namespace support
+} // namespace optabs

@@ -1,0 +1,84 @@
+//===- Subprocess.h - Child-process spawn/liveness/kill helpers -*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX process helpers for the multi-process serving layer
+/// (DESIGN.md §13): the shard supervisor spawns `optabs-serve` workers,
+/// probes whether they are still alive, kills hung ones, and reaps their
+/// exit status. Everything is fork/exec/waitpid under the hood - no shell
+/// is ever involved, so worker argv strings are never re-tokenized.
+///
+/// Liveness is edge-triggered through waitpid(WNOHANG): once a child has
+/// been reaped its pid may be recycled by the kernel, so callers must not
+/// probe a pid after reap() (ChildProcess tracks that state for them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SUPPORT_SUBPROCESS_H
+#define OPTABS_SUPPORT_SUBPROCESS_H
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace optabs {
+namespace support {
+
+/// One spawned child. Movable, not copyable; the destructor never blocks
+/// and never kills - callers decide between kill() + reap() and leaks.
+class ChildProcess {
+public:
+  ChildProcess() = default;
+  ChildProcess(ChildProcess &&O) noexcept : Pid(O.Pid), Reaped(O.Reaped) {
+    O.Pid = -1;
+    O.Reaped = true;
+  }
+  ChildProcess &operator=(ChildProcess &&O) noexcept {
+    Pid = O.Pid;
+    Reaped = O.Reaped;
+    O.Pid = -1;
+    O.Reaped = true;
+    return *this;
+  }
+  ChildProcess(const ChildProcess &) = delete;
+  ChildProcess &operator=(const ChildProcess &) = delete;
+
+  /// fork + execv. \p Argv[0] is the executable path (no PATH search).
+  /// Returns an invalid ChildProcess with \p Err set when the fork fails
+  /// or the exec target is obviously unusable. An exec failure after a
+  /// successful fork surfaces as the child exiting 127.
+  static ChildProcess spawn(const std::vector<std::string> &Argv,
+                            std::string &Err);
+
+  bool valid() const { return Pid > 0; }
+  pid_t pid() const { return Pid; }
+
+  /// True while the child exists and has not been reaped. Reaps
+  /// opportunistically: a child that exited is collected here and reported
+  /// dead (its exit status is retained for exitStatus()).
+  bool alive();
+
+  /// Sends \p Signal (default SIGKILL). No-op once reaped.
+  void kill(int Signal = 9);
+
+  /// Blocks until the child exits (or \p TimeoutMs elapses; -1 = forever)
+  /// and reaps it. Returns the raw waitpid status, or -1 on timeout.
+  int reap(int TimeoutMs = -1);
+
+  /// The raw waitpid status once reaped (-1 before).
+  int exitStatus() const { return Status; }
+
+private:
+  pid_t Pid = -1;
+  bool Reaped = true;
+  int Status = -1;
+};
+
+} // namespace support
+} // namespace optabs
+
+#endif // OPTABS_SUPPORT_SUBPROCESS_H

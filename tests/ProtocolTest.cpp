@@ -13,6 +13,7 @@
 #include "escape/Escape.h"
 #include "ir/Parser.h"
 #include "service/Protocol.h"
+#include "support/Prng.h"
 #include "tracer/EventTrace.h"
 #include "tracer/QueryDriver.h"
 
@@ -20,6 +21,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -300,6 +302,119 @@ TEST(JsonLineTest, RoundTripsThroughJsonObject) {
             static_cast<uint64_t>(service::ProtocolVersion));
   EXPECT_EQ(L.getString("name"), Tricky);
   EXPECT_EQ(L.getUInt("epoch"), 7u);
+}
+
+TEST(JsonLineTest, GetBoolReadsOnlyBooleans) {
+  service::JsonLine L = parseOk(R"({"t":true,"f":false,"n":1,"s":"true"})");
+  EXPECT_EQ(L.getBool("t"), true);
+  EXPECT_EQ(L.getBool("f"), false);
+  EXPECT_EQ(L.getBool("n"), std::nullopt); // numbers are not booleans
+  EXPECT_EQ(L.getBool("s"), std::nullopt); // nor are spelled-out strings
+  EXPECT_EQ(L.getBool("missing"), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Property/fuzz tests: the parser fronts untrusted sockets (optabs-serve
+// --listen), so no input may crash it, and every rejection must carry a
+// structured, non-empty error. Deterministic PRNG - failures reproduce.
+//===----------------------------------------------------------------------===//
+
+/// The property every input must satisfy: parse() returns cleanly, and
+/// when it rejects, it says why.
+void expectParseTotal(const std::string &Text) {
+  service::JsonLine L;
+  std::string Err;
+  if (!service::JsonLine::parse(Text, L, Err)) {
+    EXPECT_FALSE(Err.empty()) << "silent rejection of: " << Text;
+  }
+}
+
+TEST(JsonLineFuzzTest, RandomGarbageNeverCrashes) {
+  Prng R(0xf00d0001);
+  for (int Iter = 0; Iter < 4000; ++Iter) {
+    std::string Text;
+    size_t Len = R.nextBelow(64);
+    for (size_t I = 0; I < Len; ++I)
+      Text += static_cast<char>(R.nextBelow(256));
+    expectParseTotal(Text);
+  }
+}
+
+TEST(JsonLineFuzzTest, StructureHeavyGarbageNeverCrashes) {
+  // Garbage drawn from JSON's own alphabet reaches much deeper into the
+  // parser than uniform bytes do.
+  static const char Alphabet[] = "{}[]\":,\\un0123456789.-eEtrufalse \t";
+  Prng R(0xf00d0002);
+  for (int Iter = 0; Iter < 4000; ++Iter) {
+    std::string Text;
+    size_t Len = R.nextBelow(48);
+    for (size_t I = 0; I < Len; ++I)
+      Text += Alphabet[R.nextBelow(sizeof(Alphabet) - 1)];
+    expectParseTotal(Text);
+  }
+}
+
+TEST(JsonLineFuzzTest, MutatedValidLinesNeverCrash) {
+  // Start from real protocol lines and corrupt them: truncations,
+  // byte flips, insertions, deletions. This is the shape of damage a
+  // half-written socket line or a buggy client actually produces.
+  const std::string Seeds[] = {
+      R"({"op":"submit","session":3,"check":0,"priority":-2})",
+      R"({"op":"register-program","name":"fig6","text":"proc main {\n}"})",
+      R"({"op":"open-session","program":"fig6","client":"escape","k":1})",
+      R"({"v":1,"ok":true,"op":"ping","uptime_s":0.25,"pending":0})",
+      "{\"s\":\"\\\"\\\\\\/\\b\\f\\n\\r\\t\\u0041\"}",
+  };
+  Prng R(0xf00d0003);
+  for (int Iter = 0; Iter < 6000; ++Iter) {
+    std::string Text = Seeds[R.nextBelow(std::size(Seeds))];
+    unsigned Mutations = 1 + R.nextBelow(4);
+    for (unsigned M = 0; M < Mutations; ++M) {
+      if (Text.empty())
+        break;
+      size_t Pos = R.nextBelow(Text.size());
+      switch (R.nextBelow(4)) {
+      case 0: // truncate
+        Text.resize(Pos);
+        break;
+      case 1: // flip one byte
+        Text[Pos] = static_cast<char>(R.nextBelow(256));
+        break;
+      case 2: // insert one byte
+        Text.insert(Text.begin() + Pos,
+                    static_cast<char>(R.nextBelow(256)));
+        break;
+      default: // delete one byte
+        Text.erase(Text.begin() + Pos);
+        break;
+      }
+    }
+    expectParseTotal(Text);
+  }
+}
+
+TEST(JsonLineFuzzTest, RandomLinesRoundTripThroughJsonObject) {
+  // The constructive property: anything JsonObject can write, JsonLine
+  // reads back value-identical - arbitrary bytes in strings included.
+  Prng R(0xf00d0004);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    std::string S;
+    size_t Len = R.nextBelow(24);
+    for (size_t I = 0; I < Len; ++I) {
+      // Raw bytes, but keep multi-byte range out: the writer emits
+      // non-ASCII as raw UTF-8, and random lone continuation bytes are
+      // not valid UTF-8 the parser must accept.
+      S += static_cast<char>(R.nextBelow(0x80));
+    }
+    uint64_t N = R.next() >> 11; // < 2^53: JSON-number safe
+    bool B = R.chance(1, 2);
+    JsonObject O;
+    O.field("op", "fuzz").field("s", S).field("n", N).field("b", B);
+    service::JsonLine L = parseOk(O.str());
+    EXPECT_EQ(L.getString("s"), S);
+    EXPECT_EQ(L.getUInt("n"), N);
+    EXPECT_EQ(L.getBool("b"), B);
+  }
 }
 
 //===----------------------------------------------------------------------===//

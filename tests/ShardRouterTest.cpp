@@ -1,0 +1,598 @@
+//===- ShardRouterTest.cpp - Supervisor failure-path tests ----------------===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Every failure path of service/ShardRouter.h driven by scripted fakes:
+// worker death during register-program, during a re-register migration,
+// with zero pending jobs; hung-shard request timeouts with bounded
+// retries; restart-exhaustion failing jobs loudly; cancelled jobs staying
+// cancelled across a requeue; and the exponential backoff ladder (caps,
+// jitter bounds, healthy-interval reset) against a fake clock. The real
+// subprocess topology is exercised end to end by ChaosTest.cpp; here the
+// point is determinism - each scenario is exact, not probabilistic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+#include "service/ShardRouter.h"
+
+#include "gtest/gtest.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace optabs {
+namespace service {
+namespace {
+
+using tracer::JsonObject;
+
+//===----------------------------------------------------------------------===//
+// Fakes
+//===----------------------------------------------------------------------===//
+
+/// An in-process stand-in for one optabs-serve worker: real protocol
+/// responses, scriptable deaths and hangs, full request log.
+class FakeShard : public ShardEndpoint {
+public:
+  // Failure knobs.
+  std::function<bool(const std::string &Op, const std::string &Line)>
+      DieOnRequest;           ///< true = die instead of answering
+  bool HangOnNonPing = false; ///< swallow every non-ping request
+  bool Dead = false;
+  bool Hung = false;
+
+  // Observable worker state.
+  std::vector<std::string> RequestLog;
+  std::map<std::string, std::string> Programs;
+  std::map<uint64_t, std::string> SessionPrograms;
+  struct Job {
+    uint64_t Session = 0;
+    uint32_t Check = 0;
+    bool Cancelled = false;
+  };
+  std::map<uint64_t, Job> Pending;
+
+  bool sendLine(const std::string &Line) override {
+    if (Dead)
+      return false;
+    RequestLog.push_back(Line);
+    JsonLine Req;
+    std::string Err;
+    if (!JsonLine::parse(Line, Req, Err)) {
+      OutQ.push_back(errorLine("", Err));
+      return true;
+    }
+    std::string Op = Req.getString("op").value_or("");
+    if (DieOnRequest && DieOnRequest(Op, Line)) {
+      Dead = true;
+      OutQ.clear();
+      return true; // the write "succeeded"; the death shows on recv
+    }
+    if (HangOnNonPing && Op != "ping") {
+      Hung = true;
+      return true;
+    }
+    handle(Op, Req);
+    return true;
+  }
+
+  RecvStatus recvLine(std::string &Out, int) override {
+    if (!OutQ.empty()) {
+      Out = OutQ.front();
+      OutQ.pop_front();
+      if (DieAfterQueue && OutQ.empty())
+        Dead = true; // shutdown ack delivered; the worker exits now
+      return RecvStatus::Line;
+    }
+    if (Hung && !Dead)
+      return RecvStatus::Timeout;
+    return RecvStatus::Closed;
+  }
+
+  bool alive() override { return !Dead; }
+  void kill() override {
+    Dead = true;
+    OutQ.clear();
+  }
+
+private:
+  void handle(const std::string &Op, const JsonLine &Req) {
+    auto Emit = [this](const JsonObject &O) { OutQ.push_back(O.str()); };
+    if (Op == "ping") {
+      JsonObject O = response(true);
+      O.field("op", Op);
+      O.field("server", "fake-shard");
+      Emit(O);
+    } else if (Op == "register-program") {
+      std::string Name = Req.getString("name").value_or("");
+      Programs[Name] = Req.getString("text").value_or("");
+      JsonObject O = response(true);
+      O.field("op", Op);
+      O.field("name", Name);
+      O.field("epoch", ++Epoch);
+      O.field("checks", 1);
+      O.field("allocs", 2);
+      Emit(O);
+    } else if (Op == "open-session") {
+      std::string Program = Req.getString("program").value_or("");
+      if (!Programs.count(Program)) {
+        OutQ.push_back(
+            errorLine(Op, "program '" + Program + "' is not registered"));
+        return;
+      }
+      uint64_t Id = NextSession++;
+      SessionPrograms[Id] = Program;
+      JsonObject O = response(true);
+      O.field("op", Op);
+      O.field("session", Id);
+      Emit(O);
+    } else if (Op == "submit") {
+      uint64_t Id = NextJob++;
+      Job J;
+      J.Session = Req.getUInt("session").value_or(0);
+      J.Check = static_cast<uint32_t>(Req.getUInt("check").value_or(0));
+      Pending[Id] = J;
+      JsonObject O = response(true);
+      O.field("op", Op);
+      O.field("job", Id);
+      Emit(O);
+    } else if (Op == "cancel" || Op == "close-session") {
+      uint64_t Sess = Req.getUInt("session").value_or(0);
+      size_t N = 0;
+      for (auto &[Id, J] : Pending)
+        if (J.Session == Sess && !J.Cancelled) {
+          J.Cancelled = true;
+          ++N;
+        }
+      JsonObject O = response(true);
+      O.field("op", Op);
+      if (Op == "cancel")
+        O.field("cancelled", N);
+      Emit(O);
+    } else if (Op == "drain") {
+      size_t N = 0;
+      for (auto &[Id, J] : Pending) {
+        JsonObject O = response(true);
+        O.field("op", "result");
+        O.field("job", Id);
+        O.field("session", J.Session);
+        if (J.Cancelled) {
+          O.field("status", "cancelled");
+          O.field("error", "cancelled by client");
+        } else {
+          O.field("status", "done");
+          O.field("verdict", "proven");
+          O.field("iterations", 1);
+          O.field("cost", J.Check);
+          O.field("param", "[P" + std::to_string(J.Check) + "]");
+        }
+        Emit(O);
+        ++N;
+      }
+      Pending.clear();
+      JsonObject O = response(true);
+      O.field("op", Op);
+      O.field("results", N);
+      Emit(O);
+    } else if (Op == "shutdown") {
+      JsonObject O = response(true);
+      O.field("op", Op);
+      Emit(O);
+      // Dead only after the ack drains, like the real worker.
+      DieAfterQueue = true;
+    } else {
+      OutQ.push_back(errorLine(Op, "unknown op '" + Op + "'"));
+    }
+  }
+
+  std::deque<std::string> OutQ;
+  uint64_t NextSession = 1;
+  uint64_t NextJob = 1;
+  uint64_t Epoch = 0;
+  bool DieAfterQueue = false;
+};
+
+class FakeHost : public ShardHost {
+public:
+  explicit FakeHost(unsigned N)
+      : SpawnCount(N, 0), Live(N, nullptr), FailSpawns(N, 0) {}
+
+  /// Called for every new incarnation so tests can arm failure knobs.
+  std::function<void(unsigned Shard, unsigned Incarnation, FakeShard &)>
+      Configure;
+  std::vector<unsigned> SpawnCount;
+  std::vector<FakeShard *> Live; ///< latest incarnation (dangles for older)
+  std::vector<int> FailSpawns;   ///< fail the next N spawns of a shard
+
+  std::unique_ptr<ShardEndpoint> spawn(unsigned Shard,
+                                       std::string &Err) override {
+    ++SpawnCount[Shard];
+    if (FailSpawns[Shard] > 0) {
+      --FailSpawns[Shard];
+      Err = "injected spawn failure";
+      return nullptr;
+    }
+    auto S = std::make_unique<FakeShard>();
+    if (Configure)
+      Configure(Shard, SpawnCount[Shard], *S);
+    Live[Shard] = S.get();
+    return S;
+  }
+};
+
+class FakeClock : public RouterClock {
+public:
+  uint64_t Now = 1000;
+  std::vector<uint64_t> Sleeps;
+  uint64_t nowMs() override { return Now; }
+  void sleepMs(uint64_t Ms) override {
+    Sleeps.push_back(Ms);
+    Now += Ms;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Harness
+//===----------------------------------------------------------------------===//
+
+ShardRouterOptions testOptions(unsigned Shards) {
+  ShardRouterOptions O;
+  O.NumShards = Shards;
+  O.RequestTimeoutMs = 1000;
+  O.MaxRequestRetries = 2;
+  O.BackoffInitialMs = 100;
+  O.BackoffMaxMs = 5000;
+  O.BackoffResetMs = 60000;
+  O.BackoffJitter = 0.0; // exact sleep asserts; jitter has its own test
+  O.MaxRestartAttempts = 3;
+  return O;
+}
+
+std::vector<std::string> run(ShardRouter &R, const std::string &Line) {
+  std::vector<std::string> Out;
+  R.handleLine(Line, Out);
+  return Out;
+}
+
+const char *kRegisterFig =
+    "{\"op\":\"register-program\",\"name\":\"fig\",\"text\":\"proc main { "
+    "check(u); }\"}";
+
+std::string openLine(const std::string &Client) {
+  return "{\"op\":\"open-session\",\"program\":\"fig\",\"client\":\"" +
+         Client + "\"}";
+}
+
+/// First response must be ok:true and parse; returns it.
+JsonLine okResponse(const std::vector<std::string> &Out) {
+  EXPECT_EQ(Out.size(), 1u);
+  JsonLine R;
+  std::string Err;
+  EXPECT_TRUE(JsonLine::parse(Out.at(0), R, Err)) << Out.at(0);
+  EXPECT_TRUE(R.getBool("ok").value_or(false)) << Out.at(0);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Routing basics
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, PartitioningIsDeterministicAndCovering) {
+  FakeHost Host(4);
+  ShardRouter R(testOptions(4), Host);
+  // Stable across runs and platforms (fnv1a, not std::hash)...
+  EXPECT_EQ(R.shardFor("fig", "escape"), R.shardFor("fig", "escape"));
+  // ...and different tenants do spread (sanity, not uniformity).
+  bool Spread = false;
+  for (int I = 1; I < 16 && !Spread; ++I)
+    Spread = R.shardFor("fig", "client" + std::to_string(I)) !=
+             R.shardFor("fig", "client0");
+  EXPECT_TRUE(Spread);
+}
+
+TEST(ShardRouterTest, HappyPathRegistersRoutesAndDrains) {
+  FakeHost Host(2);
+  ShardRouter R(testOptions(2), Host);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  EXPECT_EQ(Host.SpawnCount[0] + Host.SpawnCount[1], 2u);
+
+  JsonLine Reg = okResponse(run(R, kRegisterFig));
+  EXPECT_EQ(Reg.getUInt("epoch").value_or(0), 1u);
+  // The broadcast reached both workers.
+  EXPECT_TRUE(Host.Live[0]->Programs.count("fig"));
+  EXPECT_TRUE(Host.Live[1]->Programs.count("fig"));
+
+  JsonLine Open = okResponse(run(R, openLine("escape")));
+  EXPECT_EQ(Open.getUInt("session").value_or(0), 1u);
+  JsonLine Sub = okResponse(
+      run(R, "{\"op\":\"submit\",\"session\":1,\"check\":7}"));
+  EXPECT_EQ(Sub.getUInt("job").value_or(0), 1u);
+
+  std::vector<std::string> Out = run(R, "{\"op\":\"drain\"}");
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_NE(Out[0].find("\"job\":1"), std::string::npos);
+  EXPECT_NE(Out[0].find("\"session\":1"), std::string::npos);
+  EXPECT_NE(Out[0].find("\"param\":\"[P7]\""), std::string::npos);
+  EXPECT_EQ(Out[1],
+            "{\"v\":1,\"ok\":true,\"op\":\"drain\",\"results\":1,"
+            "\"requeued\":0}");
+}
+
+TEST(ShardRouterTest, ShutdownReachesEveryWorkerAndStopsTheLoop) {
+  FakeHost Host(2);
+  ShardRouter R(testOptions(2), Host);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  std::vector<std::string> Out;
+  EXPECT_FALSE(R.handleLine("{\"op\":\"shutdown\"}", Out));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], "{\"v\":1,\"ok\":true,\"op\":\"shutdown\"}");
+  for (unsigned I = 0; I < 2; ++I)
+    EXPECT_NE(Host.Live[I]->RequestLog.back().find("shutdown"),
+              std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Death during register-program
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, DeathDuringRegisterRestartsAndRetries) {
+  FakeHost Host(2);
+  // Incarnation 1 of shard 1 dies the moment it sees a registration.
+  Host.Configure = [](unsigned Shard, unsigned Inc, FakeShard &S) {
+    if (Shard == 1 && Inc == 1)
+      S.DieOnRequest = [](const std::string &Op, const std::string &) {
+        return Op == "register-program";
+      };
+  };
+  ShardRouter R(testOptions(2), Host);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+
+  JsonLine Reg = okResponse(run(R, kRegisterFig));
+  EXPECT_EQ(Reg.getUInt("epoch").value_or(0), 1u);
+  EXPECT_EQ(Host.SpawnCount[1], 2u); // died once, respawned once
+  EXPECT_EQ(R.stats().Restarts, 1u);
+  // The journal was not yet updated when the shard died, so the replay
+  // sent nothing; the retried broadcast delivered the program.
+  EXPECT_TRUE(Host.Live[1]->Programs.count("fig"));
+  EXPECT_TRUE(Host.Live[0]->Programs.count("fig"));
+}
+
+//===----------------------------------------------------------------------===//
+// Death during a re-register migration
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, DeathDuringReRegisterReplaysOldStateThenRetries) {
+  FakeHost Host(2);
+  ShardRouter R(testOptions(2), Host);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  okResponse(run(R, kRegisterFig));
+  okResponse(run(R, openLine("escape")));
+  okResponse(run(R, "{\"op\":\"submit\",\"session\":1,\"check\":3}"));
+  unsigned Home = R.shardFor("fig", "escape");
+
+  // The session's shard dies on the NEXT registration (the re-register).
+  Host.Live[Home]->DieOnRequest = [](const std::string &Op,
+                                     const std::string &) {
+    return Op == "register-program";
+  };
+  std::string ReRegister =
+      "{\"op\":\"register-program\",\"name\":\"fig\",\"text\":\"proc main "
+      "{ check(v); }\"}";
+  JsonLine Reg = okResponse(run(R, ReRegister));
+  EXPECT_EQ(Reg.getUInt("epoch").value_or(0), 2u);
+
+  // The restart replayed the OLD journal first (program text at the time
+  // of death), re-opened the session, requeued the in-flight job - and
+  // only then did the retried re-register land.
+  FakeShard &S = *Host.Live[Home];
+  EXPECT_EQ(S.Programs.at("fig"), "proc main { check(v); }");
+  EXPECT_EQ(S.SessionPrograms.size(), 1u);
+  ASSERT_EQ(S.Pending.size(), 1u);
+  EXPECT_EQ(S.Pending.begin()->second.Check, 3u);
+  EXPECT_EQ(R.stats().Requeued, 1u);
+
+  // The requeued job still resolves, and the requeue is not silent.
+  std::vector<std::string> Out = run(R, "{\"op\":\"drain\"}");
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_NE(Out[0].find("\"job\":1"), std::string::npos);
+  EXPECT_NE(Out[0].find("\"status\":\"done\""), std::string::npos);
+  EXPECT_NE(Out[1].find("\"requeued\":1"), std::string::npos);
+
+  JsonLine Exp = okResponse(run(R, "{\"op\":\"explain\",\"job\":1}"));
+  EXPECT_EQ(Exp.getUInt("requeues").value_or(0), 1u);
+  EXPECT_NE(Exp.getString("note").value_or("").find("requeued"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Death with zero pending jobs
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, ZeroPendingDeathRestartsWithoutRequeue) {
+  FakeHost Host(2);
+  ShardRouter R(testOptions(2), Host);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  okResponse(run(R, kRegisterFig));
+  okResponse(run(R, openLine("escape")));
+  unsigned Home = R.shardFor("fig", "escape");
+
+  Host.Live[Home]->kill();
+  // The next request routed there detects the death, restarts, replays
+  // the registration and the session - and requeues nothing.
+  JsonLine Sub = okResponse(
+      run(R, "{\"op\":\"submit\",\"session\":1,\"check\":9}"));
+  EXPECT_EQ(Sub.getUInt("job").value_or(0), 1u);
+  EXPECT_EQ(R.stats().Restarts, 1u);
+  EXPECT_EQ(R.stats().Requeued, 0u);
+  FakeShard &S = *Host.Live[Home];
+  EXPECT_TRUE(S.Programs.count("fig"));
+  EXPECT_EQ(S.SessionPrograms.size(), 1u);
+  ASSERT_EQ(S.Pending.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hung shards: per-request timeout, bounded retries
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, HungShardIsKilledAndRetriesAreBounded) {
+  FakeHost Host(1);
+  // Every incarnation answers ping (so restarts "succeed") but swallows
+  // real work: the pathological always-hung shard.
+  Host.Configure = [](unsigned, unsigned, FakeShard &S) {
+    S.HangOnNonPing = true;
+  };
+  FakeClock Clock;
+  ShardRouter R(testOptions(1), Host, &Clock);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+
+  std::vector<std::string> Out = run(R, kRegisterFig);
+  ASSERT_EQ(Out.size(), 1u);
+  JsonLine Resp;
+  ASSERT_TRUE(JsonLine::parse(Out[0], Resp, Err));
+  EXPECT_FALSE(Resp.getBool("ok").value_or(true));
+  EXPECT_NE(Resp.getString("error").value_or("").find("did not answer"),
+            std::string::npos);
+  // MaxRequestRetries=2 -> exactly 3 attempts: the original incarnation
+  // plus two restarts, every one killed after its timeout.
+  EXPECT_EQ(Host.SpawnCount[0], 3u);
+  EXPECT_EQ(R.stats().Restarts, 2u);
+}
+
+TEST(ShardRouterTest, RestartExhaustionFailsPendingJobsLoudly) {
+  FakeHost Host(1);
+  FakeClock Clock; // every failed respawn sleeps the ladder; keep it fake
+  ShardRouter R(testOptions(1), Host, &Clock);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  okResponse(run(R, kRegisterFig));
+  okResponse(run(R, openLine("escape")));
+  okResponse(run(R, "{\"op\":\"submit\",\"session\":1,\"check\":1}"));
+
+  // The shard dies and every respawn fails: the job must fail with a
+  // structured error instead of hanging the drain forever.
+  Host.Live[0]->kill();
+  Host.FailSpawns[0] = 1000;
+  std::vector<std::string> Out = run(R, "{\"op\":\"drain\"}");
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_NE(Out[0].find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(Out[0].find("unavailable"), std::string::npos);
+  EXPECT_NE(Out[1].find("\"results\":1"), std::string::npos);
+  EXPECT_EQ(R.stats().Failed, 1u);
+  EXPECT_EQ(R.stats().Pending, 0u);
+
+  // A later drain must not re-emit the failed job.
+  Out = run(R, "{\"op\":\"drain\"}");
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_NE(Out[0].find("\"results\":0"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Cancel vs requeue
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, CancelledJobsAreNotResurrectedByReplay) {
+  FakeHost Host(1);
+  ShardRouter R(testOptions(1), Host);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  okResponse(run(R, kRegisterFig));
+  okResponse(run(R, openLine("escape")));
+  okResponse(run(R, "{\"op\":\"submit\",\"session\":1,\"check\":1}"));
+  okResponse(run(R, "{\"op\":\"submit\",\"session\":1,\"check\":2}"));
+  okResponse(run(R, "{\"op\":\"cancel\",\"session\":1}"));
+
+  Host.Live[0]->kill();
+  std::vector<std::string> Out = run(R, "{\"op\":\"drain\"}");
+  ASSERT_EQ(Out.size(), 3u);
+  for (int I = 0; I < 2; ++I) {
+    EXPECT_NE(Out[I].find("\"status\":\"cancelled\""), std::string::npos);
+    EXPECT_NE(Out[I].find("cancelled by client"), std::string::npos);
+  }
+  // The replayed worker never saw the cancelled jobs again.
+  EXPECT_TRUE(Host.Live[0]->Pending.empty());
+  EXPECT_EQ(R.stats().Requeued, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Backoff ladder (fake clock)
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, BackoffDoublesToCapAndResetsAfterHealthyInterval) {
+  FakeHost Host(1);
+  FakeClock Clock;
+  ShardRouter R(testOptions(1), Host, &Clock);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  EXPECT_TRUE(Clock.Sleeps.empty()); // first start pays no backoff
+  okResponse(run(R, kRegisterFig));
+
+  // Eight rapid deaths: 100,200,400,800,1600,3200,5000,5000 (capped).
+  for (int I = 0; I < 8; ++I) {
+    Host.Live[0]->kill();
+    okResponse(run(R, openLine("c" + std::to_string(I))));
+  }
+  ASSERT_EQ(Clock.Sleeps.size(), 8u);
+  EXPECT_EQ(Clock.Sleeps,
+            (std::vector<uint64_t>{100, 200, 400, 800, 1600, 3200, 5000,
+                                   5000}));
+  EXPECT_EQ(R.nextBackoffMsForTesting(0), 5000u);
+
+  // A long healthy interval earns a fresh ladder.
+  Clock.Now += 60000;
+  Host.Live[0]->kill();
+  okResponse(run(R, openLine("fresh")));
+  ASSERT_EQ(Clock.Sleeps.size(), 9u);
+  EXPECT_EQ(Clock.Sleeps.back(), 100u);
+}
+
+TEST(ShardRouterTest, BackoffJitterStaysInBand) {
+  FakeHost Host(1);
+  FakeClock Clock;
+  ShardRouterOptions O = testOptions(1);
+  O.BackoffJitter = 0.25;
+  ShardRouter R(O, Host, &Clock);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  okResponse(run(R, kRegisterFig));
+  Host.Live[0]->kill();
+  okResponse(run(R, openLine("escape")));
+  ASSERT_EQ(Clock.Sleeps.size(), 1u);
+  // delay in [base, base * 1.25] with base = 100.
+  EXPECT_GE(Clock.Sleeps[0], 100u);
+  EXPECT_LE(Clock.Sleeps[0], 125u);
+}
+
+TEST(ShardRouterTest, SpawnFailuresWithinOneEpisodeKeepEscalating) {
+  FakeHost Host(1);
+  FakeClock Clock;
+  ShardRouter R(testOptions(1), Host, &Clock);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  okResponse(run(R, kRegisterFig));
+
+  // Death, then two spawn failures inside the restart episode: three
+  // sleeps, each one rung higher on the ladder.
+  Host.Live[0]->kill();
+  Host.FailSpawns[0] = 2;
+  okResponse(run(R, openLine("escape")));
+  ASSERT_EQ(Clock.Sleeps.size(), 3u);
+  EXPECT_EQ(Clock.Sleeps, (std::vector<uint64_t>{100, 200, 400}));
+}
+
+} // namespace
+} // namespace service
+} // namespace optabs

@@ -1,0 +1,276 @@
+//===- TransportTest.cpp - Socket/stdio line transport tests --------------===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The byte layer under the protocol (service/Transport.h): spec parsing,
+// buffered line reads with timeouts, the bounded-line overflow contract
+// (consume through the newline, stay line-aligned), and real unix/tcp
+// listen-connect roundtrips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Transport.h"
+
+#include "gtest/gtest.h"
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+namespace optabs {
+namespace service {
+namespace {
+
+class TransportTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() { signal(SIGPIPE, SIG_IGN); }
+};
+
+//===----------------------------------------------------------------------===//
+// ListenSpec
+//===----------------------------------------------------------------------===//
+
+TEST_F(TransportTest, SpecParsesStdio) {
+  ListenSpec S;
+  std::string Err;
+  ASSERT_TRUE(ListenSpec::parse("stdio", S, Err)) << Err;
+  EXPECT_EQ(S.K, ListenSpec::Kind::Stdio);
+  EXPECT_EQ(S.str(), "stdio");
+}
+
+TEST_F(TransportTest, SpecParsesUnix) {
+  ListenSpec S;
+  std::string Err;
+  ASSERT_TRUE(ListenSpec::parse("unix:/tmp/x.sock", S, Err)) << Err;
+  EXPECT_EQ(S.K, ListenSpec::Kind::Unix);
+  EXPECT_EQ(S.Path, "/tmp/x.sock");
+  EXPECT_EQ(S.str(), "unix:/tmp/x.sock");
+}
+
+TEST_F(TransportTest, SpecParsesTcp) {
+  ListenSpec S;
+  std::string Err;
+  ASSERT_TRUE(ListenSpec::parse("tcp:7077", S, Err)) << Err;
+  EXPECT_EQ(S.K, ListenSpec::Kind::Tcp);
+  EXPECT_EQ(S.Port, 7077);
+  EXPECT_EQ(S.str(), "tcp:7077");
+}
+
+TEST_F(TransportTest, SpecRejectsGarbage) {
+  ListenSpec S;
+  std::string Err;
+  EXPECT_FALSE(ListenSpec::parse("", S, Err));
+  EXPECT_FALSE(ListenSpec::parse("udp:99", S, Err));
+  EXPECT_FALSE(ListenSpec::parse("unix:", S, Err));
+  EXPECT_FALSE(ListenSpec::parse("tcp:", S, Err));
+  EXPECT_FALSE(ListenSpec::parse("tcp:notaport", S, Err));
+  EXPECT_FALSE(ListenSpec::parse("tcp:70000", S, Err));
+  // sun_path is a fixed-size buffer; an overlong path must be rejected at
+  // parse time, not truncated at bind time.
+  EXPECT_FALSE(ListenSpec::parse("unix:/" + std::string(200, 'x'), S, Err));
+  EXPECT_NE(Err.find("path"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// LineChannel over a socketpair
+//===----------------------------------------------------------------------===//
+
+struct ChannelPair {
+  LineChannel A, B;
+  ChannelPair(size_t MaxLineBytes = DefaultMaxLineBytes) {
+    int Fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    A = LineChannel(Fds[0], Fds[0], /*OwnsFds=*/true, MaxLineBytes);
+    B = LineChannel(Fds[1], Fds[1], /*OwnsFds=*/true, MaxLineBytes);
+  }
+};
+
+TEST_F(TransportTest, RoundTripsLines) {
+  ChannelPair P;
+  ASSERT_TRUE(P.A.writeLine("hello"));
+  ASSERT_TRUE(P.A.writeLine("world"));
+  std::string L;
+  ASSERT_EQ(P.B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "hello");
+  ASSERT_EQ(P.B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "world");
+}
+
+TEST_F(TransportTest, SplitsCoalescedAndPartialWrites) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  LineChannel B(Fds[1], Fds[1], /*OwnsFds=*/true);
+  // Two lines in one write, then a line dribbled in two pieces.
+  ASSERT_EQ(::write(Fds[0], "one\ntwo\nthr", 11), 11);
+  std::string L;
+  ASSERT_EQ(B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "one");
+  ASSERT_EQ(B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "two");
+  ASSERT_EQ(::write(Fds[0], "ee\n", 3), 3);
+  ASSERT_EQ(B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "three");
+  ::close(Fds[0]);
+}
+
+TEST_F(TransportTest, TimesOutWithoutData) {
+  ChannelPair P;
+  std::string L;
+  EXPECT_EQ(P.B.readLine(L, 50), LineChannel::ReadStatus::Timeout);
+  // The channel stays usable after a timeout.
+  ASSERT_TRUE(P.A.writeLine("late"));
+  ASSERT_EQ(P.B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "late");
+}
+
+TEST_F(TransportTest, ReportsEofAndFinalUnterminatedLine) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  LineChannel B(Fds[1], Fds[1], /*OwnsFds=*/true);
+  ASSERT_EQ(::write(Fds[0], "done\npartial", 12), 12);
+  ::close(Fds[0]);
+  std::string L;
+  ASSERT_EQ(B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "done");
+  // An unterminated final fragment still counts as a line...
+  ASSERT_EQ(B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "partial");
+  // ...and only then EOF.
+  EXPECT_EQ(B.readLine(L, 1000), LineChannel::ReadStatus::Eof);
+}
+
+TEST_F(TransportTest, OverflowConsumesThroughNewlineAndStaysAligned) {
+  ChannelPair P(/*MaxLineBytes=*/16);
+  std::string Long(100, 'x');
+  ASSERT_TRUE(P.A.writeLine(Long));
+  ASSERT_TRUE(P.A.writeLine("after"));
+  std::string L;
+  // The over-long line is reported once and fully discarded...
+  ASSERT_EQ(P.B.readLine(L, 1000), LineChannel::ReadStatus::Overflow);
+  // ...and the stream is still line-aligned: the next line is intact.
+  ASSERT_EQ(P.B.readLine(L, 1000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(L, "after");
+}
+
+TEST_F(TransportTest, OverflowSpanningManyReadsThenEof) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  LineChannel B(Fds[1], Fds[1], /*OwnsFds=*/true, /*MaxLineBytes=*/8);
+  std::string Huge(64 * 1024, 'y'); // far beyond one kernel buffer read
+  ASSERT_EQ(::write(Fds[0], Huge.data(), 4096), 4096);
+  std::thread Writer([&] {
+    ::write(Fds[0], Huge.data(), Huge.size());
+    ::close(Fds[0]);
+  });
+  std::string L;
+  EXPECT_EQ(B.readLine(L, 5000), LineChannel::ReadStatus::Overflow);
+  EXPECT_EQ(B.readLine(L, 5000), LineChannel::ReadStatus::Eof);
+  Writer.join();
+}
+
+TEST_F(TransportTest, WriteToClosedPeerFails) {
+  ChannelPair P;
+  P.B.close();
+  // The first write may land in the kernel buffer; keep writing until the
+  // RST surfaces. Requires SIGPIPE ignored (SetUpTestSuite).
+  bool Failed = false;
+  for (int I = 0; I < 64 && !Failed; ++I)
+    Failed = !P.A.writeLine(std::string(4096, 'z'));
+  EXPECT_TRUE(Failed);
+}
+
+//===----------------------------------------------------------------------===//
+// Listener + connectChannel
+//===----------------------------------------------------------------------===//
+
+void roundTrip(Listener &L) {
+  std::thread Client([&] {
+    std::string CErr;
+    LineChannel Ch = connectChannel(L.spec(), 5000, CErr);
+    ASSERT_TRUE(Ch.valid()) << CErr;
+    ASSERT_TRUE(Ch.writeLine("ping"));
+    std::string R;
+    ASSERT_EQ(Ch.readLine(R, 5000), LineChannel::ReadStatus::Line);
+    EXPECT_EQ(R, "pong");
+  });
+
+  bool TimedOut = false, Interrupted = false;
+  LineChannel Server = L.acceptChannel(5000, TimedOut, Interrupted);
+  ASSERT_TRUE(Server.valid()) << "timeout=" << TimedOut;
+  std::string R;
+  ASSERT_EQ(Server.readLine(R, 5000), LineChannel::ReadStatus::Line);
+  EXPECT_EQ(R, "ping");
+  ASSERT_TRUE(Server.writeLine("pong"));
+  Client.join();
+}
+
+TEST_F(TransportTest, UnixListenConnectRoundTrip) {
+  ListenSpec Spec;
+  std::string Err;
+  std::string Path = "/tmp/optabs-transport-test-" +
+                     std::to_string(::getpid()) + ".sock";
+  ASSERT_TRUE(ListenSpec::parse("unix:" + Path, Spec, Err)) << Err;
+  {
+    Listener L;
+    ASSERT_TRUE(Listener::open(Spec, L, Err)) << Err;
+    roundTrip(L);
+  }
+  // The listener unlinks its socket file on destruction.
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0);
+}
+
+TEST_F(TransportTest, TcpEphemeralPortRoundTrip) {
+  // tcp:0 asks the kernel for a port; spec() reports the real one.
+  ListenSpec Spec;
+  std::string Err;
+  ASSERT_TRUE(ListenSpec::parse("tcp:0", Spec, Err)) << Err;
+  Listener L;
+  ASSERT_TRUE(Listener::open(Spec, L, Err)) << Err;
+  ASSERT_NE(L.spec().Port, 0);
+  roundTrip(L);
+}
+
+TEST_F(TransportTest, StaleUnixSocketFileIsReplaced) {
+  std::string Path = "/tmp/optabs-transport-stale-" +
+                     std::to_string(::getpid()) + ".sock";
+  ListenSpec Spec;
+  std::string Err;
+  ASSERT_TRUE(ListenSpec::parse("unix:" + Path, Spec, Err)) << Err;
+  // Simulate a crashed server: a bound socket file with no process behind
+  // it (bind by hand, close the fd, never unlink).
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  struct sockaddr_un SA = {};
+  SA.sun_family = AF_UNIX;
+  std::snprintf(SA.sun_path, sizeof(SA.sun_path), "%s", Path.c_str());
+  ::unlink(Path.c_str());
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<struct sockaddr *>(&SA), sizeof(SA)),
+            0);
+  ::close(Fd);
+  ASSERT_EQ(::access(Path.c_str(), F_OK), 0);
+  // The dead server's socket file must not block the next bind.
+  Listener Second;
+  ASSERT_TRUE(Listener::open(Spec, Second, Err)) << Err;
+}
+
+TEST_F(TransportTest, ConnectTimesOutWhenNobodyListens) {
+  ListenSpec Spec;
+  std::string Err;
+  ASSERT_TRUE(
+      ListenSpec::parse("unix:/tmp/optabs-nobody-home.sock", Spec, Err));
+  std::string CErr;
+  LineChannel Ch = connectChannel(Spec, 100, CErr);
+  EXPECT_FALSE(Ch.valid());
+  EXPECT_FALSE(CErr.empty());
+}
+
+} // namespace
+} // namespace service
+} // namespace optabs

@@ -1,15 +1,33 @@
-//===- optabs_serve.cpp - JSONL analysis server over stdin/stdout ---------===//
+//===- optabs_serve.cpp - JSONL analysis server over stdio or sockets -----===//
 //
 // A long-lived front end to service::AnalysisService speaking the
 // versioned JSONL protocol of service/Protocol.h: one request object per
-// stdin line, one (or, for "drain", several) response objects per stdout
-// line. See the Protocol.h file comment for the operation reference and
+// line, one (or, for "drain"/"trace", several) response objects per line.
+// See the Protocol.h file comment for the operation reference and
 // README.md for a quick-start transcript.
 //
-//   optabs-serve [--threads=N] [--cache-capacity=N] [--max-sessions=N]
-//                [--metrics=PATH] [--incremental=0|1] [--trace-capacity=N]
+//   optabs-serve [--listen=unix:PATH|tcp:PORT] [--threads=N]
+//                [--cache-capacity=N] [--max-sessions=N] [--metrics=PATH]
+//                [--incremental=0|1] [--read-timeout-ms=N]
+//                [--max-line-bytes=N] [--trace-capacity=N]
 //                [--trace-jsonl=PATH] [--trace-chrome=PATH]
 //                [--trace-slow-ms=X]
+//
+// Transport (service/Transport.h): by default the server speaks on
+// stdin/stdout; --listen binds a Unix-domain socket or a loopback TCP
+// port and serves one connection at a time - each accepted connection
+// runs the same request loop against the same long-lived service, so
+// programs, sessions, and caches survive across connections (this is how
+// optabs-shardd drives its worker shards). A "shutdown" op ends the
+// process from any transport; a disconnect merely returns the server to
+// accept(). Lines longer than --max-line-bytes are consumed and answered
+// with a structured error; --read-timeout-ms bounds how long a socket
+// connection may sit silent before it is dropped (0 = no limit).
+//
+// Signals: SIGTERM/SIGINT run the same graceful path as the "shutdown"
+// op - the in-flight batch finishes, and the --metrics /--trace-jsonl/
+// --trace-chrome artifacts are written - instead of the default
+// die-and-lose-every-dump disposition.
 //
 // --incremental (default 1) controls diff-based incremental
 // re-registration (Config::ServiceConfig::IncrementalReRegister). With it
@@ -29,15 +47,19 @@
 //
 // The server runs the service with AutoDispatch off: submitted jobs are
 // queued and only execute inside "drain", which then emits every finished
-// job's result in job-id order. Responses carry no wall-clock fields, so a
-// scripted session always produces a byte-identical transcript - CI boots
-// this binary, pipes tools/testdata/serve_session.jsonl through it, and
-// diffs the output against the checked-in golden file.
+// job's result in job-id order. Responses carry no wall-clock fields
+// (ping's uptime_s is scrubbed by the transcript runner), so a scripted
+// session always produces a byte-identical transcript - CI boots this
+// binary, pipes tools/testdata/serve_session.jsonl through it, and diffs
+// the output against the checked-in golden file.
 //
 //===----------------------------------------------------------------------===//
 
 #include <optabs/optabs.h>
 
+#include "service/Transport.h"
+
+#include <csignal>
 #include <future>
 #include <iostream>
 #include <map>
@@ -50,15 +72,35 @@ using tracer::JsonObject;
 
 namespace {
 
+/// Set by the SIGTERM/SIGINT handler; the request loop checks it after
+/// every interrupted or completed read and runs the graceful path.
+volatile sig_atomic_t GShutdownSignal = 0;
+
+void onShutdownSignal(int Sig) { GShutdownSignal = Sig; }
+
+/// Installed without SA_RESTART so a signal interrupts the blocking
+/// read()/poll()/accept() with EINTR instead of silently restarting it.
+void installSignalHandlers() {
+  struct sigaction SA {};
+  SA.sa_handler = onShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+  // A client vanishing mid-response must surface as a write error, not
+  // kill the server.
+  signal(SIGPIPE, SIG_IGN);
+}
+
 struct ServerState {
   std::unique_ptr<service::AnalysisService> Svc;
   std::map<uint64_t, service::Session> Sessions;
   /// Futures of every accepted job, in submission (= job-id) order;
   /// drained and cleared by the "drain" op.
   std::vector<std::future<service::QueryResult>> InFlight;
+  Timer Uptime;
+  uint64_t LineSeq = 0; ///< per-request trace id (comments don't count)
 };
-
-void emit(const JsonObject &O) { std::cout << O.str() << "\n" << std::flush; }
 
 /// Reads the per-session configuration fields of an "open-session"
 /// request into \p C. Returns false (with \p Err) on an unknown strategy
@@ -105,7 +147,7 @@ bool readSessionConfig(const service::JsonLine &Req, Config &C,
   return true;
 }
 
-void emitResult(const service::QueryResult &R) {
+std::string resultLine(const service::QueryResult &R) {
   JsonObject O = service::response(true);
   O.field("op", "result");
   O.field("job", R.Job);
@@ -125,315 +167,401 @@ void emitResult(const service::QueryResult &R) {
   } else {
     O.field("error", R.Error);
   }
-  emit(O);
+  return O.str();
 }
 
-int serve(const Config &Base, const std::string &MetricsPath) {
+/// Why the per-connection request loop returned.
+enum class LoopExit {
+  Shutdown,     ///< "shutdown" op: stop the whole server
+  Disconnected, ///< EOF/error on this connection: accept the next one
+  Signalled,    ///< SIGTERM/SIGINT: graceful shutdown
+};
+
+/// Handles one parsed request line. Returns false for "shutdown".
+bool handleRequest(ServerState &St, const Config &Base,
+                   const std::string &Line, service::LineChannel &Ch) {
+  auto Emit = [&Ch](const std::string &S) { Ch.writeLine(S); };
+  auto EmitObj = [&Ch](const JsonObject &O) { Ch.writeLine(O.str()); };
+
+  service::JsonLine Req;
+  std::string Err;
+  if (!service::JsonLine::parse(Line, Req, Err)) {
+    EmitObj(JsonObject(service::response(false))
+                .field("error", "malformed request: " + Err));
+    return true;
+  }
+  auto Op = Req.getString("op");
+  if (!Op) {
+    EmitObj(JsonObject(service::response(false))
+                .field("error", "missing 'op' field"));
+    return true;
+  }
+
+  if (*Op == "register-program") {
+    auto Name = Req.getString("name");
+    auto Text = Req.getString("text");
+    if (!Name || !Text) {
+      Emit(service::errorLine(*Op,
+                              "register-program needs 'name' and 'text'"));
+      return true;
+    }
+    service::RegisterResult R = St.Svc->registerProgram(*Name, *Text);
+    if (!R.Ok) {
+      Emit(service::errorLine(*Op, R.Error));
+      return true;
+    }
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("name", *Name);
+    O.field("epoch", R.Epoch);
+    O.field("checks", R.Checks);
+    O.field("allocs", R.Allocs);
+    // The dirty set of a re-registration, only under --incremental=1 so
+    // the legacy transcript stays byte-identical with the feature off.
+    if (R.ReRegistered && Base.Service.IncrementalReRegister) {
+      O.field("incremental", R.Incremental);
+      O.field("dirty_checks", R.DirtyChecks);
+      if (R.Incremental) {
+        O.field("dirty_procs", R.DirtyProcs.size());
+        std::string Joined;
+        for (const std::string &P : R.DirtyProcs) {
+          if (!Joined.empty())
+            Joined += ',';
+          Joined += P;
+        }
+        O.field("dirty", Joined);
+      }
+    }
+    EmitObj(O);
+  } else if (*Op == "open-session") {
+    service::SessionSpec Spec;
+    Spec.SessionConfig = Config::defaults();
+    if (auto P = Req.getString("program"))
+      Spec.Program = *P;
+    if (auto C = Req.getString("client"))
+      Spec.Client = *C;
+    if (auto P = Req.getString("property"))
+      Spec.Property = *P;
+    std::string CfgErr;
+    if (!readSessionConfig(Req, Spec.SessionConfig, CfgErr)) {
+      Emit(service::errorLine(*Op, CfgErr));
+      return true;
+    }
+    std::string OpenErr;
+    service::Session S = St.Svc->openSession(Spec, OpenErr);
+    if (!S.valid()) {
+      Emit(service::errorLine(*Op, OpenErr));
+      return true;
+    }
+    St.Sessions[S.id()] = S;
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("session", S.id());
+    EmitObj(O);
+  } else if (*Op == "submit") {
+    auto Sess = Req.getUInt("session");
+    auto Check = Req.getUInt("check");
+    if (!Sess || !Check) {
+      Emit(service::errorLine(*Op, "submit needs 'session' and 'check'"));
+      return true;
+    }
+    auto It = St.Sessions.find(*Sess);
+    if (It == St.Sessions.end()) {
+      Emit(service::errorLine(*Op,
+                              "unknown session " + std::to_string(*Sess)));
+      return true;
+    }
+    service::JobSpec Job;
+    Job.Check = static_cast<uint32_t>(*Check);
+    if (auto Site = Req.getUInt("site"))
+      Job.Site = static_cast<uint32_t>(*Site);
+    if (auto Prio = Req.getInt("priority"))
+      Job.Priority = static_cast<int32_t>(*Prio);
+    // Protocol ingress mints the request's trace identity: the line
+    // sequence number, stable across reruns of the same script.
+    Job.Parent.TraceId = St.LineSeq;
+    Job.Parent.SpanId = St.LineSeq;
+    uint64_t JobId = 0;
+    std::future<service::QueryResult> F = It->second.submit(Job, &JobId);
+    if (JobId == 0) {
+      // Rejected synchronously: the ready future carries the reason.
+      service::QueryResult R = F.get();
+      JsonObject O = service::response(false);
+      O.field("op", *Op);
+      O.field("status", service::jobStatusName(R.Status));
+      O.field("error", R.Error);
+      EmitObj(O);
+      return true;
+    }
+    St.InFlight.push_back(std::move(F));
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("job", JobId);
+    EmitObj(O);
+  } else if (*Op == "cancel") {
+    auto Sess = Req.getUInt("session");
+    auto It = Sess ? St.Sessions.find(*Sess) : St.Sessions.end();
+    if (It == St.Sessions.end()) {
+      Emit(service::errorLine(*Op, "unknown session"));
+      return true;
+    }
+    size_t N = It->second.cancelPending();
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("cancelled", N);
+    EmitObj(O);
+  } else if (*Op == "close-session") {
+    auto Sess = Req.getUInt("session");
+    auto It = Sess ? St.Sessions.find(*Sess) : St.Sessions.end();
+    if (It == St.Sessions.end()) {
+      Emit(service::errorLine(*Op, "unknown session"));
+      return true;
+    }
+    It->second.close();
+    St.Sessions.erase(It);
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    EmitObj(O);
+  } else if (*Op == "drain") {
+    St.Svc->drain();
+    for (std::future<service::QueryResult> &F : St.InFlight)
+      Emit(resultLine(F.get()));
+    size_t N = St.InFlight.size();
+    St.InFlight.clear();
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("results", N);
+    EmitObj(O);
+  } else if (*Op == "ping") {
+    // Liveness + backlog in one deterministic-except-uptime line: the
+    // shard supervisor health-checks workers with this op, and the
+    // transcript runner's SCRUB step zeroes uptime_s.
+    service::ServiceStats S = St.Svc->stats();
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("server", "optabs-serve");
+    O.field("protocol", service::ProtocolVersion);
+    O.field("uptime_s", St.Uptime.seconds());
+    O.field("pending", S.QueueDepth);
+    EmitObj(O);
+  } else if (*Op == "stats") {
+    service::ServiceStats S = St.Svc->stats();
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("programs", S.ProgramsRegistered);
+    O.field("sessions_opened", S.SessionsOpened);
+    O.field("sessions_closed", S.SessionsClosed);
+    O.field("submitted", S.JobsSubmitted);
+    O.field("rejected", S.JobsRejected);
+    O.field("cancelled", S.JobsCancelled);
+    O.field("completed", S.JobsCompleted);
+    O.field("failed", S.JobsFailed);
+    O.field("batches", S.Batches);
+    O.field("coalesced", S.CoalescedJobs);
+    O.field("queue_depth", S.QueueDepth);
+    O.field("forward_runs", S.ForwardRuns);
+    O.field("backward_runs", S.BackwardRuns);
+    O.field("cache_hits", S.CacheHits);
+    O.field("cache_misses", S.CacheMisses);
+    O.field("cache_evictions", S.CacheEvictions);
+    O.field("stale_invalidated", S.StaleEntriesInvalidated);
+    if (Base.Service.IncrementalReRegister) {
+      O.field("entries_migrated", S.EntriesMigrated);
+      O.field("entries_invalidated", S.EntriesInvalidated);
+      O.field("procs_dirty", S.ProceduresDirty);
+      O.field("verdicts_replayed", S.VerdictsReplayed);
+    }
+    std::string Pending;
+    for (const auto &[Id, N] : S.PendingBySession) {
+      if (!Pending.empty())
+        Pending += ',';
+      Pending += std::to_string(Id) + ":" + std::to_string(N);
+    }
+    O.field("pending_by_session", Pending);
+    O.field("batch_jobs_p50", S.BatchJobsP50);
+    O.field("batch_jobs_p90", S.BatchJobsP90);
+    O.field("batch_jobs_p99", S.BatchJobsP99);
+    O.field("fixpoints_amortized", S.FixpointsAmortized);
+    O.field("slow_queries", S.SlowQueries);
+    EmitObj(O);
+  } else if (*Op == "trace") {
+    if (!St.Svc->tracingEnabled()) {
+      Emit(service::errorLine(
+          *Op, "tracing is disabled (enable with "
+               "--trace-capacity=N or OPTABS_SERVICE_TRACE=1)"));
+      return true;
+    }
+    // Dropped count first: drain() empties the ring but the overflow
+    // counter keeps the history.
+    uint64_t Dropped = St.Svc->traceDropped();
+    std::vector<support::TraceEvent> Events = St.Svc->drainTrace();
+    for (const support::TraceEvent &E : Events) {
+      JsonObject O = service::response(true);
+      O.field("op", "trace-event");
+      O.field("seq", E.Seq);
+      O.field("kind", E.Kind);
+      O.field("trace", E.TraceId);
+      O.field("span", E.SpanId);
+      O.field("job", E.Job);
+      O.field("session", E.Session);
+      O.field("batch", E.Batch);
+      O.field("ts_ns", E.TsNs);
+      O.field("u0", E.U0);
+      O.field("u1", E.U1);
+      O.field("seconds", E.D0);
+      O.field("note", E.Note);
+      EmitObj(O);
+    }
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("events", Events.size());
+    O.field("dropped", Dropped);
+    EmitObj(O);
+  } else if (*Op == "explain") {
+    auto JobN = Req.getUInt("job");
+    if (!JobN) {
+      Emit(service::errorLine(*Op, "explain needs 'job'"));
+      return true;
+    }
+    service::JobTimeline T = St.Svc->explain(*JobN);
+    if (!T.Found) {
+      Emit(service::errorLine(
+          *Op, "no timeline for job " + std::to_string(*JobN) +
+                   " (tracing disabled, job never admitted, "
+                   "or entry evicted)"));
+      return true;
+    }
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("job", T.Job);
+    O.field("session", T.Session);
+    O.field("check", T.Check);
+    O.field("site", T.Site);
+    O.field("status", T.Status);
+    if (!T.Verdict.empty())
+      O.field("verdict", T.Verdict);
+    O.field("batch", T.Batch);
+    O.field("peers", T.Peers);
+    O.field("queue_wait_ns", T.queueWaitNs());
+    O.field("batch_wait_ns", T.batchWaitNs());
+    O.field("run_ns", T.runNs());
+    O.field("e2e_ns", T.endToEndNs());
+    O.field("plan_s", T.PlanS);
+    O.field("forward_s", T.ForwardS);
+    O.field("classify_s", T.ClassifyS);
+    O.field("extract_s", T.ExtractS);
+    O.field("backward_s", T.BackwardS);
+    O.field("merge_s", T.MergeS);
+    O.field("cache_hits", T.CacheHits);
+    O.field("cache_misses", T.CacheMisses);
+    O.field("replayed", T.Replayed);
+    if (T.Replayed) {
+      O.field("data_epoch", T.ReplayDataEpoch);
+      O.field("clean_footprint", T.CleanFootprint);
+    }
+    EmitObj(O);
+  } else if (*Op == "shutdown") {
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    EmitObj(O);
+    return false;
+  } else {
+    Emit(service::errorLine(*Op, "unknown op '" + *Op + "'"));
+  }
+  return true;
+}
+
+/// Serves one connection until shutdown, disconnect, or a signal.
+/// \p ReadTimeoutMs only applies to socket connections (stdio blocks).
+LoopExit requestLoop(ServerState &St, const Config &Base,
+                     service::LineChannel &Ch, int ReadTimeoutMs) {
+  std::string Line;
+  for (;;) {
+    if (GShutdownSignal)
+      return LoopExit::Signalled;
+    service::LineChannel::ReadStatus RS = Ch.readLine(Line, ReadTimeoutMs);
+    switch (RS) {
+    case service::LineChannel::ReadStatus::Line:
+      break;
+    case service::LineChannel::ReadStatus::Eof:
+    case service::LineChannel::ReadStatus::Error:
+      return LoopExit::Disconnected;
+    case service::LineChannel::ReadStatus::Timeout:
+      // Structured goodbye, then drop the connection: a silent peer must
+      // not pin the accept loop forever.
+      Ch.writeLine(service::errorLine(
+          "", "read timeout after " + std::to_string(ReadTimeoutMs) +
+                  "ms; closing connection"));
+      return LoopExit::Disconnected;
+    case service::LineChannel::ReadStatus::Overflow:
+      Ch.writeLine(service::errorLine(
+          "", "request line exceeds " + std::to_string(Ch.maxLineBytes()) +
+                  " bytes; line dropped"));
+      continue;
+    case service::LineChannel::ReadStatus::Interrupted:
+      continue; // loop top re-checks the signal flag
+    }
+    if (Line.empty() || Line[0] == '#')
+      continue; // blank lines and comments keep scripted sessions readable
+    ++St.LineSeq;
+    if (!handleRequest(St, Base, Line, Ch))
+      return LoopExit::Shutdown;
+  }
+}
+
+struct ServeFlags {
+  service::ListenSpec Listen;
+  uint64_t ReadTimeoutMs = 0; ///< 0 = never time a connection out
+  uint64_t MaxLineBytes = service::DefaultMaxLineBytes;
+  std::string MetricsPath;
+};
+
+int serve(const Config &Base, const ServeFlags &F) {
   service::AnalysisService::Options Opts;
   Opts.Base = Base;
   Opts.AutoDispatch = false; // jobs run inside "drain": stable transcripts
   ServerState St;
   St.Svc = std::make_unique<service::AnalysisService>(std::move(Opts));
 
-  std::string Line;
-  uint64_t LineSeq = 0; ///< per-request trace id (comments don't count)
-  while (std::getline(std::cin, Line)) {
-    if (Line.empty() || Line[0] == '#')
-      continue; // blank lines and comments keep scripted sessions readable
-    ++LineSeq;
-    service::JsonLine Req;
+  if (F.Listen.K == service::ListenSpec::Kind::Stdio) {
+    service::LineChannel Ch(0, 1, /*OwnsFds=*/false, F.MaxLineBytes);
+    requestLoop(St, Base, Ch, /*ReadTimeoutMs=*/-1);
+  } else {
+    service::Listener L;
     std::string Err;
-    if (!service::JsonLine::parse(Line, Req, Err)) {
-      emit(JsonObject(service::response(false))
-               .field("error", "malformed request: " + Err));
-      continue;
+    if (!service::Listener::open(F.Listen, L, Err)) {
+      std::cerr << "error: " << Err << "\n";
+      return 1;
     }
-    auto Op = Req.getString("op");
-    if (!Op) {
-      emit(JsonObject(service::response(false))
-               .field("error", "missing 'op' field"));
-      continue;
-    }
-
-    if (*Op == "register-program") {
-      auto Name = Req.getString("name");
-      auto Text = Req.getString("text");
-      if (!Name || !Text) {
-        std::cout << service::errorLine(
-                         *Op, "register-program needs 'name' and 'text'")
-                  << "\n"
-                  << std::flush;
-        continue;
+    int ConnTimeout =
+        F.ReadTimeoutMs ? static_cast<int>(F.ReadTimeoutMs) : -1;
+    bool Running = true;
+    while (Running && !GShutdownSignal) {
+      bool TimedOut = false, Interrupted = false;
+      service::LineChannel Ch =
+          L.acceptChannel(/*TimeoutMs=*/500, TimedOut, Interrupted,
+                          F.MaxLineBytes);
+      if (!Ch.valid())
+        continue; // timeout/EINTR: re-check the shutdown flag
+      switch (requestLoop(St, Base, Ch, ConnTimeout)) {
+      case LoopExit::Shutdown:
+      case LoopExit::Signalled:
+        Running = false;
+        break;
+      case LoopExit::Disconnected:
+        break; // the service outlives the connection; accept the next
       }
-      service::RegisterResult R = St.Svc->registerProgram(*Name, *Text);
-      if (!R.Ok) {
-        std::cout << service::errorLine(*Op, R.Error) << "\n" << std::flush;
-        continue;
-      }
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      O.field("name", *Name);
-      O.field("epoch", R.Epoch);
-      O.field("checks", R.Checks);
-      O.field("allocs", R.Allocs);
-      // The dirty set of a re-registration, only under --incremental=1 so
-      // the legacy transcript stays byte-identical with the feature off.
-      if (R.ReRegistered && Base.Service.IncrementalReRegister) {
-        O.field("incremental", R.Incremental);
-        O.field("dirty_checks", R.DirtyChecks);
-        if (R.Incremental) {
-          O.field("dirty_procs", R.DirtyProcs.size());
-          std::string Joined;
-          for (const std::string &P : R.DirtyProcs) {
-            if (!Joined.empty())
-              Joined += ',';
-            Joined += P;
-          }
-          O.field("dirty", Joined);
-        }
-      }
-      emit(O);
-    } else if (*Op == "open-session") {
-      service::SessionSpec Spec;
-      Spec.SessionConfig = Config::defaults();
-      if (auto P = Req.getString("program"))
-        Spec.Program = *P;
-      if (auto C = Req.getString("client"))
-        Spec.Client = *C;
-      if (auto P = Req.getString("property"))
-        Spec.Property = *P;
-      std::string CfgErr;
-      if (!readSessionConfig(Req, Spec.SessionConfig, CfgErr)) {
-        std::cout << service::errorLine(*Op, CfgErr) << "\n" << std::flush;
-        continue;
-      }
-      std::string OpenErr;
-      service::Session S = St.Svc->openSession(Spec, OpenErr);
-      if (!S.valid()) {
-        std::cout << service::errorLine(*Op, OpenErr) << "\n" << std::flush;
-        continue;
-      }
-      St.Sessions[S.id()] = S;
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      O.field("session", S.id());
-      emit(O);
-    } else if (*Op == "submit") {
-      auto Sess = Req.getUInt("session");
-      auto Check = Req.getUInt("check");
-      if (!Sess || !Check) {
-        std::cout << service::errorLine(*Op,
-                                        "submit needs 'session' and 'check'")
-                  << "\n"
-                  << std::flush;
-        continue;
-      }
-      auto It = St.Sessions.find(*Sess);
-      if (It == St.Sessions.end()) {
-        std::cout << service::errorLine(
-                         *Op, "unknown session " + std::to_string(*Sess))
-                  << "\n"
-                  << std::flush;
-        continue;
-      }
-      service::JobSpec Job;
-      Job.Check = static_cast<uint32_t>(*Check);
-      if (auto Site = Req.getUInt("site"))
-        Job.Site = static_cast<uint32_t>(*Site);
-      if (auto Prio = Req.getInt("priority"))
-        Job.Priority = static_cast<int32_t>(*Prio);
-      // Protocol ingress mints the request's trace identity: the line
-      // sequence number, stable across reruns of the same script.
-      Job.Parent.TraceId = LineSeq;
-      Job.Parent.SpanId = LineSeq;
-      uint64_t JobId = 0;
-      std::future<service::QueryResult> F = It->second.submit(Job, &JobId);
-      if (JobId == 0) {
-        // Rejected synchronously: the ready future carries the reason.
-        service::QueryResult R = F.get();
-        JsonObject O = service::response(false);
-        O.field("op", *Op);
-        O.field("status", service::jobStatusName(R.Status));
-        O.field("error", R.Error);
-        emit(O);
-        continue;
-      }
-      St.InFlight.push_back(std::move(F));
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      O.field("job", JobId);
-      emit(O);
-    } else if (*Op == "cancel") {
-      auto Sess = Req.getUInt("session");
-      auto It = Sess ? St.Sessions.find(*Sess) : St.Sessions.end();
-      if (It == St.Sessions.end()) {
-        std::cout << service::errorLine(*Op, "unknown session") << "\n"
-                  << std::flush;
-        continue;
-      }
-      size_t N = It->second.cancelPending();
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      O.field("cancelled", N);
-      emit(O);
-    } else if (*Op == "close-session") {
-      auto Sess = Req.getUInt("session");
-      auto It = Sess ? St.Sessions.find(*Sess) : St.Sessions.end();
-      if (It == St.Sessions.end()) {
-        std::cout << service::errorLine(*Op, "unknown session") << "\n"
-                  << std::flush;
-        continue;
-      }
-      It->second.close();
-      St.Sessions.erase(It);
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      emit(O);
-    } else if (*Op == "drain") {
-      St.Svc->drain();
-      for (std::future<service::QueryResult> &F : St.InFlight)
-        emitResult(F.get());
-      size_t N = St.InFlight.size();
-      St.InFlight.clear();
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      O.field("results", N);
-      emit(O);
-    } else if (*Op == "stats") {
-      service::ServiceStats S = St.Svc->stats();
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      O.field("programs", S.ProgramsRegistered);
-      O.field("sessions_opened", S.SessionsOpened);
-      O.field("sessions_closed", S.SessionsClosed);
-      O.field("submitted", S.JobsSubmitted);
-      O.field("rejected", S.JobsRejected);
-      O.field("cancelled", S.JobsCancelled);
-      O.field("completed", S.JobsCompleted);
-      O.field("failed", S.JobsFailed);
-      O.field("batches", S.Batches);
-      O.field("coalesced", S.CoalescedJobs);
-      O.field("queue_depth", S.QueueDepth);
-      O.field("forward_runs", S.ForwardRuns);
-      O.field("backward_runs", S.BackwardRuns);
-      O.field("cache_hits", S.CacheHits);
-      O.field("cache_misses", S.CacheMisses);
-      O.field("cache_evictions", S.CacheEvictions);
-      O.field("stale_invalidated", S.StaleEntriesInvalidated);
-      if (Base.Service.IncrementalReRegister) {
-        O.field("entries_migrated", S.EntriesMigrated);
-        O.field("entries_invalidated", S.EntriesInvalidated);
-        O.field("procs_dirty", S.ProceduresDirty);
-        O.field("verdicts_replayed", S.VerdictsReplayed);
-      }
-      std::string Pending;
-      for (const auto &[Id, N] : S.PendingBySession) {
-        if (!Pending.empty())
-          Pending += ',';
-        Pending += std::to_string(Id) + ":" + std::to_string(N);
-      }
-      O.field("pending_by_session", Pending);
-      O.field("batch_jobs_p50", S.BatchJobsP50);
-      O.field("batch_jobs_p90", S.BatchJobsP90);
-      O.field("batch_jobs_p99", S.BatchJobsP99);
-      O.field("fixpoints_amortized", S.FixpointsAmortized);
-      O.field("slow_queries", S.SlowQueries);
-      emit(O);
-    } else if (*Op == "trace") {
-      if (!St.Svc->tracingEnabled()) {
-        std::cout << service::errorLine(
-                         *Op, "tracing is disabled (enable with "
-                              "--trace-capacity=N or OPTABS_SERVICE_TRACE=1)")
-                  << "\n"
-                  << std::flush;
-        continue;
-      }
-      // Dropped count first: drain() empties the ring but the overflow
-      // counter keeps the history.
-      uint64_t Dropped = St.Svc->traceDropped();
-      std::vector<support::TraceEvent> Events = St.Svc->drainTrace();
-      for (const support::TraceEvent &E : Events) {
-        JsonObject O = service::response(true);
-        O.field("op", "trace-event");
-        O.field("seq", E.Seq);
-        O.field("kind", E.Kind);
-        O.field("trace", E.TraceId);
-        O.field("span", E.SpanId);
-        O.field("job", E.Job);
-        O.field("session", E.Session);
-        O.field("batch", E.Batch);
-        O.field("ts_ns", E.TsNs);
-        O.field("u0", E.U0);
-        O.field("u1", E.U1);
-        O.field("seconds", E.D0);
-        O.field("note", E.Note);
-        emit(O);
-      }
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      O.field("events", Events.size());
-      O.field("dropped", Dropped);
-      emit(O);
-    } else if (*Op == "explain") {
-      auto JobN = Req.getUInt("job");
-      if (!JobN) {
-        std::cout << service::errorLine(*Op, "explain needs 'job'") << "\n"
-                  << std::flush;
-        continue;
-      }
-      service::JobTimeline T = St.Svc->explain(*JobN);
-      if (!T.Found) {
-        std::cout << service::errorLine(
-                         *Op, "no timeline for job " + std::to_string(*JobN) +
-                                  " (tracing disabled, job never admitted, "
-                                  "or entry evicted)")
-                  << "\n"
-                  << std::flush;
-        continue;
-      }
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      O.field("job", T.Job);
-      O.field("session", T.Session);
-      O.field("check", T.Check);
-      O.field("site", T.Site);
-      O.field("status", T.Status);
-      if (!T.Verdict.empty())
-        O.field("verdict", T.Verdict);
-      O.field("batch", T.Batch);
-      O.field("peers", T.Peers);
-      O.field("queue_wait_ns", T.queueWaitNs());
-      O.field("batch_wait_ns", T.batchWaitNs());
-      O.field("run_ns", T.runNs());
-      O.field("e2e_ns", T.endToEndNs());
-      O.field("plan_s", T.PlanS);
-      O.field("forward_s", T.ForwardS);
-      O.field("classify_s", T.ClassifyS);
-      O.field("extract_s", T.ExtractS);
-      O.field("backward_s", T.BackwardS);
-      O.field("merge_s", T.MergeS);
-      O.field("cache_hits", T.CacheHits);
-      O.field("cache_misses", T.CacheMisses);
-      O.field("replayed", T.Replayed);
-      if (T.Replayed) {
-        O.field("data_epoch", T.ReplayDataEpoch);
-        O.field("clean_footprint", T.CleanFootprint);
-      }
-      emit(O);
-    } else if (*Op == "shutdown") {
-      JsonObject O = service::response(true);
-      O.field("op", *Op);
-      emit(O);
-      break;
-    } else {
-      std::cout << service::errorLine(*Op, "unknown op '" + *Op + "'")
-                << "\n"
-                << std::flush;
     }
   }
 
-  if (!MetricsPath.empty())
-    support::MetricRegistry::global().writePrometheusFile(MetricsPath);
+  // Graceful shutdown - identical for the "shutdown" op, EOF, and
+  // SIGTERM/SIGINT: any in-flight batch has already finished (the request
+  // loop only returns between requests), the metrics dump is written, and
+  // destroying the service writes the --trace-jsonl/--trace-chrome
+  // artifacts and completes still-pending jobs as Cancelled.
+  if (!F.MetricsPath.empty())
+    support::MetricRegistry::global().writePrometheusFile(F.MetricsPath);
+  St.Svc.reset();
   return 0;
 }
 
@@ -454,18 +582,26 @@ int main(int Argc, char **Argv) {
   uint64_t TraceCapacity =
       Base.Observability.ServiceTrace ? Base.Observability.ServiceTraceCapacity
                                       : 0;
-  std::string MetricsPath = Base.Observability.MetricsPath;
+  ServeFlags F;
+  F.MetricsPath = Base.Observability.MetricsPath;
+  std::string Listen = "stdio";
   std::string TraceJsonl = Base.Observability.ServiceTraceJsonlPath;
   std::string TraceChrome = Base.Observability.ServiceTraceChromePath;
   double TraceSlowMs = Base.Observability.SlowQuerySeconds * 1000;
   support::ArgParser Parser;
+  Parser.option("--listen", &Listen,
+                "transport: stdio (default), unix:PATH, or tcp:PORT");
   Parser.option("--threads", &Threads, "shared pool workers (0 = hardware)");
   Parser.option("--cache-capacity", &CacheCapacity,
                 "forward-run cache entries per shard (0 = unbounded)");
   Parser.option("--max-sessions", &MaxSessions, "open-session quota");
-  Parser.option("--metrics", &MetricsPath, "Prometheus dump on shutdown");
+  Parser.option("--metrics", &F.MetricsPath, "Prometheus dump on shutdown");
   Parser.option("--incremental", &Incremental,
                 "diff-based incremental re-registration (0 = evict all)");
+  Parser.option("--read-timeout-ms", &F.ReadTimeoutMs,
+                "drop a socket connection silent this long (0 = never)");
+  Parser.option("--max-line-bytes", &F.MaxLineBytes,
+                "per-line size cap; longer lines get a structured error");
   Parser.option("--trace-capacity", &TraceCapacity,
                 "flight-recorder ring size; > 0 enables request tracing");
   Parser.option("--trace-jsonl", &TraceJsonl,
@@ -477,10 +613,16 @@ int main(int Argc, char **Argv) {
   std::string Err;
   if (!Parser.parse(Argc, Argv, Err)) {
     std::cerr << "error: " << Err << "\n"
-              << "usage: optabs-serve [--threads=N] [--cache-capacity=N] "
+              << "usage: optabs-serve [--listen=unix:PATH|tcp:PORT] "
+                 "[--threads=N] [--cache-capacity=N] "
                  "[--max-sessions=N] [--metrics=PATH] [--incremental=0|1] "
+                 "[--read-timeout-ms=N] [--max-line-bytes=N] "
                  "[--trace-capacity=N] [--trace-jsonl=PATH] "
                  "[--trace-chrome=PATH] [--trace-slow-ms=X]\n";
+    return 2;
+  }
+  if (!service::ListenSpec::parse(Listen, F.Listen, Err)) {
+    std::cerr << "error: " << Err << "\n";
     return 2;
   }
   Base.Execution.NumThreads = static_cast<unsigned>(Threads);
@@ -504,8 +646,9 @@ int main(int Argc, char **Argv) {
     Base.Observability.ServiceTrace = true;
     Base.Observability.SlowQuerySeconds = TraceSlowMs / 1000.0;
   }
-  Base.Observability.MetricsPath = MetricsPath;
-  if (!MetricsPath.empty())
+  Base.Observability.MetricsPath = F.MetricsPath;
+  if (!F.MetricsPath.empty())
     support::setMetricsEnabled(true);
-  return serve(Base, MetricsPath);
+  installSignalHandlers();
+  return serve(Base, F);
 }

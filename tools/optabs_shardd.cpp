@@ -1,0 +1,236 @@
+//===- optabs_shardd.cpp - Multi-process shard supervisor -----------------===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `optabs-shardd`: speaks the same versioned JSONL protocol as
+/// `optabs-serve`, but fans the work out over N worker processes (each an
+/// `optabs-serve --listen=unix:...`), restarting dead or hung ones and
+/// requeueing their jobs. All supervision logic lives in
+/// service/ShardRouter.{h,cpp}; this file is flag parsing plus the IO
+/// loop. See DESIGN.md §13 for the topology and failure model.
+///
+///   optabs-shardd --shards=4 --worker-threads=2 < session.jsonl
+///   optabs-shardd --shards=4 --listen=unix:/run/optabs.sock
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+#include "service/ShardRouter.h"
+#include "service/Transport.h"
+#include "support/Args.h"
+
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace optabs;
+
+namespace {
+
+volatile sig_atomic_t GShutdownSignal = 0;
+
+void onShutdownSignal(int Sig) { GShutdownSignal = Sig; }
+
+void installSignalHandlers() {
+  struct sigaction SA;
+  SA.sa_handler = onShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: blocking reads return EINTR
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+}
+
+/// The directory this binary lives in, so the default worker path is the
+/// sibling optabs-serve regardless of the caller's cwd.
+std::string selfDirectory() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return ".";
+  Buf[N] = '\0';
+  std::string Path(Buf);
+  size_t Slash = Path.rfind('/');
+  return Slash == std::string::npos ? "." : Path.substr(0, Slash);
+}
+
+/// Serves one connection; returns false when the session asked the whole
+/// supervisor to shut down (or a signal arrived).
+bool requestLoop(service::ShardRouter &Router, service::LineChannel &Ch,
+                 int ReadTimeoutMs) {
+  std::string Line;
+  std::vector<std::string> Out;
+  for (;;) {
+    if (GShutdownSignal)
+      return false;
+    service::LineChannel::ReadStatus RS = Ch.readLine(Line, ReadTimeoutMs);
+    switch (RS) {
+    case service::LineChannel::ReadStatus::Line:
+      break;
+    case service::LineChannel::ReadStatus::Eof:
+    case service::LineChannel::ReadStatus::Error:
+      return true;
+    case service::LineChannel::ReadStatus::Timeout:
+      Ch.writeLine(service::errorLine(
+          "", "read timeout after " + std::to_string(ReadTimeoutMs) +
+                  "ms; closing connection"));
+      return true;
+    case service::LineChannel::ReadStatus::Overflow:
+      Ch.writeLine(service::errorLine(
+          "", "request line exceeds " + std::to_string(Ch.maxLineBytes()) +
+                  " bytes; line dropped"));
+      continue;
+    case service::LineChannel::ReadStatus::Interrupted:
+      continue; // loop top re-checks the signal flag
+    }
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    Out.clear();
+    bool KeepGoing = Router.handleLine(Line, Out);
+    for (const std::string &Resp : Out)
+      Ch.writeLine(Resp);
+    if (!KeepGoing)
+      return false;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  service::ShardRouterOptions RO;
+  service::ProcessShardHost::Options HO;
+  uint64_t Shards = 2;
+  uint64_t WorkerThreads = 1;
+  uint64_t RequestTimeoutMs = 120000;
+  uint64_t Retries = RO.MaxRequestRetries;
+  uint64_t BackoffInitialMs = RO.BackoffInitialMs;
+  uint64_t BackoffMaxMs = RO.BackoffMaxMs;
+  uint64_t BackoffResetMs = RO.BackoffResetMs;
+  uint64_t ReadTimeoutMs = 0;
+  uint64_t MaxLineBytes = service::DefaultMaxLineBytes;
+  bool Chaos = false;
+  std::string Listen = "stdio";
+  std::string Worker = selfDirectory() + "/optabs-serve";
+  std::string SocketDir = "/tmp";
+  std::string WorkerArgsJoined; // space-separated extra worker flags
+
+  support::ArgParser Parser;
+  Parser.option("--listen", &Listen,
+                "supervisor transport: stdio (default), unix:PATH, tcp:PORT");
+  Parser.option("--shards", &Shards, "number of optabs-serve workers");
+  Parser.option("--worker", &Worker, "worker binary (default: sibling "
+                                     "optabs-serve)");
+  Parser.option("--worker-threads", &WorkerThreads,
+                "--threads for each worker (0 = hardware)");
+  Parser.option("--threads", &WorkerThreads,
+                "alias for --worker-threads (drop-in for optabs-serve)");
+  Parser.option("--worker-args", &WorkerArgsJoined,
+                "extra flags for every worker, space separated");
+  Parser.option("--socket-dir", &SocketDir, "where worker sockets live");
+  Parser.option("--request-timeout-ms", &RequestTimeoutMs,
+                "per-request deadline before a shard counts as hung");
+  Parser.option("--retries", &Retries,
+                "restart-and-retry attempts per request");
+  Parser.option("--backoff-initial-ms", &BackoffInitialMs,
+                "first restart delay");
+  Parser.option("--backoff-max-ms", &BackoffMaxMs, "restart delay cap");
+  Parser.option("--backoff-reset-ms", &BackoffResetMs,
+                "healthy interval that resets the backoff ladder");
+  Parser.option("--read-timeout-ms", &ReadTimeoutMs,
+                "drop a silent client connection (0 = never)");
+  Parser.option("--max-line-bytes", &MaxLineBytes,
+                "per-line size cap; longer lines get a structured error");
+  Parser.flag("--chaos", &Chaos,
+              "accept {\"op\":\"chaos-kill\",\"shard\":K} (tests only)");
+  std::string Err;
+  if (!Parser.parse(Argc, Argv, Err)) {
+    std::cerr << "error: " << Err << "\n"
+              << "usage: optabs-shardd [--shards=N] [--worker=PATH] "
+                 "[--worker-threads=N] [--worker-args=\"...\"] "
+                 "[--listen=unix:PATH|tcp:PORT] [--socket-dir=DIR] "
+                 "[--request-timeout-ms=N] [--retries=N] "
+                 "[--backoff-initial-ms=N] [--backoff-max-ms=N] "
+                 "[--backoff-reset-ms=N] [--read-timeout-ms=N] "
+                 "[--max-line-bytes=N] [--chaos]\n";
+    return 2;
+  }
+  service::ListenSpec ListenSpec;
+  if (!service::ListenSpec::parse(Listen, ListenSpec, Err)) {
+    std::cerr << "error: " << Err << "\n";
+    return 2;
+  }
+  if (Shards == 0)
+    Shards = 1;
+
+  RO.NumShards = static_cast<unsigned>(Shards);
+  RO.RequestTimeoutMs = static_cast<int>(RequestTimeoutMs);
+  RO.MaxRequestRetries = static_cast<unsigned>(Retries);
+  RO.BackoffInitialMs = BackoffInitialMs;
+  RO.BackoffMaxMs = BackoffMaxMs;
+  RO.BackoffResetMs = BackoffResetMs;
+  RO.AllowChaosOps = Chaos;
+
+  HO.ServeBinary = Worker;
+  HO.SocketDir = SocketDir;
+  HO.MaxLineBytes = static_cast<size_t>(MaxLineBytes);
+  HO.WorkerArgs.push_back("--threads=" + std::to_string(WorkerThreads));
+  for (size_t I = 0; I < WorkerArgsJoined.size();) {
+    size_t J = WorkerArgsJoined.find(' ', I);
+    if (J == std::string::npos)
+      J = WorkerArgsJoined.size();
+    if (J > I)
+      HO.WorkerArgs.push_back(WorkerArgsJoined.substr(I, J - I));
+    I = J + 1;
+  }
+
+  installSignalHandlers();
+
+  service::ProcessShardHost Host(HO);
+  service::ShardRouter Router(RO, Host);
+  if (!Router.start(Err)) {
+    std::cerr << "error: " << Err << "\n";
+    return 1;
+  }
+
+  bool CleanShutdown = true;
+  if (ListenSpec.K == service::ListenSpec::Kind::Stdio) {
+    service::LineChannel Ch(0, 1, /*OwnsFds=*/false,
+                            static_cast<size_t>(MaxLineBytes));
+    CleanShutdown = !requestLoop(Router, Ch, /*ReadTimeoutMs=*/-1);
+  } else {
+    service::Listener L;
+    if (!service::Listener::open(ListenSpec, L, Err)) {
+      std::cerr << "error: " << Err << "\n";
+      return 1;
+    }
+    int ConnTimeout = ReadTimeoutMs ? static_cast<int>(ReadTimeoutMs) : -1;
+    CleanShutdown = false;
+    while (!GShutdownSignal) {
+      bool TimedOut = false, Interrupted = false;
+      service::LineChannel Ch = L.acceptChannel(
+          /*TimeoutMs=*/500, TimedOut, Interrupted,
+          static_cast<size_t>(MaxLineBytes));
+      if (!Ch.valid())
+        continue; // timeout/EINTR: re-check the shutdown flag
+      if (!requestLoop(Router, Ch, ConnTimeout)) {
+        CleanShutdown = true;
+        break;
+      }
+      // EOF: the supervisor (and its workers) outlive the connection.
+    }
+  }
+
+  // Signal or accept-loop exit without a shutdown op: run the same
+  // graceful path the op runs, so workers drain and dump artifacts.
+  if (!CleanShutdown || GShutdownSignal) {
+    std::vector<std::string> Dropped;
+    Router.handleLine("{\"op\":\"shutdown\"}", Dropped);
+  }
+  return 0;
+}
