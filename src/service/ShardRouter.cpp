@@ -200,19 +200,30 @@ ShardRouter::RpcStatus ShardRouter::rpcOnce(unsigned I,
   return RpcStatus::Died;
 }
 
-bool ShardRouter::rpcWithRetry(unsigned I, const std::string &Line,
+bool ShardRouter::rpcWithRetry(unsigned I,
+                               const std::function<std::string()> &MakeLine,
                                std::string &Resp, std::string &Err) {
   unsigned Tries = Opts.MaxRequestRetries + 1;
   for (unsigned A = 0; A < Tries; ++A) {
     if (!ensureUp(I, Err))
       return false;
-    if (rpcOnce(I, Line, Resp) == RpcStatus::Ok)
+    // Build the line after ensureUp: a restart in there renumbered the
+    // shard-local session ids, and a line minted before the replay would
+    // target a stale id - at best "unknown session", at worst a different
+    // session entirely.
+    if (rpcOnce(I, MakeLine(), Resp) == RpcStatus::Ok)
       return true;
     markDown(I);
   }
   Err = "shard " + std::to_string(I) + " did not answer after " +
         std::to_string(Tries) + " attempts";
   return false;
+}
+
+bool ShardRouter::rpcWithRetry(unsigned I, const std::string &Line,
+                               std::string &Resp, std::string &Err) {
+  return rpcWithRetry(
+      I, [&Line]() { return Line; }, Resp, Err);
 }
 
 //===----------------------------------------------------------------------===//
@@ -360,7 +371,22 @@ void ShardRouter::handleDrain(std::vector<std::string> &Out) {
     // next round restarts it (requeueing them) and drains again.
     for (unsigned I : Sent) {
       Shard &Sh = Shards[I];
+      // A healthy worker sends one result line per pending job plus the
+      // summary. Anything past that budget (plus slack for interleaved
+      // noise) is a worker streaming garbage - each line landing inside
+      // RequestTimeoutMs, so without this bound it would pin the
+      // supervisor forever. Treat it like a hung shard.
+      uint64_t PendingHere = 0;
+      for (const auto &[Id, J] : Jobs)
+        if (J.State == JobState::Pending && J.Shard == I)
+          ++PendingHere;
+      uint64_t LineBudget = 2 * PendingHere + 64;
       for (;;) {
+        if (LineBudget-- == 0) {
+          Sh.Ep->kill();
+          markDown(I);
+          break;
+        }
         std::string Resp;
         ShardEndpoint::RecvStatus RS =
             Sh.Ep->recvLine(Resp, Opts.RequestTimeoutMs);
@@ -610,8 +636,10 @@ bool ShardRouter::handleLine(const std::string &Line,
       J.HasPriority = true;
     }
     std::string Resp, RpcErr;
-    if (!rpcWithRetry(J.Shard, submitLineFor(J, SIt->second.ShardId), Resp,
-                      RpcErr)) {
+    if (!rpcWithRetry(
+            J.Shard,
+            [&]() { return submitLineFor(J, SIt->second.ShardId); }, Resp,
+            RpcErr)) {
       Emit(errorLine(*Op, RpcErr));
       return true;
     }
@@ -643,11 +671,16 @@ bool ShardRouter::handleLine(const std::string &Line,
       Emit(errorLine(*Op, "unknown session"));
       return true;
     }
-    JsonObject Fwd;
-    Fwd.field("op", *Op);
-    Fwd.field("session", SIt->second.ShardId);
     std::string Resp, RpcErr;
-    if (!rpcWithRetry(SIt->second.Shard, Fwd.str(), Resp, RpcErr)) {
+    if (!rpcWithRetry(
+            SIt->second.Shard,
+            [&]() {
+              JsonObject Fwd;
+              Fwd.field("op", *Op);
+              Fwd.field("session", SIt->second.ShardId);
+              return Fwd.str();
+            },
+            Resp, RpcErr)) {
       Emit(errorLine(*Op, RpcErr));
       return true;
     }
@@ -813,6 +846,8 @@ ProcessShardHost::~ProcessShardHost() {
     W.kill();
     W.reap(5000);
   }
+  for (auto &[Shard, Path] : SocketPaths)
+    ::unlink(Path.c_str());
 }
 
 std::unique_ptr<ShardEndpoint> ProcessShardHost::spawn(unsigned Shard,
@@ -825,6 +860,13 @@ std::unique_ptr<ShardEndpoint> ProcessShardHost::spawn(unsigned Shard,
       It->second.kill();
       It->second.reap(5000);
       Workers.erase(It);
+    }
+    // The previous incarnation was SIGKILLed, so its socket file is an
+    // orphan nothing will ever unlink but us.
+    auto PIt = SocketPaths.find(Shard);
+    if (PIt != SocketPaths.end()) {
+      ::unlink(PIt->second.c_str());
+      SocketPaths.erase(PIt);
     }
     // A fresh socket path per incarnation: never connect to a socket a
     // dying previous worker might still own.
@@ -851,6 +893,7 @@ std::unique_ptr<ShardEndpoint> ProcessShardHost::spawn(unsigned Shard,
     Err = SpecErr;
     C.kill();
     C.reap(5000);
+    ::unlink(SockPath.c_str());
     return nullptr;
   }
   std::string ConnErr;
@@ -861,12 +904,14 @@ std::unique_ptr<ShardEndpoint> ProcessShardHost::spawn(unsigned Shard,
           " never started accepting: " + ConnErr;
     C.kill();
     C.reap(5000);
+    ::unlink(SockPath.c_str());
     return nullptr;
   }
 
   {
     std::lock_guard<std::mutex> L(M);
     Workers[Shard] = std::move(C);
+    SocketPaths[Shard] = SockPath;
   }
   return std::make_unique<ProcessShardEndpoint>(std::move(Ch), *this, Shard,
                                                 Pid);
@@ -900,6 +945,11 @@ void ProcessShardHost::killAndReap(unsigned Shard, pid_t Pid) {
     return;
   It->second.kill();
   It->second.reap(5000);
+  auto PIt = SocketPaths.find(Shard);
+  if (PIt != SocketPaths.end()) {
+    ::unlink(PIt->second.c_str());
+    SocketPaths.erase(PIt);
+  }
 }
 
 } // namespace service

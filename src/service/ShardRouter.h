@@ -52,6 +52,7 @@
 #include "support/Timer.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -227,6 +228,13 @@ private:
   bool replayShard(unsigned I);
   RpcStatus rpcOnce(unsigned I, const std::string &Line, std::string &Resp);
   /// ensureUp + rpcOnce with restart-and-retry up to MaxRequestRetries.
+  /// \p MakeLine is re-invoked after every ensureUp: a restart renumbers
+  /// shard-local session ids (replay skips closed sessions, the fresh
+  /// worker mints ids from 1), so any line embedding a shard-local id
+  /// must be rebuilt from SessionRec::ShardId per attempt.
+  bool rpcWithRetry(unsigned I,
+                    const std::function<std::string()> &MakeLine,
+                    std::string &Resp, std::string &Err);
   bool rpcWithRetry(unsigned I, const std::string &Line, std::string &Resp,
                     std::string &Err);
   void markDown(unsigned I);
@@ -290,6 +298,9 @@ private:
   mutable std::mutex M;
   Options O;
   std::map<unsigned, support::ChildProcess> Workers;
+  /// Live incarnation's socket file per shard, unlinked when the worker
+  /// is killed/replaced so restarts don't litter SocketDir.
+  std::map<unsigned, std::string> SocketPaths;
   uint64_t Incarnation = 0; ///< unique socket path per respawn
 };
 

@@ -33,15 +33,21 @@ namespace support {
 class ChildProcess {
 public:
   ChildProcess() = default;
-  ChildProcess(ChildProcess &&O) noexcept : Pid(O.Pid), Reaped(O.Reaped) {
+  ChildProcess(ChildProcess &&O) noexcept
+      : Pid(O.Pid), Reaped(O.Reaped), Status(O.Status) {
     O.Pid = -1;
     O.Reaped = true;
+    O.Status = -1;
   }
+  /// Assigning over a live, unreaped child abandons it untracked (never
+  /// killed, never reaped) - callers must kill()+reap() the target first.
   ChildProcess &operator=(ChildProcess &&O) noexcept {
     Pid = O.Pid;
     Reaped = O.Reaped;
+    Status = O.Status;
     O.Pid = -1;
     O.Reaped = true;
+    O.Status = -1;
     return *this;
   }
   ChildProcess(const ChildProcess &) = delete;

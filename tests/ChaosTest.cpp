@@ -31,8 +31,10 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <dirent.h>
 #include <set>
 #include <string>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <thread>
 #include <unistd.h>
@@ -262,6 +264,54 @@ TEST_F(ChaosTest, KillShardMidDrainResolvesIdentically1Thread) {
 
 TEST_F(ChaosTest, KillShardMidDrainResolvesIdentically8Threads) {
   killShardMidDrain(8);
+}
+
+//===----------------------------------------------------------------------===//
+// Socket-file hygiene across SIGKILL restarts
+//===----------------------------------------------------------------------===//
+
+TEST_F(ChaosTest, KilledWorkersLeaveNoStaleSocketFiles) {
+  std::string Dir = "/tmp/optabs-chaos-socks-" +
+                    std::to_string(static_cast<long>(::getpid()));
+  ::mkdir(Dir.c_str(), 0700);
+  {
+    ProcessShardHost::Options HO = hostOptions(1);
+    HO.SocketDir = Dir;
+    ProcessShardHost Host(HO);
+    ShardRouter R(routerOptions(2), Host);
+    std::string Err;
+    ASSERT_TRUE(R.start(Err)) << Err;
+    std::vector<std::string> Out;
+    JsonObject Reg;
+    Reg.field("op", "register-program");
+    Reg.field("name", "prog0");
+    Reg.field("text", makeProgram(2, 0));
+    R.handleLine(Reg.str(), Out);
+    // SIGKILLed workers cannot unlink their own sockets; the next
+    // broadcast forces both shards through the restart path.
+    R.killShardForTesting(0);
+    R.killShardForTesting(1);
+    JsonObject Reg1;
+    Reg1.field("op", "register-program");
+    Reg1.field("name", "prog1");
+    Reg1.field("text", makeProgram(2, 1));
+    R.handleLine(Reg1.str(), Out);
+    EXPECT_EQ(R.stats().Restarts, 2u);
+    std::vector<std::string> Dropped;
+    R.handleLine("{\"op\":\"shutdown\"}", Dropped);
+  }
+  // Host destroyed: every incarnation's socket file must be gone.
+  size_t Leftover = 0;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string N = E->d_name;
+      if (N != "." && N != "..")
+        ++Leftover;
+    }
+    ::closedir(D);
+  }
+  EXPECT_EQ(Leftover, 0u);
+  ::rmdir(Dir.c_str());
 }
 
 //===----------------------------------------------------------------------===//

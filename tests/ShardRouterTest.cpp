@@ -46,8 +46,11 @@ public:
   std::function<bool(const std::string &Op, const std::string &Line)>
       DieOnRequest;           ///< true = die instead of answering
   bool HangOnNonPing = false; ///< swallow every non-ping request
+  bool GarbageOnDrain = false; ///< answer drain with an endless non-
+                               ///< protocol stream, each line "in time"
   bool Dead = false;
   bool Hung = false;
+  bool StreamingGarbage = false;
 
   // Observable worker state.
   std::vector<std::string> RequestLog;
@@ -85,6 +88,10 @@ public:
   }
 
   RecvStatus recvLine(std::string &Out, int) override {
+    if (StreamingGarbage && !Dead) {
+      Out = "=== not a protocol line ===";
+      return RecvStatus::Line;
+    }
     if (!OutQ.empty()) {
       Out = OutQ.front();
       OutQ.pop_front();
@@ -158,6 +165,10 @@ private:
         O.field("cancelled", N);
       Emit(O);
     } else if (Op == "drain") {
+      if (GarbageOnDrain) {
+        StreamingGarbage = true; // recvLine now babbles forever
+        return;
+      }
       size_t N = 0;
       for (auto &[Id, J] : Pending) {
         JsonObject O = response(true);
@@ -525,6 +536,105 @@ TEST(ShardRouterTest, CancelledJobsAreNotResurrectedByReplay) {
   // The replayed worker never saw the cancelled jobs again.
   EXPECT_TRUE(Host.Live[0]->Pending.empty());
   EXPECT_EQ(R.stats().Requeued, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Retried requests rebuild shard-local ids after a replay
+//===----------------------------------------------------------------------===//
+
+// A restart renumbers shard-local session ids: replay skips Closed
+// sessions while the fresh worker mints ids from 1. A submit or cancel
+// retried after that restart must re-read SessionRec::ShardId, or it
+// targets a stale id - a different session on the new worker.
+TEST(ShardRouterTest, RetriedSubmitAndCancelUseFreshSessionIdsAfterReplay) {
+  FakeHost Host(1);
+  FakeClock Clock;
+  ShardRouter R(testOptions(1), Host, &Clock);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  okResponse(run(R, kRegisterFig));
+  okResponse(run(R, openLine("a"))); // sup 1, shard-local 1
+  okResponse(run(R, openLine("b"))); // sup 2, shard-local 2
+  okResponse(run(R, "{\"op\":\"close-session\",\"session\":1}"));
+
+  // The worker dies on the submit; the retry lands after a replay in
+  // which session sup-2 is the only live session, re-minted as local 1.
+  Host.Live[0]->DieOnRequest = [](const std::string &Op,
+                                  const std::string &) {
+    return Op == "submit";
+  };
+  JsonLine Sub = okResponse(
+      run(R, "{\"op\":\"submit\",\"session\":2,\"check\":7}"));
+  EXPECT_EQ(Sub.getUInt("job").value_or(0), 1u);
+  EXPECT_EQ(R.stats().Restarts, 1u);
+  {
+    FakeShard &S = *Host.Live[0];
+    EXPECT_EQ(S.SessionPrograms.size(), 1u);
+    ASSERT_EQ(S.Pending.size(), 1u);
+    // The stale pre-replay line would have carried session 2, which does
+    // not exist on this incarnation.
+    EXPECT_EQ(S.Pending.begin()->second.Session, 1u);
+    EXPECT_EQ(S.Pending.begin()->second.Check, 7u);
+  }
+
+  // Same ladder for cancel: close sup-2 so the id stream diverges again,
+  // then kill the worker on the cancel of sup-3.
+  okResponse(run(R, openLine("c"))); // sup 3, shard-local 2
+  okResponse(run(R, "{\"op\":\"submit\",\"session\":3,\"check\":9}"));
+  okResponse(run(R, "{\"op\":\"close-session\",\"session\":2}"));
+  Host.Live[0]->DieOnRequest = [](const std::string &Op,
+                                  const std::string &) {
+    return Op == "cancel";
+  };
+  okResponse(run(R, "{\"op\":\"cancel\",\"session\":3}"));
+  EXPECT_EQ(R.stats().Restarts, 2u);
+  {
+    FakeShard &S = *Host.Live[0];
+    EXPECT_EQ(S.SessionPrograms.size(), 1u);
+    ASSERT_EQ(S.Pending.size(), 1u); // the requeued sup-3 job
+    EXPECT_EQ(S.Pending.begin()->second.Session, 1u);
+    // The retried cancel reached the requeued job: a stale session id
+    // would have cancelled nothing.
+    EXPECT_TRUE(S.Pending.begin()->second.Cancelled);
+  }
+
+  // Everything still resolves: both jobs were cancelled along the way.
+  std::vector<std::string> Out = run(R, "{\"op\":\"drain\"}");
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_NE(Out[0].find("\"status\":\"cancelled\""), std::string::npos);
+  EXPECT_NE(Out[1].find("\"status\":\"cancelled\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Garbage-streaming shards cannot pin the drain loop
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, GarbageStreamingDrainIsBoundedKilledAndRequeued) {
+  FakeHost Host(1);
+  // Incarnation 1 answers drain with an endless stream of non-protocol
+  // lines, each arriving within the request timeout; later incarnations
+  // are healthy.
+  Host.Configure = [](unsigned, unsigned Inc, FakeShard &S) {
+    if (Inc == 1)
+      S.GarbageOnDrain = true;
+  };
+  FakeClock Clock;
+  ShardRouter R(testOptions(1), Host, &Clock);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  okResponse(run(R, kRegisterFig));
+  okResponse(run(R, openLine("escape")));
+  okResponse(run(R, "{\"op\":\"submit\",\"session\":1,\"check\":4}"));
+
+  // Without the per-drain line budget this call never returns.
+  std::vector<std::string> Out = run(R, "{\"op\":\"drain\"}");
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_NE(Out[0].find("\"status\":\"done\""), std::string::npos);
+  EXPECT_NE(Out[0].find("\"param\":\"[P4]\""), std::string::npos);
+  EXPECT_NE(Out[1].find("\"requeued\":1"), std::string::npos);
+  EXPECT_EQ(R.stats().Restarts, 1u);
+  EXPECT_EQ(R.stats().Fulfilled, 1u);
+  EXPECT_EQ(R.stats().Pending, 0u);
 }
 
 //===----------------------------------------------------------------------===//

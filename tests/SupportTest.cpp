@@ -3,6 +3,7 @@
 #include "support/BitSet.h"
 #include "support/Prng.h"
 #include "support/Stats.h"
+#include "support/Subprocess.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -14,11 +15,36 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <sys/wait.h>
+#include <utility>
 #include <vector>
 
 namespace {
 
 using namespace optabs;
+
+TEST(Subprocess, MoveCarriesExitStatus) {
+  std::string Err;
+  support::ChildProcess C =
+      support::ChildProcess::spawn({"/bin/sh", "-c", "exit 7"}, Err);
+  ASSERT_TRUE(C.valid()) << Err;
+  int Status = C.reap(30000);
+  ASSERT_NE(Status, -1);
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 7);
+  EXPECT_EQ(C.exitStatus(), Status);
+
+  // A reaped child's status must survive both move forms; the source is
+  // reset to the default (invalid, status -1) state.
+  support::ChildProcess M(std::move(C));
+  EXPECT_EQ(M.exitStatus(), Status);
+  EXPECT_EQ(C.exitStatus(), -1);
+  support::ChildProcess A;
+  A = std::move(M);
+  EXPECT_EQ(A.exitStatus(), Status);
+  EXPECT_EQ(M.exitStatus(), -1);
+  EXPECT_FALSE(A.alive());
+}
 
 TEST(Prng, DeterministicForSeed) {
   Prng A(42), B(42), C(43);
