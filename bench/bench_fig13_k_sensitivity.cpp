@@ -27,7 +27,7 @@ int main() {
     for (unsigned K : {1u, 5u, 10u}) {
       reporting::HarnessOptions Options;
       Options.RunTypestate = false;
-      Options.Tracer.K = K;
+      Options.Cfg.Execution.K = K;
       reporting::BenchRun Run = reporting::runBenchmark(Config, Options);
       T.addRow({Config.Name, TablePrinter::cell((long long)K),
                 TablePrinter::cell(Run.Esc.TotalSeconds, 2) + "s",

@@ -71,12 +71,12 @@ int main() {
   HarnessOptions Baseline;
 
   HarnessOptions Gated = Baseline;
-  Gated.Tracer.ForwardStepBudget = 1ull << 40;
-  Gated.Tracer.BackwardStepBudget = 1ull << 40;
-  Gated.Tracer.SolverDecisionBudget = 1ull << 40;
+  Gated.Cfg.Budgets.ForwardStepBudget = 1ull << 40;
+  Gated.Cfg.Budgets.BackwardStepBudget = 1ull << 40;
+  Gated.Cfg.Budgets.SolverDecisionBudget = 1ull << 40;
 
   HarnessOptions Memory = Gated;
-  Memory.Tracer.MemoryBudgetBytes = 1;
+  Memory.Cfg.Budgets.MemoryBudgetBytes = 1;
 
   // Interleave-free, coarse but honest: one full pass per configuration.
   Row B = runConfig(Baseline, NumBenches);

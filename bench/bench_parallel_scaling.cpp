@@ -75,7 +75,7 @@ int main(int Argc, char **Argv) {
   std::vector<Row> Rows;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     reporting::HarnessOptions Options;
-    Options.Tracer.NumThreads = Threads;
+    Options.Cfg.Execution.NumThreads = Threads;
     Row R;
     R.Threads = Threads;
     for (const synth::BenchConfig &Config : Suite) {

@@ -42,7 +42,7 @@ SuiteRun runSuite(unsigned Threads) {
   SuiteRun R;
   R.Threads = Threads;
   reporting::HarnessOptions Options;
-  Options.Tracer.NumThreads = Threads;
+  Options.Cfg.Execution.NumThreads = Threads;
   Timer Wall;
   for (const synth::BenchConfig &Config : synth::paperSuite()) {
     reporting::BenchRun Run = reporting::runBenchmark(Config, Options);

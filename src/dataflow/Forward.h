@@ -244,6 +244,143 @@ public:
 
   const State &state(StateId Id) const { return Interner.state(Id); }
 
+  /// Serializes the complete fixpoint state through \p S, which must
+  /// provide u32(uint32_t), u64(uint64_t), and state(const State &). The
+  /// encoding is deterministic: interned states are emitted in id order
+  /// (so a round-trip preserves every StateId) and the unordered tables
+  /// are emitted sorted by key. Exhausted runs are never cached, so
+  /// exhaustion state is not part of the format; loadFrom() yields a
+  /// non-exhausted run.
+  template <typename SinkT> void saveTo(SinkT &S) const {
+    S.u64(Round);
+    S.u32(static_cast<uint32_t>(Interner.size()));
+    for (StateId Id = 0; Id < Interner.size(); ++Id)
+      S.state(Interner.state(Id));
+    S.u32(InitId);
+    auto SortedKeys = [](const auto &Map) {
+      std::vector<Key> Keys;
+      Keys.reserve(Map.size());
+      for (const auto &KV : Map)
+        Keys.push_back(KV.first);
+      std::sort(Keys.begin(), Keys.end());
+      return Keys;
+    };
+    S.u32(static_cast<uint32_t>(Values.size()));
+    for (Key K : SortedKeys(Values)) {
+      const StateSet &Set = Values.find(K)->second.Set;
+      S.u64(K);
+      S.u32(static_cast<uint32_t>(Set.size()));
+      for (StateId Id : Set)
+        S.u32(Id);
+    }
+    S.u32(static_cast<uint32_t>(TransferMemo.size()));
+    for (Key K : SortedKeys(TransferMemo)) {
+      S.u64(K);
+      S.u32(TransferMemo.find(K)->second);
+    }
+    std::vector<uint32_t> Checks;
+    Checks.reserve(CheckStates.size());
+    for (const auto &KV : CheckStates)
+      Checks.push_back(KV.first);
+    std::sort(Checks.begin(), Checks.end());
+    S.u32(static_cast<uint32_t>(Checks.size()));
+    for (uint32_t C : Checks) {
+      const StateSet &Set = CheckStates.find(C)->second;
+      S.u32(C);
+      S.u32(static_cast<uint32_t>(Set.size()));
+      for (StateId Id : Set)
+        S.u32(Id);
+    }
+  }
+
+  /// Restores a run saved by saveTo() into this (freshly constructed)
+  /// analysis. \p S must provide bool u32(uint32_t&), bool u64(uint64_t&),
+  /// bool state(State&), and void fail(const std::string&). Returns false
+  /// on any framing or consistency violation - truncated records, state
+  /// ids out of range, or duplicate interned states (which would renumber
+  /// ids) - leaving a structured reason in the source. A run that fails to
+  /// load must be discarded; nothing about it is usable.
+  template <typename SourceT> bool loadFrom(SourceT &S) {
+    uint32_t NumStates = 0;
+    if (!S.u64(Round) || !S.u32(NumStates))
+      return false;
+    for (uint32_t I = 0; I < NumStates; ++I) {
+      State St;
+      if (!S.state(St))
+        return false;
+      if (Interner.intern(St) != I) {
+        S.fail("duplicate interned state (ids would renumber)");
+        return false;
+      }
+    }
+    auto ValidId = [&](uint32_t Id) { return Id < NumStates; };
+    uint32_t Init32 = 0;
+    if (!S.u32(Init32))
+      return false;
+    if (NumStates > 0 && !ValidId(Init32)) {
+      S.fail("initial state id out of range");
+      return false;
+    }
+    InitId = Init32;
+    auto LoadSet = [&](StateSet &Set) {
+      uint32_t N = 0;
+      if (!S.u32(N))
+        return false;
+      Set.clear();
+      Set.reserve(N);
+      uint32_t Prev = 0;
+      for (uint32_t I = 0; I < N; ++I) {
+        uint32_t Id = 0;
+        if (!S.u32(Id))
+          return false;
+        if (!ValidId(Id) || (I > 0 && Id <= Prev)) {
+          S.fail("state set not a sorted set of valid ids");
+          return false;
+        }
+        Prev = Id;
+        Set.push_back(Id);
+      }
+      return true;
+    };
+    uint32_t NumValues = 0;
+    if (!S.u32(NumValues))
+      return false;
+    for (uint32_t I = 0; I < NumValues; ++I) {
+      uint64_t K = 0;
+      if (!S.u64(K))
+        return false;
+      Cell C;
+      if (!LoadSet(C.Set))
+        return false;
+      Values.emplace(K, std::move(C));
+    }
+    uint32_t NumMemo = 0;
+    if (!S.u32(NumMemo))
+      return false;
+    for (uint32_t I = 0; I < NumMemo; ++I) {
+      uint64_t K = 0;
+      uint32_t Out = 0;
+      if (!S.u64(K) || !S.u32(Out))
+        return false;
+      if (!ValidId(Out)) {
+        S.fail("transfer memo output id out of range");
+        return false;
+      }
+      TransferMemo.emplace(K, Out);
+    }
+    uint32_t NumChecks = 0;
+    if (!S.u32(NumChecks))
+      return false;
+    for (uint32_t I = 0; I < NumChecks; ++I) {
+      uint32_t C = 0;
+      if (!S.u32(C))
+        return false;
+      if (!LoadSet(CheckStates[C]))
+        return false;
+    }
+    return true;
+  }
+
   /// Approximate heap footprint of this run: interned states plus the
   /// tabulation/memo tables. Feeds the forward-run cache's resident-bytes
   /// gauge; an estimate, not exact accounting.

@@ -42,13 +42,14 @@ void auditRun(const ir::Program &P, const Analysis &A,
   for (const auto &V : Violations)
     Out.AuditNotes.push_back(Label + ": invariant [" + V.Check + "] in " +
                              V.Where + ": " + V.Message);
-  if (!Options.Audit)
+  if (!Options.Cfg.Audit.Enabled)
     return;
   tracer::CertificateOptions CertOpts;
   // GreedyGrow never promises minimal abstractions, so a cost mismatch
   // against the (empty) viable CNF would be a false alarm.
   CertOpts.CheckMinimality =
-      Options.Tracer.Strategy != tracer::SearchStrategy::GreedyGrow;
+      tracer::TracerOptions::fromConfig(Options.Cfg).Strategy !=
+      tracer::SearchStrategy::GreedyGrow;
   tracer::CertificateChecker<Analysis> Checker(P, A, CertOpts);
   tracer::CertificateReport Report =
       Checker.check(Outcomes, Driver.finalViableSets());
@@ -66,13 +67,9 @@ void runEscape(const synth::Benchmark &B, const HarnessOptions &Options,
                ClientResults &Out) {
   Timer Total;
   escape::EscapeAnalysis A(B.P);
-  tracer::TracerOptions Opts = Options.Tracer;
-  if (!Options.EventTracePath.empty()) {
-    Opts.EventTracePath = Options.EventTracePath;
+  tracer::TracerOptions Opts = tracer::TracerOptions::fromConfig(Options.Cfg);
+  if (!Opts.EventTracePath.empty())
     Opts.EventTraceLabel = "escape";
-  }
-  Opts.MetricsPath = Options.MetricsPath;
-  Opts.ProfilePath = Options.ChromeTracePath;
   tracer::QueryDriver<escape::EscapeAnalysis> Driver(B.P, A, Opts);
   std::vector<tracer::QueryOutcome> Outcomes = Driver.run(B.EscChecks);
   for (const tracer::QueryOutcome &O : Outcomes)
@@ -105,7 +102,8 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
         [&](size_t H) { BySite[static_cast<uint32_t>(H)].push_back(Check); });
   }
 
-  double Budget = Options.Tracer.TimeBudgetSeconds;
+  tracer::TracerOptions Base = tracer::TracerOptions::fromConfig(Options.Cfg);
+  double Budget = Base.TimeBudgetSeconds;
   for (auto &[SiteIdx, Checks] : BySite) {
     double Remaining = Budget - Total.seconds();
     if (Remaining <= 0) {
@@ -123,15 +121,11 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
       continue;
     }
     typestate::TypestateAnalysis A(B.P, Spec, AllocId(SiteIdx), Pt);
-    tracer::TracerOptions PerSite = Options.Tracer;
+    tracer::TracerOptions PerSite = Base;
     PerSite.TimeBudgetSeconds = Remaining;
     std::string Label = "typestate/site=" + std::to_string(SiteIdx);
-    if (!Options.EventTracePath.empty()) {
-      PerSite.EventTracePath = Options.EventTracePath;
+    if (!PerSite.EventTracePath.empty())
       PerSite.EventTraceLabel = Label;
-    }
-    PerSite.MetricsPath = Options.MetricsPath;
-    PerSite.ProfilePath = Options.ChromeTracePath;
     tracer::QueryDriver<typestate::TypestateAnalysis> Driver(B.P, A,
                                                              PerSite);
     std::vector<tracer::QueryOutcome> Outcomes = Driver.run(Checks);
@@ -148,29 +142,6 @@ void runTypestate(const synth::Benchmark &B, const HarnessOptions &Options,
     auditRun(B.P, A, Options, Driver, Outcomes, Label, Out);
   }
   Out.TotalSeconds = Total.seconds();
-}
-
-/// Reconstructs a Config from the deprecated TracerOptions alias - the
-/// inverse of TracerOptions::fromConfig for every field the service
-/// honors, so existing call sites that still poke Options.Tracer keep
-/// working when the service backend re-derives session configuration.
-Config configFromTracer(const tracer::TracerOptions &T) {
-  Config C;
-  C.Execution.K = T.K;
-  C.Execution.MaxItersPerQuery = T.MaxItersPerQuery;
-  C.Execution.GroupQueries = T.GroupQueries;
-  C.Execution.ProductSoftCap = T.ProductSoftCap;
-  C.Execution.TracesPerIteration = T.TracesPerIteration;
-  C.Execution.Strategy = tracer::strategyName(T.Strategy);
-  C.Execution.NumThreads = T.NumThreads;
-  C.Execution.ForwardCacheCapacity = T.ForwardCacheCapacity;
-  C.Budgets.TimeBudgetSeconds = T.TimeBudgetSeconds;
-  C.Budgets.BackwardTimeoutSeconds = T.BackwardTimeoutSeconds;
-  C.Budgets.ForwardStepBudget = T.ForwardStepBudget;
-  C.Budgets.BackwardStepBudget = T.BackwardStepBudget;
-  C.Budgets.SolverDecisionBudget = T.SolverDecisionBudget;
-  C.Budgets.MemoryBudgetBytes = T.MemoryBudgetBytes;
-  return C;
 }
 
 QueryStat statOf(const service::QueryResult &R) {
@@ -204,7 +175,7 @@ void runClientService(const synth::Benchmark &B,
   ir::printProgram(IrText, B.P);
 
   service::AnalysisService::Options SvcOpts;
-  SvcOpts.Base = configFromTracer(Options.Tracer);
+  SvcOpts.Base = Options.Cfg;
   service::AnalysisService Svc(std::move(SvcOpts));
   service::RegisterResult Reg = Svc.registerProgram("bench", IrText.str());
   if (!Reg.Ok) {
@@ -216,10 +187,7 @@ void runClientService(const synth::Benchmark &B,
   service::SessionSpec Spec;
   Spec.Program = "bench";
   Spec.Client = Client;
-  Spec.SessionConfig = configFromTracer(Options.Tracer);
-  Spec.SessionConfig.Observability.EventTracePath = Options.EventTracePath;
-  Spec.SessionConfig.Observability.MetricsPath = Options.MetricsPath;
-  Spec.SessionConfig.Observability.ProfilePath = Options.ChromeTracePath;
+  Spec.SessionConfig = Options.Cfg;
   std::string Err;
   service::Session Sess = Svc.openSession(Spec, Err);
   if (!Sess.valid()) {
@@ -268,14 +236,6 @@ void runClientService(const synth::Benchmark &B,
   Out.TotalSeconds = Total.seconds();
 }
 
-void applyConfig(HarnessOptions &O, const Config &C) {
-  O.Tracer = tracer::TracerOptions::fromConfig(C);
-  O.Audit = C.Audit.Enabled;
-  O.EventTracePath = C.Observability.EventTracePath;
-  O.MetricsPath = C.Observability.MetricsPath;
-  O.ChromeTracePath = C.Observability.ProfilePath;
-}
-
 } // namespace
 
 HarnessOptions::HarnessOptions() {
@@ -284,16 +244,15 @@ HarnessOptions::HarnessOptions() {
   // iterations standing in for the paper's 1000-minute timeout. Neither
   // knob has an OPTABS_* variable, except the time budget, which the
   // environment overrides.
-  Config C = Config::fromEnv();
-  C.Execution.MaxItersPerQuery = 32;
-  if (C.Budgets.TimeBudgetSeconds == Config().Budgets.TimeBudgetSeconds)
-    C.Budgets.TimeBudgetSeconds = 180;
-  applyConfig(*this, C);
+  Cfg = Config::fromEnv();
+  Cfg.Execution.MaxItersPerQuery = 32;
+  if (Cfg.Budgets.TimeBudgetSeconds == Config().Budgets.TimeBudgetSeconds)
+    Cfg.Budgets.TimeBudgetSeconds = 180;
 }
 
 HarnessOptions HarnessOptions::fromConfig(const Config &C) {
   HarnessOptions O;
-  applyConfig(O, C);
+  O.Cfg = C;
   return O;
 }
 
@@ -311,7 +270,7 @@ BenchRun runBenchmark(const synth::BenchConfig &Config,
 
   // Audit needs the drivers' final viable sets, which the service does not
   // expose; audited runs always take the direct path.
-  bool ViaService = Options.UseService && !Options.Audit;
+  bool ViaService = Options.UseService && !Options.Cfg.Audit.Enabled;
   if (Options.RunEscape) {
     if (ViaService)
       runClientService(B, Options, "escape", Run.Esc);

@@ -92,14 +92,28 @@ struct BenchRun {
   ClientResults Ts, Esc;
 };
 
-/// Knobs for a harness run. Like tracer::TracerOptions this is a thin
-/// deprecated alias of the unified optabs::Config: the default constructor
-/// resolves Config::fromEnv() (so the OPTABS_* precedence chain applies)
-/// and fromConfig() builds one from an explicit Config. The individual
-/// fields stay writable for existing call sites; new code should configure
-/// a Config and convert.
+/// Knobs for a harness run: the unified optabs::Config plus the three
+/// harness-only switches. The deprecated per-field aliases (a writable
+/// TracerOptions, Audit, EventTracePath, ...) are gone - poke Cfg
+/// directly:
+///
+///   HarnessOptions O;
+///   O.Cfg.Execution.NumThreads = 4;
+///   O.Cfg.Audit.Enabled = true;
+///   O.Cfg.Observability.EventTracePath = "/tmp/trace.jsonl";
+///
+/// Execution/Budgets reach the drivers through TracerOptions::fromConfig;
+/// Audit.Enabled arms invariant recording plus certificate checking;
+/// the Observability paths are honored per client (the harness stamps the
+/// per-client event-trace labels - "escape", "typestate/site=N" -
+/// itself; the event-trace file is appended to, never truncated).
 struct HarnessOptions {
-  tracer::TracerOptions Tracer;
+  /// The configuration surface. The default constructor resolves
+  /// Config::fromEnv() (so the OPTABS_* precedence chain applies: audit
+  /// arms from OPTABS_AUDIT, metrics from OPTABS_METRICS, ...) and then
+  /// pins the harness operating point; fromConfig() takes an explicit
+  /// Config verbatim.
+  Config Cfg;
   bool RunTypestate = true;
   bool RunEscape = true;
   /// Route every query through a service::AnalysisService (one per client
@@ -110,33 +124,10 @@ struct HarnessOptions {
   /// viable sets, which the service does not expose, so Audit + UseService
   /// falls back to the direct path.
   bool UseService = false;
-  /// Audit mode: after each driver run, record invariant violations and
-  /// independently validate every verdict with the certificate checker
-  /// (tracer/Certificates.h). Costs extra forward fixpoints. Defaults on
-  /// when the OPTABS_AUDIT environment variable is set - how the CI audit
-  /// job arms the whole integration suite without touching call sites.
-  bool Audit;
-  /// When nonempty, every driver appends its JSONL CEGAR event trace here,
-  /// labeled per client ("escape", "typestate/site=N"). The file is
-  /// appended to, never truncated; truncate before the run if needed.
-  std::string EventTracePath;
-  /// When nonempty, enables the process-wide metrics layer and has every
-  /// driver rewrite a cumulative Prometheus-style dump here at the end of
-  /// its run (the last driver leaves the complete picture). Defaults from
-  /// the OPTABS_METRICS environment variable, so CI can collect metrics
-  /// from an unmodified integration binary.
-  std::string MetricsPath;
-  /// Same, for the Chrome trace-event JSON of all profiler spans
-  /// (chrome://tracing / Perfetto loadable). Defaults from
-  /// OPTABS_CHROME_TRACE.
-  std::string ChromeTracePath;
 
   HarnessOptions();
 
-  /// Builds harness options from the unified configuration surface:
-  /// Execution/Budgets map through TracerOptions::fromConfig, Audit.Enabled
-  /// arms audit mode, and the Observability paths land on the harness
-  /// fields (the harness stamps per-client event-trace labels itself).
+  /// Harness options carrying \p C verbatim (no operating-point pinning).
   static HarnessOptions fromConfig(const Config &C);
 };
 

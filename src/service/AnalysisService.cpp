@@ -44,13 +44,16 @@
 #include "service/AnalysisService.h"
 
 #include "escape/Escape.h"
+#include "ir/Liveness.h"
 #include "ir/Parser.h"
 #include "ir/ProgramDiff.h"
 #include "pointer/PointsTo.h"
+#include "service/CacheCodecs.h"
 #include "support/Budget.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "tracer/CachePersist.h"
 #include "typestate/Typestate.h"
 
 #include <algorithm>
@@ -59,9 +62,12 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <tuple>
+
+#include <sys/stat.h>
 
 namespace optabs {
 namespace service {
@@ -186,6 +192,97 @@ void bumpServiceCounter(const char *Name, uint64_t N = 1) {
     support::MetricRegistry::global().counter(Name).add(N);
 }
 
+// -- persistent cache tier helpers ---------------------------------------
+
+std::string hex16(uint64_t V) {
+  static const char *Digits = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    S[I] = Digits[V & 0xf];
+    V >>= 4;
+  }
+  return S;
+}
+
+/// mkdir -p: creates \p Dir and its parents; EEXIST is success.
+bool ensureDir(const std::string &Dir) {
+  if (Dir.empty())
+    return false;
+  for (size_t I = 1; I <= Dir.size(); ++I) {
+    if (I != Dir.size() && Dir[I] != '/')
+      continue;
+    std::string Prefix = Dir.substr(0, I);
+    if (::mkdir(Prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return false;
+  }
+  return true;
+}
+
+/// A stable hash of one program version's fingerprint: procedure names and
+/// id-inclusive content/liveness hashes plus the entity-table shape.
+/// Stamped into every spill file and snapshot so a loaded artifact is
+/// provably from a byte-identical (or per-check footprint-clean) program,
+/// across process restarts where registration epochs restart from 1.
+uint64_t fingerprintHashOf(const ir::ProgramFingerprint &Fp) {
+  uint64_t H = tracer::snapshotHash(nullptr, 0);
+  auto Mix = [&H](uint64_t V) {
+    unsigned char B[8];
+    for (int I = 0; I < 8; ++I)
+      B[I] = static_cast<unsigned char>(V >> (8 * I));
+    H = tracer::snapshotHash(B, 8, H);
+  };
+  Mix(Fp.Procs.size());
+  for (const auto &P : Fp.Procs) {
+    H = tracer::snapshotHash(P.Name.data(), P.Name.size(), H);
+    Mix(P.ContentHash);
+    Mix(P.LivenessHash);
+  }
+  Mix(Fp.NumVars);
+  Mix(Fp.NumGlobals);
+  Mix(Fp.NumFields);
+  Mix(Fp.NumAllocs);
+  Mix(Fp.NumMethods);
+  Mix(Fp.NumSymbols);
+  Mix(Fp.NumChecks);
+  Mix(Fp.MainProc);
+  return H;
+}
+
+void saveCnf(tracer::SnapshotWriter &W, const tracer::Cnf &C) {
+  const auto &Clauses = C.clauses();
+  W.u32(static_cast<uint32_t>(Clauses.size()));
+  for (const auto &Clause : Clauses) {
+    W.u32(static_cast<uint32_t>(Clause.size()));
+    for (const tracer::BoolLit &L : Clause) {
+      W.u32(L.Var);
+      W.u8(L.Positive ? 1 : 0);
+    }
+  }
+}
+
+bool loadCnf(tracer::SnapshotReader &R, tracer::Cnf &C) {
+  uint32_t NumClauses = 0;
+  if (!R.u32(NumClauses))
+    return false;
+  for (uint32_t I = 0; I < NumClauses; ++I) {
+    uint32_t NumLits = 0;
+    if (!R.u32(NumLits))
+      return false;
+    std::vector<tracer::BoolLit> Lits;
+    Lits.reserve(NumLits);
+    for (uint32_t J = 0; J < NumLits; ++J) {
+      tracer::BoolLit L;
+      uint8_t Pos = 0;
+      if (!R.u32(L.Var) || !R.u8(Pos))
+        return false;
+      L.Positive = Pos != 0;
+      Lits.push_back(L);
+    }
+    C.addClause(std::move(Lits));
+  }
+  return true;
+}
+
 } // namespace
 
 struct AnalysisService::Impl {
@@ -209,6 +306,12 @@ struct AnalysisService::Impl {
     std::unique_ptr<escape::EscapeAnalysis> Esc;
     std::unique_ptr<pointer::PointsToResult> Pt;
     std::map<std::string, TsFamily> Families; ///< by property text
+    /// Entry-owned liveness tables for forward runs rehydrated from disk.
+    /// A driver-computed run points at its driver's liveness; a loaded run
+    /// must outlive any driver, so it points here instead. CommandLiveness
+    /// is a pure function of P, so pruning - and therefore every verdict -
+    /// is bitwise identical either way. Scheduler thread only.
+    std::unique_ptr<ir::CommandLiveness> Live;
   };
 
   /// A stored resolved verdict, replayable across re-registrations while
@@ -346,6 +449,12 @@ struct AnalysisService::Impl {
     /// Jobs; empty where the job runs the driver), resolved under the
     /// lock in pickBatch while the slot's footprints are stable.
     std::vector<std::string> ReplayFootprints;
+    /// Nonzero arms the disk spill tier for this batch's run: the hash of
+    /// the slot's fingerprint, snapshotted under the lock in pickBatch
+    /// (executeBatch runs without it, and a concurrent re-registration
+    /// may replace the fingerprint). Stamped into spill files so only an
+    /// identical program version ever re-warms from them.
+    uint64_t FpHash = 0;
   };
 
   struct BatchResult {
@@ -411,6 +520,20 @@ struct AnalysisService::Impl {
   uint64_t NextJob = 1;
   uint64_t NextBatch = 1;
   ServiceStats Stats;
+
+  /// One queued cache-admin operation (cacheOp or the register-time
+  /// auto-warm). Executed on the scheduler thread between batches, where
+  /// the single-threaded cache contract and the epoch invariants hold.
+  struct AdminCmd {
+    std::string Action; ///< stats | persist | load | spill | evict
+    std::string Program; ///< empty = every registered program
+    std::promise<CacheOpResult> Promise;
+  };
+  std::deque<AdminCmd> AdminQueue; ///< guarded by M
+  /// Bytes of spill files written so far, compared against
+  /// Config::ServiceConfig::SpillBytes. Scheduler thread only (the spill
+  /// hooks run inside executeBatch or an admin op, both scheduler-side).
+  uint64_t SpillBytesUsed = 0;
 
   // -- request tracing (guarded by M except where noted) -----------------
   /// Null when observability.service_trace is off: every recording site
@@ -735,6 +858,14 @@ struct AnalysisService::Impl {
       }
     }
 
+    // Disk spill tier: armed for this batch when persistence is on and a
+    // fingerprint exists to stamp spill files with. Snapshot the hash
+    // here, under the lock - a re-registration may replace the
+    // fingerprint while executeBatch runs without it.
+    if (B.Slot && B.Entry && persistenceEnabled() &&
+        !B.Slot->Fingerprint.Procs.empty())
+      B.FpHash = fingerprintHashOf(B.Slot->Fingerprint);
+
     // Trace identity: the batch rides the lead (first-by-submission) job's
     // trace, with the batch sequence number as its span.
     B.Id = NextBatch++;
@@ -868,6 +999,13 @@ struct AnalysisService::Impl {
     const std::vector<uint64_t> *MinData =
         B.MinDataByCheck.empty() ? nullptr : &B.MinDataByCheck;
 
+    // Arm the disk spill tier for the duration of the run: the ladder's
+    // first rung then demotes cold entries to spill files instead of
+    // dropping them, and cache misses consult the spill dir before
+    // recomputing (how a freshly restarted worker re-warms lazily).
+    if (B.FpHash && B.Slot)
+      armSpill(*B.Slot, B.Entry, B.FpHash);
+
     Timer BatchTimer;
     try {
       std::vector<tracer::QueryOutcome> Outcomes;
@@ -934,11 +1072,14 @@ struct AnalysisService::Impl {
     }
     R.Seconds = BatchTimer.seconds();
     // Detach the trace sink: the next batch on this slot re-arms it with
-    // its own context via borrowExecution.
+    // its own context via borrowExecution. Likewise the spill hooks, which
+    // validate against this batch's entry and epoch.
     if (Recorder && B.Slot) {
       B.Slot->EscCache.setTraceSink(nullptr);
       B.Slot->TsCache.setTraceSink(nullptr);
     }
+    if (B.FpHash && B.Slot)
+      disarmSpill(*B.Slot);
     if (Recorder && R.Ran) {
       auto Phase = [&](const char *Name, double S) {
         support::TraceEvent E;
@@ -994,12 +1135,710 @@ struct AnalysisService::Impl {
     return &E.Families.emplace(Prop, std::move(F)).first->second;
   }
 
+  // -- persistent cache tier (scheduler thread only) ---------------------
+
+  using EscKey = tracer::ForwardRunCache<EscForward>::Key;
+  using TsKey = tracer::ForwardRunCache<TsForward>::Key;
+
+  /// True when the on-disk tier is usable at all: it needs a directory to
+  /// write into and the fingerprint machinery (incremental re-register)
+  /// to prove loaded artifacts current.
+  bool persistenceEnabled() const {
+    return !Opts.Base.Service.CacheDir.empty() &&
+           Opts.Base.Service.IncrementalReRegister;
+  }
+
+  /// Lazily built per-entry liveness tables (see ProgramEntry::Live).
+  const ir::CommandLiveness *entryLiveness(ProgramEntry &E) {
+    if (!E.Live)
+      E.Live = std::make_unique<ir::CommandLiveness>(*E.P);
+    return E.Live.get();
+  }
+
+  std::string snapshotPathFor(const std::string &Name) const {
+    return Opts.Base.Service.CacheDir + "/prog-" +
+           hex16(tracer::snapshotHash(Name.data(), Name.size())) + ".snap";
+  }
+
+  /// Spill files are keyed by (program fingerprint, client, family, salt,
+  /// bits) - deliberately NOT by registration epoch, which restarts at 1
+  /// in every process. Two processes (or two registrations) of the same
+  /// program re-warm from each other's spill files; any other program
+  /// hashes elsewhere, and the fields stored inside the file re-verify
+  /// the match on load.
+  std::string spillPathFor(uint64_t FpHash, uint8_t ClientKind,
+                           uint64_t Family, uint32_t Salt,
+                           const std::vector<bool> &Bits) const {
+    uint64_t H = tracer::snapshotHash(nullptr, 0);
+    auto Mix = [&H](uint64_t V) {
+      unsigned char B[8];
+      for (int I = 0; I < 8; ++I)
+        B[I] = static_cast<unsigned char>(V >> (8 * I));
+      H = tracer::snapshotHash(B, 8, H);
+    };
+    Mix(FpHash);
+    Mix(ClientKind);
+    Mix(Family);
+    Mix(Salt);
+    std::vector<uint8_t> Bytes(Bits.size());
+    for (size_t I = 0; I < Bits.size(); ++I)
+      Bytes[I] = Bits[I] ? 1 : 0;
+    H = tracer::snapshotHash(Bytes.data(), Bytes.size(), H);
+    return Opts.Base.Service.CacheDir + "/spill-" + hex16(H) + ".spill";
+  }
+
+  /// Writes one spilled run: the validation stamp (fingerprint hash +
+  /// full key + client kind), then the run payload. Returns false when
+  /// the spill-byte budget is exhausted or the write fails - the caller
+  /// (ForwardRunCache::spillUnpinned) then evicts without spilling.
+  template <typename RunT, typename CodecT>
+  bool writeSpill(uint64_t FpHash, uint8_t ClientKind, uint64_t Family,
+                  uint32_t Salt, const std::vector<bool> &Bits,
+                  const RunT &Run, const CodecT &Codec) {
+    uint64_t Budget = Opts.Base.Service.SpillBytes;
+    if (Budget > 0 && SpillBytesUsed >= Budget)
+      return false;
+    tracer::SnapshotWriter W;
+    W.u64(FpHash);
+    W.u8(ClientKind);
+    W.u64(Family);
+    W.u32(Salt);
+    W.bits(Bits);
+    tracer::RunSink<CodecT> S{W, Codec};
+    Run.saveTo(S);
+    std::string Err;
+    if (!ensureDir(Opts.Base.Service.CacheDir) ||
+        !W.commit(spillPathFor(FpHash, ClientKind, Family, Salt, Bits),
+                  Err))
+      return false;
+    SpillBytesUsed += W.payloadBytes() + 20; // header + checksum framing
+    return true;
+  }
+
+  /// Opens and stamp-validates one spill file; true when it matches the
+  /// requested key exactly (hash-collision paths fail here, not later).
+  bool openSpill(tracer::SnapshotReader &R, uint64_t FpHash,
+                 uint8_t ClientKind, uint64_t Family, uint32_t Salt,
+                 const std::vector<bool> &Bits) {
+    if (!R.open(spillPathFor(FpHash, ClientKind, Family, Salt, Bits)))
+      return false;
+    uint64_t GotFp = 0, GotFamily = 0;
+    uint8_t GotKind = 0;
+    uint32_t GotSalt = 0;
+    std::vector<bool> GotBits;
+    if (!R.u64(GotFp) || !R.u8(GotKind) || !R.u64(GotFamily) ||
+        !R.u32(GotSalt) || !R.bits(GotBits))
+      return false;
+    if (GotFp != FpHash || GotKind != ClientKind || GotFamily != Family ||
+        GotSalt != Salt || GotBits != Bits) {
+      R.fail("spill stamp does not match the requested key");
+      return false;
+    }
+    return true;
+  }
+
+  /// Arms both of \p Slot's cache shards with disk-tier hooks bound to
+  /// \p Entry and \p FpHash. The hooks run on the scheduler thread only
+  /// (inside executeBatch's driver run, or inside an admin spill op) and
+  /// must be disarmed with disarmSpill afterwards: they capture the entry
+  /// they validate against, and a later batch may run a newer epoch.
+  void armSpill(ProgramSlot &Slot, std::shared_ptr<ProgramEntry> Entry,
+                uint64_t FpHash) {
+    ProgramSlot *SlotP = &Slot;
+    Slot.EscCache.setSpillStore(
+        [this, Entry, FpHash](const EscKey &K, const EscForward &Run,
+                              uint64_t DataEpoch) {
+          // Only runs computed against this exact program version spill:
+          // a migrated run (older data epoch) contains stale values for
+          // dirty procedures, shadowed in memory by the per-check
+          // freshness floor - but a reload would stamp it fresh, so it
+          // must evict instead.
+          if (DataEpoch != Entry->Epoch)
+            return false;
+          return writeSpill(FpHash, /*ClientKind=*/0, K.Family, K.Salt,
+                            K.Bits, Run, EscStateCodec());
+        },
+        [this, Entry, FpHash](const EscKey &K, uint64_t *DataEpoch)
+            -> std::unique_ptr<EscForward> {
+          tracer::SnapshotReader R;
+          if (!openSpill(R, FpHash, /*ClientKind=*/0, K.Family, K.Salt,
+                         K.Bits))
+            return nullptr;
+          if (!Entry->Esc)
+            Entry->Esc = std::make_unique<escape::EscapeAnalysis>(*Entry->P);
+          auto Run = std::make_unique<EscForward>(
+              *Entry->P, *Entry->Esc, Entry->Esc->paramFromBits(K.Bits),
+              entryLiveness(*Entry));
+          tracer::RunSource<EscStateCodec> S{R, EscStateCodec()};
+          if (!Run->loadFrom(S) || R.failed())
+            return nullptr;
+          *DataEpoch = Entry->Epoch;
+          return Run;
+        });
+    Slot.TsCache.setSpillStore(
+        [this, Entry, FpHash](const TsKey &K, const TsForward &Run,
+                              uint64_t DataEpoch) {
+          if (DataEpoch != Entry->Epoch)
+            return false;
+          return writeSpill(FpHash, /*ClientKind=*/1, K.Family, K.Salt,
+                            K.Bits, Run, TsStateCodec());
+        },
+        [this, SlotP, Entry, FpHash](const TsKey &K, uint64_t *DataEpoch)
+            -> std::unique_ptr<TsForward> {
+          tracer::SnapshotReader R;
+          if (!openSpill(R, FpHash, /*ClientKind=*/1, K.Family, K.Salt,
+                         K.Bits))
+            return nullptr;
+          typestate::TypestateAnalysis *A =
+              tsAnalysisForFamily(*SlotP, *Entry, K.Family);
+          if (!A)
+            return nullptr;
+          auto Run = std::make_unique<TsForward>(
+              *Entry->P, *A, A->paramFromBits(K.Bits),
+              entryLiveness(*Entry));
+          tracer::RunSource<TsStateCodec> S{R, TsStateCodec()};
+          if (!Run->loadFrom(S) || R.failed())
+            return nullptr;
+          *DataEpoch = Entry->Epoch;
+          return Run;
+        });
+  }
+
+  void disarmSpill(ProgramSlot &Slot) {
+    Slot.EscCache.setSpillStore(nullptr, nullptr);
+    Slot.TsCache.setSpillStore(nullptr, nullptr);
+  }
+
+  /// Resolves a composite type-state cache family ((property index << 32)
+  /// | tracked site) back to its analysis instance, materializing the
+  /// family and points-to on demand exactly like executeBatch does.
+  typestate::TypestateAnalysis *
+  tsAnalysisForFamily(ProgramSlot &Slot, ProgramEntry &E, uint64_t Family) {
+    uint64_t Index = Family >> 32;
+    uint32_t Site = static_cast<uint32_t>(Family & 0xffffffffu);
+    const std::string *Prop = nullptr;
+    for (const auto &[P, Idx] : Slot.FamilyIndex)
+      if (Idx == Index) {
+        Prop = &P;
+        break;
+      }
+    if (!Prop || Site >= E.P->numAllocs())
+      return nullptr;
+    std::string Err;
+    TsFamily *Fam = materializeFamily(Slot, E, *Prop, Err);
+    if (!Fam)
+      return nullptr;
+    if (!E.Pt)
+      E.Pt = std::make_unique<pointer::PointsToResult>(
+          pointer::runPointsTo(*E.P));
+    auto &A = Fam->PerSite[Site];
+    if (!A)
+      A = std::make_unique<typestate::TypestateAnalysis>(
+          *E.P, *Fam->Spec, ir::AllocId(Site), *E.Pt);
+    return A.get();
+  }
+
+  /// Snapshots one program slot - fingerprint, family index, stored
+  /// verdicts, and every cached forward run computed against the live
+  /// version - into CacheDir. Lock held (enumeration only; no waiting).
+  void persistProgram(const std::string &Name, ProgramSlot &Slot,
+                      CacheOpResult &Res) {
+    if (!Slot.Current) {
+      Res.Notes.push_back("program '" + Name + "': no live registration");
+      return;
+    }
+    // Merge-on-persist: several processes may share one cache dir (the
+    // shard fleet does), and each persists to the same per-program path.
+    // Folding the existing snapshot's still-valid entries into the live
+    // cache first makes the write a union instead of a clobber - an idle
+    // shard persisting a program it never analyzed re-writes its peers'
+    // runs rather than erasing them. Stale or corrupt snapshots
+    // contribute nothing (loadProgram validates per entry), and the
+    // loaded counters in \p Res show what the merge picked up.
+    struct stat SB;
+    if (::stat(snapshotPathFor(Name).c_str(), &SB) == 0)
+      loadProgram(Name, Slot, Res);
+    uint64_t Live = Slot.Current->Epoch;
+    tracer::SnapshotWriter W;
+    W.str(Name);
+    W.u64(Live);
+    const ir::ProgramFingerprint &Fp = Slot.Fingerprint;
+    W.u32(static_cast<uint32_t>(Fp.Procs.size()));
+    for (const auto &P : Fp.Procs) {
+      W.str(P.Name);
+      W.u64(P.ContentHash);
+      W.u64(P.LivenessHash);
+    }
+    W.u32(Fp.NumVars);
+    W.u32(Fp.NumGlobals);
+    W.u32(Fp.NumFields);
+    W.u32(Fp.NumAllocs);
+    W.u32(Fp.NumMethods);
+    W.u32(Fp.NumSymbols);
+    W.u32(Fp.NumChecks);
+    W.u32(Fp.MainProc);
+
+    W.u32(static_cast<uint32_t>(Slot.FamilyIndex.size()));
+    for (const auto &[Prop, Idx] : Slot.FamilyIndex) {
+      W.str(Prop);
+      W.u64(Idx);
+    }
+
+    W.u32(static_cast<uint32_t>(Slot.Verdicts.size()));
+    for (const auto &[K, E] : Slot.Verdicts) {
+      W.u8(K.Typestate ? 1 : 0);
+      W.str(K.Property);
+      W.u32(K.Site);
+      W.str(K.OptionsSig);
+      W.u32(K.Check);
+      W.u8(static_cast<uint8_t>(E.V));
+      W.u32(E.Iterations);
+      W.u32(E.CheapestCost);
+      W.str(E.CheapestParam);
+      W.u32(E.TraceRound);
+      W.u8(E.TraceForm);
+      saveCnf(W, E.Viable);
+      ++Res.VerdictsPersisted;
+    }
+
+    // Forward runs: only those computed against the live version persist
+    // (see the spill-hook comment on migrated runs). Snapshot loading
+    // requires a bitwise-identical program anyway, so nothing of value is
+    // lost - a migrated run's data epoch proves it predates this version.
+    uint64_t Skipped = 0;
+    std::vector<std::pair<const EscKey *, const EscForward *>> EscRuns;
+    Slot.EscCache.forEachEntry(
+        [&](const EscKey &K, const EscForward &Run, uint64_t DataEpoch) {
+          if (K.ProgramEpoch == Live && DataEpoch == Live)
+            EscRuns.emplace_back(&K, &Run);
+          else
+            ++Skipped;
+        });
+    W.u32(static_cast<uint32_t>(EscRuns.size()));
+    for (const auto &[K, Run] : EscRuns) {
+      W.u32(K->Salt);
+      W.bits(K->Bits);
+      tracer::RunSink<EscStateCodec> S{W, EscStateCodec()};
+      Run->saveTo(S);
+      ++Res.RunsPersisted;
+    }
+    std::vector<std::pair<const TsKey *, const TsForward *>> TsRuns;
+    Slot.TsCache.forEachEntry(
+        [&](const TsKey &K, const TsForward &Run, uint64_t DataEpoch) {
+          if (K.ProgramEpoch == Live && DataEpoch == Live)
+            TsRuns.emplace_back(&K, &Run);
+          else
+            ++Skipped;
+        });
+    W.u32(static_cast<uint32_t>(TsRuns.size()));
+    for (const auto &[K, Run] : TsRuns) {
+      W.u64(K->Family);
+      W.u32(K->Salt);
+      W.bits(K->Bits);
+      tracer::RunSink<TsStateCodec> S{W, TsStateCodec()};
+      Run->saveTo(S);
+      ++Res.RunsPersisted;
+    }
+    if (Skipped) {
+      Res.RunsSkipped += Skipped;
+      Res.Notes.push_back(
+          "program '" + Name + "': skipped " + std::to_string(Skipped) +
+          " cached run(s) not computed against the live version");
+    }
+
+    std::string Err;
+    if (!ensureDir(Opts.Base.Service.CacheDir)) {
+      Res.Ok = false;
+      Res.Error = "cannot create cache directory '" +
+                  Opts.Base.Service.CacheDir + "'";
+      return;
+    }
+    if (!W.commit(snapshotPathFor(Name), Err)) {
+      Res.Ok = false;
+      Res.Error = Err;
+    }
+  }
+
+  /// Warms one program slot from its snapshot, validating every artifact
+  /// against the live fingerprint exactly like a re-registration diff:
+  /// verdicts load per-check when the check's dependence footprint avoids
+  /// every procedure that changed since the snapshot; forward runs load
+  /// only when the program is bitwise identical to the snapshot version.
+  /// Anything else - and any structural damage - is skipped with a note,
+  /// never served. Lock held.
+  void loadProgram(const std::string &Name, ProgramSlot &Slot,
+                   CacheOpResult &Res) {
+    if (!Slot.Current) {
+      Res.Notes.push_back("program '" + Name + "': no live registration");
+      return;
+    }
+    tracer::SnapshotReader R;
+    if (!R.open(snapshotPathFor(Name))) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+    std::string SnapName;
+    uint64_t SnapEpoch = 0;
+    if (!R.str(SnapName) || !R.u64(SnapEpoch)) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+    if (SnapName != Name) {
+      Res.Notes.push_back("snapshot " + snapshotPathFor(Name) +
+                          ": names program '" + SnapName + "', not '" +
+                          Name + "'");
+      return;
+    }
+    ir::ProgramFingerprint SnapFp;
+    uint32_t NumProcs = 0;
+    if (!R.u32(NumProcs)) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+    SnapFp.Procs.resize(NumProcs);
+    for (auto &P : SnapFp.Procs)
+      if (!R.str(P.Name) || !R.u64(P.ContentHash) ||
+          !R.u64(P.LivenessHash)) {
+        Res.Notes.push_back(R.error());
+        return;
+      }
+    if (!R.u32(SnapFp.NumVars) || !R.u32(SnapFp.NumGlobals) ||
+        !R.u32(SnapFp.NumFields) || !R.u32(SnapFp.NumAllocs) ||
+        !R.u32(SnapFp.NumMethods) || !R.u32(SnapFp.NumSymbols) ||
+        !R.u32(SnapFp.NumChecks) || !R.u32(SnapFp.MainProc)) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+
+    // The snapshot-to-live diff: the same comparison a re-registration
+    // makes between the retiring and new versions, and the sole authority
+    // on what may load. Identical program = everything; comparable =
+    // per-check verdicts; incomparable = nothing.
+    ir::ProgramDiff D = ir::diffPrograms(SnapFp, Slot.Fingerprint);
+    const bool Identical = D.Comparable && D.numDirty() == 0;
+    if (!D.Comparable)
+      Res.Notes.push_back("program '" + Name +
+                          "': snapshot version is incomparable with the "
+                          "live version (entity tables or main differ); "
+                          "nothing loaded");
+
+    // Family index: merge-or-verify. Cache keys fold the property index,
+    // so a loaded type-state run is only valid if its property maps to
+    // the same index live; a conflict skips that family's runs.
+    uint32_t NumFams = 0;
+    if (!R.u32(NumFams)) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+    std::map<uint64_t, std::string> SnapFamilyProp;
+    std::set<uint64_t> ConflictFams;
+    for (uint32_t I = 0; I < NumFams; ++I) {
+      std::string Prop;
+      uint64_t Idx = 0;
+      if (!R.str(Prop) || !R.u64(Idx)) {
+        Res.Notes.push_back(R.error());
+        return;
+      }
+      SnapFamilyProp[Idx] = Prop;
+      auto It = Slot.FamilyIndex.find(Prop);
+      if (It == Slot.FamilyIndex.end()) {
+        Slot.FamilyIndex.emplace(Prop, Idx);
+        Slot.NextFamilyId = std::max(Slot.NextFamilyId, Idx + 1);
+      } else if (It->second != Idx) {
+        ConflictFams.insert(Idx);
+        Res.Notes.push_back("program '" + Name + "': property family '" +
+                            Prop +
+                            "' has a different index live; skipping its "
+                            "cached runs");
+      }
+    }
+
+    auto FootprintClean = [&](uint32_t Check) {
+      if (!D.Comparable || Check >= Slot.CheckFootprints.size())
+        return false;
+      bool Hit = false;
+      D.DirtyProcs.forEach([&](size_t P) {
+        if (P < Slot.CheckFootprints[Check].size() &&
+            Slot.CheckFootprints[Check].test(P))
+          Hit = true;
+      });
+      return !Hit;
+    };
+
+    // Stored verdicts: per-check validation, exactly the re-registration
+    // filter. A loaded verdict gets data epoch 0 ("since forever") and
+    // the check's freshness floor drops to 0 with it - sound because the
+    // footprint comparison just proved every constraint the verdict
+    // depends on unchanged since the snapshot.
+    uint32_t NumVerdicts = 0;
+    if (!R.u32(NumVerdicts)) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+    uint64_t StaleVerdicts = 0;
+    for (uint32_t I = 0; I < NumVerdicts; ++I) {
+      VerdictKey K;
+      VerdictEntry E;
+      uint8_t Ts = 0, V = 0;
+      uint32_t Iter = 0, Round = 0;
+      if (!R.u8(Ts) || !R.str(K.Property) || !R.u32(K.Site) ||
+          !R.str(K.OptionsSig) || !R.u32(K.Check) || !R.u8(V) ||
+          !R.u32(Iter) || !R.u32(E.CheapestCost) ||
+          !R.str(E.CheapestParam) || !R.u32(Round) || !R.u8(E.TraceForm) ||
+          !loadCnf(R, E.Viable)) {
+        Res.Notes.push_back(R.error());
+        return;
+      }
+      if (Ts > 1 || V > 2 || E.TraceForm > 2) {
+        R.fail("verdict record field out of range");
+        Res.Notes.push_back(R.error());
+        return;
+      }
+      K.Typestate = Ts == 1;
+      E.V = static_cast<tracer::Verdict>(V);
+      E.Iterations = Iter;
+      E.TraceRound = Round;
+      E.DataEpoch = 0;
+      if (!FootprintClean(K.Check)) {
+        ++StaleVerdicts;
+        continue;
+      }
+      if (Slot.Verdicts.count(K)) {
+        ++Res.VerdictsSkipped;
+        continue; // a live verdict is always at least as fresh
+      }
+      if (K.Check < Slot.CheckLastDirty.size())
+        Slot.CheckLastDirty[K.Check] = 0;
+      Slot.Verdicts.emplace(std::move(K), std::move(E));
+      ++Res.VerdictsLoaded;
+    }
+    if (StaleVerdicts) {
+      Res.VerdictsSkipped += StaleVerdicts;
+      Res.Notes.push_back("program '" + Name + "': skipped " +
+                          std::to_string(StaleVerdicts) +
+                          " stored verdict(s) whose check footprint "
+                          "changed since the snapshot");
+    }
+
+    // Forward runs: all-or-nothing on program identity. Their values are
+    // indexed by statement/command ids across the whole program, so any
+    // dirty procedure poisons the address space; per-check shadowing
+    // cannot save them the way it does live migrated entries, because a
+    // load stamps the current epoch as the data epoch.
+    uint32_t NumEsc = 0;
+    if (!R.u32(NumEsc)) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+    ProgramEntry &E = *Slot.Current;
+    if (!Identical && D.Comparable)
+      Res.Notes.push_back("program '" + Name + "': " +
+                          std::to_string(D.numDirty()) +
+                          " procedure(s) changed since the snapshot; "
+                          "cached runs not loaded");
+    for (uint32_t I = 0; I < NumEsc; ++I) {
+      EscKey K;
+      if (!R.u32(K.Salt) || !R.bits(K.Bits)) {
+        Res.Notes.push_back(R.error());
+        return;
+      }
+      K.ProgramEpoch = E.Epoch;
+      if (!E.Esc)
+        E.Esc = std::make_unique<escape::EscapeAnalysis>(*E.P);
+      auto Run = std::make_unique<EscForward>(
+          *E.P, *E.Esc, E.Esc->paramFromBits(K.Bits), entryLiveness(E));
+      tracer::RunSource<EscStateCodec> S{R, EscStateCodec()};
+      if (!Run->loadFrom(S) || R.failed()) {
+        // The stream is sequential: a payload that fails to parse means
+        // the rest of the record stream is unrecoverable. Keep what
+        // loaded so far; it was each individually validated.
+        Res.Notes.push_back(R.failed() ? R.error()
+                                       : "snapshot " +
+                                             snapshotPathFor(Name) +
+                                             ": invalid forward-run "
+                                             "payload");
+        return;
+      }
+      if (!Identical || Slot.EscCache.contains(K)) {
+        ++Res.RunsSkipped;
+        continue;
+      }
+      Slot.EscCache.insert(std::move(K), std::move(Run), E.Epoch);
+      ++Res.RunsLoaded;
+    }
+    uint32_t NumTs = 0;
+    if (!R.u32(NumTs)) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+    for (uint32_t I = 0; I < NumTs; ++I) {
+      TsKey K;
+      if (!R.u64(K.Family) || !R.u32(K.Salt) || !R.bits(K.Bits)) {
+        Res.Notes.push_back(R.error());
+        return;
+      }
+      K.ProgramEpoch = E.Epoch;
+      typestate::TypestateAnalysis *A = nullptr;
+      if (Identical && !ConflictFams.count(K.Family >> 32))
+        A = tsAnalysisForFamily(Slot, E, K.Family);
+      if (!A) {
+        // Still must parse past the payload to reach later records; a
+        // throwaway analysis instance is not available, so parse the run
+        // into a scratch instance only when one exists. Without one the
+        // stream cannot advance - stop with a note.
+        if (!Identical) {
+          Res.Notes.push_back("program '" + Name +
+                              "': remaining type-state runs not loaded "
+                              "(program changed since the snapshot)");
+        } else {
+          Res.Notes.push_back("program '" + Name +
+                              "': cannot resolve analysis family " +
+                              std::to_string(K.Family >> 32) +
+                              " for a cached run; remaining runs "
+                              "skipped");
+        }
+        Res.RunsSkipped += NumTs - I;
+        return;
+      }
+      auto Run = std::make_unique<TsForward>(
+          *E.P, *A, A->paramFromBits(K.Bits), entryLiveness(E));
+      tracer::RunSource<TsStateCodec> S{R, TsStateCodec()};
+      if (!Run->loadFrom(S) || R.failed()) {
+        Res.Notes.push_back(R.failed() ? R.error()
+                                       : "snapshot " +
+                                             snapshotPathFor(Name) +
+                                             ": invalid forward-run "
+                                             "payload");
+        return;
+      }
+      if (Slot.TsCache.contains(K)) {
+        ++Res.RunsSkipped;
+        continue;
+      }
+      Slot.TsCache.insert(std::move(K), std::move(Run), E.Epoch);
+      ++Res.RunsLoaded;
+    }
+  }
+
+  /// Lock held. Executes one queued cache-admin command against the
+  /// matching program slots and fulfills its promise.
+  void runAdminCmd(AdminCmd &Cmd) {
+    CacheOpResult Res;
+    Res.Ok = true;
+    auto ForEachTarget = [&](auto Fn) {
+      if (!Cmd.Program.empty()) {
+        auto It = Programs.find(Cmd.Program);
+        if (It == Programs.end()) {
+          Res.Ok = false;
+          Res.Error = "program '" + Cmd.Program + "' is not registered";
+          return;
+        }
+        Fn(It->first, It->second);
+        return;
+      }
+      for (auto &[Name, Slot] : Programs)
+        Fn(Name, Slot);
+    };
+
+    if (Cmd.Action == "stats") {
+      ForEachTarget([&](const std::string &, ProgramSlot &Slot) {
+        auto Fold = [&](const tracer::ForwardCacheCounters &C,
+                        size_t Size) {
+          Res.Entries += Size;
+          Res.ResidentBytes += C.ResidentBytes;
+          Res.SpillWrites += C.SpillWrites;
+          Res.SpillLoads += C.SpillLoads;
+        };
+        Fold(Slot.EscCache.counters(), Slot.EscCache.size());
+        Fold(Slot.TsCache.counters(), Slot.TsCache.size());
+      });
+    } else if (Cmd.Action == "persist" || Cmd.Action == "load") {
+      if (!persistenceEnabled()) {
+        Res.Ok = false;
+        Res.Error = Opts.Base.Service.CacheDir.empty()
+                        ? "cache persistence is disabled: no "
+                          "service.cache_dir configured"
+                        : "cache persistence requires "
+                          "service.incremental_re_register (fingerprints "
+                          "prove loaded entries current)";
+      } else if (Cmd.Action == "persist") {
+        ForEachTarget([&](const std::string &Name, ProgramSlot &Slot) {
+          persistProgram(Name, Slot, Res);
+        });
+      } else {
+        ForEachTarget([&](const std::string &Name, ProgramSlot &Slot) {
+          loadProgram(Name, Slot, Res);
+        });
+      }
+    } else if (Cmd.Action == "spill" || Cmd.Action == "evict") {
+      bool Spill = Cmd.Action == "spill" && persistenceEnabled();
+      if (Cmd.Action == "spill" && !persistenceEnabled())
+        Res.Notes.push_back("no cache_dir configured (or incremental "
+                            "re-register off); evicting without "
+                            "spilling");
+      ForEachTarget([&](const std::string &, ProgramSlot &Slot) {
+        // A new cache round first: between batches no driver holds run
+        // pointers, so unpinning everything (and flushing deferred
+        // replacements) is safe and lets the whole shard demote.
+        Slot.EscCache.beginEpoch();
+        Slot.TsCache.beginEpoch();
+        uint64_t FpHash =
+            Spill && Slot.Current && !Slot.Fingerprint.Procs.empty()
+                ? fingerprintHashOf(Slot.Fingerprint)
+                : 0;
+        if (FpHash)
+          armSpill(Slot, Slot.Current, FpHash);
+        auto Before = [&] {
+          return Slot.EscCache.counters().SpillWrites +
+                 Slot.TsCache.counters().SpillWrites;
+        };
+        uint64_t WritesBefore = Before();
+        size_t Left = Slot.EscCache.spillUnpinned() +
+                      Slot.TsCache.spillUnpinned();
+        uint64_t Wrote = Before() - WritesBefore;
+        Res.Spilled += Wrote;
+        Res.Evicted += Left - std::min<size_t>(Left, Wrote);
+        if (FpHash)
+          disarmSpill(Slot);
+        // Post-operation footprint plus the lifetime spill counters, so
+        // the response is self-describing (no follow-up stats op needed
+        // to see where the entries went).
+        auto Fold = [&](const tracer::ForwardCacheCounters &C,
+                        size_t Size) {
+          Res.Entries += Size;
+          Res.ResidentBytes += C.ResidentBytes;
+          Res.SpillWrites += C.SpillWrites;
+          Res.SpillLoads += C.SpillLoads;
+        };
+        Fold(Slot.EscCache.counters(), Slot.EscCache.size());
+        Fold(Slot.TsCache.counters(), Slot.TsCache.size());
+      });
+    } else {
+      Res.Ok = false;
+      Res.Error = "unknown cache action '" + Cmd.Action +
+                  "' (expected stats, persist, load, spill or evict)";
+    }
+    Cmd.Promise.set_value(std::move(Res));
+  }
+
+  /// Lock held. Drains the admin queue in submission order - notably
+  /// before the next batch is picked, so a register-time auto-warm is
+  /// visible to the first batch on that program.
+  void processAdminCommands() {
+    while (!AdminQueue.empty()) {
+      AdminCmd Cmd = std::move(AdminQueue.front());
+      AdminQueue.pop_front();
+      runAdminCmd(Cmd);
+    }
+  }
+
   void schedulerLoop() {
     std::unique_lock<std::mutex> Lock(M);
     for (;;) {
       processInvalidations();
       if (ShuttingDown)
         break;
+      processAdminCommands();
       Batch B;
       if ((Opts.AutoDispatch || DrainWaiters > 0) && pickBatch(B)) {
         Lock.unlock();
@@ -1018,6 +1857,23 @@ struct AnalysisService::Impl {
         IdleCV.notify_all();
       WorkCV.wait(Lock);
     }
+    // Shutdown persist: snapshot every program so the next process starts
+    // warm. Runs before the promises are doomed - the caches are quiet
+    // (no batch is running) and the fingerprints are final.
+    if (Opts.Base.Service.PersistOnShutdown && persistenceEnabled()) {
+      for (auto &[Name, Slot] : Programs) {
+        CacheOpResult Res;
+        Res.Ok = true;
+        persistProgram(Name, Slot, Res);
+      }
+    }
+    // Queued admin operations complete with a structured shutdown error.
+    for (AdminCmd &Cmd : AdminQueue) {
+      CacheOpResult Res;
+      Res.Error = "service shut down";
+      Cmd.Promise.set_value(std::move(Res));
+    }
+    AdminQueue.clear();
     // Shutdown: everything still queued completes as Cancelled.
     std::vector<std::promise<QueryResult>> Doomed;
     for (auto &[Id, S] : Sessions) {
@@ -1323,6 +2179,16 @@ RegisterResult AnalysisService::registerProgram(const std::string &Name,
     R.Epoch = Entry->Epoch;
     R.Checks = Entry->P->numChecks();
     R.Allocs = Entry->P->numAllocs();
+    // Auto-warm: queue a snapshot load for this program so the scheduler
+    // rehydrates whatever a previous process persisted before it picks
+    // the first batch. Stale/corrupt snapshots degrade to a cold start
+    // with notes; nobody waits on this promise.
+    if (I->persistenceEnabled()) {
+      Impl::AdminCmd Cmd;
+      Cmd.Action = "load";
+      Cmd.Program = Name;
+      I->AdminQueue.push_back(std::move(Cmd));
+    }
   }
   bumpServiceCounter("optabs_service_programs_registered_total");
   I->WorkCV.notify_all(); // stale-epoch eviction runs promptly
@@ -1542,6 +2408,26 @@ JobTimeline AnalysisService::explain(uint64_t JobId) const {
   std::lock_guard<std::mutex> Lock(I->M);
   auto It = I->JobLog.find(JobId);
   return It == I->JobLog.end() ? JobTimeline() : It->second;
+}
+
+CacheOpResult AnalysisService::cacheOp(const std::string &Action,
+                                       const std::string &Program) {
+  std::future<CacheOpResult> F;
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    if (I->ShuttingDown) {
+      CacheOpResult R;
+      R.Error = "service shut down";
+      return R;
+    }
+    Impl::AdminCmd Cmd;
+    Cmd.Action = Action;
+    Cmd.Program = Program;
+    F = Cmd.Promise.get_future();
+    I->AdminQueue.push_back(std::move(Cmd));
+  }
+  I->WorkCV.notify_all();
+  return F.get();
 }
 
 unsigned AnalysisService::poolWorkers() const { return I->Pool->numWorkers(); }

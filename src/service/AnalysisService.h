@@ -272,6 +272,30 @@ struct JobTimeline {
   }
 };
 
+/// The outcome of one cache-admin operation (AnalysisService::cacheOp and
+/// the `cache` protocol op): what was persisted, loaded, spilled, evicted
+/// or skipped, plus structured per-artifact notes ("skipped stale verdict
+/// ...", "snapshot <path>: checksum mismatch ..."). A damaged or stale
+/// snapshot never fails the operation as a whole - it is skipped with a
+/// note, because a warm start degrading to a cold one is normal.
+struct CacheOpResult {
+  bool Ok = false;
+  std::string Error; ///< unknown action/program, persistence disabled, ...
+  uint64_t RunsPersisted = 0;
+  uint64_t VerdictsPersisted = 0;
+  uint64_t RunsLoaded = 0;
+  uint64_t VerdictsLoaded = 0;
+  uint64_t RunsSkipped = 0;    ///< stale/duplicate/corrupt, see Notes
+  uint64_t VerdictsSkipped = 0;
+  uint64_t Spilled = 0; ///< entries written to spill files then evicted
+  uint64_t Evicted = 0;
+  uint64_t SpillLoads = 0;  ///< lifetime spill-file rehydrations (stats)
+  uint64_t SpillWrites = 0; ///< lifetime spill-file writes (stats)
+  uint64_t ResidentBytes = 0; ///< in-memory cache footprint (stats)
+  uint64_t Entries = 0;       ///< resident cache entries (stats)
+  std::vector<std::string> Notes;
+};
+
 class AnalysisService;
 
 /// A tenant's handle: a session id plus the service it lives in. Thin and
@@ -383,6 +407,29 @@ public:
   /// !Found when tracing is off, the job was never admitted, or its
   /// timeline was evicted (bounded like the recorder ring).
   JobTimeline explain(uint64_t JobId) const;
+
+  /// The unified cache-admin API (the `cache` protocol op). \p Action is
+  /// one of:
+  ///
+  ///  * "stats"   - resident entries/bytes and lifetime spill counters
+  ///  * "persist" - snapshot cached forward runs and stored verdicts of
+  ///                \p Program (every program when empty) to
+  ///                Config::ServiceConfig::CacheDir
+  ///  * "load"    - warm the caches from snapshots on disk; entries are
+  ///                validated against the live program fingerprint exactly
+  ///                like a re-registration diff (ir/ProgramDiff.h) and
+  ///                stale or corrupt artifacts are skipped with notes
+  ///  * "spill"   - demote every unpinned cached run to a spill file (or
+  ///                plain-evict when no cache_dir is configured)
+  ///  * "evict"   - drop every unpinned cached run without spilling
+  ///
+  /// Runs on the scheduler thread between batches, so cache invariants
+  /// (single-threaded shards, epoch pinning) hold throughout; the call
+  /// blocks until the operation completes. persist/load require
+  /// service.cache_dir and service.incremental_re_register (fingerprints
+  /// are what make a loaded entry provably current).
+  CacheOpResult cacheOp(const std::string &Action,
+                        const std::string &Program = std::string());
 
 private:
   friend class Session;

@@ -1,0 +1,81 @@
+//===- CacheCodecs.h - Client state codecs for cache persistence -*- C++ -*-===//
+//
+// Part of the optabs project, a reproduction of "Finding Optimum
+// Abstractions in Parametric Dataflow Analysis" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client-specific halves of the persistent cache tier. The tracer
+/// library (tracer/CachePersist.h) deliberately knows nothing about
+/// EscState/AbsState; these codecs plug client state serialization into
+/// the RunSink/RunSource adapters so the service - which links both
+/// analysis clients anyway - can snapshot and rehydrate whole
+/// ForwardAnalysis runs.
+///
+/// Round-trip contract: save() followed by load() reconstructs a state
+/// that compares equal and hashes identically, so re-interning the saved
+/// states in id order reproduces every StateId bit-for-bit (the property
+/// ForwardAnalysis::loadFrom verifies and warm-restart verdict identity
+/// rests on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPTABS_SERVICE_CACHECODECS_H
+#define OPTABS_SERVICE_CACHECODECS_H
+
+#include "escape/Escape.h"
+#include "tracer/CachePersist.h"
+#include "typestate/Typestate.h"
+
+namespace optabs {
+namespace service {
+
+/// Escape-client states are byte vectors of per-variable lattice values.
+struct EscStateCodec {
+  void save(tracer::SnapshotWriter &W, const escape::EscState &S) const {
+    W.bytes(S.Vals);
+  }
+  bool load(tracer::SnapshotReader &R, escape::EscState &S) const {
+    return R.bytes(S.Vals);
+  }
+};
+
+/// Type-state client states: the Top flag, the automaton state, and the
+/// per-variable abstract values.
+struct TsStateCodec {
+  void save(tracer::SnapshotWriter &W, const typestate::AbsState &S) const {
+    W.u8(S.Top ? 1 : 0);
+    W.u32(S.Ts);
+    W.u32(static_cast<uint32_t>(S.Vs.size()));
+    for (uint32_t V : S.Vs)
+      W.u32(V);
+  }
+  bool load(tracer::SnapshotReader &R, typestate::AbsState &S) const {
+    uint8_t Top = 0;
+    if (!R.u8(Top))
+      return false;
+    if (Top > 1) {
+      R.fail("AbsState top flag out of range");
+      return false;
+    }
+    S.Top = Top == 1;
+    uint32_t Count = 0;
+    if (!R.u32(S.Ts) || !R.u32(Count))
+      return false;
+    S.Vs.clear();
+    S.Vs.reserve(Count);
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint32_t V = 0;
+      if (!R.u32(V))
+        return false;
+      S.Vs.push_back(V);
+    }
+    return true;
+  }
+};
+
+} // namespace service
+} // namespace optabs
+
+#endif // OPTABS_SERVICE_CACHECODECS_H

@@ -38,6 +38,20 @@
 ///        or "optabs-shardd"), "protocol", "uptime_s", and the pending job
 ///        count; the shard supervisor also answers it itself and uses it
 ///        as the worker health check after every (re)spawn
+///   {"op":"cache","action":A [,"program":N]} -> unified cache admin:
+///        A is "stats" (resident entries/bytes and the persistence
+///        counters), "persist" (snapshot one program - or all, when
+///        "program" is absent - to the configured cache dir), "load"
+///        (rehydrate snapshots; stale or corrupt entries are skipped
+///        with a structured note, never served), "spill" (demote every
+///        unpinned forward run to the spill tier on disk), or "evict"
+///        (drop unpinned forward runs without writing anything).
+///        "persist"/"load" require --cache-dir and --incremental=1;
+///        the response carries the per-action counters plus a "notes"
+///        field joining every skip/conflict reason with ';'. The shard
+///        supervisor fans the op out to every worker and sums the
+///        counters. Responses are deterministic (no wall-clock fields),
+///        pinned by tools/testdata/serve_cache.jsonl and its .golden.
 ///   {"op":"shutdown"}
 ///
 /// Responses always carry "v", "ok", and (echoed) "op". Job results (the

@@ -334,10 +334,143 @@ bool ShardRouter::replayShard(unsigned I) {
 }
 
 //===----------------------------------------------------------------------===//
+// Work stealing
+//===----------------------------------------------------------------------===//
+
+bool ShardRouter::stealSession(uint64_t SessId, unsigned Victim,
+                               unsigned Thief) {
+  SessionRec &S = Sessions[SessId];
+  std::string Err;
+  if (!ensureUp(Thief, Err))
+    return false;
+  // No retries inside a steal: a thief restart mid-move would renumber
+  // the half-built shard-local ids. Any hiccup aborts; the victim keeps
+  // the session and ordinary drain handles it.
+  auto Rpc = [&](const std::string &L, JsonLine &P) -> bool {
+    std::string Resp, PErr;
+    if (rpcOnce(Thief, L, Resp) != RpcStatus::Ok) {
+      markDown(Thief);
+      return false;
+    }
+    return JsonLine::parse(Resp, P, PErr) && P.getBool("ok").value_or(false);
+  };
+
+  JsonLine OpenResp;
+  if (!Rpc(S.OpenLine, OpenResp))
+    return false;
+  auto NewSess = OpenResp.getUInt("session");
+  if (!NewSess)
+    return false;
+
+  // Re-submit the session's pending jobs on the thief, in supervisor-id
+  // order, collecting the new shard-local ids before committing anything.
+  std::vector<std::pair<uint64_t, uint64_t>> Moved; // sup id -> thief job
+  bool Failed = false;
+  for (auto &[Id, J] : Jobs) {
+    if (J.SupSession != SessId || J.State != JobState::Pending ||
+        J.CancelRequested)
+      continue;
+    JsonLine SubResp;
+    if (!Rpc(submitLineFor(J, *NewSess), SubResp)) {
+      Failed = true;
+      break;
+    }
+    auto NewJob = SubResp.getUInt("job");
+    if (!NewJob) {
+      Failed = true;
+      break;
+    }
+    Moved.push_back({Id, *NewJob});
+  }
+  if (Failed) {
+    // Roll back: closing the half-built thief session cancels whatever
+    // was already submitted there; the victim was never touched.
+    JsonObject C;
+    C.field("op", "close-session");
+    C.field("session", *NewSess);
+    JsonLine Dummy;
+    Rpc(C.str(), Dummy);
+    return false;
+  }
+
+  // Commit: re-point the records and drop the victim's job mappings so
+  // its (now duplicate) result lines are ignored at collection. Then
+  // cancel the victim's copy best-effort - correctness does not depend
+  // on it (unmapped results are dropped), it only saves wasted compute.
+  for (auto &[SupId, ThiefJob] : Moved) {
+    JobRec &J = Jobs[SupId];
+    Shards[Victim].JobsByShardId.erase(J.ShardJob);
+    J.Shard = Thief;
+    J.ShardJob = ThiefJob;
+    Shards[Thief].JobsByShardId[ThiefJob] = SupId;
+    ++Stats.StolenJobs;
+  }
+  if (Shards[Victim].Up && Shards[Victim].Ep) {
+    JsonObject C;
+    C.field("op", "close-session");
+    C.field("session", S.ShardId);
+    std::string Resp;
+    if (rpcOnce(Victim, C.str(), Resp) != RpcStatus::Ok)
+      markDown(Victim);
+  }
+  S.Shard = Thief;
+  S.ShardId = *NewSess;
+  ++Stats.Steals;
+  return true;
+}
+
+void ShardRouter::maybeStealWork() {
+  if (Opts.StealThreshold == 0 || Opts.NumShards < 2)
+    return;
+  // Bounded by the session count: every successful steal moves at least
+  // one pending job off the victim, and a failed steal ends the loop.
+  for (size_t Guard = 0; Guard <= Sessions.size(); ++Guard) {
+    std::vector<uint64_t> Pending(Opts.NumShards, 0);
+    for (const auto &[Id, J] : Jobs)
+      if (J.State == JobState::Pending && !J.CancelRequested)
+        ++Pending[J.Shard];
+    unsigned Victim = 0, Thief = 0;
+    for (unsigned I = 1; I < Opts.NumShards; ++I) {
+      if (Pending[I] > Pending[Victim])
+        Victim = I;
+      if (Pending[I] < Pending[Thief])
+        Thief = I;
+    }
+    if (Pending[Victim] < Opts.StealThreshold || Pending[Thief] != 0)
+      return;
+    // Deterministic pick: the victim's lowest-id open session that has
+    // at least one pending job (sessions whose last jobs were cancelled
+    // contribute nothing and are skipped).
+    uint64_t SessId = 0;
+    for (const auto &[Id, S] : Sessions) {
+      if (S.Shard != Victim || S.Closed)
+        continue;
+      bool HasPending = false;
+      for (const auto &[JId, J] : Jobs)
+        if (J.SupSession == Id && J.State == JobState::Pending &&
+            !J.CancelRequested) {
+          HasPending = true;
+          break;
+        }
+      if (HasPending) {
+        SessId = Id;
+        break;
+      }
+    }
+    if (SessId == 0 || !stealSession(SessId, Victim, Thief))
+      return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Drain
 //===----------------------------------------------------------------------===//
 
 void ShardRouter::handleDrain(std::vector<std::string> &Out) {
+  // Rebalance before fanning the drains out: a steal is only useful while
+  // the jobs are still queued.
+  maybeStealWork();
+
   auto PendingShards = [this] {
     std::set<unsigned> S;
     for (const auto &[Id, J] : Jobs)
@@ -731,6 +864,57 @@ bool ShardRouter::handleLine(const std::string &Line,
     O.field("fulfilled", S.Fulfilled);
     O.field("failed", S.Failed);
     O.field("pending", S.Pending);
+    O.field("steals", S.Steals);
+    O.field("stolen_jobs", S.StolenJobs);
+    EmitObj(O);
+  } else if (*Op == "cache") {
+    auto Action = Req.getString("action");
+    if (!Action) {
+      Emit(errorLine(*Op,
+                     "cache needs 'action' (stats|persist|load|spill|evict)"));
+      return true;
+    }
+    // Fan out to every shard and sum the counters: with a shared
+    // --cache-dir the shards form one cache deployment, so "persist"
+    // snapshots all of it and "stats" reports the whole fleet.
+    static const char *const SumKeys[] = {
+        "entries",       "resident_bytes",     "runs_persisted",
+        "verdicts_persisted", "runs_loaded",   "verdicts_loaded",
+        "runs_skipped",  "verdicts_skipped",   "spilled",
+        "evicted",       "spill_writes",       "spill_loads"};
+    constexpr size_t NumSumKeys = sizeof(SumKeys) / sizeof(SumKeys[0]);
+    uint64_t Totals[NumSumKeys] = {};
+    std::string Notes;
+    for (unsigned I = 0; I < Opts.NumShards; ++I) {
+      std::string Resp, RpcErr;
+      if (!rpcWithRetry(I, Line, Resp, RpcErr)) {
+        Emit(errorLine(*Op, "shard " + std::to_string(I) + ": " + RpcErr));
+        return true;
+      }
+      JsonLine R;
+      std::string PErr;
+      if (!JsonLine::parse(Resp, R, PErr) ||
+          !R.getBool("ok").value_or(false)) {
+        // Worker rejections are deterministic over the shared config
+        // (unknown action, missing cache dir): forward the first one.
+        Emit(Resp);
+        return true;
+      }
+      for (size_t K = 0; K < NumSumKeys; ++K)
+        Totals[K] += R.getUInt(SumKeys[K]).value_or(0);
+      if (auto N = R.getString("notes"); N && !N->empty()) {
+        if (!Notes.empty())
+          Notes += ';';
+        Notes += "shard" + std::to_string(I) + ": " + *N;
+      }
+    }
+    JsonObject O = response(true);
+    O.field("op", *Op);
+    O.field("action", *Action);
+    O.field("shards", Opts.NumShards);
+    for (size_t K = 0; K < NumSumKeys; ++K)
+      O.field(SumKeys[K], Totals[K]);
+    O.field("notes", Notes);
     EmitObj(O);
   } else if (*Op == "explain") {
     auto JobN = Req.getUInt("job");

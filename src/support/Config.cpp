@@ -148,6 +148,24 @@ Config Config::fromEnv(std::vector<ConfigError> *Errors) {
                 C.Observability.ServiceTrace = N == 1;
                 return true;
               });
+  if (const char *Dir = std::getenv("OPTABS_CACHE_DIR"))
+    C.Service.CacheDir = Dir;
+  envOverride("OPTABS_SPILL_BYTES", "service.spill_bytes", Errors,
+              [&](const std::string &V) {
+                uint64_t N;
+                if (!parseU64(V, N))
+                  return false;
+                C.Service.SpillBytes = N;
+                return true;
+              });
+  envOverride("OPTABS_PERSIST_ON_SHUTDOWN", "service.persist_on_shutdown",
+              Errors, [&](const std::string &V) {
+                uint64_t N;
+                if (!parseU64(V, N) || N > 1)
+                  return false;
+                C.Service.PersistOnShutdown = N == 1;
+                return true;
+              });
   return C;
 }
 
@@ -215,6 +233,17 @@ std::vector<ConfigError> Config::validate() const {
   if (Service.MaxSessions == 0)
     Reject("service.max_sessions",
            "the service must admit at least one session");
+  // (12) The persistent cache tier needs a directory to write into.
+  if (Service.CacheDir.empty()) {
+    if (Service.SpillBytes > 0)
+      Reject("service.spill_bytes",
+             "a spill budget requires service.cache_dir (nowhere to "
+             "write spill files)");
+    if (Service.PersistOnShutdown)
+      Reject("service.persist_on_shutdown",
+             "persisting at shutdown requires service.cache_dir (nowhere "
+             "to write snapshots)");
+  }
   return Errors;
 }
 

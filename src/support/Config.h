@@ -47,6 +47,8 @@
 ///      observability.service_trace is off (the export would be empty)
 ///  11. observability.slow_query_seconds < 0 (0 disables the slow-query
 ///      log; negative thresholds are meaningless)
+///  12. service.spill_bytes or service.persist_on_shutdown set without a
+///      service.cache_dir (the persistent tier has nowhere to write)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -149,6 +151,19 @@ struct Config {
     /// reason unless an incremental diff proves their check untouched;
     /// silently re-running them against different IR was a bug.)
     bool IncrementalReRegister = true;
+    /// Directory for the persistent cache tier (snapshots written by the
+    /// `cache` op / shutdown persist, spill files written under memory
+    /// pressure, warm loads on registration). Empty disables every
+    /// on-disk path (OPTABS_CACHE_DIR).
+    std::string CacheDir;
+    /// Ceiling on bytes of spill files written under service.cache_dir;
+    /// once reached, cold entries fall back to plain eviction instead of
+    /// spilling. 0 = unbounded (OPTABS_SPILL_BYTES).
+    uint64_t SpillBytes = 0;
+    /// Snapshot every registered program to service.cache_dir when the
+    /// service shuts down, so the next process starts warm
+    /// (OPTABS_PERSIST_ON_SHUTDOWN, 0/1).
+    bool PersistOnShutdown = false;
   };
 
   ExecutionConfig Execution;
@@ -167,7 +182,9 @@ struct Config {
   /// all three step budgets), OPTABS_TIME_BUDGET_SECONDS,
   /// OPTABS_CACHE_CAPACITY, OPTABS_MEMORY_BUDGET_MB, OPTABS_INCREMENTAL
   /// (0/1, service.incremental_re_register), OPTABS_SERVICE_TRACE (0/1,
-  /// observability.service_trace). Malformed values are
+  /// observability.service_trace), OPTABS_CACHE_DIR (service.cache_dir),
+  /// OPTABS_SPILL_BYTES (service.spill_bytes), OPTABS_PERSIST_ON_SHUTDOWN
+  /// (0/1, service.persist_on_shutdown). Malformed values are
   /// reported through \p Errors (when non-null) and leave the default in
   /// place. This is the only function in the codebase that reads OPTABS_*
   /// configuration variables.

@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -52,6 +53,8 @@ struct ForwardCacheCounters {
   uint64_t Misses = 0;
   uint64_t Evictions = 0;
   uint64_t ResidentBytes = 0;
+  uint64_t SpillWrites = 0; ///< entries demoted to the disk tier
+  uint64_t SpillLoads = 0;  ///< lookups served by re-loading a spilled run
 };
 
 template <typename RunT> class ForwardRunCache {
@@ -87,6 +90,11 @@ public:
   size_t capacity() const { return Capacity; }
   size_t size() const { return Entries.size(); }
 
+  /// True when \p K is resident, without counting a hit or miss, touching
+  /// recency, or consulting the disk tier (the persistence loader's
+  /// skip-if-present probe).
+  bool contains(const Key &K) const { return Entries.count(K) != 0; }
+
   /// Request tracing: while a sink is set, every lookup outcome is also
   /// recorded as a per-request trace event attributed to \p Ctx and
   /// \p Batch. The service sets this around each batch's driver run (via
@@ -109,6 +117,8 @@ public:
     C.Misses = Misses.load(std::memory_order_relaxed);
     C.Evictions = Evictions.load(std::memory_order_relaxed);
     C.ResidentBytes = ResidentBytes.load(std::memory_order_relaxed);
+    C.SpillWrites = SpillWrites.load(std::memory_order_relaxed);
+    C.SpillLoads = SpillLoads.load(std::memory_order_relaxed);
     return C;
   }
 
@@ -147,6 +157,26 @@ public:
                uint64_t *DataEpochOut = nullptr) {
     auto It = Entries.find(K);
     if (It == Entries.end() || It->second.DataEpoch < MinDataEpoch) {
+      // Absent entirely (not merely data-stale): the disk tier may still
+      // hold a spilled copy that re-warms in place of a recompute.
+      if (It == Entries.end() && SpillLoad) {
+        uint64_t LoadedData = 0;
+        if (std::unique_ptr<RunT> Run = SpillLoad(K, &LoadedData)) {
+          if (LoadedData >= MinDataEpoch) {
+            SpillLoads.fetch_add(1, std::memory_order_relaxed);
+            if (support::metricsEnabled())
+              support::MetricRegistry::global()
+                  .counter("optabs_forward_cache_spill_loads_total")
+                  .add(1);
+            bump(Hits, "optabs_forward_cache_hits_total");
+            traceLookup("cache-spill-hit", /*U0=*/LoadedData, /*U1=*/0);
+            RunT *Raw = insert(K, std::move(Run), LoadedData);
+            if (DataEpochOut)
+              *DataEpochOut = LoadedData;
+            return Raw;
+          }
+        }
+      }
       bump(Misses, "optabs_forward_cache_misses_total");
       // U1 = 1 when an entry existed but its data epoch was too old for
       // the requesting check (re-registration shadowing), 0 = cold miss.
@@ -277,6 +307,54 @@ public:
     return Count;
   }
 
+  /// The disk tier's hook pair, installed by the owner (the analysis
+  /// service binds them to its cache directory and state codecs; both run
+  /// on the same single thread as every other mutating call). Save
+  /// returns false to refuse an entry (e.g. the spill-byte budget is
+  /// exhausted or the run's data epoch is not persistable) - the entry is
+  /// then evicted outright, exactly as without a disk tier. Load returns
+  /// the reconstructed run (with its data epoch through the out param) or
+  /// nullptr when the disk tier has no valid copy.
+  using SpillSaveFn =
+      std::function<bool(const Key &, const RunT &, uint64_t DataEpoch)>;
+  using SpillLoadFn =
+      std::function<std::unique_ptr<RunT>(const Key &, uint64_t *DataEpoch)>;
+
+  void setSpillStore(SpillSaveFn Save, SpillLoadFn Load) {
+    SpillSave = std::move(Save);
+    SpillLoad = std::move(Load);
+  }
+  bool spillArmed() const { return static_cast<bool>(SpillSave); }
+
+  /// The degradation ladder's memory-pressure relief with a disk tier:
+  /// demotes every unpinned entry through the spill hook (counting a
+  /// spill write per accepted entry) and then evicts it from memory.
+  /// Without an armed spill store this is exactly evictUnpinned().
+  /// Returns the number of entries that left memory.
+  size_t spillUnpinned() {
+    if (!SpillSave)
+      return evictUnpinned();
+    for (const auto &KV : Entries) {
+      if (KV.second.Epoch == CurrentEpoch)
+        continue;
+      if (SpillSave(KV.first, *KV.second.Run, KV.second.DataEpoch)) {
+        SpillWrites.fetch_add(1, std::memory_order_relaxed);
+        if (support::metricsEnabled())
+          support::MetricRegistry::global()
+              .counter("optabs_forward_cache_spill_writes_total")
+              .add(1);
+      }
+    }
+    return evictUnpinned();
+  }
+
+  /// Calls \p Fn(Key, Run, DataEpoch) for every resident entry, in key
+  /// order. The persistence tier's enumeration hook; read-only.
+  template <typename FnT> void forEachEntry(FnT Fn) const {
+    for (const auto &KV : Entries)
+      Fn(KV.first, *KV.second.Run, KV.second.DataEpoch);
+  }
+
 private:
   struct Entry {
     std::unique_ptr<RunT> Run;
@@ -367,6 +445,10 @@ private:
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Evictions{0};
   std::atomic<uint64_t> ResidentBytes{0};
+  std::atomic<uint64_t> SpillWrites{0};
+  std::atomic<uint64_t> SpillLoads{0};
+  SpillSaveFn SpillSave;
+  SpillLoadFn SpillLoad;
   uint64_t StampCounter = 0;
   uint64_t CurrentEpoch = 1;
   /// Request-tracing sink (null = off); installed by setTraceSink() from

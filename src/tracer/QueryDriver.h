@@ -203,8 +203,9 @@ struct TracerOptions {
   uint64_t SolverDecisionBudget = 0;
   /// Ceiling on the forward-run cache's resident bytes, checked at every
   /// round boundary; 0 = unbounded. Exceeding it walks the graceful-
-  /// degradation ladder (evict the cache, then halve the dropk beam, then
-  /// drop to one trace per iteration), each rung a sound harder
+  /// degradation ladder (spill the cache to disk when a spill store is
+  /// armed, else evict it; then halve the dropk beam, then drop to one
+  /// trace per iteration), each rung a sound harder
   /// under-approximation, each recorded as a `degrade` event and counted
   /// in DriverStats::Degradations. Resident bytes are a deterministic
   /// function of the cached runs, so the ladder fires identically at any
@@ -337,6 +338,8 @@ struct DriverStats {
   uint64_t CacheHits = 0;      ///< forward-run requests served memoized
   uint64_t CacheMisses = 0;    ///< forward-run requests that computed
   uint64_t CacheEvictions = 0; ///< LRU evictions (capacity overflow)
+  uint64_t CacheSpillWrites = 0; ///< entries demoted to the disk tier
+  uint64_t CacheSpillLoads = 0;  ///< lookups served from the disk tier
   /// Approximate bytes resident in the forward-run cache at the end of the
   /// run (gauge snapshot of ForwardRunCache::residentBytes()).
   uint64_t CacheResidentBytes = 0;
@@ -579,8 +582,13 @@ private:
           cache().counters().ResidentBytes > Options.MemoryBudgetBytes) {
         uint64_t Resident = cache().counters().ResidentBytes;
         LadderRung = std::min(LadderRung + 1, 3u);
-        size_t Evicted = cache().evictUnpinned();
-        const char *Action = "evict_cache";
+        // With a disk tier armed (service-owned caches), demotion to disk
+        // comes before outright eviction: the entries leave memory either
+        // way, but spilled runs can re-warm on a later lookup instead of
+        // recomputing their fixpoints.
+        size_t Evicted = cache().spillUnpinned();
+        const char *Action =
+            cache().spillArmed() ? "spill_cache" : "evict_cache";
         if (LadderRung >= 2) {
           unsigned NarrowK = std::max(1u, Options.K / 2);
           for (auto &B : Bwds)
@@ -1554,6 +1562,8 @@ private:
     Stats.CacheHits = C.Hits - BaseCounters.Hits;
     Stats.CacheMisses = C.Misses - BaseCounters.Misses;
     Stats.CacheEvictions = C.Evictions - BaseCounters.Evictions;
+    Stats.CacheSpillWrites = C.SpillWrites - BaseCounters.SpillWrites;
+    Stats.CacheSpillLoads = C.SpillLoads - BaseCounters.SpillLoads;
     Stats.CacheResidentBytes = C.ResidentBytes;
   }
 

@@ -531,8 +531,8 @@ TEST(EventTrace, JsonlParsesAndCarriesTheDocumentedEvents) {
 TEST(AuditMode, FullSmallSuiteIsCleanAtOneAndEightThreads) {
   for (unsigned Threads : {1u, 8u}) {
     reporting::HarnessOptions Options;
-    Options.Audit = true;
-    Options.Tracer.NumThreads = Threads;
+    Options.Cfg.Audit.Enabled = true;
+    Options.Cfg.Execution.NumThreads = Threads;
     reporting::BenchRun Run =
         reporting::runBenchmark(synth::paperSuite()[0], Options);
     for (const reporting::ClientResults *R : {&Run.Esc, &Run.Ts}) {

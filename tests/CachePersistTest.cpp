@@ -1,0 +1,614 @@
+//===- CachePersistTest.cpp - Persistent cache tier tests ---------------------===//
+//
+// The warm-restart contract: snapshots round-trip bitwise, damaged or
+// stale snapshots are skipped with structured notes (never crash, never a
+// wrong verdict), a second service sharing the cache directory comes up
+// warm - answering the same queries with bitwise-identical verdicts and
+// zero forward fixpoints - and spilled entries rehydrate from disk when a
+// later query needs them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "escape/Escape.h"
+#include "ir/Parser.h"
+#include "service/AnalysisService.h"
+#include "support/Config.h"
+#include "tracer/CachePersist.h"
+#include "tracer/QueryDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace optabs;
+using namespace optabs::ir;
+
+namespace {
+
+// Same program ServiceTest uses: u is reachable from v through a field,
+// so its query needs a non-trivial abstraction (real forward runs, a real
+// verdict store - the artifacts persistence must carry across restarts).
+const char *EscapeProgram = R"(
+proc main {
+  u = new h1;
+  v = new h2;
+  w = new h3;
+  v.f = u;
+  check(u);
+  check(v);
+  check(w);
+}
+)";
+
+// EscapeProgram with one extra store in main: comparable with the
+// original (same procs, same check count) but main is dirty, so nothing
+// persisted from the original may be served against it.
+const char *EscapeProgramModified = R"(
+proc main {
+  u = new h1;
+  v = new h2;
+  w = new h3;
+  v.f = u;
+  w.f = v;
+  check(u);
+  check(v);
+  check(w);
+}
+)";
+
+void parseInto(const char *Text, Program &P) {
+  std::string Err;
+  ASSERT_TRUE(parseProgram(Text, P, Err)) << Err;
+}
+
+service::Session openOrDie(service::AnalysisService &Svc,
+                           const service::SessionSpec &Spec) {
+  std::string Err;
+  service::Session S = Svc.openSession(Spec, Err);
+  EXPECT_TRUE(S.valid()) << Err;
+  return S;
+}
+
+std::vector<service::QueryResult>
+collect(service::AnalysisService &Svc,
+        std::vector<std::future<service::QueryResult>> &Futures) {
+  Svc.drain();
+  std::vector<service::QueryResult> Out;
+  for (auto &F : Futures) {
+    Out.push_back(F.get());
+    EXPECT_EQ(Out.back().Status, service::JobStatus::Done)
+        << Out.back().Error;
+  }
+  return Out;
+}
+
+void expectSameVerdict(const tracer::QueryOutcome &Want,
+                       const service::QueryResult &Got) {
+  EXPECT_EQ(Want.V, Got.V);
+  EXPECT_EQ(Want.Iterations, Got.Iterations);
+  EXPECT_EQ(Want.CheapestCost, Got.CheapestCost);
+  EXPECT_EQ(Want.CheapestParam, Got.CheapestParam);
+}
+
+/// A fresh per-test cache directory under /tmp, removed on destruction.
+struct TempDir {
+  std::string Path;
+  explicit TempDir(const std::string &Tag) {
+    Path = "/tmp/optabs-persist-" + Tag + "-" +
+           std::to_string(static_cast<long>(::getpid()));
+    ::mkdir(Path.c_str(), 0700);
+  }
+  ~TempDir() {
+    // Best-effort: unlink every regular file, then the directory.
+    std::string Cmd = "rm -rf '" + Path + "'";
+    (void)::system(Cmd.c_str());
+  }
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void dump(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// The one snapshot file a persist of program "p" writes into \p Dir, or
+/// "" when none exists yet.
+std::string onlySnapshotIn(const std::string &Dir) {
+  std::string Found;
+  std::string Cmd = "ls '" + Dir + "'";
+  FILE *P = ::popen(Cmd.c_str(), "r");
+  if (!P)
+    return Found;
+  char Buf[512];
+  while (::fgets(Buf, sizeof(Buf), P)) {
+    std::string Name(Buf);
+    while (!Name.empty() && (Name.back() == '\n' || Name.back() == '\r'))
+      Name.pop_back();
+    if (Name.size() > 5 && Name.substr(Name.size() - 5) == ".snap")
+      Found = Dir + "/" + Name;
+  }
+  ::pclose(P);
+  return Found;
+}
+
+service::AnalysisService::Options warmOptions(const std::string &CacheDir,
+                                              unsigned Threads = 1) {
+  service::AnalysisService::Options O;
+  O.Base.Execution.NumThreads = Threads;
+  O.Base.Service.CacheDir = CacheDir;
+  return O;
+}
+
+/// Registers EscapeProgram, answers all three checks, and returns the
+/// results (submission order). With \p EventTracePath, the session's
+/// batches (or verdict replays) append event-trace lines there.
+std::vector<service::QueryResult>
+answerAllChecks(service::AnalysisService &Svc, const char *Text,
+                const std::string &EventTracePath = std::string()) {
+  EXPECT_TRUE(Svc.registerProgram("p", Text).Ok);
+  service::SessionSpec Spec;
+  Spec.Program = "p";
+  Spec.Client = "escape";
+  Spec.SessionConfig.Observability.EventTracePath = EventTracePath;
+  service::Session S = openOrDie(Svc, Spec);
+  std::vector<std::future<service::QueryResult>> Futures;
+  for (uint32_t C = 0; C < 3; ++C)
+    Futures.push_back(S.submit({C, 0, 0}));
+  return collect(Svc, Futures);
+}
+
+/// The "verdict" event lines of one event-trace file, with the
+/// wall-clock "seconds" field zeroed (everything else is deterministic).
+std::vector<std::string> verdictTraceLines(const std::string &Path) {
+  std::vector<std::string> Out;
+  std::ifstream In(Path);
+  std::string L;
+  while (std::getline(In, L)) {
+    if (L.find("\"event\":\"verdict\"") == std::string::npos)
+      continue;
+    size_t At = L.find("\"seconds\":");
+    if (At != std::string::npos) {
+      size_t End = At + 10;
+      while (End < L.size() && L[End] != ',' && L[End] != '}')
+        ++End;
+      L = L.substr(0, At + 10) + "0" + L.substr(End);
+    }
+    Out.push_back(L);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot framing primitives
+//===----------------------------------------------------------------------===//
+
+TEST(CachePersistTest, SnapshotRoundTripPreservesEveryPrimitive) {
+  TempDir Dir("roundtrip");
+  std::string Path = Dir.Path + "/primitives.snap";
+
+  tracer::SnapshotWriter W;
+  W.u8(0xab);
+  W.u32(0xdeadbeefu);
+  W.u64(0x0123456789abcdefULL);
+  W.str("hello snapshot");
+  W.str(""); // empty strings must survive too
+  W.bytes({0x00, 0xff, 0x7f});
+  W.bits({true, false, true, true, false});
+  std::string Err;
+  ASSERT_TRUE(W.commit(Path, Err)) << Err;
+
+  tracer::SnapshotReader R;
+  ASSERT_TRUE(R.open(Path)) << R.error();
+  uint8_t B = 0;
+  uint32_t U32 = 0;
+  uint64_t U64 = 0;
+  std::string S1, S2;
+  std::vector<uint8_t> Bytes;
+  std::vector<bool> Bits;
+  EXPECT_TRUE(R.u8(B));
+  EXPECT_EQ(B, 0xab);
+  EXPECT_TRUE(R.u32(U32));
+  EXPECT_EQ(U32, 0xdeadbeefu);
+  EXPECT_TRUE(R.u64(U64));
+  EXPECT_EQ(U64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(R.str(S1));
+  EXPECT_EQ(S1, "hello snapshot");
+  EXPECT_TRUE(R.str(S2));
+  EXPECT_EQ(S2, "");
+  EXPECT_TRUE(R.bytes(Bytes));
+  EXPECT_EQ(Bytes, (std::vector<uint8_t>{0x00, 0xff, 0x7f}));
+  EXPECT_TRUE(R.bits(Bits));
+  EXPECT_EQ(Bits, (std::vector<bool>{true, false, true, true, false}));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.failed());
+
+  // No temp file survives a successful commit.
+  EXPECT_EQ(onlySnapshotIn(Dir.Path), Path);
+}
+
+TEST(CachePersistTest, ReadingPastTheEndLatchesAStructuredError) {
+  TempDir Dir("pastend");
+  std::string Path = Dir.Path + "/short.snap";
+  tracer::SnapshotWriter W;
+  W.u32(7);
+  std::string Err;
+  ASSERT_TRUE(W.commit(Path, Err)) << Err;
+
+  tracer::SnapshotReader R;
+  ASSERT_TRUE(R.open(Path)) << R.error();
+  uint32_t V = 0;
+  EXPECT_TRUE(R.u32(V));
+  uint64_t Missing = 0;
+  EXPECT_FALSE(R.u64(Missing)); // only 4 payload bytes exist
+  EXPECT_TRUE(R.failed());
+  // The error names the file and the offset - the structured note the
+  // service surfaces when it skips a damaged snapshot.
+  EXPECT_NE(R.error().find("snapshot"), std::string::npos) << R.error();
+  EXPECT_NE(R.error().find(Path), std::string::npos) << R.error();
+  EXPECT_NE(R.error().find("offset"), std::string::npos) << R.error();
+  // The latch holds: a later (otherwise valid) read still fails.
+  uint8_t B = 0;
+  EXPECT_FALSE(R.u8(B));
+}
+
+// The mutation corpus: every truncation of the file and a bit-flip at
+// every byte must be rejected at open() - structured error, no crash,
+// no partial parse ever visible to the caller.
+TEST(CachePersistTest, TruncatedAndBitFlippedSnapshotsAreRejected) {
+  TempDir Dir("mutate");
+  std::string Good = Dir.Path + "/good.snap";
+  tracer::SnapshotWriter W;
+  W.str("payload under test");
+  W.u64(42);
+  W.bits({true, false, true});
+  std::string Err;
+  ASSERT_TRUE(W.commit(Good, Err)) << Err;
+
+  std::string Bytes = slurp(Good);
+  ASSERT_GT(Bytes.size(), 12u); // header alone is 12 bytes
+  std::string Mutant = Dir.Path + "/mutant.snap";
+
+  // Every truncation length, including 0 (empty file) and header-only.
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    dump(Mutant, Bytes.substr(0, Len));
+    tracer::SnapshotReader R;
+    EXPECT_FALSE(R.open(Mutant)) << "truncation at " << Len << " accepted";
+    EXPECT_FALSE(R.error().empty());
+  }
+
+  // A single flipped bit anywhere - magic, version, payload, or the
+  // checksum trailer itself - fails the whole-file validation.
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Flipped = Bytes;
+    Flipped[I] = static_cast<char>(Flipped[I] ^ 0x40);
+    dump(Mutant, Flipped);
+    tracer::SnapshotReader R;
+    EXPECT_FALSE(R.open(Mutant)) << "bit flip at byte " << I << " accepted";
+    EXPECT_NE(R.error().find("snapshot"), std::string::npos) << R.error();
+  }
+
+  // Trailing garbage shifts the checksum window off the real trailer.
+  dump(Mutant, Bytes + std::string(3, '\0'));
+  tracer::SnapshotReader R;
+  EXPECT_FALSE(R.open(Mutant));
+
+  // A missing file is a structured failure too, not a crash.
+  tracer::SnapshotReader Missing;
+  EXPECT_FALSE(Missing.open(Dir.Path + "/does-not-exist.snap"));
+  EXPECT_FALSE(Missing.error().empty());
+}
+
+TEST(CachePersistTest, CommitIsAtomicOnFailure) {
+  // Committing into a directory that does not exist fails cleanly: Err is
+  // set and neither the final path nor a temp file appears.
+  tracer::SnapshotWriter W;
+  W.u32(1);
+  std::string Err;
+  EXPECT_FALSE(W.commit("/tmp/optabs-no-such-dir-xyzzy/x.snap", Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Warm restart through a shared cache directory
+//===----------------------------------------------------------------------===//
+
+TEST(CachePersistTest, WarmRestartIsBitwiseIdenticalWithZeroForwardRuns) {
+  for (unsigned Threads : {1u, 8u}) {
+    TempDir Dir("warm-t" + std::to_string(Threads));
+
+    // The cold oracle: a standalone driver run over all three queries.
+    Program P;
+    parseInto(EscapeProgram, P);
+    escape::EscapeAnalysis A(P);
+    tracer::TracerOptions Opts;
+    Opts.NumThreads = Threads;
+    tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts);
+    std::vector<tracer::QueryOutcome> Want =
+        Driver.run({CheckId(0), CheckId(1), CheckId(2)});
+
+    // First life: answer everything, persist, note the work it took.
+    // Both lives share one event-trace path: the options signature that
+    // gates verdict replay covers the whole session config, paths
+    // included, and the trace file is append-only - the warm life's
+    // lines are the suffix.
+    uint64_t ColdForwardRuns = 0;
+    std::string Trace = Dir.Path + "/trace.jsonl";
+    {
+      service::AnalysisService Svc(warmOptions(Dir.Path, Threads));
+      std::vector<service::QueryResult> Got =
+          answerAllChecks(Svc, EscapeProgram, Trace);
+      ASSERT_EQ(Got.size(), Want.size());
+      for (size_t I = 0; I < Want.size(); ++I)
+        expectSameVerdict(Want[I], Got[I]);
+      ColdForwardRuns = Svc.stats().ForwardRuns;
+      EXPECT_GT(ColdForwardRuns, 0u);
+
+      service::CacheOpResult R = Svc.cacheOp("persist");
+      ASSERT_TRUE(R.Ok) << R.Error;
+      EXPECT_GT(R.RunsPersisted + R.VerdictsPersisted, 0u);
+    }
+    ASSERT_FALSE(onlySnapshotIn(Dir.Path).empty());
+    std::vector<std::string> ColdLines = verdictTraceLines(Trace);
+    ASSERT_EQ(ColdLines.size(), Want.size());
+
+    // Second life: registering the same text auto-warms from the
+    // snapshot, so the same queries replay stored verdicts - bitwise
+    // identical, with zero forward fixpoints (strictly fewer than cold).
+    {
+      service::AnalysisService Svc(warmOptions(Dir.Path, Threads));
+      std::vector<service::QueryResult> Got =
+          answerAllChecks(Svc, EscapeProgram, Trace);
+      ASSERT_EQ(Got.size(), Want.size());
+      for (size_t I = 0; I < Want.size(); ++I)
+        expectSameVerdict(Want[I], Got[I]);
+
+      service::ServiceStats S = Svc.stats();
+      EXPECT_EQ(S.ForwardRuns, 0u);
+      EXPECT_LT(S.ForwardRuns, ColdForwardRuns);
+      EXPECT_EQ(S.VerdictsReplayed, Want.size());
+    }
+
+    // The replayed verdicts also re-emit their event-trace verdict
+    // lines (round, iterations, cost, param travel in the snapshot), so
+    // a trace consumer cannot tell the warm service from the cold one.
+    std::vector<std::string> AllLines = verdictTraceLines(Trace);
+    ASSERT_EQ(AllLines.size(), 2 * Want.size());
+    EXPECT_EQ(std::vector<std::string>(AllLines.begin() + Want.size(),
+                                       AllLines.end()),
+              ColdLines);
+  }
+}
+
+TEST(CachePersistTest, ExplicitLoadSkipsEntriesAlreadyResident) {
+  TempDir Dir("skip");
+  service::AnalysisService Svc(warmOptions(Dir.Path));
+  answerAllChecks(Svc, EscapeProgram);
+  ASSERT_TRUE(Svc.cacheOp("persist").Ok);
+
+  // Everything on disk is already live in this service, so an explicit
+  // re-load loads nothing and counts every record as skipped (live
+  // entries win; a load never clobbers newer in-memory state).
+  service::CacheOpResult R = Svc.cacheOp("load");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.RunsLoaded, 0u);
+  EXPECT_EQ(R.VerdictsLoaded, 0u);
+  EXPECT_GT(R.RunsSkipped + R.VerdictsSkipped, 0u);
+}
+
+TEST(CachePersistTest, PersistRequiresACacheDir) {
+  service::AnalysisService Svc; // no Service.CacheDir configured
+  ASSERT_TRUE(Svc.registerProgram("p", EscapeProgram).Ok);
+  service::CacheOpResult R = Svc.cacheOp("persist");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+  service::CacheOpResult L = Svc.cacheOp("load");
+  EXPECT_FALSE(L.Ok);
+  // stats works without any persistence configuration.
+  EXPECT_TRUE(Svc.cacheOp("stats").Ok);
+  // And an unknown action is a structured refusal.
+  EXPECT_FALSE(Svc.cacheOp("defragment").Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Stale and corrupt snapshots degrade to a cold start - never served
+//===----------------------------------------------------------------------===//
+
+TEST(CachePersistTest, StaleSnapshotEntriesAreSkippedNeverServed) {
+  TempDir Dir("stale");
+  {
+    service::AnalysisService Svc(warmOptions(Dir.Path));
+    answerAllChecks(Svc, EscapeProgram);
+    ASSERT_TRUE(Svc.cacheOp("persist").Ok);
+  }
+
+  // The modified program's oracle (w.f = v makes v escape through w's
+  // field the way u already did through v's).
+  Program P;
+  parseInto(EscapeProgramModified, P);
+  escape::EscapeAnalysis A(P);
+  tracer::TracerOptions Opts;
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts);
+  std::vector<tracer::QueryOutcome> Want =
+      Driver.run({CheckId(0), CheckId(1), CheckId(2)});
+
+  // Register the *modified* text under the same name: the snapshot's
+  // fingerprint diff marks main dirty, so nothing loads - and the
+  // verdicts come out right because they are recomputed, not replayed.
+  service::AnalysisService Svc(warmOptions(Dir.Path));
+  std::vector<service::QueryResult> Got =
+      answerAllChecks(Svc, EscapeProgramModified);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I)
+    expectSameVerdict(Want[I], Got[I]);
+  EXPECT_GT(Svc.stats().ForwardRuns, 0u); // really recomputed
+  EXPECT_EQ(Svc.stats().VerdictsReplayed, 0u);
+
+  // The explicit load reports the mismatch as skips with notes, not as
+  // a failure - a stale snapshot is a cold start, not an error.
+  service::CacheOpResult R = Svc.cacheOp("load");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.RunsLoaded, 0u);
+  EXPECT_EQ(R.VerdictsLoaded, 0u);
+  EXPECT_FALSE(R.Notes.empty());
+}
+
+TEST(CachePersistTest, CorruptSnapshotIsSkippedWithANote) {
+  TempDir Dir("corrupt");
+  {
+    service::AnalysisService Svc(warmOptions(Dir.Path));
+    answerAllChecks(Svc, EscapeProgram);
+    ASSERT_TRUE(Svc.cacheOp("persist").Ok);
+  }
+  std::string Snap = onlySnapshotIn(Dir.Path);
+  ASSERT_FALSE(Snap.empty());
+  std::string Bytes = slurp(Snap);
+  ASSERT_GT(Bytes.size(), 20u);
+  Bytes[Bytes.size() / 2] = static_cast<char>(Bytes[Bytes.size() / 2] ^ 0x01);
+  dump(Snap, Bytes);
+
+  // Register + query: the damaged snapshot degrades the warm start to a
+  // cold one. Verdicts are still correct (recomputed), the service never
+  // crashes, and the load op names the file in a note.
+  Program P;
+  parseInto(EscapeProgram, P);
+  escape::EscapeAnalysis A(P);
+  tracer::TracerOptions Opts;
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts);
+  std::vector<tracer::QueryOutcome> Want =
+      Driver.run({CheckId(0), CheckId(1), CheckId(2)});
+
+  service::AnalysisService Svc(warmOptions(Dir.Path));
+  std::vector<service::QueryResult> Got =
+      answerAllChecks(Svc, EscapeProgram);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I)
+    expectSameVerdict(Want[I], Got[I]);
+  EXPECT_GT(Svc.stats().ForwardRuns, 0u);
+
+  service::CacheOpResult R = Svc.cacheOp("load");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.RunsLoaded + R.VerdictsLoaded, 0u);
+  bool Named = false;
+  for (const std::string &N : R.Notes)
+    Named = Named || N.find("snapshot") != std::string::npos;
+  EXPECT_TRUE(Named) << "no structured note names the damaged snapshot";
+}
+
+//===----------------------------------------------------------------------===//
+// Spill-to-disk and rehydration
+//===----------------------------------------------------------------------===//
+
+TEST(CachePersistTest, SpilledRunsRehydrateFromDiskOnDemand) {
+  TempDir Dir("spill");
+  service::AnalysisService::Options O = warmOptions(Dir.Path);
+  service::AnalysisService Svc(O);
+  ASSERT_TRUE(Svc.registerProgram("p", EscapeProgram).Ok);
+  service::SessionSpec Spec;
+  Spec.Program = "p";
+  Spec.Client = "escape";
+  service::Session S = openOrDie(Svc, Spec);
+
+  // Answer one check; its forward runs populate the cache.
+  std::vector<std::future<service::QueryResult>> F1;
+  F1.push_back(S.submit({0, 0, 0}));
+  collect(Svc, F1);
+
+  // Demote every unpinned run to a spill file.
+  service::CacheOpResult Sp = Svc.cacheOp("spill");
+  ASSERT_TRUE(Sp.Ok) << Sp.Error;
+  EXPECT_GT(Sp.Spilled, 0u);
+  EXPECT_GT(Sp.SpillWrites, 0u);
+
+  // A *new* check shares forward runs with the first (the cache keys on
+  // the abstraction, not the check), so answering it rehydrates spilled
+  // runs instead of recomputing them.
+  Program P;
+  parseInto(EscapeProgram, P);
+  escape::EscapeAnalysis A(P);
+  tracer::TracerOptions Opts;
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts);
+  std::vector<tracer::QueryOutcome> Want = Driver.run({CheckId(1)});
+  ASSERT_EQ(Want.size(), 1u);
+
+  std::vector<std::future<service::QueryResult>> F2;
+  F2.push_back(S.submit({1, 0, 0}));
+  std::vector<service::QueryResult> Got = collect(Svc, F2);
+  ASSERT_EQ(Got.size(), 1u);
+  expectSameVerdict(Want[0], Got[0]);
+
+  service::CacheOpResult St = Svc.cacheOp("stats");
+  ASSERT_TRUE(St.Ok);
+  EXPECT_GT(St.SpillLoads, 0u) << "second check never touched the spill tier";
+}
+
+TEST(CachePersistTest, MemoryPressureSpillsInsteadOfEvicting) {
+  TempDir Dir("pressure");
+
+  // The oracle under the same (absurdly tight) memory budget: the
+  // degradation ladder fires either way; with a cache dir armed its
+  // first rung must spill, and spilling may never change a verdict.
+  Program P;
+  parseInto(EscapeProgram, P);
+  escape::EscapeAnalysis A(P);
+  tracer::TracerOptions Opts;
+  Opts.MemoryBudgetBytes = 1;
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts);
+  std::vector<tracer::QueryOutcome> Want =
+      Driver.run({CheckId(0), CheckId(1), CheckId(2)});
+
+  service::AnalysisService Svc(warmOptions(Dir.Path));
+  ASSERT_TRUE(Svc.registerProgram("p", EscapeProgram).Ok);
+  service::SessionSpec Spec;
+  Spec.Program = "p";
+  Spec.Client = "escape";
+  Spec.SessionConfig.Budgets.MemoryBudgetBytes = 1;
+  service::Session S = openOrDie(Svc, Spec);
+  std::vector<std::future<service::QueryResult>> Futures;
+  for (uint32_t C = 0; C < 3; ++C)
+    Futures.push_back(S.submit({C, 0, 0}));
+  std::vector<service::QueryResult> Got = collect(Svc, Futures);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I)
+    expectSameVerdict(Want[I], Got[I]);
+
+  // The ladder demoted entries through the disk tier, not past it.
+  service::CacheOpResult St = Svc.cacheOp("stats");
+  ASSERT_TRUE(St.Ok);
+  EXPECT_GT(St.SpillWrites, 0u)
+      << "memory pressure evicted outright despite an armed spill tier";
+}
+
+TEST(CachePersistTest, EvictDropsEverythingWithoutSpilling) {
+  TempDir Dir("evict");
+  service::AnalysisService Svc(warmOptions(Dir.Path));
+  answerAllChecks(Svc, EscapeProgram);
+
+  service::CacheOpResult Before = Svc.cacheOp("stats");
+  ASSERT_TRUE(Before.Ok);
+  ASSERT_GT(Before.Entries, 0u);
+
+  service::CacheOpResult Ev = Svc.cacheOp("evict");
+  ASSERT_TRUE(Ev.Ok) << Ev.Error;
+  EXPECT_GT(Ev.Evicted, 0u);
+  EXPECT_EQ(Ev.Spilled, 0u);
+
+  service::CacheOpResult After = Svc.cacheOp("stats");
+  ASSERT_TRUE(After.Ok);
+  EXPECT_EQ(After.Entries, 0u);
+  EXPECT_EQ(After.SpillWrites, 0u); // evict never writes spill files
+}
+
+} // namespace

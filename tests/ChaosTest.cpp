@@ -352,6 +352,190 @@ TEST_F(ChaosTest, SigtermRunsTheGracefulShutdownPath) {
   std::remove(Metrics.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Work stealing: re-homed sessions cannot change a verdict
+//===----------------------------------------------------------------------===//
+
+TEST_F(ChaosTest, WorkStealingRehomesSessionsAndMatchesOracle) {
+  // One program, three sessions: every tenant hashes to the same shard,
+  // so with two shards one is deep and one is idle - the imbalance the
+  // stealer exists for.
+  Script S = makeScript(/*Programs=*/1, /*Procs=*/6, /*Clients=*/3);
+  std::vector<std::string> Oracle = oracleResults(S);
+  expectAllDone(Oracle, S.Jobs);
+
+  ProcessShardHost Host(hostOptions(1));
+  ShardRouterOptions RO = routerOptions(2);
+  RO.StealThreshold = 1; // steal as soon as any imbalance shows
+  ShardRouter R(RO, Host);
+  std::string Err;
+  ASSERT_TRUE(R.start(Err)) << Err;
+  std::vector<std::string> Out;
+  runAll(R, S.Setup, Out);
+  R.handleLine("{\"op\":\"drain\"}", Out);
+
+  // Bitwise identity to the single-process oracle - §6 grouping makes
+  // verdicts batch-composition-independent, so where a session runs can
+  // never show in its result lines.
+  expectAllDone(resultLines(Out), S.Jobs);
+  EXPECT_EQ(resultLines(Out), Oracle);
+  // And the steal actually happened, visibly.
+  EXPECT_GE(R.stats().Steals, 1u);
+  EXPECT_GE(R.stats().StolenJobs, 6u);
+
+  std::vector<std::string> Dropped;
+  R.handleLine("{\"op\":\"shutdown\"}", Dropped);
+}
+
+//===----------------------------------------------------------------------===//
+// SIGKILL + warm restart from the persistent cache tier
+//===----------------------------------------------------------------------===//
+
+/// A scripted JSONL exchange with one spawned optabs-serve: every request
+/// reads exactly one response, except drain (which streams result lines
+/// first). Collects result lines and the last stats response.
+struct ServeClient {
+  support::ChildProcess Proc;
+  LineChannel Ch;
+
+  static ServeClient spawn(const std::string &Sock,
+                           const std::vector<std::string> &ExtraArgs) {
+    ServeClient C;
+    std::string Err;
+    std::vector<std::string> Argv = {OPTABS_SERVE_BIN,
+                                     "--listen=unix:" + Sock,
+                                     "--threads=1"};
+    for (const std::string &A : ExtraArgs)
+      Argv.push_back(A);
+    C.Proc = support::ChildProcess::spawn(Argv, Err);
+    EXPECT_TRUE(C.Proc.valid()) << Err;
+    ListenSpec Spec;
+    EXPECT_TRUE(ListenSpec::parse("unix:" + Sock, Spec, Err)) << Err;
+    C.Ch = connectChannel(Spec, 30000, Err);
+    EXPECT_TRUE(C.Ch.valid()) << Err;
+    return C;
+  }
+
+  /// One request, one response line.
+  std::string rpc(const std::string &Line) {
+    EXPECT_TRUE(Ch.writeLine(Line)) << Line;
+    std::string Resp;
+    EXPECT_EQ(Ch.readLine(Resp, 120000), LineChannel::ReadStatus::Line)
+        << Line;
+    return Resp;
+  }
+
+  /// Drain: result lines stream first, then the drain summary.
+  std::vector<std::string> drain() {
+    EXPECT_TRUE(Ch.writeLine("{\"op\":\"drain\"}"));
+    std::vector<std::string> Results;
+    for (;;) {
+      std::string L;
+      if (Ch.readLine(L, 120000) != LineChannel::ReadStatus::Line) {
+        ADD_FAILURE() << "connection died mid-drain";
+        break;
+      }
+      if (L.find("\"op\":\"drain\"") != std::string::npos)
+        break;
+      if (L.find("\"op\":\"result\"") != std::string::npos)
+        Results.push_back(L);
+    }
+    return Results;
+  }
+};
+
+/// One serve lifetime: register prog0, answer every check, return the
+/// result lines plus the final forward_runs / verdicts_replayed counters.
+struct ServeLife {
+  std::vector<std::string> Results;
+  uint64_t ForwardRuns = 0;
+  uint64_t VerdictsReplayed = 0;
+};
+
+ServeLife runServeLife(ServeClient &C, const std::string &Text,
+                       unsigned Checks) {
+  ServeLife Life;
+  JsonObject Reg;
+  Reg.field("op", "register-program");
+  Reg.field("name", "prog0");
+  Reg.field("text", Text);
+  EXPECT_NE(C.rpc(Reg.str()).find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(
+      C.rpc("{\"op\":\"open-session\",\"program\":\"prog0\","
+            "\"client\":\"escape\",\"k\":2}")
+          .find("\"ok\":true"),
+      std::string::npos);
+  for (unsigned J = 0; J < Checks; ++J) {
+    JsonObject Sub;
+    Sub.field("op", "submit");
+    Sub.field("session", 1);
+    Sub.field("check", J);
+    EXPECT_NE(C.rpc(Sub.str()).find("\"ok\":true"), std::string::npos);
+  }
+  Life.Results = C.drain();
+  std::string Stats = C.rpc("{\"op\":\"stats\"}");
+  JsonLine S;
+  std::string Err;
+  EXPECT_TRUE(JsonLine::parse(Stats, S, Err)) << Stats;
+  Life.ForwardRuns = S.getUInt("forward_runs").value_or(0);
+  Life.VerdictsReplayed = S.getUInt("verdicts_replayed").value_or(0);
+  return Life;
+}
+
+TEST_F(ChaosTest, SigkilledWorkerRestartsWarmFromTheCacheTier) {
+  std::string Tag = std::to_string(static_cast<long>(::getpid()));
+  std::string Dir = "/tmp/optabs-chaos-warm-" + Tag;
+  ::mkdir(Dir.c_str(), 0700);
+  std::string Text = makeProgram(/*Procs=*/6, /*Salt=*/0);
+  const unsigned Checks = 6;
+
+  // The single-process oracle: no cache tier at all.
+  ServeLife Oracle;
+  {
+    ServeClient C =
+        ServeClient::spawn("/tmp/optabs-warm-oracle-" + Tag + ".sock", {});
+    Oracle = runServeLife(C, Text, Checks);
+    C.rpc("{\"op\":\"shutdown\"}");
+    C.Proc.reap(30000);
+  }
+  ASSERT_EQ(Oracle.Results.size(), Checks);
+  ASSERT_GT(Oracle.ForwardRuns, 0u);
+
+  // First life: same script with the cache tier armed. Persist, then
+  // SIGKILL - the crash the warm restart must absorb. SIGKILL cannot run
+  // any shutdown hook, so the snapshot on disk is exactly what the
+  // explicit persist wrote (the atomic-commit contract keeps it whole).
+  {
+    ServeClient C = ServeClient::spawn(
+        "/tmp/optabs-warm-life1-" + Tag + ".sock", {"--cache-dir=" + Dir});
+    ServeLife Cold = runServeLife(C, Text, Checks);
+    EXPECT_EQ(Cold.Results, Oracle.Results);
+    std::string P = C.rpc("{\"op\":\"cache\",\"action\":\"persist\"}");
+    EXPECT_NE(P.find("\"ok\":true"), std::string::npos) << P;
+    C.Proc.kill(SIGKILL);
+    ASSERT_NE(C.Proc.reap(30000), -1);
+  }
+
+  // Second life: the restarted worker warms from the snapshot at
+  // register time. Verdict lines are bitwise identical to the oracle and
+  // every query is answered by replay - zero forward fixpoints, strictly
+  // fewer than the cold run.
+  {
+    ServeClient C = ServeClient::spawn(
+        "/tmp/optabs-warm-life2-" + Tag + ".sock", {"--cache-dir=" + Dir});
+    ServeLife Warm = runServeLife(C, Text, Checks);
+    EXPECT_EQ(Warm.Results, Oracle.Results);
+    EXPECT_EQ(Warm.ForwardRuns, 0u);
+    EXPECT_LT(Warm.ForwardRuns, Oracle.ForwardRuns);
+    EXPECT_EQ(Warm.VerdictsReplayed, Checks);
+    C.rpc("{\"op\":\"shutdown\"}");
+    C.Proc.reap(30000);
+  }
+
+  std::string Cleanup = "rm -rf '" + Dir + "'";
+  (void)::system(Cleanup.c_str());
+}
+
 } // namespace
 } // namespace service
 } // namespace optabs

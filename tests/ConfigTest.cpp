@@ -124,6 +124,26 @@ TEST(ConfigTest, ValidateRejectsDocumentedInvalidConfigs) {
     C.Service.MaxSessions = 0;
     EXPECT_NE(messageFor(C.validate(), "service.max_sessions"), "");
   }
+  {
+    // A spill budget with no cache directory has nowhere to spill.
+    Config C = Config::defaults();
+    C.Service.SpillBytes = 1 << 20;
+    EXPECT_NE(messageFor(C.validate(), "service.spill_bytes"), "");
+  }
+  {
+    // Likewise persisting at shutdown needs somewhere to persist to.
+    Config C = Config::defaults();
+    C.Service.PersistOnShutdown = true;
+    EXPECT_NE(messageFor(C.validate(), "service.persist_on_shutdown"), "");
+  }
+  {
+    // Both are fine once a cache directory is configured.
+    Config C = Config::defaults();
+    C.Service.CacheDir = "/tmp/optabs-cache";
+    C.Service.SpillBytes = 1 << 20;
+    C.Service.PersistOnShutdown = true;
+    EXPECT_TRUE(C.validate().empty());
+  }
 }
 
 TEST(ConfigTest, FormatConfigErrorsIsLinePerError) {

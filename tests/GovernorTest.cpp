@@ -377,9 +377,9 @@ TEST(DegradationLadder, MemoryPressureDegradesButStaysSound) {
 
   reporting::HarnessOptions Options;
   Options.RunTypestate = false;
-  Options.Audit = true;
-  Options.EventTracePath = TracePath;
-  Options.Tracer.MemoryBudgetBytes = 1;
+  Options.Cfg.Audit.Enabled = true;
+  Options.Cfg.Observability.EventTracePath = TracePath;
+  Options.Cfg.Budgets.MemoryBudgetBytes = 1;
   reporting::BenchRun Run =
       reporting::runBenchmark(synth::paperSuite()[0], Options);
 
@@ -409,7 +409,7 @@ TEST(DegradationLadder, DegradedVerdictsNeverContradictBaseline) {
 
   reporting::HarnessOptions Options;
   Options.RunTypestate = false;
-  Options.Tracer.MemoryBudgetBytes = 1;
+  Options.Cfg.Budgets.MemoryBudgetBytes = 1;
   reporting::BenchRun Degraded =
       reporting::runBenchmark(synth::paperSuite()[0], Options);
 
@@ -433,7 +433,7 @@ TEST(HarnessGovernor, SpentBudgetShortCircuitsPerSiteDrivers) {
   // driver (previously it constructed a driver per site just to time out).
   reporting::HarnessOptions Options;
   Options.RunEscape = false;
-  Options.Tracer.TimeBudgetSeconds = 0;
+  Options.Cfg.Budgets.TimeBudgetSeconds = 0;
   reporting::BenchRun Run =
       reporting::runBenchmark(synth::paperSuite()[0], Options);
 

@@ -65,8 +65,8 @@ std::pair<Fingerprint, Fingerprint> runAt(const synth::BenchConfig &Config,
                                           unsigned NumThreads,
                                           size_t CacheCapacity = 0) {
   reporting::HarnessOptions Options;
-  Options.Tracer.NumThreads = NumThreads;
-  Options.Tracer.ForwardCacheCapacity = CacheCapacity;
+  Options.Cfg.Execution.NumThreads = NumThreads;
+  Options.Cfg.Execution.ForwardCacheCapacity = CacheCapacity;
   reporting::BenchRun Run = reporting::runBenchmark(Config, Options);
   return {fingerprintOf(Run.Esc, Run.Esc.ForwardRuns, Run.Esc.BackwardRuns),
           fingerprintOf(Run.Ts, Run.Ts.ForwardRuns, Run.Ts.BackwardRuns)};
@@ -98,10 +98,10 @@ TEST(ParallelDriver, StepBudgetExhaustionIsWorkerCountInvariant) {
   // identical for 1, 2 and 8 workers.
   auto RunAt = [](unsigned Threads) {
     reporting::HarnessOptions Options;
-    Options.Tracer.NumThreads = Threads;
-    Options.Tracer.ForwardStepBudget = 400;
-    Options.Tracer.BackwardStepBudget = 300;
-    Options.Tracer.SolverDecisionBudget = 64;
+    Options.Cfg.Execution.NumThreads = Threads;
+    Options.Cfg.Budgets.ForwardStepBudget = 400;
+    Options.Cfg.Budgets.BackwardStepBudget = 300;
+    Options.Cfg.Budgets.SolverDecisionBudget = 64;
     reporting::BenchRun Run =
         reporting::runBenchmark(synth::paperSuite()[0], Options);
     return std::make_pair(

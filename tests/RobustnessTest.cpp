@@ -196,8 +196,8 @@ TEST(FaultMatrix, EverySiteEveryKindRecoversSoundly) {
         ASSERT_TRUE(support::FaultRegistry::global().arm(Spec, Err)) << Err;
         reporting::HarnessOptions Options;
         Options.RunTypestate = false; // escape exercises every fault site
-        Options.Audit = true;
-        Options.Tracer.NumThreads = Threads;
+        Options.Cfg.Audit.Enabled = true;
+        Options.Cfg.Execution.NumThreads = Threads;
         reporting::BenchRun Run =
             reporting::runBenchmark(synth::paperSuite()[0], Options);
         support::FaultRegistry::global().disarm();
@@ -222,7 +222,7 @@ TEST(FaultMatrix, DelayedFaultsFireMidRun) {
       << Err;
   reporting::HarnessOptions Options;
   Options.RunTypestate = false;
-  Options.Audit = true;
+  Options.Cfg.Audit.Enabled = true;
   reporting::BenchRun Run =
       reporting::runBenchmark(synth::paperSuite()[0], Options);
   support::FaultRegistry::global().disarm();

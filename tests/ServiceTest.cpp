@@ -420,7 +420,7 @@ TEST(ServiceTest, HarnessServiceBackendMatchesDirectPath) {
   synth::BenchConfig Config = synth::paperSuite()[0];
   for (unsigned Threads : {1u, 8u}) {
     reporting::HarnessOptions Direct;
-    Direct.Tracer.NumThreads = Threads;
+    Direct.Cfg.Execution.NumThreads = Threads;
     reporting::HarnessOptions Service = Direct;
     Service.UseService = true;
 

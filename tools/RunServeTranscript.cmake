@@ -16,6 +16,13 @@
 if(NOT DEFINED EXTRA_ARGS)
   set(EXTRA_ARGS "")
 endif()
+# CLEAN_DIR: recreated empty before the run. The cache transcript points
+# --cache-dir here, so every run starts cold and the persist/load/spill
+# counters in the golden stay exact.
+if(DEFINED CLEAN_DIR AND NOT CLEAN_DIR STREQUAL "")
+  file(REMOVE_RECURSE ${CLEAN_DIR})
+  file(MAKE_DIRECTORY ${CLEAN_DIR})
+endif()
 execute_process(
   COMMAND ${SERVE} --threads=2 ${EXTRA_ARGS}
   INPUT_FILE ${INPUT}

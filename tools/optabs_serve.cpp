@@ -11,7 +11,18 @@
 //                [--incremental=0|1] [--read-timeout-ms=N]
 //                [--max-line-bytes=N] [--trace-capacity=N]
 //                [--trace-jsonl=PATH] [--trace-chrome=PATH]
-//                [--trace-slow-ms=X]
+//                [--trace-slow-ms=X] [--cache-dir=PATH] [--spill-bytes=N]
+//                [--persist-on-shutdown=0|1]
+//
+// Cache persistence: --cache-dir names a directory for the on-disk cache
+// tier (snapshots + spill files). With it set, registering a program
+// automatically rehydrates any matching snapshot (warm restart), the
+// "cache" op's persist/load/spill actions work, and --persist-on-shutdown
+// snapshots every program on the graceful path, so a SIGTERM'd worker
+// comes back warm. --spill-bytes caps the spill tier (0 = unbounded).
+// Shards of one optabs-shardd deployment share a cache dir: spill files
+// are keyed by program fingerprint, not by process-local epoch, so a
+// stolen or restarted shard re-warms from its peers' spills.
 //
 // Transport (service/Transport.h): by default the server speaks on
 // stdin/stdout; --listen binds a Unix-domain socket or a loopback TCP
@@ -384,6 +395,44 @@ bool handleRequest(ServerState &St, const Config &Base,
     O.field("fixpoints_amortized", S.FixpointsAmortized);
     O.field("slow_queries", S.SlowQueries);
     EmitObj(O);
+  } else if (*Op == "cache") {
+    auto Action = Req.getString("action");
+    if (!Action) {
+      Emit(service::errorLine(
+          *Op, "cache needs 'action' (stats|persist|load|spill|evict)"));
+      return true;
+    }
+    std::string Program;
+    if (auto P = Req.getString("program"))
+      Program = *P;
+    service::CacheOpResult R = St.Svc->cacheOp(*Action, Program);
+    if (!R.Ok) {
+      Emit(service::errorLine(*Op, R.Error));
+      return true;
+    }
+    JsonObject O = service::response(true);
+    O.field("op", *Op);
+    O.field("action", *Action);
+    O.field("entries", R.Entries);
+    O.field("resident_bytes", R.ResidentBytes);
+    O.field("runs_persisted", R.RunsPersisted);
+    O.field("verdicts_persisted", R.VerdictsPersisted);
+    O.field("runs_loaded", R.RunsLoaded);
+    O.field("verdicts_loaded", R.VerdictsLoaded);
+    O.field("runs_skipped", R.RunsSkipped);
+    O.field("verdicts_skipped", R.VerdictsSkipped);
+    O.field("spilled", R.Spilled);
+    O.field("evicted", R.Evicted);
+    O.field("spill_writes", R.SpillWrites);
+    O.field("spill_loads", R.SpillLoads);
+    std::string Notes;
+    for (const std::string &N : R.Notes) {
+      if (!Notes.empty())
+        Notes += ';';
+      Notes += N;
+    }
+    O.field("notes", Notes);
+    EmitObj(O);
   } else if (*Op == "trace") {
     if (!St.Svc->tracingEnabled()) {
       Emit(service::errorLine(
@@ -579,6 +628,9 @@ int main(int Argc, char **Argv) {
   uint64_t CacheCapacity = Base.Execution.ForwardCacheCapacity;
   uint64_t MaxSessions = Base.Service.MaxSessions;
   uint64_t Incremental = Base.Service.IncrementalReRegister ? 1 : 0;
+  std::string CacheDir = Base.Service.CacheDir;
+  uint64_t SpillBytes = Base.Service.SpillBytes;
+  uint64_t PersistOnShutdown = Base.Service.PersistOnShutdown ? 1 : 0;
   uint64_t TraceCapacity =
       Base.Observability.ServiceTrace ? Base.Observability.ServiceTraceCapacity
                                       : 0;
@@ -598,6 +650,12 @@ int main(int Argc, char **Argv) {
   Parser.option("--metrics", &F.MetricsPath, "Prometheus dump on shutdown");
   Parser.option("--incremental", &Incremental,
                 "diff-based incremental re-registration (0 = evict all)");
+  Parser.option("--cache-dir", &CacheDir,
+                "on-disk cache tier: snapshots + spill files (empty = off)");
+  Parser.option("--spill-bytes", &SpillBytes,
+                "spill-tier byte budget (0 = unbounded)");
+  Parser.option("--persist-on-shutdown", &PersistOnShutdown,
+                "snapshot every program on graceful shutdown (0|1)");
   Parser.option("--read-timeout-ms", &F.ReadTimeoutMs,
                 "drop a socket connection silent this long (0 = never)");
   Parser.option("--max-line-bytes", &F.MaxLineBytes,
@@ -616,6 +674,8 @@ int main(int Argc, char **Argv) {
               << "usage: optabs-serve [--listen=unix:PATH|tcp:PORT] "
                  "[--threads=N] [--cache-capacity=N] "
                  "[--max-sessions=N] [--metrics=PATH] [--incremental=0|1] "
+                 "[--cache-dir=PATH] [--spill-bytes=N] "
+                 "[--persist-on-shutdown=0|1] "
                  "[--read-timeout-ms=N] [--max-line-bytes=N] "
                  "[--trace-capacity=N] [--trace-jsonl=PATH] "
                  "[--trace-chrome=PATH] [--trace-slow-ms=X]\n";
@@ -629,6 +689,9 @@ int main(int Argc, char **Argv) {
   Base.Execution.ForwardCacheCapacity = static_cast<size_t>(CacheCapacity);
   Base.Service.MaxSessions = static_cast<unsigned>(MaxSessions);
   Base.Service.IncrementalReRegister = Incremental != 0;
+  Base.Service.CacheDir = CacheDir;
+  Base.Service.SpillBytes = SpillBytes;
+  Base.Service.PersistOnShutdown = PersistOnShutdown != 0;
   if (TraceCapacity > 0) {
     Base.Observability.ServiceTrace = true;
     Base.Observability.ServiceTraceCapacity =

@@ -114,11 +114,15 @@ int main(int Argc, char **Argv) {
   uint64_t BackoffResetMs = RO.BackoffResetMs;
   uint64_t ReadTimeoutMs = 0;
   uint64_t MaxLineBytes = service::DefaultMaxLineBytes;
+  uint64_t StealThreshold = 0;
   bool Chaos = false;
   std::string Listen = "stdio";
   std::string Worker = selfDirectory() + "/optabs-serve";
   std::string SocketDir = "/tmp";
   std::string WorkerArgsJoined; // space-separated extra worker flags
+  std::string CacheDir;         // shared on-disk tier for every worker
+  uint64_t SpillBytes = 0;
+  uint64_t PersistOnShutdown = 0;
 
   support::ArgParser Parser;
   Parser.option("--listen", &Listen,
@@ -133,6 +137,16 @@ int main(int Argc, char **Argv) {
   Parser.option("--worker-args", &WorkerArgsJoined,
                 "extra flags for every worker, space separated");
   Parser.option("--socket-dir", &SocketDir, "where worker sockets live");
+  Parser.option("--cache-dir", &CacheDir,
+                "shared on-disk cache tier passed to every worker; stolen "
+                "or restarted shards re-warm from it");
+  Parser.option("--spill-bytes", &SpillBytes,
+                "per-worker spill-tier byte budget (0 = unbounded)");
+  Parser.option("--persist-on-shutdown", &PersistOnShutdown,
+                "workers snapshot their programs on graceful shutdown (0|1)");
+  Parser.option("--steal-threshold", &StealThreshold,
+                "re-home sessions from a shard with this many pending jobs "
+                "to an idle one at drain (0 = off)");
   Parser.option("--request-timeout-ms", &RequestTimeoutMs,
                 "per-request deadline before a shard counts as hung");
   Parser.option("--retries", &Retries,
@@ -157,7 +171,9 @@ int main(int Argc, char **Argv) {
                  "[--request-timeout-ms=N] [--retries=N] "
                  "[--backoff-initial-ms=N] [--backoff-max-ms=N] "
                  "[--backoff-reset-ms=N] [--read-timeout-ms=N] "
-                 "[--max-line-bytes=N] [--chaos]\n";
+                 "[--max-line-bytes=N] [--cache-dir=DIR] [--spill-bytes=N] "
+                 "[--persist-on-shutdown=0|1] [--steal-threshold=N] "
+                 "[--chaos]\n";
     return 2;
   }
   service::ListenSpec ListenSpec;
@@ -175,11 +191,19 @@ int main(int Argc, char **Argv) {
   RO.BackoffMaxMs = BackoffMaxMs;
   RO.BackoffResetMs = BackoffResetMs;
   RO.AllowChaosOps = Chaos;
+  RO.StealThreshold = StealThreshold;
 
   HO.ServeBinary = Worker;
   HO.SocketDir = SocketDir;
   HO.MaxLineBytes = static_cast<size_t>(MaxLineBytes);
   HO.WorkerArgs.push_back("--threads=" + std::to_string(WorkerThreads));
+  if (!CacheDir.empty()) {
+    HO.WorkerArgs.push_back("--cache-dir=" + CacheDir);
+    if (SpillBytes)
+      HO.WorkerArgs.push_back("--spill-bytes=" + std::to_string(SpillBytes));
+    if (PersistOnShutdown)
+      HO.WorkerArgs.push_back("--persist-on-shutdown=1");
+  }
   for (size_t I = 0; I < WorkerArgsJoined.size();) {
     size_t J = WorkerArgsJoined.find(' ', I);
     if (J == std::string::npos)
