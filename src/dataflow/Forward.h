@@ -326,6 +326,13 @@ public:
       uint32_t N = 0;
       if (!S.u32(N))
         return false;
+      // A valid set is strictly increasing ids below NumStates, so its
+      // size is bounded by the interned table; a larger claim is damage
+      // and must fail before it can drive the reserve below.
+      if (N > NumStates) {
+        S.fail("state set larger than the interned state table");
+        return false;
+      }
       Set.clear();
       Set.reserve(N);
       uint32_t Prev = 0;

@@ -67,6 +67,7 @@
 #include <thread>
 #include <tuple>
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 namespace optabs {
@@ -343,6 +344,13 @@ struct AnalysisService::Impl {
     unsigned TraceRound = 0;
     uint8_t TraceForm = 0;
     uint64_t DataEpoch = 0;
+    /// True for entries rehydrated from a snapshot. They are stamped with
+    /// the live epoch their load-time footprint diff validated against,
+    /// and replay within that epoch too (a driver-computed verdict only
+    /// replays across re-registrations - see pickBatch). Never lowers any
+    /// CheckLastDirty floor: the floors also shadow migrated forward runs
+    /// and must keep reflecting the last dirtying edit.
+    bool Loaded = false;
   };
 
   /// The per-name slot: survives re-registration and owns the cache shards
@@ -530,10 +538,17 @@ struct AnalysisService::Impl {
     std::promise<CacheOpResult> Promise;
   };
   std::deque<AdminCmd> AdminQueue; ///< guarded by M
-  /// Bytes of spill files written so far, compared against
-  /// Config::ServiceConfig::SpillBytes. Scheduler thread only (the spill
-  /// hooks run inside executeBatch or an admin op, both scheduler-side).
+  /// Bytes of spill files on disk, compared against
+  /// Config::ServiceConfig::SpillBytes. Seeded from the cache dir's
+  /// existing spill files on first use (see ensureSpillAccounting), so a
+  /// restart - or a shared cache dir - does not reset the budget; a
+  /// rewrite of an existing spill path replaces its old bytes instead of
+  /// double-counting. Scheduler thread only (the spill hooks run inside
+  /// executeBatch or an admin op, both scheduler-side). The budget is
+  /// enforced per worker: shardd workers sharing one dir each apply
+  /// their own service.spill_bytes against the shared contents.
   uint64_t SpillBytesUsed = 0;
+  bool SpillBytesScanned = false;
 
   // -- request tracing (guarded by M except where noted) -----------------
   /// Null when observability.service_trace is off: every recording site
@@ -847,11 +862,13 @@ struct AnalysisService::Impl {
         if (It == B.Slot->Verdicts.end())
           continue;
         const VerdictEntry &E = It->second;
-        // Cross-epoch survivors only: E outlived at least one
+        // Cross-epoch survivors replay: E outlived at least one
         // re-registration with its check's footprint clean (the filter at
         // re-register erased it otherwise; the comparison here re-checks
-        // defensively).
-        if (E.DataEpoch < B.Entry->Epoch &&
+        // defensively). Snapshot-loaded verdicts replay within the epoch
+        // that admitted them as well - their load-time footprint diff is
+        // the same proof a survivor gets from re-registration.
+        if ((E.Loaded || E.DataEpoch < B.Entry->Epoch) &&
             K.Check < B.MinDataByCheck.size() &&
             B.MinDataByCheck[K.Check] <= E.DataEpoch)
           B.Replays[I] = E;
@@ -1187,6 +1204,29 @@ struct AnalysisService::Impl {
     return Opts.Base.Service.CacheDir + "/spill-" + hex16(H) + ".spill";
   }
 
+  /// First-use seeding of the spill-byte accounting: spill files already
+  /// in the cache dir (this worker's previous life, or a peer's in a
+  /// shared dir) count against the budget from the start, so a restart
+  /// never resets it.
+  void ensureSpillAccounting() {
+    if (SpillBytesScanned)
+      return;
+    SpillBytesScanned = true;
+    DIR *D = ::opendir(Opts.Base.Service.CacheDir.c_str());
+    if (!D)
+      return;
+    while (struct dirent *Ent = ::readdir(D)) {
+      std::string N = Ent->d_name;
+      if (N.size() < 12 || N.compare(0, 6, "spill-") != 0 ||
+          N.compare(N.size() - 6, 6, ".spill") != 0)
+        continue;
+      struct stat SB;
+      if (::stat((Opts.Base.Service.CacheDir + "/" + N).c_str(), &SB) == 0)
+        SpillBytesUsed += static_cast<uint64_t>(SB.st_size);
+    }
+    ::closedir(D);
+  }
+
   /// Writes one spilled run: the validation stamp (fingerprint hash +
   /// full key + client kind), then the run payload. Returns false when
   /// the spill-byte budget is exhausted or the write fails - the caller
@@ -1195,8 +1235,18 @@ struct AnalysisService::Impl {
   bool writeSpill(uint64_t FpHash, uint8_t ClientKind, uint64_t Family,
                   uint32_t Salt, const std::vector<bool> &Bits,
                   const RunT &Run, const CodecT &Codec) {
+    ensureSpillAccounting();
+    std::string Path = spillPathFor(FpHash, ClientKind, Family, Salt, Bits);
+    // A rewrite replaces its old file, so only the net usage counts -
+    // both for the budget gate and for the post-commit accounting.
+    struct stat SB;
+    uint64_t OldBytes =
+        ::stat(Path.c_str(), &SB) == 0 ? static_cast<uint64_t>(SB.st_size)
+                                       : 0;
+    uint64_t NetUsed =
+        SpillBytesUsed > OldBytes ? SpillBytesUsed - OldBytes : 0;
     uint64_t Budget = Opts.Base.Service.SpillBytes;
-    if (Budget > 0 && SpillBytesUsed >= Budget)
+    if (Budget > 0 && NetUsed >= Budget)
       return false;
     tracer::SnapshotWriter W;
     W.u64(FpHash);
@@ -1207,11 +1257,9 @@ struct AnalysisService::Impl {
     tracer::RunSink<CodecT> S{W, Codec};
     Run.saveTo(S);
     std::string Err;
-    if (!ensureDir(Opts.Base.Service.CacheDir) ||
-        !W.commit(spillPathFor(FpHash, ClientKind, Family, Salt, Bits),
-                  Err))
+    if (!ensureDir(Opts.Base.Service.CacheDir) || !W.commit(Path, Err))
       return false;
-    SpillBytesUsed += W.payloadBytes() + 20; // header + checksum framing
+    SpillBytesUsed = NetUsed + W.payloadBytes() + 20; // + header/checksum
     return true;
   }
 
@@ -1338,6 +1386,21 @@ struct AnalysisService::Impl {
     return A.get();
   }
 
+  /// Still-valid entries of an existing on-disk snapshot, collected on
+  /// the side by loadProgram's merge mode so persistProgram can union
+  /// them into the file it writes WITHOUT touching the live slot: a
+  /// persist must stay read-only on verdicts, caches, and freshness
+  /// floors (a "persist" that loaded would also widen the trigger
+  /// surface of any load-path bug to every shutdown snapshot). Entries
+  /// here passed the same per-entry validation a live load applies and
+  /// are absent from the live slot, so re-serializing them against the
+  /// live fingerprint is sound.
+  struct SnapshotMerge {
+    std::map<VerdictKey, VerdictEntry> Verdicts;
+    std::vector<std::pair<EscKey, std::unique_ptr<EscForward>>> EscRuns;
+    std::vector<std::pair<TsKey, std::unique_ptr<TsForward>>> TsRuns;
+  };
+
   /// Snapshots one program slot - fingerprint, family index, stored
   /// verdicts, and every cached forward run computed against the live
   /// version - into CacheDir. Lock held (enumeration only; no waiting).
@@ -1349,15 +1412,19 @@ struct AnalysisService::Impl {
     }
     // Merge-on-persist: several processes may share one cache dir (the
     // shard fleet does), and each persists to the same per-program path.
-    // Folding the existing snapshot's still-valid entries into the live
-    // cache first makes the write a union instead of a clobber - an idle
-    // shard persisting a program it never analyzed re-writes its peers'
-    // runs rather than erasing them. Stale or corrupt snapshots
-    // contribute nothing (loadProgram validates per entry), and the
-    // loaded counters in \p Res show what the merge picked up.
+    // Collecting the existing snapshot's still-valid entries on the side
+    // and unioning them into the write makes it a union instead of a
+    // clobber - an idle shard persisting a program it never analyzed
+    // re-writes its peers' runs rather than erasing them - while the
+    // live verdict store, caches, and freshness floors stay untouched
+    // (the only live effect is the append-only family-index union, which
+    // keeps merged type-state keys index-stable). Stale or corrupt
+    // snapshots contribute nothing (the merge validates per entry
+    // exactly like a live load).
+    SnapshotMerge Merge;
     struct stat SB;
     if (::stat(snapshotPathFor(Name).c_str(), &SB) == 0)
-      loadProgram(Name, Slot, Res);
+      loadProgram(Name, Slot, Res, &Merge);
     uint64_t Live = Slot.Current->Epoch;
     tracer::SnapshotWriter W;
     W.str(Name);
@@ -1384,8 +1451,7 @@ struct AnalysisService::Impl {
       W.u64(Idx);
     }
 
-    W.u32(static_cast<uint32_t>(Slot.Verdicts.size()));
-    for (const auto &[K, E] : Slot.Verdicts) {
+    auto WriteVerdict = [&](const VerdictKey &K, const VerdictEntry &E) {
       W.u8(K.Typestate ? 1 : 0);
       W.str(K.Property);
       W.u32(K.Site);
@@ -1399,7 +1465,13 @@ struct AnalysisService::Impl {
       W.u8(E.TraceForm);
       saveCnf(W, E.Viable);
       ++Res.VerdictsPersisted;
-    }
+    };
+    W.u32(static_cast<uint32_t>(Slot.Verdicts.size() +
+                                Merge.Verdicts.size()));
+    for (const auto &[K, E] : Slot.Verdicts)
+      WriteVerdict(K, E);
+    for (const auto &[K, E] : Merge.Verdicts)
+      WriteVerdict(K, E);
 
     // Forward runs: only those computed against the live version persist
     // (see the spill-hook comment on migrated runs). Snapshot loading
@@ -1414,10 +1486,17 @@ struct AnalysisService::Impl {
           else
             ++Skipped;
         });
-    W.u32(static_cast<uint32_t>(EscRuns.size()));
+    W.u32(static_cast<uint32_t>(EscRuns.size() + Merge.EscRuns.size()));
     for (const auto &[K, Run] : EscRuns) {
       W.u32(K->Salt);
       W.bits(K->Bits);
+      tracer::RunSink<EscStateCodec> S{W, EscStateCodec()};
+      Run->saveTo(S);
+      ++Res.RunsPersisted;
+    }
+    for (const auto &[K, Run] : Merge.EscRuns) {
+      W.u32(K.Salt);
+      W.bits(K.Bits);
       tracer::RunSink<EscStateCodec> S{W, EscStateCodec()};
       Run->saveTo(S);
       ++Res.RunsPersisted;
@@ -1430,11 +1509,19 @@ struct AnalysisService::Impl {
           else
             ++Skipped;
         });
-    W.u32(static_cast<uint32_t>(TsRuns.size()));
+    W.u32(static_cast<uint32_t>(TsRuns.size() + Merge.TsRuns.size()));
     for (const auto &[K, Run] : TsRuns) {
       W.u64(K->Family);
       W.u32(K->Salt);
       W.bits(K->Bits);
+      tracer::RunSink<TsStateCodec> S{W, TsStateCodec()};
+      Run->saveTo(S);
+      ++Res.RunsPersisted;
+    }
+    for (const auto &[K, Run] : Merge.TsRuns) {
+      W.u64(K.Family);
+      W.u32(K.Salt);
+      W.bits(K.Bits);
       tracer::RunSink<TsStateCodec> S{W, TsStateCodec()};
       Run->saveTo(S);
       ++Res.RunsPersisted;
@@ -1465,9 +1552,12 @@ struct AnalysisService::Impl {
   /// every procedure that changed since the snapshot; forward runs load
   /// only when the program is bitwise identical to the snapshot version.
   /// Anything else - and any structural damage - is skipped with a note,
-  /// never served. Lock held.
+  /// never served. With \p Merge set, validated entries absent from the
+  /// live slot are collected there instead of inserted (the merge half
+  /// of persistProgram); verdicts, caches, and freshness floors of the
+  /// live slot are then untouched. Lock held.
   void loadProgram(const std::string &Name, ProgramSlot &Slot,
-                   CacheOpResult &Res) {
+                   CacheOpResult &Res, SnapshotMerge *Merge = nullptr) {
     if (!Slot.Current) {
       Res.Notes.push_back("program '" + Name + "': no live registration");
       return;
@@ -1492,6 +1582,14 @@ struct AnalysisService::Impl {
     ir::ProgramFingerprint SnapFp;
     uint32_t NumProcs = 0;
     if (!R.u32(NumProcs)) {
+      Res.Notes.push_back(R.error());
+      return;
+    }
+    // Each proc record is at least 20 bytes (length-prefixed name plus
+    // two u64 hashes); a larger count is provably truncated and must not
+    // size the resize below.
+    if (NumProcs > R.remaining() / 20) {
+      R.fail("fingerprint proc count exceeds the remaining payload");
       Res.Notes.push_back(R.error());
       return;
     }
@@ -1566,10 +1664,12 @@ struct AnalysisService::Impl {
     };
 
     // Stored verdicts: per-check validation, exactly the re-registration
-    // filter. A loaded verdict gets data epoch 0 ("since forever") and
-    // the check's freshness floor drops to 0 with it - sound because the
-    // footprint comparison just proved every constraint the verdict
-    // depends on unchanged since the snapshot.
+    // filter. A loaded verdict is stamped with the live epoch - the
+    // version the footprint comparison just proved it exact for - plus
+    // the Loaded flag that lets it replay within that epoch. The
+    // CheckLastDirty floors are deliberately never touched: they also
+    // shadow stale migrated forward runs in the in-memory caches, and
+    // lowering one to admit a verdict would serve those runs as fresh.
     uint32_t NumVerdicts = 0;
     if (!R.u32(NumVerdicts)) {
       Res.Notes.push_back(R.error());
@@ -1598,7 +1698,8 @@ struct AnalysisService::Impl {
       E.V = static_cast<tracer::Verdict>(V);
       E.Iterations = Iter;
       E.TraceRound = Round;
-      E.DataEpoch = 0;
+      E.DataEpoch = Slot.Current->Epoch;
+      E.Loaded = true;
       if (!FootprintClean(K.Check)) {
         ++StaleVerdicts;
         continue;
@@ -1607,8 +1708,10 @@ struct AnalysisService::Impl {
         ++Res.VerdictsSkipped;
         continue; // a live verdict is always at least as fresh
       }
-      if (K.Check < Slot.CheckLastDirty.size())
-        Slot.CheckLastDirty[K.Check] = 0;
+      if (Merge) {
+        Merge->Verdicts.emplace(std::move(K), std::move(E));
+        continue;
+      }
       Slot.Verdicts.emplace(std::move(K), std::move(E));
       ++Res.VerdictsLoaded;
     }
@@ -1663,6 +1766,10 @@ struct AnalysisService::Impl {
         ++Res.RunsSkipped;
         continue;
       }
+      if (Merge) {
+        Merge->EscRuns.emplace_back(K, std::move(Run));
+        continue;
+      }
       Slot.EscCache.insert(std::move(K), std::move(Run), E.Epoch);
       ++Res.RunsLoaded;
     }
@@ -1713,6 +1820,10 @@ struct AnalysisService::Impl {
       }
       if (Slot.TsCache.contains(K)) {
         ++Res.RunsSkipped;
+        continue;
+      }
+      if (Merge) {
+        Merge->TsRuns.emplace_back(K, std::move(Run));
         continue;
       }
       Slot.TsCache.insert(std::move(K), std::move(Run), E.Epoch);

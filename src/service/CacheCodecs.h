@@ -63,6 +63,12 @@ struct TsStateCodec {
     uint32_t Count = 0;
     if (!R.u32(S.Ts) || !R.u32(Count))
       return false;
+    // Each value is a u32 still to be read; a count beyond the remaining
+    // payload is provably truncated and must not size the reserve.
+    if (Count > R.remaining() / 4) {
+      R.fail("AbsState value count exceeds the remaining payload");
+      return false;
+    }
     S.Vs.clear();
     S.Vs.reserve(Count);
     for (uint32_t I = 0; I < Count; ++I) {

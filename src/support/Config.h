@@ -156,9 +156,13 @@ struct Config {
     /// pressure, warm loads on registration). Empty disables every
     /// on-disk path (OPTABS_CACHE_DIR).
     std::string CacheDir;
-    /// Ceiling on bytes of spill files written under service.cache_dir;
-    /// once reached, cold entries fall back to plain eviction instead of
-    /// spilling. 0 = unbounded (OPTABS_SPILL_BYTES).
+    /// Ceiling on bytes of spill files under service.cache_dir; once
+    /// reached, cold entries fall back to plain eviction instead of
+    /// spilling. Pre-existing spill files count against it (the service
+    /// scans the dir on first spill), and the budget is enforced per
+    /// worker - shardd workers sharing one dir each apply their own
+    /// ceiling against the shared contents. 0 = unbounded
+    /// (OPTABS_SPILL_BYTES).
     uint64_t SpillBytes = 0;
     /// Snapshot every registered program to service.cache_dir when the
     /// service shuts down, so the next process starts warm

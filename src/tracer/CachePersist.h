@@ -106,6 +106,11 @@ public:
   /// True when every payload byte has been consumed (trailing garbage in
   /// a checksummed file still indicates a writer bug; callers may check).
   bool atEnd() const { return Pos == End; }
+  /// Unread payload bytes. Callers clamp claimed element counts against
+  /// this before reserving (each element costs at least one byte, so a
+  /// count above remaining() is provably truncated) - a checksummed but
+  /// crafted file must fail structurally, not via a giant allocation.
+  size_t remaining() const { return Failed ? 0 : End - Pos; }
   /// Offset of the next unread byte, for error messages.
   size_t offset() const { return Pos; }
   bool failed() const { return Failed; }

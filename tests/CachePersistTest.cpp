@@ -12,6 +12,7 @@
 #include "escape/Escape.h"
 #include "ir/Parser.h"
 #include "service/AnalysisService.h"
+#include "service/CacheCodecs.h"
 #include "support/Config.h"
 #include "tracer/CachePersist.h"
 #include "tracer/QueryDriver.h"
@@ -609,6 +610,215 @@ TEST(CachePersistTest, EvictDropsEverythingWithoutSpilling) {
   ASSERT_TRUE(After.Ok);
   EXPECT_EQ(After.Entries, 0u);
   EXPECT_EQ(After.SpillWrites, 0u); // evict never writes spill files
+}
+
+//===----------------------------------------------------------------------===//
+// Freshness floors survive snapshot loads
+//===----------------------------------------------------------------------===//
+
+TEST(CachePersistTest, LoadedVerdictsDoNotUnshadowStaleMigratedRuns) {
+  TempDir Dir("floors");
+
+  // Oracles for both versions. The guard below keeps the test potent: if
+  // the two versions ever stopped disagreeing, serving one's runs for the
+  // other would become unobservable.
+  Program P1, P2;
+  parseInto(EscapeProgram, P1);
+  parseInto(EscapeProgramModified, P2);
+  escape::EscapeAnalysis A1(P1), A2(P2);
+  tracer::TracerOptions Opts;
+  tracer::QueryDriver<escape::EscapeAnalysis> D1(P1, A1, Opts);
+  tracer::QueryDriver<escape::EscapeAnalysis> D2(P2, A2, Opts);
+  std::vector<tracer::QueryOutcome> Want1 =
+      D1.run({CheckId(0), CheckId(1), CheckId(2)});
+  std::vector<tracer::QueryOutcome> Want2 =
+      D2.run({CheckId(0), CheckId(1), CheckId(2)});
+  ASSERT_EQ(Want1.size(), Want2.size());
+  bool Differ = false;
+  for (size_t I = 0; I < Want1.size(); ++I)
+    Differ = Differ || Want1[I].V != Want2[I].V ||
+             Want1[I].Iterations != Want2[I].Iterations ||
+             Want1[I].CheapestCost != Want2[I].CheapestCost;
+  ASSERT_TRUE(Differ) << "the two program versions must disagree somewhere";
+
+  // A peer persists a snapshot of the *modified* version.
+  {
+    service::AnalysisService Peer(warmOptions(Dir.Path));
+    answerAllChecks(Peer, EscapeProgramModified);
+    ASSERT_TRUE(Peer.cacheOp("persist").Ok);
+  }
+
+  // This service computes forward runs against the original version, then
+  // re-registers the modified text: main is dirty, so every check's
+  // freshness floor rises and the migrated runs become stale (shadowed in
+  // memory, never served). The re-registration auto-warm then loads the
+  // peer's snapshot - its verdicts are exact for the live version, but
+  // admitting them must not lower any floor.
+  service::AnalysisService Svc(warmOptions(Dir.Path));
+  answerAllChecks(Svc, EscapeProgram);
+  ASSERT_TRUE(Svc.registerProgram("p", EscapeProgramModified).Ok);
+
+  // A session under a *different* options signature (the event-trace path
+  // is part of it) cannot replay the loaded verdicts, so the driver runs -
+  // and the floors must still shadow the stale migrated runs. Served
+  // stale, those runs would reproduce the original version's outcomes.
+  service::SessionSpec Traced;
+  Traced.Program = "p";
+  Traced.Client = "escape";
+  Traced.SessionConfig.Observability.EventTracePath =
+      Dir.Path + "/other-sig.jsonl";
+  service::Session S = openOrDie(Svc, Traced);
+  std::vector<std::future<service::QueryResult>> F;
+  for (uint32_t C = 0; C < 3; ++C)
+    F.push_back(S.submit({C, 0, 0}));
+  std::vector<service::QueryResult> Got = collect(Svc, F);
+  ASSERT_EQ(Got.size(), Want2.size());
+  for (size_t I = 0; I < Want2.size(); ++I)
+    expectSameVerdict(Want2[I], Got[I]);
+  EXPECT_EQ(Svc.stats().VerdictsReplayed, 0u);
+
+  // The loaded verdicts still replay for a matching signature, within the
+  // epoch that admitted them - warm restarts depend on it.
+  service::SessionSpec Plain;
+  Plain.Program = "p";
+  Plain.Client = "escape";
+  service::Session S2 = openOrDie(Svc, Plain);
+  std::vector<std::future<service::QueryResult>> F2;
+  for (uint32_t C = 0; C < 3; ++C)
+    F2.push_back(S2.submit({C, 0, 0}));
+  std::vector<service::QueryResult> Got2 = collect(Svc, F2);
+  ASSERT_EQ(Got2.size(), Want2.size());
+  for (size_t I = 0; I < Want2.size(); ++I)
+    expectSameVerdict(Want2[I], Got2[I]);
+  EXPECT_EQ(Svc.stats().VerdictsReplayed, Want2.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Persist is read-only on live analysis state
+//===----------------------------------------------------------------------===//
+
+TEST(CachePersistTest, PersistMergesWithoutMutatingLiveState) {
+  TempDir Dir("mergero");
+  {
+    service::AnalysisService Svc(warmOptions(Dir.Path));
+    answerAllChecks(Svc, EscapeProgram);
+    ASSERT_TRUE(Svc.cacheOp("persist").Ok);
+  }
+
+  // A second service registers (auto-warming from the snapshot), then
+  // evicts its caches. A persist now takes the merge path - the old
+  // snapshot's runs are absent live - and must union them into the new
+  // file WITHOUT resurrecting them in memory.
+  service::AnalysisService Svc(warmOptions(Dir.Path));
+  ASSERT_TRUE(Svc.registerProgram("p", EscapeProgram).Ok);
+  ASSERT_TRUE(Svc.cacheOp("evict").Ok);
+  service::CacheOpResult Before = Svc.cacheOp("stats");
+  ASSERT_TRUE(Before.Ok);
+  ASSERT_EQ(Before.Entries, 0u);
+
+  service::CacheOpResult Pe = Svc.cacheOp("persist");
+  ASSERT_TRUE(Pe.Ok) << Pe.Error;
+  EXPECT_GT(Pe.RunsPersisted, 0u); // the union carried the on-disk runs
+  EXPECT_EQ(Pe.RunsLoaded, 0u);    // ...without loading them live
+  service::CacheOpResult After = Svc.cacheOp("stats");
+  ASSERT_TRUE(After.Ok);
+  EXPECT_EQ(After.Entries, 0u) << "persist refilled the live caches";
+
+  // The union survives: a third service comes up warm off the merged
+  // snapshot and answers the whole workload with zero fixpoints.
+  Program P;
+  parseInto(EscapeProgram, P);
+  escape::EscapeAnalysis A(P);
+  tracer::TracerOptions Opts;
+  tracer::QueryDriver<escape::EscapeAnalysis> Driver(P, A, Opts);
+  std::vector<tracer::QueryOutcome> Want =
+      Driver.run({CheckId(0), CheckId(1), CheckId(2)});
+  service::AnalysisService Warm(warmOptions(Dir.Path));
+  std::vector<service::QueryResult> Got = answerAllChecks(Warm, EscapeProgram);
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I)
+    expectSameVerdict(Want[I], Got[I]);
+  EXPECT_EQ(Warm.stats().ForwardRuns, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Claimed record counts are clamped against the payload
+//===----------------------------------------------------------------------===//
+
+TEST(CachePersistTest, HugeClaimedProcCountIsRejectedStructurally) {
+  TempDir Dir("hugecount");
+  service::AnalysisService Svc(warmOptions(Dir.Path));
+  answerAllChecks(Svc, EscapeProgram);
+  ASSERT_TRUE(Svc.cacheOp("persist").Ok);
+  std::string Snap = onlySnapshotIn(Dir.Path);
+  ASSERT_FALSE(Snap.empty());
+
+  // A checksummed but crafted snapshot claiming ~4 billion procedure
+  // records. The claim exceeds the remaining payload, so the load must
+  // fail with a structured note - never size a multi-gigabyte loop.
+  tracer::SnapshotWriter W;
+  W.str("p");
+  W.u64(1);
+  W.u32(0xffffffffu);
+  std::string Err;
+  ASSERT_TRUE(W.commit(Snap, Err)) << Err;
+
+  service::CacheOpResult R = Svc.cacheOp("load");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.RunsLoaded + R.VerdictsLoaded, 0u);
+  bool Noted = false;
+  for (const std::string &N : R.Notes)
+    Noted = Noted || N.find("proc count") != std::string::npos;
+  EXPECT_TRUE(Noted) << "no structured note names the bogus count";
+}
+
+TEST(CachePersistTest, AbsStateValueCountIsClampedToPayload) {
+  TempDir Dir("codecclamp");
+  std::string Path = Dir.Path + "/state.snap";
+  tracer::SnapshotWriter W;
+  W.u8(0);            // Top flag
+  W.u32(3);           // automaton state
+  W.u32(0xffffffffu); // claimed value count, nothing behind it
+  std::string Err;
+  ASSERT_TRUE(W.commit(Path, Err)) << Err;
+
+  tracer::SnapshotReader R;
+  ASSERT_TRUE(R.open(Path)) << R.error();
+  typestate::AbsState S;
+  EXPECT_FALSE(service::TsStateCodec().load(R, S));
+  EXPECT_TRUE(R.failed());
+  EXPECT_NE(R.error().find("value count"), std::string::npos) << R.error();
+}
+
+//===----------------------------------------------------------------------===//
+// The spill budget counts what is already on disk
+//===----------------------------------------------------------------------===//
+
+TEST(CachePersistTest, SpillBudgetCountsPreExistingFiles) {
+  TempDir Dir("budget");
+  {
+    // First life: unlimited budget, leave real spill files behind.
+    service::AnalysisService Svc(warmOptions(Dir.Path));
+    answerAllChecks(Svc, EscapeProgram);
+    service::CacheOpResult Sp = Svc.cacheOp("spill");
+    ASSERT_TRUE(Sp.Ok) << Sp.Error;
+    // At least two files, so every rewrite attempt below still carries a
+    // nonzero charge from the *other* pre-existing files.
+    ASSERT_GT(Sp.SpillWrites, 1u);
+  }
+
+  // Second life: a 1-byte budget. The pre-existing files already exceed
+  // it (the directory scan charges them), so the first spill attempt
+  // must fall back to plain eviction - restarting never resets the
+  // budget.
+  service::AnalysisService::Options O = warmOptions(Dir.Path);
+  O.Base.Service.SpillBytes = 1;
+  service::AnalysisService Svc(O);
+  answerAllChecks(Svc, EscapeProgram);
+  service::CacheOpResult Sp = Svc.cacheOp("spill");
+  ASSERT_TRUE(Sp.Ok) << Sp.Error;
+  EXPECT_EQ(Sp.Spilled, 0u) << "restart reset the spill budget";
+  EXPECT_GT(Sp.Evicted, 0u);
 }
 
 } // namespace

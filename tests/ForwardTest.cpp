@@ -306,6 +306,53 @@ TEST(Forward, PruningCollapsesDeadVariableStates) {
   EXPECT_LE(Pruned.approxMemoryBytes(), Plain.approxMemoryBytes());
 }
 
+TEST(Forward, LoadFromRejectsOversizedStateSetClaims) {
+  Program P = parse("proc main { x = new h1; check(x); }");
+  CounterClient C;
+  ForwardAnalysis<CounterClient> FA(P, C, CounterClient::Param{5});
+
+  // A crafted record stream: two interned states, then a value cell
+  // claiming a ~4 billion element state set. A valid set is bounded by
+  // the interned table, so the claim must fail structurally before it
+  // can size a 16 GiB reservation.
+  struct FakeSource {
+    std::vector<uint64_t> Vals;
+    size_t I = 0;
+    std::string Err;
+    bool next(uint64_t &V) {
+      if (I >= Vals.size())
+        return false;
+      V = Vals[I++];
+      return true;
+    }
+    bool u32(uint32_t &V) {
+      uint64_t X = 0;
+      if (!next(X))
+        return false;
+      V = static_cast<uint32_t>(X);
+      return true;
+    }
+    bool u64(uint64_t &V) { return next(V); }
+    bool state(unsigned &S) {
+      uint32_t X = 0;
+      if (!u32(X))
+        return false;
+      S = X;
+      return true;
+    }
+    void fail(const std::string &What) { Err = What; }
+  };
+  FakeSource S;
+  S.Vals = {0,           // fixpoint round
+            2, 7, 9,     // two distinct interned states
+            0,           // initial state id
+            1,           // one tabulated value cell
+            42,          // its key
+            0xffffffffu}; // claimed set size
+  EXPECT_FALSE(FA.loadFrom(S));
+  EXPECT_NE(S.Err.find("state set larger"), std::string::npos) << S.Err;
+}
+
 TEST(Forward, StatsArePopulated) {
   Program P = parse("proc main { loop { x = new h1; } check(x); }");
   CounterClient C;

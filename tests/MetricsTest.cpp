@@ -35,10 +35,37 @@ void *operator new(std::size_t Size) {
 
 void *operator new[](std::size_t Size) { return ::operator new(Size); }
 
+// The nothrow overloads must be replaced alongside the throwing ones:
+// libstdc++'s std::get_temporary_buffer (stable_sort) allocates through
+// operator new(nothrow), and leaving it to the default (or a sanitizer's
+// interceptor) while the deletes below free() is an alloc/dealloc
+// mismatch.
+void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
+  GlobalAllocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(Size ? Size : 1);
+}
+
+void *operator new[](std::size_t Size, const std::nothrow_t &T) noexcept {
+  return ::operator new(Size, T);
+}
+
+// GCC pairs the (opaque, replaceable) operator-new calls it sees in
+// libstdc++ with the free() below and reports a mismatch it cannot see
+// through; every overload above allocates with malloc, so the pairing
+// is correct by construction.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void *P) noexcept { std::free(P); }
 void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
 void operator delete[](void *P) noexcept { std::free(P); }
 void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+#pragma GCC diagnostic pop
 
 namespace {
 
